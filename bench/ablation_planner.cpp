@@ -1,0 +1,131 @@
+// Ablation A6 (paper §VII): FCFS allocation vs priority planning.
+//
+// Workload: four buffers on the KNL cluster — two cold scratch buffers
+// allocated first, then the two hot ones (a bandwidth-bound field and a
+// latency-bound index). Under FCFS the scratch grabs the 4GiB MCDRAM; the
+// planner reorders by priority. We run one round of kernels under each
+// placement and compare simulated time — the quantified version of the
+// paper's "Late allocations of performance sensitive buffers should thus
+// be moved earlier".
+#include "common.hpp"
+
+#include "hetmem/alloc/planner.hpp"
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/simmem/exec.hpp"
+
+using namespace hetmem;
+using support::kGiB;
+
+namespace {
+
+struct Workload {
+  sim::BufferId scratch_a, scratch_b, field, index;
+};
+
+double run_round(bench::Testbed& bed, const Workload& w) {
+  sim::ExecutionContext exec(*bed.machine,
+                             bed.topology().numa_node(0)->cpuset(), 16);
+  exec.set_mlp(8.0);
+  sim::Array<double> field(*bed.machine, w.field);
+  sim::Array<std::uint32_t> index(*bed.machine, w.index);
+  sim::Array<double> scratch(*bed.machine, w.scratch_a);
+
+  // Hot streaming kernel over the field.
+  exec.run_phase("field", 16,
+                 [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                     std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     field.record_bulk_read(ctx, 8e9 / 16);
+                     field.record_bulk_write(ctx, 4e9 / 16);
+                   }
+                 });
+  // Hot dependent kernel over the index.
+  exec.run_phase("index", 16,
+                 [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                     std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     index.record_bulk_random_reads(ctx, 150000.0);
+                   }
+                 });
+  // Cold touch of the scratch (rare checkpoint write).
+  exec.run_phase("scratch", 16,
+                 [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                     std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     scratch.record_bulk_write(ctx, 1e8 / 16);
+                   }
+                 });
+  return exec.clock_ns() / 1e6;
+}
+
+std::string node_kind(bench::Testbed& bed, sim::BufferId buffer) {
+  return topo::memory_kind_name(
+      bed.topology().numa_node(bed.machine->info(buffer).node)->memory_kind());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", support::banner(
+      "Ablation A6: FCFS vs priority-planned placement (KNL cluster)").c_str());
+
+  support::TextTable table({"Strategy", "scratch", "field", "index",
+                            "round time (ms)"});
+
+  // --- FCFS: allocation order = declaration order. ---
+  {
+    bench::Testbed bed = bench::make_knl();
+    const support::Bitmap initiator = bed.topology().numa_node(0)->cpuset();
+    auto fcfs_alloc = [&](const char* label, std::uint64_t bytes,
+                          attr::AttrId attribute) {
+      alloc::AllocRequest request;
+      request.bytes = bytes;
+      request.attribute = attribute;
+      request.initiator = initiator;
+      request.label = label;
+      request.backing_bytes = 4096;
+      auto allocation = bed.allocator->mem_alloc(request);
+      return allocation.ok() ? allocation->buffer : sim::BufferId{};
+    };
+    Workload w;
+    w.scratch_a = fcfs_alloc("scratch.a", 2 * kGiB, attr::kBandwidth);
+    w.scratch_b = fcfs_alloc("scratch.b", 2 * kGiB, attr::kBandwidth);
+    w.field = fcfs_alloc("field", 3 * kGiB, attr::kBandwidth);
+    w.index = fcfs_alloc("index", 2 * kGiB, attr::kLatency);
+    const double ms = run_round(bed, w);
+    table.add_row({"FCFS", node_kind(bed, w.scratch_a), node_kind(bed, w.field),
+                   node_kind(bed, w.index), support::format_fixed(ms, 2)});
+  }
+
+  // --- Planned: same requests with priorities, placed by the planner. ---
+  {
+    bench::Testbed bed = bench::make_knl();
+    const support::Bitmap initiator = bed.topology().numa_node(0)->cpuset();
+    std::vector<alloc::PlannedRequest> requests = {
+        {"scratch.a", 2 * kGiB, attr::kBandwidth, /*priority=*/0, 4096},
+        {"scratch.b", 2 * kGiB, attr::kBandwidth, 0, 4096},
+        {"field", 3 * kGiB, attr::kBandwidth, 10, 4096},
+        {"index", 2 * kGiB, attr::kLatency, 5, 4096},
+    };
+    alloc::Plan plan = alloc::plan_placements(*bed.machine, *bed.registry,
+                                              initiator, requests);
+    auto buffers = alloc::execute_plan(*bed.allocator, requests, plan);
+    if (!buffers.ok()) {
+      std::fprintf(stderr, "plan failed: %s\n",
+                   buffers.error().to_string().c_str());
+      return 1;
+    }
+    Workload w{(*buffers)[0], (*buffers)[1], (*buffers)[2], (*buffers)[3]};
+    const double ms = run_round(bed, w);
+    table.add_row({"priority-planned", node_kind(bed, w.scratch_a),
+                   node_kind(bed, w.field), node_kind(bed, w.index),
+                   support::format_fixed(ms, 2)});
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: FCFS lets the cold scratch occupy the MCDRAM and the\n"
+      "hot field lands on DRAM; the planner gives the MCDRAM to the field\n"
+      "and the round completes faster.\n");
+  return 0;
+}

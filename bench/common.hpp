@@ -1,0 +1,81 @@
+// Shared setup for the bench harnesses: the two §VI machines with their
+// attribute registries populated the way the paper does it (HMAT where the
+// firmware provides values, benchmarking for the rest).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/probe/probe.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/table.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::bench {
+
+struct Testbed {
+  std::unique_ptr<sim::SimMachine> machine;
+  std::unique_ptr<attr::MemAttrRegistry> registry;
+  std::unique_ptr<alloc::HeterogeneousAllocator> allocator;
+
+  [[nodiscard]] const topo::Topology& topology() const {
+    return machine->topology();
+  }
+};
+
+/// §VI Xeon server: 2x Cascade Lake 6230, SNC off, NVDIMMs in 1LM.
+/// Attributes: firmware HMAT + probe-measured values.
+inline Testbed make_xeon() {
+  Testbed bed;
+  bed.machine = std::make_unique<sim::SimMachine>(topo::xeon_clx_1lm());
+  bed.machine->set_llc_bytes(static_cast<std::uint64_t>(27.5 * 1024 * 1024));
+  bed.registry = std::make_unique<attr::MemAttrRegistry>(bed.topology());
+
+  probe::ProbeOptions options;
+  options.backing_bytes = 64 * 1024;
+  options.chase_accesses = 4000;
+  options.threads = 16;
+  auto report = probe::discover(*bed.machine, options);
+  if (report.ok()) (void)probe::feed_registry(*bed.registry, *report);
+
+  bed.allocator = std::make_unique<alloc::HeterogeneousAllocator>(*bed.machine,
+                                                                  *bed.registry);
+  return bed;
+}
+
+/// §VI KNL server: Xeon Phi 7230 SNC-4 Flat. KNL has no LLC; the analytic
+/// cache model uses the aggregated cluster L2 (16 x 0.5 MiB).
+inline Testbed make_knl() {
+  Testbed bed;
+  bed.machine = std::make_unique<sim::SimMachine>(topo::knl_snc4_flat());
+  bed.machine->set_llc_bytes(8 * 1024 * 1024);
+  bed.registry = std::make_unique<attr::MemAttrRegistry>(bed.topology());
+
+  probe::ProbeOptions options;
+  options.backing_bytes = 64 * 1024;
+  options.chase_accesses = 4000;
+  options.threads = 16;
+  options.buffer_bytes = 256ull * 1024 * 1024;  // fits the 4 GiB MCDRAM
+  auto report = probe::discover(*bed.machine, options);
+  if (report.ok()) (void)probe::feed_registry(*bed.registry, *report);
+
+  bed.allocator = std::make_unique<alloc::HeterogeneousAllocator>(*bed.machine,
+                                                                  *bed.registry);
+  return bed;
+}
+
+/// "3.423" style TEPSe+8 cell.
+inline std::string teps_e8(double teps) {
+  return support::format_fixed(teps / 1e8, 3);
+}
+
+/// "31.59" style GB/s cell.
+inline std::string gbps(double bytes_per_second) {
+  return support::format_fixed(bytes_per_second / 1e9, 2);
+}
+
+}  // namespace hetmem::bench

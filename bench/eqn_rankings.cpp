@@ -1,0 +1,72 @@
+// Reproduces Equations 1-3: the per-criterion memory orderings
+//   Eq.1  HBM_BW   > DRAM_BW  > NVDIMM_BW
+//   Eq.2  DRAM_Lat ~= HBM_Lat > NVDIMM_Lat   (priority order)
+//   Eq.3  NVDIMM_Cap > DRAM_Cap > HBM_Cap
+// printed as the actual targets_ranked() output on every preset platform,
+// from both discovery sources.
+#include "common.hpp"
+
+using namespace hetmem;
+
+namespace {
+
+void print_rankings(const attr::MemAttrRegistry& registry,
+                    const topo::Topology& topology) {
+  const topo::Object* pu0 = topology.pus().front();
+  const auto initiator = attr::Initiator::from_cpuset(pu0->cpuset());
+  struct Criterion {
+    const char* name;
+    attr::AttrId attr;
+  };
+  for (const Criterion& criterion :
+       {Criterion{"Bandwidth (eq.1)", attr::kBandwidth},
+        Criterion{"Latency   (eq.2)", attr::kLatency},
+        Criterion{"Capacity  (eq.3)", attr::kCapacity}}) {
+    auto ranked = registry.targets_ranked(criterion.attr, initiator);
+    std::printf("  %-17s:", criterion.name);
+    if (ranked.empty()) {
+      std::printf(" (no values)\n");
+      continue;
+    }
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      std::printf("%s %s(L#%u)", i == 0 ? "" : "  >",
+                  topo::memory_kind_name(ranked[i].target->memory_kind()),
+                  ranked[i].target->logical_index());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (const topo::NamedTopology& preset : topo::all_presets()) {
+    std::printf("%s", support::banner(preset.name).c_str());
+
+    sim::SimMachine machine(preset.factory());
+    const topo::Topology& topology = machine.topology();
+
+    std::printf("from firmware HMAT:\n");
+    attr::MemAttrRegistry from_hmat(topology);
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    (void)hmat::load_into(from_hmat, hmat::generate(topology, options));
+    print_rankings(from_hmat, topology);
+
+    std::printf("from benchmarking:\n");
+    attr::MemAttrRegistry from_probe(topology);
+    probe::ProbeOptions probe_options;
+    probe_options.backing_bytes = 64 * 1024;
+    probe_options.chase_accesses = 1500;
+    probe_options.buffer_bytes = 128ull * 1024 * 1024;  // fits every node
+    auto report = probe::discover(machine, probe_options);
+    if (report.ok()) (void)probe::feed_registry(from_probe, *report);
+    print_rankings(from_probe, topology);
+  }
+  std::printf(
+      "\nShape check: on every platform with several kinds, bandwidth ranks\n"
+      "HBM > DRAM > NVDIMM (> NAM), latency ranks DRAM first and NVDIMM/NAM\n"
+      "last, and capacity ranks the big slow memories first — and the two\n"
+      "discovery sources agree on the order.\n");
+  return 0;
+}

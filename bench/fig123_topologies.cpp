@@ -1,0 +1,46 @@
+// Reproduces Figures 1-3: lstopo-style renderings of the paper's platforms
+// (KNL SNC4/Hybrid50, dual Xeon 6230 SNC 1LM, and the fictitious platform
+// with DRAM + HBM + NVDIMM + network-attached memory).
+#include <cstdio>
+
+#include "hetmem/support/table.hpp"
+#include "hetmem/topo/presets.hpp"
+#include "hetmem/topo/render.hpp"
+
+using namespace hetmem;
+
+int main() {
+  struct Figure {
+    const char* title;
+    topo::Topology (*factory)();
+  };
+  const Figure figures[] = {
+      {"Figure 1: Xeon Phi in SNC4/Hybrid50 mode", &topo::knl_snc4_hybrid50},
+      {"Figure 2: dual Xeon 6230, SNC on, NVDIMMs in 1-Level-Memory",
+       &topo::xeon_clx_snc_1lm},
+      {"Figure 3: fictitious platform with four kinds of memory",
+       &topo::fictitious_fig3},
+  };
+  for (const Figure& figure : figures) {
+    std::printf("%s", support::banner(figure.title).c_str());
+    topo::Topology topology = figure.factory();
+    std::printf("%s", topo::render_tree(topology).c_str());
+
+    // The §III observation the API solves: how many local NUMA nodes a core
+    // must choose between on this platform.
+    const topo::Object* pu0 = topology.pus().front();
+    auto local = topology.local_numa_nodes(pu0->cpuset());
+    std::printf("\nA program on PU#0 has %zu local NUMA node(s):\n",
+                local.size());
+    for (const topo::Object* node : local) {
+      std::printf("  %s\n", topo::describe_numa_node(*node).c_str());
+    }
+  }
+
+  // Bonus platforms discussed in §II-C.
+  std::printf("%s", support::banner(
+      "SS2-C platforms: Fugaku-like (HBM only) and POWER9+V100").c_str());
+  std::printf("%s\n", topo::render_tree(topo::fugaku_like()).c_str());
+  std::printf("%s", topo::render_tree(topo::power9_v100()).c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// §III-A reproduction: automatic identification of memory kinds from
+// attributes alone, on every platform the paper depicts, from both
+// discovery sources — the step the paper says "was missing in existing
+// approaches" and "should be performed automatically during the execution".
+#include "common.hpp"
+
+#include "hetmem/ident/ident.hpp"
+
+using namespace hetmem;
+
+int main() {
+  std::printf("%s", support::banner(
+      "Memory-kind identification from performance attributes "
+      "(paper sec. III-A)").c_str());
+
+  support::TextTable summary({"Platform", "nodes", "agreement (HMAT)",
+                              "agreement (probe)"});
+  for (const topo::NamedTopology& preset : topo::all_presets()) {
+    sim::SimMachine machine(preset.factory());
+    const topo::Topology& topology = machine.topology();
+
+    attr::MemAttrRegistry from_hmat(topology);
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    (void)hmat::load_into(from_hmat, hmat::generate(topology, options));
+    auto hmat_result = ident::classify(from_hmat);
+
+    attr::MemAttrRegistry from_probe(topology);
+    probe::ProbeOptions probe_options;
+    probe_options.backing_bytes = 64 * 1024;
+    probe_options.chase_accesses = 1500;
+    probe_options.buffer_bytes = 128ull * 1024 * 1024;
+    probe_options.include_remote = false;
+    auto report = probe::discover(machine, probe_options);
+    std::vector<ident::NodeClassification> probe_result;
+    if (report.ok() && probe::feed_registry(from_probe, *report).ok()) {
+      probe_result = ident::classify(from_probe);
+    }
+
+    summary.add_row(
+        {preset.name, std::to_string(topology.numa_nodes().size()),
+         support::format_fixed(
+             100.0 * ident::agreement_with_ground_truth(topology, hmat_result), 0) +
+             "%",
+         support::format_fixed(
+             100.0 * ident::agreement_with_ground_truth(topology, probe_result), 0) +
+             "%"});
+
+    std::printf("%s", support::banner(preset.name).c_str());
+    std::printf("from firmware tables:\n%s",
+                ident::render(topology, hmat_result).c_str());
+    std::printf("from benchmarking:\n%s",
+                ident::render(topology, probe_result).c_str());
+  }
+
+  std::printf("%s", support::banner("Summary").c_str());
+  std::printf("%s", summary.render().c_str());
+  std::printf(
+      "\nKnown honest misses: 2LM platforms classify as 'normal' (the DRAM\n"
+      "cache hides the NVDIMM — paper fn. 22); probe-measured GPU/NAM\n"
+      "latencies may swap 'far' for 'slow-big' at the boundary. The\n"
+      "classifier never needed a hardwired technology list — the paper's\n"
+      "requirement.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// P1: google-benchmark microbenchmarks of the API hot paths.
+//
+// The paper positions the attributes API inside allocators and runtimes, so
+// query and allocation costs must be negligible next to an actual mmap/page
+// fault. These measure get_value, best_target, targets_ranked, mem_alloc+
+// free round trips, and topology queries on the Fig. 2 Xeon.
+#include <benchmark/benchmark.h>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace {
+
+using namespace hetmem;
+
+struct Fixture {
+  Fixture() : machine(topo::xeon_clx_snc_1lm()), registry(machine.topology()) {
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    (void)hmat::load_into(registry, hmat::generate(machine.topology(), options));
+  }
+  sim::SimMachine machine;
+  attr::MemAttrRegistry registry;
+};
+
+Fixture& fixture() {
+  static Fixture instance;
+  return instance;
+}
+
+void BM_GetValue(benchmark::State& state) {
+  Fixture& f = fixture();
+  const topo::Object& node = *f.machine.topology().numa_node(0);
+  const auto initiator = attr::Initiator::from_cpuset(node.cpuset());
+  for (auto _ : state) {
+    auto value = f.registry.value(attr::kLatency, node, initiator);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_GetValue);
+
+void BM_BestTarget(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto initiator = attr::Initiator::from_cpuset(
+      f.machine.topology().pus().front()->cpuset());
+  for (auto _ : state) {
+    auto best = f.registry.best_target(attr::kBandwidth, initiator);
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_BestTarget);
+
+void BM_TargetsRanked(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto initiator = attr::Initiator::from_cpuset(
+      f.machine.topology().pus().front()->cpuset());
+  for (auto _ : state) {
+    auto ranked = f.registry.targets_ranked(attr::kLatency, initiator);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_TargetsRanked);
+
+void BM_LocalNumaNodes(benchmark::State& state) {
+  Fixture& f = fixture();
+  const support::Bitmap cpuset = f.machine.topology().pus().front()->cpuset();
+  for (auto _ : state) {
+    auto nodes = f.machine.topology().local_numa_nodes(cpuset);
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+BENCHMARK(BM_LocalNumaNodes);
+
+void BM_MemAllocFree(benchmark::State& state) {
+  // Private machine: the loop mutates allocator state.
+  sim::SimMachine machine(topo::xeon_clx_snc_1lm());
+  attr::MemAttrRegistry registry(machine.topology());
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  (void)hmat::load_into(registry, hmat::generate(machine.topology(), options));
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+
+  alloc::AllocRequest request;
+  request.bytes = static_cast<std::uint64_t>(state.range(0));
+  request.attribute = attr::kLatency;
+  request.initiator = machine.topology().numa_node(0)->cpuset();
+  request.label = "bench";
+  for (auto _ : state) {
+    auto allocation = allocator.mem_alloc(request);
+    if (allocation.ok()) (void)allocator.mem_free(allocation->buffer);
+  }
+}
+BENCHMARK(BM_MemAllocFree)->Arg(4096)->Arg(1 << 20)->Arg(1 << 30);
+
+void BM_HmatParse(benchmark::State& state) {
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  options.read_write_split = true;
+  topo::Topology topology = topo::fictitious_fig3();
+  const std::string text = hmat::serialize(hmat::generate(topology, options));
+  for (auto _ : state) {
+    auto table = hmat::parse(text);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_HmatParse);
+
+void BM_TopologyConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::Topology topology = topo::xeon_clx_snc_1lm();
+    benchmark::DoNotOptimize(topology);
+  }
+}
+BENCHMARK(BM_TopologyConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Reproduces Table I: the status of memory attributes — which are always
+// discoverable natively, which need firmware support, and which come from
+// external sources (benchmarks / user metrics). Demonstrated live on the
+// Xeon testbed by checking which attributes actually have values after each
+// discovery stage.
+#include "common.hpp"
+
+using namespace hetmem;
+
+namespace {
+
+const char* yn(bool value) { return value ? "yes" : "-"; }
+
+}  // namespace
+
+int main() {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const topo::Topology& topology = machine.topology();
+
+  // Stage 0: fresh registry (OS-provided information only).
+  attr::MemAttrRegistry native(topology);
+
+  // Stage 1: + firmware HMAT (bandwidth/latency, local only).
+  attr::MemAttrRegistry with_hmat(topology);
+  (void)hmat::load_into(with_hmat, hmat::generate(topology));
+
+  // Stage 2: + benchmarks (read/write split, remote pairs).
+  attr::MemAttrRegistry with_probe(topology);
+  probe::ProbeOptions options;
+  options.backing_bytes = 64 * 1024;
+  options.chase_accesses = 2000;
+  auto report = probe::discover(machine, options);
+  if (report.ok()) {
+    (void)probe::feed_registry(with_probe, *report);
+    (void)probe::register_triad_attribute(with_probe, *report);
+  }
+
+  std::printf("%s", support::banner(
+      "Table I: status of memory attributes (live check)").c_str());
+  support::TextTable table({"Attribute", "Native (OS)", "Firmware HMAT",
+                            "Benchmarks", "Paper says"});
+  struct Row {
+    const char* name;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"Capacity", "always supported"},
+      {"Locality", "always supported"},
+      {"Bandwidth", "most platforms / benchmarks"},
+      {"Latency", "most platforms / benchmarks"},
+      {"ReadBandwidth", "some platforms / benchmarks"},
+      {"WriteBandwidth", "some platforms / benchmarks"},
+      {"ReadLatency", "some platforms / benchmarks"},
+      {"WriteLatency", "some platforms / benchmarks"},
+      {"StreamTriad", "user-specified custom metric"},
+  };
+  for (const Row& row : rows) {
+    auto check = [&](const attr::MemAttrRegistry& registry) {
+      auto id = registry.find_attribute(row.name);
+      return id.ok() && registry.has_values(*id);
+    };
+    table.add_row({row.name, yn(check(native)), yn(check(with_hmat)),
+                   yn(check(with_probe)), row.paper});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nCapacity/Locality are populated by the OS alone; Bandwidth/Latency\n"
+      "arrive with firmware tables; the R/W split and custom metrics come\n"
+      "from benchmarking — matching Table I.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Custom attributes (paper §IV, Table I last row, footnote 16):
+//
+//  1. "StreamTriad" — a derived metric combining probe-measured read and
+//     write bandwidths the way the Triad kernel mixes them;
+//  2. "Mix2R1W" — a hand-built ranking for an application that does two
+//     reads per write, composed from get_value() calls exactly as the
+//     paper suggests ("one may build its own target ranking by combining
+//     read/write bandwidths from the API");
+//  3. "Endurance" — a user-specified global metric (write cycles) showing
+//     non-performance criteria.
+#include <cstdio>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/probe/probe.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+using namespace hetmem;
+
+int main() {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const topo::Topology& topology = machine.topology();
+  attr::MemAttrRegistry registry(topology);
+
+  // Measure read/write bandwidth separately by benchmarking.
+  probe::ProbeOptions options;
+  options.backing_bytes = 64 * 1024;
+  options.chase_accesses = 2000;
+  options.include_remote = false;
+  auto report = probe::discover(machine, options);
+  if (!report.ok()) return 1;
+  if (auto status = probe::feed_registry(registry, *report); !status.ok()) return 1;
+
+  // 1. Derived Triad attribute (16B read + 8B write per element).
+  auto triad = probe::register_triad_attribute(registry, *report);
+  if (!triad.ok()) return 1;
+
+  // 2. Hand-composed 2-reads-1-write metric from get_value().
+  auto mix = registry.register_attribute("Mix2R1W", attr::Polarity::kHigherFirst,
+                                         /*need_initiator=*/true);
+  if (!mix.ok()) return 1;
+  for (const topo::Object* node : topology.numa_nodes()) {
+    for (const attr::InitiatorValue& iv :
+         registry.initiators(attr::kReadBandwidth, *node)) {
+      const auto initiator = attr::Initiator::from_cpuset(iv.initiator);
+      auto read_bw = registry.value(attr::kReadBandwidth, *node, initiator);
+      auto write_bw = registry.value(attr::kWriteBandwidth, *node, initiator);
+      if (!read_bw.ok() || !write_bw.ok()) continue;
+      // 2 read bytes per write byte: harmonic combination.
+      const double value = 3.0 / (2.0 / *read_bw + 1.0 / *write_bw);
+      (void)registry.set_value(*mix, *node, initiator, value);
+    }
+  }
+
+  // 3. Endurance: DRAM is effectively unlimited, NVDIMM wears out.
+  auto endurance = registry.register_attribute(
+      "Endurance", attr::Polarity::kHigherFirst, /*need_initiator=*/false);
+  if (!endurance.ok()) return 1;
+  for (const topo::Object* node : topology.numa_nodes()) {
+    const double cycles =
+        node->memory_kind() == topo::MemoryKind::kNVDIMM ? 1e6 : 1e16;
+    (void)registry.set_value(*endurance, *node, std::nullopt, cycles);
+  }
+
+  // Query them like any built-in attribute.
+  const auto initiator =
+      attr::Initiator::from_cpuset(topology.numa_node(0)->cpuset());
+  for (const char* name : {"StreamTriad", "Mix2R1W", "Endurance"}) {
+    auto id = registry.find_attribute(name);
+    if (!id.ok()) continue;
+    auto best = registry.best_target(*id, initiator);
+    if (!best.ok()) continue;
+    std::printf("best target for %-12s: %s", name,
+                topo::memory_kind_name(best->target->memory_kind()));
+    if (std::string(name) != "Endurance") {
+      std::printf(" at %s", support::format_bandwidth(best->value).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // And allocate with them: a write-heavy wear-sensitive log buffer.
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+  alloc::AllocRequest request;
+  request.bytes = support::kGiB;
+  request.attribute = *endurance;
+  request.initiator = topology.numa_node(0)->cpuset();
+  request.label = "append-log";
+  if (auto allocation = allocator.mem_alloc(request); allocation.ok()) {
+    std::printf("\nmem_alloc(1GiB, Endurance) -> %s (writes won't wear it)\n",
+                topo::memory_kind_name(
+                    topology.numa_node(allocation->node)->memory_kind()));
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Graph500 demo: the same latency-criterion allocation on two very
+// different machines (paper §VI-A's portability claim).
+//
+// The application code below never mentions DRAM, NVDIMM, or MCDRAM — it
+// says "my buffers are latency-sensitive" and the attributes API resolves
+// that to DRAM on the Xeon (NVDIMM is slower) and to the cluster DRAM on
+// the KNL (MCDRAM would be wasted: same latency, scarce capacity).
+#include <cstdio>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/apps/graph500.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/probe/probe.hpp"
+#include "hetmem/topo/presets.hpp"
+
+using namespace hetmem;
+
+namespace {
+
+void run_on(const char* name, topo::Topology topology, double compute_ns,
+            std::uint64_t llc_bytes) {
+  sim::SimMachine machine(std::move(topology));
+  machine.set_llc_bytes(llc_bytes);
+
+  // Discover attributes by benchmarking (works on any machine, §IV-A2).
+  attr::MemAttrRegistry registry(machine.topology());
+  probe::ProbeOptions options;
+  options.backing_bytes = 64 * 1024;
+  options.chase_accesses = 3000;
+  options.buffer_bytes = 256ull * 1024 * 1024;
+  auto report = probe::discover(machine, options);
+  if (!report.ok()) return;
+  (void)probe::feed_registry(registry, *report);
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+
+  // The portable application: allocate everything by Latency.
+  apps::Graph500Config config;
+  config.scale_declared = 24;
+  config.scale_backing = 14;
+  config.threads = 16;
+  config.num_roots = 3;
+  config.compute_ns_per_edge = compute_ns;
+  config.mlp = 8.0;
+
+  const support::Bitmap initiator = machine.topology().numa_node(0)->cpuset();
+  auto runner = apps::Graph500Runner::create(
+      machine, &allocator, initiator, config,
+      apps::Graph500Placement::by_attribute(attr::kLatency));
+  if (!runner.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name, runner.error().to_string().c_str());
+    return;
+  }
+  auto result = (*runner)->run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name, result.error().to_string().c_str());
+    return;
+  }
+
+  const topo::Object* graph_node =
+      machine.topology().numa_node((*runner)->node_of_graph());
+  std::printf("%-24s: Latency criterion resolved to %s (L#%u); "
+              "BFS %.3f TEPSe+8, tree valid: %s\n",
+              name, topo::memory_kind_name(graph_node->memory_kind()),
+              graph_node->logical_index(),
+              result->harmonic_mean_teps / 1e8,
+              (*runner)->validate_last_tree().ok() ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Portable Graph500: mem_alloc(..., Latency) on two machines\n\n");
+  run_on("Xeon DRAM+NVDIMM", topo::xeon_clx_1lm(), 16.0,
+         static_cast<std::uint64_t>(27.5 * 1024 * 1024));
+  run_on("KNL DRAM+MCDRAM (flat)", topo::knl_snc4_flat(), 170.0,
+         8 * 1024 * 1024);
+  std::printf(
+      "\nNeither run hardwired a memory technology: the attribute resolved\n"
+      "to the right node on each platform (paper sec. VI-A: 'same\n"
+      "performance as manual tuning while remaining portable').\n");
+  return 0;
+}

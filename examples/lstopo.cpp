@@ -1,0 +1,67 @@
+// Mini-lstopo: render any preset platform, optionally with memory
+// attributes — the library's equivalent of `lstopo` / `lstopo --memattrs`.
+//
+// Usage:
+//   lstopo [platform] [--memattrs] [--cpusets] [--list]
+// Platforms: knl_snc4_flat knl_snc4_hybrid50 xeon_clx_snc_1lm xeon_clx_1lm
+//            xeon_clx_2lm fictitious_fig3 fugaku_like power9_v100
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/topo/presets.hpp"
+#include "hetmem/topo/render.hpp"
+
+using namespace hetmem;
+
+int main(int argc, char** argv) {
+  std::string platform = "xeon_clx_snc_1lm";
+  bool memattrs = false;
+  topo::RenderOptions render_options;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--memattrs") == 0) {
+      memattrs = true;
+    } else if (std::strcmp(argv[i], "--cpusets") == 0) {
+      render_options.show_cpusets = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      std::printf("available platforms:\n");
+      for (const topo::NamedTopology& preset : topo::all_presets()) {
+        std::printf("  %s\n", preset.name);
+      }
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      platform = argv[i];
+    }
+  }
+
+  const topo::NamedTopology* chosen = nullptr;
+  for (const topo::NamedTopology& preset : topo::all_presets()) {
+    if (platform == preset.name) chosen = &preset;
+  }
+  if (chosen == nullptr) {
+    std::fprintf(stderr, "unknown platform '%s' (try --list)\n",
+                 platform.c_str());
+    return 2;
+  }
+
+  topo::Topology topology = chosen->factory();
+  std::printf("%s", topo::render_tree(topology, render_options).c_str());
+
+  if (memattrs) {
+    attr::MemAttrRegistry registry(topology);
+    if (auto loaded = hmat::load_into(registry, hmat::generate(topology));
+        !loaded.ok()) {
+      std::fprintf(stderr, "HMAT load failed: %s\n",
+                   loaded.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("\n%s", attr::memattrs_report(registry).c_str());
+  }
+  return 0;
+}

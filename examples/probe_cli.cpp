@@ -1,0 +1,110 @@
+// probe_cli: benchmark a machine's memory attributes once and persist
+// them for later runs (the "measure on the cluster, reuse everywhere"
+// workflow; hwloc does this with its XML export).
+//
+// Usage:
+//   probe_cli [platform] [--remote] [--save FILE] [--load FILE]
+//
+// With --save, measured values are written in the hetmem-memattrs text
+// format; with --load, a previous dump is reloaded instead of probing (and
+// verified to produce the Fig. 5-style report without re-measuring).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/probe/probe.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/topo/presets.hpp"
+
+using namespace hetmem;
+
+int main(int argc, char** argv) {
+  std::string platform = "xeon_clx_1lm";
+  std::string save_path;
+  std::string load_path;
+  bool include_remote = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--remote") == 0) {
+      include_remote = true;
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      load_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: probe_cli [platform] [--remote] "
+                   "[--save FILE] [--load FILE]\n");
+      return 2;
+    } else {
+      platform = argv[i];
+    }
+  }
+
+  const topo::NamedTopology* chosen = nullptr;
+  for (const topo::NamedTopology& preset : topo::all_presets()) {
+    if (platform == preset.name) chosen = &preset;
+  }
+  if (chosen == nullptr) {
+    std::fprintf(stderr, "unknown platform '%s'\n", platform.c_str());
+    return 2;
+  }
+
+  sim::SimMachine machine(chosen->factory());
+  attr::MemAttrRegistry registry(machine.topology());
+
+  if (!load_path.empty()) {
+    std::ifstream in(load_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", load_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto status = attr::load_values(registry, buffer.str());
+    if (!status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   status.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("loaded persisted attributes from %s (no probing needed)\n\n",
+                load_path.c_str());
+  } else {
+    std::printf("probing %s%s...\n\n", platform.c_str(),
+                include_remote ? " (including remote pairs)" : "");
+    probe::ProbeOptions options;
+    options.backing_bytes = 64 * 1024;
+    options.chase_accesses = 4000;
+    options.buffer_bytes = 128ull * 1024 * 1024;
+    options.include_remote = include_remote;
+    auto report = probe::discover(machine, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "probe failed: %s\n",
+                   report.error().to_string().c_str());
+      return 1;
+    }
+    if (auto status = probe::feed_registry(registry, *report); !status.ok()) {
+      std::fprintf(stderr, "feed failed: %s\n",
+                   status.error().to_string().c_str());
+      return 1;
+    }
+    (void)probe::register_triad_attribute(registry, *report);
+  }
+
+  std::printf("%s", attr::memattrs_report(registry).c_str());
+
+  if (!save_path.empty()) {
+    std::ofstream out(save_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", save_path.c_str());
+      return 1;
+    }
+    out << attr::serialize_values(registry);
+    std::printf("\nsaved to %s; reload with: probe_cli %s --load %s\n",
+                save_path.c_str(), platform.c_str(), save_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: the paper's Fig. 4 API tour on the Fig. 2 Xeon platform.
+//
+//  1. Build the platform topology and simulated machine.
+//  2. Load firmware HMAT attributes and benchmark the rest.
+//  3. Query local targets, values, and best targets per criterion.
+//  4. Allocate with mem_alloc(..., attribute) and watch the fallback.
+#include <cstdio>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/probe/probe.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+#include "hetmem/topo/render.hpp"
+
+using namespace hetmem;
+
+int main() {
+  // --- 1. Platform: dual Xeon 6230, SNC on, NVDIMMs in 1-Level-Memory ---
+  sim::SimMachine machine(topo::xeon_clx_snc_1lm());
+  const topo::Topology& topology = machine.topology();
+  std::printf("%s\n", topo::render_tree(topology).c_str());
+
+  // --- 2. Attributes: HMAT (firmware) first, probing for what's missing ---
+  attr::MemAttrRegistry registry(topology);
+  const hmat::HmatTable table = hmat::generate(topology);
+  if (auto loaded = hmat::load_into(registry, table); loaded.ok()) {
+    std::printf("HMAT: loaded %zu locality entries\n\n",
+                loaded->entries_loaded);
+  }
+
+  // --- 3. Queries from the first core of package 0 ---
+  const topo::Object* pu0 = topology.pus().front();
+  const auto initiator = attr::Initiator::from_object(*pu0);
+
+  std::printf("Local NUMA nodes for PU#0:\n");
+  for (const topo::Object* node : topology.local_numa_nodes(pu0->cpuset())) {
+    std::printf("  %s\n", topo::describe_numa_node(*node).c_str());
+  }
+
+  struct Criterion {
+    const char* name;
+    attr::AttrId attr;
+  };
+  for (const Criterion& criterion : {Criterion{"Capacity", attr::kCapacity},
+                                     Criterion{"Bandwidth", attr::kBandwidth},
+                                     Criterion{"Latency", attr::kLatency}}) {
+    auto best = registry.best_target(criterion.attr, initiator);
+    if (!best.ok()) continue;
+    std::printf("best target for %-9s -> NUMANode L#%u (%s), value %.3g\n",
+                criterion.name, best->target->logical_index(),
+                topo::memory_kind_name(best->target->memory_kind()),
+                best->value);
+  }
+
+  // --- 4. mem_alloc with attributes; capacity fallback in action ---
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+
+  alloc::AllocRequest request;
+  request.initiator = pu0->cpuset();
+  request.label = "hot-buffer";
+  request.bytes = 8ull * support::kGiB;
+  request.attribute = attr::kLatency;
+  if (auto allocation = allocator.mem_alloc(request); allocation.ok()) {
+    std::printf("\nmem_alloc(8GiB, Latency)   -> node L#%u (%s)\n",
+                allocation->node,
+                topo::memory_kind_name(
+                    topology.numa_node(allocation->node)->memory_kind()));
+  }
+
+  request.label = "huge-buffer";
+  request.bytes = 300ull * support::kGiB;  // larger than any DRAM node
+  if (auto allocation = allocator.mem_alloc(request); allocation.ok()) {
+    std::printf("mem_alloc(300GiB, Latency) -> node L#%u (%s), fallback=%s\n",
+                allocation->node,
+                topo::memory_kind_name(
+                    topology.numa_node(allocation->node)->memory_kind()),
+                allocation->fell_back ? "yes" : "no");
+  }
+
+  // --- 5. Benchmark-based discovery fills in what firmware omitted ---
+  probe::ProbeOptions options;
+  options.include_remote = false;
+  options.threads = 10;
+  if (auto report = probe::discover(machine, options); report.ok()) {
+    std::printf("\nProbed (benchmark) attribute values:\n%s",
+                probe::report_to_string(*report, topology).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Phase-aware migration advisor (paper §VII).
+//
+// "Memory migration could be a solution ... it should likely be avoided
+// unless the application behavior changes significantly between phases."
+// The advisor operationalizes that sentence: given the traffic a run has
+// recorded per buffer, it estimates what each buffer's traffic would cost
+// on its best-ranked target instead, compares the per-phase benefit against
+// the modeled migration cost over an expected horizon, and recommends only
+// the moves that amortize.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/simmem/exec.hpp"
+
+namespace hetmem::alloc {
+
+struct MigrationAdvice {
+  sim::BufferId buffer;
+  std::string label;
+  unsigned from_node = 0;
+  unsigned to_node = 0;
+  /// Estimated saving per repetition of the observed workload, ns.
+  double benefit_per_round_ns = 0.0;
+  /// Modeled one-time migration cost, ns.
+  double cost_ns = 0.0;
+  /// Rounds needed to amortize (cost / benefit).
+  double breakeven_rounds = 0.0;
+};
+
+struct AdvisorOptions {
+  /// How many more repetitions of the observed behavior the caller expects.
+  double expected_future_rounds = 10.0;
+  /// MLP assumed when converting misses into stall time.
+  double mlp = 6.0;
+  /// Ignore buffers whose total memory traffic is below this share.
+  double min_traffic_share = 0.01;
+};
+
+/// Analyzes a finished run and returns the profitable moves, biggest net
+/// gain first. Pure analysis: nothing is migrated.
+std::vector<MigrationAdvice> advise_migrations(
+    const HeterogeneousAllocator& allocator, const sim::ExecutionContext& exec,
+    const support::Bitmap& initiator, const AdvisorOptions& options = {});
+
+/// Applies every advice entry whose break-even is within the expected
+/// horizon; returns the total migration cost paid (simulated ns).
+support::Result<double> apply_advice(HeterogeneousAllocator& allocator,
+                                     const std::vector<MigrationAdvice>& advice,
+                                     const AdvisorOptions& options = {});
+
+}  // namespace hetmem::alloc

@@ -1,0 +1,185 @@
+// Heterogeneous memory allocator (paper §IV-B).
+//
+// mem_alloc(bytes, attribute) allocates on the best *local* memory target
+// for the requested attribute — Bandwidth, Latency, Capacity, or any custom
+// attribute — and falls back down the per-attribute ranking when a target is
+// full. The attribute says what matters to the buffer, never which memory
+// technology to use: the same call returns MCDRAM on KNL, DRAM on a
+// DRAM+NVDIMM Xeon, and the only node on a homogeneous machine. That
+// portability is the paper's core claim (§VI-A, last paragraph).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/result.hpp"
+
+namespace hetmem::alloc {
+
+enum class Policy : std::uint8_t {
+  /// Best-ranked target or failure; never falls back (strict binding).
+  kStrict,
+  /// Walk the attribute ranking until a target has room (the paper's
+  /// allocator: "the allocator can easily fallback to next ones according
+  /// to the ranking for this attribute").
+  kRankedFallback,
+  /// Best-ranked target, else the OS default order (local nodes by logical
+  /// index — what Linux "preferred" policy approximates, §VII).
+  kPreferredThenDefault,
+};
+
+struct AllocRequest {
+  std::uint64_t bytes = 0;
+  /// Criterion expressing the buffer's need (kBandwidth, kLatency,
+  /// kCapacity, custom). Missing attributes fall back per
+  /// MemAttrRegistry::resolve_with_fallback (e.g. ReadBandwidth->Bandwidth).
+  attr::AttrId attribute = attr::kCapacity;
+  support::Bitmap initiator;
+  Policy policy = Policy::kRankedFallback;
+  topo::LocalityFlags locality = topo::LocalityFlags::kIntersecting;
+  /// Real backing storage (see SimMachine::allocate).
+  std::size_t backing_bytes = 0;
+  std::string label;
+};
+
+struct Allocation {
+  sim::BufferId buffer;
+  unsigned node = 0;             // where it landed (logical index)
+  attr::AttrId used_attribute = 0;  // after attribute fallback
+  unsigned rank = 0;             // position in the ranking that succeeded
+  bool fell_back = false;        // rank > 0 or default-order rescue
+};
+
+/// Cost model for hwloc-style page migration between targets — expensive in
+/// real OSes (paper §VII), so callers should weigh cost against benefit
+/// (bench/ablation_migration does exactly that).
+struct MigrationCostModel {
+  double per_page_overhead_ns = 1200.0;  // kernel bookkeeping per 4KiB page
+  std::uint64_t page_bytes = 4096;
+};
+
+struct AllocatorStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t fallbacks = 0;       // not first-ranked
+  std::uint64_t failures = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t bytes_allocated = 0;
+};
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kAlloc, kFree, kMigrate, kFail };
+  Kind kind = Kind::kAlloc;
+  std::string label;
+  unsigned node = 0;
+  std::uint64_t bytes = 0;
+  std::string detail;
+};
+
+/// AutoHBW-style interception rule (paper §II-D / §IV-B: "the code
+/// modification step could still be avoided by intercepting allocation
+/// calls"): buffers whose size falls in [min_bytes, max_bytes) get
+/// `attribute` without the application saying anything.
+struct SizeRule {
+  std::uint64_t min_bytes = 0;
+  std::uint64_t max_bytes = UINT64_MAX;
+  attr::AttrId attribute = attr::kCapacity;
+};
+
+class HeterogeneousAllocator {
+ public:
+  HeterogeneousAllocator(sim::SimMachine& machine,
+                         const attr::MemAttrRegistry& registry);
+
+  /// The paper's mem_alloc(..., attribute).
+  support::Result<Allocation> mem_alloc(const AllocRequest& request);
+
+  support::Status mem_free(sim::BufferId buffer);
+
+  /// Moves a buffer and returns the modeled migration cost in simulated ns
+  /// (copy at min(src read bw, dst write bw) plus per-page OS overhead).
+  support::Result<double> migrate(sim::BufferId buffer, unsigned destination_node);
+
+  // --- hybrid (partial) allocations, paper §VII ---
+
+  struct HybridAllocation {
+    /// Part on the best-ranked target; invalid when nothing fit there.
+    sim::BufferId fast;
+    /// Remainder on the next target; invalid when everything fit in `fast`.
+    sim::BufferId slow;
+    unsigned fast_node = 0;
+    unsigned slow_node = 0;
+    /// Fraction of the request that landed on the fast part (1.0 = no split).
+    double fast_fraction = 1.0;
+  };
+
+  /// Linux "Preferred"-policy emulation: place as much of the request as
+  /// fits on the best-ranked target and the remainder on the next ranked
+  /// target with room. Whole-buffer placement is preferred when possible.
+  /// Backing bytes are split proportionally.
+  support::Result<HybridAllocation> mem_alloc_hybrid(const AllocRequest& request);
+
+  struct InterleavedAllocation {
+    std::vector<sim::BufferId> parts;   // one per node used, ranking order
+    std::vector<unsigned> nodes;
+    std::vector<double> fractions;      // of the request, sums to 1
+  };
+
+  /// numactl --interleave analogue with attribute-ranked membership: the
+  /// request is striped equally across up to `max_ways` of the best local
+  /// targets that can hold a stripe. Degenerates to a whole-buffer
+  /// allocation when only one target qualifies.
+  support::Result<InterleavedAllocation> mem_alloc_interleaved(
+      const AllocRequest& request, unsigned max_ways);
+
+  // --- capacity reservations (§VII: keep fast memory free for late hot
+  // buffers) ---
+
+  /// Sets aside `bytes` on `node`: ordinary mem_alloc treats them as used.
+  support::Status reserve(unsigned node, std::uint64_t bytes);
+  /// Returns reserved bytes to general availability (all of them when
+  /// `bytes` exceeds the current reservation).
+  void release_reservation(unsigned node, std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t reserved_bytes(unsigned node) const;
+  /// Allocates out of a prior reservation on a specific node (strictly).
+  support::Result<Allocation> mem_alloc_reserved(unsigned node,
+                                                 std::uint64_t bytes,
+                                                 std::string label,
+                                                 std::size_t backing_bytes = 0);
+
+  // --- AutoHBW-style interception ---
+  void add_size_rule(SizeRule rule) { size_rules_.push_back(rule); }
+  /// Allocates using the first matching size rule, else the OS default
+  /// order (no attribute preference).
+  support::Result<Allocation> mem_alloc_intercepted(std::uint64_t bytes,
+                                                    const support::Bitmap& initiator,
+                                                    std::string label,
+                                                    std::size_t backing_bytes = 0);
+
+  [[nodiscard]] const AllocatorStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+  [[nodiscard]] sim::SimMachine& machine() { return *machine_; }
+  [[nodiscard]] const attr::MemAttrRegistry& registry() const { return *registry_; }
+
+  void set_migration_cost_model(MigrationCostModel model) { migration_model_ = model; }
+
+ private:
+  support::Result<Allocation> try_targets(
+      const AllocRequest& request, const std::vector<attr::TargetValue>& ranking,
+      attr::AttrId used_attribute);
+
+  [[nodiscard]] std::uint64_t usable_bytes(unsigned node) const;
+
+  sim::SimMachine* machine_;
+  const attr::MemAttrRegistry* registry_;
+  MigrationCostModel migration_model_;
+  std::vector<SizeRule> size_rules_;
+  std::vector<std::uint64_t> reserved_;
+  AllocatorStats stats_;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace hetmem::alloc

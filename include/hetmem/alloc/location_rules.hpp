@@ -1,0 +1,61 @@
+// FLEXMALLOC-style per-call-site placement rules (paper §II-D, [6]).
+//
+// FLEXMALLOC replaces dynamic allocations at runtime using a "locations
+// file" mapping allocation call sites to memories. This is the portable
+// version: call sites (labels) map to *attributes*, not technologies, and
+// the file survives a machine change. Rules use glob-ish patterns
+// ("g500.*"), first match wins, and serialize to a line-based text format:
+//
+//   # hetmem-locations v1
+//   g500.parents   Latency
+//   g500.*         Bandwidth
+//   *              Capacity
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hetmem/alloc/allocator.hpp"
+
+namespace hetmem::alloc {
+
+struct LocationRule {
+  std::string pattern;  // '*' matches any run of characters
+  attr::AttrId attribute = attr::kCapacity;
+};
+
+class LocationRules {
+ public:
+  LocationRules() = default;
+
+  void add(std::string pattern, attr::AttrId attribute);
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+
+  /// First matching rule's attribute; nullopt when nothing matches.
+  [[nodiscard]] std::optional<attr::AttrId> match(std::string_view label) const;
+
+  /// Text round trip. Parsing needs the registry to resolve attribute names
+  /// (custom attributes included).
+  [[nodiscard]] std::string serialize(const attr::MemAttrRegistry& registry) const;
+  static support::Result<LocationRules> parse(std::string_view text,
+                                              const attr::MemAttrRegistry& registry);
+
+  /// mem_alloc with the label's rule applied (falls back to `fallback_attr`
+  /// when no rule matches).
+  support::Result<Allocation> alloc_by_location(
+      HeterogeneousAllocator& allocator, std::uint64_t bytes,
+      const support::Bitmap& initiator, std::string label,
+      attr::AttrId fallback_attr = attr::kCapacity,
+      std::size_t backing_bytes = 0) const;
+
+  /// Glob match with '*' wildcards (exposed for tests).
+  static bool glob_match(std::string_view pattern, std::string_view text);
+
+ private:
+  std::vector<LocationRule> rules_;
+};
+
+}  // namespace hetmem::alloc

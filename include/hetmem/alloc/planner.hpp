@@ -1,0 +1,55 @@
+// Priority-driven placement planning (paper §VII).
+//
+// First-Come-First-Served allocation lets unimportant early buffers consume
+// the fast memory ("Late allocations of performance sensitive buffers
+// should thus be moved earlier when possible"). When an application knows
+// its buffers up front, the planner does that reordering: it sorts requests
+// by priority, places them greedily down each one's attribute ranking, and
+// only then materializes the allocations — so buffer X gets the HBM before
+// buffer Y regardless of allocation order in the code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetmem/alloc/allocator.hpp"
+
+namespace hetmem::alloc {
+
+struct PlannedRequest {
+  std::string label;
+  std::uint64_t bytes = 0;
+  attr::AttrId attribute = attr::kCapacity;
+  /// Higher = more performance-critical; ties keep declaration order.
+  int priority = 0;
+  std::size_t backing_bytes = 0;
+};
+
+struct PlannedPlacement {
+  std::string label;
+  unsigned node = 0;
+  bool fell_back = false;  // not on its first-ranked target
+};
+
+struct Plan {
+  std::vector<PlannedPlacement> placements;  // in original request order
+  /// Labels that could not be placed anywhere.
+  std::vector<std::string> unplaced;
+};
+
+/// Pure planning: computes placements against the registry's rankings and
+/// the machine's *current* free capacities without allocating anything.
+Plan plan_placements(const sim::SimMachine& machine,
+                     const attr::MemAttrRegistry& registry,
+                     const support::Bitmap& initiator,
+                     std::vector<PlannedRequest> requests,
+                     topo::LocalityFlags locality = topo::LocalityFlags::kIntersecting);
+
+/// Executes a plan through the allocator's machine; returns the buffers in
+/// request order (invalid ids for unplaced entries). Rolls back on failure.
+support::Result<std::vector<sim::BufferId>> execute_plan(
+    HeterogeneousAllocator& allocator,
+    const std::vector<PlannedRequest>& requests, const Plan& plan);
+
+}  // namespace hetmem::alloc

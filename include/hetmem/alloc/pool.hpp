@@ -1,0 +1,84 @@
+// Pooling suballocator over mem_alloc (the "higher-level memory allocator
+// for simple use-cases" of §IV-B, production-shaped).
+//
+// Applications make many small allocations; charging each one to the
+// machine as a buffer would be absurd, so the pool grabs attribute-placed
+// slabs and carves same-size blocks out of them with a free list — one pool
+// per (attribute, block size class). Slabs fall back down the attribute
+// ranking exactly like direct mem_alloc when a node fills up, so a pool can
+// span memory kinds over its lifetime (each block remembers its slab).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetmem/alloc/allocator.hpp"
+
+namespace hetmem::alloc {
+
+struct PoolOptions {
+  attr::AttrId attribute = attr::kCapacity;
+  std::uint64_t block_bytes = 1 << 20;  // 1 MiB blocks
+  unsigned blocks_per_slab = 64;
+  Policy policy = Policy::kRankedFallback;
+};
+
+/// Handle to one pooled block.
+struct PoolBlock {
+  std::uint32_t slab = UINT32_MAX;
+  std::uint32_t index = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return slab != UINT32_MAX; }
+};
+
+struct PoolStats {
+  std::uint64_t blocks_allocated = 0;
+  std::uint64_t blocks_freed = 0;
+  std::uint64_t slabs_created = 0;
+  std::uint64_t blocks_live = 0;
+  /// Live blocks per node (how far down the ranking the pool has spilled).
+  std::vector<std::uint64_t> live_per_node;
+};
+
+class Pool {
+ public:
+  Pool(HeterogeneousAllocator& allocator, support::Bitmap initiator,
+       PoolOptions options, std::string name = "pool");
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// O(1) amortized; grabs a new slab through mem_alloc when empty.
+  support::Result<PoolBlock> allocate();
+  support::Status free(PoolBlock block);
+
+  /// Node currently holding the block (its slab's node).
+  [[nodiscard]] support::Result<unsigned> node_of(PoolBlock block) const;
+
+  [[nodiscard]] PoolStats stats() const;
+  [[nodiscard]] const PoolOptions& options() const { return options_; }
+
+  /// Returns every empty slab's memory to the machine (slab compaction).
+  std::size_t release_empty_slabs();
+
+ private:
+  struct Slab {
+    sim::BufferId buffer;
+    unsigned node = 0;
+    std::vector<std::uint32_t> free_blocks;  // LIFO free list
+    std::uint32_t live = 0;
+    bool released = false;
+  };
+
+  support::Status grow();
+
+  HeterogeneousAllocator* allocator_;
+  support::Bitmap initiator_;
+  PoolOptions options_;
+  std::string name_;
+  std::vector<Slab> slabs_;
+  PoolStats stats_;
+};
+
+}  // namespace hetmem::alloc

@@ -1,0 +1,24 @@
+// Compressed-sparse-row graph construction (host-side, untimed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hetmem/apps/rmat.hpp"
+
+namespace hetmem::apps {
+
+/// Symmetrized, deduplicated, self-loop-free CSR adjacency.
+struct CsrGraph {
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;  // undirected edge count (each stored twice)
+  std::vector<std::uint64_t> offsets;  // size num_vertices + 1
+  std::vector<std::uint32_t> targets;  // size 2 * num_edges
+  [[nodiscard]] std::uint32_t degree(std::uint32_t v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+};
+
+CsrGraph build_csr(std::vector<Edge> edges, std::uint32_t num_vertices);
+
+}  // namespace hetmem::apps

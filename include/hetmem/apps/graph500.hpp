@@ -1,0 +1,136 @@
+// Graph500-style BFS benchmark over simulated heterogeneous memory
+// (the paper's latency-sensitive use case, §VI).
+//
+// Protocol follows Graph500 v3: Kronecker graph, level-synchronized parallel
+// BFS from several random roots, performance in Traversed Edges Per Second
+// (harmonic mean across roots). "16 MPI processes on one socket / SubNUMA
+// cluster" is modeled as 16 simulated threads bound to that initiator.
+//
+// The *declared* scale sets the paper-visible graph size (capacity charges
+// and working-set effects); the *backing* scale is the real instance the BFS
+// actually runs on (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/apps/csr.hpp"
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/simmem/exec.hpp"
+#include "hetmem/support/result.hpp"
+
+namespace hetmem::apps {
+
+struct Graph500Config {
+  unsigned scale_declared = 24;  // 2.15 GB of CSR targets at edgefactor 16
+  unsigned scale_backing = 16;
+  unsigned edgefactor = 16;
+  unsigned threads = 16;
+  unsigned num_roots = 8;
+  std::uint64_t seed = 20220503;
+  /// Per-edge CPU work (ns) — the platform's core speed knob (KNL cores are
+  /// several times slower than Xeon's; Table II's absolute TEPS gap).
+  double compute_ns_per_edge = 10.0;
+  /// Outstanding-miss overlap for the dependent accesses.
+  double mlp = 6.0;
+  /// Beamer-style direction optimization: switch to bottom-up sweeps when
+  /// the frontier exceeds num_vertices / direction_beta. Bottom-up scans
+  /// unvisited vertices for any parent in the frontier — fewer dependent
+  /// claims, mostly-sequential visited traffic. 0 disables (pure top-down,
+  /// the calibrated Table II configuration).
+  unsigned direction_beta = 0;
+};
+
+/// Where one logical buffer of the app goes.
+struct BufferPlacement {
+  /// Fixed node (whole-process binding experiments, Table II)...
+  std::optional<unsigned> forced_node;
+  /// ...or an attribute request through the heterogeneous allocator
+  /// (the portable path, §IV-B).
+  attr::AttrId attribute = attr::kCapacity;
+  alloc::Policy policy = alloc::Policy::kRankedFallback;
+};
+
+struct Graph500Placement {
+  BufferPlacement graph;     // CSR offsets + targets
+  BufferPlacement parents;   // BFS tree output (the Fig. 7a hot buffer)
+  BufferPlacement frontier;  // current/next queues
+
+  static Graph500Placement all_on_node(unsigned node);
+  static Graph500Placement by_attribute(attr::AttrId attribute);
+};
+
+struct Graph500Result {
+  double harmonic_mean_teps = 0.0;
+  std::vector<double> teps_per_root;
+  std::uint64_t backing_edges = 0;
+  std::uint64_t declared_graph_bytes = 0;  // the paper's "Graph Size" column
+  double total_sim_seconds = 0.0;
+};
+
+/// Owns the graph, the simulated buffers and the execution context so the
+/// profiler can inspect the run afterwards (bench/table4, fig7).
+class Graph500Runner {
+ public:
+  /// `allocator` may be null when every placement is forced_node.
+  static support::Result<std::unique_ptr<Graph500Runner>> create(
+      sim::SimMachine& machine, alloc::HeterogeneousAllocator* allocator,
+      const support::Bitmap& initiator, const Graph500Config& config,
+      const Graph500Placement& placement);
+
+  ~Graph500Runner();
+  Graph500Runner(const Graph500Runner&) = delete;
+  Graph500Runner& operator=(const Graph500Runner&) = delete;
+
+  /// Runs BFS from `num_roots` deterministic non-isolated roots.
+  support::Result<Graph500Result> run();
+
+  /// Single BFS; returns (teps, traversed edge count). Exposed for tests.
+  support::Result<std::pair<double, std::uint64_t>> bfs_from(std::uint32_t root);
+
+  /// Host-side validation of the last BFS tree (Graph500 validation step).
+  [[nodiscard]] support::Status validate_last_tree() const;
+
+  [[nodiscard]] const sim::ExecutionContext& exec() const { return *exec_; }
+  [[nodiscard]] const CsrGraph& graph() const { return graph_; }
+  [[nodiscard]] unsigned node_of_graph() const;
+  [[nodiscard]] unsigned node_of_parents() const;
+  [[nodiscard]] std::uint64_t declared_graph_bytes() const;
+
+ private:
+  Graph500Runner(sim::SimMachine& machine, Graph500Config config);
+
+  support::Status allocate_buffers(alloc::HeterogeneousAllocator* allocator,
+                                   const support::Bitmap& initiator,
+                                   const Graph500Placement& placement);
+
+  sim::SimMachine* machine_;
+  Graph500Config config_;
+  CsrGraph graph_;
+  std::uint32_t last_root_ = 0;
+
+  sim::BufferId offsets_id_{}, targets_id_{}, parents_id_{}, frontier_id_{},
+      visited_id_{};
+  std::vector<sim::BufferId> owned_;
+  std::unique_ptr<sim::ExecutionContext> exec_;
+  std::unique_ptr<sim::Array<std::uint64_t>> offsets_;
+  std::unique_ptr<sim::Array<std::uint32_t>> targets_;
+  std::unique_ptr<sim::Array<std::uint32_t>> parents_;
+  std::unique_ptr<sim::Array<std::uint32_t>> frontier_;
+  // Visited bitmap (n/8 bytes): the per-edge membership check hits this
+  // mostly-cache-resident structure, not the parents array — that is what
+  // makes reference Graph500 kernels as fast as they are.
+  std::unique_ptr<sim::Array<std::uint64_t>> visited_;
+};
+
+/// The paper's "Graph Size" figure for a declared scale/edgefactor: the CSR
+/// adjacency bytes (2 directed entries x 4 B per input edge).
+[[nodiscard]] std::uint64_t graph500_declared_bytes(unsigned scale,
+                                                    unsigned edgefactor);
+
+}  // namespace hetmem::apps

@@ -1,0 +1,32 @@
+// Kronecker (R-MAT) edge-list generator, Graph500-style.
+//
+// Generates the synthetic power-law graphs Graph500 BFS runs on
+// (A=0.57, B=0.19, C=0.19, D=0.05; edgefactor 16). Generation is untimed in
+// Graph500 and runs on plain host memory; only the BFS data structures live
+// in simulated memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hetmem::apps {
+
+struct Edge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+};
+
+struct RmatParams {
+  unsigned scale = 16;        // 2^scale vertices
+  unsigned edgefactor = 16;   // edges = edgefactor * 2^scale
+  std::uint64_t seed = 20220503;  // PDSEC'22 vintage
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+};
+
+/// Directed edge list with self-loops possible (removed by the CSR builder),
+/// endpoints scrambled so vertex ids carry no structure.
+std::vector<Edge> generate_rmat(const RmatParams& params);
+
+}  // namespace hetmem::apps

@@ -1,0 +1,82 @@
+// Sparse matrix-vector multiply over simulated heterogeneous memory.
+//
+// SpMV is the workload where per-buffer criteria actually matter inside ONE
+// application (paper §II-E: an application is "a set of memory buffers...
+// each buffer may lead to different performance when allocated in different
+// kinds of memory"): the matrix (values + column indices) streams at full
+// bandwidth, while the gathered x vector is hit with data-dependent reads.
+// Whole-process placement must compromise; per-buffer attributes place the
+// matrix by Bandwidth and x by Latency — bench/ablation_perbuffer measures
+// the gap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/apps/csr.hpp"
+#include "hetmem/apps/graph500.hpp"  // BufferPlacement
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/simmem/exec.hpp"
+#include "hetmem/support/result.hpp"
+
+namespace hetmem::apps {
+
+struct SpmvConfig {
+  /// Declared matrix footprint (values + indices) — the Bandwidth-hungry
+  /// part — and declared vector footprint — the Latency-hungry part.
+  std::uint64_t matrix_bytes = 3ull << 30;
+  std::uint64_t vector_bytes = 1ull << 30;
+  /// Real backing instance: rows and nonzeros per row.
+  std::uint32_t backing_rows = 1u << 14;
+  std::uint32_t nnz_per_row = 16;
+  unsigned threads = 16;
+  unsigned iterations = 5;
+  std::uint64_t seed = 7;
+  double mlp = 6.0;
+};
+
+struct SpmvPlacement {
+  BufferPlacement matrix;  // values + column indices (+ row offsets)
+  BufferPlacement x;       // gathered input vector
+  BufferPlacement y;       // streamed output vector
+
+  static SpmvPlacement all_on_node(unsigned node);
+  /// The paper's recipe: matrix by Bandwidth, x by Latency, y by Bandwidth.
+  static SpmvPlacement per_buffer();
+};
+
+struct SpmvResult {
+  double gflops = 0.0;        // 2*nnz flops per iteration, simulated time
+  double seconds = 0.0;       // simulated
+  double checksum = 0.0;
+  unsigned matrix_node = 0;
+  unsigned x_node = 0;
+};
+
+class SpmvRunner {
+ public:
+  static support::Result<std::unique_ptr<SpmvRunner>> create(
+      sim::SimMachine& machine, alloc::HeterogeneousAllocator* allocator,
+      const support::Bitmap& initiator, const SpmvConfig& config,
+      const SpmvPlacement& placement);
+
+  ~SpmvRunner();
+  SpmvRunner(const SpmvRunner&) = delete;
+  SpmvRunner& operator=(const SpmvRunner&) = delete;
+
+  support::Result<SpmvResult> run();
+
+  [[nodiscard]] const sim::ExecutionContext& exec() const { return *exec_; }
+
+ private:
+  SpmvRunner(sim::SimMachine& machine, SpmvConfig config);
+
+  sim::SimMachine* machine_;
+  SpmvConfig config_;
+  std::vector<sim::BufferId> owned_;
+  sim::BufferId values_id_{}, indices_id_{}, offsets_id_{}, x_id_{}, y_id_{};
+  std::unique_ptr<sim::ExecutionContext> exec_;
+};
+
+}  // namespace hetmem::apps

@@ -1,0 +1,72 @@
+// STREAM Triad benchmark over simulated heterogeneous memory
+// (the paper's bandwidth-sensitive use case, §VI, Table III).
+//
+// a[i] = b[i] + s * c[i]: 16 B read + 8 B written per element. The reported
+// figure is the STREAM convention: (3 arrays x element bytes x iterations) /
+// time. Arrays are placed either on a forced node or through the
+// heterogeneous allocator with a criterion (Capacity / Latency / Bandwidth),
+// which is exactly Table III's "Optimized Criteria" column.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/apps/graph500.hpp"  // BufferPlacement
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/simmem/exec.hpp"
+#include "hetmem/support/result.hpp"
+
+namespace hetmem::apps {
+
+struct StreamConfig {
+  /// Total declared footprint of the three arrays together (Table III's
+  /// "Total allocated memory for arrays").
+  std::uint64_t declared_total_bytes = 3ull << 30;
+  /// Real elements per array the kernel computes on.
+  std::size_t backing_elements = 1u << 20;
+  unsigned threads = 16;
+  unsigned iterations = 10;
+  /// Fixed per-kernel-launch overhead (barrier + fork/join), ns.
+  double launch_overhead_ns = 40000.0;
+};
+
+struct StreamResult {
+  double triad_bytes_per_second = 0.0;
+  unsigned node_a = 0, node_b = 0, node_c = 0;
+  bool fell_back = false;  // any array not on its first-ranked target
+  double checksum = 0.0;   // guards against the kernel being optimized away
+};
+
+class StreamRunner {
+ public:
+  /// All three arrays use the same placement rule (STREAM's arrays are
+  /// equally hot). `allocator` may be null only with forced_node.
+  static support::Result<std::unique_ptr<StreamRunner>> create(
+      sim::SimMachine& machine, alloc::HeterogeneousAllocator* allocator,
+      const support::Bitmap& initiator, const StreamConfig& config,
+      const BufferPlacement& placement);
+
+  ~StreamRunner();
+  StreamRunner(const StreamRunner&) = delete;
+  StreamRunner& operator=(const StreamRunner&) = delete;
+
+  support::Result<StreamResult> run_triad();
+
+  [[nodiscard]] const sim::ExecutionContext& exec() const { return *exec_; }
+
+ private:
+  StreamRunner(sim::SimMachine& machine, StreamConfig config);
+
+  sim::SimMachine* machine_;
+  StreamConfig config_;
+  sim::BufferId a_id_{}, b_id_{}, c_id_{};
+  std::vector<sim::BufferId> owned_;
+  bool fell_back_ = false;
+  std::unique_ptr<sim::ExecutionContext> exec_;
+  std::unique_ptr<sim::Array<double>> a_, b_, c_;
+};
+
+}  // namespace hetmem::apps

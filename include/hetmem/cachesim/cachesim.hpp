@@ -1,0 +1,76 @@
+// Set-associative cache simulator with set sampling.
+//
+// The profiler's default miss counts come from the analytic model in
+// sim::CacheModel (fast, fractional). This module is the *measured*
+// alternative — a trace-driven LRU set-associative cache like the ones
+// behind VTune's LLC-miss counters — used for prof's deep mode and for
+// validating the analytic model (bench/ablation_cachemodel). Set sampling
+// (simulate 1-in-K sets) keeps it cheap at production trace rates, the
+// standard technique from hardware simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hetmem::cachesim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 27ull * 1024 * 1024 + 512 * 1024;  // 27.5 MiB CLX
+  unsigned ways = 11;
+  unsigned line_bytes = 64;
+  /// Simulate one set in `set_sampling`; 1 = full simulation. Sampled
+  /// accesses are scaled back up in the reported counts.
+  unsigned set_sampling = 1;
+
+  [[nodiscard]] std::uint64_t set_count() const {
+    return size_bytes / (static_cast<std::uint64_t>(ways) * line_bytes);
+  }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;   // scaled to the full trace when sampling
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  [[nodiscard]] double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) /
+                                     static_cast<double>(accesses);
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// One access to `address`; returns true on hit. Sampled-out accesses
+  /// return true and are only counted statistically.
+  bool access(std::uint64_t address);
+
+  /// Per-stream accounting: like access(), but attributes the miss to
+  /// `stream_id` (the profiler uses buffer indices). Streams are created
+  /// lazily.
+  bool access(std::uint64_t address, std::uint32_t stream_id);
+
+  [[nodiscard]] const CacheStats& stats() const { return total_; }
+  [[nodiscard]] CacheStats stream_stats(std::uint32_t stream_id) const;
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+  void reset();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] bool lookup(std::uint64_t address, bool* sampled);
+
+  CacheConfig config_;
+  std::uint64_t sets_simulated_;
+  std::vector<Line> lines_;  // sets_simulated_ x ways
+  std::uint64_t tick_ = 0;
+  CacheStats total_;
+  std::vector<CacheStats> streams_;
+};
+
+}  // namespace hetmem::cachesim

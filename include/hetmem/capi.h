@@ -1,0 +1,148 @@
+/* hetmem C API — the hwloc-memattrs-shaped interface (paper Fig. 4).
+ *
+ * The original implementation of this paper is a C API in hwloc 2.3
+ * (hwloc/memattrs.h); most HPC runtimes that would consume it are C or
+ * Fortran. This header exposes the same surface over the C++ library:
+ * opaque handles, integer ids, and int error returns (0 success, negative
+ * HETMEM_ERR_*), mirroring hwloc_memattr_get_best_target() and friends.
+ *
+ * Object model:
+ *   hetmem_context  owns a topology + simulated machine + attribute
+ *                   registry + heterogeneous allocator.
+ *   nodes           are addressed by NUMA logical index (unsigned).
+ *   initiators      are cpusets in Linux list syntax ("0-19,40-59").
+ *   attributes      are integer ids; 0..7 are the builtins in the same
+ *                   order as the C++ enum (capacity, locality, bandwidth,
+ *                   latency, read/write variants).
+ */
+#ifndef HETMEM_CAPI_H_
+#define HETMEM_CAPI_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct hetmem_context hetmem_context;
+
+/* Error codes (negative returns). */
+enum {
+  HETMEM_SUCCESS = 0,
+  HETMEM_ERR_INVALID = -1,   /* bad argument / unknown handle */
+  HETMEM_ERR_NOENT = -2,     /* no such attribute / no value */
+  HETMEM_ERR_NOMEM = -3,     /* capacity exhausted */
+  HETMEM_ERR_UNSUPPORTED = -4,
+  HETMEM_ERR_PARSE = -5,
+  HETMEM_ERR_INTERNAL = -6,
+};
+
+/* Built-in attribute ids (match hetmem::attr::k*). */
+enum {
+  HETMEM_ATTR_CAPACITY = 0,
+  HETMEM_ATTR_LOCALITY = 1,
+  HETMEM_ATTR_BANDWIDTH = 2,
+  HETMEM_ATTR_LATENCY = 3,
+  HETMEM_ATTR_READ_BANDWIDTH = 4,
+  HETMEM_ATTR_WRITE_BANDWIDTH = 5,
+  HETMEM_ATTR_READ_LATENCY = 6,
+  HETMEM_ATTR_WRITE_LATENCY = 7,
+};
+
+/* Allocation policies (match hetmem::alloc::Policy). */
+enum {
+  HETMEM_POLICY_STRICT = 0,
+  HETMEM_POLICY_RANKED_FALLBACK = 1,
+  HETMEM_POLICY_PREFERRED = 2,
+};
+
+/* --- context lifecycle -------------------------------------------------- */
+
+/* Creates a context from a preset platform name (see
+ * hetmem_list_presets); attributes are populated from the synthetic
+ * firmware HMAT (local+remote). Returns NULL on unknown preset. */
+hetmem_context* hetmem_context_create(const char* preset_name);
+
+/* As above but attributes come from benchmarking the simulated machine
+ * (slower; includes remote pairs). */
+hetmem_context* hetmem_context_create_probed(const char* preset_name);
+
+void hetmem_context_destroy(hetmem_context* ctx);
+
+/* Writes up to `capacity` preset names into `names` (caller-owned array of
+ * const char*); returns the total number of presets. */
+int hetmem_list_presets(const char** names, size_t capacity);
+
+/* --- topology queries --------------------------------------------------- */
+
+/* Number of NUMA nodes / PUs. Negative on error. */
+int hetmem_numa_count(const hetmem_context* ctx);
+int hetmem_pu_count(const hetmem_context* ctx);
+
+/* Node capacity in bytes; 0 on error. */
+uint64_t hetmem_node_capacity(const hetmem_context* ctx, unsigned node);
+
+/* Writes the node's locality cpuset in list syntax into buf. Returns the
+ * needed length (snprintf-style) or negative error. */
+int hetmem_node_cpuset(const hetmem_context* ctx, unsigned node, char* buf,
+                       size_t buflen);
+
+/* Kind name for debugging only ("DRAM", "HBM", ...) — applications should
+ * not branch on this (the whole point of the paper). NULL on error. */
+const char* hetmem_node_kind_debug(const hetmem_context* ctx, unsigned node);
+
+/* Nodes local to an initiator cpuset: fills `nodes` (up to capacity),
+ * returns the total count or negative error. */
+int hetmem_local_nodes(const hetmem_context* ctx, const char* initiator,
+                       unsigned* nodes, size_t capacity);
+
+/* --- memory attributes (the paper's Fig. 4 calls) ------------------------ */
+
+/* hwloc_memattr_get_value. For per-initiator attributes, `initiator` must
+ * be a cpuset list string; pass NULL for global attributes. */
+int hetmem_memattr_get_value(const hetmem_context* ctx, int attr,
+                             unsigned node, const char* initiator,
+                             double* value);
+
+/* hwloc_memattr_get_best_target: *node/*value receive the winner. */
+int hetmem_memattr_get_best_target(const hetmem_context* ctx, int attr,
+                                   const char* initiator, unsigned* node,
+                                   double* value);
+
+/* hwloc_memattr_get_best_initiator: writes the winning cpuset into buf. */
+int hetmem_memattr_get_best_initiator(const hetmem_context* ctx, int attr,
+                                      unsigned node, char* buf, size_t buflen,
+                                      double* value);
+
+/* Attribute registration / lookup. Returns the id or negative error. */
+int hetmem_memattr_register(hetmem_context* ctx, const char* name,
+                            int higher_is_better, int need_initiator);
+int hetmem_memattr_find(const hetmem_context* ctx, const char* name);
+int hetmem_memattr_set_value(hetmem_context* ctx, int attr, unsigned node,
+                             const char* initiator, double value);
+
+/* --- the heterogeneous allocator ----------------------------------------- */
+
+/* mem_alloc(bytes, attribute): returns a non-negative buffer handle or a
+ * negative error. `policy` is a HETMEM_POLICY_* value. */
+int64_t hetmem_alloc(hetmem_context* ctx, uint64_t bytes, int attr,
+                     const char* initiator, int policy, const char* label);
+
+int hetmem_free(hetmem_context* ctx, int64_t buffer);
+
+/* Node currently holding the buffer, or negative error. */
+int hetmem_buffer_node(const hetmem_context* ctx, int64_t buffer);
+
+/* Migrates and returns the modeled cost in nanoseconds via *cost_ns. */
+int hetmem_migrate(hetmem_context* ctx, int64_t buffer, unsigned node,
+                   double* cost_ns);
+
+/* Free/used bytes on a node. */
+uint64_t hetmem_node_available(const hetmem_context* ctx, unsigned node);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* HETMEM_CAPI_H_ */

@@ -1,0 +1,104 @@
+// Synthetic ACPI HMAT (Heterogeneous Memory Attribute Table) substrate.
+//
+// On real platforms, firmware describes latency/bandwidth between initiator
+// proximity domains and memory targets (ACPI 6.2 "System Locality Latency
+// and Bandwidth Information" structures), plus memory-side caches; Linux
+// >= 5.2 re-exports the *local* entries in sysfs (paper §IV-A1 — the authors
+// contributed that support). Here the table is a first-class value with a
+// text serialization standing in for firmware/sysfs, a generator playing the
+// role of the platform vendor, and a loader that feeds attr::MemAttrRegistry
+// exactly like hwloc's HMAT backend.
+//
+// Advertised (vendor) numbers are deliberately different from the measured
+// constants in sim::MachinePerfModel — Fig. 5 shows 26 ns / 128 GB/s for the
+// same DRAM that benchmarks at 285 ns / 80 GB/s (§IV-A2). What must agree is
+// the *ranking*, which bench/ablation_discovery verifies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/support/bitmap.hpp"
+#include "hetmem/support/result.hpp"
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::hmat {
+
+enum class AccessType : std::uint8_t { kAccess, kRead, kWrite };
+enum class Metric : std::uint8_t { kLatency, kBandwidth };
+
+[[nodiscard]] const char* access_type_name(AccessType type);
+[[nodiscard]] const char* metric_name(Metric metric);
+
+/// One System-Locality entry: performance of `initiator` accessing the
+/// memory target with OS index `target_domain`.
+struct LocalityEntry {
+  support::Bitmap initiator;
+  unsigned target_domain = 0;
+  Metric metric = Metric::kLatency;
+  AccessType access = AccessType::kAccess;
+  /// ns for latency, bytes/s for bandwidth.
+  double value = 0.0;
+};
+
+/// Memory-side cache descriptor for a target domain.
+struct CacheEntry {
+  unsigned target_domain = 0;
+  std::uint64_t size_bytes = 0;
+  unsigned associativity = 1;
+  unsigned line_bytes = 64;
+};
+
+struct HmatTable {
+  std::vector<LocalityEntry> locality;
+  std::vector<CacheEntry> caches;
+};
+
+/// Vendor-advertised figures per memory kind (idealized datasheet values;
+/// Fig. 5 and the §IV-A1 example platform).
+struct AdvertisedPerf {
+  double latency_ns = 0.0;
+  double bandwidth_bps = 0.0;
+  double read_bandwidth_bps = 0.0;   // 0 => not advertised
+  double write_bandwidth_bps = 0.0;  // 0 => not advertised
+};
+[[nodiscard]] AdvertisedPerf advertised_defaults(topo::MemoryKind kind);
+
+struct GenerateOptions {
+  /// Real pre-HMAT-complete platforms only expose local-access performance
+  /// (paper §IV-A1, Fig. 5 caption); set false for a fully populated table.
+  bool local_only = true;
+  /// Also emit separate read/write bandwidth entries where the kind
+  /// advertises them (NVDIMMs do; Table I "on some platforms").
+  bool read_write_split = false;
+  /// Degradation applied to remote (cross-locality) entries when
+  /// local_only is false.
+  double remote_latency_factor = 2.2;
+  double remote_bandwidth_factor = 0.45;
+};
+
+/// Plays the platform vendor: builds the firmware table for a topology from
+/// the advertised per-kind figures.
+[[nodiscard]] HmatTable generate(const topo::Topology& topology,
+                                 const GenerateOptions& options = {});
+
+/// Text serialization ("hetmem-hmat v1"), one entry per line.
+[[nodiscard]] std::string serialize(const HmatTable& table);
+[[nodiscard]] support::Result<HmatTable> parse(std::string_view text);
+
+struct LoadStats {
+  std::size_t entries_loaded = 0;
+  std::size_t entries_skipped = 0;  // unknown domains etc.
+};
+
+/// Feeds the table into a registry: kAccess entries set Bandwidth/Latency,
+/// kRead/kWrite set the split attributes. Unknown target domains are
+/// skipped (counted), matching hwloc's tolerance of firmware quirks.
+support::Result<LoadStats> load_into(attr::MemAttrRegistry& registry,
+                                     const HmatTable& table);
+
+}  // namespace hetmem::hmat

@@ -1,0 +1,73 @@
+// Automatic memory-kind identification from performance attributes alone
+// (paper §III-A).
+//
+// Firmware does not say "this node is HBM" — and the paper argues it never
+// reliably will, because performance varies across technologies. What an
+// application can do is *classify* nodes from their measured attributes:
+// a small node with outsized bandwidth behaves like HBM whatever it is
+// built from; a big node with multiplied latency behaves like NVDIMM. This
+// module is that classifier (the step SICM does with "Architecture
+// Profiling" and KNL-era code hardwired). The output is a behavioral guess,
+// not a technology claim — which is exactly how the allocator should use it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::ident {
+
+enum class KindGuess : std::uint8_t {
+  kFastSmall,  // HBM/MCDRAM-like: bandwidth far above the machine median
+  kNormal,     // DRAM-like: the baseline tier
+  kSlowBig,    // NVDIMM-like: high capacity, multiplied latency
+  kFar,        // NAM-like: extreme latency, machine-wide locality
+  kUnknown,    // not enough attribute values to decide
+};
+
+[[nodiscard]] const char* kind_guess_name(KindGuess guess);
+
+/// The guess a correct classifier should produce for a ground-truth kind.
+[[nodiscard]] KindGuess expected_guess(topo::MemoryKind kind);
+
+struct NodeClassification {
+  unsigned node = 0;  // logical index
+  KindGuess guess = KindGuess::kUnknown;
+  /// 0..1; lower when the node sits near a decision boundary.
+  double confidence = 0.0;
+  std::string rationale;
+};
+
+struct ClassifyOptions {
+  /// Bandwidth above `fast_bandwidth_ratio` x the machine median marks a
+  /// fast tier; latency above `slow_latency_ratio` x the machine minimum
+  /// marks a slow tier; `far_latency_ratio` marks network-attached.
+  double fast_bandwidth_ratio = 2.0;
+  double slow_latency_ratio = 2.2;
+  double far_latency_ratio = 4.5;
+  /// Absolute backstop for single-kind machines where relative ratios are
+  /// all 1.0 (an HBM-only Fugaku node is still recognizably fast).
+  double absolute_fast_bandwidth = 250e9;  // bytes/s
+  double absolute_far_latency = 1000.0;    // ns
+};
+
+/// Classifies every NUMA node from the registry's Bandwidth/Latency/
+/// Capacity values (best-initiator view). Nodes without performance values
+/// come back kUnknown.
+std::vector<NodeClassification> classify(const attr::MemAttrRegistry& registry,
+                                         const ClassifyOptions& options = {});
+
+/// Fraction of nodes whose guess matches expected_guess(ground truth kind);
+/// used by tests and the identification bench.
+double agreement_with_ground_truth(
+    const topo::Topology& topology,
+    const std::vector<NodeClassification>& classifications);
+
+/// One line per node: "L#2: slow-big (confidence 0.9) — capacity 8.0x
+/// median, latency 3.0x floor".
+std::string render(const topo::Topology& topology,
+                   const std::vector<NodeClassification>& classifications);
+
+}  // namespace hetmem::ident

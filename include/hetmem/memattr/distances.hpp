@@ -1,0 +1,49 @@
+// SLIT-style node-to-node distance matrix derived from Latency attributes
+// (hwloc_distances_* analogue).
+//
+// Before HMAT, firmware described NUMA with the ACPI SLIT: relative
+// distances normalized to 10 for local access. hwloc still exposes such
+// matrices, and §VIII's open question — "if the application is irregular
+// and the local DRAM is full, is it better to allocate in the local NVDIMM
+// or in another DRAM?" — is answered by comparing exactly these entries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetmem/memattr/memattr.hpp"
+
+namespace hetmem::attr {
+
+class DistanceMatrix {
+ public:
+  /// Builds from the registry's Latency values: entry (i, j) is the latency
+  /// of node i's local CPUs accessing node j. CPU-less nodes (e.g.
+  /// network-attached memory) use the machine-wide cpuset as the initiator.
+  /// Requires Latency values for every pair — generate the HMAT with
+  /// local_only=false or run probe::discover with remote pairs first;
+  /// kNotFound otherwise.
+  static support::Result<DistanceMatrix> from_latencies(
+      const MemAttrRegistry& registry);
+
+  [[nodiscard]] std::size_t node_count() const { return size_; }
+  /// SLIT-style relative value: 10 = the fastest pair in the machine.
+  [[nodiscard]] unsigned value(unsigned from, unsigned to) const;
+  /// The underlying latency in ns.
+  [[nodiscard]] double latency_ns(unsigned from, unsigned to) const;
+
+  /// Targets sorted by distance from `from`'s CPUs (closest first, ties by
+  /// node index) — the §VIII "local NVDIMM vs remote DRAM" ordering.
+  [[nodiscard]] std::vector<unsigned> nearest_order(unsigned from) const;
+
+  /// ACPI-SLIT-style table rendering.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  explicit DistanceMatrix(std::size_t size)
+      : size_(size), latency_(size * size, 0.0) {}
+  std::size_t size_;
+  std::vector<double> latency_;
+};
+
+}  // namespace hetmem::attr

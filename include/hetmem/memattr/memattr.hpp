@@ -1,0 +1,182 @@
+// Memory performance attributes — the paper's primary contribution (§III-IV),
+// modeled on the hwloc 2.3 memattrs API (hwloc/memattrs.h).
+//
+// Memory *targets* (NUMA nodes) are characterized by *attributes*. An
+// attribute value may depend on which *initiator* (set of CPUs) performs the
+// accesses: local DRAM is faster than the same DRAM seen from the other
+// package. Applications select targets by comparing attribute values or by
+// asking directly for the best local target for a criterion — never by
+// hardwiring memory technologies (the whole point of the paper).
+//
+// Canonical units: Capacity in bytes, Bandwidth in bytes/s, Latency in ns,
+// Locality in number of PUs. Custom attributes choose their own unit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hetmem/support/bitmap.hpp"
+#include "hetmem/support/result.hpp"
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::attr {
+
+/// Whether larger or smaller values rank a target higher for this criterion.
+/// (Eq. 2 in the paper: for Latency, the *weaker* value has priority.)
+enum class Polarity : std::uint8_t { kHigherFirst, kLowerFirst };
+
+using AttrId = std::uint32_t;
+
+/// Built-in attributes, registered by every registry in this exact order so
+/// their ids are stable (mirrors HWLOC_MEMATTR_ID_*).
+inline constexpr AttrId kCapacity = 0;        // bytes, higher first
+inline constexpr AttrId kLocality = 1;        // #PUs of the node locality, lower first
+inline constexpr AttrId kBandwidth = 2;       // bytes/s, higher, per-initiator
+inline constexpr AttrId kLatency = 3;         // ns, lower, per-initiator
+inline constexpr AttrId kReadBandwidth = 4;   // bytes/s, higher, per-initiator
+inline constexpr AttrId kWriteBandwidth = 5;  // bytes/s, higher, per-initiator
+inline constexpr AttrId kReadLatency = 6;     // ns, lower, per-initiator
+inline constexpr AttrId kWriteLatency = 7;    // ns, lower, per-initiator
+inline constexpr AttrId kFirstCustomAttr = 8;
+
+struct AttrInfo {
+  std::string name;
+  Polarity polarity = Polarity::kHigherFirst;
+  /// When true, values are stored per (target, initiator); when false a
+  /// single value per target (Capacity, Locality).
+  bool need_initiator = true;
+};
+
+/// An initiator is a set of CPUs performing the accesses — either an explicit
+/// cpuset or the cpuset of a topology object (paper Fig. 4 caption).
+class Initiator {
+ public:
+  static Initiator from_cpuset(support::Bitmap cpuset) {
+    return Initiator(std::move(cpuset));
+  }
+  static Initiator from_object(const topo::Object& object) {
+    return Initiator(object.cpuset());
+  }
+
+  [[nodiscard]] const support::Bitmap& cpuset() const { return cpuset_; }
+
+ private:
+  explicit Initiator(support::Bitmap cpuset) : cpuset_(std::move(cpuset)) {}
+  support::Bitmap cpuset_;
+};
+
+struct TargetValue {
+  const topo::Object* target = nullptr;
+  double value = 0.0;
+};
+
+struct InitiatorValue {
+  support::Bitmap initiator;
+  double value = 0.0;
+};
+
+class MemAttrRegistry {
+ public:
+  /// Binds to a topology and registers the built-in attributes. Capacity and
+  /// Locality are populated immediately from the topology ("always supported
+  /// natively", Table I); performance attributes start empty and are fed by
+  /// the HMAT loader (hmat::) and/or benchmarking (probe::).
+  explicit MemAttrRegistry(const topo::Topology& topology);
+
+  [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
+
+  /// Registers a custom attribute (Table I last row). Names are unique.
+  support::Result<AttrId> register_attribute(std::string_view name,
+                                             Polarity polarity,
+                                             bool need_initiator);
+
+  [[nodiscard]] support::Result<AttrId> find_attribute(std::string_view name) const;
+  [[nodiscard]] const AttrInfo& info(AttrId attr) const;
+  [[nodiscard]] std::size_t attribute_count() const { return attributes_.size(); }
+
+  /// Stores a value. For need_initiator attributes the initiator is
+  /// mandatory; a later set_value with the same (target, initiator cpuset)
+  /// overwrites. For global attributes pass nullopt.
+  support::Status set_value(AttrId attr, const topo::Object& target,
+                            const std::optional<Initiator>& initiator, double value);
+
+  /// Reads a value (hwloc_memattr_get_value). For per-initiator attributes
+  /// the lookup matches, in order: an exact stored cpuset, else the smallest
+  /// stored cpuset containing the query, else the stored cpuset with the
+  /// largest intersection. kNotFound when nothing matches.
+  [[nodiscard]] support::Result<double> value(
+      AttrId attr, const topo::Object& target,
+      const std::optional<Initiator>& initiator) const;
+
+  /// Best local target for an initiator (hwloc_memattr_get_best_target).
+  /// Considers targets local to the initiator under `flags`; ties keep the
+  /// lower logical index. kNotFound when no local target has a value.
+  [[nodiscard]] support::Result<TargetValue> best_target(
+      AttrId attr, const Initiator& initiator,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
+
+  /// All local targets that have a value, best first (the allocator's
+  /// fallback order, §IV-B). Targets without a value are omitted.
+  [[nodiscard]] std::vector<TargetValue> targets_ranked(
+      AttrId attr, const Initiator& initiator,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
+
+  /// Best initiator for a target (hwloc_memattr_get_best_initiator); only
+  /// meaningful for per-initiator attributes.
+  [[nodiscard]] support::Result<InitiatorValue> best_initiator(
+      AttrId attr, const topo::Object& target) const;
+
+  /// All initiators that have a stored value for (attr, target).
+  [[nodiscard]] std::vector<InitiatorValue> initiators(
+      AttrId attr, const topo::Object& target) const;
+
+  /// True when at least one target has a value for this attribute.
+  [[nodiscard]] bool has_values(AttrId attr) const;
+
+  /// Attribute fallback chain (§IV-B: "Bandwidth instead of Read Bandwidth"):
+  /// returns `attr` itself when it has values, else the first fallback that
+  /// does. Built-in chains: ReadBandwidth/WriteBandwidth -> Bandwidth,
+  /// ReadLatency/WriteLatency -> Latency; everything else has no fallback.
+  [[nodiscard]] support::Result<AttrId> resolve_with_fallback(AttrId attr) const;
+
+ private:
+  struct Stored {
+    // Indexed by NUMA node logical index.
+    std::vector<std::optional<double>> global_values;
+    std::vector<std::vector<InitiatorValue>> per_initiator;
+  };
+
+  [[nodiscard]] bool valid_attr(AttrId attr) const { return attr < attributes_.size(); }
+  [[nodiscard]] const InitiatorValue* match_initiator(
+      const std::vector<InitiatorValue>& stored, const support::Bitmap& query) const;
+
+  const topo::Topology* topology_;
+  std::vector<AttrInfo> attributes_;
+  std::vector<Stored> values_;
+};
+
+/// Fig. 5-style report ("lstopo --memattrs"): every attribute with its per-
+/// node values; bandwidths printed in MiB/s and latencies in ns to match the
+/// paper's output format.
+std::string memattrs_report(const MemAttrRegistry& registry);
+
+/// Persistence: benchmark-measured values are expensive to (re)collect, so
+/// hwloc lets tools export attribute values and reload them on the next run
+/// (its XML export). Text format, one value per line:
+///
+///   # hetmem-memattrs v1
+///   attr name=StreamTriad polarity=higher initiator=1   (custom attrs only)
+///   value attr=Latency target=0 initiator=0-39 v=285.0
+///   value attr=Capacity target=0 v=206158430208
+///
+/// serialize_values() dumps every stored value (built-in and custom);
+/// load_values() re-registers custom attributes as needed and stores the
+/// values into a registry bound to a matching topology (targets are matched
+/// by OS index; unknown targets are an error).
+std::string serialize_values(const MemAttrRegistry& registry);
+support::Status load_values(MemAttrRegistry& registry, std::string_view text);
+
+}  // namespace hetmem::attr

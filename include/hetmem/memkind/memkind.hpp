@@ -1,0 +1,61 @@
+// memkind-compatibility shim — the paper's §II-D baseline, implemented over
+// the simulated machine so the two allocation philosophies can be compared
+// head-to-head (bench/ablation_memkind).
+//
+// memkind's API names memory *technologies*: MEMKIND_HBW means "give me
+// high-bandwidth memory" and fails on machines that have none, because "it
+// hardwires the difference between HBM and conventional memory instead of
+// providing explicit performance-related criteria" (§II-D). This shim
+// reproduces that behavior faithfully — including the failure — by keying
+// off topo::MemoryKind, exactly what the attributes API refuses to do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/result.hpp"
+
+namespace hetmem::memkind {
+
+/// The subset of memkind's static kinds that map onto our machines.
+enum class Kind : std::uint8_t {
+  kDefault,        // MEMKIND_DEFAULT: the OS default node
+  kHbw,            // MEMKIND_HBW: HBM or fail
+  kHbwPreferred,   // MEMKIND_HBW_PREFERRED: HBM, else default
+  kHbwAll,         // MEMKIND_HBW_ALL: any HBM node, local or not
+  kDax,            // MEMKIND_DAX_KMEM: NVDIMM exposed as system RAM, or fail
+  kDaxPreferred,   // MEMKIND_DAX_KMEM_PREFERRED
+  kHighestCapacity,// MEMKIND_HIGHEST_CAPACITY
+};
+
+[[nodiscard]] const char* kind_name(Kind kind);
+
+class MemkindShim {
+ public:
+  explicit MemkindShim(sim::SimMachine& machine);
+
+  /// memkind_malloc analogue. `initiator`: the calling thread's CPUs
+  /// (memkind resolves locality from the calling thread too). Fails with
+  /// kUnsupported when the machine simply has no memory of the requested
+  /// technology — the portability failure the paper calls out.
+  support::Result<sim::BufferId> malloc(std::uint64_t bytes, Kind kind,
+                                        const support::Bitmap& initiator,
+                                        std::string label = "memkind",
+                                        std::size_t backing_bytes = 0);
+
+  support::Status free(sim::BufferId buffer);
+
+  /// memkind_check_available analogue.
+  [[nodiscard]] bool available(Kind kind) const;
+
+ private:
+  [[nodiscard]] const topo::Object* find_node(topo::MemoryKind want,
+                                              const support::Bitmap& initiator,
+                                              bool local_only,
+                                              std::uint64_t bytes) const;
+
+  sim::SimMachine* machine_;
+};
+
+}  // namespace hetmem::memkind

@@ -1,0 +1,79 @@
+// Benchmark-based attribute discovery (paper §IV-A2).
+//
+// Until firmware HMAT tables are complete, hwloc can be fed experimentally
+// measured values (STREAM for bandwidth, lmbench/multichase for latency).
+// This module is that benchmark suite, run against the simulated machine:
+// for each (initiator locality, target node) pair it executes
+//  - a copy kernel (1 read stream : 1 write stream)   -> Bandwidth
+//  - a read-only / write-only stream                  -> Read/WriteBandwidth
+//  - a pointer chase over a random cycle (MLP = 1)    -> Latency
+// and feeds the results into attr::MemAttrRegistry. Unlike the HMAT loader,
+// discovery also measures *remote* pairs, which Linux does not expose
+// (paper §IV-A1 & §VIII: "hwloc is still able to expose them thanks to
+// benchmarking").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/bitmap.hpp"
+#include "hetmem/support/result.hpp"
+
+namespace hetmem::probe {
+
+struct ProbeOptions {
+  /// Declared probe buffer size: large enough to defeat the LLC, small
+  /// enough to stay under device-buffer knees (we want nominal constants).
+  std::uint64_t buffer_bytes = 1ull << 30;
+  /// Real storage for the chase cycle.
+  std::size_t backing_bytes = 1ull << 20;
+  /// Concurrent probing threads per measurement (paper measures with the
+  /// thread counts the application will use).
+  unsigned threads = 16;
+  /// Dependent loads per latency measurement.
+  std::size_t chase_accesses = 100000;
+  /// Also probe (initiator, target) pairs where the initiator is not local.
+  bool include_remote = true;
+};
+
+struct Measurement {
+  support::Bitmap initiator;
+  unsigned target_node = 0;  // logical index
+  double bandwidth_bps = 0.0;
+  double read_bandwidth_bps = 0.0;
+  double write_bandwidth_bps = 0.0;
+  double latency_ns = 0.0;
+};
+
+struct DiscoveryReport {
+  std::vector<Measurement> measurements;
+};
+
+/// One (initiator, target) measurement.
+support::Result<Measurement> measure(sim::SimMachine& machine,
+                                     const support::Bitmap& initiator,
+                                     unsigned target_node,
+                                     const ProbeOptions& options = {});
+
+/// Sweeps every distinct node locality as an initiator against every target.
+support::Result<DiscoveryReport> discover(sim::SimMachine& machine,
+                                          const ProbeOptions& options = {});
+
+/// Stores Bandwidth/ReadBandwidth/WriteBandwidth/Latency values.
+support::Status feed_registry(attr::MemAttrRegistry& registry,
+                              const DiscoveryReport& report);
+
+/// Registers a custom "StreamTriad" attribute combining read/write
+/// bandwidths as the Triad kernel mixes them (16B read + 8B write per
+/// element) — the paper's example of a user-defined metric (§IV, fn. 16).
+support::Result<attr::AttrId> register_triad_attribute(
+    attr::MemAttrRegistry& registry, const DiscoveryReport& report);
+
+/// Human-readable dump of a report (one line per measurement).
+std::string report_to_string(const DiscoveryReport& report,
+                             const topo::Topology& topology);
+
+}  // namespace hetmem::probe

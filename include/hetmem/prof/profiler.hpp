@@ -1,0 +1,100 @@
+// Memory-access profiling — the VTune "Memory Access analysis" substitute
+// (paper §VI-B, Table IV, Fig. 7).
+//
+// Two levels of analysis over an ExecutionContext's recorded run:
+//  1. Application summary: what fraction of execution the workload spends
+//     stalled on each memory kind (DRAM Bound / PMem Bound, "% of
+//     clockticks") and how long each kind's bandwidth is saturated
+//     ("Bandwidth Bound, % of elapsed time") — Table IV's columns.
+//  2. Hot-object analysis: per-buffer access counts, LLC misses and memory
+//     traffic, ordered by importance (Fig. 7's object list), classified as
+//     latency- or bandwidth-sensitive.
+// The classification becomes an allocation *hint* (an attr::AttrId) that the
+// heterogeneous allocator consumes — closing the Fig. 6 loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/simmem/exec.hpp"
+#include "hetmem/simmem/machine.hpp"
+
+namespace hetmem::prof {
+
+enum class Sensitivity : std::uint8_t {
+  kLatency,      // dominated by dependent-load misses -> wants low Latency
+  kBandwidth,    // dominated by streamed traffic -> wants high Bandwidth
+  kInsensitive,  // negligible memory traffic -> wants Capacity headroom
+};
+
+[[nodiscard]] const char* sensitivity_name(Sensitivity sensitivity);
+
+/// Table IV analogue; percentages in [0, 100].
+struct BoundnessSummary {
+  double dram_bound_pct = 0.0;       // stall-time share on DRAM nodes
+  double pmem_bound_pct = 0.0;       // ... on NVDIMM nodes
+  double hbm_bound_pct = 0.0;
+  double dram_bw_bound_pct = 0.0;    // elapsed-time share with DRAM bw saturated
+  double pmem_bw_bound_pct = 0.0;
+  double hbm_bw_bound_pct = 0.0;
+  /// Crude classification VTune renders as "issue flags".
+  [[nodiscard]] bool latency_flagged() const {
+    return dram_bound_pct >= 15.0 || pmem_bound_pct >= 15.0 ||
+           hbm_bound_pct >= 15.0;
+  }
+  [[nodiscard]] bool bandwidth_flagged() const {
+    return dram_bw_bound_pct >= 40.0 || pmem_bw_bound_pct >= 40.0 ||
+           hbm_bw_bound_pct >= 40.0;
+  }
+};
+
+/// Fig. 7 analogue: one row per buffer, ordered by memory traffic.
+struct BufferProfile {
+  sim::BufferId buffer;
+  std::string label;
+  unsigned node = 0;
+  std::uint64_t declared_bytes = 0;
+  double accesses = 0.0;
+  double llc_misses = 0.0;
+  double memory_bytes = 0.0;
+  double random_fraction = 0.0;  // random_accesses / accesses
+  Sensitivity sensitivity = Sensitivity::kInsensitive;
+};
+
+struct ProfileOptions {
+  /// Bandwidth utilization above which a phase counts as "bandwidth bound"
+  /// for a kind (VTune's high-BW-utilization threshold).
+  double bw_bound_utilization = 0.60;
+  /// Buffers contributing less than this share of total memory traffic are
+  /// classified insensitive.
+  double insensitive_traffic_share = 0.01;
+  /// Above this fraction of a buffer's misses coming from random accesses,
+  /// it is latency-sensitive; below, bandwidth-sensitive.
+  double random_miss_threshold = 0.5;
+};
+
+/// Application-level summary over everything the context executed.
+BoundnessSummary summarize(const sim::ExecutionContext& exec,
+                           const ProfileOptions& options = {});
+
+/// Per-buffer hot-object analysis, most memory traffic first.
+std::vector<BufferProfile> profile_buffers(const sim::ExecutionContext& exec,
+                                           const ProfileOptions& options = {});
+
+/// The allocation hint the Fig. 6 workflow feeds back into mem_alloc().
+[[nodiscard]] attr::AttrId allocation_hint(Sensitivity sensitivity);
+
+/// Rendering (Table IV row / Fig. 7 object list).
+std::string render_summary(const BoundnessSummary& summary);
+std::string render_hot_buffers(const std::vector<BufferProfile>& profiles,
+                               std::size_t top_n = 10);
+
+/// Fig. 7's top chart: read/write bandwidth over time, per memory kind.
+/// One row per executed phase with ASCII bars (read '#'/write '=') scaled
+/// to the run's peak bandwidth.
+std::string render_timeline(const sim::ExecutionContext& exec,
+                            std::size_t max_phases = 24);
+
+}  // namespace hetmem::prof

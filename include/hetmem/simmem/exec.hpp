@@ -1,0 +1,112 @@
+// Phase-based workload execution over the simulated machine.
+//
+// A workload runs as a sequence of parallel *phases*. Within a phase, worker
+// threads execute the real algorithm on the backing data while recording
+// post-LLC traffic into their ThreadCtx; at the end of the phase the
+// PhaseResolver converts traffic into simulated nanoseconds:
+//
+//   thread_time(t) = compute(t)
+//                  + sum_n rand_accesses(t,n) * lat_eff(n) / MLP
+//   node_time(n)   = read_bytes(n) / eff_read_bw(n)
+//                  + write_bytes(n) / eff_write_bw(n)
+//   phase_time     = max( max_t thread_time(t), max_n node_time(n) )
+//
+// where eff_bw(n) = min(node peak, active_threads * per-thread bw), the
+// node constants come from MachinePerfModel::effective() (working-set and
+// locality adjusted), and lat_eff includes one loaded-latency refinement
+// using the node's bandwidth utilization from a first pass.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/simmem/traffic.hpp"
+#include "hetmem/support/bitmap.hpp"
+#include "hetmem/support/thread_pool.hpp"
+
+namespace hetmem::sim {
+
+struct NodePhaseStats {
+  double read_bytes = 0.0;
+  double write_bytes = 0.0;
+  double rand_accesses = 0.0;
+  double bandwidth_time_ns = 0.0;
+  /// Thread-seconds of dependent-load stall attributed to this node
+  /// (summed over threads, after the loaded-latency refinement).
+  double latency_stall_ns = 0.0;
+  double utilization = 0.0;  // bandwidth demand / capacity over the phase
+  std::uint64_t working_set_bytes = 0;
+};
+
+struct PhaseResult {
+  std::string name;
+  double sim_ns = 0.0;
+  double compute_ns_max = 0.0;
+  double latency_time_ns_max = 0.0;   // max over threads
+  double bandwidth_time_ns_max = 0.0; // max over nodes
+  std::vector<NodePhaseStats> nodes;
+};
+
+/// Pure function: traffic -> time. Exposed separately so tests can probe
+/// monotonicity properties without running threads.
+PhaseResult resolve_phase(const SimMachine& machine,
+                          const support::Bitmap& initiator,
+                          std::vector<ThreadCtx*> contexts,
+                          std::string name);
+
+class ExecutionContext {
+ public:
+  /// `initiator`: cpuset the workers are bound to (decides local vs remote
+  /// access costs). `thread_count`: simulated ranks/threads; real OS threads
+  /// are capped by the pool but counters are per simulated thread.
+  ExecutionContext(SimMachine& machine, support::Bitmap initiator,
+                   unsigned thread_count);
+
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(contexts_.size());
+  }
+  [[nodiscard]] const support::Bitmap& initiator() const { return initiator_; }
+  [[nodiscard]] SimMachine& machine() { return *machine_; }
+  [[nodiscard]] const SimMachine& machine() const { return *machine_; }
+
+  /// Memory-level parallelism applied to all workers' dependent accesses.
+  void set_mlp(double mlp);
+
+  /// Binds each simulated thread to its own locality (multi-socket runs:
+  /// pair with topo::distribute). Must provide exactly thread_count()
+  /// cpusets; local-vs-remote is then decided per worker instead of from
+  /// the context-wide initiator.
+  support::Status set_thread_localities(
+      const std::vector<support::Bitmap>& localities);
+
+  using PhaseBody =
+      std::function<void(ThreadCtx&, unsigned thread, std::size_t begin,
+                         std::size_t end)>;
+
+  /// Runs `body` over [0, items) split across simulated threads, resolves
+  /// the traffic and advances the simulated clock. Returns this phase's
+  /// result (also appended to history()).
+  const PhaseResult& run_phase(std::string name, std::size_t items,
+                               const PhaseBody& body);
+
+  /// Total simulated time so far.
+  [[nodiscard]] double clock_ns() const { return clock_ns_; }
+  [[nodiscard]] const std::vector<PhaseResult>& history() const { return history_; }
+
+  /// Cumulative per-buffer traffic merged across all workers (for prof::).
+  [[nodiscard]] std::vector<BufferTraffic> merged_buffer_traffic() const;
+
+ private:
+  SimMachine* machine_;
+  support::Bitmap initiator_;
+  std::vector<std::unique_ptr<ThreadCtx>> contexts_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  double clock_ns_ = 0.0;
+  std::vector<PhaseResult> history_;
+};
+
+}  // namespace hetmem::sim

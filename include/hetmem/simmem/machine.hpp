@@ -1,0 +1,102 @@
+// Simulated heterogeneous-memory machine: NUMA-node capacity arenas plus
+// real backing storage for workload data.
+//
+// Buffers carry two sizes:
+//  - declared_bytes: what the allocation "costs" against the node's capacity
+//    and what the performance model sees as working set (so a 34 GB graph
+//    exercises the NVDIMM cliff without needing 34 GB of host RAM);
+//  - backing_bytes: real host memory the workload computes on (a scaled-down
+//    instance; see DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hetmem/simmem/perf_model.hpp"
+#include "hetmem/support/result.hpp"
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::sim {
+
+/// Dense handle; indices are never reused within a SimMachine lifetime.
+struct BufferId {
+  std::uint32_t index = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return index != UINT32_MAX; }
+  friend bool operator==(BufferId a, BufferId b) { return a.index == b.index; }
+};
+
+struct BufferInfo {
+  std::string label;
+  unsigned node = 0;  // NUMA node logical index currently holding the buffer
+  std::uint64_t declared_bytes = 0;
+  std::size_t backing_bytes = 0;
+  bool freed = false;
+};
+
+class SimMachine {
+ public:
+  SimMachine(topo::Topology topology, MachinePerfModel model);
+
+  /// Convenience: calibrated model for the given topology.
+  explicit SimMachine(topo::Topology topology);
+
+ private:
+  explicit SimMachine(std::pair<topo::Topology, MachinePerfModel> parts);
+
+ public:
+
+  [[nodiscard]] const topo::Topology& topology() const { return topology_; }
+  [[nodiscard]] const MachinePerfModel& perf_model() const { return model_; }
+
+  /// Allocates `declared_bytes` on `node` (logical index), with
+  /// `backing_bytes` of real zero-initialized storage (0 => min(declared,
+  /// 64 KiB) so metadata-only buffers stay cheap). Fails with kOutOfCapacity
+  /// when the node cannot hold the declared size — the allocator's fallback
+  /// path depends on this exact error code.
+  support::Result<BufferId> allocate(std::uint64_t declared_bytes,
+                                     unsigned node,
+                                     std::string label,
+                                     std::size_t backing_bytes = 0);
+
+  support::Status free(BufferId id);
+
+  /// Moves a buffer to another node: capacity is released/charged and the
+  /// backing memcpy cost is the caller's to model (alloc::migration does).
+  support::Status migrate(BufferId id, unsigned destination_node);
+
+  [[nodiscard]] const BufferInfo& info(BufferId id) const;
+  [[nodiscard]] std::byte* backing(BufferId id);
+  [[nodiscard]] const std::byte* backing(BufferId id) const;
+
+  [[nodiscard]] std::uint64_t capacity_bytes(unsigned node) const;
+  [[nodiscard]] std::uint64_t used_bytes(unsigned node) const;
+  [[nodiscard]] std::uint64_t available_bytes(unsigned node) const;
+
+  /// Number of live (not freed) buffers.
+  [[nodiscard]] std::size_t live_buffer_count() const;
+  [[nodiscard]] std::size_t total_buffer_count() const { return buffers_.size(); }
+
+  /// Shared per-socket last-level cache the analytic miss model divides
+  /// among resident buffers. Defaults to 27.5 MiB (CLX die) and is
+  /// overridden per platform by the apps/bench setups.
+  [[nodiscard]] std::uint64_t llc_bytes() const { return llc_bytes_; }
+  void set_llc_bytes(std::uint64_t bytes) { llc_bytes_ = bytes; }
+
+ private:
+  struct Slot {
+    BufferInfo info;
+    std::unique_ptr<std::byte[]> storage;
+  };
+
+  topo::Topology topology_;
+  MachinePerfModel model_;
+  std::vector<Slot> buffers_;
+  std::vector<std::uint64_t> used_;
+  std::uint64_t llc_bytes_;
+};
+
+}  // namespace hetmem::sim

@@ -1,0 +1,108 @@
+// Analytic performance model for simulated heterogeneous memory.
+//
+// This is the substitution for the paper's physical testbeds (dual Xeon 6230
+// with Optane NVDIMMs; KNL 7230 SNC-4 Flat — see DESIGN.md §2). Every NUMA
+// node gets a NodePerf record; the PhaseResolver (exec.hpp) converts observed
+// memory traffic into simulated nanoseconds using these constants.
+//
+// Calibration sources:
+//  - Xeon DRAM ~80 GB/s, 285 ns; Optane NVDIMM ~10 GB/s (write-limited),
+//    860 ns loaded read latency [van Renen et al., DaMoN'19; cited §IV-A2];
+//  - KNL MCDRAM ~350 GB/s vs DRAM ~90 GB/s machine-wide, similar latencies
+//    (paper §VI-A), scaled to one SubNUMA cluster;
+//  - the Optane on-DIMM buffer/AIT working-set cliff reproduces the
+//    Table IIa 34 GB and Table IIIa >22 GiB degradations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::sim {
+
+/// Working-set-dependent degradation (Optane on-DIMM buffering): below
+/// `knee_bytes` of per-node active working set the node runs at its peak
+/// constants; beyond, bandwidth/latency switch to the degraded constants and
+/// keep sliding gently with (knee/ws)^size_exponent.
+struct DeviceBufferModel {
+  std::uint64_t knee_bytes = 0;
+  double degraded_read_bw = 0.0;    // bytes/s
+  double degraded_write_bw = 0.0;   // bytes/s
+  double degraded_latency_ns = 0.0;
+  double size_exponent = 0.05;
+};
+
+/// Performance of a hardware-managed memory-side cache in front of a node
+/// (KNL Cache/Hybrid modes, Xeon 2LM). Effective performance blends cache
+/// and backing-node constants by an estimated hit rate (see perf_model.cpp).
+struct MemorySideCachePerf {
+  std::uint64_t size_bytes = 0;
+  double hit_latency_ns = 0.0;
+  double hit_read_bw = 0.0;
+  double hit_write_bw = 0.0;
+  /// Extra latency a miss pays for the cache lookup before reaching memory.
+  double miss_overhead_ns = 0.0;
+};
+
+struct NodePerf {
+  /// Dependent-load (pointer-chase) latency from a local initiator, ns.
+  double idle_latency_ns = 100.0;
+  /// Peak node-level streaming bandwidth, bytes/s.
+  double read_bw = 0.0;
+  double write_bw = 0.0;
+  /// What a single thread can extract (node bw saturates at
+  /// min(peak, threads * per_thread)).
+  double per_thread_read_bw = 0.0;
+  double per_thread_write_bw = 0.0;
+  /// Loaded latency: lat_eff = idle * (1 + k * utilization^2).
+  double loaded_latency_k = 1.0;
+  /// Access from initiators outside the node's locality.
+  double remote_latency_factor = 1.6;
+  double remote_bw_factor = 0.5;
+  std::optional<DeviceBufferModel> device_buffer;
+  std::optional<MemorySideCachePerf> ms_cache;
+};
+
+/// Effective (working-set- and locality-adjusted) constants for one node
+/// during one phase.
+struct EffectiveNodePerf {
+  double latency_ns = 0.0;
+  double read_bw = 0.0;
+  double write_bw = 0.0;
+  double per_thread_read_bw = 0.0;
+  double per_thread_write_bw = 0.0;
+  double loaded_latency_k = 1.0;
+};
+
+class MachinePerfModel {
+ public:
+  /// Per-kind calibrated constants for a topology (see table in
+  /// perf_model.cpp); platform-specific scaling keys off node capacities and
+  /// kinds only, never off the platform name.
+  static MachinePerfModel calibrated_for(const topo::Topology& topology);
+
+  /// Empty model; nodes must be filled in with set_node().
+  explicit MachinePerfModel(std::size_t node_count);
+
+  void set_node(unsigned node_logical_index, NodePerf perf);
+  [[nodiscard]] const NodePerf& node(unsigned node_logical_index) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Resolves the constants for one node given the phase's per-node active
+  /// working set and whether the accessing initiator is local, including the
+  /// device-buffer and memory-side-cache adjustments.
+  [[nodiscard]] EffectiveNodePerf effective(unsigned node_logical_index,
+                                            std::uint64_t working_set_bytes,
+                                            bool local_initiator) const;
+
+  /// Per-kind default used by calibrated_for; exposed for tests and for the
+  /// HMAT generator.
+  static NodePerf kind_defaults(topo::MemoryKind kind);
+
+ private:
+  std::vector<NodePerf> nodes_;
+};
+
+}  // namespace hetmem::sim

@@ -1,0 +1,90 @@
+// Hybrid (split) buffer view: one logical array spanning two memory nodes.
+//
+// Paper §VII: when a buffer does not fit its preferred target it may be
+// "at least partially" allocated there, with the remainder on a slower
+// node (Linux's Preferred policy). The parts then run at different speeds,
+// which is exactly what the phase resolver shows — the slow part dominates
+// the phase while the fast part idles ("irregular application performance").
+#pragma once
+
+#include <cassert>
+
+#include "hetmem/simmem/array.hpp"
+
+namespace hetmem::sim {
+
+template <typename T>
+class SplitArray {
+ public:
+  /// `fast_fraction` of the logical elements live in `fast`, the rest in
+  /// `slow`. Backings are independent; the logical index space is
+  /// [0, fast.size() + slow.size()).
+  SplitArray(Array<T> fast, Array<T> slow, double fast_fraction)
+      : fast_(std::move(fast)),
+        slow_(std::move(slow)),
+        fast_fraction_(fast_fraction) {
+    assert(fast_fraction >= 0.0 && fast_fraction <= 1.0);
+  }
+
+  [[nodiscard]] std::size_t size() const { return fast_.size() + slow_.size(); }
+  [[nodiscard]] double fast_fraction() const { return fast_fraction_; }
+  [[nodiscard]] Array<T>& fast_part() { return fast_; }
+  [[nodiscard]] Array<T>& slow_part() { return slow_; }
+
+  T load_rand(ThreadCtx& ctx, std::size_t i) {
+    return i < fast_.size() ? fast_.load_rand(ctx, i)
+                            : slow_.load_rand(ctx, i - fast_.size());
+  }
+  void store_rand(ThreadCtx& ctx, std::size_t i, T value) {
+    if (i < fast_.size()) {
+      fast_.store_rand(ctx, i, value);
+    } else {
+      slow_.store_rand(ctx, i - fast_.size(), value);
+    }
+  }
+  T load_seq(ThreadCtx& ctx, std::size_t i) {
+    return i < fast_.size() ? fast_.load_seq(ctx, i)
+                            : slow_.load_seq(ctx, i - fast_.size());
+  }
+  void store_seq(ThreadCtx& ctx, std::size_t i, T value) {
+    if (i < fast_.size()) {
+      fast_.store_seq(ctx, i, value);
+    } else {
+      slow_.store_seq(ctx, i - fast_.size(), value);
+    }
+  }
+
+  // Bulk traffic splits by the declared fraction: a full sequential pass
+  // streams fast_fraction of its bytes from the fast node.
+  void record_bulk_read(ThreadCtx& ctx, double program_bytes) {
+    if (fast_fraction_ > 0.0) {
+      fast_.record_bulk_read(ctx, program_bytes * fast_fraction_);
+    }
+    if (fast_fraction_ < 1.0) {
+      slow_.record_bulk_read(ctx, program_bytes * (1.0 - fast_fraction_));
+    }
+  }
+  void record_bulk_write(ThreadCtx& ctx, double program_bytes) {
+    if (fast_fraction_ > 0.0) {
+      fast_.record_bulk_write(ctx, program_bytes * fast_fraction_);
+    }
+    if (fast_fraction_ < 1.0) {
+      slow_.record_bulk_write(ctx, program_bytes * (1.0 - fast_fraction_));
+    }
+  }
+  void record_bulk_random_reads(ThreadCtx& ctx, double accesses) {
+    if (fast_fraction_ > 0.0) {
+      fast_.record_bulk_random_reads(ctx, accesses * fast_fraction_);
+    }
+    if (fast_fraction_ < 1.0) {
+      slow_.record_bulk_random_reads(ctx, accesses * (1.0 - fast_fraction_));
+    }
+  }
+
+ private:
+  Array<T> fast_;
+  Array<T> slow_;
+  double fast_fraction_;
+};
+
+}  // namespace hetmem::sim

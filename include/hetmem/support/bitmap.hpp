@@ -1,0 +1,71 @@
+// Dynamic bitmap used for CPU sets and NUMA node sets.
+//
+// Mirrors the role of hwloc_bitmap_t: a growable set of small non-negative
+// integers with set algebra, iteration, and the "list" textual form used by
+// Linux sysfs (e.g. "0-3,8,10-11").
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetmem::support {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  Bitmap(std::initializer_list<unsigned> bits);
+
+  /// Bitmap with bits [first, last] set (inclusive range).
+  static Bitmap range(unsigned first, unsigned last);
+  /// Parse the Linux "list" format, e.g. "0-3,8,10-11". Empty string => empty set.
+  static std::optional<Bitmap> parse(std::string_view text);
+
+  void set(unsigned bit);
+  void set_range(unsigned first, unsigned last);
+  void clear(unsigned bit);
+  void clear_all() { words_.clear(); }
+  [[nodiscard]] bool test(unsigned bit) const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] bool empty() const;
+
+  /// Lowest/highest set bit; nullopt when empty.
+  [[nodiscard]] std::optional<unsigned> first() const;
+  [[nodiscard]] std::optional<unsigned> last() const;
+  /// Lowest set bit strictly greater than `bit`; nullopt when none.
+  [[nodiscard]] std::optional<unsigned> next(unsigned bit) const;
+
+  [[nodiscard]] Bitmap operator|(const Bitmap& other) const;
+  [[nodiscard]] Bitmap operator&(const Bitmap& other) const;
+  [[nodiscard]] Bitmap operator^(const Bitmap& other) const;
+  /// Set difference: bits in *this that are not in `other`.
+  [[nodiscard]] Bitmap and_not(const Bitmap& other) const;
+  Bitmap& operator|=(const Bitmap& other);
+  Bitmap& operator&=(const Bitmap& other);
+
+  [[nodiscard]] bool operator==(const Bitmap& other) const;
+  [[nodiscard]] bool intersects(const Bitmap& other) const;
+  /// True when every bit of *this is also set in `other`.
+  [[nodiscard]] bool is_subset_of(const Bitmap& other) const;
+
+  /// All set bits in ascending order.
+  [[nodiscard]] std::vector<unsigned> to_vector() const;
+  /// Linux "list" form: "0-3,8". Empty set renders as "".
+  [[nodiscard]] std::string to_list_string() const;
+  /// Hex mask form: "0x0000000f". Empty set renders as "0x0".
+  [[nodiscard]] std::string to_hex_string() const;
+
+ private:
+  static constexpr unsigned kWordBits = 64;
+  void ensure_word(std::size_t index);
+  void trim();
+
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hetmem::support

@@ -1,0 +1,108 @@
+// Minimal expected-style result type (C++20 predates std::expected).
+//
+// Library APIs that can fail in ways the caller should handle return
+// Result<T>; programming errors (precondition violations) assert instead.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hetmem::support {
+
+/// Machine-inspectable failure category, plus a human-readable detail string.
+enum class Errc {
+  kInvalidArgument,
+  kNotFound,
+  kOutOfCapacity,
+  kUnsupported,
+  kParseError,
+  kAlreadyExists,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* errc_name(Errc code) {
+  switch (code) {
+    case Errc::kInvalidArgument: return "invalid-argument";
+    case Errc::kNotFound: return "not-found";
+    case Errc::kOutOfCapacity: return "out-of-capacity";
+    case Errc::kUnsupported: return "unsupported";
+    case Errc::kParseError: return "parse-error";
+    case Errc::kAlreadyExists: return "already-exists";
+    case Errc::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+struct Error {
+  Errc code = Errc::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(errc_name(code)) + ": " + message;
+  }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok() && "Result::take() on error");
+    return std::get<T>(std::move(storage_));
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok() && "Result::error() on success");
+    return std::get<Error>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Status ok_status() { return {}; }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(failed_ && "Status::error() on success");
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace hetmem::support

@@ -1,0 +1,25 @@
+// Small string helpers shared across parsers and report renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetmem::support {
+
+/// Split on a delimiter; keeps empty tokens.
+std::vector<std::string_view> split(std::string_view text, char delimiter);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view separator);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Left-/right-pad to `width` with spaces (no-op when already wider).
+std::string pad_right(std::string_view text, std::size_t width);
+std::string pad_left(std::string_view text, std::size_t width);
+
+}  // namespace hetmem::support

@@ -1,0 +1,41 @@
+// ASCII table renderer for the benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables; this renders the
+// rows in a stable, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetmem::support {
+
+class TextTable {
+ public:
+  /// Column headers define the column count; rows must match it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment; first column left-aligned, rest right.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Convenience: "== title ==" banner used by bench binaries.
+std::string banner(std::string_view title);
+
+}  // namespace hetmem::support

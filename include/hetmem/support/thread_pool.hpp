@@ -1,0 +1,58 @@
+// Fixed-size worker pool with a static-chunked parallel_for.
+//
+// Workloads in this library model MPI ranks / OpenMP threads as pool workers:
+// each worker owns a private traffic-counter slab (no sharing in the hot
+// path), and results are reduced after the phase — see sim::ExecutionContext.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetmem::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` threads; must be >= 1.
+  explicit ThreadPool(std::size_t worker_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Splits [0, item_count) into one contiguous chunk per worker and runs
+  /// `body(worker_index, begin, end)` on each. Blocks until all chunks are
+  /// done. Chunks may be empty when item_count < worker_count.
+  void parallel_for(std::size_t item_count,
+                    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  /// Runs `body(worker_index)` once on every worker and blocks.
+  void run_on_all(const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body = nullptr;
+    std::size_t item_count = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  void worker_main(std::size_t index);
+  void dispatch(const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                std::size_t item_count);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Task current_;
+  std::size_t pending_workers_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace hetmem::support

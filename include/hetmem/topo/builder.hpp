@@ -1,0 +1,71 @@
+// Programmatic topology construction.
+//
+// Platforms are described top-down: packages contain groups contain cores
+// contain PUs; NUMA nodes attach to any normal object. finalize() computes
+// cpusets/nodesets bottom-up, assigns logical indices, and validates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hetmem/support/result.hpp"
+#include "hetmem/topo/object.hpp"
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::topo {
+
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(std::string platform_name);
+
+  /// Handle to a normal object under construction.
+  class Node {
+   public:
+    Node add_package();
+    Node add_group(std::string subtype = "SubNUMACluster");
+    Node add_l3();
+    /// Adds a core with `pu_count` hardware threads; PU os-indices are
+    /// assigned sequentially machine-wide.
+    Node add_core(unsigned pu_count = 1);
+    /// Adds `count` cores each with `pu_count` PUs.
+    void add_cores(unsigned count, unsigned pu_count = 1);
+
+    /// Attaches a NUMA node local to this object. OS indices are assigned in
+    /// attachment order machine-wide (matching Linux, where DRAM nodes are
+    /// attached/numbered before special-purpose memory on most platforms).
+    Node attach_numa(MemoryKind kind, std::uint64_t capacity_bytes,
+                     std::optional<MemorySideCache> ms_cache = std::nullopt);
+
+    [[nodiscard]] Object* object() const { return object_; }
+
+   private:
+    friend class TopologyBuilder;
+    Node(TopologyBuilder* builder, Object* object)
+        : builder_(builder), object_(object) {}
+    TopologyBuilder* builder_;
+    Object* object_;
+  };
+
+  /// The machine root.
+  [[nodiscard]] Node machine();
+
+  /// Computes derived state and validates. The builder is consumed.
+  [[nodiscard]] support::Result<Topology> finalize() &&;
+
+ private:
+  friend class Node;
+  Object* new_child(Object* parent, ObjType type);
+
+  std::unique_ptr<Object> root_;
+  std::string platform_name_;
+  unsigned next_pu_os_index_ = 0;
+  unsigned next_numa_os_index_ = 0;
+  unsigned next_package_os_index_ = 0;
+  unsigned next_group_os_index_ = 0;
+  unsigned next_core_os_index_ = 0;
+  unsigned next_l3_os_index_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace hetmem::topo

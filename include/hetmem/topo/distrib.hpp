@@ -1,0 +1,24 @@
+// Topology-aware task distribution (hwloc_distrib analogue).
+//
+// Schedulers and MPI launchers place ranks by walking the topology tree so
+// they land on distinct packages/groups/cores before sharing anything —
+// this is hwloc_distrib(), a substrate the paper's ecosystem assumes when
+// it says "16 MPI processes on a single processor".
+#pragma once
+
+#include <vector>
+
+#include "hetmem/support/bitmap.hpp"
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::topo {
+
+/// Splits the machine's PUs into `count` cpusets, one per rank: the tree is
+/// recursively partitioned so children get contiguous shares proportional
+/// to their PU counts. count == PU count gives one PU each; count smaller
+/// gives each rank a contiguous subtree slice; count > PU count wraps
+/// (several ranks share a PU). Returns an empty vector when count is 0.
+std::vector<support::Bitmap> distribute(const Topology& topology,
+                                        unsigned count);
+
+}  // namespace hetmem::topo

@@ -1,0 +1,113 @@
+// Topology object model, mirroring hwloc's object tree.
+//
+// Normal objects (Machine/Package/Group/L3/Core/PU) form a tree ordered by
+// physical inclusion. Memory objects (NUMANode) hang off the normal object
+// they are local to, as hwloc >= 2.0 does (paper §III): a NUMANode attached
+// to a Group ("SubNUMA Cluster") is local to that group's CPUs only, while a
+// NUMANode attached to a Package is local to the whole package.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hetmem/support/bitmap.hpp"
+
+namespace hetmem::topo {
+
+enum class ObjType : std::uint8_t {
+  kMachine,
+  kPackage,
+  kGroup,    // SubNUMA Cluster / CMG / die
+  kL3Cache,
+  kCore,
+  kPU,       // hardware thread
+  kNUMANode, // memory object
+};
+
+[[nodiscard]] const char* obj_type_name(ObjType type);
+
+/// Technology of a memory node. The paper's thesis is that application code
+/// must NOT branch on this enum — it is exposed for debugging/rendering only
+/// (hwloc keeps the equivalent in human-readable info strings).
+enum class MemoryKind : std::uint8_t {
+  kDRAM,
+  kHBM,     // MCDRAM on KNL, on-package HBM elsewhere
+  kNVDIMM,  // Optane-style persistent memory used as volatile RAM
+  kNAM,     // network-attached memory
+  kGPU,     // coherent GPU memory exposed as a host NUMA node (POWER9+V100)
+};
+
+[[nodiscard]] const char* memory_kind_name(MemoryKind kind);
+
+/// Hardware-managed cache in front of a memory node (KNL Cache/Hybrid modes,
+/// Xeon 2-Level-Memory). Observed performance differs from the node's own
+/// attributes when present (paper §VII / footnote 22).
+struct MemorySideCache {
+  std::uint64_t size_bytes = 0;
+  unsigned associativity = 1;  // 1 => direct-mapped (KNL MCDRAM cache)
+  unsigned line_bytes = 64;
+};
+
+class Object {
+ public:
+  Object(ObjType type, unsigned os_index) : type_(type), os_index_(os_index) {}
+
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+
+  [[nodiscard]] ObjType type() const { return type_; }
+  /// Physical (OS) index, e.g. NUMA node id as the OS numbers it.
+  [[nodiscard]] unsigned os_index() const { return os_index_; }
+  /// Logical index among same-type objects, depth-first order ("L#" in lstopo).
+  [[nodiscard]] unsigned logical_index() const { return logical_index_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// CPUs physically contained in (normal objects) or local to (NUMA nodes)
+  /// this object.
+  [[nodiscard]] const support::Bitmap& cpuset() const { return cpuset_; }
+  /// NUMA nodes contained in this subtree (for a NUMANode: itself).
+  [[nodiscard]] const support::Bitmap& nodeset() const { return nodeset_; }
+
+  [[nodiscard]] const Object* parent() const { return parent_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Object>>& children() const {
+    return children_;
+  }
+  /// NUMA nodes attached at this level, in attachment order. hwloc lists the
+  /// default-allocation node (DRAM) first (paper §III).
+  [[nodiscard]] const std::vector<std::unique_ptr<Object>>& memory_children() const {
+    return memory_children_;
+  }
+
+  // --- NUMANode-only accessors (assert on other types) ---
+  [[nodiscard]] MemoryKind memory_kind() const;
+  [[nodiscard]] std::uint64_t capacity_bytes() const;
+  [[nodiscard]] const std::optional<MemorySideCache>& memory_side_cache() const;
+
+  /// Generic sub-type label, e.g. "SubNUMACluster" or "CMG" for groups.
+  [[nodiscard]] const std::string& subtype() const { return subtype_; }
+
+ private:
+  friend class TopologyBuilder;
+  friend class Topology;
+
+  ObjType type_;
+  unsigned os_index_;
+  unsigned logical_index_ = 0;
+  std::string name_;
+  std::string subtype_;
+  support::Bitmap cpuset_;
+  support::Bitmap nodeset_;
+  Object* parent_ = nullptr;
+  std::vector<std::unique_ptr<Object>> children_;
+  std::vector<std::unique_ptr<Object>> memory_children_;
+
+  // NUMANode payload.
+  MemoryKind memory_kind_ = MemoryKind::kDRAM;
+  std::uint64_t capacity_bytes_ = 0;
+  std::optional<MemorySideCache> ms_cache_;
+};
+
+}  // namespace hetmem::topo

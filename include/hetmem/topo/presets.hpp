@@ -1,0 +1,64 @@
+// Canned topologies for every platform the paper depicts or evaluates on.
+//
+// Capacities, core counts and node numbering follow the paper's figures and
+// §VI experimental setup. These are the machines the simulator (simmem) and
+// every bench harness instantiate.
+#pragma once
+
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::topo {
+
+/// §VI KNL server: Xeon Phi 7230, 64 cores x 4 threads, SNC-4 Flat, memory-
+/// side cache disabled. Per cluster: 24GiB DRAM + 4GiB MCDRAM (HBM) exposed
+/// as a separate NUMA node. DRAM nodes get lower OS indices than MCDRAM
+/// (paper footnote 21).
+Topology knl_snc4_flat();
+
+/// Fig. 1: Xeon Phi in SNC4/Hybrid50: 72 cores (18 per cluster); per cluster
+/// 12GiB DRAM behind a 2GiB direct-mapped memory-side cache, plus 2GiB
+/// MCDRAM in flat mode.
+Topology knl_snc4_hybrid50();
+
+/// The same 7230 in Quadrant/Cache mode (§II-A): one 96GiB DRAM node with
+/// the entire 16GiB MCDRAM as a hardware-managed memory-side cache — the
+/// "automatic" end of the performance/productivity trade-off.
+Topology knl_quadrant_cache();
+
+/// Fig. 2: dual Xeon Gold 6230, SubNUMA Clustering on, NVDIMMs in
+/// 1-Level-Memory: per package 2 groups x 10 cores x 2 threads, 96GiB DRAM
+/// per group, 768GiB NVDIMM per package. Node order: 0,1 DRAM / 2 NVDIMM /
+/// 3,4 DRAM / 5 NVDIMM (Fig. 5).
+Topology xeon_clx_snc_1lm();
+
+/// §VI Xeon server: same machine with SNC disabled (footnote 18): one 192GiB
+/// DRAM node + one 768GiB NVDIMM node per package, 20 cores per package.
+Topology xeon_clx_1lm();
+
+/// Same hardware in 2-Level-Memory: NVDIMM exposed as the only visible
+/// memory (768GiB per package) with the 192GiB DRAM acting as a
+/// memory-side cache.
+Topology xeon_clx_2lm();
+
+/// Fig. 3: fictitious platform. 2 packages; each has package-local NVDIMM
+/// (512GiB) and DRAM (64GiB), and 2 SubNUMA clusters (8 cores) each with
+/// 16GiB HBM; plus one 4TiB network-attached memory local to the whole
+/// machine.
+Topology fictitious_fig3();
+
+/// Fugaku-like node: one package, 4 core-memory-groups of 12 cores, each
+/// with 8GiB HBM2 and nothing else (paper §II-C: no trade-off to manage).
+Topology fugaku_like();
+
+/// POWER9 + V100-style: 2 packages with 256GiB DRAM each; each package also
+/// sees its GPU's 16GiB HBM as a host NUMA node (paper §II-C).
+Topology power9_v100();
+
+/// All presets with stable names, for parameterized tests.
+struct NamedTopology {
+  const char* name;
+  Topology (*factory)();
+};
+const std::vector<NamedTopology>& all_presets();
+
+}  // namespace hetmem::topo

@@ -1,0 +1,27 @@
+// lstopo-style textual rendering (Figs. 1-3 analogue).
+#pragma once
+
+#include <string>
+
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::topo {
+
+struct RenderOptions {
+  /// Collapse runs of identical cores into "Core L#a-b (xN)".
+  bool collapse_cores = true;
+  /// Show memory-side caches on nodes that have one.
+  bool show_memory_side_caches = true;
+  /// Show per-object cpusets.
+  bool show_cpusets = false;
+};
+
+/// Indented tree, one object per line, memory children listed before normal
+/// children at each level (as lstopo draws them above the CPU hierarchy).
+std::string render_tree(const Topology& topology, const RenderOptions& options = {});
+
+/// One-line summary of a NUMA node, e.g.
+/// "NUMANode L#2 P#2 (NVDIMM, 768.0GiB)".
+std::string describe_numa_node(const Object& node);
+
+}  // namespace hetmem::topo

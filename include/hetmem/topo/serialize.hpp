@@ -1,0 +1,34 @@
+// Topology serialization — hwloc's XML export/import, in a line-based form.
+//
+// hwloc lets a cluster node export its topology and an analysis tool import
+// it elsewhere ("gather on the compute node, study on the laptop"). Format:
+// one object per line, indentation = tree depth, e.g.
+//
+//   # hetmem-topology v1 "2x Xeon 6230 SNC 1LM"
+//   package
+//     numa kind=NVDIMM capacity=824633720832
+//     group subtype=SubNUMACluster
+//       numa kind=DRAM capacity=103079215104
+//       core pus=2
+//
+// Cores collapse their PUs into a count; NUMA attachment order (and hence
+// OS indices) is preserved by emitting memory children before normal
+// children, matching the builder's attachment semantics.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "hetmem/support/result.hpp"
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::topo {
+
+[[nodiscard]] std::string serialize(const Topology& topology);
+
+/// Rebuilds a topology through TopologyBuilder; the result validates and
+/// round-trips (serialize(parse(s)) == s for builder-produced topologies
+/// with uniform cores).
+support::Result<Topology> parse_topology(std::string_view text);
+
+}  // namespace hetmem::topo

@@ -1,0 +1,95 @@
+// Topology container and locality queries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hetmem/support/bitmap.hpp"
+#include "hetmem/support/result.hpp"
+#include "hetmem/topo/object.hpp"
+
+namespace hetmem::topo {
+
+/// Locality matching for local_numa_nodes(), following the semantics of
+/// hwloc_get_local_numanode_objs() flags.
+enum class LocalityFlags : unsigned {
+  /// Nodes whose locality cpuset equals the initiator cpuset.
+  kExact = 0,
+  /// Also nodes whose locality is a superset of the initiator (e.g. a
+  /// package-level NVDIMM is local to a core inside one of its SNCs).
+  kLargerLocality = 1u << 0,
+  /// Also nodes whose locality is a subset of the initiator.
+  kSmallerLocality = 1u << 1,
+  /// Every node whose locality intersects the initiator at all (a superset
+  /// of kLargerLocality | kSmallerLocality; hwloc's INTERSECT_LOCALITY).
+  kIntersecting = 1u << 2,
+  /// All nodes in the machine regardless of locality.
+  kAll = 1u << 3,
+};
+
+[[nodiscard]] constexpr LocalityFlags operator|(LocalityFlags a, LocalityFlags b) {
+  return static_cast<LocalityFlags>(static_cast<unsigned>(a) | static_cast<unsigned>(b));
+}
+[[nodiscard]] constexpr bool has_flag(LocalityFlags value, LocalityFlags flag) {
+  return (static_cast<unsigned>(value) & static_cast<unsigned>(flag)) != 0;
+}
+
+class Topology {
+ public:
+  Topology(Topology&&) = default;
+  Topology& operator=(Topology&&) = default;
+
+  [[nodiscard]] const Object& root() const { return *root_; }
+  [[nodiscard]] const std::string& platform_name() const { return platform_name_; }
+
+  /// NUMA nodes by logical index (lstopo "NUMANode L#i" order).
+  [[nodiscard]] const std::vector<const Object*>& numa_nodes() const {
+    return numa_nodes_;
+  }
+  /// Processing units by logical index.
+  [[nodiscard]] const std::vector<const Object*>& pus() const { return pus_; }
+
+  [[nodiscard]] const Object* numa_node(unsigned logical_index) const;
+  /// NUMA node by OS index; nullptr when absent.
+  [[nodiscard]] const Object* numa_node_by_os_index(unsigned os_index) const;
+
+  /// Union of all PU cpusets.
+  [[nodiscard]] const support::Bitmap& complete_cpuset() const;
+
+  /// NUMA nodes local to `initiator` under the given matching flags, ordered
+  /// by logical index. An empty initiator matches nothing (except kAll).
+  [[nodiscard]] std::vector<const Object*> local_numa_nodes(
+      const support::Bitmap& initiator,
+      LocalityFlags flags = LocalityFlags::kIntersecting) const;
+
+  /// Deepest normal object whose cpuset exactly equals `cpuset`, or the
+  /// smallest enclosing object otherwise; nullptr when cpuset is empty or
+  /// outside the machine.
+  [[nodiscard]] const Object* covering_object(const support::Bitmap& cpuset) const;
+
+  /// All objects of one type, logical order.
+  [[nodiscard]] std::vector<const Object*> objects_of_type(ObjType type) const;
+
+  /// Total installed memory across all NUMA nodes.
+  [[nodiscard]] std::uint64_t total_memory_bytes() const;
+
+  /// Structural invariants (used by tests and the builder):
+  ///  - every normal object's cpuset is the union of its children's cpusets
+  ///    (leaf PU sets are disjoint);
+  ///  - every memory child's cpuset equals its attach point's cpuset;
+  ///  - nodesets aggregate correctly; logical indices are dense per type.
+  [[nodiscard]] support::Status validate() const;
+
+ private:
+  friend class TopologyBuilder;
+  Topology() = default;
+
+  std::unique_ptr<Object> root_;
+  std::string platform_name_;
+  std::vector<const Object*> numa_nodes_;
+  std::vector<const Object*> pus_;
+};
+
+}  // namespace hetmem::topo

@@ -1,0 +1,124 @@
+#include "hetmem/alloc/advisor.hpp"
+
+#include <algorithm>
+
+namespace hetmem::alloc {
+
+using support::Result;
+
+std::vector<MigrationAdvice> advise_migrations(
+    const HeterogeneousAllocator& allocator, const sim::ExecutionContext& exec,
+    const support::Bitmap& initiator, const AdvisorOptions& options) {
+  const sim::SimMachine& machine = exec.machine();
+  const attr::MemAttrRegistry& registry = allocator.registry();
+  const auto query = attr::Initiator::from_cpuset(initiator);
+
+  std::vector<sim::BufferTraffic> traffic = exec.merged_buffer_traffic();
+  double total_bytes = 0.0;
+  for (const sim::BufferTraffic& bt : traffic) total_bytes += bt.memory_bytes;
+
+  std::vector<MigrationAdvice> advice;
+  for (std::uint32_t index = 0; index < traffic.size(); ++index) {
+    const sim::BufferTraffic& bt = traffic[index];
+    if (bt.memory_bytes <= 0.0 ||
+        (total_bytes > 0.0 &&
+         bt.memory_bytes / total_bytes < options.min_traffic_share)) {
+      continue;
+    }
+    const sim::BufferInfo& info = machine.info(sim::BufferId{index});
+    if (info.freed) continue;
+
+    // Dominant behavior decides the criterion (as the profiler would hint).
+    const bool latency_dominated =
+        bt.llc_misses > 0.0 && bt.random_misses / bt.llc_misses >= 0.5;
+    const attr::AttrId attribute =
+        latency_dominated ? attr::kLatency : attr::kBandwidth;
+    auto ranked = registry.targets_ranked(attribute, query);
+    if (ranked.empty()) continue;
+
+    // Best target with room for this buffer, excluding where it already is.
+    const topo::Object* destination = nullptr;
+    for (const attr::TargetValue& candidate : ranked) {
+      const unsigned node = candidate.target->logical_index();
+      if (node == info.node) {
+        destination = nullptr;  // already on the best feasible target
+        break;
+      }
+      if (machine.available_bytes(node) >= info.declared_bytes) {
+        destination = candidate.target;
+        break;
+      }
+    }
+    if (destination == nullptr) continue;
+    const unsigned to_node = destination->logical_index();
+
+    // Wall-clock cost of the observed traffic on current vs destination
+    // node. Misses were summed across threads, which stall in parallel, so
+    // the stall component divides by the thread count (balanced assumption).
+    const double threads = std::max(1u, exec.thread_count());
+    auto traffic_cost = [&](unsigned node) {
+      const sim::EffectiveNodePerf perf = machine.perf_model().effective(
+          node, info.declared_bytes, initiator.is_subset_of(
+                                         machine.topology().numa_node(node)->cpuset()));
+      const double stall =
+          bt.random_misses / threads * perf.latency_ns / options.mlp;
+      const double stream_bytes =
+          std::max(0.0, bt.memory_bytes - bt.random_misses * 64.0);
+      // Split streamed bytes evenly over read/write paths for the estimate.
+      const double bw_time = stream_bytes / 2.0 / perf.read_bw * 1e9 +
+                             stream_bytes / 2.0 / perf.write_bw * 1e9;
+      return stall + bw_time;
+    };
+    const double benefit = traffic_cost(info.node) - traffic_cost(to_node);
+    if (benefit <= 0.0) continue;
+
+    const MigrationCostModel cost_model;  // allocator defaults
+    const double pages = static_cast<double>(
+        (info.declared_bytes + cost_model.page_bytes - 1) / cost_model.page_bytes);
+    const sim::EffectiveNodePerf src = machine.perf_model().effective(
+        info.node, info.declared_bytes, true);
+    const sim::EffectiveNodePerf dst =
+        machine.perf_model().effective(to_node, info.declared_bytes, true);
+    const double cost =
+        pages * cost_model.per_page_overhead_ns +
+        static_cast<double>(info.declared_bytes) /
+            std::min(src.read_bw, dst.write_bw) * 1e9;
+
+    MigrationAdvice entry;
+    entry.buffer = sim::BufferId{index};
+    entry.label = info.label;
+    entry.from_node = info.node;
+    entry.to_node = to_node;
+    entry.benefit_per_round_ns = benefit;
+    entry.cost_ns = cost;
+    entry.breakeven_rounds = benefit > 0.0 ? cost / benefit : 1e300;
+    advice.push_back(std::move(entry));
+  }
+
+  std::stable_sort(advice.begin(), advice.end(),
+                   [&](const MigrationAdvice& a, const MigrationAdvice& b) {
+                     const double net_a = a.benefit_per_round_ns *
+                                              options.expected_future_rounds -
+                                          a.cost_ns;
+                     const double net_b = b.benefit_per_round_ns *
+                                              options.expected_future_rounds -
+                                          b.cost_ns;
+                     return net_a > net_b;
+                   });
+  return advice;
+}
+
+Result<double> apply_advice(HeterogeneousAllocator& allocator,
+                            const std::vector<MigrationAdvice>& advice,
+                            const AdvisorOptions& options) {
+  double total_cost = 0.0;
+  for (const MigrationAdvice& entry : advice) {
+    if (entry.breakeven_rounds > options.expected_future_rounds) continue;
+    auto cost = allocator.migrate(entry.buffer, entry.to_node);
+    if (!cost.ok()) return cost.error();
+    total_cost += *cost;
+  }
+  return total_cost;
+}
+
+}  // namespace hetmem::alloc

@@ -1,0 +1,369 @@
+#include "hetmem/alloc/allocator.hpp"
+
+#include <algorithm>
+
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::alloc {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+using support::Status;
+
+HeterogeneousAllocator::HeterogeneousAllocator(sim::SimMachine& machine,
+                                               const attr::MemAttrRegistry& registry)
+    : machine_(&machine),
+      registry_(&registry),
+      reserved_(machine.topology().numa_nodes().size(), 0) {}
+
+std::uint64_t HeterogeneousAllocator::usable_bytes(unsigned node) const {
+  const std::uint64_t available = machine_->available_bytes(node);
+  const std::uint64_t reserved = reserved_[node];
+  return available > reserved ? available - reserved : 0;
+}
+
+Result<Allocation> HeterogeneousAllocator::try_targets(
+    const AllocRequest& request, const std::vector<attr::TargetValue>& ranking,
+    attr::AttrId used_attribute) {
+  const bool allow_fallback = request.policy != Policy::kStrict;
+  unsigned rank = 0;
+  for (const attr::TargetValue& candidate : ranking) {
+    const unsigned node = candidate.target->logical_index();
+    if (request.bytes > usable_bytes(node)) {
+      // Reserved space is off-limits to ordinary allocations.
+      if (!allow_fallback) {
+        ++stats_.failures;
+        return make_error(Errc::kOutOfCapacity,
+                          "node " + std::to_string(node) +
+                              " lacks unreserved room for '" + request.label +
+                              "'");
+      }
+      ++rank;
+      continue;
+    }
+    auto buffer = machine_->allocate(request.bytes, node, request.label,
+                                     request.backing_bytes);
+    if (buffer.ok()) {
+      Allocation allocation{*buffer, node, used_attribute, rank, rank > 0};
+      ++stats_.allocations;
+      stats_.bytes_allocated += request.bytes;
+      if (rank > 0) ++stats_.fallbacks;
+      trace_.push_back(TraceEvent{
+          TraceEvent::Kind::kAlloc, request.label, node, request.bytes,
+          registry_->info(used_attribute).name +
+              (rank > 0 ? " (fallback rank " + std::to_string(rank) + ")" : "")});
+      return allocation;
+    }
+    if (buffer.error().code != Errc::kOutOfCapacity || !allow_fallback) {
+      ++stats_.failures;
+      trace_.push_back(TraceEvent{TraceEvent::Kind::kFail, request.label, node,
+                                  request.bytes, buffer.error().to_string()});
+      return buffer.error();
+    }
+    ++rank;
+  }
+
+  if (request.policy == Policy::kPreferredThenDefault) {
+    // OS default order: local nodes by logical index, regardless of the
+    // attribute (paper §VII discusses Linux "preferred" semantics).
+    for (const topo::Object* node :
+         machine_->topology().local_numa_nodes(request.initiator, request.locality)) {
+      const bool already_tried =
+          std::any_of(ranking.begin(), ranking.end(), [&](const attr::TargetValue& tv) {
+            return tv.target == node;
+          });
+      if (already_tried) continue;
+      if (request.bytes > usable_bytes(node->logical_index())) {
+        ++rank;
+        continue;
+      }
+      auto buffer = machine_->allocate(request.bytes, node->logical_index(),
+                                       request.label, request.backing_bytes);
+      if (buffer.ok()) {
+        Allocation allocation{*buffer, node->logical_index(), used_attribute, rank,
+                              true};
+        ++stats_.allocations;
+        ++stats_.fallbacks;
+        stats_.bytes_allocated += request.bytes;
+        trace_.push_back(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
+                                    node->logical_index(), request.bytes,
+                                    "default-order rescue"});
+        return allocation;
+      }
+      ++rank;
+    }
+  }
+
+  ++stats_.failures;
+  trace_.push_back(TraceEvent{TraceEvent::Kind::kFail, request.label, 0,
+                              request.bytes, "all local targets exhausted"});
+  return make_error(Errc::kOutOfCapacity,
+                    "no local target can hold " +
+                        support::format_bytes(request.bytes) + " for '" +
+                        request.label + "'");
+}
+
+Result<Allocation> HeterogeneousAllocator::mem_alloc(const AllocRequest& request) {
+  if (request.bytes == 0) {
+    return make_error(Errc::kInvalidArgument, "zero-byte request");
+  }
+  if (request.initiator.empty()) {
+    return make_error(Errc::kInvalidArgument,
+                      "empty initiator: bind the caller to CPUs first");
+  }
+  auto resolved = registry_->resolve_with_fallback(request.attribute);
+  if (!resolved.ok()) return resolved.error();
+
+  std::vector<attr::TargetValue> ranking = registry_->targets_ranked(
+      *resolved, attr::Initiator::from_cpuset(request.initiator), request.locality);
+  if (ranking.empty()) {
+    return make_error(Errc::kNotFound,
+                      "no local target has values for attribute '" +
+                          registry_->info(*resolved).name + "'");
+  }
+  return try_targets(request, ranking, *resolved);
+}
+
+Status HeterogeneousAllocator::mem_free(sim::BufferId buffer) {
+  const sim::BufferInfo info = machine_->info(buffer);
+  Status status = machine_->free(buffer);
+  if (!status.ok()) return status;
+  ++stats_.frees;
+  trace_.push_back(TraceEvent{TraceEvent::Kind::kFree, info.label, info.node,
+                              info.declared_bytes, ""});
+  return {};
+}
+
+Result<double> HeterogeneousAllocator::migrate(sim::BufferId buffer,
+                                               unsigned destination_node) {
+  const sim::BufferInfo before = machine_->info(buffer);
+  if (Status status = machine_->migrate(buffer, destination_node); !status.ok()) {
+    return status.error();
+  }
+  if (before.node == destination_node) return 0.0;
+
+  const auto& model = machine_->perf_model();
+  const sim::EffectiveNodePerf src =
+      model.effective(before.node, before.declared_bytes, /*local_initiator=*/true);
+  const sim::EffectiveNodePerf dst = model.effective(
+      destination_node, before.declared_bytes, /*local_initiator=*/true);
+  const double copy_bw = std::min(src.read_bw, dst.write_bw);
+  const double pages = static_cast<double>(
+      (before.declared_bytes + migration_model_.page_bytes - 1) /
+      migration_model_.page_bytes);
+  const double cost_ns =
+      pages * migration_model_.per_page_overhead_ns +
+      static_cast<double>(before.declared_bytes) / copy_bw * 1e9;
+
+  ++stats_.migrations;
+  trace_.push_back(TraceEvent{TraceEvent::Kind::kMigrate, before.label,
+                              destination_node, before.declared_bytes,
+                              "from node " + std::to_string(before.node)});
+  return cost_ns;
+}
+
+Result<HeterogeneousAllocator::HybridAllocation>
+HeterogeneousAllocator::mem_alloc_hybrid(const AllocRequest& request) {
+  // Whole-buffer placement on the BEST target first. (Not the full ranking:
+  // the point of a hybrid allocation is to keep part of the buffer on the
+  // fast target instead of pushing all of it down the ranking, §VII.)
+  AllocRequest strict = request;
+  strict.policy = Policy::kStrict;
+  if (auto whole = mem_alloc(strict); whole.ok()) {
+    HybridAllocation hybrid;
+    hybrid.fast = whole->buffer;
+    hybrid.fast_node = whole->node;
+    hybrid.slow_node = whole->node;
+    return hybrid;
+  }
+
+  auto resolved = registry_->resolve_with_fallback(request.attribute);
+  if (!resolved.ok()) return resolved.error();
+  std::vector<attr::TargetValue> ranking = registry_->targets_ranked(
+      *resolved, attr::Initiator::from_cpuset(request.initiator), request.locality);
+  if (ranking.size() < 2) {
+    return make_error(Errc::kOutOfCapacity,
+                      "cannot split: fewer than two local targets");
+  }
+
+  // Take whatever the best target still has, round down to MiB granularity
+  // so tiny slivers do not count as a "fast part".
+  const unsigned fast_node = ranking[0].target->logical_index();
+  const std::uint64_t granule = 1 << 20;
+  const std::uint64_t fast_bytes =
+      std::min(request.bytes, usable_bytes(fast_node) / granule * granule);
+  if (fast_bytes == 0 || fast_bytes == request.bytes) {
+    return make_error(Errc::kOutOfCapacity,
+                      "best target has no usable room to split into");
+  }
+  const std::uint64_t slow_bytes = request.bytes - fast_bytes;
+  const double fast_fraction =
+      static_cast<double>(fast_bytes) / static_cast<double>(request.bytes);
+  const std::size_t fast_backing = static_cast<std::size_t>(
+      static_cast<double>(request.backing_bytes) * fast_fraction);
+  const std::size_t slow_backing =
+      request.backing_bytes > fast_backing ? request.backing_bytes - fast_backing : 0;
+
+  auto fast = machine_->allocate(fast_bytes, fast_node,
+                                 request.label + ".fast", fast_backing);
+  if (!fast.ok()) return fast.error();
+
+  for (std::size_t rank = 1; rank < ranking.size(); ++rank) {
+    const unsigned slow_node = ranking[rank].target->logical_index();
+    auto slow = machine_->allocate(slow_bytes, slow_node,
+                                   request.label + ".slow", slow_backing);
+    if (!slow.ok()) {
+      if (slow.error().code == Errc::kOutOfCapacity) continue;
+      (void)machine_->free(*fast);
+      return slow.error();
+    }
+    stats_.allocations += 2;
+    ++stats_.fallbacks;
+    stats_.bytes_allocated += request.bytes;
+    trace_.push_back(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
+                                fast_node, request.bytes,
+                                "hybrid split " +
+                                    support::format_fixed(fast_fraction * 100, 0) +
+                                    "% / node " + std::to_string(slow_node)});
+    HybridAllocation hybrid;
+    hybrid.fast = *fast;
+    hybrid.slow = *slow;
+    hybrid.fast_node = fast_node;
+    hybrid.slow_node = slow_node;
+    hybrid.fast_fraction = fast_fraction;
+    return hybrid;
+  }
+  (void)machine_->free(*fast);
+  ++stats_.failures;
+  return make_error(Errc::kOutOfCapacity,
+                    "no target can hold the slow part of the split");
+}
+
+Result<HeterogeneousAllocator::InterleavedAllocation>
+HeterogeneousAllocator::mem_alloc_interleaved(const AllocRequest& request,
+                                              unsigned max_ways) {
+  if (max_ways == 0 || request.bytes == 0 || request.initiator.empty()) {
+    return make_error(Errc::kInvalidArgument, "bad interleave request");
+  }
+  auto resolved = registry_->resolve_with_fallback(request.attribute);
+  if (!resolved.ok()) return resolved.error();
+  std::vector<attr::TargetValue> ranking = registry_->targets_ranked(
+      *resolved, attr::Initiator::from_cpuset(request.initiator), request.locality);
+  if (ranking.empty()) {
+    return make_error(Errc::kNotFound, "no local target has attribute values");
+  }
+
+  // Membership: walk the ranking collecting the best targets that can each
+  // hold an equal stripe; shrink the way count until enough members fit.
+  for (unsigned ways = std::min<unsigned>(max_ways,
+                                          static_cast<unsigned>(ranking.size()));
+       ways >= 1; --ways) {
+    const std::uint64_t stripe = (request.bytes + ways - 1) / ways;
+    std::vector<unsigned> members;
+    for (const attr::TargetValue& candidate : ranking) {
+      if (usable_bytes(candidate.target->logical_index()) >= stripe) {
+        members.push_back(candidate.target->logical_index());
+        if (members.size() == ways) break;
+      }
+    }
+    if (members.size() < ways) continue;
+
+    InterleavedAllocation result;
+    std::uint64_t remaining = request.bytes;
+    for (unsigned w = 0; w < ways; ++w) {
+      const std::uint64_t part_bytes = std::min(stripe, remaining);
+      remaining -= part_bytes;
+      const unsigned node = members[w];
+      auto buffer = machine_->allocate(
+          part_bytes, node, request.label + ".ileave" + std::to_string(w),
+          request.backing_bytes / std::max(1u, ways));
+      if (!buffer.ok()) {
+        for (sim::BufferId id : result.parts) (void)machine_->free(id);
+        return buffer.error();
+      }
+      result.parts.push_back(*buffer);
+      result.nodes.push_back(node);
+      result.fractions.push_back(static_cast<double>(part_bytes) /
+                                 static_cast<double>(request.bytes));
+    }
+    ++stats_.allocations;
+    stats_.bytes_allocated += request.bytes;
+    trace_.push_back(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
+                                result.nodes.front(), request.bytes,
+                                "interleaved " + std::to_string(ways) + "-way"});
+    return result;
+  }
+  ++stats_.failures;
+  return make_error(Errc::kOutOfCapacity,
+                    "no interleave width fits '" + request.label + "'");
+}
+
+Status HeterogeneousAllocator::reserve(unsigned node, std::uint64_t bytes) {
+  if (node >= reserved_.size()) {
+    return make_error(Errc::kInvalidArgument, "no such node");
+  }
+  if (machine_->available_bytes(node) < reserved_[node] + bytes) {
+    return make_error(Errc::kOutOfCapacity,
+                      "cannot reserve " + support::format_bytes(bytes) +
+                          " on node " + std::to_string(node));
+  }
+  reserved_[node] += bytes;
+  return {};
+}
+
+void HeterogeneousAllocator::release_reservation(unsigned node,
+                                                 std::uint64_t bytes) {
+  if (node >= reserved_.size()) return;
+  reserved_[node] -= std::min(reserved_[node], bytes);
+}
+
+std::uint64_t HeterogeneousAllocator::reserved_bytes(unsigned node) const {
+  return node < reserved_.size() ? reserved_[node] : 0;
+}
+
+Result<Allocation> HeterogeneousAllocator::mem_alloc_reserved(
+    unsigned node, std::uint64_t bytes, std::string label,
+    std::size_t backing_bytes) {
+  if (node >= reserved_.size()) {
+    return make_error(Errc::kInvalidArgument, "no such node");
+  }
+  if (reserved_[node] < bytes) {
+    return make_error(Errc::kOutOfCapacity,
+                      "reservation on node " + std::to_string(node) +
+                          " holds only " +
+                          support::format_bytes(reserved_[node]));
+  }
+  auto buffer = machine_->allocate(bytes, node, label, backing_bytes);
+  if (!buffer.ok()) return buffer.error();
+  reserved_[node] -= bytes;  // the reservation is consumed by the allocation
+  ++stats_.allocations;
+  stats_.bytes_allocated += bytes;
+  trace_.push_back(TraceEvent{TraceEvent::Kind::kAlloc, label, node, bytes,
+                              "from reservation"});
+  return Allocation{*buffer, node, attr::kCapacity, 0, false};
+}
+
+Result<Allocation> HeterogeneousAllocator::mem_alloc_intercepted(
+    std::uint64_t bytes, const support::Bitmap& initiator, std::string label,
+    std::size_t backing_bytes) {
+  AllocRequest request;
+  request.bytes = bytes;
+  request.initiator = initiator;
+  request.label = std::move(label);
+  request.backing_bytes = backing_bytes;
+  request.policy = Policy::kPreferredThenDefault;
+
+  for (const SizeRule& rule : size_rules_) {
+    if (bytes >= rule.min_bytes && bytes < rule.max_bytes) {
+      request.attribute = rule.attribute;
+      return mem_alloc(request);
+    }
+  }
+  // No rule matched: OS default order == Locality ranking (closest, then
+  // logical index), which Capacity-agnostic malloc would get.
+  request.attribute = attr::kLocality;
+  return mem_alloc(request);
+}
+
+}  // namespace hetmem::alloc

@@ -1,0 +1,93 @@
+#include "hetmem/alloc/location_rules.hpp"
+
+#include "hetmem/support/str.hpp"
+
+namespace hetmem::alloc {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+
+void LocationRules::add(std::string pattern, attr::AttrId attribute) {
+  rules_.push_back(LocationRule{std::move(pattern), attribute});
+}
+
+bool LocationRules::glob_match(std::string_view pattern, std::string_view text) {
+  // Classic iterative glob with '*' only (no '?'): linear time.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, backtrack = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      backtrack = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++backtrack;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::optional<attr::AttrId> LocationRules::match(std::string_view label) const {
+  for (const LocationRule& rule : rules_) {
+    if (glob_match(rule.pattern, label)) return rule.attribute;
+  }
+  return std::nullopt;
+}
+
+std::string LocationRules::serialize(const attr::MemAttrRegistry& registry) const {
+  std::string out = "# hetmem-locations v1\n";
+  for (const LocationRule& rule : rules_) {
+    out += rule.pattern + " " + registry.info(rule.attribute).name + "\n";
+  }
+  return out;
+}
+
+Result<LocationRules> LocationRules::parse(std::string_view text,
+                                           const attr::MemAttrRegistry& registry) {
+  LocationRules rules;
+  std::size_t line_number = 0;
+  for (std::string_view raw_line : support::split(text, '\n')) {
+    ++line_number;
+    std::string_view line = support::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    // pattern, whitespace, attribute name.
+    const std::size_t space = line.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      return make_error(Errc::kParseError,
+                        "line " + std::to_string(line_number) +
+                            ": expected '<pattern> <attribute>'");
+    }
+    const std::string_view pattern = line.substr(0, space);
+    const std::string_view attr_name = support::trim(line.substr(space));
+    auto attribute = registry.find_attribute(attr_name);
+    if (!attribute.ok()) {
+      return make_error(Errc::kParseError,
+                        "line " + std::to_string(line_number) +
+                            ": unknown attribute '" + std::string(attr_name) + "'");
+    }
+    rules.add(std::string(pattern), *attribute);
+  }
+  return rules;
+}
+
+Result<Allocation> LocationRules::alloc_by_location(
+    HeterogeneousAllocator& allocator, std::uint64_t bytes,
+    const support::Bitmap& initiator, std::string label,
+    attr::AttrId fallback_attr, std::size_t backing_bytes) const {
+  AllocRequest request;
+  request.bytes = bytes;
+  request.initiator = initiator;
+  request.attribute = match(label).value_or(fallback_attr);
+  request.label = std::move(label);
+  request.backing_bytes = backing_bytes;
+  return allocator.mem_alloc(request);
+}
+
+}  // namespace hetmem::alloc

@@ -1,0 +1,90 @@
+#include "hetmem/alloc/planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hetmem::alloc {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+
+Plan plan_placements(const sim::SimMachine& machine,
+                     const attr::MemAttrRegistry& registry,
+                     const support::Bitmap& initiator,
+                     std::vector<PlannedRequest> requests,
+                     topo::LocalityFlags locality) {
+  // Process by descending priority, stable within equal priorities.
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return requests[a].priority > requests[b].priority;
+  });
+
+  // Free capacity snapshot.
+  std::vector<std::uint64_t> free_bytes(machine.topology().numa_nodes().size());
+  for (unsigned node = 0; node < free_bytes.size(); ++node) {
+    free_bytes[node] = machine.available_bytes(node);
+  }
+
+  Plan plan;
+  plan.placements.resize(requests.size());
+  const auto query = attr::Initiator::from_cpuset(initiator);
+  for (std::size_t index : order) {
+    const PlannedRequest& request = requests[index];
+    PlannedPlacement& placement = plan.placements[index];
+    placement.label = request.label;
+
+    attr::AttrId attribute = request.attribute;
+    if (auto resolved = registry.resolve_with_fallback(attribute); resolved.ok()) {
+      attribute = *resolved;
+    }
+    bool placed = false;
+    unsigned rank = 0;
+    for (const attr::TargetValue& candidate :
+         registry.targets_ranked(attribute, query, locality)) {
+      const unsigned node = candidate.target->logical_index();
+      if (free_bytes[node] >= request.bytes) {
+        free_bytes[node] -= request.bytes;
+        placement.node = node;
+        placement.fell_back = rank > 0;
+        placed = true;
+        break;
+      }
+      ++rank;
+    }
+    if (!placed) plan.unplaced.push_back(request.label);
+  }
+  return plan;
+}
+
+Result<std::vector<sim::BufferId>> execute_plan(
+    HeterogeneousAllocator& allocator,
+    const std::vector<PlannedRequest>& requests, const Plan& plan) {
+  if (plan.placements.size() != requests.size()) {
+    return make_error(Errc::kInvalidArgument, "plan does not match requests");
+  }
+  std::vector<sim::BufferId> buffers(requests.size());
+  auto rollback = [&](std::size_t up_to) {
+    for (std::size_t i = 0; i < up_to; ++i) {
+      if (buffers[i].valid()) (void)allocator.mem_free(buffers[i]);
+    }
+  };
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const bool unplaced =
+        std::find(plan.unplaced.begin(), plan.unplaced.end(),
+                  requests[i].label) != plan.unplaced.end();
+    if (unplaced) continue;
+    auto buffer = allocator.machine().allocate(
+        requests[i].bytes, plan.placements[i].node, requests[i].label,
+        requests[i].backing_bytes);
+    if (!buffer.ok()) {
+      rollback(i);
+      return buffer.error();
+    }
+    buffers[i] = *buffer;
+  }
+  return buffers;
+}
+
+}  // namespace hetmem::alloc

@@ -1,0 +1,110 @@
+#include "hetmem/alloc/pool.hpp"
+
+namespace hetmem::alloc {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+using support::Status;
+
+Pool::Pool(HeterogeneousAllocator& allocator, support::Bitmap initiator,
+           PoolOptions options, std::string name)
+    : allocator_(&allocator),
+      initiator_(std::move(initiator)),
+      options_(options),
+      name_(std::move(name)) {
+  stats_.live_per_node.resize(
+      allocator.machine().topology().numa_nodes().size(), 0);
+}
+
+Pool::~Pool() {
+  for (Slab& slab : slabs_) {
+    if (!slab.released) (void)allocator_->mem_free(slab.buffer);
+  }
+}
+
+Status Pool::grow() {
+  AllocRequest request;
+  request.bytes = options_.block_bytes * options_.blocks_per_slab;
+  request.attribute = options_.attribute;
+  request.initiator = initiator_;
+  request.policy = options_.policy;
+  request.label = name_ + ".slab" + std::to_string(slabs_.size());
+  auto allocation = allocator_->mem_alloc(request);
+  if (!allocation.ok()) return allocation.error();
+
+  Slab slab;
+  slab.buffer = allocation->buffer;
+  slab.node = allocation->node;
+  slab.free_blocks.reserve(options_.blocks_per_slab);
+  // LIFO order so block 0 comes out first.
+  for (std::uint32_t block = options_.blocks_per_slab; block-- > 0;) {
+    slab.free_blocks.push_back(block);
+  }
+  slabs_.push_back(std::move(slab));
+  ++stats_.slabs_created;
+  return {};
+}
+
+Result<PoolBlock> Pool::allocate() {
+  for (std::uint32_t s = 0; s < slabs_.size(); ++s) {
+    Slab& slab = slabs_[s];
+    if (slab.released || slab.free_blocks.empty()) continue;
+    const std::uint32_t index = slab.free_blocks.back();
+    slab.free_blocks.pop_back();
+    ++slab.live;
+    ++stats_.blocks_allocated;
+    ++stats_.blocks_live;
+    ++stats_.live_per_node[slab.node];
+    return PoolBlock{s, index};
+  }
+  if (Status status = grow(); !status.ok()) return status.error();
+  return allocate();
+}
+
+Status Pool::free(PoolBlock block) {
+  if (!block.valid() || block.slab >= slabs_.size() ||
+      block.index >= options_.blocks_per_slab) {
+    return make_error(Errc::kInvalidArgument, "bad pool block");
+  }
+  Slab& slab = slabs_[block.slab];
+  if (slab.released) {
+    return make_error(Errc::kInvalidArgument, "block's slab was released");
+  }
+  for (std::uint32_t free_index : slab.free_blocks) {
+    if (free_index == block.index) {
+      return make_error(Errc::kInvalidArgument, "double free of pool block");
+    }
+  }
+  slab.free_blocks.push_back(block.index);
+  --slab.live;
+  ++stats_.blocks_freed;
+  --stats_.blocks_live;
+  --stats_.live_per_node[slab.node];
+  return {};
+}
+
+Result<unsigned> Pool::node_of(PoolBlock block) const {
+  if (!block.valid() || block.slab >= slabs_.size() ||
+      slabs_[block.slab].released) {
+    return make_error(Errc::kInvalidArgument, "bad pool block");
+  }
+  return slabs_[block.slab].node;
+}
+
+PoolStats Pool::stats() const { return stats_; }
+
+std::size_t Pool::release_empty_slabs() {
+  std::size_t released = 0;
+  for (Slab& slab : slabs_) {
+    if (!slab.released && slab.live == 0) {
+      (void)allocator_->mem_free(slab.buffer);
+      slab.released = true;
+      slab.free_blocks.clear();
+      ++released;
+    }
+  }
+  return released;
+}
+
+}  // namespace hetmem::alloc

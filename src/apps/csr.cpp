@@ -1,0 +1,39 @@
+#include "hetmem/apps/csr.hpp"
+
+#include <algorithm>
+
+namespace hetmem::apps {
+
+CsrGraph build_csr(std::vector<Edge> edges, std::uint32_t num_vertices) {
+  // Symmetrize and drop self-loops.
+  std::vector<Edge> sym;
+  sym.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    sym.push_back(e);
+    sym.push_back(Edge{e.v, e.u});
+  }
+  std::sort(sym.begin(), sym.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  sym.erase(std::unique(sym.begin(), sym.end(),
+                        [](const Edge& a, const Edge& b) {
+                          return a.u == b.u && a.v == b.v;
+                        }),
+            sym.end());
+
+  CsrGraph graph;
+  graph.num_vertices = num_vertices;
+  graph.num_edges = sym.size() / 2;
+  graph.offsets.assign(num_vertices + 1, 0);
+  for (const Edge& e : sym) ++graph.offsets[e.u + 1];
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    graph.offsets[v + 1] += graph.offsets[v];
+  }
+  graph.targets.resize(sym.size());
+  std::vector<std::uint64_t> cursor(graph.offsets.begin(), graph.offsets.end() - 1);
+  for (const Edge& e : sym) graph.targets[cursor[e.u]++] = e.v;
+  return graph;
+}
+
+}  // namespace hetmem::apps

@@ -1,0 +1,45 @@
+#include "hetmem/apps/rmat.hpp"
+
+#include "hetmem/support/rng.hpp"
+
+namespace hetmem::apps {
+
+std::vector<Edge> generate_rmat(const RmatParams& params) {
+  const std::uint64_t n = std::uint64_t{1} << params.scale;
+  const std::uint64_t m = n * params.edgefactor;
+  support::Xoshiro256 rng(params.seed);
+
+  // Vertex scrambling: fixed random permutation via multiplicative hashing
+  // (Graph500 permutes vertex labels so that id 0 is not the densest hub).
+  const std::uint64_t mask = n - 1;
+  auto scramble = [&](std::uint64_t x) {
+    x = (x * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+    return static_cast<std::uint32_t>((x >> 20) & mask);
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    for (unsigned depth = 0; depth < params.scale; ++depth) {
+      const double r = rng.next_double();
+      unsigned quadrant;
+      if (r < params.a) {
+        quadrant = 0;
+      } else if (r < params.a + params.b) {
+        quadrant = 1;
+      } else if (r < params.a + params.b + params.c) {
+        quadrant = 2;
+      } else {
+        quadrant = 3;
+      }
+      u = (u << 1) | (quadrant >> 1);
+      v = (v << 1) | (quadrant & 1);
+    }
+    edges.push_back(Edge{scramble(u), scramble(v)});
+  }
+  return edges;
+}
+
+}  // namespace hetmem::apps

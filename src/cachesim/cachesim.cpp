@@ -1,0 +1,85 @@
+#include "hetmem/cachesim/cachesim.hpp"
+
+#include <cassert>
+
+namespace hetmem::cachesim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  assert(config.ways >= 1);
+  assert(config.line_bytes >= 8);
+  assert(config.set_sampling >= 1);
+  const std::uint64_t sets = config.set_count();
+  assert(sets >= 1);
+  sets_simulated_ = (sets + config.set_sampling - 1) / config.set_sampling;
+  lines_.resize(sets_simulated_ * config.ways);
+}
+
+void Cache::reset() {
+  for (Line& line : lines_) line = Line{};
+  tick_ = 0;
+  total_ = CacheStats{};
+  streams_.clear();
+}
+
+bool Cache::lookup(std::uint64_t address, bool* sampled) {
+  const std::uint64_t line_address = address / config_.line_bytes;
+  const std::uint64_t set = line_address % config_.set_count();
+  if (set % config_.set_sampling != 0) {
+    *sampled = false;
+    return true;  // not simulated; callers count it as a statistical hit
+  }
+  *sampled = true;
+
+  const std::uint64_t set_slot = set / config_.set_sampling;
+  const std::uint64_t tag = line_address / config_.set_count();
+  ++tick_;
+
+  Line* victim = nullptr;  // first invalid way, else least-recently used
+  for (unsigned way = 0; way < config_.ways; ++way) {
+    Line& line = lines_[set_slot * config_.ways + way];
+    if (line.valid && line.tag == tag) {
+      line.last_use = tick_;
+      return true;
+    }
+    if (!line.valid) {
+      if (victim == nullptr || victim->valid) victim = &line;
+    } else if (victim == nullptr ||
+               (victim->valid && line.last_use < victim->last_use)) {
+      victim = &line;
+    }
+  }
+  if (victim->valid) ++total_.evictions;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  return false;
+}
+
+bool Cache::access(std::uint64_t address) {
+  bool sampled = false;
+  const bool hit = lookup(address, &sampled);
+  // Scale sampled counts back to the full trace.
+  total_.accesses += config_.set_sampling * (sampled ? 1 : 0);
+  if (sampled && !hit) total_.misses += config_.set_sampling;
+  return hit;
+}
+
+bool Cache::access(std::uint64_t address, std::uint32_t stream_id) {
+  bool sampled = false;
+  const bool hit = lookup(address, &sampled);
+  if (sampled) {
+    total_.accesses += config_.set_sampling;
+    if (!hit) total_.misses += config_.set_sampling;
+    if (streams_.size() <= stream_id) streams_.resize(stream_id + 1);
+    streams_[stream_id].accesses += config_.set_sampling;
+    if (!hit) streams_[stream_id].misses += config_.set_sampling;
+  }
+  return hit;
+}
+
+CacheStats Cache::stream_stats(std::uint32_t stream_id) const {
+  if (stream_id >= streams_.size()) return {};
+  return streams_[stream_id];
+}
+
+}  // namespace hetmem::cachesim

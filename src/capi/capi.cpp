@@ -1,0 +1,302 @@
+#include "hetmem/capi.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/probe/probe.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/topo/presets.hpp"
+
+struct hetmem_context {
+  std::unique_ptr<hetmem::sim::SimMachine> machine;
+  std::unique_ptr<hetmem::attr::MemAttrRegistry> registry;
+  std::unique_ptr<hetmem::alloc::HeterogeneousAllocator> allocator;
+};
+
+namespace {
+
+using namespace hetmem;
+
+int map_errc(support::Errc code) {
+  switch (code) {
+    case support::Errc::kInvalidArgument: return HETMEM_ERR_INVALID;
+    case support::Errc::kNotFound: return HETMEM_ERR_NOENT;
+    case support::Errc::kOutOfCapacity: return HETMEM_ERR_NOMEM;
+    case support::Errc::kUnsupported: return HETMEM_ERR_UNSUPPORTED;
+    case support::Errc::kParseError: return HETMEM_ERR_PARSE;
+    case support::Errc::kAlreadyExists: return HETMEM_ERR_INVALID;
+    case support::Errc::kInternal: return HETMEM_ERR_INTERNAL;
+  }
+  return HETMEM_ERR_INTERNAL;
+}
+
+hetmem_context* create_context(const char* preset_name, bool probed) {
+  if (preset_name == nullptr) return nullptr;
+  const topo::NamedTopology* preset = nullptr;
+  for (const topo::NamedTopology& candidate : topo::all_presets()) {
+    if (std::strcmp(candidate.name, preset_name) == 0) preset = &candidate;
+  }
+  if (preset == nullptr) return nullptr;
+
+  auto ctx = std::make_unique<hetmem_context>();
+  ctx->machine = std::make_unique<sim::SimMachine>(preset->factory());
+  ctx->registry =
+      std::make_unique<attr::MemAttrRegistry>(ctx->machine->topology());
+  if (probed) {
+    probe::ProbeOptions options;
+    options.backing_bytes = 64 * 1024;
+    options.chase_accesses = 2000;
+    options.buffer_bytes = 128ull * 1024 * 1024;
+    auto report = probe::discover(*ctx->machine, options);
+    if (!report.ok() ||
+        !probe::feed_registry(*ctx->registry, *report).ok()) {
+      return nullptr;
+    }
+  } else {
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    if (!hmat::load_into(*ctx->registry,
+                         hmat::generate(ctx->machine->topology(), options))
+             .ok()) {
+      return nullptr;
+    }
+  }
+  ctx->allocator = std::make_unique<alloc::HeterogeneousAllocator>(
+      *ctx->machine, *ctx->registry);
+  return ctx.release();
+}
+
+/// Parses a list-syntax cpuset; empty optional on failure.
+std::optional<support::Bitmap> parse_cpuset(const char* text) {
+  if (text == nullptr) return std::nullopt;
+  return support::Bitmap::parse(text);
+}
+
+const topo::Object* node_at(const hetmem_context* ctx, unsigned node) {
+  if (ctx == nullptr) return nullptr;
+  return ctx->machine->topology().numa_node(node);
+}
+
+int write_string(const std::string& value, char* buf, size_t buflen) {
+  if (buf != nullptr && buflen > 0) {
+    const size_t n = std::min(buflen - 1, value.size());
+    std::memcpy(buf, value.data(), n);
+    buf[n] = '\0';
+  }
+  return static_cast<int>(value.size());
+}
+
+}  // namespace
+
+extern "C" {
+
+hetmem_context* hetmem_context_create(const char* preset_name) {
+  return create_context(preset_name, /*probed=*/false);
+}
+
+hetmem_context* hetmem_context_create_probed(const char* preset_name) {
+  return create_context(preset_name, /*probed=*/true);
+}
+
+void hetmem_context_destroy(hetmem_context* ctx) { delete ctx; }
+
+int hetmem_list_presets(const char** names, size_t capacity) {
+  const auto& presets = topo::all_presets();
+  if (names != nullptr) {
+    for (size_t i = 0; i < std::min(capacity, presets.size()); ++i) {
+      names[i] = presets[i].name;
+    }
+  }
+  return static_cast<int>(presets.size());
+}
+
+int hetmem_numa_count(const hetmem_context* ctx) {
+  if (ctx == nullptr) return HETMEM_ERR_INVALID;
+  return static_cast<int>(ctx->machine->topology().numa_nodes().size());
+}
+
+int hetmem_pu_count(const hetmem_context* ctx) {
+  if (ctx == nullptr) return HETMEM_ERR_INVALID;
+  return static_cast<int>(ctx->machine->topology().pus().size());
+}
+
+uint64_t hetmem_node_capacity(const hetmem_context* ctx, unsigned node) {
+  const topo::Object* object = node_at(ctx, node);
+  return object == nullptr ? 0 : object->capacity_bytes();
+}
+
+int hetmem_node_cpuset(const hetmem_context* ctx, unsigned node, char* buf,
+                       size_t buflen) {
+  const topo::Object* object = node_at(ctx, node);
+  if (object == nullptr) return HETMEM_ERR_INVALID;
+  return write_string(object->cpuset().to_list_string(), buf, buflen);
+}
+
+const char* hetmem_node_kind_debug(const hetmem_context* ctx, unsigned node) {
+  const topo::Object* object = node_at(ctx, node);
+  return object == nullptr ? nullptr
+                           : topo::memory_kind_name(object->memory_kind());
+}
+
+int hetmem_local_nodes(const hetmem_context* ctx, const char* initiator,
+                       unsigned* nodes, size_t capacity) {
+  if (ctx == nullptr) return HETMEM_ERR_INVALID;
+  auto cpuset = parse_cpuset(initiator);
+  if (!cpuset.has_value()) return HETMEM_ERR_PARSE;
+  auto local = ctx->machine->topology().local_numa_nodes(*cpuset);
+  if (nodes != nullptr) {
+    for (size_t i = 0; i < std::min(capacity, local.size()); ++i) {
+      nodes[i] = local[i]->logical_index();
+    }
+  }
+  return static_cast<int>(local.size());
+}
+
+int hetmem_memattr_get_value(const hetmem_context* ctx, int attr,
+                             unsigned node, const char* initiator,
+                             double* value) {
+  if (ctx == nullptr || attr < 0 || value == nullptr) return HETMEM_ERR_INVALID;
+  const topo::Object* object = node_at(ctx, node);
+  if (object == nullptr) return HETMEM_ERR_INVALID;
+  std::optional<attr::Initiator> query;
+  if (initiator != nullptr) {
+    auto cpuset = parse_cpuset(initiator);
+    if (!cpuset.has_value()) return HETMEM_ERR_PARSE;
+    query = attr::Initiator::from_cpuset(*cpuset);
+  }
+  auto result = ctx->registry->value(static_cast<attr::AttrId>(attr), *object,
+                                     query);
+  if (!result.ok()) return map_errc(result.error().code);
+  *value = *result;
+  return HETMEM_SUCCESS;
+}
+
+int hetmem_memattr_get_best_target(const hetmem_context* ctx, int attr,
+                                   const char* initiator, unsigned* node,
+                                   double* value) {
+  if (ctx == nullptr || attr < 0 || node == nullptr) return HETMEM_ERR_INVALID;
+  auto cpuset = parse_cpuset(initiator);
+  if (!cpuset.has_value()) return HETMEM_ERR_PARSE;
+  auto best = ctx->registry->best_target(static_cast<attr::AttrId>(attr),
+                                         attr::Initiator::from_cpuset(*cpuset));
+  if (!best.ok()) return map_errc(best.error().code);
+  *node = best->target->logical_index();
+  if (value != nullptr) *value = best->value;
+  return HETMEM_SUCCESS;
+}
+
+int hetmem_memattr_get_best_initiator(const hetmem_context* ctx, int attr,
+                                      unsigned node, char* buf, size_t buflen,
+                                      double* value) {
+  if (ctx == nullptr || attr < 0) return HETMEM_ERR_INVALID;
+  const topo::Object* object = node_at(ctx, node);
+  if (object == nullptr) return HETMEM_ERR_INVALID;
+  auto best =
+      ctx->registry->best_initiator(static_cast<attr::AttrId>(attr), *object);
+  if (!best.ok()) return map_errc(best.error().code);
+  if (value != nullptr) *value = best->value;
+  return write_string(best->initiator.to_list_string(), buf, buflen);
+}
+
+int hetmem_memattr_register(hetmem_context* ctx, const char* name,
+                            int higher_is_better, int need_initiator) {
+  if (ctx == nullptr || name == nullptr) return HETMEM_ERR_INVALID;
+  auto id = ctx->registry->register_attribute(
+      name,
+      higher_is_better != 0 ? attr::Polarity::kHigherFirst
+                            : attr::Polarity::kLowerFirst,
+      need_initiator != 0);
+  if (!id.ok()) return map_errc(id.error().code);
+  return static_cast<int>(*id);
+}
+
+int hetmem_memattr_find(const hetmem_context* ctx, const char* name) {
+  if (ctx == nullptr || name == nullptr) return HETMEM_ERR_INVALID;
+  auto id = ctx->registry->find_attribute(name);
+  if (!id.ok()) return map_errc(id.error().code);
+  return static_cast<int>(*id);
+}
+
+int hetmem_memattr_set_value(hetmem_context* ctx, int attr, unsigned node,
+                             const char* initiator, double value) {
+  if (ctx == nullptr || attr < 0) return HETMEM_ERR_INVALID;
+  const topo::Object* object = node_at(ctx, node);
+  if (object == nullptr) return HETMEM_ERR_INVALID;
+  std::optional<attr::Initiator> query;
+  if (initiator != nullptr) {
+    auto cpuset = parse_cpuset(initiator);
+    if (!cpuset.has_value()) return HETMEM_ERR_PARSE;
+    query = attr::Initiator::from_cpuset(*cpuset);
+  }
+  auto status = ctx->registry->set_value(static_cast<attr::AttrId>(attr),
+                                         *object, query, value);
+  if (!status.ok()) return map_errc(status.error().code);
+  return HETMEM_SUCCESS;
+}
+
+int64_t hetmem_alloc(hetmem_context* ctx, uint64_t bytes, int attr,
+                     const char* initiator, int policy, const char* label) {
+  if (ctx == nullptr || attr < 0) return HETMEM_ERR_INVALID;
+  auto cpuset = parse_cpuset(initiator);
+  if (!cpuset.has_value()) return HETMEM_ERR_PARSE;
+
+  alloc::AllocRequest request;
+  request.bytes = bytes;
+  request.attribute = static_cast<attr::AttrId>(attr);
+  request.initiator = *cpuset;
+  request.label = label != nullptr ? label : "capi";
+  switch (policy) {
+    case HETMEM_POLICY_STRICT: request.policy = alloc::Policy::kStrict; break;
+    case HETMEM_POLICY_RANKED_FALLBACK:
+      request.policy = alloc::Policy::kRankedFallback;
+      break;
+    case HETMEM_POLICY_PREFERRED:
+      request.policy = alloc::Policy::kPreferredThenDefault;
+      break;
+    default:
+      return HETMEM_ERR_INVALID;
+  }
+  auto allocation = ctx->allocator->mem_alloc(request);
+  if (!allocation.ok()) return map_errc(allocation.error().code);
+  return static_cast<int64_t>(allocation->buffer.index);
+}
+
+int hetmem_free(hetmem_context* ctx, int64_t buffer) {
+  if (ctx == nullptr || buffer < 0) return HETMEM_ERR_INVALID;
+  auto status = ctx->allocator->mem_free(
+      sim::BufferId{static_cast<std::uint32_t>(buffer)});
+  return status.ok() ? HETMEM_SUCCESS : map_errc(status.error().code);
+}
+
+int hetmem_buffer_node(const hetmem_context* ctx, int64_t buffer) {
+  if (ctx == nullptr || buffer < 0) return HETMEM_ERR_INVALID;
+  const auto id = sim::BufferId{static_cast<std::uint32_t>(buffer)};
+  if (static_cast<std::size_t>(buffer) >= ctx->machine->total_buffer_count()) {
+    return HETMEM_ERR_INVALID;
+  }
+  return static_cast<int>(ctx->machine->info(id).node);
+}
+
+int hetmem_migrate(hetmem_context* ctx, int64_t buffer, unsigned node,
+                   double* cost_ns) {
+  if (ctx == nullptr || buffer < 0) return HETMEM_ERR_INVALID;
+  auto cost = ctx->allocator->migrate(
+      sim::BufferId{static_cast<std::uint32_t>(buffer)}, node);
+  if (!cost.ok()) return map_errc(cost.error().code);
+  if (cost_ns != nullptr) *cost_ns = *cost;
+  return HETMEM_SUCCESS;
+}
+
+uint64_t hetmem_node_available(const hetmem_context* ctx, unsigned node) {
+  if (ctx == nullptr ||
+      node >= ctx->machine->topology().numa_nodes().size()) {
+    return 0;
+  }
+  return ctx->machine->available_bytes(node);
+}
+
+}  // extern "C"

@@ -1,0 +1,275 @@
+#include "hetmem/hmat/hmat.hpp"
+
+#include <charconv>
+
+#include "hetmem/support/str.hpp"
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::hmat {
+
+using support::Bitmap;
+using support::Errc;
+using support::gb_per_s;
+using support::make_error;
+using support::Result;
+
+const char* access_type_name(AccessType type) {
+  switch (type) {
+    case AccessType::kAccess: return "access";
+    case AccessType::kRead: return "read";
+    case AccessType::kWrite: return "write";
+  }
+  return "?";
+}
+
+const char* metric_name(Metric metric) {
+  return metric == Metric::kLatency ? "latency" : "bandwidth";
+}
+
+AdvertisedPerf advertised_defaults(topo::MemoryKind kind) {
+  switch (kind) {
+    case topo::MemoryKind::kDRAM:
+      // Fig. 5: 26 ns, 131072 MiB/s local DRAM.
+      return {.latency_ns = 26.0,
+              .bandwidth_bps = 131072.0 * static_cast<double>(support::kMiB),
+              .read_bandwidth_bps = 0.0,
+              .write_bandwidth_bps = 0.0};
+    case topo::MemoryKind::kHBM:
+      // §IV-A1 example: local HBM at 500 GB/s, 100 ns.
+      return {.latency_ns = 100.0,
+              .bandwidth_bps = gb_per_s(500.0),
+              .read_bandwidth_bps = 0.0,
+              .write_bandwidth_bps = 0.0};
+    case topo::MemoryKind::kNVDIMM:
+      // Fig. 5: 77 ns, 78644 MiB/s; vendors advertise asymmetric R/W.
+      return {.latency_ns = 77.0,
+              .bandwidth_bps = 78644.0 * static_cast<double>(support::kMiB),
+              .read_bandwidth_bps = gb_per_s(40.0),
+              .write_bandwidth_bps = gb_per_s(13.0)};
+    case topo::MemoryKind::kNAM:
+      return {.latency_ns = 1200.0,
+              .bandwidth_bps = gb_per_s(16.0),
+              .read_bandwidth_bps = 0.0,
+              .write_bandwidth_bps = 0.0};
+    case topo::MemoryKind::kGPU:
+      return {.latency_ns = 380.0,
+              .bandwidth_bps = gb_per_s(64.0),
+              .read_bandwidth_bps = 0.0,
+              .write_bandwidth_bps = 0.0};
+  }
+  return {};
+}
+
+HmatTable generate(const topo::Topology& topology, const GenerateOptions& options) {
+  HmatTable table;
+  for (const topo::Object* node : topology.numa_nodes()) {
+    const AdvertisedPerf perf = advertised_defaults(node->memory_kind());
+
+    auto emit = [&](const Bitmap& initiator, double factor_lat, double factor_bw) {
+      table.locality.push_back(LocalityEntry{initiator, node->os_index(),
+                                             Metric::kLatency, AccessType::kAccess,
+                                             perf.latency_ns * factor_lat});
+      table.locality.push_back(LocalityEntry{initiator, node->os_index(),
+                                             Metric::kBandwidth, AccessType::kAccess,
+                                             perf.bandwidth_bps * factor_bw});
+      if (options.read_write_split && perf.read_bandwidth_bps > 0.0) {
+        table.locality.push_back(LocalityEntry{initiator, node->os_index(),
+                                               Metric::kBandwidth, AccessType::kRead,
+                                               perf.read_bandwidth_bps * factor_bw});
+        table.locality.push_back(LocalityEntry{initiator, node->os_index(),
+                                               Metric::kBandwidth, AccessType::kWrite,
+                                               perf.write_bandwidth_bps * factor_bw});
+      }
+    };
+
+    emit(node->cpuset(), 1.0, 1.0);
+    if (!options.local_only) {
+      const Bitmap remote = topology.complete_cpuset().and_not(node->cpuset());
+      if (!remote.empty()) {
+        emit(remote, options.remote_latency_factor, options.remote_bandwidth_factor);
+      }
+    }
+
+    if (node->memory_side_cache().has_value()) {
+      const topo::MemorySideCache& cache = *node->memory_side_cache();
+      table.caches.push_back(CacheEntry{node->os_index(), cache.size_bytes,
+                                        cache.associativity, cache.line_bytes});
+    }
+  }
+  return table;
+}
+
+std::string serialize(const HmatTable& table) {
+  std::string out = "# hetmem-hmat v1\n";
+  for (const LocalityEntry& entry : table.locality) {
+    out += std::string(metric_name(entry.metric)) + " " +
+           access_type_name(entry.access) +
+           " initiator=" + entry.initiator.to_list_string() +
+           " target=" + std::to_string(entry.target_domain);
+    if (entry.metric == Metric::kLatency) {
+      out += " value_ns=" + support::format_fixed(entry.value, 3);
+    } else {
+      out += " value_bps=" + support::format_fixed(entry.value, 0);
+    }
+    out += '\n';
+  }
+  for (const CacheEntry& cache : table.caches) {
+    out += "cache target=" + std::to_string(cache.target_domain) +
+           " size=" + std::to_string(cache.size_bytes) +
+           " assoc=" + std::to_string(cache.associativity) +
+           " line=" + std::to_string(cache.line_bytes) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+Result<double> parse_double(std::string_view text) {
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return make_error(Errc::kParseError, "bad number '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<unsigned> parse_unsigned(std::string_view text) {
+  unsigned value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return make_error(Errc::kParseError, "bad integer '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+/// "key=value" -> value for the given key; error when absent.
+Result<std::string_view> field(const std::vector<std::string_view>& tokens,
+                               std::string_view key) {
+  const std::string prefix = std::string(key) + "=";
+  for (std::string_view token : tokens) {
+    if (support::starts_with(token, prefix)) return token.substr(prefix.size());
+  }
+  return make_error(Errc::kParseError, "missing field '" + std::string(key) + "'");
+}
+
+}  // namespace
+
+Result<HmatTable> parse(std::string_view text) {
+  HmatTable table;
+  std::size_t line_number = 0;
+  for (std::string_view raw_line : support::split(text, '\n')) {
+    ++line_number;
+    std::string_view line = support::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::vector<std::string_view> tokens;
+    for (std::string_view token : support::split(line, ' ')) {
+      if (!token.empty()) tokens.push_back(token);
+    }
+    auto fail = [&](std::string message) -> Result<HmatTable> {
+      return make_error(Errc::kParseError,
+                        "line " + std::to_string(line_number) + ": " + message);
+    };
+
+    if (tokens[0] == "cache") {
+      CacheEntry cache;
+      auto target = field(tokens, "target");
+      if (!target.ok()) return fail(target.error().message);
+      auto target_value = parse_unsigned(*target);
+      if (!target_value.ok()) return fail(target_value.error().message);
+      cache.target_domain = *target_value;
+
+      auto size = field(tokens, "size");
+      if (!size.ok()) return fail(size.error().message);
+      auto size_value = parse_double(*size);
+      if (!size_value.ok()) return fail(size_value.error().message);
+      cache.size_bytes = static_cast<std::uint64_t>(*size_value);
+
+      if (auto assoc = field(tokens, "assoc"); assoc.ok()) {
+        auto v = parse_unsigned(*assoc);
+        if (!v.ok()) return fail(v.error().message);
+        cache.associativity = *v;
+      }
+      if (auto cache_line = field(tokens, "line"); cache_line.ok()) {
+        auto v = parse_unsigned(*cache_line);
+        if (!v.ok()) return fail(v.error().message);
+        cache.line_bytes = *v;
+      }
+      table.caches.push_back(cache);
+      continue;
+    }
+
+    LocalityEntry entry;
+    if (tokens[0] == "latency") {
+      entry.metric = Metric::kLatency;
+    } else if (tokens[0] == "bandwidth") {
+      entry.metric = Metric::kBandwidth;
+    } else {
+      return fail("unknown record '" + std::string(tokens[0]) + "'");
+    }
+    if (tokens.size() < 2) return fail("missing access type");
+    if (tokens[1] == "access") {
+      entry.access = AccessType::kAccess;
+    } else if (tokens[1] == "read") {
+      entry.access = AccessType::kRead;
+    } else if (tokens[1] == "write") {
+      entry.access = AccessType::kWrite;
+    } else {
+      return fail("unknown access type '" + std::string(tokens[1]) + "'");
+    }
+
+    auto initiator = field(tokens, "initiator");
+    if (!initiator.ok()) return fail(initiator.error().message);
+    auto initiator_set = Bitmap::parse(*initiator);
+    if (!initiator_set.has_value()) {
+      return fail("bad initiator cpuset '" + std::string(*initiator) + "'");
+    }
+    entry.initiator = *initiator_set;
+
+    auto target = field(tokens, "target");
+    if (!target.ok()) return fail(target.error().message);
+    auto target_value = parse_unsigned(*target);
+    if (!target_value.ok()) return fail(target_value.error().message);
+    entry.target_domain = *target_value;
+
+    const char* value_key = entry.metric == Metric::kLatency ? "value_ns" : "value_bps";
+    auto value_text = field(tokens, value_key);
+    if (!value_text.ok()) return fail(value_text.error().message);
+    auto value = parse_double(*value_text);
+    if (!value.ok()) return fail(value.error().message);
+    if (*value <= 0.0) return fail("non-positive value");
+    entry.value = *value;
+
+    table.locality.push_back(std::move(entry));
+  }
+  return table;
+}
+
+Result<LoadStats> load_into(attr::MemAttrRegistry& registry, const HmatTable& table) {
+  const topo::Topology& topology = registry.topology();
+  LoadStats stats;
+  for (const LocalityEntry& entry : table.locality) {
+    const topo::Object* target = topology.numa_node_by_os_index(entry.target_domain);
+    if (target == nullptr || entry.initiator.empty()) {
+      ++stats.entries_skipped;
+      continue;
+    }
+    attr::AttrId attr = 0;
+    if (entry.metric == Metric::kLatency) {
+      attr = entry.access == AccessType::kAccess ? attr::kLatency
+             : entry.access == AccessType::kRead ? attr::kReadLatency
+                                                 : attr::kWriteLatency;
+    } else {
+      attr = entry.access == AccessType::kAccess ? attr::kBandwidth
+             : entry.access == AccessType::kRead ? attr::kReadBandwidth
+                                                 : attr::kWriteBandwidth;
+    }
+    auto status = registry.set_value(
+        attr, *target, attr::Initiator::from_cpuset(entry.initiator), entry.value);
+    if (!status.ok()) return status.error();
+    ++stats.entries_loaded;
+  }
+  return stats;
+}
+
+}  // namespace hetmem::hmat

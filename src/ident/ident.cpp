@@ -1,0 +1,201 @@
+#include "hetmem/ident/ident.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::ident {
+
+const char* kind_guess_name(KindGuess guess) {
+  switch (guess) {
+    case KindGuess::kFastSmall: return "fast-small";
+    case KindGuess::kNormal: return "normal";
+    case KindGuess::kSlowBig: return "slow-big";
+    case KindGuess::kFar: return "far";
+    case KindGuess::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+KindGuess expected_guess(topo::MemoryKind kind) {
+  switch (kind) {
+    case topo::MemoryKind::kDRAM: return KindGuess::kNormal;
+    case topo::MemoryKind::kHBM: return KindGuess::kFastSmall;
+    case topo::MemoryKind::kNVDIMM: return KindGuess::kSlowBig;
+    case topo::MemoryKind::kNAM: return KindGuess::kFar;
+    // From the CPU initiators this library models, coherent GPU memory is a
+    // high-latency remote pool (NVLink hop) — behaviorally "far", even
+    // though it is HBM on the device side.
+    case topo::MemoryKind::kGPU: return KindGuess::kFar;
+  }
+  return KindGuess::kUnknown;
+}
+
+namespace {
+
+struct Features {
+  bool has_perf = false;
+  double bandwidth = 0.0;  // best-initiator view
+  double latency = 0.0;
+  double capacity = 0.0;
+};
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+std::vector<NodeClassification> classify(const attr::MemAttrRegistry& registry,
+                                         const ClassifyOptions& options) {
+  const topo::Topology& topology = registry.topology();
+  const std::size_t node_count = topology.numa_nodes().size();
+
+  std::vector<Features> features(node_count);
+  for (const topo::Object* node : topology.numa_nodes()) {
+    Features& f = features[node->logical_index()];
+    auto capacity = registry.value(attr::kCapacity, *node, std::nullopt);
+    f.capacity = capacity.ok() ? *capacity : 0.0;
+    auto bandwidth = registry.best_initiator(attr::kBandwidth, *node);
+    auto latency = registry.best_initiator(attr::kLatency, *node);
+    if (bandwidth.ok() && latency.ok()) {
+      f.has_perf = true;
+      f.bandwidth = bandwidth->value;
+      f.latency = latency->value;
+    }
+  }
+
+  std::vector<double> latencies, capacities;
+  for (const Features& f : features) {
+    if (!f.has_perf) continue;
+    latencies.push_back(f.latency);
+    capacities.push_back(f.capacity);
+  }
+  const double floor_lat =
+      latencies.empty() ? 0.0 : *std::min_element(latencies.begin(), latencies.end());
+  const double median_cap = median(capacities);
+
+  // Pass 1: latency rules split off the slow tiers (NVDIMM/NAM-like).
+  // The small-capacity condition keeps HBM — whose loaded latency can also
+  // exceed DRAM's — out of the slow bucket.
+  std::vector<bool> slow_or_far(node_count, false);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const Features& f = features[n];
+    if (!f.has_perf) continue;
+    const double lat_ratio = floor_lat > 0 ? f.latency / floor_lat : 1.0;
+    const double cap_ratio = median_cap > 0 ? f.capacity / median_cap : 1.0;
+    slow_or_far[n] = lat_ratio >= options.far_latency_ratio ||
+                     f.latency >= options.absolute_far_latency ||
+                     (lat_ratio >= options.slow_latency_ratio && cap_ratio >= 1.0);
+  }
+
+  // Pass 2: the bandwidth baseline is the weakest of the remaining
+  // ("normal-or-faster") nodes — a median would sit between the tiers when
+  // half the nodes are HBM.
+  double baseline_bw = 0.0;
+  double baseline_cap_median = 0.0;
+  {
+    std::vector<double> base_caps;
+    for (std::size_t n = 0; n < node_count; ++n) {
+      if (!features[n].has_perf || slow_or_far[n]) continue;
+      if (baseline_bw == 0.0 || features[n].bandwidth < baseline_bw) {
+        baseline_bw = features[n].bandwidth;
+      }
+      base_caps.push_back(features[n].capacity);
+    }
+    baseline_cap_median = median(base_caps);
+  }
+
+  std::vector<NodeClassification> out;
+  out.reserve(node_count);
+  for (const topo::Object* node : topology.numa_nodes()) {
+    const std::size_t n = node->logical_index();
+    const Features& f = features[n];
+    NodeClassification c;
+    c.node = node->logical_index();
+    if (!f.has_perf) {
+      c.guess = KindGuess::kUnknown;
+      c.rationale = "no bandwidth/latency values";
+      out.push_back(std::move(c));
+      continue;
+    }
+
+    const double bw_ratio = baseline_bw > 0 ? f.bandwidth / baseline_bw : 1.0;
+    const double lat_ratio = floor_lat > 0 ? f.latency / floor_lat : 1.0;
+    const double cap_ratio = median_cap > 0 ? f.capacity / median_cap : 1.0;
+    char rationale[160];
+    std::snprintf(
+        rationale, sizeof(rationale),
+        "bandwidth %.1fx baseline, latency %.1fx floor, capacity %.1fx median",
+        bw_ratio, lat_ratio, cap_ratio);
+    c.rationale = rationale;
+
+    // Decision ladder, most distinctive behavior first. Confidence is the
+    // margin past the triggering threshold, saturated at 1.
+    const bool small_node =
+        baseline_cap_median <= 0.0 || f.capacity <= baseline_cap_median;
+    if (slow_or_far[n] && (lat_ratio >= options.far_latency_ratio ||
+                           f.latency >= options.absolute_far_latency)) {
+      c.guess = KindGuess::kFar;
+      c.confidence =
+          std::min(1.0, lat_ratio / (2.0 * options.far_latency_ratio) + 0.5);
+    } else if (slow_or_far[n]) {
+      c.guess = KindGuess::kSlowBig;
+      c.confidence =
+          std::min(1.0, lat_ratio / (2.0 * options.slow_latency_ratio) + 0.5);
+    } else if ((bw_ratio >= options.fast_bandwidth_ratio && small_node) ||
+               f.bandwidth >= options.absolute_fast_bandwidth) {
+      c.guess = KindGuess::kFastSmall;
+      c.confidence =
+          std::min(1.0, bw_ratio / (2.0 * options.fast_bandwidth_ratio) + 0.5);
+    } else {
+      c.guess = KindGuess::kNormal;
+      // Confidence shrinks as the node drifts toward any boundary.
+      const double margin =
+          std::min({options.slow_latency_ratio / std::max(1.0, lat_ratio),
+                    options.fast_bandwidth_ratio / std::max(1.0, bw_ratio)});
+      c.confidence = std::min(1.0, 0.4 + 0.3 * margin);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+double agreement_with_ground_truth(
+    const topo::Topology& topology,
+    const std::vector<NodeClassification>& classifications) {
+  if (classifications.empty()) return 0.0;
+  std::size_t matches = 0;
+  for (const NodeClassification& c : classifications) {
+    const topo::Object* node = topology.numa_node(c.node);
+    if (node != nullptr && expected_guess(node->memory_kind()) == c.guess) {
+      ++matches;
+    }
+  }
+  return static_cast<double>(matches) / static_cast<double>(classifications.size());
+}
+
+std::string render(const topo::Topology& topology,
+                   const std::vector<NodeClassification>& classifications) {
+  std::string out;
+  for (const NodeClassification& c : classifications) {
+    const topo::Object* node = topology.numa_node(c.node);
+    out += "  L#" + std::to_string(c.node) + ": " + kind_guess_name(c.guess) +
+           " (confidence " + support::format_fixed(c.confidence, 2) + ") -- " +
+           c.rationale;
+    if (node != nullptr) {
+      out += " [truth: ";
+      out += topo::memory_kind_name(node->memory_kind());
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hetmem::ident

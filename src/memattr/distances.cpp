@@ -1,0 +1,84 @@
+#include "hetmem/memattr/distances.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetmem/support/str.hpp"
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::attr {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+
+Result<DistanceMatrix> DistanceMatrix::from_latencies(
+    const MemAttrRegistry& registry) {
+  const topo::Topology& topology = registry.topology();
+  const std::size_t n = topology.numa_nodes().size();
+  DistanceMatrix matrix(n);
+
+  for (const topo::Object* from : topology.numa_nodes()) {
+    // The "CPUs of node i": its locality; CPU-less nodes fall back to the
+    // whole machine (their best-case accessor).
+    support::Bitmap cpus = from->cpuset();
+    if (cpus.empty()) cpus = topology.complete_cpuset();
+    const auto initiator = Initiator::from_cpuset(cpus);
+    for (const topo::Object* to : topology.numa_nodes()) {
+      auto latency = registry.value(kLatency, *to, initiator);
+      if (!latency.ok()) {
+        return make_error(Errc::kNotFound,
+                          "no latency for node pair (" +
+                              std::to_string(from->logical_index()) + ", " +
+                              std::to_string(to->logical_index()) +
+                              "); populate remote values first");
+      }
+      matrix.latency_[from->logical_index() * n + to->logical_index()] =
+          *latency;
+    }
+  }
+  return matrix;
+}
+
+double DistanceMatrix::latency_ns(unsigned from, unsigned to) const {
+  if (from >= size_ || to >= size_) return 0.0;
+  return latency_[from * size_ + to];
+}
+
+unsigned DistanceMatrix::value(unsigned from, unsigned to) const {
+  if (from >= size_ || to >= size_) return 0;
+  const double floor =
+      *std::min_element(latency_.begin(), latency_.end());
+  if (floor <= 0.0) return 0;
+  return static_cast<unsigned>(
+      std::lround(latency_[from * size_ + to] / floor * 10.0));
+}
+
+std::vector<unsigned> DistanceMatrix::nearest_order(unsigned from) const {
+  std::vector<unsigned> order;
+  if (from >= size_) return order;
+  order.resize(size_);
+  for (unsigned i = 0; i < size_; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return latency_[from * size_ + a] < latency_[from * size_ + b];
+  });
+  return order;
+}
+
+std::string DistanceMatrix::render() const {
+  std::string out = "SLIT-style distances (10 = fastest pair):\n     ";
+  for (unsigned to = 0; to < size_; ++to) {
+    out += support::pad_left("L#" + std::to_string(to), 6);
+  }
+  out += "\n";
+  for (unsigned from = 0; from < size_; ++from) {
+    out += support::pad_left("L#" + std::to_string(from), 5);
+    for (unsigned to = 0; to < size_; ++to) {
+      out += support::pad_left(std::to_string(value(from, to)), 6);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hetmem::attr

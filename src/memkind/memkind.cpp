@@ -1,0 +1,134 @@
+#include "hetmem/memkind/memkind.hpp"
+
+#include <algorithm>
+
+namespace hetmem::memkind {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+using support::Status;
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kDefault: return "MEMKIND_DEFAULT";
+    case Kind::kHbw: return "MEMKIND_HBW";
+    case Kind::kHbwPreferred: return "MEMKIND_HBW_PREFERRED";
+    case Kind::kHbwAll: return "MEMKIND_HBW_ALL";
+    case Kind::kDax: return "MEMKIND_DAX_KMEM";
+    case Kind::kDaxPreferred: return "MEMKIND_DAX_KMEM_PREFERRED";
+    case Kind::kHighestCapacity: return "MEMKIND_HIGHEST_CAPACITY";
+  }
+  return "?";
+}
+
+MemkindShim::MemkindShim(sim::SimMachine& machine) : machine_(&machine) {}
+
+const topo::Object* MemkindShim::find_node(topo::MemoryKind want,
+                                           const support::Bitmap& initiator,
+                                           bool local_only,
+                                           std::uint64_t bytes) const {
+  const topo::Topology& topology = machine_->topology();
+  const topo::Object* fallback = nullptr;
+  for (const topo::Object* node : topology.numa_nodes()) {
+    if (node->memory_kind() != want) continue;
+    if (machine_->available_bytes(node->logical_index()) < bytes) continue;
+    const bool local = node->cpuset().intersects(initiator);
+    if (local) return node;
+    if (!local_only && fallback == nullptr) fallback = node;
+  }
+  return fallback;
+}
+
+bool MemkindShim::available(Kind kind) const {
+  const topo::Topology& topology = machine_->topology();
+  auto has_kind = [&](topo::MemoryKind want) {
+    return std::any_of(topology.numa_nodes().begin(), topology.numa_nodes().end(),
+                       [&](const topo::Object* node) {
+                         return node->memory_kind() == want;
+                       });
+  };
+  switch (kind) {
+    case Kind::kDefault:
+    case Kind::kHighestCapacity:
+      return true;
+    case Kind::kHbw:
+    case Kind::kHbwPreferred:
+    case Kind::kHbwAll:
+      return has_kind(topo::MemoryKind::kHBM);
+    case Kind::kDax:
+    case Kind::kDaxPreferred:
+      return has_kind(topo::MemoryKind::kNVDIMM);
+  }
+  return false;
+}
+
+Result<sim::BufferId> MemkindShim::malloc(std::uint64_t bytes, Kind kind,
+                                          const support::Bitmap& initiator,
+                                          std::string label,
+                                          std::size_t backing_bytes) {
+  const topo::Topology& topology = machine_->topology();
+
+  auto default_node = [&]() -> const topo::Object* {
+    // The OS default: the lowest-index node local to the caller with room.
+    for (const topo::Object* node : topology.local_numa_nodes(
+             initiator, topo::LocalityFlags::kIntersecting)) {
+      if (machine_->available_bytes(node->logical_index()) >= bytes) return node;
+    }
+    return nullptr;
+  };
+
+  const topo::Object* target = nullptr;
+  switch (kind) {
+    case Kind::kDefault:
+      target = default_node();
+      break;
+    case Kind::kHbw:
+      target = find_node(topo::MemoryKind::kHBM, initiator, /*local_only=*/true,
+                         bytes);
+      break;
+    case Kind::kHbwAll:
+      target = find_node(topo::MemoryKind::kHBM, initiator, /*local_only=*/false,
+                         bytes);
+      break;
+    case Kind::kHbwPreferred:
+      target = find_node(topo::MemoryKind::kHBM, initiator, true, bytes);
+      if (target == nullptr) target = default_node();
+      break;
+    case Kind::kDax:
+      target = find_node(topo::MemoryKind::kNVDIMM, initiator, true, bytes);
+      break;
+    case Kind::kDaxPreferred:
+      target = find_node(topo::MemoryKind::kNVDIMM, initiator, true, bytes);
+      if (target == nullptr) target = default_node();
+      break;
+    case Kind::kHighestCapacity: {
+      std::uint64_t best = 0;
+      for (const topo::Object* node : topology.numa_nodes()) {
+        if (machine_->available_bytes(node->logical_index()) >= bytes &&
+            node->capacity_bytes() > best) {
+          best = node->capacity_bytes();
+          target = node;
+        }
+      }
+      break;
+    }
+  }
+
+  if (target == nullptr) {
+    // memkind_malloc returns NULL here; kUnsupported distinguishes "this
+    // machine has no such technology" from plain capacity exhaustion.
+    const bool technology_missing = !available(kind);
+    return make_error(technology_missing ? Errc::kUnsupported
+                                         : Errc::kOutOfCapacity,
+                      std::string(kind_name(kind)) +
+                          (technology_missing ? ": no such memory on this machine"
+                                              : ": out of capacity"));
+  }
+  return machine_->allocate(bytes, target->logical_index(), std::move(label),
+                            backing_bytes);
+}
+
+Status MemkindShim::free(sim::BufferId buffer) { return machine_->free(buffer); }
+
+}  // namespace hetmem::memkind

@@ -1,0 +1,117 @@
+#include "hetmem/omp/omp_spaces.hpp"
+
+#include <bit>
+
+namespace hetmem::omp {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+using support::Status;
+
+const char* mem_space_name(MemSpace space) {
+  switch (space) {
+    case MemSpace::kDefault: return "omp_default_mem_space";
+    case MemSpace::kLargeCap: return "omp_large_cap_mem_space";
+    case MemSpace::kConst: return "omp_const_mem_space";
+    case MemSpace::kHighBandwidth: return "omp_high_bw_mem_space";
+    case MemSpace::kLowLatency: return "omp_low_lat_mem_space";
+  }
+  return "?";
+}
+
+attr::AttrId space_attribute(MemSpace space) {
+  switch (space) {
+    case MemSpace::kDefault:
+    case MemSpace::kConst:
+      return attr::kLocality;
+    case MemSpace::kLargeCap:
+      return attr::kCapacity;
+    case MemSpace::kHighBandwidth:
+      return attr::kBandwidth;
+    case MemSpace::kLowLatency:
+      return attr::kLatency;
+  }
+  return attr::kLocality;
+}
+
+OmpRuntime::OmpRuntime(alloc::HeterogeneousAllocator& allocator)
+    : allocator_(&allocator) {
+  // Predefined allocators, handles 0..4 (default traits).
+  for (MemSpace space : {MemSpace::kDefault, MemSpace::kLargeCap,
+                         MemSpace::kConst, MemSpace::kHighBandwidth,
+                         MemSpace::kLowLatency}) {
+    allocators_.push_back(OmpAllocator{space, AllocatorTraits{}});
+  }
+}
+
+Result<std::uint32_t> OmpRuntime::init_allocator(MemSpace space,
+                                                 const AllocatorTraits& traits) {
+  if (traits.alignment == 0 || !std::has_single_bit(traits.alignment)) {
+    return make_error(Errc::kInvalidArgument,
+                      "alignment trait must be a power of two");
+  }
+  allocators_.push_back(OmpAllocator{space, traits});
+  return static_cast<std::uint32_t>(allocators_.size() - 1);
+}
+
+const OmpAllocator* OmpRuntime::allocator_info(std::uint32_t handle) const {
+  if (handle >= allocators_.size()) return nullptr;
+  return &allocators_[handle];
+}
+
+Result<sim::BufferId> OmpRuntime::allocate(std::uint64_t bytes,
+                                           std::uint32_t allocator_handle,
+                                           const support::Bitmap& initiator,
+                                           std::string label,
+                                           std::size_t backing_bytes) {
+  const OmpAllocator* omp_allocator = allocator_info(allocator_handle);
+  if (omp_allocator == nullptr) {
+    return make_error(Errc::kInvalidArgument, "unknown allocator handle");
+  }
+  // Alignment trait: round the charged size up.
+  const std::uint64_t align = omp_allocator->traits.alignment;
+  const std::uint64_t padded = (bytes + align - 1) / align * align;
+
+  alloc::AllocRequest request;
+  request.bytes = padded;
+  request.attribute = space_attribute(omp_allocator->space);
+  request.initiator = initiator;
+  request.label = std::move(label);
+  request.backing_bytes = backing_bytes;
+  // The space targets ITS best node; walking the whole ranking would blur
+  // spaces together, so in-space allocation is strict and the fallback
+  // TRAIT decides what happens next (OpenMP spec semantics).
+  request.policy = alloc::Policy::kStrict;
+
+  auto allocation = allocator_->mem_alloc(request);
+  if (allocation.ok()) return allocation->buffer;
+  if (allocation.error().code != Errc::kOutOfCapacity) {
+    return allocation.error();
+  }
+
+  switch (omp_allocator->traits.fallback) {
+    case FallbackTrait::kNullFb:
+      return make_error(Errc::kOutOfCapacity,
+                        std::string(mem_space_name(omp_allocator->space)) +
+                            " exhausted (null_fb)");
+    case FallbackTrait::kAbortFb:
+      return make_error(Errc::kInternal,
+                        std::string(mem_space_name(omp_allocator->space)) +
+                            " exhausted (abort_fb)");
+    case FallbackTrait::kDefaultMemFb: {
+      request.attribute = space_attribute(MemSpace::kDefault);
+      request.policy = alloc::Policy::kRankedFallback;
+      auto retry = allocator_->mem_alloc(request);
+      if (!retry.ok()) return retry.error();
+      return retry->buffer;
+    }
+  }
+  return make_error(Errc::kInternal, "unreachable");
+}
+
+Status OmpRuntime::deallocate(sim::BufferId buffer) {
+  return allocator_->mem_free(buffer);
+}
+
+}  // namespace hetmem::omp

@@ -1,0 +1,240 @@
+#include "hetmem/simmem/exec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+#include <unordered_set>
+
+namespace hetmem::sim {
+
+PhaseResult resolve_phase(const SimMachine& machine,
+                          const support::Bitmap& initiator,
+                          std::vector<ThreadCtx*> contexts, std::string name) {
+  const std::size_t node_count = machine.topology().numa_nodes().size();
+  PhaseResult result;
+  result.name = std::move(name);
+  result.nodes.resize(node_count);
+
+  // Per-node working set: unique touched buffers, grouped by current node.
+  std::unordered_set<std::uint32_t> touched;
+  for (const ThreadCtx* ctx : contexts) {
+    for (std::uint32_t index : ctx->touched_buffers()) touched.insert(index);
+  }
+  for (std::uint32_t index : touched) {
+    const BufferInfo& info = machine.info(BufferId{index});
+    if (!info.freed) {
+      result.nodes[info.node].working_set_bytes += info.declared_bytes;
+    }
+  }
+
+  // Whether a given worker is local to a node: its own binding when set
+  // (multi-socket runs bind ranks to different localities), else the
+  // context-wide initiator.
+  auto thread_local_to = [&](const ThreadCtx* ctx, std::size_t n) {
+    const support::Bitmap& binding =
+        ctx->locality().empty() ? initiator : ctx->locality();
+    const topo::Object* node = machine.topology().numa_nodes()[n];
+    return !binding.empty() && binding.is_subset_of(node->cpuset());
+  };
+
+  // Aggregate traffic (split local/remote per node) and count active
+  // threads per node.
+  std::vector<unsigned> active_threads(node_count, 0);
+  std::vector<double> remote_read_bytes(node_count, 0.0);
+  std::vector<double> remote_write_bytes(node_count, 0.0);
+  for (const ThreadCtx* ctx : contexts) {
+    const auto& per_node = ctx->node_traffic();
+    for (std::size_t n = 0; n < node_count; ++n) {
+      if (!per_node[n].any()) continue;
+      ++active_threads[n];
+      result.nodes[n].read_bytes += per_node[n].total_read_bytes();
+      result.nodes[n].write_bytes += per_node[n].total_write_bytes();
+      result.nodes[n].rand_accesses +=
+          per_node[n].rand_read_accesses + per_node[n].rand_write_accesses;
+      if (!thread_local_to(ctx, n)) {
+        remote_read_bytes[n] += per_node[n].total_read_bytes();
+        remote_write_bytes[n] += per_node[n].total_write_bytes();
+      }
+    }
+  }
+
+  // Effective node constants for this phase, both locality classes.
+  std::vector<EffectiveNodePerf> eff_local(node_count);
+  std::vector<EffectiveNodePerf> eff_remote(node_count);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const std::uint64_t ws = result.nodes[n].working_set_bytes;
+    eff_local[n] =
+        machine.perf_model().effective(static_cast<unsigned>(n), ws, true);
+    eff_remote[n] =
+        machine.perf_model().effective(static_cast<unsigned>(n), ws, false);
+  }
+
+  // Pass 1: bandwidth times and provisional phase length with idle latency.
+  // Local and remote shares each move at their class's rate (serialized —
+  // the controller serves both streams).
+  auto node_bandwidth_time = [&](std::size_t n) {
+    const NodePhaseStats& stats = result.nodes[n];
+    if (stats.read_bytes + stats.write_bytes <= 0.0) return 0.0;
+    const double threads = std::max(1u, active_threads[n]);
+    auto class_time = [&](double bytes, double peak, double per_thread) {
+      if (bytes <= 0.0) return 0.0;
+      return bytes / std::min(peak, threads * per_thread) * 1e9;
+    };
+    double t = 0.0;
+    t += class_time(stats.read_bytes - remote_read_bytes[n],
+                    eff_local[n].read_bw, eff_local[n].per_thread_read_bw);
+    t += class_time(remote_read_bytes[n], eff_remote[n].read_bw,
+                    eff_remote[n].per_thread_read_bw);
+    t += class_time(stats.write_bytes - remote_write_bytes[n],
+                    eff_local[n].write_bw, eff_local[n].per_thread_write_bw);
+    t += class_time(remote_write_bytes[n], eff_remote[n].write_bw,
+                    eff_remote[n].per_thread_write_bw);
+    return t;
+  };
+
+  // Latency per node with a load multiplier applied to both classes.
+  std::vector<double> load_multiplier(node_count, 1.0);
+  auto thread_time = [&](const ThreadCtx* ctx) {
+    double t = ctx->compute_ns();
+    const auto& per_node = ctx->node_traffic();
+    for (std::size_t n = 0; n < node_count; ++n) {
+      const double accesses =
+          per_node[n].rand_read_accesses + per_node[n].rand_write_accesses;
+      if (accesses > 0.0) {
+        const double base = thread_local_to(ctx, n) ? eff_local[n].latency_ns
+                                                    : eff_remote[n].latency_ns;
+        t += accesses * base * load_multiplier[n] / ctx->mlp();
+      }
+    }
+    return t;
+  };
+
+  double bw_max = 0.0;
+  for (std::size_t n = 0; n < node_count; ++n) {
+    result.nodes[n].bandwidth_time_ns = node_bandwidth_time(n);
+    bw_max = std::max(bw_max, result.nodes[n].bandwidth_time_ns);
+  }
+  double lat_max = 0.0;
+  double compute_max = 0.0;
+  for (const ThreadCtx* ctx : contexts) {
+    lat_max = std::max(lat_max, thread_time(ctx));
+    compute_max = std::max(compute_max, ctx->compute_ns());
+  }
+  double provisional = std::max(bw_max, lat_max);
+
+  // Pass 2: loaded-latency refinement from utilization over the provisional
+  // phase length (single fixed iteration; keeps the resolver deterministic).
+  if (provisional > 0.0) {
+    for (std::size_t n = 0; n < node_count; ++n) {
+      const NodePhaseStats& stats = result.nodes[n];
+      if (stats.read_bytes + stats.write_bytes <= 0.0) continue;
+      // Fraction of the phase this node's bandwidth was busy.
+      const double utilization =
+          std::min(1.0, stats.bandwidth_time_ns / provisional);
+      result.nodes[n].utilization = utilization;
+      const double k = machine.perf_model().node(static_cast<unsigned>(n)).loaded_latency_k;
+      load_multiplier[n] = 1.0 + k * utilization * utilization;
+    }
+    lat_max = 0.0;
+    for (const ThreadCtx* ctx : contexts) {
+      lat_max = std::max(lat_max, thread_time(ctx));
+    }
+  }
+
+  // Per-node stall attribution for the profiler (thread-ns summed).
+  for (const ThreadCtx* ctx : contexts) {
+    const auto& per_node = ctx->node_traffic();
+    for (std::size_t n = 0; n < node_count; ++n) {
+      const double accesses =
+          per_node[n].rand_read_accesses + per_node[n].rand_write_accesses;
+      if (accesses > 0.0) {
+        const double base = thread_local_to(ctx, n) ? eff_local[n].latency_ns
+                                                    : eff_remote[n].latency_ns;
+        result.nodes[n].latency_stall_ns +=
+            accesses * base * load_multiplier[n] / ctx->mlp();
+      }
+    }
+  }
+
+  result.bandwidth_time_ns_max = bw_max;
+  result.latency_time_ns_max = lat_max;
+  result.compute_ns_max = compute_max;
+  result.sim_ns = std::max(bw_max, lat_max);
+  return result;
+}
+
+ExecutionContext::ExecutionContext(SimMachine& machine, support::Bitmap initiator,
+                                   unsigned thread_count)
+    : machine_(&machine), initiator_(std::move(initiator)) {
+  assert(thread_count >= 1);
+  const std::size_t node_count = machine.topology().numa_nodes().size();
+  contexts_.reserve(thread_count);
+  for (unsigned i = 0; i < thread_count; ++i) {
+    contexts_.push_back(std::make_unique<ThreadCtx>(node_count));
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  pool_ = std::make_unique<support::ThreadPool>(std::min(thread_count, hw));
+}
+
+void ExecutionContext::set_mlp(double mlp) {
+  for (auto& ctx : contexts_) ctx->set_mlp(mlp);
+}
+
+support::Status ExecutionContext::set_thread_localities(
+    const std::vector<support::Bitmap>& localities) {
+  if (localities.size() != contexts_.size()) {
+    return support::make_error(support::Errc::kInvalidArgument,
+                               "need one locality per simulated thread");
+  }
+  for (std::size_t i = 0; i < localities.size(); ++i) {
+    contexts_[i]->set_locality(localities[i]);
+  }
+  return {};
+}
+
+const PhaseResult& ExecutionContext::run_phase(std::string name, std::size_t items,
+                                               const PhaseBody& body) {
+  for (auto& ctx : contexts_) ctx->reset_phase();
+
+  // Simulated threads are distributed over the (possibly smaller) pool:
+  // each pool worker runs a contiguous range of simulated threads, each
+  // simulated thread a contiguous slice of the items.
+  const unsigned sim_threads = thread_count();
+  pool_->parallel_for(
+      sim_threads, [&](std::size_t, std::size_t first_sim, std::size_t last_sim) {
+        for (std::size_t sim = first_sim; sim < last_sim; ++sim) {
+          const std::size_t base = items / sim_threads;
+          const std::size_t extra = items % sim_threads;
+          const std::size_t begin = sim * base + std::min(sim, static_cast<std::size_t>(extra));
+          const std::size_t end = begin + base + (sim < extra ? 1 : 0);
+          body(*contexts_[sim], static_cast<unsigned>(sim), begin, end);
+        }
+      });
+
+  std::vector<ThreadCtx*> raw;
+  raw.reserve(contexts_.size());
+  for (auto& ctx : contexts_) raw.push_back(ctx.get());
+  history_.push_back(resolve_phase(*machine_, initiator_, std::move(raw),
+                                   std::move(name)));
+  clock_ns_ += history_.back().sim_ns;
+  return history_.back();
+}
+
+std::vector<BufferTraffic> ExecutionContext::merged_buffer_traffic() const {
+  std::vector<BufferTraffic> merged;
+  for (const auto& ctx : contexts_) {
+    const auto& per_buffer = ctx->buffer_traffic();
+    if (merged.size() < per_buffer.size()) merged.resize(per_buffer.size());
+    for (std::size_t i = 0; i < per_buffer.size(); ++i) {
+      merged[i].reads += per_buffer[i].reads;
+      merged[i].writes += per_buffer[i].writes;
+      merged[i].llc_misses += per_buffer[i].llc_misses;
+      merged[i].memory_bytes += per_buffer[i].memory_bytes;
+      merged[i].random_accesses += per_buffer[i].random_accesses;
+      merged[i].random_misses += per_buffer[i].random_misses;
+    }
+  }
+  return merged;
+}
+
+}  // namespace hetmem::sim

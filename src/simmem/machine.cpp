@@ -1,0 +1,155 @@
+#include "hetmem/simmem/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::sim {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+using support::Status;
+
+SimMachine::SimMachine(topo::Topology topology, MachinePerfModel model)
+    : topology_(std::move(topology)),
+      model_(std::move(model)),
+      used_(topology_.numa_nodes().size(), 0),
+      llc_bytes_(static_cast<std::uint64_t>(27.5 * 1024 * 1024)) {
+  assert(model_.node_count() == topology_.numa_nodes().size());
+}
+
+namespace {
+// Evaluation-order-safe helper for the delegating constructor: calibrate
+// before the topology is moved into the machine.
+MachinePerfModel calibrate_then(const topo::Topology& topology) {
+  return MachinePerfModel::calibrated_for(topology);
+}
+}  // namespace
+
+SimMachine::SimMachine(topo::Topology topology)
+    : SimMachine([&] {
+        MachinePerfModel model = calibrate_then(topology);
+        return std::pair<topo::Topology, MachinePerfModel>(std::move(topology),
+                                                           std::move(model));
+      }()) {}
+
+SimMachine::SimMachine(std::pair<topo::Topology, MachinePerfModel> parts)
+    : SimMachine(std::move(parts.first), std::move(parts.second)) {}
+
+Result<BufferId> SimMachine::allocate(std::uint64_t declared_bytes, unsigned node,
+                                      std::string label, std::size_t backing_bytes) {
+  if (node >= used_.size()) {
+    return make_error(Errc::kInvalidArgument,
+                      "no NUMA node with logical index " + std::to_string(node));
+  }
+  if (declared_bytes == 0) {
+    return make_error(Errc::kInvalidArgument, "zero-byte allocation");
+  }
+  const std::uint64_t capacity = topology_.numa_nodes()[node]->capacity_bytes();
+  if (used_[node] + declared_bytes > capacity) {
+    return make_error(Errc::kOutOfCapacity,
+                      "node " + std::to_string(node) + " has " +
+                          support::format_bytes(capacity - used_[node]) +
+                          " free, need " + support::format_bytes(declared_bytes));
+  }
+
+  if (backing_bytes == 0) {
+    backing_bytes = static_cast<std::size_t>(
+        std::min<std::uint64_t>(declared_bytes, 64 * support::kKiB));
+  }
+
+  Slot slot;
+  slot.info.label = std::move(label);
+  slot.info.node = node;
+  slot.info.declared_bytes = declared_bytes;
+  slot.info.backing_bytes = backing_bytes;
+  slot.storage = std::make_unique<std::byte[]>(backing_bytes);
+  std::memset(slot.storage.get(), 0, backing_bytes);
+
+  used_[node] += declared_bytes;
+  buffers_.push_back(std::move(slot));
+  return BufferId{static_cast<std::uint32_t>(buffers_.size() - 1)};
+}
+
+Status SimMachine::free(BufferId id) {
+  if (!id.valid() || id.index >= buffers_.size()) {
+    return make_error(Errc::kInvalidArgument, "invalid buffer id");
+  }
+  Slot& slot = buffers_[id.index];
+  if (slot.info.freed) {
+    return make_error(Errc::kInvalidArgument, "double free of buffer " +
+                                                  slot.info.label);
+  }
+  slot.info.freed = true;
+  used_[slot.info.node] -= slot.info.declared_bytes;
+  slot.storage.reset();
+  return {};
+}
+
+Status SimMachine::migrate(BufferId id, unsigned destination_node) {
+  if (!id.valid() || id.index >= buffers_.size()) {
+    return make_error(Errc::kInvalidArgument, "invalid buffer id");
+  }
+  if (destination_node >= used_.size()) {
+    return make_error(Errc::kInvalidArgument, "no such destination node");
+  }
+  Slot& slot = buffers_[id.index];
+  if (slot.info.freed) {
+    return make_error(Errc::kInvalidArgument, "migrate of freed buffer");
+  }
+  if (slot.info.node == destination_node) return {};
+  const std::uint64_t capacity =
+      topology_.numa_nodes()[destination_node]->capacity_bytes();
+  if (used_[destination_node] + slot.info.declared_bytes > capacity) {
+    return make_error(Errc::kOutOfCapacity,
+                      "destination node " + std::to_string(destination_node) +
+                          " cannot hold " +
+                          support::format_bytes(slot.info.declared_bytes));
+  }
+  used_[slot.info.node] -= slot.info.declared_bytes;
+  used_[destination_node] += slot.info.declared_bytes;
+  slot.info.node = destination_node;
+  return {};
+}
+
+const BufferInfo& SimMachine::info(BufferId id) const {
+  assert(id.valid() && id.index < buffers_.size());
+  return buffers_[id.index].info;
+}
+
+std::byte* SimMachine::backing(BufferId id) {
+  assert(id.valid() && id.index < buffers_.size());
+  assert(!buffers_[id.index].info.freed);
+  return buffers_[id.index].storage.get();
+}
+
+const std::byte* SimMachine::backing(BufferId id) const {
+  assert(id.valid() && id.index < buffers_.size());
+  assert(!buffers_[id.index].info.freed);
+  return buffers_[id.index].storage.get();
+}
+
+std::uint64_t SimMachine::capacity_bytes(unsigned node) const {
+  assert(node < used_.size());
+  return topology_.numa_nodes()[node]->capacity_bytes();
+}
+
+std::uint64_t SimMachine::used_bytes(unsigned node) const {
+  assert(node < used_.size());
+  return used_[node];
+}
+
+std::uint64_t SimMachine::available_bytes(unsigned node) const {
+  return capacity_bytes(node) - used_bytes(node);
+}
+
+std::size_t SimMachine::live_buffer_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(buffers_.begin(), buffers_.end(),
+                    [](const Slot& slot) { return !slot.info.freed; }));
+}
+
+}  // namespace hetmem::sim

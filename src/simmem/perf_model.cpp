@@ -1,0 +1,207 @@
+#include "hetmem/simmem/perf_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::sim {
+
+using support::gb_per_s;
+using support::kGiB;
+
+MachinePerfModel::MachinePerfModel(std::size_t node_count) : nodes_(node_count) {}
+
+void MachinePerfModel::set_node(unsigned node_logical_index, NodePerf perf) {
+  assert(node_logical_index < nodes_.size());
+  nodes_[node_logical_index] = perf;
+}
+
+const NodePerf& MachinePerfModel::node(unsigned node_logical_index) const {
+  assert(node_logical_index < nodes_.size());
+  return nodes_[node_logical_index];
+}
+
+NodePerf MachinePerfModel::kind_defaults(topo::MemoryKind kind) {
+  NodePerf perf;
+  switch (kind) {
+    case topo::MemoryKind::kDRAM:
+      // Xeon Cascade Lake socket-local DDR4 (measured figures, §IV-A2).
+      perf.idle_latency_ns = 285.0;
+      perf.read_bw = gb_per_s(80.0);
+      perf.write_bw = gb_per_s(70.0);
+      perf.per_thread_read_bw = gb_per_s(7.0);
+      perf.per_thread_write_bw = gb_per_s(6.0);
+      // Mild page/TLB *latency* degradation for very large working sets
+      // (Table IIa: DRAM TEPS dips at 34.36 GB). Streaming bandwidth is
+      // unaffected (Table IIIa: DRAM Triad flat at 75 GB/s up to 89 GiB),
+      // so the degraded bandwidths equal the peaks.
+      perf.device_buffer = DeviceBufferModel{
+          .knee_bytes = 24 * kGiB,
+          .degraded_read_bw = gb_per_s(80.0),
+          .degraded_write_bw = gb_per_s(70.0),
+          .degraded_latency_ns = 360.0,
+          .size_exponent = 0.02,
+      };
+      break;
+    case topo::MemoryKind::kHBM:
+      // KNL MCDRAM, one SubNUMA cluster's share (~350 GB/s machine-wide).
+      perf.idle_latency_ns = 300.0;
+      perf.read_bw = gb_per_s(90.0);
+      perf.write_bw = gb_per_s(90.0);
+      perf.per_thread_read_bw = gb_per_s(8.0);
+      perf.per_thread_write_bw = gb_per_s(8.0);
+      break;
+    case topo::MemoryKind::kNVDIMM:
+      // Optane DCPMM: read-biased, write-starved, working-set cliff.
+      perf.idle_latency_ns = 860.0;
+      perf.read_bw = gb_per_s(40.0);
+      perf.write_bw = gb_per_s(25.0);
+      perf.per_thread_read_bw = gb_per_s(4.0);
+      perf.per_thread_write_bw = gb_per_s(2.5);
+      perf.device_buffer = DeviceBufferModel{
+          .knee_bytes = 28 * kGiB,
+          .degraded_read_bw = gb_per_s(18.0),
+          .degraded_write_bw = gb_per_s(6.0),
+          .degraded_latency_ns = 1900.0,
+          .size_exponent = 0.05,
+      };
+      break;
+    case topo::MemoryKind::kNAM:
+      // Network-attached memory: very high capacity, network-bound.
+      perf.idle_latency_ns = 1500.0;
+      perf.read_bw = gb_per_s(12.0);
+      perf.write_bw = gb_per_s(12.0);
+      perf.per_thread_read_bw = gb_per_s(3.0);
+      perf.per_thread_write_bw = gb_per_s(3.0);
+      perf.remote_latency_factor = 1.0;  // equally far from everyone
+      perf.remote_bw_factor = 1.0;
+      break;
+    case topo::MemoryKind::kGPU:
+      // GPU HBM accessed from host cores over NVLink.
+      perf.idle_latency_ns = 450.0;
+      perf.read_bw = gb_per_s(60.0);
+      perf.write_bw = gb_per_s(60.0);
+      perf.per_thread_read_bw = gb_per_s(5.0);
+      perf.per_thread_write_bw = gb_per_s(5.0);
+      break;
+  }
+  return perf;
+}
+
+MachinePerfModel MachinePerfModel::calibrated_for(const topo::Topology& topology) {
+  MachinePerfModel model(topology.numa_nodes().size());
+  // Distinguish KNL-style small DRAM clusters from big Xeon DRAM: a DRAM node
+  // that shares its locality with an HBM node is the "slow tier" of a
+  // flat-mode multi-level machine — lower latency (DDR4 close to MCDRAM,
+  // paper §III-B2) and cluster-scale bandwidth.
+  for (const topo::Object* node : topology.numa_nodes()) {
+    NodePerf perf = kind_defaults(node->memory_kind());
+    if (node->memory_kind() == topo::MemoryKind::kDRAM) {
+      bool shares_locality_with_hbm = false;
+      for (const topo::Object* other : topology.numa_nodes()) {
+        if (other != node && other->memory_kind() == topo::MemoryKind::kHBM &&
+            other->cpuset() == node->cpuset()) {
+          shares_locality_with_hbm = true;
+          break;
+        }
+      }
+      if (shares_locality_with_hbm) {
+        // KNL DDR4, one cluster's share of ~90 GB/s.
+        perf.idle_latency_ns = 280.0;
+        perf.read_bw = gb_per_s(32.0);
+        perf.write_bw = gb_per_s(24.0);
+        perf.per_thread_read_bw = gb_per_s(2.6);
+        perf.per_thread_write_bw = gb_per_s(2.2);
+        perf.device_buffer.reset();
+      }
+    }
+    if (node->memory_side_cache().has_value()) {
+      // Cache-tier constants: an MCDRAM-like cache (~4x the backing DRAM's
+      // bandwidth, similar latency) for KNL Cache/Hybrid modes, a DRAM-like
+      // cache for Xeon 2LM NVDIMMs.
+      const bool backing_is_nvdimm =
+          node->memory_kind() == topo::MemoryKind::kNVDIMM;
+      perf.ms_cache = MemorySideCachePerf{
+          .size_bytes = node->memory_side_cache()->size_bytes,
+          .hit_latency_ns =
+              backing_is_nvdimm ? 285.0 : perf.idle_latency_ns * 1.08,
+          .hit_read_bw =
+              backing_is_nvdimm ? gb_per_s(80.0) : perf.read_bw * 4.0,
+          .hit_write_bw =
+              backing_is_nvdimm ? gb_per_s(70.0) : perf.write_bw * 4.0,
+          .miss_overhead_ns = 30.0,
+      };
+    }
+    model.set_node(node->logical_index(), perf);
+  }
+  return model;
+}
+
+EffectiveNodePerf MachinePerfModel::effective(unsigned node_logical_index,
+                                              std::uint64_t working_set_bytes,
+                                              bool local_initiator) const {
+  const NodePerf& perf = node(node_logical_index);
+  EffectiveNodePerf eff{
+      .latency_ns = perf.idle_latency_ns,
+      .read_bw = perf.read_bw,
+      .write_bw = perf.write_bw,
+      .per_thread_read_bw = perf.per_thread_read_bw,
+      .per_thread_write_bw = perf.per_thread_write_bw,
+      .loaded_latency_k = perf.loaded_latency_k,
+  };
+
+  if (perf.device_buffer.has_value() &&
+      working_set_bytes > perf.device_buffer->knee_bytes) {
+    const DeviceBufferModel& dev = *perf.device_buffer;
+    const double slide = std::pow(static_cast<double>(dev.knee_bytes) /
+                                      static_cast<double>(working_set_bytes),
+                                  dev.size_exponent);
+    eff.read_bw = dev.degraded_read_bw * slide;
+    eff.write_bw = dev.degraded_write_bw * slide;
+    eff.latency_ns = dev.degraded_latency_ns / slide;
+    const double rd_scale = eff.read_bw / perf.read_bw;
+    const double wr_scale = eff.write_bw / perf.write_bw;
+    eff.per_thread_read_bw = perf.per_thread_read_bw * rd_scale;
+    eff.per_thread_write_bw = perf.per_thread_write_bw * wr_scale;
+  }
+
+  if (perf.ms_cache.has_value()) {
+    // Estimated cache hit rate for a working set churning through a
+    // hardware-managed cache: the resident fraction of the working set.
+    const MemorySideCachePerf& cache = *perf.ms_cache;
+    double hit_rate = 1.0;
+    if (working_set_bytes > 0 && cache.size_bytes > 0) {
+      hit_rate = std::min(1.0, static_cast<double>(cache.size_bytes) /
+                                   static_cast<double>(working_set_bytes));
+    }
+    eff.latency_ns = hit_rate * cache.hit_latency_ns +
+                     (1.0 - hit_rate) * (eff.latency_ns + cache.miss_overhead_ns);
+    auto blend_bw = [hit_rate](double hit_bw, double miss_bw) {
+      // Harmonic blend: time per byte averages.
+      return 1.0 / (hit_rate / hit_bw + (1.0 - hit_rate) / miss_bw);
+    };
+    // Per-thread caps blend too: the cache tier sustains proportionally
+    // more per thread (assume the same thread count saturates either tier).
+    const double read_saturation = perf.read_bw / perf.per_thread_read_bw;
+    const double write_saturation = perf.write_bw / perf.per_thread_write_bw;
+    eff.per_thread_read_bw = blend_bw(cache.hit_read_bw / read_saturation,
+                                      eff.per_thread_read_bw);
+    eff.per_thread_write_bw = blend_bw(cache.hit_write_bw / write_saturation,
+                                       eff.per_thread_write_bw);
+    eff.read_bw = blend_bw(cache.hit_read_bw, eff.read_bw);
+    eff.write_bw = blend_bw(cache.hit_write_bw, eff.write_bw);
+  }
+
+  if (!local_initiator) {
+    eff.latency_ns *= perf.remote_latency_factor;
+    eff.read_bw *= perf.remote_bw_factor;
+    eff.write_bw *= perf.remote_bw_factor;
+    eff.per_thread_read_bw *= perf.remote_bw_factor;
+    eff.per_thread_write_bw *= perf.remote_bw_factor;
+  }
+  return eff;
+}
+
+}  // namespace hetmem::sim

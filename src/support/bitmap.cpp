@@ -1,0 +1,243 @@
+#include "hetmem/support/bitmap.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+
+namespace hetmem::support {
+
+Bitmap::Bitmap(std::initializer_list<unsigned> bits) {
+  for (unsigned b : bits) set(b);
+}
+
+Bitmap Bitmap::range(unsigned first, unsigned last) {
+  Bitmap b;
+  b.set_range(first, last);
+  return b;
+}
+
+std::optional<Bitmap> Bitmap::parse(std::string_view text) {
+  Bitmap result;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    std::string_view token = text.substr(pos, comma == std::string_view::npos
+                                                  ? std::string_view::npos
+                                                  : comma - pos);
+    pos = comma == std::string_view::npos ? text.size() : comma + 1;
+    if (token.empty()) return std::nullopt;
+
+    unsigned first = 0;
+    unsigned last = 0;
+    std::size_t dash = token.find('-');
+    auto parse_uint = [](std::string_view s, unsigned& out) {
+      auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+      return ec == std::errc{} && ptr == s.data() + s.size();
+    };
+    if (dash == std::string_view::npos) {
+      if (!parse_uint(token, first)) return std::nullopt;
+      last = first;
+    } else {
+      if (!parse_uint(token.substr(0, dash), first)) return std::nullopt;
+      if (!parse_uint(token.substr(dash + 1), last)) return std::nullopt;
+      if (last < first) return std::nullopt;
+    }
+    result.set_range(first, last);
+  }
+  return result;
+}
+
+void Bitmap::ensure_word(std::size_t index) {
+  if (words_.size() <= index) words_.resize(index + 1, 0);
+}
+
+void Bitmap::trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+void Bitmap::set(unsigned bit) {
+  ensure_word(bit / kWordBits);
+  words_[bit / kWordBits] |= std::uint64_t{1} << (bit % kWordBits);
+}
+
+void Bitmap::set_range(unsigned first, unsigned last) {
+  for (unsigned b = first; b <= last; ++b) set(b);
+}
+
+void Bitmap::clear(unsigned bit) {
+  std::size_t word = bit / kWordBits;
+  if (word >= words_.size()) return;
+  words_[word] &= ~(std::uint64_t{1} << (bit % kWordBits));
+  trim();
+}
+
+bool Bitmap::test(unsigned bit) const {
+  std::size_t word = bit / kWordBits;
+  if (word >= words_.size()) return false;
+  return (words_[word] >> (bit % kWordBits)) & 1u;
+}
+
+std::size_t Bitmap::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool Bitmap::empty() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+std::optional<unsigned> Bitmap::first() const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return static_cast<unsigned>(i * kWordBits +
+                                   static_cast<unsigned>(std::countr_zero(words_[i])));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> Bitmap::last() const {
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != 0) {
+      return static_cast<unsigned>(i * kWordBits + (kWordBits - 1 -
+                                   static_cast<unsigned>(std::countl_zero(words_[i]))));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> Bitmap::next(unsigned bit) const {
+  unsigned start = bit + 1;
+  std::size_t word = start / kWordBits;
+  if (word >= words_.size()) return std::nullopt;
+  std::uint64_t masked = words_[word] & (~std::uint64_t{0} << (start % kWordBits));
+  if (masked != 0) {
+    return static_cast<unsigned>(word * kWordBits +
+                                 static_cast<unsigned>(std::countr_zero(masked)));
+  }
+  for (std::size_t i = word + 1; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return static_cast<unsigned>(i * kWordBits +
+                                   static_cast<unsigned>(std::countr_zero(words_[i])));
+    }
+  }
+  return std::nullopt;
+}
+
+Bitmap Bitmap::operator|(const Bitmap& other) const {
+  Bitmap out = *this;
+  out |= other;
+  return out;
+}
+
+Bitmap& Bitmap::operator|=(const Bitmap& other) {
+  ensure_word(other.words_.empty() ? 0 : other.words_.size() - 1);
+  for (std::size_t i = 0; i < other.words_.size(); ++i) words_[i] |= other.words_[i];
+  trim();
+  return *this;
+}
+
+Bitmap Bitmap::operator&(const Bitmap& other) const {
+  Bitmap out = *this;
+  out &= other;
+  return out;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& other) {
+  std::size_t n = std::min(words_.size(), other.words_.size());
+  words_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) words_[i] &= other.words_[i];
+  trim();
+  return *this;
+}
+
+Bitmap Bitmap::operator^(const Bitmap& other) const {
+  Bitmap out = *this;
+  out.ensure_word(other.words_.empty() ? 0 : other.words_.size() - 1);
+  for (std::size_t i = 0; i < other.words_.size(); ++i) out.words_[i] ^= other.words_[i];
+  out.trim();
+  return out;
+}
+
+Bitmap Bitmap::and_not(const Bitmap& other) const {
+  Bitmap out = *this;
+  std::size_t n = std::min(out.words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) out.words_[i] &= ~other.words_[i];
+  out.trim();
+  return out;
+}
+
+bool Bitmap::operator==(const Bitmap& other) const {
+  const auto& a = words_;
+  const auto& b = other.words_;
+  std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t wa = i < a.size() ? a[i] : 0;
+    std::uint64_t wb = i < b.size() ? b[i] : 0;
+    if (wa != wb) return false;
+  }
+  return true;
+}
+
+bool Bitmap::intersects(const Bitmap& other) const {
+  std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool Bitmap::is_subset_of(const Bitmap& other) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t wb = i < other.words_.size() ? other.words_[i] : 0;
+    if ((words_[i] & ~wb) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<unsigned> Bitmap::to_vector() const {
+  std::vector<unsigned> out;
+  out.reserve(count());
+  for (auto bit = first(); bit; bit = next(*bit)) out.push_back(*bit);
+  return out;
+}
+
+std::string Bitmap::to_list_string() const {
+  std::string out;
+  auto bit = first();
+  while (bit) {
+    unsigned run_first = *bit;
+    unsigned run_last = run_first;
+    auto nxt = next(run_last);
+    while (nxt && *nxt == run_last + 1) {
+      run_last = *nxt;
+      nxt = next(run_last);
+    }
+    if (!out.empty()) out += ',';
+    out += std::to_string(run_first);
+    if (run_last > run_first) {
+      out += '-';
+      out += std::to_string(run_last);
+    }
+    bit = nxt;
+  }
+  return out;
+}
+
+std::string Bitmap::to_hex_string() const {
+  if (words_.empty()) return "0x0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out += kDigits[(words_[i] >> shift) & 0xf];
+    }
+  }
+  std::size_t nz = out.find_first_not_of('0');
+  out = nz == std::string::npos ? "0" : out.substr(nz);
+  return "0x" + out;
+}
+
+}  // namespace hetmem::support

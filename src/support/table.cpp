@@ -1,0 +1,67 @@
+#include "hetmem/support/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hetmem/support/str.hpp"
+
+namespace hetmem::support {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line += '\n';
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string padded = c == 0 ? pad_right(cells[c], widths[c])
+                                        : pad_left(cells[c], widths[c]);
+      line += " " + padded + " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule();
+  out += render_row(headers_);
+  out += rule();
+  for (const auto& row : rows_) {
+    if (row.separator_before) out += rule();
+    out += render_row(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string banner(std::string_view title) {
+  std::string out = "\n== ";
+  out += title;
+  out += " ==\n";
+  return out;
+}
+
+}  // namespace hetmem::support

@@ -1,0 +1,79 @@
+#include "hetmem/support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hetmem::support {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  assert(worker_count >= 1);
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_main(std::size_t index) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body = nullptr;
+    std::size_t item_count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutting_down_ || current_.epoch != seen_epoch;
+      });
+      if (shutting_down_) return;
+      seen_epoch = current_.epoch;
+      body = current_.body;
+      item_count = current_.item_count;
+    }
+
+    const std::size_t workers = workers_.size();
+    const std::size_t base = item_count / workers;
+    const std::size_t extra = item_count % workers;
+    const std::size_t begin = index * base + std::min(index, extra);
+    const std::size_t end = begin + base + (index < extra ? 1 : 0);
+    (*body)(index, begin, end);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_workers_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::dispatch(
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t item_count) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  current_.body = &body;
+  current_.item_count = item_count;
+  ++current_.epoch;
+  pending_workers_ = workers_.size();
+  work_ready_.notify_all();
+  work_done_.wait(lock, [&] { return pending_workers_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t item_count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  dispatch(body, item_count);
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
+  const std::function<void(std::size_t, std::size_t, std::size_t)> wrapper =
+      [&body](std::size_t worker, std::size_t, std::size_t) { body(worker); };
+  dispatch(wrapper, 0);
+}
+
+}  // namespace hetmem::support

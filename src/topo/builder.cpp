@@ -1,0 +1,152 @@
+#include "hetmem/topo/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <vector>
+
+namespace hetmem::topo {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+using support::Status;
+
+TopologyBuilder::TopologyBuilder(std::string platform_name)
+    : root_(std::make_unique<Object>(ObjType::kMachine, 0)),
+      platform_name_(std::move(platform_name)) {
+  root_->name_ = "Machine";
+}
+
+TopologyBuilder::Node TopologyBuilder::machine() {
+  assert(!finalized_);
+  return Node(this, root_.get());
+}
+
+Object* TopologyBuilder::new_child(Object* parent, ObjType type) {
+  unsigned os_index = 0;
+  switch (type) {
+    case ObjType::kPackage: os_index = next_package_os_index_++; break;
+    case ObjType::kGroup: os_index = next_group_os_index_++; break;
+    case ObjType::kL3Cache: os_index = next_l3_os_index_++; break;
+    case ObjType::kCore: os_index = next_core_os_index_++; break;
+    case ObjType::kPU: os_index = next_pu_os_index_++; break;
+    case ObjType::kNUMANode: os_index = next_numa_os_index_++; break;
+    case ObjType::kMachine: assert(false); break;
+  }
+  auto child = std::make_unique<Object>(type, os_index);
+  child->parent_ = parent;
+  Object* raw = child.get();
+  if (type == ObjType::kNUMANode) {
+    parent->memory_children_.push_back(std::move(child));
+  } else {
+    parent->children_.push_back(std::move(child));
+  }
+  return raw;
+}
+
+TopologyBuilder::Node TopologyBuilder::Node::add_package() {
+  return Node(builder_, builder_->new_child(object_, ObjType::kPackage));
+}
+
+TopologyBuilder::Node TopologyBuilder::Node::add_group(std::string subtype) {
+  Object* group = builder_->new_child(object_, ObjType::kGroup);
+  group->subtype_ = std::move(subtype);
+  return Node(builder_, group);
+}
+
+TopologyBuilder::Node TopologyBuilder::Node::add_l3() {
+  return Node(builder_, builder_->new_child(object_, ObjType::kL3Cache));
+}
+
+TopologyBuilder::Node TopologyBuilder::Node::add_core(unsigned pu_count) {
+  Object* core = builder_->new_child(object_, ObjType::kCore);
+  for (unsigned i = 0; i < pu_count; ++i) {
+    Object* pu = builder_->new_child(core, ObjType::kPU);
+    pu->cpuset_.set(pu->os_index());
+  }
+  return Node(builder_, core);
+}
+
+void TopologyBuilder::Node::add_cores(unsigned count, unsigned pu_count) {
+  for (unsigned i = 0; i < count; ++i) add_core(pu_count);
+}
+
+TopologyBuilder::Node TopologyBuilder::Node::attach_numa(
+    MemoryKind kind, std::uint64_t capacity_bytes,
+    std::optional<MemorySideCache> ms_cache) {
+  Object* node = builder_->new_child(object_, ObjType::kNUMANode);
+  node->memory_kind_ = kind;
+  node->capacity_bytes_ = capacity_bytes;
+  node->ms_cache_ = ms_cache;
+  node->nodeset_.set(node->os_index());
+  return Node(builder_, node);
+}
+
+Result<Topology> TopologyBuilder::finalize() && {
+  assert(!finalized_);
+  finalized_ = true;
+
+  Topology topology;
+  topology.platform_name_ = std::move(platform_name_);
+
+  // Bottom-up cpuset/nodeset aggregation. Memory children inherit the cpuset
+  // of their attach point (their locality).
+  std::function<void(Object*)> aggregate = [&](Object* obj) {
+    for (auto& child : obj->children_) {
+      aggregate(child.get());
+      obj->cpuset_ |= child->cpuset_;
+      obj->nodeset_ |= child->nodeset_;
+    }
+    for (auto& mem : obj->memory_children_) {
+      obj->nodeset_ |= mem->nodeset_;
+    }
+  };
+  aggregate(root_.get());
+
+  std::function<void(Object*)> propagate_locality = [&](Object* obj) {
+    for (auto& mem : obj->memory_children_) mem->cpuset_ = obj->cpuset_;
+    for (auto& child : obj->children_) propagate_locality(child.get());
+  };
+  propagate_locality(root_.get());
+
+  // Logical indices: depth-first order per type for normal objects. NUMA
+  // nodes are numbered by OS index (= attachment order), matching how Linux
+  // numbers nodes on the paper's platforms (Fig. 5: group DRAMs L#0-1, then
+  // the package NVDIMM L#2). Presets attach nodes in that observed order.
+  unsigned counters[8] = {};
+  std::vector<Object*> numa_nodes;
+  std::function<void(Object*)> number = [&](Object* obj) {
+    obj->logical_index_ = counters[static_cast<unsigned>(obj->type_)]++;
+    obj->name_ = std::string(obj_type_name(obj->type_));
+    for (auto& mem : obj->memory_children_) {
+      mem->name_ = "NUMANode";
+      numa_nodes.push_back(mem.get());
+    }
+    for (auto& child : obj->children_) number(child.get());
+    if (obj->type_ == ObjType::kPU) topology.pus_.push_back(obj);
+  };
+  number(root_.get());
+
+  std::sort(numa_nodes.begin(), numa_nodes.end(),
+            [](const Object* a, const Object* b) { return a->os_index() < b->os_index(); });
+  for (std::size_t i = 0; i < numa_nodes.size(); ++i) {
+    numa_nodes[i]->logical_index_ = static_cast<unsigned>(i);
+    topology.numa_nodes_.push_back(numa_nodes[i]);
+  }
+
+  if (topology.pus_.empty()) {
+    return make_error(Errc::kInvalidArgument, "topology has no PUs");
+  }
+  if (topology.numa_nodes_.empty()) {
+    return make_error(Errc::kInvalidArgument, "topology has no NUMA nodes");
+  }
+
+  topology.root_ = std::move(root_);
+  if (Status status = topology.validate(); !status.ok()) {
+    return status.error();
+  }
+  return topology;
+}
+
+}  // namespace hetmem::topo

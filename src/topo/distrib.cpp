@@ -1,0 +1,57 @@
+#include "hetmem/topo/distrib.hpp"
+
+namespace hetmem::topo {
+
+using support::Bitmap;
+
+namespace {
+
+/// Splits `count` ranks over `object`'s subtree: shares are proportional to
+/// PU counts, remainders spread over the earliest children (hwloc_distrib's
+/// behavior for non-dividing counts).
+void distrib_recurse(const Object& object, unsigned count,
+                     std::vector<Bitmap>& out) {
+  if (count == 0) return;
+  const auto& children = object.children();
+  if (children.empty() || count == 1) {
+    // Leaf (PU) or a single rank for this whole subtree.
+    for (unsigned i = 0; i < count; ++i) out.push_back(object.cpuset());
+    return;
+  }
+  const std::size_t total_pus = object.cpuset().count();
+  unsigned assigned = 0;
+  double carry = 0.0;
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    const double exact =
+        static_cast<double>(count) *
+            static_cast<double>(children[c]->cpuset().count()) /
+            static_cast<double>(total_pus) +
+        carry;
+    unsigned share = static_cast<unsigned>(exact);
+    carry = exact - share;
+    if (c + 1 == children.size()) share = count - assigned;  // absorb rounding
+    assigned += share;
+    distrib_recurse(*children[c], share, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Bitmap> distribute(const Topology& topology, unsigned count) {
+  std::vector<Bitmap> out;
+  out.reserve(count);
+  const unsigned pus = static_cast<unsigned>(topology.pus().size());
+  if (count <= pus) {
+    distrib_recurse(topology.root(), count, out);
+    return out;
+  }
+  // More ranks than PUs: distribute in full rounds, then the remainder.
+  while (out.size() + pus <= count) {
+    distrib_recurse(topology.root(), pus, out);
+  }
+  distrib_recurse(topology.root(), count - static_cast<unsigned>(out.size()),
+                  out);
+  return out;
+}
+
+}  // namespace hetmem::topo

@@ -1,0 +1,46 @@
+#include "hetmem/topo/object.hpp"
+
+#include <cassert>
+
+namespace hetmem::topo {
+
+const char* obj_type_name(ObjType type) {
+  switch (type) {
+    case ObjType::kMachine: return "Machine";
+    case ObjType::kPackage: return "Package";
+    case ObjType::kGroup: return "Group";
+    case ObjType::kL3Cache: return "L3";
+    case ObjType::kCore: return "Core";
+    case ObjType::kPU: return "PU";
+    case ObjType::kNUMANode: return "NUMANode";
+  }
+  return "?";
+}
+
+const char* memory_kind_name(MemoryKind kind) {
+  switch (kind) {
+    case MemoryKind::kDRAM: return "DRAM";
+    case MemoryKind::kHBM: return "HBM";
+    case MemoryKind::kNVDIMM: return "NVDIMM";
+    case MemoryKind::kNAM: return "NAM";
+    case MemoryKind::kGPU: return "GPU";
+  }
+  return "?";
+}
+
+MemoryKind Object::memory_kind() const {
+  assert(type_ == ObjType::kNUMANode);
+  return memory_kind_;
+}
+
+std::uint64_t Object::capacity_bytes() const {
+  assert(type_ == ObjType::kNUMANode);
+  return capacity_bytes_;
+}
+
+const std::optional<MemorySideCache>& Object::memory_side_cache() const {
+  assert(type_ == ObjType::kNUMANode);
+  return ms_cache_;
+}
+
+}  // namespace hetmem::topo

@@ -1,0 +1,184 @@
+#include "hetmem/topo/presets.hpp"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/builder.hpp"
+
+namespace hetmem::topo {
+
+using support::kGiB;
+using support::kTiB;
+
+namespace {
+
+Topology must_build(TopologyBuilder&& builder) {
+  auto result = std::move(builder).finalize();
+  assert(result.ok() && "preset topology failed validation");
+  return std::move(result).take();
+}
+
+}  // namespace
+
+Topology knl_snc4_flat() {
+  TopologyBuilder builder("KNL 7230 SNC-4 Flat");
+  auto package = builder.machine().add_package();
+  std::vector<TopologyBuilder::Node> clusters;
+  for (unsigned i = 0; i < 4; ++i) {
+    auto group = package.add_group("SubNUMACluster");
+    group.add_cores(/*count=*/16, /*pu_count=*/4);
+    clusters.push_back(group);
+  }
+  // DRAM nodes get OS indices 0-3, MCDRAM 4-7: KNL numbers MCDRAM higher so
+  // default (lowest-index) allocations do not consume it (paper footnote 21).
+  for (auto& cluster : clusters) cluster.attach_numa(MemoryKind::kDRAM, 24 * kGiB);
+  for (auto& cluster : clusters) cluster.attach_numa(MemoryKind::kHBM, 4 * kGiB);
+  return must_build(std::move(builder));
+}
+
+Topology knl_snc4_hybrid50() {
+  TopologyBuilder builder("KNL SNC4 Hybrid50");
+  auto package = builder.machine().add_package();
+  std::vector<TopologyBuilder::Node> clusters;
+  for (unsigned i = 0; i < 4; ++i) {
+    auto group = package.add_group("SubNUMACluster");
+    group.add_cores(/*count=*/18, /*pu_count=*/4);
+    clusters.push_back(group);
+  }
+  for (auto& cluster : clusters) {
+    cluster.attach_numa(MemoryKind::kDRAM, 12 * kGiB,
+                        MemorySideCache{.size_bytes = 2 * kGiB,
+                                        .associativity = 1,
+                                        .line_bytes = 64});
+  }
+  for (auto& cluster : clusters) cluster.attach_numa(MemoryKind::kHBM, 2 * kGiB);
+  return must_build(std::move(builder));
+}
+
+Topology knl_quadrant_cache() {
+  TopologyBuilder builder("KNL 7230 Quadrant Cache");
+  auto package = builder.machine().add_package();
+  package.add_cores(/*count=*/64, /*pu_count=*/4);
+  package.attach_numa(MemoryKind::kDRAM, 96 * kGiB,
+                      MemorySideCache{.size_bytes = 16 * kGiB,
+                                      .associativity = 1,
+                                      .line_bytes = 64});
+  return must_build(std::move(builder));
+}
+
+Topology xeon_clx_snc_1lm() {
+  TopologyBuilder builder("2x Xeon 6230 SNC 1LM");
+  auto machine = builder.machine();
+  for (unsigned p = 0; p < 2; ++p) {
+    auto package = machine.add_package();
+    std::vector<TopologyBuilder::Node> groups;
+    for (unsigned g = 0; g < 2; ++g) {
+      auto group = package.add_group("SubNUMACluster");
+      group.add_cores(/*count=*/10, /*pu_count=*/2);
+      groups.push_back(group);
+    }
+    // Linux numbering on this machine (Fig. 5): per package, the two group
+    // DRAMs then the package NVDIMM.
+    for (auto& group : groups) group.attach_numa(MemoryKind::kDRAM, 96 * kGiB);
+    package.attach_numa(MemoryKind::kNVDIMM, 768 * kGiB);
+  }
+  return must_build(std::move(builder));
+}
+
+Topology xeon_clx_1lm() {
+  TopologyBuilder builder("2x Xeon 6230 1LM");
+  auto machine = builder.machine();
+  std::vector<TopologyBuilder::Node> packages;
+  for (unsigned p = 0; p < 2; ++p) {
+    auto package = machine.add_package();
+    package.add_cores(/*count=*/20, /*pu_count=*/2);
+    packages.push_back(package);
+  }
+  // Linux numbers this machine 0=DRAM0 1=DRAM1 2=PMEM0 3=PMEM1.
+  for (auto& package : packages) package.attach_numa(MemoryKind::kDRAM, 192 * kGiB);
+  for (auto& package : packages) package.attach_numa(MemoryKind::kNVDIMM, 768 * kGiB);
+  return must_build(std::move(builder));
+}
+
+Topology xeon_clx_2lm() {
+  TopologyBuilder builder("2x Xeon 6230 2LM");
+  auto machine = builder.machine();
+  for (unsigned p = 0; p < 2; ++p) {
+    auto package = machine.add_package();
+    package.add_cores(/*count=*/20, /*pu_count=*/2);
+    package.attach_numa(MemoryKind::kNVDIMM, 768 * kGiB,
+                        MemorySideCache{.size_bytes = 192 * kGiB,
+                                        .associativity = 1,
+                                        .line_bytes = 64});
+  }
+  return must_build(std::move(builder));
+}
+
+Topology fictitious_fig3() {
+  TopologyBuilder builder("Fictitious Fig.3 platform");
+  auto machine = builder.machine();
+  std::vector<TopologyBuilder::Node> packages;
+  std::vector<TopologyBuilder::Node> groups;
+  for (unsigned p = 0; p < 2; ++p) {
+    auto package = machine.add_package();
+    packages.push_back(package);
+    for (unsigned g = 0; g < 2; ++g) {
+      auto group = package.add_group("SubNUMACluster");
+      group.add_cores(/*count=*/8, /*pu_count=*/2);
+      groups.push_back(group);
+    }
+  }
+  // DRAM first (default allocation targets), then HBM per cluster, then
+  // NVDIMMs, then the machine-wide network-attached memory.
+  for (auto& package : packages) package.attach_numa(MemoryKind::kDRAM, 64 * kGiB);
+  for (auto& group : groups) group.attach_numa(MemoryKind::kHBM, 16 * kGiB);
+  for (auto& package : packages) package.attach_numa(MemoryKind::kNVDIMM, 512 * kGiB);
+  machine.attach_numa(MemoryKind::kNAM, 4 * kTiB);
+  return must_build(std::move(builder));
+}
+
+Topology fugaku_like() {
+  TopologyBuilder builder("Fugaku-like A64FX node");
+  auto package = builder.machine().add_package();
+  std::vector<TopologyBuilder::Node> cmgs;
+  for (unsigned i = 0; i < 4; ++i) {
+    auto cmg = package.add_group("CMG");
+    cmg.add_cores(/*count=*/12, /*pu_count=*/1);
+    cmgs.push_back(cmg);
+  }
+  for (auto& cmg : cmgs) cmg.attach_numa(MemoryKind::kHBM, 8 * kGiB);
+  return must_build(std::move(builder));
+}
+
+Topology power9_v100() {
+  TopologyBuilder builder("POWER9 + V100");
+  auto machine = builder.machine();
+  std::vector<TopologyBuilder::Node> packages;
+  for (unsigned p = 0; p < 2; ++p) {
+    auto package = machine.add_package();
+    package.add_cores(/*count=*/16, /*pu_count=*/4);
+    packages.push_back(package);
+  }
+  for (auto& package : packages) package.attach_numa(MemoryKind::kDRAM, 256 * kGiB);
+  for (auto& package : packages) package.attach_numa(MemoryKind::kGPU, 16 * kGiB);
+  return must_build(std::move(builder));
+}
+
+const std::vector<NamedTopology>& all_presets() {
+  static const std::vector<NamedTopology> presets = {
+      {"knl_snc4_flat", &knl_snc4_flat},
+      {"knl_snc4_hybrid50", &knl_snc4_hybrid50},
+      {"knl_quadrant_cache", &knl_quadrant_cache},
+      {"xeon_clx_snc_1lm", &xeon_clx_snc_1lm},
+      {"xeon_clx_1lm", &xeon_clx_1lm},
+      {"xeon_clx_2lm", &xeon_clx_2lm},
+      {"fictitious_fig3", &fictitious_fig3},
+      {"fugaku_like", &fugaku_like},
+      {"power9_v100", &power9_v100},
+  };
+  return presets;
+}
+
+}  // namespace hetmem::topo

@@ -1,0 +1,83 @@
+#include "hetmem/topo/render.hpp"
+
+#include <functional>
+
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::topo {
+
+std::string describe_numa_node(const Object& node) {
+  std::string out = "NUMANode L#" + std::to_string(node.logical_index()) + " P#" +
+                    std::to_string(node.os_index()) + " (" +
+                    memory_kind_name(node.memory_kind()) + ", " +
+                    support::format_bytes(node.capacity_bytes()) + ")";
+  return out;
+}
+
+std::string render_tree(const Topology& topology, const RenderOptions& options) {
+  std::string out = topology.platform_name() + "\n";
+
+  std::function<void(const Object&, unsigned)> visit = [&](const Object& obj,
+                                                           unsigned depth) {
+    const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+
+    if (obj.type() != ObjType::kMachine) {
+      out += indent;
+      if (obj.type() == ObjType::kGroup && !obj.subtype().empty()) {
+        out += obj.subtype();
+      } else {
+        out += obj_type_name(obj.type());
+      }
+      out += " L#" + std::to_string(obj.logical_index());
+      if (obj.type() == ObjType::kPU || obj.type() == ObjType::kCore) {
+        out += " P#" + std::to_string(obj.os_index());
+      }
+      if (options.show_cpusets && !obj.cpuset().empty()) {
+        out += " cpuset=" + obj.cpuset().to_list_string();
+      }
+      out += '\n';
+    } else {
+      out += indent + "Machine (" +
+             support::format_bytes(topology.total_memory_bytes()) + " total)\n";
+    }
+
+    const unsigned child_depth = depth + 1;
+    const std::string child_indent(static_cast<std::size_t>(child_depth) * 2, ' ');
+    for (const auto& mem : obj.memory_children()) {
+      out += child_indent + describe_numa_node(*mem);
+      if (options.show_memory_side_caches && mem->memory_side_cache()) {
+        out += " [behind " +
+               support::format_bytes(mem->memory_side_cache()->size_bytes) +
+               " memory-side cache]";
+      }
+      out += '\n';
+    }
+
+    // Collapse uniform runs of cores to keep big machines readable.
+    const auto& children = obj.children();
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const Object& child = *children[i];
+      if (options.collapse_cores && child.type() == ObjType::kCore) {
+        std::size_t j = i;
+        while (j + 1 < children.size() && children[j + 1]->type() == ObjType::kCore &&
+               children[j + 1]->children().size() == child.children().size()) {
+          ++j;
+        }
+        if (j > i) {
+          out += child_indent + "Core L#" + std::to_string(child.logical_index()) +
+                 "-" + std::to_string(children[j]->logical_index()) + " (x" +
+                 std::to_string(j - i + 1) + ", " +
+                 std::to_string(child.children().size()) + " PU each)\n";
+          i = j;
+          continue;
+        }
+      }
+      visit(child, child_depth);
+    }
+  };
+
+  visit(topology.root(), 0);
+  return out;
+}
+
+}  // namespace hetmem::topo

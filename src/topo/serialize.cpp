@@ -1,0 +1,239 @@
+#include "hetmem/topo/serialize.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <functional>
+#include <vector>
+
+#include "hetmem/support/str.hpp"
+#include "hetmem/topo/builder.hpp"
+
+namespace hetmem::topo {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+
+std::string serialize(const Topology& topology) {
+  std::string out = "# hetmem-topology v1 \"" + topology.platform_name() + "\"\n";
+
+  std::function<void(const Object&, unsigned)> visit = [&](const Object& obj,
+                                                           unsigned depth) {
+    const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+
+    // Memory children first (matches the render and keeps attachment points
+    // explicit); their machine-wide order is preserved via os=.
+    for (const auto& mem : obj.memory_children()) {
+      out += indent + "numa os=" + std::to_string(mem->os_index()) +
+             " kind=" + memory_kind_name(mem->memory_kind()) +
+             " capacity=" + std::to_string(mem->capacity_bytes());
+      if (mem->memory_side_cache().has_value()) {
+        const MemorySideCache& cache = *mem->memory_side_cache();
+        out += " mscache=" + std::to_string(cache.size_bytes) + "," +
+               std::to_string(cache.associativity) + "," +
+               std::to_string(cache.line_bytes);
+      }
+      out += "\n";
+    }
+
+    const auto& children = obj.children();
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const Object& child = *children[i];
+      switch (child.type()) {
+        case ObjType::kPackage:
+          out += indent + "package\n";
+          visit(child, depth + 1);
+          break;
+        case ObjType::kGroup:
+          out += indent + "group";
+          if (!child.subtype().empty()) out += " subtype=" + child.subtype();
+          out += "\n";
+          visit(child, depth + 1);
+          break;
+        case ObjType::kL3Cache:
+          out += indent + "l3\n";
+          visit(child, depth + 1);
+          break;
+        case ObjType::kCore: {
+          // Collapse a run of cores with identical PU counts.
+          const std::size_t pus = child.children().size();
+          std::size_t j = i;
+          while (j + 1 < children.size() &&
+                 children[j + 1]->type() == ObjType::kCore &&
+                 children[j + 1]->children().size() == pus) {
+            ++j;
+          }
+          out += indent + "cores count=" + std::to_string(j - i + 1) +
+                 " pus=" + std::to_string(pus) + "\n";
+          i = j;
+          break;
+        }
+        case ObjType::kPU:
+        case ObjType::kMachine:
+        case ObjType::kNUMANode:
+          break;  // PUs are implied by cores; others cannot be children here
+      }
+    }
+  };
+  visit(topology.root(), 0);
+  return out;
+}
+
+namespace {
+
+struct PendingNuma {
+  TopologyBuilder::Node attach_point;
+  unsigned os_index = 0;
+  MemoryKind kind = MemoryKind::kDRAM;
+  std::uint64_t capacity = 0;
+  std::optional<MemorySideCache> ms_cache;
+};
+
+Result<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return make_error(Errc::kParseError, "bad number '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<std::string_view> field(const std::vector<std::string_view>& tokens,
+                               std::string_view key) {
+  const std::string prefix = std::string(key) + "=";
+  for (std::string_view token : tokens) {
+    if (support::starts_with(token, prefix)) return token.substr(prefix.size());
+  }
+  return make_error(Errc::kParseError, "missing field '" + std::string(key) + "'");
+}
+
+Result<MemoryKind> parse_kind(std::string_view name) {
+  for (MemoryKind kind : {MemoryKind::kDRAM, MemoryKind::kHBM,
+                          MemoryKind::kNVDIMM, MemoryKind::kNAM,
+                          MemoryKind::kGPU}) {
+    if (name == memory_kind_name(kind)) return kind;
+  }
+  return make_error(Errc::kParseError,
+                    "unknown memory kind '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+Result<Topology> parse_topology(std::string_view text) {
+  const auto lines = support::split(text, '\n');
+  if (lines.empty() || !support::starts_with(support::trim(lines[0]),
+                                             "# hetmem-topology v1")) {
+    return make_error(Errc::kParseError, "missing hetmem-topology v1 header");
+  }
+  std::string platform_name = "imported";
+  {
+    const std::string_view header = lines[0];
+    const std::size_t open = header.find('"');
+    const std::size_t close = header.rfind('"');
+    if (open != std::string_view::npos && close > open) {
+      platform_name = std::string(header.substr(open + 1, close - open - 1));
+    }
+  }
+
+  TopologyBuilder builder(platform_name);
+  std::vector<TopologyBuilder::Node> stack = {builder.machine()};
+  std::vector<PendingNuma> pending;
+
+  for (std::size_t line_number = 1; line_number < lines.size(); ++line_number) {
+    const std::string_view raw_line = lines[line_number];
+    std::string_view line = support::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    // Depth from indentation (2 spaces per level).
+    std::size_t spaces = 0;
+    while (spaces < raw_line.size() && raw_line[spaces] == ' ') ++spaces;
+    const std::size_t depth = spaces / 2 + 1;  // +1: machine is stack[0]
+    if (depth > stack.size()) {
+      return make_error(Errc::kParseError,
+                        "line " + std::to_string(line_number + 1) +
+                            ": indentation jumps a level");
+    }
+    stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(depth), stack.end());
+    TopologyBuilder::Node parent = stack.back();
+
+    std::vector<std::string_view> tokens;
+    for (std::string_view token : support::split(line, ' ')) {
+      if (!token.empty()) tokens.push_back(token);
+    }
+    auto fail = [&](const std::string& message) -> Result<Topology> {
+      return make_error(Errc::kParseError,
+                        "line " + std::to_string(line_number + 1) + ": " + message);
+    };
+
+    if (tokens[0] == "package") {
+      stack.push_back(parent.add_package());
+    } else if (tokens[0] == "group") {
+      std::string subtype = "Group";
+      if (auto value = field(tokens, "subtype"); value.ok()) {
+        subtype = std::string(*value);
+      }
+      stack.push_back(parent.add_group(subtype));
+    } else if (tokens[0] == "l3") {
+      stack.push_back(parent.add_l3());
+    } else if (tokens[0] == "cores") {
+      auto count = field(tokens, "count");
+      auto pus = field(tokens, "pus");
+      if (!count.ok() || !pus.ok()) return fail("cores needs count= and pus=");
+      auto count_value = parse_u64(*count);
+      auto pus_value = parse_u64(*pus);
+      if (!count_value.ok() || !pus_value.ok() || *count_value == 0 ||
+          *pus_value == 0) {
+        return fail("bad cores count/pus");
+      }
+      parent.add_cores(static_cast<unsigned>(*count_value),
+                       static_cast<unsigned>(*pus_value));
+    } else if (tokens[0] == "numa") {
+      auto os = field(tokens, "os");
+      auto kind = field(tokens, "kind");
+      auto capacity = field(tokens, "capacity");
+      if (!os.ok() || !kind.ok() || !capacity.ok()) {
+        return fail("numa needs os=, kind=, capacity=");
+      }
+      auto os_value = parse_u64(*os);
+      if (!os_value.ok()) return fail(os_value.error().message);
+      auto kind_value = parse_kind(*kind);
+      if (!kind_value.ok()) return fail(kind_value.error().message);
+      auto capacity_value = parse_u64(*capacity);
+      if (!capacity_value.ok()) return fail(capacity_value.error().message);
+      std::optional<MemorySideCache> ms_cache;
+      if (auto cache = field(tokens, "mscache"); cache.ok()) {
+        const auto parts = support::split(*cache, ',');
+        if (parts.size() != 3) return fail("mscache needs size,assoc,line");
+        auto size = parse_u64(parts[0]);
+        auto assoc = parse_u64(parts[1]);
+        auto cache_line = parse_u64(parts[2]);
+        if (!size.ok() || !assoc.ok() || !cache_line.ok()) {
+          return fail("bad mscache numbers");
+        }
+        ms_cache = MemorySideCache{*size, static_cast<unsigned>(*assoc),
+                                   static_cast<unsigned>(*cache_line)};
+      }
+      pending.push_back(PendingNuma{parent, static_cast<unsigned>(*os_value),
+                                    *kind_value, *capacity_value, ms_cache});
+    } else {
+      return fail("unknown record '" + std::string(tokens[0]) + "'");
+    }
+  }
+
+  // Attach NUMA nodes in their original machine-wide (OS index) order so
+  // numbering round-trips.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingNuma& a, const PendingNuma& b) {
+                     return a.os_index < b.os_index;
+                   });
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].os_index != i) {
+      return make_error(Errc::kParseError, "numa os= indices are not dense");
+    }
+    pending[i].attach_point.attach_numa(pending[i].kind, pending[i].capacity,
+                                        pending[i].ms_cache);
+  }
+  return std::move(builder).finalize();
+}
+
+}  // namespace hetmem::topo

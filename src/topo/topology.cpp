@@ -1,0 +1,143 @@
+#include "hetmem/topo/topology.hpp"
+
+#include <functional>
+
+namespace hetmem::topo {
+
+using support::Bitmap;
+using support::Errc;
+using support::make_error;
+using support::Status;
+
+const Object* Topology::numa_node(unsigned logical_index) const {
+  if (logical_index >= numa_nodes_.size()) return nullptr;
+  return numa_nodes_[logical_index];
+}
+
+const Object* Topology::numa_node_by_os_index(unsigned os_index) const {
+  for (const Object* node : numa_nodes_) {
+    if (node->os_index() == os_index) return node;
+  }
+  return nullptr;
+}
+
+const Bitmap& Topology::complete_cpuset() const { return root_->cpuset(); }
+
+std::vector<const Object*> Topology::local_numa_nodes(const Bitmap& initiator,
+                                                      LocalityFlags flags) const {
+  std::vector<const Object*> out;
+  for (const Object* node : numa_nodes_) {
+    if (has_flag(flags, LocalityFlags::kAll)) {
+      out.push_back(node);
+      continue;
+    }
+    if (initiator.empty()) continue;
+    const Bitmap& locality = node->cpuset();
+    const bool exact = locality == initiator;
+    const bool larger = initiator.is_subset_of(locality);
+    const bool smaller = locality.is_subset_of(initiator) && !locality.empty();
+    bool match = exact;
+    if (has_flag(flags, LocalityFlags::kLargerLocality)) match = match || larger;
+    if (has_flag(flags, LocalityFlags::kSmallerLocality)) match = match || smaller;
+    if (has_flag(flags, LocalityFlags::kIntersecting)) {
+      match = match || locality.intersects(initiator);
+    }
+    if (match) out.push_back(node);
+  }
+  return out;
+}
+
+const Object* Topology::covering_object(const Bitmap& cpuset) const {
+  if (cpuset.empty() || !cpuset.is_subset_of(root_->cpuset())) return nullptr;
+  const Object* current = root_.get();
+  while (true) {
+    const Object* next = nullptr;
+    for (const auto& child : current->children()) {
+      if (cpuset.is_subset_of(child->cpuset())) {
+        next = child.get();
+        break;
+      }
+    }
+    if (next == nullptr) return current;
+    current = next;
+  }
+}
+
+std::vector<const Object*> Topology::objects_of_type(ObjType type) const {
+  std::vector<const Object*> out;
+  std::function<void(const Object*)> visit = [&](const Object* obj) {
+    if (obj->type() == type) out.push_back(obj);
+    for (const auto& mem : obj->memory_children()) {
+      if (mem->type() == type) out.push_back(mem.get());
+    }
+    for (const auto& child : obj->children()) visit(child.get());
+  };
+  visit(root_.get());
+  return out;
+}
+
+std::uint64_t Topology::total_memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const Object* node : numa_nodes_) total += node->capacity_bytes();
+  return total;
+}
+
+Status Topology::validate() const {
+  Status failure;
+  std::function<bool(const Object*)> check = [&](const Object* obj) -> bool {
+    if (!obj->children().empty()) {
+      Bitmap child_union;
+      std::size_t child_bits = 0;
+      for (const auto& child : obj->children()) {
+        child_union |= child->cpuset();
+        child_bits += child->cpuset().count();
+      }
+      if (!(child_union == obj->cpuset())) {
+        failure = make_error(Errc::kInternal,
+                             std::string(obj_type_name(obj->type())) +
+                                 " cpuset is not the union of its children");
+        return false;
+      }
+      if (child_bits != child_union.count()) {
+        failure = make_error(Errc::kInternal,
+                             std::string(obj_type_name(obj->type())) +
+                                 " children cpusets overlap");
+        return false;
+      }
+    }
+    for (const auto& mem : obj->memory_children()) {
+      if (mem->type() != ObjType::kNUMANode) {
+        failure = make_error(Errc::kInternal, "non-NUMANode memory child");
+        return false;
+      }
+      if (!(mem->cpuset() == obj->cpuset())) {
+        failure = make_error(Errc::kInternal,
+                             "memory child locality differs from attach point");
+        return false;
+      }
+      if (mem->capacity_bytes() == 0) {
+        failure = make_error(Errc::kInternal, "NUMA node with zero capacity");
+        return false;
+      }
+    }
+    for (const auto& child : obj->children()) {
+      if (!check(child.get())) return false;
+    }
+    return true;
+  };
+  if (!check(root_.get())) return failure;
+
+  for (std::size_t i = 0; i < numa_nodes_.size(); ++i) {
+    if (numa_nodes_[i]->logical_index() != i) {
+      return make_error(Errc::kInternal, "NUMA logical indices not dense");
+    }
+  }
+  for (std::size_t i = 0; i < pus_.size(); ++i) {
+    if (pus_[i]->logical_index() != i) {
+      return make_error(Errc::kInternal, "PU logical indices not dense");
+    }
+  }
+  return {};
+}
+
+}  // namespace hetmem::topo

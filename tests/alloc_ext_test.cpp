@@ -1,0 +1,500 @@
+// Tests for the §VII extensions: hybrid (split) allocations, the priority
+// placement planner, and the phase-aware migration advisor.
+#include <gtest/gtest.h>
+
+#include "hetmem/alloc/advisor.hpp"
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/alloc/planner.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/simmem/exec.hpp"
+#include "hetmem/simmem/split_array.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::alloc {
+namespace {
+
+using support::Errc;
+using support::kGiB;
+using support::kMiB;
+
+class AllocExtTest : public ::testing::Test {
+ protected:
+  // KNL cluster: 4 GiB HBM (node 4) + 24 GiB DRAM (node 0).
+  AllocExtTest()
+      : machine_(topo::knl_snc4_flat()),
+        registry_(machine_.topology()),
+        allocator_(machine_, registry_) {
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    EXPECT_TRUE(
+        hmat::load_into(registry_, hmat::generate(machine_.topology(), options))
+            .ok());
+  }
+
+  AllocRequest request(std::uint64_t bytes, attr::AttrId attribute,
+                       Policy policy = Policy::kRankedFallback) {
+    AllocRequest r;
+    r.bytes = bytes;
+    r.attribute = attribute;
+    r.initiator = machine_.topology().numa_node(0)->cpuset();
+    r.policy = policy;
+    r.label = "ext";
+    return r;
+  }
+
+  sim::SimMachine machine_;
+  attr::MemAttrRegistry registry_;
+  HeterogeneousAllocator allocator_;
+};
+
+// --- hybrid allocations ---
+
+TEST_F(AllocExtTest, HybridPrefersWholeBufferWhenItFits) {
+  auto hybrid = allocator_.mem_alloc_hybrid(request(kGiB, attr::kBandwidth));
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_TRUE(hybrid->fast.valid());
+  EXPECT_FALSE(hybrid->slow.valid());
+  EXPECT_DOUBLE_EQ(hybrid->fast_fraction, 1.0);
+  EXPECT_EQ(machine_.topology().numa_node(hybrid->fast_node)->memory_kind(),
+            topo::MemoryKind::kHBM);
+}
+
+TEST_F(AllocExtTest, HybridSplitsAcrossHbmAndDram) {
+  // 6 GiB > 4 GiB HBM: expect ~2/3 on HBM... the split takes what fits.
+  auto hybrid = allocator_.mem_alloc_hybrid(request(6 * kGiB, attr::kBandwidth));
+  ASSERT_TRUE(hybrid.ok()) << hybrid.error().to_string();
+  ASSERT_TRUE(hybrid->fast.valid());
+  ASSERT_TRUE(hybrid->slow.valid());
+  EXPECT_EQ(machine_.topology().numa_node(hybrid->fast_node)->memory_kind(),
+            topo::MemoryKind::kHBM);
+  EXPECT_EQ(machine_.topology().numa_node(hybrid->slow_node)->memory_kind(),
+            topo::MemoryKind::kDRAM);
+  EXPECT_NEAR(hybrid->fast_fraction, 4.0 / 6.0, 0.01);
+  // Capacity charged on both nodes.
+  EXPECT_EQ(machine_.used_bytes(hybrid->fast_node) +
+                machine_.used_bytes(hybrid->slow_node),
+            6 * kGiB);
+}
+
+TEST_F(AllocExtTest, HybridFailsWhenNothingHasRoom) {
+  ASSERT_TRUE(allocator_.mem_alloc(request(4 * kGiB, attr::kBandwidth)).ok());
+  ASSERT_TRUE(allocator_.mem_alloc(request(24 * kGiB, attr::kCapacity)).ok());
+  auto hybrid = allocator_.mem_alloc_hybrid(request(2 * kGiB, attr::kBandwidth));
+  ASSERT_FALSE(hybrid.ok());
+  EXPECT_EQ(hybrid.error().code, Errc::kOutOfCapacity);
+}
+
+TEST_F(AllocExtTest, SplitArrayRoutesAndRecordsProportionally) {
+  auto hybrid = allocator_.mem_alloc_hybrid(request(6 * kGiB, attr::kBandwidth));
+  ASSERT_TRUE(hybrid.ok());
+  sim::Array<double> fast(machine_, hybrid->fast);
+  sim::Array<double> slow(machine_, hybrid->slow);
+  const std::size_t fast_elems = fast.size();
+  sim::SplitArray<double> split(std::move(fast), std::move(slow),
+                                hybrid->fast_fraction);
+
+  sim::ThreadCtx ctx(machine_.topology().numa_nodes().size());
+  split.store_seq(ctx, 0, 1.5);                       // fast part
+  split.store_seq(ctx, fast_elems, 2.5);              // slow part
+  EXPECT_DOUBLE_EQ(split.load_seq(ctx, 0), 1.5);
+  EXPECT_DOUBLE_EQ(split.load_seq(ctx, fast_elems), 2.5);
+
+  ctx.reset_phase();
+  split.record_bulk_read(ctx, 6e9);
+  const auto& traffic = ctx.node_traffic();
+  const double fast_bytes = traffic[hybrid->fast_node].seq_read_bytes;
+  const double slow_bytes = traffic[hybrid->slow_node].seq_read_bytes;
+  EXPECT_NEAR(fast_bytes / (fast_bytes + slow_bytes), hybrid->fast_fraction,
+              0.01);
+}
+
+TEST_F(AllocExtTest, HybridStreamingBoundedBySumOfNodes) {
+  // Two nodes stream in parallel: a split buffer can exceed either node
+  // alone (striping) but never their sum.
+  auto pure_stream_rate = [&](unsigned node) {
+    auto buffer = machine_.allocate(2 * kGiB, node, "pure", 4096);
+    EXPECT_TRUE(buffer.ok());
+    sim::ExecutionContext exec(machine_,
+                               machine_.topology().numa_node(0)->cpuset(), 16);
+    sim::Array<double> array(machine_, *buffer);
+    exec.run_phase("s", 16,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       array.record_bulk_read(ctx, 2e9 / 16);
+                     }
+                   });
+    (void)machine_.free(*buffer);
+    return 2e9 / (exec.clock_ns() / 1e9);
+  };
+  const double hbm_rate = pure_stream_rate(4);
+  const double dram_rate = pure_stream_rate(0);
+
+  auto hybrid = allocator_.mem_alloc_hybrid(request(6 * kGiB, attr::kBandwidth));
+  ASSERT_TRUE(hybrid.ok());
+  sim::SplitArray<double> split(sim::Array<double>(machine_, hybrid->fast),
+                                sim::Array<double>(machine_, hybrid->slow),
+                                hybrid->fast_fraction);
+  sim::ExecutionContext exec(machine_,
+                             machine_.topology().numa_node(0)->cpuset(), 16);
+  exec.run_phase("split", 16,
+                 [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                     std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     split.record_bulk_read(ctx, 2e9 / 16);
+                   }
+                 });
+  const double split_rate = 2e9 / (exec.clock_ns() / 1e9);
+  EXPECT_GT(split_rate, dram_rate);
+  EXPECT_LT(split_rate, hbm_rate + dram_rate);
+}
+
+TEST_F(AllocExtTest, HybridLatencyAccessLandsBetweenPureRates) {
+  // For dependent accesses the slow part mixes into every thread's stall
+  // time: the paper's "irregular performance" — the blended rate sits
+  // strictly between pure-fast and pure-slow.
+  auto pure_chase_ns = [&](unsigned node) {
+    auto buffer = machine_.allocate(2 * kGiB, node, "pure", 4096);
+    EXPECT_TRUE(buffer.ok());
+    sim::ExecutionContext exec(machine_,
+                               machine_.topology().numa_node(0)->cpuset(), 16);
+    sim::Array<std::uint32_t> array(machine_, *buffer);
+    exec.run_phase("c", 16,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       array.record_bulk_random_reads(ctx, 100000.0);
+                     }
+                   });
+    (void)machine_.free(*buffer);
+    return exec.clock_ns();
+  };
+  // Pure HBM chase vs pure DRAM chase: HBM latency is slightly worse on
+  // KNL, so order them explicitly.
+  const double hbm_ns = pure_chase_ns(4);
+  const double dram_ns = pure_chase_ns(0);
+  const double faster = std::min(hbm_ns, dram_ns);
+  const double slower = std::max(hbm_ns, dram_ns);
+
+  auto hybrid = allocator_.mem_alloc_hybrid(request(6 * kGiB, attr::kBandwidth));
+  ASSERT_TRUE(hybrid.ok());
+  sim::SplitArray<std::uint32_t> split(
+      sim::Array<std::uint32_t>(machine_, hybrid->fast),
+      sim::Array<std::uint32_t>(machine_, hybrid->slow), hybrid->fast_fraction);
+  sim::ExecutionContext exec(machine_,
+                             machine_.topology().numa_node(0)->cpuset(), 16);
+  exec.run_phase("split-chase", 16,
+                 [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                     std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     split.record_bulk_random_reads(ctx, 100000.0);
+                   }
+                 });
+  // Bounded by the pure runs up to the loaded-latency relief a split gets
+  // from spreading its traffic over two memory controllers.
+  EXPECT_GT(exec.clock_ns(), faster * 0.9);
+  EXPECT_LT(exec.clock_ns(), slower * 1.1);
+}
+
+// --- interleaved allocations ---
+
+TEST_F(AllocExtTest, InterleaveStripesAcrossTopTargets) {
+  AllocRequest r = request(2 * kGiB, attr::kBandwidth);
+  auto interleaved = allocator_.mem_alloc_interleaved(r, 2);
+  ASSERT_TRUE(interleaved.ok());
+  ASSERT_EQ(interleaved->parts.size(), 2u);
+  EXPECT_EQ(machine_.topology().numa_node(interleaved->nodes[0])->memory_kind(),
+            topo::MemoryKind::kHBM);
+  EXPECT_EQ(machine_.topology().numa_node(interleaved->nodes[1])->memory_kind(),
+            topo::MemoryKind::kDRAM);
+  EXPECT_NEAR(interleaved->fractions[0], 0.5, 0.01);
+  EXPECT_NEAR(interleaved->fractions[0] + interleaved->fractions[1], 1.0, 1e-9);
+  // Full charge split across the two nodes.
+  EXPECT_EQ(machine_.used_bytes(4) + machine_.used_bytes(0), 2 * kGiB);
+}
+
+TEST_F(AllocExtTest, InterleaveShrinksWaysToFit) {
+  // 12 GiB in 2 ways needs 6 GiB per node; HBM holds 4 -> falls to 1 way
+  // on DRAM.
+  AllocRequest r = request(12 * kGiB, attr::kBandwidth);
+  auto interleaved = allocator_.mem_alloc_interleaved(r, 2);
+  ASSERT_TRUE(interleaved.ok());
+  ASSERT_EQ(interleaved->parts.size(), 1u);
+  EXPECT_EQ(machine_.topology().numa_node(interleaved->nodes[0])->memory_kind(),
+            topo::MemoryKind::kDRAM);
+}
+
+TEST_F(AllocExtTest, InterleaveValidation) {
+  AllocRequest r = request(kGiB, attr::kBandwidth);
+  EXPECT_FALSE(allocator_.mem_alloc_interleaved(r, 0).ok());
+  r.bytes = 0;
+  EXPECT_FALSE(allocator_.mem_alloc_interleaved(r, 2).ok());
+  // Nothing fits anywhere.
+  AllocRequest huge = request(100 * kGiB, attr::kBandwidth);
+  auto fail = allocator_.mem_alloc_interleaved(huge, 4);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.error().code, Errc::kOutOfCapacity);
+}
+
+// --- reservations ---
+
+TEST_F(AllocExtTest, ReservationBlocksOrdinaryAllocations) {
+  // Reserve the whole 4 GiB MCDRAM for a hot buffer that arrives late.
+  ASSERT_TRUE(allocator_.reserve(4, 4 * kGiB).ok());
+  EXPECT_EQ(allocator_.reserved_bytes(4), 4 * kGiB);
+
+  // A cold bandwidth request now skips the HBM entirely.
+  auto cold = allocator_.mem_alloc(request(kGiB, attr::kBandwidth));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(machine_.topology().numa_node(cold->node)->memory_kind(),
+            topo::MemoryKind::kDRAM);
+
+  // The hot buffer claims its reservation.
+  auto hot = allocator_.mem_alloc_reserved(4, 2 * kGiB, "hot");
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->node, 4u);
+  EXPECT_EQ(allocator_.reserved_bytes(4), 2 * kGiB);
+}
+
+TEST_F(AllocExtTest, ReservationValidation) {
+  EXPECT_FALSE(allocator_.reserve(99, kGiB).ok());
+  // Cannot reserve more than is free.
+  auto too_much = allocator_.reserve(4, 8 * kGiB);
+  ASSERT_FALSE(too_much.ok());
+  EXPECT_EQ(too_much.error().code, Errc::kOutOfCapacity);
+  // mem_alloc_reserved beyond the reservation fails.
+  ASSERT_TRUE(allocator_.reserve(4, kGiB).ok());
+  EXPECT_FALSE(allocator_.mem_alloc_reserved(4, 2 * kGiB, "x").ok());
+}
+
+TEST_F(AllocExtTest, ReleaseReservationRestoresAvailability) {
+  ASSERT_TRUE(allocator_.reserve(4, 4 * kGiB).ok());
+  auto blocked = allocator_.mem_alloc(
+      request(kGiB, attr::kBandwidth, Policy::kStrict));
+  EXPECT_FALSE(blocked.ok());
+  allocator_.release_reservation(4, 4 * kGiB);
+  EXPECT_EQ(allocator_.reserved_bytes(4), 0u);
+  auto unblocked = allocator_.mem_alloc(
+      request(kGiB, attr::kBandwidth, Policy::kStrict));
+  ASSERT_TRUE(unblocked.ok());
+  EXPECT_EQ(unblocked->node, 4u);
+  // Over-release clamps to zero.
+  allocator_.release_reservation(4, 100 * kGiB);
+  EXPECT_EQ(allocator_.reserved_bytes(4), 0u);
+}
+
+TEST_F(AllocExtTest, ReservationPreventsPriorityInversion) {
+  // The §VII remedy: reserving for the hot buffer beats FCFS.
+  ASSERT_TRUE(allocator_.reserve(4, 3 * kGiB).ok());
+  for (int i = 0; i < 15; ++i) {
+    (void)allocator_.mem_alloc(request(512 * kMiB, attr::kBandwidth));
+  }
+  auto hot = allocator_.mem_alloc_reserved(4, 3 * kGiB, "hot");
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(machine_.topology().numa_node(hot->node)->memory_kind(),
+            topo::MemoryKind::kHBM);
+}
+
+// --- planner ---
+
+TEST_F(AllocExtTest, PlannerGivesFastMemoryToHighPriority) {
+  // FCFS order: cold buffer first would grab the HBM. The planner reorders.
+  std::vector<PlannedRequest> requests = {
+      {"cold", 3 * kGiB, attr::kBandwidth, /*priority=*/0, 0},
+      {"hot", 3 * kGiB, attr::kBandwidth, /*priority=*/10, 0},
+  };
+  Plan plan = plan_placements(machine_, registry_,
+                              machine_.topology().numa_node(0)->cpuset(),
+                              requests);
+  ASSERT_TRUE(plan.unplaced.empty());
+  ASSERT_EQ(plan.placements.size(), 2u);
+  EXPECT_EQ(plan.placements[1].label, "hot");
+  EXPECT_EQ(machine_.topology().numa_node(plan.placements[1].node)->memory_kind(),
+            topo::MemoryKind::kHBM);
+  EXPECT_EQ(machine_.topology().numa_node(plan.placements[0].node)->memory_kind(),
+            topo::MemoryKind::kDRAM);
+  EXPECT_TRUE(plan.placements[0].fell_back);
+  EXPECT_FALSE(plan.placements[1].fell_back);
+}
+
+TEST_F(AllocExtTest, PlannerRespectsExistingUsage) {
+  ASSERT_TRUE(allocator_.mem_alloc(request(3 * kGiB, attr::kBandwidth)).ok());
+  std::vector<PlannedRequest> requests = {
+      {"late", 2 * kGiB, attr::kBandwidth, 5, 0},
+  };
+  Plan plan = plan_placements(machine_, registry_,
+                              machine_.topology().numa_node(0)->cpuset(),
+                              requests);
+  // Only ~1 GiB left on HBM: must plan for DRAM.
+  ASSERT_TRUE(plan.unplaced.empty());
+  EXPECT_EQ(machine_.topology().numa_node(plan.placements[0].node)->memory_kind(),
+            topo::MemoryKind::kDRAM);
+}
+
+TEST_F(AllocExtTest, PlannerReportsUnplaceable) {
+  std::vector<PlannedRequest> requests = {
+      {"too-big", 100 * kGiB, attr::kBandwidth, 1, 0},
+  };
+  Plan plan = plan_placements(machine_, registry_,
+                              machine_.topology().numa_node(0)->cpuset(),
+                              requests);
+  ASSERT_EQ(plan.unplaced.size(), 1u);
+  EXPECT_EQ(plan.unplaced[0], "too-big");
+}
+
+TEST_F(AllocExtTest, ExecutePlanMaterializesBuffers) {
+  std::vector<PlannedRequest> requests = {
+      {"a", kGiB, attr::kBandwidth, 1, 4096},
+      {"b", kGiB, attr::kCapacity, 0, 4096},
+  };
+  Plan plan = plan_placements(machine_, registry_,
+                              machine_.topology().numa_node(0)->cpuset(),
+                              requests);
+  auto buffers = execute_plan(allocator_, requests, plan);
+  ASSERT_TRUE(buffers.ok());
+  ASSERT_EQ(buffers->size(), 2u);
+  EXPECT_TRUE((*buffers)[0].valid());
+  EXPECT_EQ(machine_.info((*buffers)[0]).node, plan.placements[0].node);
+  // Plan/requests mismatch rejected.
+  std::vector<PlannedRequest> fewer = {requests[0]};
+  EXPECT_FALSE(execute_plan(allocator_, fewer, plan).ok());
+}
+
+TEST_F(AllocExtTest, TiesKeepDeclarationOrder) {
+  std::vector<PlannedRequest> requests = {
+      {"first", 3 * kGiB, attr::kBandwidth, 5, 0},
+      {"second", 3 * kGiB, attr::kBandwidth, 5, 0},
+  };
+  Plan plan = plan_placements(machine_, registry_,
+                              machine_.topology().numa_node(0)->cpuset(),
+                              requests);
+  EXPECT_EQ(machine_.topology().numa_node(plan.placements[0].node)->memory_kind(),
+            topo::MemoryKind::kHBM);
+  EXPECT_EQ(machine_.topology().numa_node(plan.placements[1].node)->memory_kind(),
+            topo::MemoryKind::kDRAM);
+}
+
+// --- advisor ---
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  // Xeon: DRAM node 0 (fast for latency), NVDIMM node 2 (slow).
+  AdvisorTest()
+      : machine_(topo::xeon_clx_1lm()),
+        registry_(machine_.topology()),
+        allocator_(machine_, registry_) {
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    EXPECT_TRUE(
+        hmat::load_into(registry_, hmat::generate(machine_.topology(), options))
+            .ok());
+  }
+
+  /// Runs a latency-bound round over `buffer` and returns the context.
+  std::unique_ptr<sim::ExecutionContext> run_round(sim::BufferId buffer) {
+    auto exec = std::make_unique<sim::ExecutionContext>(
+        machine_, machine_.topology().numa_node(0)->cpuset(), 8);
+    sim::Array<std::uint32_t> array(machine_, buffer);
+    exec->run_phase("round", 8,
+                    [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                        std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        array.record_bulk_random_reads(ctx, 500000.0);
+                      }
+                    });
+    return exec;
+  }
+
+  sim::SimMachine machine_;
+  attr::MemAttrRegistry registry_;
+  HeterogeneousAllocator allocator_;
+};
+
+TEST_F(AdvisorTest, RecommendsMovingHotBufferOffNvdimm) {
+  auto buffer = machine_.allocate(2 * kGiB, 2, "hot", 4096);
+  ASSERT_TRUE(buffer.ok());
+  auto exec = run_round(*buffer);
+  auto advice = advise_migrations(allocator_, *exec,
+                                  machine_.topology().numa_node(0)->cpuset());
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].from_node, 2u);
+  EXPECT_EQ(advice[0].to_node, 0u);
+  EXPECT_GT(advice[0].benefit_per_round_ns, 0.0);
+  EXPECT_GT(advice[0].cost_ns, 0.0);
+  EXPECT_GT(advice[0].breakeven_rounds, 0.0);
+}
+
+TEST_F(AdvisorTest, NoAdviceWhenAlreadyOptimal) {
+  auto buffer = machine_.allocate(2 * kGiB, 0, "fine", 4096);
+  ASSERT_TRUE(buffer.ok());
+  auto exec = run_round(*buffer);
+  auto advice = advise_migrations(allocator_, *exec,
+                                  machine_.topology().numa_node(0)->cpuset());
+  EXPECT_TRUE(advice.empty());
+}
+
+TEST_F(AdvisorTest, ApplyAdviceHonorsBreakeven) {
+  auto buffer = machine_.allocate(2 * kGiB, 2, "hot", 4096);
+  ASSERT_TRUE(buffer.ok());
+  auto exec = run_round(*buffer);
+  auto advice = advise_migrations(allocator_, *exec,
+                                  machine_.topology().numa_node(0)->cpuset());
+  ASSERT_EQ(advice.size(), 1u);
+
+  // Horizon shorter than break-even: no migration happens.
+  AdvisorOptions short_horizon;
+  short_horizon.expected_future_rounds = advice[0].breakeven_rounds / 2.0;
+  auto cost = apply_advice(allocator_, advice, short_horizon);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 0.0);
+  EXPECT_EQ(machine_.info(*buffer).node, 2u);
+
+  // Horizon past break-even: migrated.
+  AdvisorOptions long_horizon;
+  long_horizon.expected_future_rounds = advice[0].breakeven_rounds * 2.0;
+  cost = apply_advice(allocator_, advice, long_horizon);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GT(*cost, 0.0);
+  EXPECT_EQ(machine_.info(*buffer).node, 0u);
+}
+
+TEST_F(AdvisorTest, MigratedRoundIsActuallyFaster) {
+  auto buffer = machine_.allocate(2 * kGiB, 2, "hot", 4096);
+  ASSERT_TRUE(buffer.ok());
+  auto before = run_round(*buffer);
+  const double slow_ns = before->clock_ns();
+  auto advice = advise_migrations(allocator_, *before,
+                                  machine_.topology().numa_node(0)->cpuset());
+  ASSERT_FALSE(advice.empty());
+  AdvisorOptions options;
+  options.expected_future_rounds = 1e9;  // force the move
+  ASSERT_TRUE(apply_advice(allocator_, advice, options).ok());
+  auto after = run_round(*buffer);
+  EXPECT_LT(after->clock_ns(), slow_ns * 0.6);
+  // The advisor's benefit estimate matches the observed saving within 25%.
+  EXPECT_NEAR(advice[0].benefit_per_round_ns, slow_ns - after->clock_ns(),
+              0.25 * (slow_ns - after->clock_ns()));
+}
+
+TEST_F(AdvisorTest, SkipsWhenDestinationIsFull) {
+  ASSERT_TRUE(allocator_.mem_alloc([&] {
+                          AllocRequest r;
+                          r.bytes = 192 * kGiB;
+                          r.attribute = attr::kLatency;
+                          r.initiator = machine_.topology().numa_node(0)->cpuset();
+                          r.label = "filler";
+                          return r;
+                        }())
+                  .ok());
+  auto buffer = machine_.allocate(2 * kGiB, 2, "hot", 4096);
+  ASSERT_TRUE(buffer.ok());
+  auto exec = run_round(*buffer);
+  auto advice = advise_migrations(allocator_, *exec,
+                                  machine_.topology().numa_node(0)->cpuset());
+  EXPECT_TRUE(advice.empty());  // DRAM full, nowhere better to go
+}
+
+}  // namespace
+}  // namespace hetmem::alloc

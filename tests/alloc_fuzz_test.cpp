@@ -1,0 +1,176 @@
+// Property/fuzz tests: long random operation sequences against shadow
+// models. These catch accounting drift that example-based tests miss —
+// the allocator, machine, and pool must agree with a naive reimplementation
+// after thousands of interleaved alloc/free/migrate/reserve operations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/alloc/pool.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/support/rng.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::alloc {
+namespace {
+
+using support::kMiB;
+using support::Xoshiro256;
+
+class AllocatorFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorFuzzTest, AccountingMatchesShadowModel) {
+  sim::SimMachine machine(topo::xeon_clx_snc_1lm());
+  attr::MemAttrRegistry registry(machine.topology());
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  ASSERT_TRUE(
+      hmat::load_into(registry, hmat::generate(machine.topology(), options)).ok());
+  HeterogeneousAllocator allocator(machine, registry);
+
+  const std::size_t node_count = machine.topology().numa_nodes().size();
+  // Shadow: declared bytes per node, and per live buffer.
+  std::vector<std::uint64_t> shadow_used(node_count, 0);
+  std::vector<std::uint64_t> shadow_reserved(node_count, 0);
+  struct Live {
+    sim::BufferId id;
+    std::uint64_t bytes;
+    unsigned node;
+  };
+  std::vector<Live> live;
+
+  Xoshiro256 rng(GetParam());
+  const attr::AttrId attrs[] = {attr::kCapacity, attr::kLatency,
+                                attr::kBandwidth, attr::kLocality};
+
+  for (int step = 0; step < 3000; ++step) {
+    const unsigned op = static_cast<unsigned>(rng.next_below(100));
+    if (op < 45 || live.empty()) {
+      // Allocate 1..64 MiB with a random attribute & locality.
+      AllocRequest request;
+      request.bytes = (1 + rng.next_below(64)) * kMiB;
+      request.attribute = attrs[rng.next_below(4)];
+      const unsigned locality_node =
+          static_cast<unsigned>(rng.next_below(node_count));
+      request.initiator =
+          machine.topology().numa_node(locality_node)->cpuset();
+      request.policy = rng.next_below(2) == 0 ? Policy::kRankedFallback
+                                              : Policy::kPreferredThenDefault;
+      request.label = "fuzz" + std::to_string(step);
+      auto allocation = allocator.mem_alloc(request);
+      if (allocation.ok()) {
+        shadow_used[allocation->node] += request.bytes;
+        live.push_back(Live{allocation->buffer, request.bytes, allocation->node});
+      }
+    } else if (op < 75) {
+      // Free a random live buffer.
+      const std::size_t index = rng.next_below(live.size());
+      ASSERT_TRUE(allocator.mem_free(live[index].id).ok());
+      shadow_used[live[index].node] -= live[index].bytes;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    } else if (op < 90) {
+      // Migrate a random live buffer to a random node.
+      const std::size_t index = rng.next_below(live.size());
+      const unsigned destination =
+          static_cast<unsigned>(rng.next_below(node_count));
+      auto cost = allocator.migrate(live[index].id, destination);
+      if (cost.ok()) {
+        shadow_used[live[index].node] -= live[index].bytes;
+        shadow_used[destination] += live[index].bytes;
+        live[index].node = destination;
+      }
+    } else if (op < 95) {
+      // Reserve a little somewhere.
+      const unsigned node = static_cast<unsigned>(rng.next_below(node_count));
+      const std::uint64_t bytes = (1 + rng.next_below(16)) * kMiB;
+      if (allocator.reserve(node, bytes).ok()) shadow_reserved[node] += bytes;
+    } else {
+      // Release some reservation.
+      const unsigned node = static_cast<unsigned>(rng.next_below(node_count));
+      const std::uint64_t bytes = (1 + rng.next_below(16)) * kMiB;
+      const std::uint64_t released = std::min(shadow_reserved[node], bytes);
+      allocator.release_reservation(node, bytes);
+      shadow_reserved[node] -= released;
+    }
+
+    // Invariants, every step.
+    for (unsigned node = 0; node < node_count; ++node) {
+      ASSERT_EQ(machine.used_bytes(node), shadow_used[node])
+          << "step " << step << " node " << node;
+      ASSERT_EQ(allocator.reserved_bytes(node), shadow_reserved[node]);
+      ASSERT_LE(machine.used_bytes(node), machine.capacity_bytes(node));
+    }
+  }
+
+  // Stats are consistent with what we observed.
+  EXPECT_EQ(allocator.stats().allocations - allocator.stats().frees,
+            live.size());
+  // Drain everything; all capacity returns.
+  for (const Live& buffer : live) {
+    ASSERT_TRUE(allocator.mem_free(buffer.id).ok());
+  }
+  for (unsigned node = 0; node < node_count; ++node) {
+    EXPECT_EQ(machine.used_bytes(node), 0u);
+  }
+}
+
+TEST_P(AllocatorFuzzTest, PoolMatchesShadowFreeList) {
+  sim::SimMachine machine(topo::knl_snc4_flat());
+  attr::MemAttrRegistry registry(machine.topology());
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  ASSERT_TRUE(
+      hmat::load_into(registry, hmat::generate(machine.topology(), options)).ok());
+  HeterogeneousAllocator allocator(machine, registry);
+
+  PoolOptions pool_options;
+  pool_options.attribute = attr::kBandwidth;
+  pool_options.block_bytes = 8 * kMiB;
+  pool_options.blocks_per_slab = 16;
+  Pool pool(allocator, machine.topology().numa_node(0)->cpuset(), pool_options);
+
+  Xoshiro256 rng(GetParam() * 31 + 7);
+  std::vector<PoolBlock> live;
+  std::uint64_t allocated = 0, freed = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.next_below(100) < 55 || live.empty()) {
+      auto block = pool.allocate();
+      ASSERT_TRUE(block.ok());
+      ++allocated;
+      live.push_back(*block);
+    } else {
+      const std::size_t index = rng.next_below(live.size());
+      ASSERT_TRUE(pool.free(live[index]).ok());
+      ++freed;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    const PoolStats stats = pool.stats();
+    ASSERT_EQ(stats.blocks_allocated, allocated);
+    ASSERT_EQ(stats.blocks_freed, freed);
+    ASSERT_EQ(stats.blocks_live, live.size());
+    // Machine charge == slabs x slab size.
+    const std::uint64_t slab_bytes =
+        pool_options.block_bytes * pool_options.blocks_per_slab;
+    std::uint64_t total_used = 0;
+    for (unsigned node = 0;
+         node < machine.topology().numa_nodes().size(); ++node) {
+      total_used += machine.used_bytes(node);
+    }
+    ASSERT_EQ(total_used % slab_bytes, 0u);
+    ASSERT_GE(total_used / slab_bytes, (live.size() + 15) / 16 > 0 ? 1u : 0u);
+  }
+  // No block handle was ever duplicated among live blocks.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> seen;
+  for (const PoolBlock& block : live) {
+    const auto key = std::make_pair(block.slab, block.index);
+    ASSERT_EQ(++seen[key], 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzzTest,
+                         ::testing::Values(11, 23, 47, 101));
+
+}  // namespace
+}  // namespace hetmem::alloc

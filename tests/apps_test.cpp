@@ -1,0 +1,480 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hetmem/apps/csr.hpp"
+#include "hetmem/apps/graph500.hpp"
+#include "hetmem/apps/rmat.hpp"
+#include "hetmem/apps/spmv.hpp"
+#include "hetmem/apps/stream.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::apps {
+namespace {
+
+using support::kGiB;
+
+// --- R-MAT generator ---
+
+TEST(Rmat, GeneratesRequestedEdgeCount) {
+  RmatParams params;
+  params.scale = 10;
+  params.edgefactor = 16;
+  auto edges = generate_rmat(params);
+  EXPECT_EQ(edges.size(), (1u << 10) * 16);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, 1u << 10);
+    EXPECT_LT(e.v, 1u << 10);
+  }
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  RmatParams params;
+  params.scale = 8;
+  auto a = generate_rmat(params);
+  auto b = generate_rmat(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+  }
+  params.seed += 1;
+  auto c = generate_rmat(params);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    same += a[i].u == c[i].u && a[i].v == c[i].v;
+  }
+  EXPECT_LT(same, a.size() / 10);
+}
+
+TEST(Rmat, PowerLawSkew) {
+  RmatParams params;
+  params.scale = 12;
+  auto edges = generate_rmat(params);
+  std::vector<std::uint32_t> degree(1u << 12, 0);
+  for (const Edge& e : edges) ++degree[e.u];
+  std::sort(degree.begin(), degree.end(), std::greater<>());
+  // Top 1% of vertices should hold far more than 1% of edge endpoints.
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < degree.size() / 100; ++i) top += degree[i];
+  EXPECT_GT(top, edges.size() / 10);
+}
+
+// --- CSR builder ---
+
+TEST(Csr, BuildsSymmetricDedupedGraph) {
+  std::vector<Edge> edges = {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}};
+  CsrGraph graph = build_csr(edges, 4);
+  EXPECT_EQ(graph.num_vertices, 4u);
+  // Self-loop dropped; {0,1} deduped; edges: 0-1, 1-2.
+  EXPECT_EQ(graph.num_edges, 2u);
+  EXPECT_EQ(graph.targets.size(), 4u);
+  EXPECT_EQ(graph.degree(0), 1u);
+  EXPECT_EQ(graph.degree(1), 2u);
+  EXPECT_EQ(graph.degree(2), 1u);
+  EXPECT_EQ(graph.degree(3), 0u);
+}
+
+TEST(Csr, OffsetsMonotoneAndAdjacencySorted) {
+  RmatParams params;
+  params.scale = 10;
+  CsrGraph graph = build_csr(generate_rmat(params), 1u << 10);
+  for (std::uint32_t v = 0; v < graph.num_vertices; ++v) {
+    EXPECT_LE(graph.offsets[v], graph.offsets[v + 1]);
+    for (std::uint64_t j = graph.offsets[v] + 1; j < graph.offsets[v + 1]; ++j) {
+      EXPECT_LT(graph.targets[j - 1], graph.targets[j]);  // sorted, unique
+    }
+  }
+  EXPECT_EQ(graph.offsets.back(), graph.targets.size());
+}
+
+TEST(Csr, SymmetryHolds) {
+  RmatParams params;
+  params.scale = 8;
+  CsrGraph graph = build_csr(generate_rmat(params), 1u << 8);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (std::uint32_t u = 0; u < graph.num_vertices; ++u) {
+    for (std::uint64_t j = graph.offsets[u]; j < graph.offsets[u + 1]; ++j) {
+      seen.insert({u, graph.targets[j]});
+    }
+  }
+  for (const auto& [u, v] : seen) {
+    EXPECT_TRUE(seen.count({v, u})) << u << "->" << v << " has no reverse";
+    EXPECT_NE(u, v) << "self loop survived";
+  }
+}
+
+// --- Graph500 runner ---
+
+TEST(Graph500, DeclaredBytesMatchPaperSizes) {
+  // Table II sizes: 2^(scale+7) bytes at edgefactor 16.
+  EXPECT_EQ(graph500_declared_bytes(24, 16), 2147483648ull);   // "2.15 GB"
+  EXPECT_EQ(graph500_declared_bytes(25, 16), 4294967296ull);   // "4.29 GB"
+  EXPECT_EQ(graph500_declared_bytes(28, 16), 34359738368ull);  // "34.36 GB"
+}
+
+Graph500Config small_config() {
+  Graph500Config config;
+  config.scale_declared = 24;
+  config.scale_backing = 12;
+  config.threads = 4;
+  config.num_roots = 3;
+  return config;
+}
+
+TEST(Graph500, RunsAndValidatesOnXeonDram) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  auto runner = Graph500Runner::create(machine, nullptr,
+                                       machine.topology().numa_node(0)->cpuset(),
+                                       small_config(),
+                                       Graph500Placement::all_on_node(0));
+  ASSERT_TRUE(runner.ok()) << runner.error().to_string();
+  auto result = (*runner)->run();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_GT(result->harmonic_mean_teps, 0.0);
+  EXPECT_EQ(result->teps_per_root.size(), 3u);
+  EXPECT_GT(result->backing_edges, 0u);
+  EXPECT_TRUE((*runner)->validate_last_tree().ok());
+}
+
+TEST(Graph500, BfsTreeIsValidFromSpecificRoot) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  auto runner = Graph500Runner::create(machine, nullptr,
+                                       machine.topology().numa_node(0)->cpuset(),
+                                       small_config(),
+                                       Graph500Placement::all_on_node(0));
+  ASSERT_TRUE(runner.ok());
+  // Find a non-isolated root deterministically.
+  const CsrGraph& graph = (*runner)->graph();
+  std::uint32_t root = 0;
+  while (graph.degree(root) == 0) ++root;
+  auto bfs = (*runner)->bfs_from(root);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_GT(bfs->first, 0.0);   // TEPS
+  EXPECT_GT(bfs->second, 0u);   // traversed edges
+  auto status = (*runner)->validate_last_tree();
+  EXPECT_TRUE(status.ok()) << status.error().to_string();
+}
+
+TEST(Graph500, TraversedEdgesBoundedByGraph) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  auto runner = Graph500Runner::create(machine, nullptr,
+                                       machine.topology().numa_node(0)->cpuset(),
+                                       small_config(),
+                                       Graph500Placement::all_on_node(0));
+  ASSERT_TRUE(runner.ok());
+  const CsrGraph& graph = (*runner)->graph();
+  std::uint32_t root = 0;
+  while (graph.degree(root) == 0) ++root;
+  auto bfs = (*runner)->bfs_from(root);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_LE(bfs->second, graph.num_edges);
+}
+
+TEST(Graph500, DeterministicTepsAcrossRuns) {
+  auto run_once = [] {
+    sim::SimMachine machine(topo::xeon_clx_1lm());
+    auto runner = Graph500Runner::create(
+        machine, nullptr, machine.topology().numa_node(0)->cpuset(),
+        small_config(), Graph500Placement::all_on_node(0));
+    EXPECT_TRUE(runner.ok());
+    auto result = (*runner)->run();
+    EXPECT_TRUE(result.ok());
+    return result->harmonic_mean_teps;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Graph500, PlacementOnNvdimmIsSlower) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const support::Bitmap initiator = machine.topology().numa_node(0)->cpuset();
+  auto on_dram = Graph500Runner::create(machine, nullptr, initiator,
+                                        small_config(),
+                                        Graph500Placement::all_on_node(0));
+  ASSERT_TRUE(on_dram.ok());
+  auto dram_result = (*on_dram)->run();
+  ASSERT_TRUE(dram_result.ok());
+
+  auto on_nvdimm = Graph500Runner::create(machine, nullptr, initiator,
+                                          small_config(),
+                                          Graph500Placement::all_on_node(2));
+  ASSERT_TRUE(on_nvdimm.ok());
+  auto nvdimm_result = (*on_nvdimm)->run();
+  ASSERT_TRUE(nvdimm_result.ok());
+
+  EXPECT_GT(dram_result->harmonic_mean_teps,
+            nvdimm_result->harmonic_mean_teps * 1.2);
+}
+
+TEST(Graph500, AttributePlacementRequiresAllocator) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  auto runner = Graph500Runner::create(
+      machine, nullptr, machine.topology().numa_node(0)->cpuset(),
+      small_config(), Graph500Placement::by_attribute(attr::kLatency));
+  ASSERT_FALSE(runner.ok());
+}
+
+TEST(Graph500, BuffersFreedOnDestruction) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  {
+    auto runner = Graph500Runner::create(
+        machine, nullptr, machine.topology().numa_node(0)->cpuset(),
+        small_config(), Graph500Placement::all_on_node(0));
+    ASSERT_TRUE(runner.ok());
+    EXPECT_GT(machine.used_bytes(0), 0u);
+  }
+  EXPECT_EQ(machine.used_bytes(0), 0u);
+}
+
+TEST(Graph500, DirectionOptimizedTreeIsValid) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  Graph500Config config = small_config();
+  config.direction_beta = 14;  // Beamer's classic threshold
+  auto runner = Graph500Runner::create(machine, nullptr,
+                                       machine.topology().numa_node(0)->cpuset(),
+                                       config,
+                                       Graph500Placement::all_on_node(0));
+  ASSERT_TRUE(runner.ok());
+  const CsrGraph& graph = (*runner)->graph();
+  std::uint32_t root = 0;
+  while (graph.degree(root) == 0) ++root;
+  auto bfs = (*runner)->bfs_from(root);
+  ASSERT_TRUE(bfs.ok()) << bfs.error().to_string();
+  auto status = (*runner)->validate_last_tree();
+  EXPECT_TRUE(status.ok()) << status.error().to_string();
+}
+
+TEST(Graph500, DirectionOptimizedVisitsSameComponent) {
+  // Top-down and direction-optimizing traversals must reach the same
+  // vertices from the same root (the trees may differ).
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const support::Bitmap initiator = machine.topology().numa_node(0)->cpuset();
+
+  Graph500Config top_down = small_config();
+  Graph500Config hybrid = small_config();
+  hybrid.direction_beta = 14;
+
+  auto a = Graph500Runner::create(machine, nullptr, initiator, top_down,
+                                  Graph500Placement::all_on_node(0));
+  auto b = Graph500Runner::create(machine, nullptr, initiator, hybrid,
+                                  Graph500Placement::all_on_node(0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const CsrGraph& graph = (*a)->graph();
+  std::uint32_t root = 0;
+  while (graph.degree(root) == 0) ++root;
+  auto bfs_a = (*a)->bfs_from(root);
+  auto bfs_b = (*b)->bfs_from(root);
+  ASSERT_TRUE(bfs_a.ok());
+  ASSERT_TRUE(bfs_b.ok());
+  // Same traversed-edge count == same component.
+  EXPECT_EQ(bfs_a->second, bfs_b->second);
+}
+
+TEST(Graph500, DirectionOptimizationIsFasterOnBigFrontiers) {
+  // RMAT graphs have one huge middle level; bottom-up sweeps cut the
+  // per-edge dependent claims there.
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const support::Bitmap initiator = machine.topology().numa_node(0)->cpuset();
+  Graph500Config top_down = small_config();
+  top_down.scale_backing = 14;
+  Graph500Config hybrid = top_down;
+  hybrid.direction_beta = 14;
+
+  auto a = Graph500Runner::create(machine, nullptr, initiator, top_down,
+                                  Graph500Placement::all_on_node(0));
+  auto b = Graph500Runner::create(machine, nullptr, initiator, hybrid,
+                                  Graph500Placement::all_on_node(0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto teps_a = (*a)->run();
+  auto teps_b = (*b)->run();
+  ASSERT_TRUE(teps_a.ok());
+  ASSERT_TRUE(teps_b.ok());
+  EXPECT_GT(teps_b->harmonic_mean_teps, teps_a->harmonic_mean_teps);
+}
+
+// --- STREAM runner ---
+
+StreamConfig small_stream() {
+  StreamConfig config;
+  config.declared_total_bytes = 22ull * kGiB;
+  config.backing_elements = 1u << 14;
+  config.threads = 4;
+  config.iterations = 3;
+  return config;
+}
+
+TEST(Stream, TriadComputesCorrectValues) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  BufferPlacement placement;
+  placement.forced_node = 0;
+  auto runner = StreamRunner::create(machine, nullptr,
+                                     machine.topology().numa_node(0)->cpuset(),
+                                     small_stream(), placement);
+  ASSERT_TRUE(runner.ok()) << runner.error().to_string();
+  auto result = (*runner)->run_triad();
+  ASSERT_TRUE(result.ok());
+  // a[i] = b[i] + 3*c[i] with the deterministic init pattern: checksum > 0
+  // and exactly reproducible.
+  EXPECT_GT(result->checksum, 0.0);
+  EXPECT_GT(result->triad_bytes_per_second, 0.0);
+  EXPECT_EQ(result->node_a, 0u);
+}
+
+TEST(Stream, DramBeatsNvdimm) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const support::Bitmap initiator = machine.topology().numa_node(0)->cpuset();
+  BufferPlacement dram;
+  dram.forced_node = 0;
+  BufferPlacement nvdimm;
+  nvdimm.forced_node = 2;
+  auto on_dram = StreamRunner::create(machine, nullptr, initiator,
+                                      small_stream(), dram);
+  auto on_nvdimm = StreamRunner::create(machine, nullptr, initiator,
+                                        small_stream(), nvdimm);
+  ASSERT_TRUE(on_dram.ok());
+  ASSERT_TRUE(on_nvdimm.ok());
+  auto fast = (*on_dram)->run_triad();
+  auto slow = (*on_nvdimm)->run_triad();
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_GT(fast->triad_bytes_per_second, slow->triad_bytes_per_second * 1.8);
+}
+
+TEST(Stream, NvdimmDegradesWithFootprint) {
+  // Table IIIa row "Capacity/NVDIMM": 22.4 GiB fast, 89.4 GiB slow.
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const support::Bitmap initiator = machine.topology().numa_node(0)->cpuset();
+  BufferPlacement nvdimm;
+  nvdimm.forced_node = 2;
+
+  StreamConfig small = small_stream();  // 22 GiB
+  StreamConfig large = small_stream();
+  large.declared_total_bytes = 90ull * kGiB;
+
+  auto small_runner =
+      StreamRunner::create(machine, nullptr, initiator, small, nvdimm);
+  ASSERT_TRUE(small_runner.ok());
+  auto small_result = (*small_runner)->run_triad();
+  ASSERT_TRUE(small_result.ok());
+
+  auto large_runner =
+      StreamRunner::create(machine, nullptr, initiator, large, nvdimm);
+  ASSERT_TRUE(large_runner.ok());
+  auto large_result = (*large_runner)->run_triad();
+  ASSERT_TRUE(large_result.ok());
+
+  EXPECT_GT(small_result->triad_bytes_per_second,
+            large_result->triad_bytes_per_second * 2.0);
+}
+
+// --- SpMV runner ---
+
+apps::SpmvConfig small_spmv() {
+  apps::SpmvConfig config;
+  config.matrix_bytes = 8ull * kGiB;
+  config.vector_bytes = 2ull * kGiB;
+  config.backing_rows = 1u << 10;
+  config.nnz_per_row = 8;
+  config.threads = 4;
+  config.iterations = 2;
+  return config;
+}
+
+TEST(Spmv, ComputesCorrectProduct) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  auto runner = SpmvRunner::create(machine, nullptr,
+                                   machine.topology().numa_node(0)->cpuset(),
+                                   small_spmv(), SpmvPlacement::all_on_node(0));
+  ASSERT_TRUE(runner.ok()) << runner.error().to_string();
+  auto result = (*runner)->run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->checksum, 0.0);
+  EXPECT_GT(result->gflops, 0.0);
+  EXPECT_EQ(result->matrix_node, 0u);
+}
+
+TEST(Spmv, ChecksumDeterministicAndPlacementIndependent) {
+  // The numerical result must not depend on where buffers live.
+  auto run_on = [](unsigned node) {
+    sim::SimMachine machine(topo::xeon_clx_1lm());
+    auto runner = SpmvRunner::create(
+        machine, nullptr, machine.topology().numa_node(0)->cpuset(),
+        small_spmv(), SpmvPlacement::all_on_node(node));
+    EXPECT_TRUE(runner.ok());
+    auto result = (*runner)->run();
+    EXPECT_TRUE(result.ok());
+    return result->checksum;
+  };
+  EXPECT_DOUBLE_EQ(run_on(0), run_on(2));
+}
+
+TEST(Spmv, NvdimmPlacementIsSlower) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const support::Bitmap initiator = machine.topology().numa_node(0)->cpuset();
+  auto fast = SpmvRunner::create(machine, nullptr, initiator, small_spmv(),
+                                 SpmvPlacement::all_on_node(0));
+  auto slow = SpmvRunner::create(machine, nullptr, initiator, small_spmv(),
+                                 SpmvPlacement::all_on_node(2));
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  auto fast_result = (*fast)->run();
+  auto slow_result = (*slow)->run();
+  ASSERT_TRUE(fast_result.ok());
+  ASSERT_TRUE(slow_result.ok());
+  EXPECT_GT(fast_result->gflops, slow_result->gflops * 1.5);
+}
+
+TEST(Spmv, PerBufferPlacementSeparatesMatrixAndVector) {
+  sim::SimMachine machine(topo::knl_snc4_flat());
+  attr::MemAttrRegistry registry(machine.topology());
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  ASSERT_TRUE(
+      hmat::load_into(registry, hmat::generate(machine.topology(), options)).ok());
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+
+  apps::SpmvConfig config = small_spmv();
+  config.matrix_bytes = 3ull * kGiB;  // fits the 4 GiB MCDRAM
+  config.vector_bytes = kGiB / 2;
+  auto runner = SpmvRunner::create(machine, &allocator,
+                                   machine.topology().numa_node(0)->cpuset(),
+                                   config, SpmvPlacement::per_buffer());
+  ASSERT_TRUE(runner.ok()) << runner.error().to_string();
+  auto result = (*runner)->run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(machine.topology().numa_node(result->matrix_node)->memory_kind(),
+            topo::MemoryKind::kHBM);
+  EXPECT_EQ(machine.topology().numa_node(result->x_node)->memory_kind(),
+            topo::MemoryKind::kDRAM);
+}
+
+TEST(Spmv, AttributePlacementRequiresAllocator) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  auto runner = SpmvRunner::create(machine, nullptr,
+                                   machine.topology().numa_node(0)->cpuset(),
+                                   small_spmv(), SpmvPlacement::per_buffer());
+  ASSERT_FALSE(runner.ok());
+}
+
+TEST(Stream, ChecksumDeterministic) {
+  auto run_once = [] {
+    sim::SimMachine machine(topo::xeon_clx_1lm());
+    BufferPlacement placement;
+    placement.forced_node = 0;
+    auto runner = StreamRunner::create(
+        machine, nullptr, machine.topology().numa_node(0)->cpuset(),
+        small_stream(), placement);
+    EXPECT_TRUE(runner.ok());
+    auto result = (*runner)->run_triad();
+    EXPECT_TRUE(result.ok());
+    return result->checksum;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hetmem::apps

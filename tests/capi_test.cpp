@@ -1,0 +1,223 @@
+// C API tests: the hwloc-shaped interface, exercised the way a C runtime
+// would use it (string cpusets, integer handles, negative-error returns).
+#include "hetmem/capi.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace {
+
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = hetmem_context_create("xeon_clx_1lm");
+    ASSERT_NE(ctx_, nullptr);
+  }
+  void TearDown() override { hetmem_context_destroy(ctx_); }
+
+  hetmem_context* ctx_ = nullptr;
+  const char* kPackage0 = "0-39";  // socket 0's PUs on xeon_clx_1lm
+};
+
+TEST(CapiLifecycle, UnknownPresetReturnsNull) {
+  EXPECT_EQ(hetmem_context_create("no-such-machine"), nullptr);
+  EXPECT_EQ(hetmem_context_create(nullptr), nullptr);
+}
+
+TEST(CapiLifecycle, ListPresets) {
+  const int total = hetmem_list_presets(nullptr, 0);
+  ASSERT_GE(total, 8);
+  std::vector<const char*> names(static_cast<size_t>(total));
+  EXPECT_EQ(hetmem_list_presets(names.data(), names.size()), total);
+  bool found = false;
+  for (const char* name : names) found |= std::strcmp(name, "knl_snc4_flat") == 0;
+  EXPECT_TRUE(found);
+  // Every listed preset constructs.
+  for (const char* name : names) {
+    hetmem_context* ctx = hetmem_context_create(name);
+    ASSERT_NE(ctx, nullptr) << name;
+    hetmem_context_destroy(ctx);
+  }
+}
+
+TEST(CapiLifecycle, DestroyNullIsSafe) { hetmem_context_destroy(nullptr); }
+
+TEST_F(CapiTest, TopologyQueries) {
+  EXPECT_EQ(hetmem_numa_count(ctx_), 4);
+  EXPECT_EQ(hetmem_pu_count(ctx_), 80);
+  EXPECT_EQ(hetmem_node_capacity(ctx_, 0), 192ull << 30);
+  EXPECT_EQ(hetmem_node_capacity(ctx_, 2), 768ull << 30);
+  EXPECT_EQ(hetmem_node_capacity(ctx_, 99), 0u);
+  EXPECT_STREQ(hetmem_node_kind_debug(ctx_, 0), "DRAM");
+  EXPECT_STREQ(hetmem_node_kind_debug(ctx_, 2), "NVDIMM");
+  EXPECT_EQ(hetmem_node_kind_debug(ctx_, 99), nullptr);
+}
+
+TEST_F(CapiTest, NodeCpusetStringRoundTrip) {
+  char buf[64];
+  const int needed = hetmem_node_cpuset(ctx_, 0, buf, sizeof(buf));
+  ASSERT_GT(needed, 0);
+  EXPECT_STREQ(buf, "0-39");
+  // Truncation still NUL-terminates and reports the full length.
+  char tiny[3];
+  EXPECT_EQ(hetmem_node_cpuset(ctx_, 0, tiny, sizeof(tiny)), needed);
+  EXPECT_EQ(tiny[2], '\0');
+}
+
+TEST_F(CapiTest, LocalNodes) {
+  unsigned nodes[8];
+  const int count = hetmem_local_nodes(ctx_, kPackage0, nodes, 8);
+  ASSERT_EQ(count, 2);
+  EXPECT_EQ(nodes[0], 0u);
+  EXPECT_EQ(nodes[1], 2u);
+  EXPECT_EQ(hetmem_local_nodes(ctx_, "zz", nodes, 8), HETMEM_ERR_PARSE);
+}
+
+TEST_F(CapiTest, GetValueAndBestTarget) {
+  double value = 0.0;
+  ASSERT_EQ(hetmem_memattr_get_value(ctx_, HETMEM_ATTR_LATENCY, 0, kPackage0,
+                                     &value),
+            HETMEM_SUCCESS);
+  EXPECT_DOUBLE_EQ(value, 26.0);  // advertised HMAT figure
+  ASSERT_EQ(hetmem_memattr_get_value(ctx_, HETMEM_ATTR_CAPACITY, 2, nullptr,
+                                     &value),
+            HETMEM_SUCCESS);
+  EXPECT_DOUBLE_EQ(value, static_cast<double>(768ull << 30));
+
+  unsigned node = 99;
+  ASSERT_EQ(hetmem_memattr_get_best_target(ctx_, HETMEM_ATTR_LATENCY,
+                                           kPackage0, &node, &value),
+            HETMEM_SUCCESS);
+  EXPECT_EQ(node, 0u);
+  ASSERT_EQ(hetmem_memattr_get_best_target(ctx_, HETMEM_ATTR_CAPACITY,
+                                           kPackage0, &node, &value),
+            HETMEM_SUCCESS);
+  EXPECT_EQ(node, 2u);
+}
+
+TEST_F(CapiTest, BestInitiator) {
+  char buf[64];
+  double value = 0.0;
+  const int needed = hetmem_memattr_get_best_initiator(
+      ctx_, HETMEM_ATTR_LATENCY, 0, buf, sizeof(buf), &value);
+  ASSERT_GT(needed, 0);
+  EXPECT_STREQ(buf, "0-39");
+  EXPECT_GT(value, 0.0);
+}
+
+TEST_F(CapiTest, ErrorCodes) {
+  double value = 0.0;
+  // Per-initiator attribute without initiator.
+  EXPECT_EQ(hetmem_memattr_get_value(ctx_, HETMEM_ATTR_LATENCY, 0, nullptr,
+                                     &value),
+            HETMEM_ERR_INVALID);
+  // Unknown attribute id.
+  EXPECT_EQ(hetmem_memattr_get_value(ctx_, 999, 0, kPackage0, &value),
+            HETMEM_ERR_INVALID);
+  // Bad cpuset.
+  EXPECT_EQ(hetmem_memattr_get_best_target(ctx_, HETMEM_ATTR_LATENCY, "x,,y",
+                                           nullptr, &value),
+            HETMEM_ERR_INVALID);  // node out-param is null -> invalid
+  unsigned node = 0;
+  EXPECT_EQ(hetmem_memattr_get_best_target(ctx_, HETMEM_ATTR_LATENCY, "x,,y",
+                                           &node, &value),
+            HETMEM_ERR_PARSE);
+}
+
+TEST_F(CapiTest, CustomAttributeRoundTrip) {
+  const int id = hetmem_memattr_register(ctx_, "Endurance",
+                                         /*higher_is_better=*/1,
+                                         /*need_initiator=*/0);
+  ASSERT_GE(id, 8);
+  EXPECT_EQ(hetmem_memattr_find(ctx_, "Endurance"), id);
+  EXPECT_EQ(hetmem_memattr_find(ctx_, "NoSuch"), HETMEM_ERR_NOENT);
+  ASSERT_EQ(hetmem_memattr_set_value(ctx_, id, 0, nullptr, 1e16),
+            HETMEM_SUCCESS);
+  ASSERT_EQ(hetmem_memattr_set_value(ctx_, id, 2, nullptr, 1e6),
+            HETMEM_SUCCESS);
+  unsigned node = 99;
+  double value = 0.0;
+  ASSERT_EQ(hetmem_memattr_get_best_target(ctx_, id, kPackage0, &node, &value),
+            HETMEM_SUCCESS);
+  EXPECT_EQ(node, 0u);
+  EXPECT_DOUBLE_EQ(value, 1e16);
+  // Duplicate registration fails.
+  EXPECT_EQ(hetmem_memattr_register(ctx_, "Endurance", 1, 0),
+            HETMEM_ERR_INVALID);
+}
+
+TEST_F(CapiTest, AllocFreeMigrate) {
+  const int64_t buffer =
+      hetmem_alloc(ctx_, 8ull << 30, HETMEM_ATTR_LATENCY, kPackage0,
+                   HETMEM_POLICY_RANKED_FALLBACK, "capi-buf");
+  ASSERT_GE(buffer, 0);
+  EXPECT_EQ(hetmem_buffer_node(ctx_, buffer), 0);
+  EXPECT_EQ(hetmem_node_available(ctx_, 0), (192ull - 8) << 30);
+
+  double cost = 0.0;
+  ASSERT_EQ(hetmem_migrate(ctx_, buffer, 2, &cost), HETMEM_SUCCESS);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_EQ(hetmem_buffer_node(ctx_, buffer), 2);
+
+  ASSERT_EQ(hetmem_free(ctx_, buffer), HETMEM_SUCCESS);
+  EXPECT_EQ(hetmem_free(ctx_, buffer), HETMEM_ERR_INVALID);  // double free
+  EXPECT_EQ(hetmem_node_available(ctx_, 0), 192ull << 30);
+}
+
+TEST_F(CapiTest, StrictPolicyFailsWhenFull) {
+  const int64_t big =
+      hetmem_alloc(ctx_, 192ull << 30, HETMEM_ATTR_LATENCY, kPackage0,
+                   HETMEM_POLICY_STRICT, "filler");
+  ASSERT_GE(big, 0);
+  EXPECT_EQ(hetmem_alloc(ctx_, 1 << 20, HETMEM_ATTR_LATENCY, kPackage0,
+                         HETMEM_POLICY_STRICT, "overflow"),
+            HETMEM_ERR_NOMEM);
+  // Ranked fallback succeeds onto the NVDIMM.
+  const int64_t spill =
+      hetmem_alloc(ctx_, 1 << 20, HETMEM_ATTR_LATENCY, kPackage0,
+                   HETMEM_POLICY_RANKED_FALLBACK, "spill");
+  ASSERT_GE(spill, 0);
+  EXPECT_EQ(hetmem_buffer_node(ctx_, spill), 2);
+}
+
+TEST_F(CapiTest, BadPolicyAndHandlesRejected) {
+  EXPECT_EQ(hetmem_alloc(ctx_, 1024, HETMEM_ATTR_LATENCY, kPackage0, 42, "x"),
+            HETMEM_ERR_INVALID);
+  EXPECT_EQ(hetmem_buffer_node(ctx_, -1), HETMEM_ERR_INVALID);
+  EXPECT_EQ(hetmem_buffer_node(ctx_, 1 << 20), HETMEM_ERR_INVALID);
+}
+
+TEST(CapiProbed, ProbedContextHasMeasuredValues) {
+  hetmem_context* ctx = hetmem_context_create_probed("knl_snc4_flat");
+  ASSERT_NE(ctx, nullptr);
+  unsigned node = 0;
+  double value = 0.0;
+  // Cluster 0's PUs.
+  ASSERT_EQ(hetmem_memattr_get_best_target(ctx, HETMEM_ATTR_BANDWIDTH, "0-63",
+                                           &node, &value),
+            HETMEM_SUCCESS);
+  EXPECT_EQ(node, 4u);  // MCDRAM
+  EXPECT_STREQ(hetmem_node_kind_debug(ctx, node), "HBM");
+  hetmem_context_destroy(ctx);
+}
+
+// The paper's portability story, through the C API: the same three lines
+// of "application code" run against two machines.
+TEST(CapiPortability, SameCallsBothMachines) {
+  for (const char* preset : {"xeon_clx_1lm", "knl_snc4_flat"}) {
+    hetmem_context* ctx = hetmem_context_create(preset);
+    ASSERT_NE(ctx, nullptr);
+    char cpuset[64];
+    ASSERT_GT(hetmem_node_cpuset(ctx, 0, cpuset, sizeof(cpuset)), 0);
+    const int64_t buffer = hetmem_alloc(ctx, 1 << 20, HETMEM_ATTR_LATENCY,
+                                        cpuset, HETMEM_POLICY_RANKED_FALLBACK,
+                                        "portable");
+    ASSERT_GE(buffer, 0) << preset;
+    EXPECT_EQ(hetmem_free(ctx, buffer), HETMEM_SUCCESS);
+    hetmem_context_destroy(ctx);
+  }
+}
+
+}  // namespace

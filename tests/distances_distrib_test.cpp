@@ -1,0 +1,194 @@
+// Tests for the SLIT-style distance matrix and hwloc_distrib-style rank
+// distribution.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/memattr/distances.hpp"
+#include "hetmem/probe/probe.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/topo/distrib.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem {
+namespace {
+
+using support::Bitmap;
+
+attr::MemAttrRegistry full_registry(const topo::Topology& topology) {
+  attr::MemAttrRegistry registry(topology);
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  EXPECT_TRUE(hmat::load_into(registry, hmat::generate(topology, options)).ok());
+  return registry;
+}
+
+// --- DistanceMatrix ---
+
+TEST(DistanceMatrix, RequiresFullLatencyCoverage) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  attr::MemAttrRegistry local_only(topology);
+  ASSERT_TRUE(hmat::load_into(local_only, hmat::generate(topology)).ok());
+  // Local-only HMAT: remote pairs missing -> error.
+  auto matrix = attr::DistanceMatrix::from_latencies(local_only);
+  ASSERT_FALSE(matrix.ok());
+  EXPECT_EQ(matrix.error().code, support::Errc::kNotFound);
+}
+
+TEST(DistanceMatrix, LocalIsTenRemoteIsMore) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  auto registry = full_registry(topology);
+  auto matrix = attr::DistanceMatrix::from_latencies(registry);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->node_count(), 4u);
+  // Node 0 (DRAM socket 0) to itself: the machine floor -> 10.
+  EXPECT_EQ(matrix->value(0, 0), 10u);
+  // To the remote DRAM (node 1): the remote factor (2.2x) -> 22.
+  EXPECT_EQ(matrix->value(0, 1), 22u);
+  // To the local NVDIMM: 77/26 * 10 ~ 30.
+  EXPECT_NEAR(matrix->value(0, 2), 30u, 1);
+  // Latency accessor matches the advertised figures.
+  EXPECT_DOUBLE_EQ(matrix->latency_ns(0, 0), 26.0);
+}
+
+TEST(DistanceMatrix, AnswersTheSection8Question) {
+  // "Is it better to allocate in the local NVDIMM or in another DRAM?" —
+  // with the advertised values, the remote DRAM (22) beats the local
+  // NVDIMM (30) for latency.
+  topo::Topology topology = topo::xeon_clx_1lm();
+  auto registry = full_registry(topology);
+  auto matrix = attr::DistanceMatrix::from_latencies(registry);
+  ASSERT_TRUE(matrix.ok());
+  auto order = matrix->nearest_order(0);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0u);  // local DRAM
+  EXPECT_EQ(order[1], 1u);  // remote DRAM before...
+  EXPECT_EQ(order[2], 2u);  // ...local NVDIMM
+}
+
+TEST(DistanceMatrix, OutOfRangeIsZeroOrEmpty) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  auto registry = full_registry(topology);
+  auto matrix = attr::DistanceMatrix::from_latencies(registry);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->value(99, 0), 0u);
+  EXPECT_DOUBLE_EQ(matrix->latency_ns(0, 99), 0.0);
+  EXPECT_TRUE(matrix->nearest_order(99).empty());
+}
+
+TEST(DistanceMatrix, RenderLooksLikeSlit) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  auto registry = full_registry(topology);
+  auto matrix = attr::DistanceMatrix::from_latencies(registry);
+  ASSERT_TRUE(matrix.ok());
+  const std::string out = matrix->render();
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("L#3"), std::string::npos);
+}
+
+TEST(DistanceMatrix, WorksWithCpulessNodes) {
+  // fictitious_fig3 has a machine-wide NAM; its row uses the machine cpuset.
+  topo::Topology topology = topo::fictitious_fig3();
+  auto registry = full_registry(topology);
+  auto matrix = attr::DistanceMatrix::from_latencies(registry);
+  ASSERT_TRUE(matrix.ok()) << matrix.error().to_string();
+  EXPECT_EQ(matrix->node_count(), 9u);
+}
+
+// --- distribute ---
+
+TEST(Distribute, OneRankGetsWholeMachine) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  auto sets = topo::distribute(topology, 1);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_TRUE(sets[0] == topology.complete_cpuset());
+}
+
+TEST(Distribute, TwoRanksSplitAcrossPackages) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  auto sets = topo::distribute(topology, 2);
+  ASSERT_EQ(sets.size(), 2u);
+  const auto packages = topology.objects_of_type(topo::ObjType::kPackage);
+  EXPECT_TRUE(sets[0] == packages[0]->cpuset());
+  EXPECT_TRUE(sets[1] == packages[1]->cpuset());
+}
+
+TEST(Distribute, RankCountEqualsPuCountGivesSingletons) {
+  topo::Topology topology = topo::knl_snc4_flat();
+  const unsigned pus = static_cast<unsigned>(topology.pus().size());
+  auto sets = topo::distribute(topology, pus);
+  ASSERT_EQ(sets.size(), pus);
+  Bitmap covered;
+  for (const Bitmap& set : sets) {
+    EXPECT_EQ(set.count(), 1u);
+    covered |= set;
+  }
+  EXPECT_TRUE(covered == topology.complete_cpuset());
+}
+
+TEST(Distribute, SixteenRanksOnKnlSpreadOverClusters) {
+  topo::Topology topology = topo::knl_snc4_flat();
+  auto sets = topo::distribute(topology, 16);
+  ASSERT_EQ(sets.size(), 16u);
+  // 4 ranks per SubNUMA cluster.
+  const auto groups = topology.objects_of_type(topo::ObjType::kGroup);
+  for (const topo::Object* group : groups) {
+    unsigned in_group = 0;
+    for (const Bitmap& set : sets) {
+      if (set.is_subset_of(group->cpuset())) ++in_group;
+    }
+    EXPECT_EQ(in_group, 4u) << "group L#" << group->logical_index();
+  }
+  // Disjoint within the round.
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets.size(); ++j) {
+      EXPECT_FALSE(sets[i].intersects(sets[j])) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Distribute, NonDividingCountsCoverEveryRank) {
+  topo::Topology topology = topo::xeon_clx_snc_1lm();
+  for (unsigned count : {3u, 5u, 7u, 13u, 33u}) {
+    auto sets = topo::distribute(topology, count);
+    ASSERT_EQ(sets.size(), count) << count;
+    for (const Bitmap& set : sets) {
+      EXPECT_FALSE(set.empty());
+      EXPECT_TRUE(set.is_subset_of(topology.complete_cpuset()));
+    }
+  }
+}
+
+TEST(Distribute, OversubscriptionWraps) {
+  topo::Topology topology = topo::fugaku_like();  // 48 PUs
+  auto sets = topo::distribute(topology, 100);
+  ASSERT_EQ(sets.size(), 100u);
+  for (const Bitmap& set : sets) EXPECT_FALSE(set.empty());
+}
+
+TEST(Distribute, ZeroRanksIsEmpty) {
+  topo::Topology topology = topo::fugaku_like();
+  EXPECT_TRUE(topo::distribute(topology, 0).empty());
+}
+
+TEST(Distribute, RanksMakeGoodInitiators) {
+  // End-to-end: each distributed rank asks for its own best latency target;
+  // ranks in different clusters get their own cluster's DRAM.
+  topo::Topology topology = topo::knl_snc4_flat();
+  sim::SimMachine machine(topo::knl_snc4_flat());
+  auto registry = full_registry(machine.topology());
+  auto sets = topo::distribute(machine.topology(), 4);
+  ASSERT_EQ(sets.size(), 4u);
+  std::set<unsigned> targets;
+  for (const Bitmap& rank : sets) {
+    auto best = registry.best_target(attr::kLatency,
+                                     attr::Initiator::from_cpuset(rank));
+    ASSERT_TRUE(best.ok());
+    targets.insert(best->target->logical_index());
+  }
+  EXPECT_EQ(targets.size(), 4u);  // four distinct cluster DRAMs
+}
+
+}  // namespace
+}  // namespace hetmem

@@ -1,0 +1,222 @@
+#include "hetmem/hmat/hmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::hmat {
+namespace {
+
+using support::Errc;
+using support::kGiB;
+
+TEST(AdvertisedDefaults, MatchFigure5Numbers) {
+  const AdvertisedPerf dram = advertised_defaults(topo::MemoryKind::kDRAM);
+  EXPECT_DOUBLE_EQ(dram.latency_ns, 26.0);
+  // 131072 MiB/s in Fig. 5.
+  EXPECT_DOUBLE_EQ(dram.bandwidth_bps / static_cast<double>(support::kMiB),
+                   131072.0);
+  const AdvertisedPerf nvdimm = advertised_defaults(topo::MemoryKind::kNVDIMM);
+  EXPECT_DOUBLE_EQ(nvdimm.latency_ns, 77.0);
+  EXPECT_GT(nvdimm.read_bandwidth_bps, nvdimm.write_bandwidth_bps);
+}
+
+TEST(Generate, LocalOnlyEmitsOneLatencyOneBandwidthPerNode) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  const HmatTable table = generate(topology);
+  // 4 nodes x (latency + bandwidth).
+  EXPECT_EQ(table.locality.size(), 8u);
+  for (const LocalityEntry& entry : table.locality) {
+    const topo::Object* node = topology.numa_node_by_os_index(entry.target_domain);
+    ASSERT_NE(node, nullptr);
+    EXPECT_TRUE(entry.initiator == node->cpuset()) << "local entries only";
+    EXPECT_GT(entry.value, 0.0);
+  }
+  EXPECT_TRUE(table.caches.empty());
+}
+
+TEST(Generate, RemoteEntriesWhenNotLocalOnly) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  GenerateOptions options;
+  options.local_only = false;
+  const HmatTable table = generate(topology, options);
+  EXPECT_EQ(table.locality.size(), 16u);  // + remote latency/bw per node
+
+  // Remote latency must exceed local latency for the same target.
+  for (const topo::Object* node : topology.numa_nodes()) {
+    double local_lat = 0.0, remote_lat = 0.0;
+    for (const LocalityEntry& entry : table.locality) {
+      if (entry.target_domain != node->os_index() ||
+          entry.metric != Metric::kLatency) {
+        continue;
+      }
+      if (entry.initiator == node->cpuset()) {
+        local_lat = entry.value;
+      } else {
+        remote_lat = entry.value;
+      }
+    }
+    EXPECT_GT(remote_lat, local_lat);
+  }
+}
+
+TEST(Generate, ReadWriteSplitForNvdimm) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  GenerateOptions options;
+  options.read_write_split = true;
+  const HmatTable table = generate(topology, options);
+  unsigned split_entries = 0;
+  for (const LocalityEntry& entry : table.locality) {
+    if (entry.access != AccessType::kAccess) {
+      ++split_entries;
+      const topo::Object* node =
+          topology.numa_node_by_os_index(entry.target_domain);
+      EXPECT_EQ(node->memory_kind(), topo::MemoryKind::kNVDIMM);
+    }
+  }
+  EXPECT_EQ(split_entries, 4u);  // read+write bw for 2 NVDIMM nodes
+}
+
+TEST(Generate, MemorySideCachesEmitted) {
+  topo::Topology topology = topo::knl_snc4_hybrid50();
+  const HmatTable table = generate(topology);
+  EXPECT_EQ(table.caches.size(), 4u);
+  for (const CacheEntry& cache : table.caches) {
+    EXPECT_EQ(cache.size_bytes, 2 * kGiB);
+    EXPECT_EQ(cache.associativity, 1u);
+  }
+}
+
+TEST(Serialize, RoundTripsExactly) {
+  topo::Topology topology = topo::knl_snc4_hybrid50();
+  GenerateOptions options;
+  options.local_only = false;
+  options.read_write_split = true;
+  const HmatTable original = generate(topology, options);
+  auto parsed = parse(serialize(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_EQ(parsed->locality.size(), original.locality.size());
+  for (std::size_t i = 0; i < original.locality.size(); ++i) {
+    const LocalityEntry& a = original.locality[i];
+    const LocalityEntry& b = parsed->locality[i];
+    EXPECT_TRUE(a.initiator == b.initiator);
+    EXPECT_EQ(a.target_domain, b.target_domain);
+    EXPECT_EQ(a.metric, b.metric);
+    EXPECT_EQ(a.access, b.access);
+    EXPECT_NEAR(a.value, b.value, a.value * 1e-6);
+  }
+  ASSERT_EQ(parsed->caches.size(), original.caches.size());
+  for (std::size_t i = 0; i < original.caches.size(); ++i) {
+    EXPECT_EQ(parsed->caches[i].target_domain, original.caches[i].target_domain);
+    EXPECT_EQ(parsed->caches[i].size_bytes, original.caches[i].size_bytes);
+  }
+}
+
+TEST(Parse, AcceptsCommentsAndBlankLines) {
+  auto table = parse(
+      "# firmware dump\n"
+      "\n"
+      "latency access initiator=0-3 target=0 value_ns=26\n"
+      "   \n"
+      "bandwidth access initiator=0-3 target=0 value_bps=137438953472\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->locality.size(), 2u);
+  EXPECT_DOUBLE_EQ(table->locality[0].value, 26.0);
+}
+
+TEST(Parse, CacheLineDefaults) {
+  auto table = parse("cache target=2 size=2147483648\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->caches.size(), 1u);
+  EXPECT_EQ(table->caches[0].associativity, 1u);
+  EXPECT_EQ(table->caches[0].line_bytes, 64u);
+}
+
+// Failure injection: every malformed line is rejected with a parse error
+// naming the line.
+class ParseRejectsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParseRejectsTest, MalformedLine) {
+  auto result = parse(GetParam());
+  ASSERT_FALSE(result.ok()) << "accepted: " << GetParam();
+  EXPECT_EQ(result.error().code, Errc::kParseError);
+  EXPECT_NE(result.error().message.find("line 1"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ParseRejectsTest,
+    ::testing::Values(
+        "frobnicate access initiator=0 target=0 value_ns=1",  // unknown record
+        "latency sideways initiator=0 target=0 value_ns=1",   // bad access
+        "latency access target=0 value_ns=1",                 // no initiator
+        "latency access initiator=0 value_ns=1",              // no target
+        "latency access initiator=0 target=0",                // no value
+        "latency access initiator=0 target=0 value_bps=5",    // wrong value key
+        "latency access initiator=zz target=0 value_ns=1",    // bad cpuset
+        "latency access initiator=0 target=x value_ns=1",     // bad target
+        "latency access initiator=0 target=0 value_ns=-3",    // negative
+        "latency access initiator=0 target=0 value_ns=0",     // zero
+        "bandwidth access initiator=0 target=0 value_bps=abc",
+        "cache size=5",                                       // cache w/o target
+        "latency"));                                          // truncated
+
+TEST(LoadInto, PopulatesBuiltinAttributes) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  attr::MemAttrRegistry registry(topology);
+  auto stats = load_into(registry, generate(topology));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries_loaded, 8u);
+  EXPECT_EQ(stats->entries_skipped, 0u);
+
+  const topo::Object& dram = *topology.numa_node(0);
+  const auto initiator = attr::Initiator::from_cpuset(dram.cpuset());
+  auto latency = registry.value(attr::kLatency, dram, initiator);
+  ASSERT_TRUE(latency.ok());
+  EXPECT_DOUBLE_EQ(*latency, 26.0);
+}
+
+TEST(LoadInto, ReadWriteEntriesFillSplitAttributes) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  attr::MemAttrRegistry registry(topology);
+  GenerateOptions options;
+  options.read_write_split = true;
+  ASSERT_TRUE(load_into(registry, generate(topology, options)).ok());
+  EXPECT_TRUE(registry.has_values(attr::kReadBandwidth));
+  EXPECT_TRUE(registry.has_values(attr::kWriteBandwidth));
+}
+
+TEST(LoadInto, SkipsUnknownDomains) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  attr::MemAttrRegistry registry(topology);
+  HmatTable table;
+  table.locality.push_back(LocalityEntry{support::Bitmap{0}, /*target=*/99,
+                                         Metric::kLatency, AccessType::kAccess,
+                                         50.0});
+  table.locality.push_back(LocalityEntry{support::Bitmap{}, /*target=*/0,
+                                         Metric::kLatency, AccessType::kAccess,
+                                         50.0});  // empty initiator
+  auto stats = load_into(registry, table);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries_loaded, 0u);
+  EXPECT_EQ(stats->entries_skipped, 2u);
+}
+
+TEST(LoadInto, Figure5ReportShape) {
+  // End-to-end: Fig. 2 machine + HMAT -> the Fig. 5 lstopo --memattrs dump.
+  topo::Topology topology = topo::xeon_clx_snc_1lm();
+  attr::MemAttrRegistry registry(topology);
+  ASSERT_TRUE(load_into(registry, generate(topology)).ok());
+  const std::string report = attr::memattrs_report(registry);
+  EXPECT_NE(report.find("name 'Capacity'"), std::string::npos);
+  EXPECT_NE(report.find("name 'Bandwidth'"), std::string::npos);
+  EXPECT_NE(report.find("name 'Latency'"), std::string::npos);
+  // Fig. 5's literal values: DRAM 131072 MiB/s, NVDIMM 78644 MiB/s, 26/77 ns.
+  EXPECT_NE(report.find("= 131072"), std::string::npos);
+  EXPECT_NE(report.find("= 78644"), std::string::npos);
+  EXPECT_NE(report.find("= 26"), std::string::npos);
+  EXPECT_NE(report.find("= 77"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetmem::hmat

@@ -1,0 +1,110 @@
+#include "hetmem/ident/ident.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/probe/probe.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::ident {
+namespace {
+
+std::vector<NodeClassification> classify_via_probe(topo::Topology topology) {
+  sim::SimMachine machine(std::move(topology));
+  attr::MemAttrRegistry registry(machine.topology());
+  probe::ProbeOptions options;
+  options.backing_bytes = 64 * 1024;
+  options.chase_accesses = 1500;
+  options.buffer_bytes = 128ull * 1024 * 1024;
+  options.include_remote = false;
+  auto report = probe::discover(machine, options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(probe::feed_registry(registry, *report).ok());
+  return classify(registry);
+}
+
+TEST(ExpectedGuess, CoversEveryKind) {
+  EXPECT_EQ(expected_guess(topo::MemoryKind::kDRAM), KindGuess::kNormal);
+  EXPECT_EQ(expected_guess(topo::MemoryKind::kHBM), KindGuess::kFastSmall);
+  EXPECT_EQ(expected_guess(topo::MemoryKind::kNVDIMM), KindGuess::kSlowBig);
+  EXPECT_EQ(expected_guess(topo::MemoryKind::kNAM), KindGuess::kFar);
+}
+
+TEST(Classify, XeonFromMeasuredValues) {
+  auto result = classify_via_probe(topo::xeon_clx_1lm());
+  ASSERT_EQ(result.size(), 4u);
+  EXPECT_EQ(result[0].guess, KindGuess::kNormal);   // DRAM
+  EXPECT_EQ(result[1].guess, KindGuess::kNormal);   // DRAM
+  EXPECT_EQ(result[2].guess, KindGuess::kSlowBig);  // NVDIMM
+  EXPECT_EQ(result[3].guess, KindGuess::kSlowBig);
+  for (const NodeClassification& c : result) {
+    EXPECT_GT(c.confidence, 0.0);
+    EXPECT_FALSE(c.rationale.empty());
+  }
+}
+
+TEST(Classify, KnlSeparatesHbmFromDram) {
+  auto result = classify_via_probe(topo::knl_snc4_flat());
+  ASSERT_EQ(result.size(), 8u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(result[i].guess, KindGuess::kNormal) << "DRAM node " << i;
+    EXPECT_EQ(result[i + 4].guess, KindGuess::kFastSmall) << "HBM node " << i;
+  }
+}
+
+TEST(Classify, NoValuesMeansUnknown) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  attr::MemAttrRegistry registry(topology);  // capacity only, no perf
+  auto result = classify(registry);
+  for (const NodeClassification& c : result) {
+    EXPECT_EQ(c.guess, KindGuess::kUnknown);
+  }
+  EXPECT_EQ(agreement_with_ground_truth(topology, result), 0.0);
+}
+
+// Cross-preset: classification from advertised HMAT values matches ground
+// truth on every platform the paper depicts.
+class IdentAgreementTest : public ::testing::TestWithParam<topo::NamedTopology> {};
+
+TEST_P(IdentAgreementTest, AdvertisedValuesIdentifyKinds) {
+  topo::Topology topology = GetParam().factory();
+  attr::MemAttrRegistry registry(topology);
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  ASSERT_TRUE(hmat::load_into(registry, hmat::generate(topology, options)).ok());
+  auto result = classify(registry);
+  if (std::string(GetParam().name) == "xeon_clx_2lm") {
+    // 2-Level-Memory is the documented exception: NVDIMM hidden behind a
+    // DRAM cache genuinely behaves like normal memory — the paper's
+    // footnote 22/23 point that memory-side caches make observed
+    // performance differ from the node's own identity.
+    for (const NodeClassification& c : result) {
+      EXPECT_EQ(c.guess, KindGuess::kNormal) << render(topology, result);
+    }
+    return;
+  }
+  const double agreement = agreement_with_ground_truth(topology, result);
+  EXPECT_GE(agreement, 0.99) << render(topology, result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, IdentAgreementTest, ::testing::ValuesIn(topo::all_presets()),
+    [](const ::testing::TestParamInfo<topo::NamedTopology>& info) {
+      return info.param.name;
+    });
+
+TEST(Render, MentionsGuessAndTruth) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  attr::MemAttrRegistry registry(topology);
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  ASSERT_TRUE(hmat::load_into(registry, hmat::generate(topology, options)).ok());
+  const std::string out = render(topology, classify(registry));
+  EXPECT_NE(out.find("slow-big"), std::string::npos);
+  EXPECT_NE(out.find("[truth: NVDIMM]"), std::string::npos);
+  EXPECT_NE(out.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetmem::ident

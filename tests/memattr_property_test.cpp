@@ -1,0 +1,180 @@
+// Cross-preset property tests for the attributes API: on every platform the
+// paper depicts, the ranking/extremum/consistency invariants must hold for
+// every attribute — this is what makes the API trustworthy as an allocation
+// oracle.
+#include <gtest/gtest.h>
+
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::attr {
+namespace {
+
+class AttrConsistencyTest
+    : public ::testing::TestWithParam<topo::NamedTopology> {
+ protected:
+  void SetUp() override {
+    topology_ = std::make_unique<topo::Topology>(GetParam().factory());
+    registry_ = std::make_unique<MemAttrRegistry>(*topology_);
+    // Fully populated HMAT (local + remote) so per-initiator attributes have
+    // values everywhere.
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    options.read_write_split = true;
+    auto loaded = hmat::load_into(*registry_, hmat::generate(*topology_, options));
+    ASSERT_TRUE(loaded.ok());
+  }
+
+  std::unique_ptr<topo::Topology> topology_;
+  std::unique_ptr<MemAttrRegistry> registry_;
+};
+
+TEST_P(AttrConsistencyTest, BestTargetIsExtremumOfValuesOverLocalTargets) {
+  for (const topo::Object* locality_node : topology_->numa_nodes()) {
+    if (locality_node->cpuset().empty()) continue;
+    const auto initiator = Initiator::from_cpuset(locality_node->cpuset());
+    for (AttrId attr = 0; attr < registry_->attribute_count(); ++attr) {
+      if (!registry_->has_values(attr)) continue;
+      auto best = registry_->best_target(attr, initiator);
+      auto ranked = registry_->targets_ranked(attr, initiator);
+      if (ranked.empty()) {
+        EXPECT_FALSE(best.ok());
+        continue;
+      }
+      ASSERT_TRUE(best.ok()) << registry_->info(attr).name;
+      // best == head of the ranking.
+      EXPECT_EQ(best->target, ranked.front().target);
+      EXPECT_DOUBLE_EQ(best->value, ranked.front().value);
+      // best is the extremum of get_value over all ranked targets.
+      const bool higher =
+          registry_->info(attr).polarity == Polarity::kHigherFirst;
+      for (const TargetValue& tv : ranked) {
+        if (higher) {
+          EXPECT_GE(best->value, tv.value) << registry_->info(attr).name;
+        } else {
+          EXPECT_LE(best->value, tv.value) << registry_->info(attr).name;
+        }
+        // Each ranked value agrees with a direct get_value call.
+        auto direct = registry_->value(
+            attr, *tv.target,
+            registry_->info(attr).need_initiator
+                ? std::optional<Initiator>(initiator)
+                : std::nullopt);
+        ASSERT_TRUE(direct.ok());
+        EXPECT_DOUBLE_EQ(*direct, tv.value);
+      }
+    }
+  }
+}
+
+TEST_P(AttrConsistencyTest, RankingIsMonotone) {
+  for (const topo::Object* locality_node : topology_->numa_nodes()) {
+    if (locality_node->cpuset().empty()) continue;
+    const auto initiator = Initiator::from_cpuset(locality_node->cpuset());
+    for (AttrId attr = 0; attr < registry_->attribute_count(); ++attr) {
+      auto ranked = registry_->targets_ranked(attr, initiator);
+      const bool higher =
+          registry_->info(attr).polarity == Polarity::kHigherFirst;
+      for (std::size_t i = 1; i < ranked.size(); ++i) {
+        if (higher) {
+          EXPECT_GE(ranked[i - 1].value, ranked[i].value);
+        } else {
+          EXPECT_LE(ranked[i - 1].value, ranked[i].value);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(AttrConsistencyTest, RankedTargetsAreLocalToInitiator) {
+  for (const topo::Object* locality_node : topology_->numa_nodes()) {
+    if (locality_node->cpuset().empty()) continue;
+    const auto initiator = Initiator::from_cpuset(locality_node->cpuset());
+    for (AttrId attr = 0; attr < registry_->attribute_count(); ++attr) {
+      for (const TargetValue& tv :
+           registry_->targets_ranked(attr, initiator)) {
+        EXPECT_TRUE(tv.target->cpuset().intersects(locality_node->cpuset()));
+      }
+    }
+  }
+}
+
+TEST_P(AttrConsistencyTest, LatencyAndBandwidthDisagreeOnlyViaPolarity) {
+  // For every initiator, the Bandwidth-best and Latency-best targets must
+  // both be *local*; on platforms where one technology wins both (Xeon DRAM)
+  // they coincide, on KNL-style platforms they may differ — but both must be
+  // defensible: no target may beat the best on its own metric.
+  for (const topo::Object* locality_node : topology_->numa_nodes()) {
+    if (locality_node->cpuset().empty()) continue;
+    const auto initiator = Initiator::from_cpuset(locality_node->cpuset());
+    auto best_bw = registry_->best_target(kBandwidth, initiator);
+    auto best_lat = registry_->best_target(kLatency, initiator);
+    if (!best_bw.ok() || !best_lat.ok()) continue;
+    auto bw_of_lat_best =
+        registry_->value(kBandwidth, *best_lat->target, initiator);
+    ASSERT_TRUE(bw_of_lat_best.ok());
+    EXPECT_GE(best_bw->value, *bw_of_lat_best);
+    auto lat_of_bw_best =
+        registry_->value(kLatency, *best_bw->target, initiator);
+    ASSERT_TRUE(lat_of_bw_best.ok());
+    EXPECT_LE(best_lat->value, *lat_of_bw_best);
+  }
+}
+
+TEST_P(AttrConsistencyTest, BestInitiatorConsistentWithStoredValues) {
+  for (const topo::Object* target : topology_->numa_nodes()) {
+    auto best = registry_->best_initiator(kLatency, *target);
+    if (!best.ok()) continue;
+    for (const InitiatorValue& iv : registry_->initiators(kLatency, *target)) {
+      EXPECT_LE(best->value, iv.value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, AttrConsistencyTest, ::testing::ValuesIn(topo::all_presets()),
+    [](const ::testing::TestParamInfo<topo::NamedTopology>& info) {
+      return info.param.name;
+    });
+
+// Eq. 1-3 of the paper: the advertised orderings per platform.
+TEST(PaperEquations, Fig3PlatformOrderings) {
+  topo::Topology topology = topo::fictitious_fig3();
+  MemAttrRegistry registry(topology);
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  ASSERT_TRUE(hmat::load_into(registry, hmat::generate(topology, options)).ok());
+
+  // Initiator: first SNC (sees HBM, DRAM, NVDIMM, NAM).
+  const topo::Object* pu0 = topology.pus().front();
+  const auto initiator = Initiator::from_cpuset(pu0->cpuset());
+
+  auto kind_of = [](const TargetValue& tv) { return tv.target->memory_kind(); };
+
+  // Eq. 1: HBM_BW > DRAM_BW > NVDIMM_BW (> NAM).
+  auto by_bw = registry.targets_ranked(kBandwidth, initiator);
+  ASSERT_EQ(by_bw.size(), 4u);
+  EXPECT_EQ(kind_of(by_bw[0]), topo::MemoryKind::kHBM);
+  EXPECT_EQ(kind_of(by_bw[1]), topo::MemoryKind::kDRAM);
+  EXPECT_EQ(kind_of(by_bw[2]), topo::MemoryKind::kNVDIMM);
+  EXPECT_EQ(kind_of(by_bw[3]), topo::MemoryKind::kNAM);
+
+  // Eq. 3: NVDIMM_Cap > DRAM_Cap > HBM_Cap (NAM is even bigger here).
+  auto by_cap = registry.targets_ranked(kCapacity, initiator);
+  ASSERT_EQ(by_cap.size(), 4u);
+  EXPECT_EQ(kind_of(by_cap[0]), topo::MemoryKind::kNAM);
+  EXPECT_EQ(kind_of(by_cap[1]), topo::MemoryKind::kNVDIMM);
+  EXPECT_EQ(kind_of(by_cap[2]), topo::MemoryKind::kDRAM);
+  EXPECT_EQ(kind_of(by_cap[3]), topo::MemoryKind::kHBM);
+
+  // Eq. 2: DRAM_Lat <= HBM_Lat < NVDIMM_Lat: latency ranking ends with
+  // NVDIMM/NAM.
+  auto by_lat = registry.targets_ranked(kLatency, initiator);
+  ASSERT_EQ(by_lat.size(), 4u);
+  EXPECT_EQ(kind_of(by_lat[0]), topo::MemoryKind::kDRAM);
+  EXPECT_EQ(kind_of(by_lat[3]), topo::MemoryKind::kNAM);
+}
+
+}  // namespace
+}  // namespace hetmem::attr

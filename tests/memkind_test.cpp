@@ -1,0 +1,127 @@
+#include "hetmem/memkind/memkind.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::memkind {
+namespace {
+
+using support::Errc;
+using support::kGiB;
+
+TEST(KindName, AllNamed) {
+  EXPECT_STREQ(kind_name(Kind::kHbw), "MEMKIND_HBW");
+  EXPECT_STREQ(kind_name(Kind::kDaxPreferred), "MEMKIND_DAX_KMEM_PREFERRED");
+}
+
+class MemkindKnlTest : public ::testing::Test {
+ protected:
+  MemkindKnlTest() : machine_(topo::knl_snc4_flat()), shim_(machine_) {}
+  support::Bitmap cluster0() { return machine_.topology().numa_node(0)->cpuset(); }
+  sim::SimMachine machine_;
+  MemkindShim shim_;
+};
+
+TEST_F(MemkindKnlTest, Availability) {
+  EXPECT_TRUE(shim_.available(Kind::kDefault));
+  EXPECT_TRUE(shim_.available(Kind::kHbw));
+  EXPECT_FALSE(shim_.available(Kind::kDax));  // no NVDIMM on KNL
+}
+
+TEST_F(MemkindKnlTest, HbwGoesToLocalMcdram) {
+  auto buffer = shim_.malloc(kGiB, Kind::kHbw, cluster0());
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(machine_.info(*buffer).node, 4u);  // cluster 0's MCDRAM
+}
+
+TEST_F(MemkindKnlTest, DefaultGoesToLowestLocalNode) {
+  auto buffer = shim_.malloc(kGiB, Kind::kDefault, cluster0());
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(machine_.info(*buffer).node, 0u);
+}
+
+TEST_F(MemkindKnlTest, HbwFailsWhenMcdramFull) {
+  ASSERT_TRUE(shim_.malloc(4 * kGiB, Kind::kHbw, cluster0()).ok());
+  auto overflow = shim_.malloc(kGiB, Kind::kHbw, cluster0());
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.error().code, Errc::kOutOfCapacity);
+}
+
+TEST_F(MemkindKnlTest, HbwAllUsesRemoteMcdramWhenLocalFull) {
+  ASSERT_TRUE(shim_.malloc(4 * kGiB, Kind::kHbw, cluster0()).ok());
+  auto remote = shim_.malloc(kGiB, Kind::kHbwAll, cluster0());
+  ASSERT_TRUE(remote.ok());
+  const unsigned node = machine_.info(*remote).node;
+  EXPECT_GE(node, 5u);  // another cluster's MCDRAM
+  EXPECT_EQ(machine_.topology().numa_node(node)->memory_kind(),
+            topo::MemoryKind::kHBM);
+}
+
+TEST_F(MemkindKnlTest, HbwPreferredSpillsToDram) {
+  ASSERT_TRUE(shim_.malloc(4 * kGiB, Kind::kHbw, cluster0()).ok());
+  auto spill = shim_.malloc(kGiB, Kind::kHbwPreferred, cluster0());
+  ASSERT_TRUE(spill.ok());
+  EXPECT_EQ(machine_.info(*spill).node, 0u);
+}
+
+TEST_F(MemkindKnlTest, FreeRoundTrip) {
+  auto buffer = shim_.malloc(kGiB, Kind::kHbw, cluster0());
+  ASSERT_TRUE(buffer.ok());
+  ASSERT_TRUE(shim_.free(*buffer).ok());
+  EXPECT_EQ(machine_.used_bytes(4), 0u);
+}
+
+// The paper's §II-D point, as a test: the SAME memkind call that works on
+// KNL fails outright on the DRAM+NVDIMM Xeon, because the API names a
+// technology the machine does not have.
+TEST(MemkindPortability, HbwFailsOnXeon) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  MemkindShim shim(machine);
+  EXPECT_FALSE(shim.available(Kind::kHbw));
+  auto buffer = shim.malloc(kGiB, Kind::kHbw,
+                            machine.topology().numa_node(0)->cpuset());
+  ASSERT_FALSE(buffer.ok());
+  EXPECT_EQ(buffer.error().code, Errc::kUnsupported);
+}
+
+TEST(MemkindPortability, DaxWorksOnXeonOnly) {
+  sim::SimMachine xeon(topo::xeon_clx_1lm());
+  MemkindShim xeon_shim(xeon);
+  auto buffer = xeon_shim.malloc(kGiB, Kind::kDax,
+                                 xeon.topology().numa_node(0)->cpuset());
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(xeon.topology().numa_node(xeon.info(*buffer).node)->memory_kind(),
+            topo::MemoryKind::kNVDIMM);
+
+  sim::SimMachine knl(topo::knl_snc4_flat());
+  MemkindShim knl_shim(knl);
+  auto fail = knl_shim.malloc(kGiB, Kind::kDax,
+                              knl.topology().numa_node(0)->cpuset());
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.error().code, Errc::kUnsupported);
+}
+
+TEST(MemkindPortability, HighestCapacityAlwaysWorks) {
+  for (const topo::NamedTopology& preset : topo::all_presets()) {
+    sim::SimMachine machine(preset.factory());
+    MemkindShim shim(machine);
+    auto buffer = shim.malloc(kGiB, Kind::kHighestCapacity,
+                              machine.topology().pus().front()->cpuset());
+    ASSERT_TRUE(buffer.ok()) << preset.name;
+    // It picked the biggest node, wherever that is.
+    std::uint64_t best = 0;
+    for (const topo::Object* node : machine.topology().numa_nodes()) {
+      best = std::max(best, node->capacity_bytes());
+    }
+    EXPECT_EQ(machine.topology()
+                  .numa_node(machine.info(*buffer).node)
+                  ->capacity_bytes(),
+              best)
+        << preset.name;
+  }
+}
+
+}  // namespace
+}  // namespace hetmem::memkind

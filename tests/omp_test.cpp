@@ -1,0 +1,163 @@
+#include "hetmem/omp/omp_spaces.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::omp {
+namespace {
+
+using support::Errc;
+using support::kGiB;
+
+class OmpTest : public ::testing::Test {
+ protected:
+  // KNL cluster: HBM node 4 (4 GiB), DRAM node 0 (24 GiB).
+  OmpTest()
+      : machine_(topo::knl_snc4_flat()),
+        registry_(machine_.topology()),
+        allocator_(machine_, registry_),
+        runtime_(allocator_) {
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    EXPECT_TRUE(
+        hmat::load_into(registry_, hmat::generate(machine_.topology(), options))
+            .ok());
+  }
+
+  support::Bitmap thread_place() {
+    return machine_.topology().numa_node(0)->cpuset();
+  }
+
+  sim::SimMachine machine_;
+  attr::MemAttrRegistry registry_;
+  alloc::HeterogeneousAllocator allocator_;
+  OmpRuntime runtime_;
+};
+
+TEST_F(OmpTest, SpaceNamesAndAttributes) {
+  EXPECT_STREQ(mem_space_name(MemSpace::kHighBandwidth), "omp_high_bw_mem_space");
+  EXPECT_EQ(space_attribute(MemSpace::kHighBandwidth), attr::kBandwidth);
+  EXPECT_EQ(space_attribute(MemSpace::kLowLatency), attr::kLatency);
+  EXPECT_EQ(space_attribute(MemSpace::kLargeCap), attr::kCapacity);
+  EXPECT_EQ(space_attribute(MemSpace::kDefault), attr::kLocality);
+}
+
+TEST_F(OmpTest, PredefinedAllocatorsExist) {
+  for (MemSpace space : {MemSpace::kDefault, MemSpace::kLargeCap,
+                         MemSpace::kConst, MemSpace::kHighBandwidth,
+                         MemSpace::kLowLatency}) {
+    const OmpAllocator* info = runtime_.allocator_info(runtime_.predefined(space));
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->space, space);
+  }
+  EXPECT_EQ(runtime_.allocator_info(999), nullptr);
+}
+
+TEST_F(OmpTest, HighBwAllocLandsOnHbm) {
+  auto buffer = runtime_.allocate(
+      kGiB, runtime_.predefined(MemSpace::kHighBandwidth), thread_place());
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(machine_.topology().numa_node(machine_.info(*buffer).node)->memory_kind(),
+            topo::MemoryKind::kHBM);
+}
+
+TEST_F(OmpTest, LowLatAllocLandsOnDram) {
+  auto buffer = runtime_.allocate(
+      kGiB, runtime_.predefined(MemSpace::kLowLatency), thread_place());
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(machine_.info(*buffer).node, 0u);
+}
+
+TEST_F(OmpTest, PortableAcrossMachines) {
+  // The same omp_high_bw_mem_space request on the Xeon (no HBM) returns its
+  // best-bandwidth memory, the DRAM — nothing to change in user code.
+  sim::SimMachine xeon(topo::xeon_clx_1lm());
+  attr::MemAttrRegistry registry(xeon.topology());
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  ASSERT_TRUE(hmat::load_into(registry, hmat::generate(xeon.topology(), options)).ok());
+  alloc::HeterogeneousAllocator allocator(xeon, registry);
+  OmpRuntime runtime(allocator);
+  auto buffer =
+      runtime.allocate(kGiB, runtime.predefined(MemSpace::kHighBandwidth),
+                       xeon.topology().numa_node(0)->cpuset());
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(xeon.topology().numa_node(xeon.info(*buffer).node)->memory_kind(),
+            topo::MemoryKind::kDRAM);
+}
+
+TEST_F(OmpTest, DefaultFallbackSpillsToDefaultSpace) {
+  // Exhaust the 4 GiB HBM, then ask for more with the default trait.
+  ASSERT_TRUE(runtime_
+                  .allocate(4 * kGiB,
+                            runtime_.predefined(MemSpace::kHighBandwidth),
+                            thread_place())
+                  .ok());
+  auto spill = runtime_.allocate(
+      kGiB, runtime_.predefined(MemSpace::kHighBandwidth), thread_place());
+  ASSERT_TRUE(spill.ok());
+  EXPECT_EQ(machine_.info(*spill).node, 0u);  // default space: local DRAM
+}
+
+TEST_F(OmpTest, NullFallbackReturnsError) {
+  auto handle = runtime_.init_allocator(
+      MemSpace::kHighBandwidth,
+      AllocatorTraits{.fallback = FallbackTrait::kNullFb, .alignment = 64});
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(runtime_.allocate(4 * kGiB, *handle, thread_place()).ok());
+  auto spill = runtime_.allocate(kGiB, *handle, thread_place());
+  ASSERT_FALSE(spill.ok());
+  EXPECT_EQ(spill.error().code, Errc::kOutOfCapacity);
+}
+
+TEST_F(OmpTest, AbortFallbackSurfacesDistinctError) {
+  auto handle = runtime_.init_allocator(
+      MemSpace::kHighBandwidth,
+      AllocatorTraits{.fallback = FallbackTrait::kAbortFb, .alignment = 64});
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(runtime_.allocate(4 * kGiB, *handle, thread_place()).ok());
+  auto spill = runtime_.allocate(kGiB, *handle, thread_place());
+  ASSERT_FALSE(spill.ok());
+  EXPECT_EQ(spill.error().code, Errc::kInternal);
+  EXPECT_NE(spill.error().message.find("abort_fb"), std::string::npos);
+}
+
+TEST_F(OmpTest, AlignmentTraitPadsTheCharge) {
+  auto handle = runtime_.init_allocator(
+      MemSpace::kLowLatency,
+      AllocatorTraits{.fallback = FallbackTrait::kNullFb, .alignment = 4096});
+  ASSERT_TRUE(handle.ok());
+  auto buffer = runtime_.allocate(100, *handle, thread_place());
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(machine_.info(*buffer).declared_bytes, 4096u);
+}
+
+TEST_F(OmpTest, AlignmentMustBePowerOfTwo) {
+  auto bad = runtime_.init_allocator(
+      MemSpace::kDefault,
+      AllocatorTraits{.fallback = FallbackTrait::kNullFb, .alignment = 48});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Errc::kInvalidArgument);
+}
+
+TEST_F(OmpTest, FreeRoundTrip) {
+  auto buffer = runtime_.allocate(
+      kGiB, runtime_.predefined(MemSpace::kHighBandwidth), thread_place());
+  ASSERT_TRUE(buffer.ok());
+  const std::uint64_t used = machine_.used_bytes(4);
+  ASSERT_TRUE(runtime_.deallocate(*buffer).ok());
+  EXPECT_EQ(machine_.used_bytes(4), used - kGiB);
+  EXPECT_FALSE(runtime_.deallocate(*buffer).ok());
+}
+
+TEST_F(OmpTest, UnknownHandleRejected) {
+  auto buffer = runtime_.allocate(kGiB, 12345, thread_place());
+  ASSERT_FALSE(buffer.ok());
+  EXPECT_EQ(buffer.error().code, Errc::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hetmem::omp

@@ -1,0 +1,233 @@
+// Tests for the pooling suballocator and the FLEXMALLOC-style location
+// rules.
+#include <gtest/gtest.h>
+
+#include "hetmem/alloc/location_rules.hpp"
+#include "hetmem/alloc/pool.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::alloc {
+namespace {
+
+using support::Errc;
+using support::kGiB;
+using support::kMiB;
+
+class PoolTest : public ::testing::Test {
+ protected:
+  // KNL cluster: 4 GiB HBM + 24 GiB DRAM.
+  PoolTest()
+      : machine_(topo::knl_snc4_flat()),
+        registry_(machine_.topology()),
+        allocator_(machine_, registry_) {
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    EXPECT_TRUE(
+        hmat::load_into(registry_, hmat::generate(machine_.topology(), options))
+            .ok());
+  }
+
+  PoolOptions bandwidth_pool() {
+    PoolOptions options;
+    options.attribute = attr::kBandwidth;
+    options.block_bytes = 64 * kMiB;
+    options.blocks_per_slab = 8;  // 512 MiB slabs
+    return options;
+  }
+
+  sim::SimMachine machine_;
+  attr::MemAttrRegistry registry_;
+  HeterogeneousAllocator allocator_;
+};
+
+TEST_F(PoolTest, BlocksComeFromAttributePlacedSlabs) {
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(),
+            bandwidth_pool());
+  auto block = pool.allocate();
+  ASSERT_TRUE(block.ok());
+  auto node = pool.node_of(*block);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(machine_.topology().numa_node(*node)->memory_kind(),
+            topo::MemoryKind::kHBM);
+  EXPECT_EQ(pool.stats().slabs_created, 1u);
+  EXPECT_EQ(pool.stats().blocks_live, 1u);
+}
+
+TEST_F(PoolTest, SlabIsSharedUntilFull) {
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(),
+            bandwidth_pool());
+  for (unsigned i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.allocate().ok());
+  }
+  EXPECT_EQ(pool.stats().slabs_created, 1u);
+  ASSERT_TRUE(pool.allocate().ok());  // ninth block: second slab
+  EXPECT_EQ(pool.stats().slabs_created, 2u);
+}
+
+TEST_F(PoolTest, FreeReusesBlocks) {
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(),
+            bandwidth_pool());
+  auto block = pool.allocate();
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(pool.free(*block).ok());
+  EXPECT_EQ(pool.stats().blocks_live, 0u);
+  auto again = pool.allocate();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool.stats().slabs_created, 1u);  // no new slab needed
+}
+
+TEST_F(PoolTest, DoubleFreeRejected) {
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(),
+            bandwidth_pool());
+  auto block = pool.allocate();
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(pool.free(*block).ok());
+  auto status = pool.free(*block);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::kInvalidArgument);
+  EXPECT_FALSE(pool.free(PoolBlock{}).ok());
+}
+
+TEST_F(PoolTest, PoolSpillsDownTheRankingWhenFastNodeFills) {
+  // 4 GiB HBM = 8 slabs of 512 MiB. The ninth slab lands on DRAM.
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(),
+            bandwidth_pool());
+  std::vector<PoolBlock> blocks;
+  for (unsigned i = 0; i < 9 * 8; ++i) {
+    auto block = pool.allocate();
+    ASSERT_TRUE(block.ok());
+    blocks.push_back(*block);
+  }
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.slabs_created, 9u);
+  EXPECT_EQ(stats.live_per_node[4], 64u);  // HBM full
+  EXPECT_EQ(stats.live_per_node[0], 8u);   // spilled slab on DRAM
+}
+
+TEST_F(PoolTest, ReleaseEmptySlabsReturnsMemory) {
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(),
+            bandwidth_pool());
+  std::vector<PoolBlock> blocks;
+  for (unsigned i = 0; i < 16; ++i) {
+    auto block = pool.allocate();
+    ASSERT_TRUE(block.ok());
+    blocks.push_back(*block);
+  }
+  const std::uint64_t used_before = machine_.used_bytes(4);
+  // Free the second slab's blocks entirely.
+  for (unsigned i = 8; i < 16; ++i) ASSERT_TRUE(pool.free(blocks[i]).ok());
+  EXPECT_EQ(pool.release_empty_slabs(), 1u);
+  EXPECT_EQ(machine_.used_bytes(4), used_before - 8ull * 64 * kMiB);
+  // The first slab still works.
+  EXPECT_TRUE(pool.allocate().ok());
+}
+
+TEST_F(PoolTest, DestructorFreesEverything) {
+  {
+    Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(),
+              bandwidth_pool());
+    ASSERT_TRUE(pool.allocate().ok());
+    EXPECT_GT(machine_.used_bytes(4), 0u);
+  }
+  EXPECT_EQ(machine_.used_bytes(4), 0u);
+}
+
+// --- location rules ---
+
+TEST(GlobMatch, Basics) {
+  EXPECT_TRUE(LocationRules::glob_match("abc", "abc"));
+  EXPECT_FALSE(LocationRules::glob_match("abc", "abd"));
+  EXPECT_TRUE(LocationRules::glob_match("*", "anything"));
+  EXPECT_TRUE(LocationRules::glob_match("g500.*", "g500.parents"));
+  EXPECT_FALSE(LocationRules::glob_match("g500.*", "stream.a"));
+  EXPECT_TRUE(LocationRules::glob_match("*.parents", "g500.parents"));
+  EXPECT_TRUE(LocationRules::glob_match("g*par*", "g500.parents"));
+  EXPECT_FALSE(LocationRules::glob_match("", "x"));
+  EXPECT_TRUE(LocationRules::glob_match("", ""));
+  EXPECT_TRUE(LocationRules::glob_match("**", "x"));
+}
+
+class RulesTest : public ::testing::Test {
+ protected:
+  RulesTest()
+      : machine_(topo::xeon_clx_1lm()),
+        registry_(machine_.topology()),
+        allocator_(machine_, registry_) {
+    EXPECT_TRUE(
+        hmat::load_into(registry_, hmat::generate(machine_.topology())).ok());
+  }
+  sim::SimMachine machine_;
+  attr::MemAttrRegistry registry_;
+  HeterogeneousAllocator allocator_;
+};
+
+TEST_F(RulesTest, FirstMatchWins) {
+  LocationRules rules;
+  rules.add("g500.parents", attr::kLatency);
+  rules.add("g500.*", attr::kBandwidth);
+  rules.add("*", attr::kCapacity);
+  EXPECT_EQ(rules.match("g500.parents"), attr::kLatency);
+  EXPECT_EQ(rules.match("g500.targets"), attr::kBandwidth);
+  EXPECT_EQ(rules.match("anything-else"), attr::kCapacity);
+}
+
+TEST_F(RulesTest, NoMatchIsNullopt) {
+  LocationRules rules;
+  rules.add("g500.*", attr::kLatency);
+  EXPECT_FALSE(rules.match("stream.a").has_value());
+}
+
+TEST_F(RulesTest, SerializeParseRoundTrip) {
+  LocationRules rules;
+  rules.add("g500.parents", attr::kLatency);
+  rules.add("stream.*", attr::kBandwidth);
+  rules.add("*", attr::kCapacity);
+  const std::string text = rules.serialize(registry_);
+  auto parsed = LocationRules::parse(text, registry_);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->size(), 3u);
+  EXPECT_EQ(parsed->match("g500.parents"), attr::kLatency);
+  EXPECT_EQ(parsed->match("stream.b"), attr::kBandwidth);
+  EXPECT_EQ(parsed->match("x"), attr::kCapacity);
+}
+
+TEST_F(RulesTest, ParseRejectsBadLines) {
+  auto missing_attr = LocationRules::parse("pattern-only\n", registry_);
+  ASSERT_FALSE(missing_attr.ok());
+  EXPECT_EQ(missing_attr.error().code, Errc::kParseError);
+  auto unknown_attr = LocationRules::parse("x NoSuchAttribute\n", registry_);
+  ASSERT_FALSE(unknown_attr.ok());
+  // Comments and blanks are fine.
+  auto ok = LocationRules::parse("# comment\n\n", registry_);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 0u);
+}
+
+TEST_F(RulesTest, ParseResolvesCustomAttributes) {
+  auto custom = registry_.register_attribute("MyMetric",
+                                             attr::Polarity::kHigherFirst, true);
+  ASSERT_TRUE(custom.ok());
+  auto rules = LocationRules::parse("special.* MyMetric\n", registry_);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->match("special.buffer"), *custom);
+}
+
+TEST_F(RulesTest, AllocByLocationAppliesTheRule) {
+  LocationRules rules;
+  rules.add("hot.*", attr::kLatency);
+  const support::Bitmap initiator = machine_.topology().numa_node(0)->cpuset();
+  auto hot = rules.alloc_by_location(allocator_, support::kGiB, initiator,
+                                     "hot.index");
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->node, 0u);  // DRAM (latency-best)
+  auto cold = rules.alloc_by_location(allocator_, support::kGiB, initiator,
+                                      "cold.scratch", attr::kCapacity);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(machine_.topology().numa_node(cold->node)->memory_kind(),
+            topo::MemoryKind::kNVDIMM);  // fallback attribute
+}
+
+}  // namespace
+}  // namespace hetmem::alloc

@@ -1,0 +1,155 @@
+#include "hetmem/probe/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::probe {
+namespace {
+
+using support::Bitmap;
+using support::gb_per_s;
+
+ProbeOptions fast_options() {
+  ProbeOptions options;
+  options.backing_bytes = 64 * 1024;
+  options.chase_accesses = 2000;
+  return options;
+}
+
+class ProbeTest : public ::testing::Test {
+ protected:
+  ProbeTest() : machine_(topo::xeon_clx_1lm()) {}
+
+  Bitmap package0() { return machine_.topology().numa_node(0)->cpuset(); }
+
+  sim::SimMachine machine_;
+};
+
+TEST_F(ProbeTest, DramMeasurementMatchesCalibration) {
+  auto m = measure(machine_, package0(), 0, fast_options());
+  ASSERT_TRUE(m.ok()) << m.error().to_string();
+  // Probe uses a 1 GiB buffer: nominal constants, no knee.
+  EXPECT_NEAR(m->read_bandwidth_bps, gb_per_s(80.0), gb_per_s(2.0));
+  EXPECT_NEAR(m->write_bandwidth_bps, gb_per_s(70.0), gb_per_s(2.0));
+  EXPECT_NEAR(m->latency_ns, 285.0, 15.0);
+  // Copy mixes reads and writes: between the two single-direction figures.
+  EXPECT_LT(m->bandwidth_bps, m->read_bandwidth_bps);
+}
+
+TEST_F(ProbeTest, NvdimmSlowerThanDramOnEveryMetric) {
+  auto dram = measure(machine_, package0(), 0, fast_options());
+  auto nvdimm = measure(machine_, package0(), 2, fast_options());
+  ASSERT_TRUE(dram.ok());
+  ASSERT_TRUE(nvdimm.ok());
+  EXPECT_GT(dram->bandwidth_bps, nvdimm->bandwidth_bps * 1.5);
+  EXPECT_LT(dram->latency_ns, nvdimm->latency_ns / 2.0);
+}
+
+TEST_F(ProbeTest, RemoteMeasurementWorseThanLocal) {
+  // Package 1's cores probing package 0's DRAM.
+  const Bitmap remote_initiator = machine_.topology().numa_node(1)->cpuset();
+  auto local = measure(machine_, package0(), 0, fast_options());
+  auto remote = measure(machine_, remote_initiator, 0, fast_options());
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(remote.ok());
+  EXPECT_GT(remote->latency_ns, local->latency_ns * 1.3);
+  EXPECT_LT(remote->bandwidth_bps, local->bandwidth_bps);
+}
+
+TEST_F(ProbeTest, MeasurementLeavesNoAllocationBehind) {
+  const std::uint64_t used_before = machine_.used_bytes(0);
+  ASSERT_TRUE(measure(machine_, package0(), 0, fast_options()).ok());
+  EXPECT_EQ(machine_.used_bytes(0), used_before);
+}
+
+TEST_F(ProbeTest, MeasureValidatesArguments) {
+  EXPECT_FALSE(measure(machine_, package0(), 99, fast_options()).ok());
+  EXPECT_FALSE(measure(machine_, Bitmap{}, 0, fast_options()).ok());
+}
+
+TEST_F(ProbeTest, DiscoverCoversLocalPairsAndFeedsRegistry) {
+  ProbeOptions options = fast_options();
+  options.include_remote = false;
+  auto report = discover(machine_, options);
+  ASSERT_TRUE(report.ok());
+  // 2 distinct localities x 2 local nodes each.
+  EXPECT_EQ(report->measurements.size(), 4u);
+
+  attr::MemAttrRegistry registry(machine_.topology());
+  ASSERT_TRUE(feed_registry(registry, *report).ok());
+  EXPECT_TRUE(registry.has_values(attr::kBandwidth));
+  EXPECT_TRUE(registry.has_values(attr::kLatency));
+  EXPECT_TRUE(registry.has_values(attr::kReadBandwidth));
+
+  // The ranking the allocator will use: DRAM first for latency.
+  const auto initiator = attr::Initiator::from_cpuset(package0());
+  auto best = registry.best_target(attr::kLatency, initiator);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->target->memory_kind(), topo::MemoryKind::kDRAM);
+}
+
+TEST_F(ProbeTest, DiscoverWithRemotePairsMeasuresEverything) {
+  ProbeOptions options = fast_options();
+  options.include_remote = true;
+  auto report = discover(machine_, options);
+  ASSERT_TRUE(report.ok());
+  // 2 localities x 4 nodes.
+  EXPECT_EQ(report->measurements.size(), 8u);
+}
+
+TEST_F(ProbeTest, TriadAttributeCombinesReadAndWrite) {
+  auto report = discover(machine_, fast_options());
+  ASSERT_TRUE(report.ok());
+  attr::MemAttrRegistry registry(machine_.topology());
+  ASSERT_TRUE(feed_registry(registry, *report).ok());
+  auto triad = register_triad_attribute(registry, *report);
+  ASSERT_TRUE(triad.ok());
+  EXPECT_EQ(registry.info(*triad).name, "StreamTriad");
+
+  const topo::Object& dram = *machine_.topology().numa_node(0);
+  const auto initiator = attr::Initiator::from_cpuset(package0());
+  auto value = registry.value(*triad, dram, initiator);
+  ASSERT_TRUE(value.ok());
+  // Triad mix of 80 R / 70 W: 24/(16/80+8/70) ~ 76.4 GB/s.
+  EXPECT_NEAR(*value, gb_per_s(76.4), gb_per_s(3.0));
+  // Re-registering the same name fails cleanly.
+  EXPECT_FALSE(register_triad_attribute(registry, *report).ok());
+}
+
+TEST_F(ProbeTest, KnlProbeRanksHbmAboveDramForBandwidthOnly) {
+  sim::SimMachine knl(topo::knl_snc4_flat());
+  auto report = discover(knl, fast_options());
+  ASSERT_TRUE(report.ok());
+  attr::MemAttrRegistry registry(knl.topology());
+  ASSERT_TRUE(feed_registry(registry, *report).ok());
+
+  const auto initiator =
+      attr::Initiator::from_cpuset(knl.topology().numa_node(0)->cpuset());
+  auto best_bw = registry.best_target(attr::kBandwidth, initiator);
+  ASSERT_TRUE(best_bw.ok());
+  EXPECT_EQ(best_bw->target->memory_kind(), topo::MemoryKind::kHBM);
+  // Latencies are close on KNL: whichever wins, the margin is small.
+  auto best_lat = registry.best_target(attr::kLatency, initiator);
+  ASSERT_TRUE(best_lat.ok());
+  auto dram_lat = registry.value(attr::kLatency,
+                                 *knl.topology().numa_node(0), initiator);
+  auto hbm_lat = registry.value(attr::kLatency,
+                                *knl.topology().numa_node(4), initiator);
+  ASSERT_TRUE(dram_lat.ok());
+  ASSERT_TRUE(hbm_lat.ok());
+  EXPECT_NEAR(*dram_lat / *hbm_lat, 1.0, 0.2);
+}
+
+TEST_F(ProbeTest, ReportToStringListsEveryMeasurement) {
+  auto report = discover(machine_, fast_options());
+  ASSERT_TRUE(report.ok());
+  const std::string text = report_to_string(*report, machine_.topology());
+  EXPECT_NE(text.find("DRAM"), std::string::npos);
+  EXPECT_NE(text.find("NVDIMM"), std::string::npos);
+  EXPECT_NE(text.find("GB/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetmem::probe

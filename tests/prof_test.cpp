@@ -1,0 +1,191 @@
+#include "hetmem/prof/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::prof {
+namespace {
+
+using support::kGiB;
+using support::kMiB;
+
+/// Xeon package 0 with two buffers: a streaming one on DRAM and a
+/// pointer-chased one on NVDIMM, sized to defeat the LLC.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest() : machine_(topo::xeon_clx_1lm()) {
+    machine_.set_llc_bytes(27 * kMiB);
+    stream_id_ = *machine_.allocate(8 * kGiB, 0, "stream.data", 4096);
+    chase_id_ = *machine_.allocate(8 * kGiB, 2, "graph.parents", 4096);
+    exec_ = std::make_unique<sim::ExecutionContext>(
+        machine_, machine_.topology().numa_node(0)->cpuset(), 4);
+  }
+
+  void run_streaming_phase(double bytes) {
+    sim::Array<double> array(machine_, stream_id_);
+    exec_->run_phase("stream", 4,
+                     [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                         std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         array.record_bulk_read(ctx, bytes / 4);
+                       }
+                     });
+  }
+
+  void run_chasing_phase(double accesses) {
+    sim::Array<std::uint32_t> array(machine_, chase_id_);
+    exec_->run_phase("chase", 4,
+                     [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                         std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         array.record_bulk_random_reads(ctx, accesses / 4);
+                       }
+                     });
+  }
+
+  sim::SimMachine machine_;
+  sim::BufferId stream_id_, chase_id_;
+  std::unique_ptr<sim::ExecutionContext> exec_;
+};
+
+TEST_F(ProfilerTest, EmptyRunYieldsZeroSummary) {
+  const BoundnessSummary summary = summarize(*exec_);
+  EXPECT_DOUBLE_EQ(summary.dram_bound_pct, 0.0);
+  EXPECT_DOUBLE_EQ(summary.pmem_bw_bound_pct, 0.0);
+  EXPECT_FALSE(summary.latency_flagged());
+  EXPECT_FALSE(summary.bandwidth_flagged());
+  EXPECT_TRUE(profile_buffers(*exec_).empty());
+}
+
+TEST_F(ProfilerTest, StreamingRunIsDramBandwidthBound) {
+  run_streaming_phase(64e9);
+  const BoundnessSummary summary = summarize(*exec_);
+  EXPECT_GT(summary.dram_bw_bound_pct, 90.0);
+  EXPECT_LT(summary.pmem_bw_bound_pct, 1.0);
+  EXPECT_TRUE(summary.bandwidth_flagged());
+}
+
+TEST_F(ProfilerTest, ChasingRunIsPmemLatencyBound) {
+  run_chasing_phase(4e6);
+  const BoundnessSummary summary = summarize(*exec_);
+  EXPECT_GT(summary.pmem_bound_pct, 20.0);
+  EXPECT_TRUE(summary.latency_flagged());
+  EXPECT_LT(summary.dram_bw_bound_pct, 1.0);
+}
+
+TEST_F(ProfilerTest, MixedRunAttributesBothKinds) {
+  run_streaming_phase(64e9);
+  run_chasing_phase(4e6);
+  const BoundnessSummary summary = summarize(*exec_);
+  EXPECT_GT(summary.dram_bw_bound_pct, 10.0);
+  EXPECT_GT(summary.pmem_bound_pct, 5.0);
+}
+
+TEST_F(ProfilerTest, BufferProfilesOrderedByTraffic) {
+  run_streaming_phase(64e9);
+  run_chasing_phase(1e5);  // much less traffic
+  auto profiles = profile_buffers(*exec_);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].label, "stream.data");
+  EXPECT_GT(profiles[0].memory_bytes, profiles[1].memory_bytes);
+}
+
+TEST_F(ProfilerTest, SensitivityClassification) {
+  run_streaming_phase(64e9);
+  run_chasing_phase(1e8);
+  auto profiles = profile_buffers(*exec_);
+  ASSERT_EQ(profiles.size(), 2u);
+  for (const BufferProfile& profile : profiles) {
+    if (profile.label == "stream.data") {
+      EXPECT_EQ(profile.sensitivity, Sensitivity::kBandwidth);
+      EXPECT_LT(profile.random_fraction, 0.01);
+    } else {
+      EXPECT_EQ(profile.sensitivity, Sensitivity::kLatency);
+      EXPECT_GT(profile.random_fraction, 0.99);
+    }
+  }
+}
+
+TEST_F(ProfilerTest, TinyTrafficBuffersAreInsensitive) {
+  run_streaming_phase(64e9);
+  // Chase contributes < 1% of total memory traffic.
+  run_chasing_phase(100.0);
+  auto profiles = profile_buffers(*exec_);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[1].label, "graph.parents");
+  EXPECT_EQ(profiles[1].sensitivity, Sensitivity::kInsensitive);
+}
+
+TEST_F(ProfilerTest, AllocationHints) {
+  EXPECT_EQ(allocation_hint(Sensitivity::kLatency), attr::kLatency);
+  EXPECT_EQ(allocation_hint(Sensitivity::kBandwidth), attr::kBandwidth);
+  EXPECT_EQ(allocation_hint(Sensitivity::kInsensitive), attr::kCapacity);
+}
+
+TEST_F(ProfilerTest, RenderSummaryShowsFlags) {
+  run_chasing_phase(4e6);
+  const std::string out = render_summary(summarize(*exec_));
+  EXPECT_NE(out.find("PMem Bound"), std::string::npos);
+  EXPECT_NE(out.find("FLAG: latency issue"), std::string::npos);
+  EXPECT_NE(out.find("% of clockticks"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, RenderHotBuffersTable) {
+  run_streaming_phase(1e9);
+  run_chasing_phase(1e6);
+  const std::string out = render_hot_buffers(profile_buffers(*exec_));
+  EXPECT_NE(out.find("stream.data"), std::string::npos);
+  EXPECT_NE(out.find("graph.parents"), std::string::npos);
+  EXPECT_NE(out.find("LLC Miss Count"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, RenderHotBuffersHonorsTopN) {
+  run_streaming_phase(1e9);
+  run_chasing_phase(1e6);
+  const std::string out = render_hot_buffers(profile_buffers(*exec_), 1);
+  EXPECT_NE(out.find("stream.data"), std::string::npos);
+  EXPECT_EQ(out.find("graph.parents"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ThresholdsConfigurable) {
+  run_streaming_phase(64e9);
+  ProfileOptions options;
+  options.bw_bound_utilization = 1.01;  // unreachable
+  const BoundnessSummary summary = summarize(*exec_, options);
+  EXPECT_DOUBLE_EQ(summary.dram_bw_bound_pct, 0.0);
+}
+
+TEST_F(ProfilerTest, TimelineShowsReadAndWriteBars) {
+  run_streaming_phase(8e9);
+  run_chasing_phase(1e6);
+  const std::string out = render_timeline(*exec_);
+  EXPECT_NE(out.find("bandwidth over time"), std::string::npos);
+  EXPECT_NE(out.find("stream"), std::string::npos);
+  EXPECT_NE(out.find("chase"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);  // read bar in the stream row
+}
+
+TEST_F(ProfilerTest, TimelineEmptyRun) {
+  EXPECT_NE(render_timeline(*exec_).find("no phases"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, TimelineCoalescesLongRuns) {
+  for (int i = 0; i < 100; ++i) run_streaming_phase(1e8);
+  const std::string out = render_timeline(*exec_, /*max_phases=*/10);
+  // At most 10 sample rows + header.
+  std::size_t rows = 0;
+  for (char c : out) rows += c == '\n';
+  EXPECT_LE(rows, 12u);
+}
+
+TEST(SensitivityName, AllValuesNamed) {
+  EXPECT_STREQ(sensitivity_name(Sensitivity::kLatency), "latency");
+  EXPECT_STREQ(sensitivity_name(Sensitivity::kBandwidth), "bandwidth");
+  EXPECT_STREQ(sensitivity_name(Sensitivity::kInsensitive), "insensitive");
+}
+
+}  // namespace
+}  // namespace hetmem::prof

@@ -1,0 +1,190 @@
+#include "hetmem/simmem/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::sim {
+namespace {
+
+using support::Errc;
+using support::kGiB;
+using support::kMiB;
+
+class SimMachineTest : public ::testing::Test {
+ protected:
+  SimMachineTest() : machine_(topo::xeon_clx_1lm()) {}
+  SimMachine machine_;
+};
+
+TEST_F(SimMachineTest, CapacityMatchesTopology) {
+  EXPECT_EQ(machine_.capacity_bytes(0), 192 * kGiB);
+  EXPECT_EQ(machine_.capacity_bytes(2), 768 * kGiB);
+  EXPECT_EQ(machine_.used_bytes(0), 0u);
+  EXPECT_EQ(machine_.available_bytes(0), 192 * kGiB);
+}
+
+TEST_F(SimMachineTest, AllocateChargesDeclaredBytes) {
+  auto buffer = machine_.allocate(10 * kGiB, 0, "x");
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(machine_.used_bytes(0), 10 * kGiB);
+  EXPECT_EQ(machine_.available_bytes(0), 182 * kGiB);
+  EXPECT_EQ(machine_.live_buffer_count(), 1u);
+  const BufferInfo& info = machine_.info(*buffer);
+  EXPECT_EQ(info.label, "x");
+  EXPECT_EQ(info.node, 0u);
+  EXPECT_EQ(info.declared_bytes, 10 * kGiB);
+  // Backing defaults to 64 KiB, not 10 GiB of host RAM.
+  EXPECT_EQ(info.backing_bytes, 64 * 1024u);
+}
+
+TEST_F(SimMachineTest, BackingZeroInitialized) {
+  auto buffer = machine_.allocate(kMiB, 0, "zeroed", 4096);
+  ASSERT_TRUE(buffer.ok());
+  const std::byte* data = machine_.backing(*buffer);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    ASSERT_EQ(data[i], std::byte{0});
+  }
+}
+
+TEST_F(SimMachineTest, AllocationFailsWhenNodeFull) {
+  ASSERT_TRUE(machine_.allocate(190 * kGiB, 0, "big").ok());
+  auto fail = machine_.allocate(10 * kGiB, 0, "overflow");
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.error().code, Errc::kOutOfCapacity);
+  // Other nodes unaffected.
+  EXPECT_TRUE(machine_.allocate(10 * kGiB, 1, "elsewhere").ok());
+}
+
+TEST_F(SimMachineTest, ExactFitSucceeds) {
+  auto buffer = machine_.allocate(192 * kGiB, 0, "exact");
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(machine_.available_bytes(0), 0u);
+}
+
+TEST_F(SimMachineTest, ZeroBytesAndBadNodeRejected) {
+  EXPECT_FALSE(machine_.allocate(0, 0, "zero").ok());
+  auto bad_node = machine_.allocate(kMiB, 99, "bad");
+  ASSERT_FALSE(bad_node.ok());
+  EXPECT_EQ(bad_node.error().code, Errc::kInvalidArgument);
+}
+
+TEST_F(SimMachineTest, FreeReleasesCapacity) {
+  auto buffer = machine_.allocate(10 * kGiB, 0, "temp");
+  ASSERT_TRUE(buffer.ok());
+  ASSERT_TRUE(machine_.free(*buffer).ok());
+  EXPECT_EQ(machine_.used_bytes(0), 0u);
+  EXPECT_EQ(machine_.live_buffer_count(), 0u);
+  EXPECT_EQ(machine_.total_buffer_count(), 1u);
+}
+
+TEST_F(SimMachineTest, DoubleFreeRejected) {
+  auto buffer = machine_.allocate(kMiB, 0, "once");
+  ASSERT_TRUE(buffer.ok());
+  ASSERT_TRUE(machine_.free(*buffer).ok());
+  EXPECT_FALSE(machine_.free(*buffer).ok());
+  EXPECT_FALSE(machine_.free(BufferId{}).ok());
+  EXPECT_FALSE(machine_.free(BufferId{12345}).ok());
+}
+
+TEST_F(SimMachineTest, MigrateMovesCapacityCharge) {
+  auto buffer = machine_.allocate(10 * kGiB, 0, "mover");
+  ASSERT_TRUE(buffer.ok());
+  ASSERT_TRUE(machine_.migrate(*buffer, 2).ok());
+  EXPECT_EQ(machine_.used_bytes(0), 0u);
+  EXPECT_EQ(machine_.used_bytes(2), 10 * kGiB);
+  EXPECT_EQ(machine_.info(*buffer).node, 2u);
+}
+
+TEST_F(SimMachineTest, MigratePreservesContents) {
+  auto buffer = machine_.allocate(kMiB, 0, "data", 1024);
+  ASSERT_TRUE(buffer.ok());
+  machine_.backing(*buffer)[17] = std::byte{42};
+  ASSERT_TRUE(machine_.migrate(*buffer, 2).ok());
+  EXPECT_EQ(machine_.backing(*buffer)[17], std::byte{42});
+}
+
+TEST_F(SimMachineTest, MigrateToFullNodeFails) {
+  ASSERT_TRUE(machine_.allocate(768 * kGiB, 2, "filler").ok());
+  auto buffer = machine_.allocate(kGiB, 0, "stuck");
+  ASSERT_TRUE(buffer.ok());
+  auto status = machine_.migrate(*buffer, 2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::kOutOfCapacity);
+  EXPECT_EQ(machine_.info(*buffer).node, 0u);  // unchanged
+}
+
+TEST_F(SimMachineTest, MigrateToSameNodeIsNoop) {
+  auto buffer = machine_.allocate(kGiB, 0, "still");
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_TRUE(machine_.migrate(*buffer, 0).ok());
+  EXPECT_EQ(machine_.used_bytes(0), kGiB);
+}
+
+TEST_F(SimMachineTest, MigrateValidation) {
+  auto buffer = machine_.allocate(kGiB, 0, "m");
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_FALSE(machine_.migrate(*buffer, 99).ok());
+  ASSERT_TRUE(machine_.free(*buffer).ok());
+  EXPECT_FALSE(machine_.migrate(*buffer, 1).ok());  // freed
+}
+
+// --- Array view over a buffer ---
+
+TEST_F(SimMachineTest, ArrayViewsBackingAsTypedElements) {
+  auto buffer = machine_.allocate(kGiB, 0, "typed", 1024 * sizeof(double));
+  ASSERT_TRUE(buffer.ok());
+  Array<double> array(machine_, *buffer);
+  EXPECT_EQ(array.size(), 1024u);
+  array.span()[5] = 2.5;
+  EXPECT_DOUBLE_EQ(array.span()[5], 2.5);
+  EXPECT_EQ(array.node(), 0u);
+}
+
+TEST_F(SimMachineTest, ArrayMissRatesFollowDeclaredSize) {
+  machine_.set_llc_bytes(32 * kMiB);
+  auto small = machine_.allocate(kMiB, 0, "small", 4096);
+  auto large = machine_.allocate(32 * kGiB, 0, "large", 4096);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  Array<std::uint32_t> small_array(machine_, *small);
+  Array<std::uint32_t> large_array(machine_, *large);
+  // A cache-resident buffer barely misses; a huge one nearly always does.
+  EXPECT_LE(small_array.random_miss_rate(), 0.05);
+  EXPECT_GE(large_array.random_miss_rate(), 0.99);
+  EXPECT_LE(small_array.stream_fraction(), 0.1);
+  EXPECT_DOUBLE_EQ(large_array.stream_fraction(), 1.0);
+}
+
+TEST_F(SimMachineTest, ArrayRefreshAfterMigration) {
+  auto buffer = machine_.allocate(kGiB, 0, "roam", 4096);
+  ASSERT_TRUE(buffer.ok());
+  Array<std::uint32_t> array(machine_, *buffer);
+  EXPECT_EQ(array.node(), 0u);
+  ASSERT_TRUE(machine_.migrate(*buffer, 1).ok());
+  array.refresh_model();
+  EXPECT_EQ(array.node(), 1u);
+}
+
+TEST(CacheModelTest, MissRateMonotoneInWorkingSet) {
+  const std::uint64_t llc = 32 * kMiB;
+  double previous = 0.0;
+  for (std::uint64_t ws = kMiB; ws <= 64 * kGiB; ws *= 4) {
+    const double rate = CacheModel::random_miss_rate(ws, llc);
+    EXPECT_GE(rate, previous);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+    previous = rate;
+  }
+}
+
+TEST(CacheModelTest, BoundaryBehavior) {
+  EXPECT_LE(CacheModel::random_miss_rate(0, 1024), 0.05);
+  EXPECT_LE(CacheModel::random_miss_rate(1024, 1024), 0.05);
+  EXPECT_NEAR(CacheModel::random_miss_rate(2048, 1024), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace hetmem::sim

@@ -1,0 +1,157 @@
+#include "hetmem/simmem/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::sim {
+namespace {
+
+using support::gb_per_s;
+using support::kGiB;
+
+TEST(KindDefaults, XeonDramMatchesMeasuredLiterature) {
+  const NodePerf perf = MachinePerfModel::kind_defaults(topo::MemoryKind::kDRAM);
+  EXPECT_NEAR(perf.idle_latency_ns, 285.0, 1.0);
+  EXPECT_NEAR(perf.read_bw, gb_per_s(80.0), 1e9);
+}
+
+TEST(KindDefaults, NvdimmIsSlowerInEveryDimension) {
+  const NodePerf dram = MachinePerfModel::kind_defaults(topo::MemoryKind::kDRAM);
+  const NodePerf nvdimm =
+      MachinePerfModel::kind_defaults(topo::MemoryKind::kNVDIMM);
+  EXPECT_GT(nvdimm.idle_latency_ns, dram.idle_latency_ns);
+  EXPECT_LT(nvdimm.read_bw, dram.read_bw);
+  EXPECT_LT(nvdimm.write_bw, nvdimm.read_bw);  // Optane write asymmetry
+  ASSERT_TRUE(nvdimm.device_buffer.has_value());
+}
+
+TEST(CalibratedFor, KnlDramGetsClusterScaleConstants) {
+  topo::Topology topology = topo::knl_snc4_flat();
+  MachinePerfModel model = MachinePerfModel::calibrated_for(topology);
+  const NodePerf& dram = model.node(0);  // cluster DRAM
+  const NodePerf& hbm = model.node(4);   // cluster MCDRAM
+  // Latencies similar (paper §III-B2), bandwidth very different (§VI-A).
+  EXPECT_NEAR(dram.idle_latency_ns / hbm.idle_latency_ns, 1.0, 0.15);
+  EXPECT_GT(hbm.read_bw / dram.read_bw, 2.0);
+}
+
+TEST(CalibratedFor, XeonDramKeepsBigSocketConstants) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  MachinePerfModel model = MachinePerfModel::calibrated_for(topology);
+  EXPECT_NEAR(model.node(0).read_bw, gb_per_s(80.0), 1e9);
+  EXPECT_NEAR(model.node(2).idle_latency_ns, 860.0, 1.0);
+}
+
+TEST(CalibratedFor, MemorySideCachePerfAttached) {
+  topo::Topology topology = topo::xeon_clx_2lm();
+  MachinePerfModel model = MachinePerfModel::calibrated_for(topology);
+  ASSERT_TRUE(model.node(0).ms_cache.has_value());
+  EXPECT_EQ(model.node(0).ms_cache->size_bytes, 192 * kGiB);
+}
+
+// --- effective(): the working-set/locality resolution ---
+
+class EffectiveTest : public ::testing::Test {
+ protected:
+  EffectiveTest()
+      : topology_(topo::xeon_clx_1lm()),
+        model_(MachinePerfModel::calibrated_for(topology_)) {}
+  topo::Topology topology_;
+  MachinePerfModel model_;
+};
+
+TEST_F(EffectiveTest, NvdimmNominalBelowKnee) {
+  // 16 GiB working set: inside the device buffer regime.
+  const EffectiveNodePerf eff = model_.effective(2, 16 * kGiB, true);
+  EXPECT_NEAR(eff.read_bw, gb_per_s(40.0), 1e9);
+  EXPECT_NEAR(eff.latency_ns, 860.0, 1.0);
+}
+
+TEST_F(EffectiveTest, NvdimmDegradesBeyondKnee) {
+  const EffectiveNodePerf small = model_.effective(2, 16 * kGiB, true);
+  const EffectiveNodePerf large = model_.effective(2, 64 * kGiB, true);
+  EXPECT_LT(large.read_bw, small.read_bw * 0.6);
+  EXPECT_LT(large.write_bw, small.write_bw * 0.5);
+  EXPECT_GT(large.latency_ns, small.latency_ns * 1.8);
+}
+
+TEST_F(EffectiveTest, DegradationSlidesGentlyWithSize) {
+  const EffectiveNodePerf at64 = model_.effective(2, 64 * kGiB, true);
+  const EffectiveNodePerf at224 = model_.effective(2, 224 * kGiB, true);
+  EXPECT_LT(at224.read_bw, at64.read_bw);
+  // ...but not catastrophically: the slide exponent is small.
+  EXPECT_GT(at224.read_bw, at64.read_bw * 0.8);
+}
+
+TEST_F(EffectiveTest, BandwidthMonotoneNonIncreasingInWorkingSet) {
+  double previous = 1e18;
+  for (std::uint64_t ws = kGiB; ws <= 512 * kGiB; ws *= 2) {
+    const EffectiveNodePerf eff = model_.effective(2, ws, true);
+    EXPECT_LE(eff.read_bw, previous + 1.0);
+    previous = eff.read_bw;
+  }
+}
+
+TEST_F(EffectiveTest, LatencyMonotoneNonDecreasingInWorkingSet) {
+  double previous = 0.0;
+  for (std::uint64_t ws = kGiB; ws <= 512 * kGiB; ws *= 2) {
+    const EffectiveNodePerf eff = model_.effective(2, ws, true);
+    EXPECT_GE(eff.latency_ns, previous - 1e-9);
+    previous = eff.latency_ns;
+  }
+}
+
+TEST_F(EffectiveTest, RemoteAccessCostsMore) {
+  const EffectiveNodePerf local = model_.effective(0, kGiB, true);
+  const EffectiveNodePerf remote = model_.effective(0, kGiB, false);
+  EXPECT_GT(remote.latency_ns, local.latency_ns * 1.3);
+  EXPECT_LT(remote.read_bw, local.read_bw * 0.7);
+  EXPECT_LT(remote.write_bw, local.write_bw * 0.7);
+}
+
+TEST(EffectiveMsCache, SmallWorkingSetRunsAtCacheSpeed) {
+  topo::Topology topology = topo::xeon_clx_2lm();
+  MachinePerfModel model = MachinePerfModel::calibrated_for(topology);
+  // Working set far below the 192 GiB DRAM cache: near-DRAM behavior.
+  const EffectiveNodePerf cached = model.effective(0, 8 * kGiB, true);
+  EXPECT_LT(cached.latency_ns, 350.0);
+  EXPECT_GT(cached.read_bw, gb_per_s(60.0));
+}
+
+TEST(EffectiveMsCache, HugeWorkingSetFallsToBackingSpeed) {
+  topo::Topology topology = topo::xeon_clx_2lm();
+  MachinePerfModel model = MachinePerfModel::calibrated_for(topology);
+  const EffectiveNodePerf thrashing = model.effective(0, 700 * kGiB, true);
+  const EffectiveNodePerf cached = model.effective(0, 8 * kGiB, true);
+  EXPECT_GT(thrashing.latency_ns, cached.latency_ns * 2.0);
+  EXPECT_LT(thrashing.read_bw, cached.read_bw * 0.6);
+}
+
+TEST(EffectiveMsCache, HitRateScalesWithCacheResidency) {
+  topo::Topology topology = topo::knl_snc4_hybrid50();
+  MachinePerfModel model = MachinePerfModel::calibrated_for(topology);
+  // Node 0: 12 GiB DRAM behind a 2 GiB MCDRAM cache. On KNL the MCDRAM
+  // cache's latency matches DRAM's (paper §III-B2) — the win is bandwidth,
+  // which fades as residency drops.
+  const EffectiveNodePerf half = model.effective(0, 4 * kGiB, true);
+  const EffectiveNodePerf full = model.effective(0, kGiB, true);
+  EXPECT_GT(full.read_bw, half.read_bw * 1.2);
+}
+
+TEST(MachinePerfModelTest, ManualConstruction) {
+  MachinePerfModel model(2);
+  NodePerf perf;
+  perf.idle_latency_ns = 50.0;
+  perf.read_bw = gb_per_s(10.0);
+  perf.write_bw = gb_per_s(10.0);
+  perf.per_thread_read_bw = gb_per_s(10.0);
+  perf.per_thread_write_bw = gb_per_s(10.0);
+  model.set_node(1, perf);
+  EXPECT_DOUBLE_EQ(model.node(1).idle_latency_ns, 50.0);
+  EXPECT_EQ(model.node_count(), 2u);
+}
+
+}  // namespace
+}  // namespace hetmem::sim

@@ -1,0 +1,219 @@
+#include "hetmem/support/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hetmem/support/rng.hpp"
+
+namespace hetmem::support {
+namespace {
+
+TEST(Bitmap, StartsEmpty) {
+  Bitmap bitmap;
+  EXPECT_TRUE(bitmap.empty());
+  EXPECT_EQ(bitmap.count(), 0u);
+  EXPECT_FALSE(bitmap.first().has_value());
+  EXPECT_FALSE(bitmap.last().has_value());
+}
+
+TEST(Bitmap, SetAndTest) {
+  Bitmap bitmap;
+  bitmap.set(0);
+  bitmap.set(63);
+  bitmap.set(64);
+  bitmap.set(1000);
+  EXPECT_TRUE(bitmap.test(0));
+  EXPECT_TRUE(bitmap.test(63));
+  EXPECT_TRUE(bitmap.test(64));
+  EXPECT_TRUE(bitmap.test(1000));
+  EXPECT_FALSE(bitmap.test(1));
+  EXPECT_FALSE(bitmap.test(999));
+  EXPECT_FALSE(bitmap.test(100000));
+  EXPECT_EQ(bitmap.count(), 4u);
+}
+
+TEST(Bitmap, ClearRemovesBit) {
+  Bitmap bitmap{5, 6, 7};
+  bitmap.clear(6);
+  EXPECT_FALSE(bitmap.test(6));
+  EXPECT_EQ(bitmap.count(), 2u);
+  bitmap.clear(1000);  // clearing an unset high bit is a no-op
+  EXPECT_EQ(bitmap.count(), 2u);
+}
+
+TEST(Bitmap, InitializerList) {
+  Bitmap bitmap{1, 3, 5};
+  EXPECT_EQ(bitmap.to_vector(), (std::vector<unsigned>{1, 3, 5}));
+}
+
+TEST(Bitmap, RangeConstruction) {
+  Bitmap bitmap = Bitmap::range(10, 14);
+  EXPECT_EQ(bitmap.count(), 5u);
+  EXPECT_TRUE(bitmap.test(10));
+  EXPECT_TRUE(bitmap.test(14));
+  EXPECT_FALSE(bitmap.test(9));
+  EXPECT_FALSE(bitmap.test(15));
+}
+
+TEST(Bitmap, FirstLastNext) {
+  Bitmap bitmap{2, 65, 130};
+  EXPECT_EQ(bitmap.first(), 2u);
+  EXPECT_EQ(bitmap.last(), 130u);
+  EXPECT_EQ(bitmap.next(2), 65u);
+  EXPECT_EQ(bitmap.next(65), 130u);
+  EXPECT_FALSE(bitmap.next(130).has_value());
+  EXPECT_EQ(bitmap.next(0), 2u);
+}
+
+TEST(Bitmap, UnionIntersectionXor) {
+  Bitmap a{1, 2, 3};
+  Bitmap b{3, 4, 100};
+  EXPECT_EQ((a | b).to_vector(), (std::vector<unsigned>{1, 2, 3, 4, 100}));
+  EXPECT_EQ((a & b).to_vector(), (std::vector<unsigned>{3}));
+  EXPECT_EQ((a ^ b).to_vector(), (std::vector<unsigned>{1, 2, 4, 100}));
+}
+
+TEST(Bitmap, AndNot) {
+  Bitmap a{1, 2, 3, 70};
+  Bitmap b{2, 70};
+  EXPECT_EQ(a.and_not(b).to_vector(), (std::vector<unsigned>{1, 3}));
+  EXPECT_EQ(b.and_not(a).count(), 0u);
+}
+
+TEST(Bitmap, EqualityIgnoresTrailingZeros) {
+  Bitmap a{1};
+  Bitmap b{1, 200};
+  b.clear(200);  // trims internal words
+  EXPECT_TRUE(a == b);
+  Bitmap c{1};
+  c.set(500);
+  c.clear(500);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(Bitmap, SubsetAndIntersects) {
+  Bitmap small{1, 2};
+  Bitmap big{0, 1, 2, 3};
+  Bitmap other{9};
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.intersects(big));
+  EXPECT_FALSE(small.intersects(other));
+  EXPECT_TRUE(Bitmap{}.is_subset_of(small));  // empty set is subset of all
+  EXPECT_FALSE(Bitmap{}.intersects(small));
+}
+
+TEST(Bitmap, SubsetOfSelf) {
+  Bitmap bitmap{3, 80};
+  EXPECT_TRUE(bitmap.is_subset_of(bitmap));
+}
+
+TEST(Bitmap, ListStringRoundTrip) {
+  Bitmap bitmap{0, 1, 2, 3, 8, 10, 11};
+  EXPECT_EQ(bitmap.to_list_string(), "0-3,8,10-11");
+  auto parsed = Bitmap::parse("0-3,8,10-11");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == bitmap);
+}
+
+TEST(Bitmap, EmptyListString) {
+  EXPECT_EQ(Bitmap{}.to_list_string(), "");
+  auto parsed = Bitmap::parse("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Bitmap, ParseSingleValues) {
+  auto parsed = Bitmap::parse("5");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_vector(), (std::vector<unsigned>{5}));
+}
+
+TEST(Bitmap, ParseRejectsGarbage) {
+  EXPECT_FALSE(Bitmap::parse("a-b").has_value());
+  EXPECT_FALSE(Bitmap::parse("3-1").has_value());  // inverted range
+  EXPECT_FALSE(Bitmap::parse("1,,2").has_value());
+  EXPECT_FALSE(Bitmap::parse("1-").has_value());
+  EXPECT_FALSE(Bitmap::parse("-3").has_value());
+  EXPECT_FALSE(Bitmap::parse("1.5").has_value());
+}
+
+TEST(Bitmap, HexString) {
+  EXPECT_EQ(Bitmap{}.to_hex_string(), "0x0");
+  EXPECT_EQ((Bitmap{0, 1, 2, 3}).to_hex_string(), "0xf");
+  EXPECT_EQ((Bitmap{64}).to_hex_string(), "0x10000000000000000");
+}
+
+TEST(Bitmap, CompoundAssignments) {
+  Bitmap a{1};
+  a |= Bitmap{2, 300};
+  EXPECT_EQ(a.count(), 3u);
+  a &= Bitmap{2, 300, 9};
+  EXPECT_EQ(a.to_vector(), (std::vector<unsigned>{2, 300}));
+}
+
+// Property test: random operation sequences agree with std::set<unsigned>.
+class BitmapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitmapPropertyTest, AgreesWithReferenceSet) {
+  Xoshiro256 rng(GetParam());
+  Bitmap bitmap;
+  std::set<unsigned> reference;
+  for (int step = 0; step < 500; ++step) {
+    const unsigned bit = static_cast<unsigned>(rng.next_below(260));
+    switch (rng.next_below(3)) {
+      case 0:
+        bitmap.set(bit);
+        reference.insert(bit);
+        break;
+      case 1:
+        bitmap.clear(bit);
+        reference.erase(bit);
+        break;
+      default:
+        EXPECT_EQ(bitmap.test(bit), reference.count(bit) > 0);
+        break;
+    }
+  }
+  EXPECT_EQ(bitmap.count(), reference.size());
+  EXPECT_EQ(bitmap.to_vector(),
+            std::vector<unsigned>(reference.begin(), reference.end()));
+  if (!reference.empty()) {
+    EXPECT_EQ(bitmap.first(), *reference.begin());
+    EXPECT_EQ(bitmap.last(), *reference.rbegin());
+  }
+  // Round-trip through the list format.
+  auto parsed = Bitmap::parse(bitmap.to_list_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == bitmap);
+}
+
+TEST_P(BitmapPropertyTest, AlgebraLaws) {
+  Xoshiro256 rng(GetParam() * 7919 + 13);
+  auto random_bitmap = [&] {
+    Bitmap bitmap;
+    const std::size_t n = rng.next_below(32);
+    for (std::size_t i = 0; i < n; ++i) {
+      bitmap.set(static_cast<unsigned>(rng.next_below(200)));
+    }
+    return bitmap;
+  };
+  const Bitmap a = random_bitmap();
+  const Bitmap b = random_bitmap();
+  const Bitmap c = random_bitmap();
+  EXPECT_TRUE((a | b) == (b | a));
+  EXPECT_TRUE((a & b) == (b & a));
+  EXPECT_TRUE(((a | b) | c) == (a | (b | c)));
+  EXPECT_TRUE((a & (b | c)) == ((a & b) | (a & c)));
+  EXPECT_TRUE(a.and_not(b) == (a ^ (a & b)));
+  EXPECT_TRUE((a & b).is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a | b));
+  EXPECT_EQ((a | b).count() + (a & b).count(), a.count() + b.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace hetmem::support

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "hetmem/support/rng.hpp"
+#include "hetmem/support/str.hpp"
+#include "hetmem/support/table.hpp"
+#include "hetmem/support/thread_pool.hpp"
+
+namespace hetmem::support {
+namespace {
+
+// --- str ---
+
+TEST(Str, SplitKeepsEmptyTokens) {
+  auto tokens = split("a,,b", ',');
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "");
+  EXPECT_EQ(tokens[2], "b");
+}
+
+TEST(Str, SplitSingleToken) {
+  auto tokens = split("abc", ',');
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "abc");
+}
+
+TEST(Str, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("no-op"), "no-op");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(starts_with("value_ns=26", "value_ns="));
+  EXPECT_FALSE(starts_with("ns=26", "value_ns="));
+}
+
+TEST(Str, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+}
+
+// --- rng ---
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // rough uniformity
+}
+
+// --- table ---
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"Name", "Value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable table({"A", "B"});
+  table.add_row({"long-name", "1"});
+  table.add_row({"x", "2"});
+  const std::string out = table.render();
+  // Every line has the same width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    if (width == 0) width = end - start;
+    EXPECT_EQ(end - start, width);
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, SeparatorInsertsRule) {
+  TextTable table({"A"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // Rules: top, under header, before row 2, bottom = 4.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Banner, ContainsTitle) {
+  EXPECT_NE(banner("Table II").find("Table II"), std::string::npos);
+}
+
+// --- thread pool ---
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, [&](std::size_t, std::size_t begin, std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, HandlesZeroItems) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, end);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 2);  // every worker sees an empty chunk
+}
+
+TEST(ThreadPool, RunOnAllVisitsEveryWorker) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen(3);
+  pool.run_on_all([&](std::size_t worker) { seen[worker].fetch_add(1); });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(100, [&](std::size_t, std::size_t begin, std::size_t end) {
+      long local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50L * (99 * 100 / 2));
+}
+
+}  // namespace
+}  // namespace hetmem::support

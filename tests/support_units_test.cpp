@@ -1,0 +1,82 @@
+#include "hetmem/support/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetmem::support {
+namespace {
+
+TEST(ParseBytes, PlainNumbers) {
+  EXPECT_EQ(parse_bytes("0"), 0u);
+  EXPECT_EQ(parse_bytes("4096"), 4096u);
+}
+
+TEST(ParseBytes, BinarySuffixes) {
+  EXPECT_EQ(parse_bytes("1KiB"), kKiB);
+  EXPECT_EQ(parse_bytes("2MiB"), 2 * kMiB);
+  EXPECT_EQ(parse_bytes("96GiB"), 96 * kGiB);
+  EXPECT_EQ(parse_bytes("1.5TiB"), kTiB + kTiB / 2);
+}
+
+TEST(ParseBytes, DecimalSuffixes) {
+  EXPECT_EQ(parse_bytes("1KB"), 1000u);
+  EXPECT_EQ(parse_bytes("2GB"), 2000000000u);
+}
+
+TEST(ParseBytes, ShortSuffixesAreBinary) {
+  EXPECT_EQ(parse_bytes("4K"), 4 * kKiB);
+  EXPECT_EQ(parse_bytes("4G"), 4 * kGiB);
+}
+
+TEST(ParseBytes, CaseInsensitive) {
+  EXPECT_EQ(parse_bytes("1gib"), kGiB);
+  EXPECT_EQ(parse_bytes("1GB"), parse_bytes("1gb"));
+}
+
+TEST(ParseBytes, ToleratesWhitespace) {
+  EXPECT_EQ(parse_bytes("  8 GiB "), 8 * kGiB);
+}
+
+TEST(ParseBytes, RejectsGarbage) {
+  EXPECT_FALSE(parse_bytes("").has_value());
+  EXPECT_FALSE(parse_bytes("GiB").has_value());
+  EXPECT_FALSE(parse_bytes("12XB").has_value());
+  EXPECT_FALSE(parse_bytes("1e3").has_value());
+  EXPECT_FALSE(parse_bytes("-4").has_value());
+}
+
+TEST(FormatBytes, PicksLargestUnit) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(kKiB), "1.0KiB");
+  EXPECT_EQ(format_bytes(96 * kGiB), "96.0GiB");
+  EXPECT_EQ(format_bytes(kTiB + kTiB / 2), "1.5TiB");
+}
+
+TEST(FormatBytes, RoundTripsCommonCapacities) {
+  for (std::uint64_t gib : {4u, 24u, 96u, 192u, 768u}) {
+    EXPECT_EQ(parse_bytes(format_bytes(gib * kGiB)), gib * kGiB);
+  }
+}
+
+TEST(FormatBandwidth, DecimalGigabytes) {
+  EXPECT_EQ(format_bandwidth(80e9), "80.00 GB/s");
+  EXPECT_EQ(format_bandwidth(10.49e9), "10.49 GB/s");
+}
+
+TEST(FormatLatency, NanosecondsThenMicroseconds) {
+  EXPECT_EQ(format_latency_ns(285.0), "285 ns");
+  EXPECT_EQ(format_latency_ns(860.4), "860 ns");
+  EXPECT_EQ(format_latency_ns(1900.0), "1.90 us");
+}
+
+TEST(GbPerS, Conversion) {
+  EXPECT_DOUBLE_EQ(gb_per_s(80.0), 8e10);
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(2.999, 3), "2.999");
+}
+
+}  // namespace
+}  // namespace hetmem::support

@@ -1,0 +1,164 @@
+#include "hetmem/topo/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/render.hpp"
+
+namespace hetmem::topo {
+namespace {
+
+using support::kGiB;
+
+Topology tiny_machine() {
+  TopologyBuilder builder("tiny");
+  auto package = builder.machine().add_package();
+  package.add_cores(2, 2);
+  package.attach_numa(MemoryKind::kDRAM, 4 * kGiB);
+  auto result = std::move(builder).finalize();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).take();
+}
+
+TEST(Builder, EmptyTopologyRejected) {
+  TopologyBuilder builder("empty");
+  auto result = std::move(builder).finalize();
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Builder, CpuOnlyTopologyRejected) {
+  TopologyBuilder builder("cpu-only");
+  builder.machine().add_package().add_cores(2);
+  auto result = std::move(builder).finalize();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::Errc::kInvalidArgument);
+}
+
+TEST(Builder, MemoryOnlyTopologyRejected) {
+  TopologyBuilder builder("mem-only");
+  builder.machine().attach_numa(MemoryKind::kDRAM, kGiB);
+  auto result = std::move(builder).finalize();
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Builder, TinyMachineShape) {
+  Topology topology = tiny_machine();
+  EXPECT_EQ(topology.pus().size(), 4u);
+  EXPECT_EQ(topology.numa_nodes().size(), 1u);
+  EXPECT_EQ(topology.platform_name(), "tiny");
+  EXPECT_EQ(topology.total_memory_bytes(), 4 * kGiB);
+}
+
+TEST(Builder, CpusetsAggregateBottomUp) {
+  Topology topology = tiny_machine();
+  EXPECT_EQ(topology.root().cpuset().count(), 4u);
+  const Object* package = topology.root().children().front().get();
+  EXPECT_TRUE(package->cpuset() == topology.root().cpuset());
+  const Object* core0 = package->children().front().get();
+  EXPECT_EQ(core0->cpuset().count(), 2u);
+}
+
+TEST(Builder, MemoryChildInheritsLocality) {
+  Topology topology = tiny_machine();
+  const Object* node = topology.numa_nodes().front();
+  EXPECT_TRUE(node->cpuset() == topology.root().cpuset());
+  EXPECT_EQ(node->capacity_bytes(), 4 * kGiB);
+  EXPECT_EQ(node->memory_kind(), MemoryKind::kDRAM);
+}
+
+TEST(Builder, PuOsIndicesAreSequentialMachineWide) {
+  TopologyBuilder builder("two-packages");
+  auto machine = builder.machine();
+  auto p0 = machine.add_package();
+  p0.add_cores(2, 1);
+  p0.attach_numa(MemoryKind::kDRAM, kGiB);
+  auto p1 = machine.add_package();
+  p1.add_cores(2, 1);
+  p1.attach_numa(MemoryKind::kDRAM, kGiB);
+  auto result = std::move(builder).finalize();
+  ASSERT_TRUE(result.ok());
+  const Topology& topology = *result;
+  ASSERT_EQ(topology.pus().size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(topology.pus()[i]->os_index(), i);
+    EXPECT_EQ(topology.pus()[i]->logical_index(), i);
+  }
+}
+
+TEST(Builder, NumaLogicalOrderFollowsAttachmentOrder) {
+  TopologyBuilder builder("ordering");
+  auto machine = builder.machine();
+  auto package = machine.add_package();
+  package.add_cores(2);
+  auto group = package.add_group();
+  group.add_cores(2);
+  // Attach group DRAM first, then package NVDIMM: logical order must match.
+  group.attach_numa(MemoryKind::kDRAM, kGiB);
+  package.attach_numa(MemoryKind::kNVDIMM, 8 * kGiB);
+  auto result = std::move(builder).finalize();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->numa_node(0)->memory_kind(), MemoryKind::kDRAM);
+  EXPECT_EQ(result->numa_node(1)->memory_kind(), MemoryKind::kNVDIMM);
+}
+
+TEST(Builder, GroupSubtypePreserved) {
+  TopologyBuilder builder("subtype");
+  auto package = builder.machine().add_package();
+  auto cmg = package.add_group("CMG");
+  cmg.add_cores(1);
+  cmg.attach_numa(MemoryKind::kHBM, kGiB);
+  auto result = std::move(builder).finalize();
+  ASSERT_TRUE(result.ok());
+  auto groups = result->objects_of_type(ObjType::kGroup);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0]->subtype(), "CMG");
+}
+
+TEST(Builder, MemorySideCacheRecorded) {
+  TopologyBuilder builder("cached");
+  auto package = builder.machine().add_package();
+  package.add_cores(1);
+  package.attach_numa(MemoryKind::kNVDIMM, 64 * kGiB,
+                      MemorySideCache{.size_bytes = 16 * kGiB,
+                                      .associativity = 1,
+                                      .line_bytes = 64});
+  auto result = std::move(builder).finalize();
+  ASSERT_TRUE(result.ok());
+  const Object* node = result->numa_nodes().front();
+  ASSERT_TRUE(node->memory_side_cache().has_value());
+  EXPECT_EQ(node->memory_side_cache()->size_bytes, 16 * kGiB);
+}
+
+TEST(Builder, ValidatePassesOnFreshTopology) {
+  Topology topology = tiny_machine();
+  EXPECT_TRUE(topology.validate().ok());
+}
+
+TEST(Render, TreeMentionsEveryNumaNode) {
+  Topology topology = tiny_machine();
+  const std::string out = render_tree(topology);
+  EXPECT_NE(out.find("tiny"), std::string::npos);
+  EXPECT_NE(out.find("NUMANode L#0"), std::string::npos);
+  EXPECT_NE(out.find("DRAM"), std::string::npos);
+  EXPECT_NE(out.find("4.0GiB"), std::string::npos);
+}
+
+TEST(Render, CollapsesUniformCores) {
+  TopologyBuilder builder("many-cores");
+  auto package = builder.machine().add_package();
+  package.add_cores(16, 2);
+  package.attach_numa(MemoryKind::kDRAM, kGiB);
+  auto result = std::move(builder).finalize();
+  ASSERT_TRUE(result.ok());
+  const std::string out = render_tree(*result);
+  EXPECT_NE(out.find("(x16, 2 PU each)"), std::string::npos);
+}
+
+TEST(Render, DescribeNumaNode) {
+  Topology topology = tiny_machine();
+  const std::string out = describe_numa_node(*topology.numa_nodes().front());
+  EXPECT_EQ(out, "NUMANode L#0 P#0 (DRAM, 4.0GiB)");
+}
+
+}  // namespace
+}  // namespace hetmem::topo

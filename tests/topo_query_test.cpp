@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::topo {
+namespace {
+
+using support::Bitmap;
+
+TEST(LocalNumaNodes, ExactMatchesOnlyIdenticalLocality) {
+  Topology topology = xeon_clx_snc_1lm();
+  const Bitmap snc0 = topology.numa_node(0)->cpuset();  // first SNC
+  auto exact = topology.local_numa_nodes(snc0, LocalityFlags::kExact);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0]->logical_index(), 0u);
+}
+
+TEST(LocalNumaNodes, LargerLocalityIncludesPackageNodes) {
+  Topology topology = xeon_clx_snc_1lm();
+  const Bitmap snc0 = topology.numa_node(0)->cpuset();
+  auto nodes = topology.local_numa_nodes(snc0, LocalityFlags::kLargerLocality);
+  // SNC DRAM (exact) + package NVDIMM (larger locality).
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0]->logical_index(), 0u);
+  EXPECT_EQ(nodes[1]->logical_index(), 2u);
+}
+
+TEST(LocalNumaNodes, SmallerLocalityIncludesContainedNodes) {
+  Topology topology = xeon_clx_snc_1lm();
+  // Initiator = whole package 0: its SNC DRAMs have smaller localities.
+  const Bitmap package0 = topology.numa_node(2)->cpuset();
+  auto nodes = topology.local_numa_nodes(package0, LocalityFlags::kSmallerLocality);
+  ASSERT_EQ(nodes.size(), 3u);  // DRAM L#0, L#1 and the NVDIMM itself (exact)
+}
+
+TEST(LocalNumaNodes, IntersectingIsTheUnionOfBoth) {
+  Topology topology = xeon_clx_snc_1lm();
+  const Bitmap snc0 = topology.numa_node(0)->cpuset();
+  auto nodes = topology.local_numa_nodes(snc0, LocalityFlags::kIntersecting);
+  EXPECT_EQ(nodes.size(), 2u);
+}
+
+TEST(LocalNumaNodes, SingleCoreInitiatorSeesItsClusterNodes) {
+  Topology topology = knl_snc4_flat();
+  const Object* pu0 = topology.pus().front();
+  auto nodes = topology.local_numa_nodes(pu0->cpuset());
+  ASSERT_EQ(nodes.size(), 2u);  // cluster DRAM + cluster HBM
+  EXPECT_EQ(nodes[0]->memory_kind(), MemoryKind::kDRAM);
+  EXPECT_EQ(nodes[1]->memory_kind(), MemoryKind::kHBM);
+}
+
+TEST(LocalNumaNodes, EmptyInitiatorMatchesNothing) {
+  Topology topology = knl_snc4_flat();
+  EXPECT_TRUE(topology.local_numa_nodes(Bitmap{}).empty());
+}
+
+TEST(LocalNumaNodes, AllFlagIgnoresLocality) {
+  Topology topology = knl_snc4_flat();
+  auto nodes = topology.local_numa_nodes(Bitmap{}, LocalityFlags::kAll);
+  EXPECT_EQ(nodes.size(), topology.numa_nodes().size());
+}
+
+TEST(LocalNumaNodes, CrossClusterInitiatorMatchesNothingExact) {
+  Topology topology = knl_snc4_flat();
+  // Bits straddling two clusters: no node has that exact locality and none
+  // contains it... but the union of both clusters intersects each.
+  Bitmap straddle;
+  straddle.set(0);    // cluster 0
+  straddle.set(100);  // cluster 1 (64 PUs per cluster)
+  EXPECT_TRUE(topology.local_numa_nodes(straddle, LocalityFlags::kExact).empty());
+  auto intersecting =
+      topology.local_numa_nodes(straddle, LocalityFlags::kIntersecting);
+  EXPECT_EQ(intersecting.size(), 4u);  // both clusters' DRAM + HBM
+}
+
+TEST(CoveringObject, FindsDeepestEnclosingObject) {
+  Topology topology = xeon_clx_snc_1lm();
+  const Object* pu0 = topology.pus().front();
+  const Object* covering = topology.covering_object(pu0->cpuset());
+  ASSERT_NE(covering, nullptr);
+  EXPECT_EQ(covering->type(), ObjType::kPU);
+
+  const Bitmap snc0 = topology.numa_node(0)->cpuset();
+  covering = topology.covering_object(snc0);
+  ASSERT_NE(covering, nullptr);
+  EXPECT_EQ(covering->type(), ObjType::kGroup);
+}
+
+TEST(CoveringObject, StraddlingCpusetFindsCommonAncestor) {
+  Topology topology = xeon_clx_snc_1lm();
+  const Bitmap both_sncs =
+      topology.numa_node(0)->cpuset() | topology.numa_node(1)->cpuset();
+  const Object* covering = topology.covering_object(both_sncs);
+  ASSERT_NE(covering, nullptr);
+  EXPECT_EQ(covering->type(), ObjType::kPackage);
+}
+
+TEST(CoveringObject, EmptyOrForeignCpusetReturnsNull) {
+  Topology topology = xeon_clx_snc_1lm();
+  EXPECT_EQ(topology.covering_object(Bitmap{}), nullptr);
+  Bitmap foreign;
+  foreign.set(10000);
+  EXPECT_EQ(topology.covering_object(foreign), nullptr);
+}
+
+TEST(ObjectsOfType, CountsMatchPresets) {
+  Topology topology = xeon_clx_snc_1lm();
+  EXPECT_EQ(topology.objects_of_type(ObjType::kPackage).size(), 2u);
+  EXPECT_EQ(topology.objects_of_type(ObjType::kGroup).size(), 4u);
+  EXPECT_EQ(topology.objects_of_type(ObjType::kCore).size(), 40u);
+  EXPECT_EQ(topology.objects_of_type(ObjType::kPU).size(), 80u);
+  EXPECT_EQ(topology.objects_of_type(ObjType::kNUMANode).size(), 6u);
+}
+
+TEST(NumaNodeLookup, ByLogicalAndOsIndex) {
+  Topology topology = xeon_clx_snc_1lm();
+  EXPECT_EQ(topology.numa_node(2)->memory_kind(), MemoryKind::kNVDIMM);
+  EXPECT_EQ(topology.numa_node(99), nullptr);
+  const Object* by_os = topology.numa_node_by_os_index(5);
+  ASSERT_NE(by_os, nullptr);
+  EXPECT_EQ(by_os->memory_kind(), MemoryKind::kNVDIMM);
+  EXPECT_EQ(topology.numa_node_by_os_index(99), nullptr);
+}
+
+TEST(TotalMemory, SumsAllNodes) {
+  Topology topology = xeon_clx_snc_1lm();
+  // 4 x 96 GiB DRAM + 2 x 768 GiB NVDIMM.
+  EXPECT_EQ(topology.total_memory_bytes(),
+            (4ull * 96 + 2ull * 768) * support::kGiB);
+}
+
+}  // namespace
+}  // namespace hetmem::topo
