@@ -43,6 +43,21 @@ struct AllocRequest {
   /// Real backing storage (see SimMachine::allocate).
   std::size_t backing_bytes = 0;
   std::string label;
+  /// Resilience opt-in: when the requested attribute resolves to no usable
+  /// ranking (no values, no *trusted* values after noise demotion, or no
+  /// local target), degrade to a kCapacity ranking instead of failing —
+  /// Capacity is always populated natively and cannot be poisoned by bad
+  /// firmware or noisy probes. Off by default: portable callers usually
+  /// want to hear about a broken attribute, chaos-hardened callers want
+  /// the allocation to land somewhere.
+  bool attribute_rescue = false;
+};
+
+/// Bounded retry for transient (kTransient) target failures — injected
+/// faults or momentary contention. Retries are per target per request; once
+/// exhausted the target is treated as full and the ranking walk continues.
+struct RetryPolicy {
+  unsigned max_transient_retries = 2;
 };
 
 struct Allocation {
@@ -68,6 +83,8 @@ struct AllocatorStats {
   std::uint64_t frees = 0;
   std::uint64_t migrations = 0;
   std::uint64_t bytes_allocated = 0;
+  std::uint64_t transient_retries = 0;   // kTransient failures retried
+  std::uint64_t attribute_rescues = 0;   // degraded to kCapacity ranking
 };
 
 struct TraceEvent {
@@ -161,6 +178,11 @@ class HeterogeneousAllocator {
 
   [[nodiscard]] const AllocatorStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+  /// Allocation-failure telemetry: just the kFail events of the trace, in
+  /// order — what an operator greps after a chaos run.
+  [[nodiscard]] std::vector<TraceEvent> failure_log() const;
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_policy_; }
   [[nodiscard]] sim::SimMachine& machine() { return *machine_; }
   [[nodiscard]] const attr::MemAttrRegistry& registry() const { return *registry_; }
 
@@ -171,11 +193,16 @@ class HeterogeneousAllocator {
       const AllocRequest& request, const std::vector<attr::TargetValue>& ranking,
       attr::AttrId used_attribute);
 
+  /// machine_->allocate with bounded kTransient retry (retry_policy_).
+  support::Result<sim::BufferId> allocate_with_retry(const AllocRequest& request,
+                                                     unsigned node);
+
   [[nodiscard]] std::uint64_t usable_bytes(unsigned node) const;
 
   sim::SimMachine* machine_;
   const attr::MemAttrRegistry* registry_;
   MigrationCostModel migration_model_;
+  RetryPolicy retry_policy_;
   std::vector<SizeRule> size_rules_;
   std::vector<std::uint64_t> reserved_;
   AllocatorStats stats_;

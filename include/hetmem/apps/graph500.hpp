@@ -54,6 +54,9 @@ struct BufferPlacement {
   /// (the portable path, §IV-B).
   attr::AttrId attribute = attr::kCapacity;
   alloc::Policy policy = alloc::Policy::kRankedFallback;
+  /// Forwarded to AllocRequest::attribute_rescue: chaos-hardened runs keep
+  /// going on a Capacity ranking when the attribute has no usable values.
+  bool attribute_rescue = false;
 };
 
 struct Graph500Placement {

@@ -1,0 +1,152 @@
+// Deterministic, seeded fault injection for chaos-testing the attribute /
+// allocator stack (DESIGN.md §6 "failure injection", docs/RESILIENCE.md).
+//
+// Real heterogeneous-memory deployments fail in mundane ways long before
+// they fail in exotic ones: firmware HMAT tables are incomplete or malformed
+// (Linux only re-exports the *local* entries, paper §IV-A1), benchmark-based
+// discovery is noisy, targets fill up mid-run, and nodes go offline. The
+// injector models those events as named *sites*, each with an independent,
+// seed-derived random stream, so a fault schedule is reproducible: the same
+// seed yields the same faults at the same consultation indices regardless of
+// how sites interleave.
+//
+// Consumers never depend on the injector; they accept an optional pointer
+// and consult it at their decision points (SimMachine::allocate,
+// probe::measure, corrupt_hmat_text). A null injector means no faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hetmem/support/rng.hpp"
+
+namespace hetmem::fault {
+
+/// Well-known site names. Sites are open-ended strings; these constants are
+/// the ones wired into the library itself.
+namespace site {
+/// SimMachine::allocate returns a transient (retryable) failure.
+inline constexpr const char* kMachineAllocTransient = "machine.alloc.transient";
+/// SimMachine::allocate marks the requested node offline (sticky) and fails.
+inline constexpr const char* kMachineNodeOffline = "machine.node.offline";
+/// probe::measure fails outright (device busy, perf counters unavailable).
+inline constexpr const char* kProbeFail = "probe.fail";
+/// probe::measure result is multiplied by a noise factor per metric.
+inline constexpr const char* kProbeNoise = "probe.noise";
+/// corrupt_hmat_text: drop a record line (omission / local-only quirks).
+inline constexpr const char* kHmatDropEntry = "hmat.drop-entry";
+/// corrupt_hmat_text: flip a read<->write access token.
+inline constexpr const char* kHmatFlipAccess = "hmat.flip-access";
+/// corrupt_hmat_text: truncate a record line mid-token.
+inline constexpr const char* kHmatTruncateLine = "hmat.truncate-line";
+/// corrupt_hmat_text: duplicate a record with a perturbed value.
+inline constexpr const char* kHmatDuplicateEntry = "hmat.duplicate-entry";
+/// corrupt_hmat_text: replace a numeric value with garbage.
+inline constexpr const char* kHmatGarbleValue = "hmat.garble-value";
+}  // namespace site
+
+/// Per-site behavior. A site "fires" with `probability` per consultation;
+/// once fired it keeps firing for `burst` consecutive consultations, and
+/// never fires more than `max_count` times in total (0 = unlimited).
+struct FaultSpec {
+  double probability = 0.0;
+  std::uint64_t max_count = 0;
+  unsigned burst = 1;
+  /// Relative half-width for noise sites: factors are uniform in
+  /// [1 - noise_sigma, 1 + noise_sigma] when the site fires.
+  double noise_sigma = 0.0;
+};
+
+/// One injected fault, for replay verification and post-mortems.
+struct FaultEvent {
+  std::string site;
+  /// Consultation index *within the site* at which the fault fired.
+  std::uint64_t sequence = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+  /// Installs (or replaces) the spec for a site. Unconfigured sites never
+  /// fire. Reconfiguring resets the site's burst state but keeps its random
+  /// stream and counters, so the schedule stays seed-deterministic.
+  void configure(std::string_view site, FaultSpec spec);
+
+  /// Consults a site: returns true when a fault should be injected now.
+  /// Each call advances the site's consultation counter (and its random
+  /// stream when the site is armed).
+  bool should_fail(std::string_view site);
+
+  /// Multiplicative noise for measurement sites: 1.0 when the site does not
+  /// fire, else uniform in [1 - sigma, 1 + sigma] (clamped positive).
+  double noise_factor(std::string_view site);
+
+  /// Raw deterministic uniform draw in [0, 1) from the site's stream, with
+  /// no consultation/firing semantics — for fault payloads (truncation
+  /// positions, perturbation magnitudes).
+  double uniform(std::string_view site);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t injected(std::string_view site) const;
+  [[nodiscard]] std::uint64_t consultations(std::string_view site) const;
+  [[nodiscard]] std::uint64_t total_injected() const;
+  [[nodiscard]] const std::vector<FaultEvent>& schedule() const { return schedule_; }
+
+  /// Canonical "site@sequence site@sequence ..." fingerprint of the whole
+  /// schedule so far — two runs with the same seed and call pattern must
+  /// produce identical strings (the replay test relies on this).
+  [[nodiscard]] std::string schedule_fingerprint() const;
+
+  /// Canned chaos levels for the harness: "none", "light" (rare faults,
+  /// mild noise), "heavy" (frequent faults, strong noise, bursts),
+  /// "hmat-chaos" (table corruption only), "alloc-storm" (transient
+  /// allocation failures only).
+  static FaultInjector preset(std::string_view name, std::uint64_t seed);
+  static const std::vector<const char*>& preset_names();
+
+ private:
+  struct Site {
+    std::string name;
+    FaultSpec spec;
+    support::Xoshiro256 rng{0};
+    std::uint64_t consultations = 0;
+    std::uint64_t injected = 0;
+    unsigned burst_remaining = 0;
+    bool armed = false;  // has a spec with probability > 0
+  };
+
+  Site& site_state(std::string_view site);
+  [[nodiscard]] const Site* find_site(std::string_view site) const;
+
+  std::uint64_t seed_;
+  std::vector<Site> sites_;
+  std::vector<FaultEvent> schedule_;
+};
+
+/// Report of textual HMAT corruption: what was mutated and the surviving
+/// (possibly malformed) table text. Comment lines are never touched.
+struct HmatCorruption {
+  std::string text;
+  std::size_t lines_dropped = 0;
+  std::size_t lines_truncated = 0;
+  std::size_t access_flips = 0;
+  std::size_t duplicates_added = 0;
+  std::size_t values_garbled = 0;
+  [[nodiscard]] std::size_t total_mutations() const {
+    return lines_dropped + lines_truncated + access_flips + duplicates_added +
+           values_garbled;
+  }
+};
+
+/// Applies seed-deterministic corruption to a serialized HMAT table
+/// (hmat::serialize format), emulating firmware quirks: dropped entries,
+/// read/write flips, truncated lines, duplicated entries with perturbed
+/// values, and garbage numbers. The output is meant to be fed through
+/// hmat::parse_lenient, which must recover per-record and report
+/// line-numbered diagnostics for every unparseable mutation.
+HmatCorruption corrupt_hmat_text(std::string_view text, FaultInjector& injector);
+
+}  // namespace hetmem::fault

@@ -88,7 +88,43 @@ struct GenerateOptions {
 
 /// Text serialization ("hetmem-hmat v1"), one entry per line.
 [[nodiscard]] std::string serialize(const HmatTable& table);
+
+/// Strict parse: the first malformed record aborts with a line-numbered
+/// kParseError. Duplicate (initiator, target, metric, access) entries are
+/// resolved deterministically — the LAST occurrence wins (firmware updates
+/// append corrected entries) — never by downstream insertion order.
 [[nodiscard]] support::Result<HmatTable> parse(std::string_view text);
+
+/// One parser finding, anchored to its 1-based source line. Warnings
+/// (duplicate entries) do not fail the strict parse; errors do.
+struct Diagnostic {
+  std::size_t line = 0;
+  bool warning = false;
+  std::string message;
+  [[nodiscard]] std::string to_string() const {
+    return std::string(warning ? "warning" : "error") + " line " +
+           std::to_string(line) + ": " + message;
+  }
+};
+
+struct ParseReport {
+  HmatTable table;
+  std::vector<Diagnostic> diagnostics;
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+};
+
+/// Lenient parse for real-world (or fault-injected) firmware dumps: every
+/// malformed record is recorded as a line-numbered error diagnostic and
+/// skipped, the rest of the table survives. Duplicates resolve last-wins
+/// with a warning diagnostic. Never silently drops a record: every omission
+/// is visible in `diagnostics`.
+[[nodiscard]] ParseReport parse_lenient(std::string_view text);
+
+/// Deterministic duplicate resolution on an in-memory table: entries sharing
+/// (initiator, target, metric, access) keep only the last occurrence.
+/// Returns the number of entries removed.
+std::size_t dedupe_entries(HmatTable& table);
 
 struct LoadStats {
   std::size_t entries_loaded = 0;

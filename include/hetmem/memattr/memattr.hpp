@@ -68,6 +68,23 @@ class Initiator {
   support::Bitmap cpuset_;
 };
 
+/// How much a stored value should be believed (docs/RESILIENCE.md).
+/// Capacity/Locality from the topology are always kTrusted; measured or
+/// firmware-loaded values can be demoted when the producer detects noise
+/// (probe repeat disagreement) or staleness (values loaded from a previous
+/// run). Rankings prefer trusted values and fall back to coarser attributes
+/// when an attribute has none left.
+enum class Confidence : std::uint8_t { kTrusted, kNoisy, kStale };
+
+[[nodiscard]] constexpr const char* confidence_name(Confidence confidence) {
+  switch (confidence) {
+    case Confidence::kTrusted: return "trusted";
+    case Confidence::kNoisy: return "noisy";
+    case Confidence::kStale: return "stale";
+  }
+  return "?";
+}
+
 struct TargetValue {
   const topo::Object* target = nullptr;
   double value = 0.0;
@@ -76,6 +93,7 @@ struct TargetValue {
 struct InitiatorValue {
   support::Bitmap initiator;
   double value = 0.0;
+  Confidence confidence = Confidence::kTrusted;
 };
 
 class MemAttrRegistry {
@@ -136,6 +154,36 @@ class MemAttrRegistry {
   /// True when at least one target has a value for this attribute.
   [[nodiscard]] bool has_values(AttrId attr) const;
 
+  // --- value confidence (resilience to noisy / stale measurements) ---
+
+  /// Flags an existing value. kNotFound when no value is stored for the
+  /// exact (target, initiator cpuset) pair.
+  support::Status set_confidence(AttrId attr, const topo::Object& target,
+                                 const std::optional<Initiator>& initiator,
+                                 Confidence confidence);
+  /// Confidence of the stored value matched the same way value() matches.
+  [[nodiscard]] support::Result<Confidence> confidence(
+      AttrId attr, const topo::Object& target,
+      const std::optional<Initiator>& initiator) const;
+  /// Demotes every stored value of `attr` (e.g. after reloading persisted
+  /// values measured on a previous boot).
+  void mark_all(AttrId attr, Confidence confidence);
+  /// True when at least one stored value of `attr` is kTrusted.
+  [[nodiscard]] bool has_trusted_values(AttrId attr) const;
+
+  /// Resilient ranking: trusted values first (by polarity), then
+  /// untrusted-valued targets as a last resort (also by polarity). Equal to
+  /// targets_ranked when everything is trusted — the common case.
+  [[nodiscard]] std::vector<TargetValue> targets_ranked_resilient(
+      AttrId attr, const Initiator& initiator,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
+
+  /// resolve_with_fallback, then a final coarser-attribute fallback: when
+  /// neither `attr` nor its chain has any *trusted* value left, degrade to
+  /// kCapacity (always populated natively from the topology) instead of
+  /// ranking on values known to be noise. Fails only on invalid ids.
+  [[nodiscard]] support::Result<AttrId> resolve_resilient(AttrId attr) const;
+
   /// Attribute fallback chain (§IV-B: "Bandwidth instead of Read Bandwidth"):
   /// returns `attr` itself when it has values, else the first fallback that
   /// does. Built-in chains: ReadBandwidth/WriteBandwidth -> Bandwidth,
@@ -146,6 +194,7 @@ class MemAttrRegistry {
   struct Stored {
     // Indexed by NUMA node logical index.
     std::vector<std::optional<double>> global_values;
+    std::vector<Confidence> global_confidence;
     std::vector<std::vector<InitiatorValue>> per_initiator;
   };
 

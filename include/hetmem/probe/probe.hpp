@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "hetmem/fault/fault.hpp"
 #include "hetmem/memattr/memattr.hpp"
 #include "hetmem/simmem/machine.hpp"
 #include "hetmem/support/bitmap.hpp"
@@ -37,6 +38,14 @@ struct ProbeOptions {
   std::size_t chase_accesses = 100000;
   /// Also probe (initiator, target) pairs where the initiator is not local.
   bool include_remote = true;
+  /// Optional chaos injection (site::kProbeFail aborts a measurement,
+  /// site::kProbeNoise perturbs each metric). Null = no faults.
+  fault::FaultInjector* faults = nullptr;
+  /// Measure each pair this many times; with >= 2 repeats, metrics that
+  /// disagree by more than `suspect_tolerance` (relative) mark the
+  /// measurement suspect, which feed_registry turns into Confidence::kNoisy.
+  unsigned repeats = 1;
+  double suspect_tolerance = 0.10;
 };
 
 struct Measurement {
@@ -46,10 +55,17 @@ struct Measurement {
   double read_bandwidth_bps = 0.0;
   double write_bandwidth_bps = 0.0;
   double latency_ns = 0.0;
+  /// Repeat runs disagreed beyond the tolerance: the value is usable but
+  /// should not be trusted over a clean one (docs/RESILIENCE.md).
+  bool suspect = false;
 };
 
 struct DiscoveryReport {
   std::vector<Measurement> measurements;
+  /// Pairs skipped because every measurement attempt failed (injected probe
+  /// faults or real errors). The report stays usable; rankings just have
+  /// fewer points.
+  std::size_t failed_pairs = 0;
 };
 
 /// One (initiator, target) measurement.

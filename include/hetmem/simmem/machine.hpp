@@ -20,6 +20,10 @@
 #include "hetmem/support/result.hpp"
 #include "hetmem/topo/topology.hpp"
 
+namespace hetmem::fault {
+class FaultInjector;
+}
+
 namespace hetmem::sim {
 
 /// Dense handle; indices are never reused within a SimMachine lifetime.
@@ -68,13 +72,42 @@ class SimMachine {
   /// backing memcpy cost is the caller's to model (alloc::migration does).
   support::Status migrate(BufferId id, unsigned destination_node);
 
+  /// Metadata lookup. An invalid or out-of-range id returns a shared
+  /// sentinel (label "<invalid-buffer>", freed=true) instead of crashing —
+  /// use info_checked() when the caller wants the error.
   [[nodiscard]] const BufferInfo& info(BufferId id) const;
+  [[nodiscard]] support::Result<BufferInfo> info_checked(BufferId id) const;
+
+  /// Backing storage; nullptr for invalid ids and freed buffers (survives
+  /// release builds — callers must handle it, sim::Array does).
   [[nodiscard]] std::byte* backing(BufferId id);
   [[nodiscard]] const std::byte* backing(BufferId id) const;
 
+  /// Capacity queries return 0 for out-of-range nodes (graceful in release
+  /// builds; an unknown node simply has no memory).
   [[nodiscard]] std::uint64_t capacity_bytes(unsigned node) const;
   [[nodiscard]] std::uint64_t used_bytes(unsigned node) const;
+  /// Unreserved room; 0 for out-of-range or offline nodes.
   [[nodiscard]] std::uint64_t available_bytes(unsigned node) const;
+
+  // --- resilience hooks (docs/RESILIENCE.md) ---
+
+  /// Takes a node out of (or back into) service: offline nodes reject new
+  /// allocations and incoming migrations with kOutOfCapacity so allocator
+  /// fallback treats them like full targets; existing buffers stay valid.
+  support::Status set_node_online(unsigned node, bool online);
+  [[nodiscard]] bool node_online(unsigned node) const;
+
+  /// Optional chaos hook consulted on every allocate():
+  ///  - fault::site::kMachineAllocTransient -> kTransient failure,
+  ///  - fault::site::kMachineNodeOffline -> the target node goes offline
+  ///    (sticky) and the allocation fails.
+  /// Null disables injection.
+  void set_fault_injector(fault::FaultInjector* injector) { faults_ = injector; }
+
+  /// True when the constructor received a perf model whose node count did
+  /// not match the topology and self-healed by recalibrating.
+  [[nodiscard]] bool model_repaired() const { return model_repaired_; }
 
   /// Number of live (not freed) buffers.
   [[nodiscard]] std::size_t live_buffer_count() const;
@@ -96,7 +129,10 @@ class SimMachine {
   MachinePerfModel model_;
   std::vector<Slot> buffers_;
   std::vector<std::uint64_t> used_;
+  std::vector<std::uint8_t> online_;
   std::uint64_t llc_bytes_;
+  fault::FaultInjector* faults_ = nullptr;
+  bool model_repaired_ = false;
 };
 
 }  // namespace hetmem::sim

@@ -20,6 +20,10 @@ enum class Errc {
   kParseError,
   kAlreadyExists,
   kInternal,
+  /// Retryable failure (injected fault, momentary resource contention):
+  /// the same call may succeed if repeated. The allocator's bounded-retry
+  /// path keys off this exact code.
+  kTransient,
 };
 
 [[nodiscard]] constexpr const char* errc_name(Errc code) {
@@ -31,6 +35,7 @@ enum class Errc {
     case Errc::kParseError: return "parse-error";
     case Errc::kAlreadyExists: return "already-exists";
     case Errc::kInternal: return "internal";
+    case Errc::kTransient: return "transient";
   }
   return "unknown";
 }

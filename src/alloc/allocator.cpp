@@ -23,6 +23,21 @@ std::uint64_t HeterogeneousAllocator::usable_bytes(unsigned node) const {
   return available > reserved ? available - reserved : 0;
 }
 
+Result<sim::BufferId> HeterogeneousAllocator::allocate_with_retry(
+    const AllocRequest& request, unsigned node) {
+  auto buffer = machine_->allocate(request.bytes, node, request.label,
+                                   request.backing_bytes);
+  unsigned retries = 0;
+  while (!buffer.ok() && buffer.error().code == Errc::kTransient &&
+         retries < retry_policy_.max_transient_retries) {
+    ++retries;
+    ++stats_.transient_retries;
+    buffer = machine_->allocate(request.bytes, node, request.label,
+                                request.backing_bytes);
+  }
+  return buffer;
+}
+
 Result<Allocation> HeterogeneousAllocator::try_targets(
     const AllocRequest& request, const std::vector<attr::TargetValue>& ranking,
     attr::AttrId used_attribute) {
@@ -42,8 +57,7 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
       ++rank;
       continue;
     }
-    auto buffer = machine_->allocate(request.bytes, node, request.label,
-                                     request.backing_bytes);
+    auto buffer = allocate_with_retry(request, node);
     if (buffer.ok()) {
       Allocation allocation{*buffer, node, used_attribute, rank, rank > 0};
       ++stats_.allocations;
@@ -55,11 +69,20 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
               (rank > 0 ? " (fallback rank " + std::to_string(rank) + ")" : "")});
       return allocation;
     }
-    if (buffer.error().code != Errc::kOutOfCapacity || !allow_fallback) {
+    // Transient failures that survived the bounded retry are treated like a
+    // full target: log and walk down the ranking instead of giving up.
+    const bool recoverable = buffer.error().code == Errc::kOutOfCapacity ||
+                             buffer.error().code == Errc::kTransient;
+    if (!recoverable || !allow_fallback) {
       ++stats_.failures;
       trace_.push_back(TraceEvent{TraceEvent::Kind::kFail, request.label, node,
                                   request.bytes, buffer.error().to_string()});
       return buffer.error();
+    }
+    if (buffer.error().code == Errc::kTransient) {
+      trace_.push_back(TraceEvent{TraceEvent::Kind::kFail, request.label, node,
+                                  request.bytes,
+                                  "transient retries exhausted, falling back"});
     }
     ++rank;
   }
@@ -78,8 +101,7 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
         ++rank;
         continue;
       }
-      auto buffer = machine_->allocate(request.bytes, node->logical_index(),
-                                       request.label, request.backing_bytes);
+      auto buffer = allocate_with_retry(request, node->logical_index());
       if (buffer.ok()) {
         Allocation allocation{*buffer, node->logical_index(), used_attribute, rank,
                               true};
@@ -112,17 +134,69 @@ Result<Allocation> HeterogeneousAllocator::mem_alloc(const AllocRequest& request
     return make_error(Errc::kInvalidArgument,
                       "empty initiator: bind the caller to CPUs first");
   }
-  auto resolved = registry_->resolve_with_fallback(request.attribute);
-  if (!resolved.ok()) return resolved.error();
+  const attr::Initiator initiator =
+      attr::Initiator::from_cpuset(request.initiator);
 
-  std::vector<attr::TargetValue> ranking = registry_->targets_ranked(
-      *resolved, attr::Initiator::from_cpuset(request.initiator), request.locality);
-  if (ranking.empty()) {
-    return make_error(Errc::kNotFound,
-                      "no local target has values for attribute '" +
-                          registry_->info(*resolved).name + "'");
+  auto resolved = registry_->resolve_with_fallback(request.attribute);
+  attr::AttrId used_attribute = resolved.ok() ? *resolved : request.attribute;
+  std::vector<attr::TargetValue> ranking;
+  if (resolved.ok()) {
+    ranking = registry_->targets_ranked_resilient(used_attribute, initiator,
+                                                  request.locality);
   }
-  return try_targets(request, ranking, *resolved);
+
+  if (ranking.empty()) {
+    if (!request.attribute_rescue) {
+      if (!resolved.ok()) return resolved.error();
+      return make_error(Errc::kNotFound,
+                        "no local target has values for attribute '" +
+                            registry_->info(used_attribute).name + "'");
+    }
+    // Rescue: degrade to a coarser trusted attribute, ultimately kCapacity
+    // (always populated from the topology, never probe- or firmware-fed).
+    auto rescue = registry_->resolve_resilient(request.attribute);
+    used_attribute = rescue.ok() ? *rescue : attr::kCapacity;
+    ranking = registry_->targets_ranked_resilient(used_attribute, initiator,
+                                                  request.locality);
+    if (ranking.empty() && used_attribute != attr::kCapacity) {
+      used_attribute = attr::kCapacity;
+      ranking = registry_->targets_ranked_resilient(used_attribute, initiator,
+                                                    request.locality);
+    }
+    if (ranking.empty()) {
+      return make_error(Errc::kNotFound,
+                        "no local target exists even for a Capacity rescue");
+    }
+    ++stats_.attribute_rescues;
+  }
+
+  auto attempt = try_targets(request, ranking, used_attribute);
+  if (attempt.ok() || !request.attribute_rescue ||
+      request.policy == Policy::kStrict ||
+      attempt.error().code != Errc::kOutOfCapacity ||
+      used_attribute == attr::kCapacity) {
+    return attempt;
+  }
+  // Ranking-exhaustion rescue: the attribute ranking only covers targets
+  // that *have values* — after corruption or probe failures that can be a
+  // strict subset of the machine. Capacity is populated for every node
+  // natively, so its ranking reaches targets the broken attribute missed.
+  std::vector<attr::TargetValue> capacity_ranking =
+      registry_->targets_ranked_resilient(attr::kCapacity, initiator,
+                                          request.locality);
+  if (capacity_ranking.empty()) return attempt;
+  auto rescued = try_targets(request, capacity_ranking, attr::kCapacity);
+  if (!rescued.ok()) return attempt;
+  ++stats_.attribute_rescues;
+  return rescued;
+}
+
+std::vector<TraceEvent> HeterogeneousAllocator::failure_log() const {
+  std::vector<TraceEvent> failures;
+  for (const TraceEvent& event : trace_) {
+    if (event.kind == TraceEvent::Kind::kFail) failures.push_back(event);
+  }
+  return failures;
 }
 
 Status HeterogeneousAllocator::mem_free(sim::BufferId buffer) {
@@ -180,7 +254,7 @@ HeterogeneousAllocator::mem_alloc_hybrid(const AllocRequest& request) {
 
   auto resolved = registry_->resolve_with_fallback(request.attribute);
   if (!resolved.ok()) return resolved.error();
-  std::vector<attr::TargetValue> ranking = registry_->targets_ranked(
+  std::vector<attr::TargetValue> ranking = registry_->targets_ranked_resilient(
       *resolved, attr::Initiator::from_cpuset(request.initiator), request.locality);
   if (ranking.size() < 2) {
     return make_error(Errc::kOutOfCapacity,
@@ -248,7 +322,7 @@ HeterogeneousAllocator::mem_alloc_interleaved(const AllocRequest& request,
   }
   auto resolved = registry_->resolve_with_fallback(request.attribute);
   if (!resolved.ok()) return resolved.error();
-  std::vector<attr::TargetValue> ranking = registry_->targets_ranked(
+  std::vector<attr::TargetValue> ranking = registry_->targets_ranked_resilient(
       *resolved, attr::Initiator::from_cpuset(request.initiator), request.locality);
   if (ranking.empty()) {
     return make_error(Errc::kNotFound, "no local target has attribute values");

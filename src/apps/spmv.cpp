@@ -86,6 +86,7 @@ Result<std::unique_ptr<SpmvRunner>> SpmvRunner::create(
       alloc_request.policy = request.placement->policy;
       alloc_request.backing_bytes = request.backing;
       alloc_request.label = request.label;
+      alloc_request.attribute_rescue = request.placement->attribute_rescue;
       auto allocation = allocator->mem_alloc(alloc_request);
       if (!allocation.ok()) return allocation.error();
       *request.out = allocation->buffer;

@@ -49,6 +49,7 @@ Result<std::unique_ptr<StreamRunner>> StreamRunner::create(
       alloc_request.policy = placement.policy;
       alloc_request.backing_bytes = backing_each;
       alloc_request.label = request.label;
+      alloc_request.attribute_rescue = placement.attribute_rescue;
       auto allocation = allocator->mem_alloc(alloc_request);
       if (!allocation.ok()) return allocation.error();
       *request.out = allocation->buffer;

@@ -1,0 +1,227 @@
+#include "hetmem/fault/fault.hpp"
+
+#include <algorithm>
+
+#include "hetmem/support/str.hpp"
+
+namespace hetmem::fault {
+
+namespace {
+
+/// FNV-1a, so a site's random stream depends only on (seed, name) — never on
+/// the order sites were first touched. That is what makes interleaved
+/// consumers (machine, probe, corruption) individually replayable.
+std::uint64_t hash_site(std::string_view name) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+FaultInjector::Site& FaultInjector::site_state(std::string_view site) {
+  for (Site& s : sites_) {
+    if (s.name == site) return s;
+  }
+  Site s;
+  s.name = std::string(site);
+  s.rng = support::Xoshiro256(seed_ ^ hash_site(site));
+  sites_.push_back(std::move(s));
+  return sites_.back();
+}
+
+const FaultInjector::Site* FaultInjector::find_site(std::string_view site) const {
+  for (const Site& s : sites_) {
+    if (s.name == site) return &s;
+  }
+  return nullptr;
+}
+
+void FaultInjector::configure(std::string_view site, FaultSpec spec) {
+  Site& s = site_state(site);
+  s.spec = spec;
+  s.armed = spec.probability > 0.0;
+  s.burst_remaining = 0;
+}
+
+bool FaultInjector::should_fail(std::string_view site) {
+  Site& s = site_state(site);
+  const std::uint64_t sequence = s.consultations++;
+  if (!s.armed) return false;
+  if (s.spec.max_count != 0 && s.injected >= s.spec.max_count) return false;
+
+  bool fire = false;
+  if (s.burst_remaining > 0) {
+    --s.burst_remaining;
+    fire = true;
+  } else if (s.rng.next_double() < s.spec.probability) {
+    fire = true;
+    if (s.spec.burst > 1) s.burst_remaining = s.spec.burst - 1;
+  }
+  if (!fire) return false;
+
+  ++s.injected;
+  schedule_.push_back(FaultEvent{s.name, sequence});
+  return true;
+}
+
+double FaultInjector::noise_factor(std::string_view site) {
+  // Draw the magnitude unconditionally so the stream position (and thus the
+  // rest of the schedule) does not depend on whether this consultation fired.
+  Site& s = site_state(site);
+  const bool fire = should_fail(site);
+  const double unit = s.rng.next_double() * 2.0 - 1.0;  // [-1, 1)
+  if (!fire || s.spec.noise_sigma <= 0.0) return 1.0;
+  return std::max(0.01, 1.0 + s.spec.noise_sigma * unit);
+}
+
+double FaultInjector::uniform(std::string_view site) {
+  return site_state(site).rng.next_double();
+}
+
+std::uint64_t FaultInjector::injected(std::string_view site) const {
+  const Site* s = find_site(site);
+  return s != nullptr ? s->injected : 0;
+}
+
+std::uint64_t FaultInjector::consultations(std::string_view site) const {
+  const Site* s = find_site(site);
+  return s != nullptr ? s->consultations : 0;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const Site& s : sites_) total += s.injected;
+  return total;
+}
+
+std::string FaultInjector::schedule_fingerprint() const {
+  std::string out;
+  for (const FaultEvent& event : schedule_) {
+    if (!out.empty()) out += ' ';
+    out += event.site + "@" + std::to_string(event.sequence);
+  }
+  return out;
+}
+
+const std::vector<const char*>& FaultInjector::preset_names() {
+  static const std::vector<const char*> names = {"none", "light", "heavy",
+                                                 "hmat-chaos", "alloc-storm"};
+  return names;
+}
+
+FaultInjector FaultInjector::preset(std::string_view name, std::uint64_t seed) {
+  FaultInjector injector(seed);
+  if (name == "none") return injector;
+  if (name == "light") {
+    injector.configure(site::kMachineAllocTransient, {.probability = 0.05});
+    injector.configure(site::kProbeFail, {.probability = 0.03});
+    injector.configure(site::kProbeNoise,
+                       {.probability = 0.2, .noise_sigma = 0.05});
+    injector.configure(site::kHmatDropEntry, {.probability = 0.05});
+    injector.configure(site::kHmatGarbleValue, {.probability = 0.03});
+    return injector;
+  }
+  if (name == "heavy") {
+    injector.configure(site::kMachineAllocTransient,
+                       {.probability = 0.25, .burst = 2});
+    injector.configure(site::kMachineNodeOffline,
+                       {.probability = 0.02, .max_count = 1});
+    injector.configure(site::kProbeFail, {.probability = 0.15});
+    injector.configure(site::kProbeNoise,
+                       {.probability = 0.6, .noise_sigma = 0.35});
+    injector.configure(site::kHmatDropEntry, {.probability = 0.2});
+    injector.configure(site::kHmatFlipAccess, {.probability = 0.1});
+    injector.configure(site::kHmatTruncateLine, {.probability = 0.1});
+    injector.configure(site::kHmatDuplicateEntry, {.probability = 0.15});
+    injector.configure(site::kHmatGarbleValue, {.probability = 0.1});
+    return injector;
+  }
+  if (name == "hmat-chaos") {
+    injector.configure(site::kHmatDropEntry, {.probability = 0.3});
+    injector.configure(site::kHmatFlipAccess, {.probability = 0.2});
+    injector.configure(site::kHmatTruncateLine, {.probability = 0.2});
+    injector.configure(site::kHmatDuplicateEntry, {.probability = 0.3});
+    injector.configure(site::kHmatGarbleValue, {.probability = 0.2});
+    return injector;
+  }
+  if (name == "alloc-storm") {
+    injector.configure(site::kMachineAllocTransient,
+                       {.probability = 0.5, .burst = 3});
+    return injector;
+  }
+  // Unknown names behave like "none": chaos harnesses iterate preset_names().
+  return injector;
+}
+
+HmatCorruption corrupt_hmat_text(std::string_view text, FaultInjector& injector) {
+  HmatCorruption result;
+  for (std::string_view raw_line : support::split(text, '\n')) {
+    const std::string_view line = support::trim(raw_line);
+    const bool is_record = !line.empty() && line.front() != '#';
+    if (!is_record) {
+      if (!raw_line.empty()) {
+        result.text += std::string(raw_line);
+        result.text += '\n';
+      }
+      continue;
+    }
+
+    if (injector.should_fail(site::kHmatDropEntry)) {
+      ++result.lines_dropped;
+      continue;  // omission: the record never reaches the parser
+    }
+
+    std::string mutated(raw_line);
+    if (injector.should_fail(site::kHmatFlipAccess)) {
+      // Swap read<->write access tokens; promote "access" to "read" so even
+      // combined entries get skewed.
+      std::size_t pos;
+      if ((pos = mutated.find(" read ")) != std::string::npos) {
+        mutated.replace(pos, 6, " write ");
+        ++result.access_flips;
+      } else if ((pos = mutated.find(" write ")) != std::string::npos) {
+        mutated.replace(pos, 7, " read ");
+        ++result.access_flips;
+      } else if ((pos = mutated.find(" access ")) != std::string::npos) {
+        mutated.replace(pos, 8, " read ");
+        ++result.access_flips;
+      }
+    }
+    if (injector.should_fail(site::kHmatGarbleValue)) {
+      if (const std::size_t pos = mutated.rfind('='); pos != std::string::npos) {
+        mutated.replace(pos + 1, std::string::npos, "NaN?");
+        ++result.values_garbled;
+      }
+    }
+    if (injector.should_fail(site::kHmatTruncateLine)) {
+      const double position = injector.uniform(site::kHmatTruncateLine);
+      const std::size_t cut = 4 + static_cast<std::size_t>(
+                                      static_cast<double>(mutated.size()) * position);
+      mutated.resize(std::min(mutated.size(), cut));
+      ++result.lines_truncated;
+    }
+
+    result.text += mutated;
+    result.text += '\n';
+
+    if (injector.should_fail(site::kHmatDuplicateEntry)) {
+      // Re-emit the (pre-mutation) record with a perturbed value: a
+      // duplicate (initiator, target, attribute) key whose resolution must
+      // be deterministic (last-wins) in the parser.
+      std::string duplicate(raw_line);
+      if (const std::size_t pos = duplicate.rfind('='); pos != std::string::npos) {
+        duplicate.insert(pos + 1, "9");
+        result.text += duplicate;
+        result.text += '\n';
+        ++result.duplicates_added;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hetmem::fault

@@ -1,6 +1,7 @@
 #include "hetmem/hmat/hmat.hpp"
 
 #include <charconv>
+#include <cmath>
 
 #include "hetmem/support/str.hpp"
 #include "hetmem/support/units.hpp"
@@ -12,6 +13,7 @@ using support::Errc;
 using support::gb_per_s;
 using support::make_error;
 using support::Result;
+using support::Status;
 
 const char* access_type_name(AccessType type) {
   switch (type) {
@@ -152,10 +154,159 @@ Result<std::string_view> field(const std::vector<std::string_view>& tokens,
   return make_error(Errc::kParseError, "missing field '" + std::string(key) + "'");
 }
 
+/// Parses one record line into `table`. kNotFound means "not a record"
+/// (blank/comment, handled by the caller); any other error is a malformed
+/// record the lenient parser skips and the strict parser aborts on.
+Status parse_record(const std::vector<std::string_view>& tokens, HmatTable& table) {
+  if (tokens[0] == "cache") {
+    CacheEntry cache;
+    auto target = field(tokens, "target");
+    if (!target.ok()) return target.error();
+    auto target_value = parse_unsigned(*target);
+    if (!target_value.ok()) return target_value.error();
+    cache.target_domain = *target_value;
+
+    auto size = field(tokens, "size");
+    if (!size.ok()) return size.error();
+    auto size_value = parse_double(*size);
+    if (!size_value.ok()) return size_value.error();
+    cache.size_bytes = static_cast<std::uint64_t>(*size_value);
+
+    if (auto assoc = field(tokens, "assoc"); assoc.ok()) {
+      auto v = parse_unsigned(*assoc);
+      if (!v.ok()) return v.error();
+      cache.associativity = *v;
+    }
+    if (auto cache_line = field(tokens, "line"); cache_line.ok()) {
+      auto v = parse_unsigned(*cache_line);
+      if (!v.ok()) return v.error();
+      cache.line_bytes = *v;
+    }
+    table.caches.push_back(cache);
+    return {};
+  }
+
+  LocalityEntry entry;
+  if (tokens[0] == "latency") {
+    entry.metric = Metric::kLatency;
+  } else if (tokens[0] == "bandwidth") {
+    entry.metric = Metric::kBandwidth;
+  } else {
+    return make_error(Errc::kParseError,
+                      "unknown record '" + std::string(tokens[0]) + "'");
+  }
+  if (tokens.size() < 2) {
+    return make_error(Errc::kParseError, "missing access type");
+  }
+  if (tokens[1] == "access") {
+    entry.access = AccessType::kAccess;
+  } else if (tokens[1] == "read") {
+    entry.access = AccessType::kRead;
+  } else if (tokens[1] == "write") {
+    entry.access = AccessType::kWrite;
+  } else {
+    return make_error(Errc::kParseError,
+                      "unknown access type '" + std::string(tokens[1]) + "'");
+  }
+
+  auto initiator = field(tokens, "initiator");
+  if (!initiator.ok()) return initiator.error();
+  auto initiator_set = Bitmap::parse(*initiator);
+  if (!initiator_set.has_value()) {
+    return make_error(Errc::kParseError,
+                      "bad initiator cpuset '" + std::string(*initiator) + "'");
+  }
+  entry.initiator = *initiator_set;
+
+  auto target = field(tokens, "target");
+  if (!target.ok()) return target.error();
+  auto target_value = parse_unsigned(*target);
+  if (!target_value.ok()) return target_value.error();
+  entry.target_domain = *target_value;
+
+  const char* value_key = entry.metric == Metric::kLatency ? "value_ns" : "value_bps";
+  auto value_text = field(tokens, value_key);
+  if (!value_text.ok()) return value_text.error();
+  auto value = parse_double(*value_text);
+  if (!value.ok()) return value.error();
+  // NB: !(value > 0) also rejects NaN, which from_chars happily produces
+  // from corrupted "nan"-prefixed text — NaN must never enter a ranking.
+  if (!(*value > 0.0) || !std::isfinite(*value)) {
+    return make_error(Errc::kParseError, "non-positive value");
+  }
+  entry.value = *value;
+
+  table.locality.push_back(std::move(entry));
+  return {};
+}
+
+/// Duplicate key of a locality entry; equality means the entries describe
+/// the same (initiator, target, metric, access) measurement.
+bool same_key(const LocalityEntry& a, const LocalityEntry& b) {
+  return a.target_domain == b.target_domain && a.metric == b.metric &&
+         a.access == b.access && a.initiator == b.initiator;
+}
+
+std::string key_to_string(const LocalityEntry& entry) {
+  return std::string(metric_name(entry.metric)) + " " +
+         access_type_name(entry.access) + " initiator=" +
+         entry.initiator.to_list_string() + " target=" +
+         std::to_string(entry.target_domain);
+}
+
+/// Last-wins dedupe; when line numbers and a diagnostics sink are supplied,
+/// each dropped earlier occurrence becomes a warning.
+std::size_t dedupe_locality(HmatTable& table, const std::vector<std::size_t>* lines,
+                            std::vector<Diagnostic>* diagnostics) {
+  std::vector<LocalityEntry> kept;
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < table.locality.size(); ++i) {
+    const LocalityEntry& entry = table.locality[i];
+    bool superseded = false;
+    for (std::size_t j = i + 1; j < table.locality.size(); ++j) {
+      if (same_key(entry, table.locality[j])) {
+        superseded = true;
+        break;
+      }
+    }
+    if (!superseded) {
+      kept.push_back(entry);
+      continue;
+    }
+    ++removed;
+    if (diagnostics != nullptr) {
+      const std::size_t line = lines != nullptr && i < lines->size() ? (*lines)[i] : 0;
+      diagnostics->push_back(
+          Diagnostic{line, /*warning=*/true,
+                     "duplicate entry (" + key_to_string(entry) +
+                         "): superseded by a later occurrence (last wins)"});
+    }
+  }
+  table.locality = std::move(kept);
+  return removed;
+}
+
 }  // namespace
 
-Result<HmatTable> parse(std::string_view text) {
-  HmatTable table;
+std::size_t ParseReport::error_count() const {
+  std::size_t count = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (!d.warning) ++count;
+  }
+  return count;
+}
+
+std::size_t ParseReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+std::size_t dedupe_entries(HmatTable& table) {
+  return dedupe_locality(table, nullptr, nullptr);
+}
+
+ParseReport parse_lenient(std::string_view text) {
+  ParseReport report;
+  std::vector<std::size_t> entry_lines;  // parallel to table.locality
   std::size_t line_number = 0;
   for (std::string_view raw_line : support::split(text, '\n')) {
     ++line_number;
@@ -166,83 +317,29 @@ Result<HmatTable> parse(std::string_view text) {
     for (std::string_view token : support::split(line, ' ')) {
       if (!token.empty()) tokens.push_back(token);
     }
-    auto fail = [&](std::string message) -> Result<HmatTable> {
-      return make_error(Errc::kParseError,
-                        "line " + std::to_string(line_number) + ": " + message);
-    };
-
-    if (tokens[0] == "cache") {
-      CacheEntry cache;
-      auto target = field(tokens, "target");
-      if (!target.ok()) return fail(target.error().message);
-      auto target_value = parse_unsigned(*target);
-      if (!target_value.ok()) return fail(target_value.error().message);
-      cache.target_domain = *target_value;
-
-      auto size = field(tokens, "size");
-      if (!size.ok()) return fail(size.error().message);
-      auto size_value = parse_double(*size);
-      if (!size_value.ok()) return fail(size_value.error().message);
-      cache.size_bytes = static_cast<std::uint64_t>(*size_value);
-
-      if (auto assoc = field(tokens, "assoc"); assoc.ok()) {
-        auto v = parse_unsigned(*assoc);
-        if (!v.ok()) return fail(v.error().message);
-        cache.associativity = *v;
-      }
-      if (auto cache_line = field(tokens, "line"); cache_line.ok()) {
-        auto v = parse_unsigned(*cache_line);
-        if (!v.ok()) return fail(v.error().message);
-        cache.line_bytes = *v;
-      }
-      table.caches.push_back(cache);
+    const std::size_t locality_before = report.table.locality.size();
+    if (Status status = parse_record(tokens, report.table); !status.ok()) {
+      report.diagnostics.push_back(
+          Diagnostic{line_number, /*warning=*/false, status.error().message});
       continue;
     }
-
-    LocalityEntry entry;
-    if (tokens[0] == "latency") {
-      entry.metric = Metric::kLatency;
-    } else if (tokens[0] == "bandwidth") {
-      entry.metric = Metric::kBandwidth;
-    } else {
-      return fail("unknown record '" + std::string(tokens[0]) + "'");
+    if (report.table.locality.size() > locality_before) {
+      entry_lines.push_back(line_number);
     }
-    if (tokens.size() < 2) return fail("missing access type");
-    if (tokens[1] == "access") {
-      entry.access = AccessType::kAccess;
-    } else if (tokens[1] == "read") {
-      entry.access = AccessType::kRead;
-    } else if (tokens[1] == "write") {
-      entry.access = AccessType::kWrite;
-    } else {
-      return fail("unknown access type '" + std::string(tokens[1]) + "'");
-    }
-
-    auto initiator = field(tokens, "initiator");
-    if (!initiator.ok()) return fail(initiator.error().message);
-    auto initiator_set = Bitmap::parse(*initiator);
-    if (!initiator_set.has_value()) {
-      return fail("bad initiator cpuset '" + std::string(*initiator) + "'");
-    }
-    entry.initiator = *initiator_set;
-
-    auto target = field(tokens, "target");
-    if (!target.ok()) return fail(target.error().message);
-    auto target_value = parse_unsigned(*target);
-    if (!target_value.ok()) return fail(target_value.error().message);
-    entry.target_domain = *target_value;
-
-    const char* value_key = entry.metric == Metric::kLatency ? "value_ns" : "value_bps";
-    auto value_text = field(tokens, value_key);
-    if (!value_text.ok()) return fail(value_text.error().message);
-    auto value = parse_double(*value_text);
-    if (!value.ok()) return fail(value.error().message);
-    if (*value <= 0.0) return fail("non-positive value");
-    entry.value = *value;
-
-    table.locality.push_back(std::move(entry));
   }
-  return table;
+  dedupe_locality(report.table, &entry_lines, &report.diagnostics);
+  return report;
+}
+
+Result<HmatTable> parse(std::string_view text) {
+  ParseReport report = parse_lenient(text);
+  for (const Diagnostic& diagnostic : report.diagnostics) {
+    if (diagnostic.warning) continue;  // duplicates resolved last-wins
+    return make_error(Errc::kParseError, "line " +
+                                             std::to_string(diagnostic.line) +
+                                             ": " + diagnostic.message);
+  }
+  return std::move(report.table);
 }
 
 Result<LoadStats> load_into(attr::MemAttrRegistry& registry, const HmatTable& table) {

@@ -21,6 +21,8 @@ MemAttrRegistry::MemAttrRegistry(const topo::Topology& topology)
     attributes_.push_back(AttrInfo{std::move(name), polarity, need_initiator});
     values_.emplace_back();
     values_.back().global_values.resize(topology.numa_nodes().size());
+    values_.back().global_confidence.resize(topology.numa_nodes().size(),
+                                            Confidence::kTrusted);
     values_.back().per_initiator.resize(topology.numa_nodes().size());
   };
   add_builtin("Capacity", Polarity::kHigherFirst, /*need_initiator=*/false);
@@ -57,6 +59,8 @@ Result<AttrId> MemAttrRegistry::register_attribute(std::string_view name,
   attributes_.push_back(AttrInfo{std::string(name), polarity, need_initiator});
   values_.emplace_back();
   values_.back().global_values.resize(topology_->numa_nodes().size());
+  values_.back().global_confidence.resize(topology_->numa_nodes().size(),
+                                          Confidence::kTrusted);
   values_.back().per_initiator.resize(topology_->numa_nodes().size());
   return static_cast<AttrId>(attributes_.size() - 1);
 }
@@ -95,10 +99,12 @@ Status MemAttrRegistry::set_value(AttrId attr, const topo::Object& target,
     for (InitiatorValue& existing : list) {
       if (existing.initiator == initiator->cpuset()) {
         existing.value = value;
+        // A fresh value supersedes any earlier noisy/stale verdict.
+        existing.confidence = Confidence::kTrusted;
         return {};
       }
     }
-    list.push_back(InitiatorValue{initiator->cpuset(), value});
+    list.push_back(InitiatorValue{initiator->cpuset(), value, Confidence::kTrusted});
     return {};
   }
   if (initiator.has_value()) {
@@ -107,6 +113,7 @@ Status MemAttrRegistry::set_value(AttrId attr, const topo::Object& target,
                           "' does not take an initiator");
   }
   stored.global_values[idx] = value;
+  stored.global_confidence[idx] = Confidence::kTrusted;
   return {};
 }
 
@@ -245,6 +252,157 @@ bool MemAttrRegistry::has_values(AttrId attr) const {
     if (!list.empty()) return true;
   }
   return false;
+}
+
+Status MemAttrRegistry::set_confidence(AttrId attr, const topo::Object& target,
+                                       const std::optional<Initiator>& initiator,
+                                       Confidence confidence) {
+  if (!valid_attr(attr)) {
+    return make_error(Errc::kInvalidArgument, "unknown attribute id");
+  }
+  if (target.type() != topo::ObjType::kNUMANode) {
+    return make_error(Errc::kInvalidArgument, "target is not a NUMA node");
+  }
+  const unsigned idx = target.logical_index();
+  Stored& stored = values_[attr];
+  if (attributes_[attr].need_initiator) {
+    if (!initiator.has_value()) {
+      return make_error(Errc::kInvalidArgument,
+                        "attribute '" + attributes_[attr].name +
+                            "' requires an initiator");
+    }
+    for (InitiatorValue& existing : stored.per_initiator[idx]) {
+      if (existing.initiator == initiator->cpuset()) {
+        existing.confidence = confidence;
+        return {};
+      }
+    }
+    return make_error(Errc::kNotFound,
+                      "no stored value for this (target, initiator)");
+  }
+  if (!stored.global_values[idx].has_value()) {
+    return make_error(Errc::kNotFound, "no stored value for target");
+  }
+  stored.global_confidence[idx] = confidence;
+  return {};
+}
+
+Result<Confidence> MemAttrRegistry::confidence(
+    AttrId attr, const topo::Object& target,
+    const std::optional<Initiator>& initiator) const {
+  if (!valid_attr(attr)) {
+    return make_error(Errc::kInvalidArgument, "unknown attribute id");
+  }
+  if (target.type() != topo::ObjType::kNUMANode) {
+    return make_error(Errc::kInvalidArgument, "target is not a NUMA node");
+  }
+  const unsigned idx = target.logical_index();
+  const Stored& stored = values_[attr];
+  if (attributes_[attr].need_initiator) {
+    if (!initiator.has_value()) {
+      return make_error(Errc::kInvalidArgument,
+                        "attribute '" + attributes_[attr].name +
+                            "' requires an initiator");
+    }
+    const InitiatorValue* match =
+        match_initiator(stored.per_initiator[idx], initiator->cpuset());
+    if (match == nullptr) {
+      return make_error(Errc::kNotFound, "no stored value");
+    }
+    return match->confidence;
+  }
+  if (!stored.global_values[idx].has_value()) {
+    return make_error(Errc::kNotFound, "no stored value");
+  }
+  return stored.global_confidence[idx];
+}
+
+void MemAttrRegistry::mark_all(AttrId attr, Confidence confidence) {
+  if (!valid_attr(attr)) return;
+  Stored& stored = values_[attr];
+  for (std::size_t idx = 0; idx < stored.global_values.size(); ++idx) {
+    if (stored.global_values[idx].has_value()) {
+      stored.global_confidence[idx] = confidence;
+    }
+  }
+  for (auto& list : stored.per_initiator) {
+    for (InitiatorValue& iv : list) iv.confidence = confidence;
+  }
+}
+
+bool MemAttrRegistry::has_trusted_values(AttrId attr) const {
+  if (!valid_attr(attr)) return false;
+  const Stored& stored = values_[attr];
+  for (std::size_t idx = 0; idx < stored.global_values.size(); ++idx) {
+    if (stored.global_values[idx].has_value() &&
+        stored.global_confidence[idx] == Confidence::kTrusted) {
+      return true;
+    }
+  }
+  for (const auto& list : stored.per_initiator) {
+    for (const InitiatorValue& iv : list) {
+      if (iv.confidence == Confidence::kTrusted) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TargetValue> MemAttrRegistry::targets_ranked_resilient(
+    AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
+  std::vector<TargetValue> trusted;
+  std::vector<TargetValue> untrusted;
+  if (!valid_attr(attr)) return trusted;
+  const std::optional<Initiator> query = initiator;
+  const bool need_initiator = attributes_[attr].need_initiator;
+  for (const topo::Object* node :
+       topology_->local_numa_nodes(initiator.cpuset(), flags)) {
+    const unsigned idx = node->logical_index();
+    const Stored& stored = values_[attr];
+    if (need_initiator) {
+      const InitiatorValue* match =
+          match_initiator(stored.per_initiator[idx], initiator.cpuset());
+      if (match == nullptr) continue;
+      (match->confidence == Confidence::kTrusted ? trusted : untrusted)
+          .push_back(TargetValue{node, match->value});
+    } else {
+      if (!stored.global_values[idx].has_value()) continue;
+      (stored.global_confidence[idx] == Confidence::kTrusted ? trusted
+                                                             : untrusted)
+          .push_back(TargetValue{node, *stored.global_values[idx]});
+    }
+  }
+  const bool higher_first = attributes_[attr].polarity == Polarity::kHigherFirst;
+  auto by_polarity = [higher_first](const TargetValue& a, const TargetValue& b) {
+    return higher_first ? a.value > b.value : a.value < b.value;
+  };
+  std::stable_sort(trusted.begin(), trusted.end(), by_polarity);
+  std::stable_sort(untrusted.begin(), untrusted.end(), by_polarity);
+  trusted.insert(trusted.end(), untrusted.begin(), untrusted.end());
+  return trusted;
+}
+
+Result<AttrId> MemAttrRegistry::resolve_resilient(AttrId attr) const {
+  if (!valid_attr(attr)) {
+    return make_error(Errc::kInvalidArgument, "unknown attribute id");
+  }
+  if (has_trusted_values(attr)) return attr;
+  AttrId fallback = attr;
+  switch (attr) {
+    case kReadBandwidth:
+    case kWriteBandwidth:
+      fallback = kBandwidth;
+      break;
+    case kReadLatency:
+    case kWriteLatency:
+      fallback = kLatency;
+      break;
+    default:
+      break;
+  }
+  if (fallback != attr && has_trusted_values(fallback)) return fallback;
+  // Coarsest safe criterion: Capacity is populated natively from the
+  // topology and cannot be poisoned by noisy measurement or bad firmware.
+  return kCapacity;
 }
 
 Result<AttrId> MemAttrRegistry::resolve_with_fallback(AttrId attr) const {

@@ -15,13 +15,22 @@ using support::make_error;
 using support::Result;
 using support::Status;
 
-Result<Measurement> measure(sim::SimMachine& machine, const Bitmap& initiator,
-                            unsigned target_node, const ProbeOptions& options) {
+namespace {
+
+/// One physical measurement run: fault consult, kernels, optional noise.
+Result<Measurement> measure_once(sim::SimMachine& machine, const Bitmap& initiator,
+                                 unsigned target_node, const ProbeOptions& options) {
   if (target_node >= machine.topology().numa_nodes().size()) {
     return make_error(Errc::kInvalidArgument, "no such target node");
   }
   if (initiator.empty()) {
     return make_error(Errc::kInvalidArgument, "empty initiator");
+  }
+  if (options.faults != nullptr &&
+      options.faults->should_fail(fault::site::kProbeFail)) {
+    return make_error(Errc::kTransient,
+                      "injected probe failure for node " +
+                          std::to_string(target_node));
   }
   auto buffer = machine.allocate(options.buffer_bytes, target_node, "probe",
                                  options.backing_bytes);
@@ -105,7 +114,54 @@ Result<Measurement> measure(sim::SimMachine& machine, const Bitmap& initiator,
   }
 
   if (Status status = machine.free(id); !status.ok()) return status.error();
+
+  if (options.faults != nullptr) {
+    // One independent noise draw per metric: a noisy probe rarely distorts
+    // bandwidth and latency by the same factor.
+    m.bandwidth_bps *= options.faults->noise_factor(fault::site::kProbeNoise);
+    m.read_bandwidth_bps *= options.faults->noise_factor(fault::site::kProbeNoise);
+    m.write_bandwidth_bps *= options.faults->noise_factor(fault::site::kProbeNoise);
+    m.latency_ns *= options.faults->noise_factor(fault::site::kProbeNoise);
+  }
   return m;
+}
+
+/// Relative disagreement between two runs of the same metric.
+double relative_spread(double a, double b) {
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  if (hi <= 0.0) return 0.0;
+  return (hi - lo) / hi;
+}
+
+}  // namespace
+
+Result<Measurement> measure(sim::SimMachine& machine, const Bitmap& initiator,
+                            unsigned target_node, const ProbeOptions& options) {
+  auto first = measure_once(machine, initiator, target_node, options);
+  if (!first.ok()) return first;
+
+  const unsigned repeats = std::max(1u, options.repeats);
+  for (unsigned run = 1; run < repeats; ++run) {
+    auto again = measure_once(machine, initiator, target_node, options);
+    // A failed repeat is itself evidence the pair is flaky: keep the first
+    // result but stop trusting it.
+    if (!again.ok()) {
+      first.value().suspect = true;
+      break;
+    }
+    if (relative_spread(first->bandwidth_bps, again->bandwidth_bps) >
+            options.suspect_tolerance ||
+        relative_spread(first->read_bandwidth_bps, again->read_bandwidth_bps) >
+            options.suspect_tolerance ||
+        relative_spread(first->write_bandwidth_bps, again->write_bandwidth_bps) >
+            options.suspect_tolerance ||
+        relative_spread(first->latency_ns, again->latency_ns) >
+            options.suspect_tolerance) {
+      first.value().suspect = true;
+    }
+  }
+  return first;
 }
 
 Result<DiscoveryReport> discover(sim::SimMachine& machine,
@@ -130,7 +186,15 @@ Result<DiscoveryReport> discover(sim::SimMachine& machine,
       if (!local && !options.include_remote) continue;
       auto measurement =
           measure(machine, initiator, node->logical_index(), options);
-      if (!measurement.ok()) return measurement.error();
+      if (!measurement.ok()) {
+        // Invalid arguments are caller bugs and still abort; a failed
+        // measurement (injected or real) only costs the one pair.
+        if (measurement.error().code == Errc::kInvalidArgument) {
+          return measurement.error();
+        }
+        ++report.failed_pairs;
+        continue;
+      }
       report.measurements.push_back(std::move(measurement.value()));
     }
   }
@@ -163,6 +227,18 @@ Status feed_registry(attr::MemAttrRegistry& registry, const DiscoveryReport& rep
     if (auto s = registry.set_value(attr::kLatency, *target, initiator, m.latency_ns);
         !s.ok()) {
       return s;
+    }
+    if (m.suspect) {
+      // Repeat disagreement demotes the stored values so resilient rankings
+      // prefer targets with clean measurements (docs/RESILIENCE.md).
+      for (attr::AttrId attr : {attr::kBandwidth, attr::kReadBandwidth,
+                                attr::kWriteBandwidth, attr::kLatency}) {
+        if (auto s = registry.set_confidence(attr, *target, initiator,
+                                             attr::Confidence::kNoisy);
+            !s.ok()) {
+          return s;
+        }
+      }
     }
   }
   return {};

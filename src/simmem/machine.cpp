@@ -1,9 +1,9 @@
 #include "hetmem/simmem/machine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
+#include "hetmem/fault/fault.hpp"
 #include "hetmem/support/units.hpp"
 
 namespace hetmem::sim {
@@ -17,8 +17,15 @@ SimMachine::SimMachine(topo::Topology topology, MachinePerfModel model)
     : topology_(std::move(topology)),
       model_(std::move(model)),
       used_(topology_.numa_nodes().size(), 0),
+      online_(topology_.numa_nodes().size(), 1),
       llc_bytes_(static_cast<std::uint64_t>(27.5 * 1024 * 1024)) {
-  assert(model_.node_count() == topology_.numa_nodes().size());
+  // A perf model sized for a different topology is a caller bug, but one a
+  // production machine must survive: self-heal by recalibrating for the
+  // actual topology and record the repair instead of asserting.
+  if (model_.node_count() != topology_.numa_nodes().size()) {
+    model_ = MachinePerfModel::calibrated_for(topology_);
+    model_repaired_ = true;
+  }
 }
 
 namespace {
@@ -47,6 +54,20 @@ Result<BufferId> SimMachine::allocate(std::uint64_t declared_bytes, unsigned nod
   }
   if (declared_bytes == 0) {
     return make_error(Errc::kInvalidArgument, "zero-byte allocation");
+  }
+  if (faults_ != nullptr) {
+    if (faults_->should_fail(fault::site::kMachineAllocTransient)) {
+      return make_error(Errc::kTransient,
+                        "injected transient allocation failure on node " +
+                            std::to_string(node));
+    }
+    if (faults_->should_fail(fault::site::kMachineNodeOffline)) {
+      online_[node] = 0;
+    }
+  }
+  if (online_[node] == 0) {
+    return make_error(Errc::kOutOfCapacity,
+                      "node " + std::to_string(node) + " is offline");
   }
   const std::uint64_t capacity = topology_.numa_nodes()[node]->capacity_bytes();
   if (used_[node] + declared_bytes > capacity) {
@@ -101,6 +122,11 @@ Status SimMachine::migrate(BufferId id, unsigned destination_node) {
     return make_error(Errc::kInvalidArgument, "migrate of freed buffer");
   }
   if (slot.info.node == destination_node) return {};
+  if (online_[destination_node] == 0) {
+    return make_error(Errc::kOutOfCapacity,
+                      "destination node " + std::to_string(destination_node) +
+                          " is offline");
+  }
   const std::uint64_t capacity =
       topology_.numa_nodes()[destination_node]->capacity_bytes();
   if (used_[destination_node] + slot.info.declared_bytes > capacity) {
@@ -115,35 +141,63 @@ Status SimMachine::migrate(BufferId id, unsigned destination_node) {
   return {};
 }
 
+namespace {
+const BufferInfo& invalid_buffer_info() {
+  static const BufferInfo sentinel{"<invalid-buffer>", 0, 0, 0, true};
+  return sentinel;
+}
+}  // namespace
+
 const BufferInfo& SimMachine::info(BufferId id) const {
-  assert(id.valid() && id.index < buffers_.size());
+  if (!id.valid() || id.index >= buffers_.size()) return invalid_buffer_info();
+  return buffers_[id.index].info;
+}
+
+Result<BufferInfo> SimMachine::info_checked(BufferId id) const {
+  if (!id.valid() || id.index >= buffers_.size()) {
+    return make_error(Errc::kInvalidArgument, "invalid buffer id");
+  }
   return buffers_[id.index].info;
 }
 
 std::byte* SimMachine::backing(BufferId id) {
-  assert(id.valid() && id.index < buffers_.size());
-  assert(!buffers_[id.index].info.freed);
+  if (!id.valid() || id.index >= buffers_.size()) return nullptr;
+  if (buffers_[id.index].info.freed) return nullptr;
   return buffers_[id.index].storage.get();
 }
 
 const std::byte* SimMachine::backing(BufferId id) const {
-  assert(id.valid() && id.index < buffers_.size());
-  assert(!buffers_[id.index].info.freed);
+  if (!id.valid() || id.index >= buffers_.size()) return nullptr;
+  if (buffers_[id.index].info.freed) return nullptr;
   return buffers_[id.index].storage.get();
 }
 
 std::uint64_t SimMachine::capacity_bytes(unsigned node) const {
-  assert(node < used_.size());
+  if (node >= used_.size()) return 0;
   return topology_.numa_nodes()[node]->capacity_bytes();
 }
 
 std::uint64_t SimMachine::used_bytes(unsigned node) const {
-  assert(node < used_.size());
+  if (node >= used_.size()) return 0;
   return used_[node];
 }
 
 std::uint64_t SimMachine::available_bytes(unsigned node) const {
+  if (node >= used_.size() || online_[node] == 0) return 0;
   return capacity_bytes(node) - used_bytes(node);
+}
+
+Status SimMachine::set_node_online(unsigned node, bool online) {
+  if (node >= online_.size()) {
+    return make_error(Errc::kInvalidArgument,
+                      "no NUMA node with logical index " + std::to_string(node));
+  }
+  online_[node] = online ? 1 : 0;
+  return {};
+}
+
+bool SimMachine::node_online(unsigned node) const {
+  return node < online_.size() && online_[node] != 0;
 }
 
 std::size_t SimMachine::live_buffer_count() const {

@@ -1,12 +1,13 @@
 #include "hetmem/support/thread_pool.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace hetmem::support {
 
 ThreadPool::ThreadPool(std::size_t worker_count) {
-  assert(worker_count >= 1);
+  // A zero-worker pool would deadlock every dispatch; clamp instead of
+  // asserting so a miscomputed "cores - N" in release builds still runs.
+  worker_count = std::max<std::size_t>(1, worker_count);
   workers_.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
     workers_.emplace_back([this, i] { worker_main(i); });

@@ -8,6 +8,7 @@
 
 #include "hetmem/alloc/allocator.hpp"
 #include "hetmem/alloc/pool.hpp"
+#include "hetmem/fault/fault.hpp"
 #include "hetmem/hmat/hmat.hpp"
 #include "hetmem/support/rng.hpp"
 #include "hetmem/support/units.hpp"
@@ -171,6 +172,98 @@ TEST_P(AllocatorFuzzTest, PoolMatchesShadowFreeList) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzzTest,
                          ::testing::Values(11, 23, 47, 101));
+
+// Fault-schedule fuzz (docs/RESILIENCE.md): 1000 seeded random schedules of
+// transient failures and node offlining, each driving a short random
+// alloc/free sequence. Whatever the injector does, the books must balance —
+// every success is charged exactly once, every free returns it, nothing
+// over-commits a node, and draining restores a pristine machine.
+TEST(FaultScheduleFuzzTest, BooksBalanceUnderAThousandFaultSchedules) {
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    sim::SimMachine machine(topo::knl_snc4_flat());
+    attr::MemAttrRegistry registry(machine.topology());
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    ASSERT_TRUE(
+        hmat::load_into(registry, hmat::generate(machine.topology(), options))
+            .ok());
+    HeterogeneousAllocator allocator(machine, registry);
+
+    // Draw the fault schedule itself from the seed: transient failures with
+    // random intensity, and (rarely) one sticky node-offline event.
+    Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+    fault::FaultInjector injector(seed);
+    injector.configure(
+        fault::site::kMachineAllocTransient,
+        {.probability = 0.05 + 0.45 * rng.next_double(),
+         .burst = 1 + static_cast<unsigned>(rng.next_below(3))});
+    injector.configure(fault::site::kMachineNodeOffline,
+                       {.probability = 0.02, .max_count = 1});
+    machine.set_fault_injector(&injector);
+
+    const std::size_t node_count = machine.topology().numa_nodes().size();
+    std::vector<std::uint64_t> shadow_used(node_count, 0);
+    struct Live {
+      sim::BufferId id;
+      std::uint64_t bytes;
+      unsigned node;
+    };
+    std::vector<Live> live;
+    std::uint64_t successes = 0, frees = 0;
+
+    const attr::AttrId attrs[] = {attr::kCapacity, attr::kLatency,
+                                  attr::kBandwidth};
+    const int ops = 40 + static_cast<int>(rng.next_below(21));
+    for (int step = 0; step < ops; ++step) {
+      if (rng.next_below(100) < 60 || live.empty()) {
+        AllocRequest request;
+        request.bytes = (1 + rng.next_below(32)) * kMiB;
+        request.attribute = attrs[rng.next_below(3)];
+        request.initiator =
+            machine.topology()
+                .numa_node(static_cast<unsigned>(rng.next_below(node_count)))
+                ->cpuset();
+        request.attribute_rescue = rng.next_below(2) == 0;
+        request.label = "ffuzz";
+        auto allocation = allocator.mem_alloc(request);
+        if (allocation.ok()) {
+          ++successes;
+          shadow_used[allocation->node] += request.bytes;
+          live.push_back(
+              Live{allocation->buffer, request.bytes, allocation->node});
+        }
+        // Failure is a legal outcome under faults; it must just not leak.
+      } else {
+        const std::size_t index = rng.next_below(live.size());
+        ASSERT_TRUE(allocator.mem_free(live[index].id).ok())
+            << "seed " << seed << " step " << step;
+        ++frees;
+        shadow_used[live[index].node] -= live[index].bytes;
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+      }
+      for (unsigned node = 0; node < node_count; ++node) {
+        ASSERT_EQ(machine.used_bytes(node), shadow_used[node])
+            << "seed " << seed << " step " << step << " node " << node;
+        ASSERT_LE(machine.used_bytes(node), machine.capacity_bytes(node))
+            << "seed " << seed << ": over-commit on node " << node;
+      }
+    }
+
+    // Alloc/free balance: stats agree with the ground truth we kept.
+    ASSERT_EQ(allocator.stats().allocations, successes) << "seed " << seed;
+    ASSERT_EQ(allocator.stats().frees, frees) << "seed " << seed;
+    ASSERT_EQ(successes - frees, live.size()) << "seed " << seed;
+
+    // Drain: every byte comes back, even on nodes the schedule took offline.
+    for (const Live& buffer : live) {
+      ASSERT_TRUE(allocator.mem_free(buffer.id).ok()) << "seed " << seed;
+    }
+    for (unsigned node = 0; node < node_count; ++node) {
+      ASSERT_EQ(machine.used_bytes(node), 0u) << "seed " << seed;
+    }
+    ASSERT_EQ(machine.live_buffer_count(), 0u) << "seed " << seed;
+  }
+}
 
 }  // namespace
 }  // namespace hetmem::alloc

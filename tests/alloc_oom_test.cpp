@@ -1,0 +1,250 @@
+// Allocator out-of-memory paths: strict-policy exhaustion, fallback-chain
+// exhaustion across every target, degenerate requests, and the resilience
+// machinery (transient retry, attribute rescue, failure telemetry).
+#include <gtest/gtest.h>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/fault/fault.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::alloc {
+namespace {
+
+using support::Errc;
+using support::kGiB;
+using support::kMiB;
+
+struct Fixture {
+  Fixture()
+      : machine(topo::knl_snc4_flat()), registry(machine.topology()) {
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    EXPECT_TRUE(
+        hmat::load_into(registry, hmat::generate(machine.topology(), options)).ok());
+    allocator = std::make_unique<HeterogeneousAllocator>(machine, registry);
+    initiator = machine.topology().numa_node(0)->cpuset();
+  }
+
+  AllocRequest request(std::uint64_t bytes, attr::AttrId attribute,
+                       Policy policy = Policy::kRankedFallback) {
+    AllocRequest r;
+    r.bytes = bytes;
+    r.attribute = attribute;
+    r.initiator = initiator;
+    r.policy = policy;
+    r.label = "oom";
+    return r;
+  }
+
+  sim::SimMachine machine;
+  attr::MemAttrRegistry registry;
+  std::unique_ptr<HeterogeneousAllocator> allocator;
+  support::Bitmap initiator;
+};
+
+TEST(AllocOomTest, StrictPolicyExhaustionFailsWithoutFallback) {
+  Fixture f;
+  // KNL MCDRAM (best Bandwidth target) is 4 GiB per cluster: fill it, then
+  // a strict request must fail even though DRAM has room.
+  auto fill = f.allocator->mem_alloc(f.request(4ull * kGiB, attr::kBandwidth,
+                                               Policy::kStrict));
+  ASSERT_TRUE(fill.ok());
+  auto refused = f.allocator->mem_alloc(f.request(64 * kMiB, attr::kBandwidth,
+                                                  Policy::kStrict));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, Errc::kOutOfCapacity);
+  EXPECT_GE(f.allocator->stats().failures, 1u);
+  // Same request with fallback succeeds on a lower-ranked target.
+  auto fallback = f.allocator->mem_alloc(f.request(64 * kMiB, attr::kBandwidth));
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_TRUE(fallback->fell_back);
+}
+
+TEST(AllocOomTest, FallbackChainExhaustionAcrossAllTargets) {
+  Fixture f;
+  // Nothing in the machine can hold more than the largest node (24 GiB DRAM
+  // per cluster on knl_snc4_flat): a 200 GiB request exhausts the whole chain.
+  auto huge = f.allocator->mem_alloc(f.request(200ull * kGiB, attr::kCapacity));
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.error().code, Errc::kOutOfCapacity);
+  const auto failures = f.allocator->failure_log();
+  ASSERT_FALSE(failures.empty());
+  EXPECT_EQ(failures.back().detail, "all local targets exhausted");
+  // Nothing leaked while walking the chain.
+  for (unsigned node = 0; node < f.machine.topology().numa_nodes().size(); ++node) {
+    EXPECT_EQ(f.machine.used_bytes(node), 0u);
+  }
+}
+
+TEST(AllocOomTest, EmptyInitiatorRejected) {
+  Fixture f;
+  AllocRequest r = f.request(1 * kMiB, attr::kCapacity);
+  r.initiator = support::Bitmap();
+  auto result = f.allocator->mem_alloc(r);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kInvalidArgument);
+}
+
+TEST(AllocOomTest, ZeroByteRequestRejected) {
+  Fixture f;
+  auto result = f.allocator->mem_alloc(f.request(0, attr::kCapacity));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kInvalidArgument);
+}
+
+TEST(AllocOomTest, HybridExhaustionWhenNoTargetCanHoldTheSlowPart) {
+  Fixture f;
+  // Consume most of every node, then ask for a hybrid allocation too large
+  // to split anywhere.
+  const std::size_t node_count = f.machine.topology().numa_nodes().size();
+  for (unsigned node = 0; node < node_count; ++node) {
+    const std::uint64_t keep = 8 * kMiB;
+    const std::uint64_t available = f.machine.available_bytes(node);
+    if (available > keep) {
+      ASSERT_TRUE(f.machine.allocate(available - keep, node, "hog").ok());
+    }
+  }
+  AllocRequest r = f.request(1ull * kGiB, attr::kBandwidth);
+  auto result = f.allocator->mem_alloc_hybrid(r);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kOutOfCapacity);
+}
+
+TEST(AllocOomTest, TransientFaultsRetriedThenSucceed) {
+  Fixture f;
+  fault::FaultInjector injector(7);
+  // Fire exactly twice: with the default budget of 2 retries the first
+  // request eats both faults and still lands on the best target.
+  injector.configure(fault::site::kMachineAllocTransient,
+                     {.probability = 1.0, .max_count = 2});
+  f.machine.set_fault_injector(&injector);
+  auto result = f.allocator->mem_alloc(f.request(16 * kMiB, attr::kBandwidth));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rank, 0u);
+  EXPECT_FALSE(result->fell_back);
+  EXPECT_EQ(f.allocator->stats().transient_retries, 2u);
+  f.machine.set_fault_injector(nullptr);
+}
+
+TEST(AllocOomTest, TransientStormFallsDownRankingNotError) {
+  Fixture f;
+  fault::FaultInjector injector(7);
+  // A long burst outlasts the retry budget on the best target; the walk must
+  // continue down the ranking instead of surfacing the transient error.
+  injector.configure(fault::site::kMachineAllocTransient,
+                     {.probability = 1.0, .max_count = 3, .burst = 3});
+  f.machine.set_fault_injector(&injector);
+  auto result = f.allocator->mem_alloc(f.request(16 * kMiB, attr::kBandwidth));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->fell_back);
+  // The exhausted target shows up in the failure telemetry.
+  const auto failures = f.allocator->failure_log();
+  ASSERT_FALSE(failures.empty());
+  EXPECT_NE(failures.back().detail.find("transient"), std::string::npos);
+  f.machine.set_fault_injector(nullptr);
+}
+
+TEST(AllocOomTest, StrictTransientExhaustionSurfacesTransientError) {
+  Fixture f;
+  fault::FaultInjector injector(7);
+  injector.configure(fault::site::kMachineAllocTransient,
+                     {.probability = 1.0, .burst = 100});
+  f.machine.set_fault_injector(&injector);
+  auto result = f.allocator->mem_alloc(f.request(16 * kMiB, attr::kBandwidth,
+                                                 Policy::kStrict));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kTransient);
+  f.machine.set_fault_injector(nullptr);
+}
+
+TEST(AllocOomTest, RetryPolicyZeroDisablesRetries) {
+  Fixture f;
+  f.allocator->set_retry_policy({.max_transient_retries = 0});
+  fault::FaultInjector injector(7);
+  injector.configure(fault::site::kMachineAllocTransient,
+                     {.probability = 1.0, .max_count = 1});
+  f.machine.set_fault_injector(&injector);
+  auto result = f.allocator->mem_alloc(f.request(16 * kMiB, attr::kBandwidth));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->fell_back);  // no retry: straight to the next target
+  EXPECT_EQ(f.allocator->stats().transient_retries, 0u);
+  f.machine.set_fault_injector(nullptr);
+}
+
+TEST(AllocOomTest, AttributeRescueOffByDefault) {
+  Fixture f;
+  auto custom = f.registry.register_attribute("Exotic", attr::Polarity::kHigherFirst,
+                                              /*need_initiator=*/true);
+  ASSERT_TRUE(custom.ok());
+  auto result = f.allocator->mem_alloc(f.request(16 * kMiB, *custom));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kNotFound);
+  EXPECT_EQ(f.allocator->stats().attribute_rescues, 0u);
+}
+
+TEST(AllocOomTest, AttributeRescueDegradesToCapacity) {
+  Fixture f;
+  auto custom = f.registry.register_attribute("Exotic", attr::Polarity::kHigherFirst,
+                                              /*need_initiator=*/true);
+  ASSERT_TRUE(custom.ok());
+  AllocRequest r = f.request(16 * kMiB, *custom);
+  r.attribute_rescue = true;
+  auto result = f.allocator->mem_alloc(r);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->used_attribute, attr::kCapacity);
+  EXPECT_EQ(f.allocator->stats().attribute_rescues, 1u);
+}
+
+TEST(AllocOomTest, AttributeRescueUsesFallbackChainBeforeCapacity) {
+  Fixture f;
+  // ReadBandwidth has no values of its own, but Bandwidth does: the rescue
+  // must land on Bandwidth (resolve chain), not jump straight to Capacity.
+  // (This already works without rescue; rescue must not change the answer.)
+  AllocRequest r = f.request(16 * kMiB, attr::kReadBandwidth);
+  r.attribute_rescue = true;
+  auto result = f.allocator->mem_alloc(r);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->used_attribute, attr::kBandwidth);
+  EXPECT_EQ(f.allocator->stats().attribute_rescues, 0u);
+}
+
+TEST(AllocOomTest, NoisyValuesRankedAfterTrusted) {
+  Fixture f;
+  // Demote the best Bandwidth target (MCDRAM, node 4) to kNoisy: rankings
+  // must now prefer a trusted (DRAM) target, with MCDRAM kept as last resort.
+  const topo::Object* mcdram = f.machine.topology().numa_node(4);
+  ASSERT_NE(mcdram, nullptr);
+  for (const attr::InitiatorValue& iv :
+       f.registry.initiators(attr::kBandwidth, *mcdram)) {
+    ASSERT_TRUE(f.registry
+                    .set_confidence(attr::kBandwidth, *mcdram,
+                                    attr::Initiator::from_cpuset(iv.initiator),
+                                    attr::Confidence::kNoisy)
+                    .ok());
+  }
+  auto result = f.allocator->mem_alloc(f.request(16 * kMiB, attr::kBandwidth));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(f.machine.topology().numa_node(result->node)->memory_kind(),
+            topo::MemoryKind::kDRAM)
+      << "noisy MCDRAM values must not win the ranking";
+}
+
+TEST(AllocOomTest, OfflineNodeSkippedByRankingWalk) {
+  Fixture f;
+  // Take the best Bandwidth target offline; allocation falls through to the
+  // next target instead of failing.
+  auto probe_best = f.allocator->mem_alloc(f.request(1 * kMiB, attr::kBandwidth));
+  ASSERT_TRUE(probe_best.ok());
+  const unsigned best = probe_best->node;
+  ASSERT_TRUE(f.machine.set_node_online(best, false).ok());
+  EXPECT_EQ(f.machine.available_bytes(best), 0u);
+  auto rerouted = f.allocator->mem_alloc(f.request(1 * kMiB, attr::kBandwidth));
+  ASSERT_TRUE(rerouted.ok());
+  EXPECT_NE(rerouted->node, best);
+  ASSERT_TRUE(f.machine.set_node_online(best, true).ok());
+}
+
+}  // namespace
+}  // namespace hetmem::alloc

@@ -1,0 +1,247 @@
+// Fault injector unit tests: firing semantics (probability, max_count,
+// burst), per-site stream independence, preset wiring, HMAT text corruption,
+// and — the property everything else leans on — seed determinism of the
+// schedule (docs/RESILIENCE.md).
+#include <gtest/gtest.h>
+
+#include "hetmem/fault/fault.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/support/str.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::fault {
+namespace {
+
+TEST(FaultSpecTest, UnconfiguredSiteNeverFires) {
+  FaultInjector injector(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.should_fail("nobody.configured.me"));
+  }
+  EXPECT_EQ(injector.consultations("nobody.configured.me"), 1000u);
+  EXPECT_EQ(injector.injected("nobody.configured.me"), 0u);
+  EXPECT_EQ(injector.total_injected(), 0u);
+  EXPECT_TRUE(injector.schedule().empty());
+}
+
+TEST(FaultSpecTest, ProbabilityZeroAndOne) {
+  FaultInjector injector(42);
+  injector.configure("never", {.probability = 0.0});
+  injector.configure("always", {.probability = 1.0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.should_fail("never"));
+    EXPECT_TRUE(injector.should_fail("always"));
+  }
+  EXPECT_EQ(injector.injected("always"), 100u);
+  EXPECT_EQ(injector.total_injected(), 100u);
+}
+
+TEST(FaultSpecTest, MaxCountCapsInjections) {
+  FaultInjector injector(7);
+  injector.configure("capped", {.probability = 1.0, .max_count = 3});
+  unsigned fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (injector.should_fail("capped")) ++fired;
+  }
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(injector.injected("capped"), 3u);
+  EXPECT_EQ(injector.consultations("capped"), 50u);
+}
+
+TEST(FaultSpecTest, BurstKeepsFiringConsecutively) {
+  FaultInjector injector(7);
+  // probability 1 + burst 4: fires on every consultation anyway, but the
+  // burst bookkeeping must not over- or under-count.
+  injector.configure("bursty", {.probability = 1.0, .max_count = 4, .burst = 4});
+  EXPECT_TRUE(injector.should_fail("bursty"));   // arms the burst
+  EXPECT_TRUE(injector.should_fail("bursty"));   // burst continuation
+  EXPECT_TRUE(injector.should_fail("bursty"));
+  EXPECT_TRUE(injector.should_fail("bursty"));
+  EXPECT_FALSE(injector.should_fail("bursty"));  // max_count reached
+  EXPECT_EQ(injector.injected("bursty"), 4u);
+}
+
+TEST(FaultSpecTest, BurstContinuesAfterLowProbabilityTrigger) {
+  // With a tiny probability the only realistic way to see consecutive fires
+  // is the burst machinery.
+  FaultInjector injector(1234);
+  injector.configure("rare", {.probability = 0.02, .burst = 3});
+  bool saw_burst = false;
+  int consecutive = 0;
+  for (int i = 0; i < 5000 && !saw_burst; ++i) {
+    if (injector.should_fail("rare")) {
+      if (++consecutive >= 3) saw_burst = true;
+    } else {
+      consecutive = 0;
+    }
+  }
+  EXPECT_TRUE(saw_burst) << "burst=3 should produce 3 consecutive fires";
+}
+
+TEST(FaultSpecTest, ProbabilityRoughlyHonored) {
+  FaultInjector injector(99);
+  injector.configure("coin", {.probability = 0.3});
+  unsigned fired = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (injector.should_fail("coin")) ++fired;
+  }
+  const double rate = static_cast<double>(fired) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(FaultDeterminismTest, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    FaultInjector injector(seed);
+    injector.configure("a", {.probability = 0.3});
+    injector.configure("b", {.probability = 0.1, .burst = 2});
+    for (int i = 0; i < 500; ++i) {
+      (void)injector.should_fail("a");
+      (void)injector.should_fail("b");
+    }
+    return injector.schedule_fingerprint();
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultDeterminismTest, SiteStreamsIndependentOfInterleaving) {
+  // Consult "a" and "b" in different interleavings: each site's per-site
+  // firing sequence must be identical because streams derive from
+  // (seed, name), not from touch order.
+  auto per_site = [](std::uint64_t seed, bool a_first) {
+    FaultInjector injector(seed);
+    injector.configure("a", {.probability = 0.4});
+    injector.configure("b", {.probability = 0.4});
+    std::string a_fires, b_fires;
+    if (a_first) {
+      for (int i = 0; i < 200; ++i) a_fires += injector.should_fail("a") ? '1' : '0';
+      for (int i = 0; i < 200; ++i) b_fires += injector.should_fail("b") ? '1' : '0';
+    } else {
+      for (int i = 0; i < 200; ++i) b_fires += injector.should_fail("b") ? '1' : '0';
+      for (int i = 0; i < 200; ++i) a_fires += injector.should_fail("a") ? '1' : '0';
+    }
+    return std::make_pair(a_fires, b_fires);
+  };
+  EXPECT_EQ(per_site(11, true), per_site(11, false));
+}
+
+TEST(FaultDeterminismTest, NoiseFactorDoesNotDesyncStream) {
+  // Whether or not the noise site fires, the draw count per consultation is
+  // constant, so two runs differing only in sigma keep identical firing
+  // sequences for a sibling site.
+  auto sibling_fires = [](double sigma) {
+    FaultInjector injector(5);
+    injector.configure("noise", {.probability = 0.5, .noise_sigma = sigma});
+    injector.configure("sibling", {.probability = 0.5});
+    std::string fires;
+    for (int i = 0; i < 100; ++i) {
+      (void)injector.noise_factor("noise");
+      fires += injector.should_fail("sibling") ? '1' : '0';
+    }
+    return fires;
+  };
+  EXPECT_EQ(sibling_fires(0.0), sibling_fires(0.5));
+}
+
+TEST(FaultNoiseTest, FactorIsOneWhenQuietAndBoundedWhenFiring) {
+  FaultInjector quiet(3);
+  quiet.configure("noise", {.probability = 0.0, .noise_sigma = 0.5});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(quiet.noise_factor("noise"), 1.0);
+  }
+
+  FaultInjector loud(3);
+  loud.configure("noise", {.probability = 1.0, .noise_sigma = 0.2});
+  bool saw_off_one = false;
+  for (int i = 0; i < 200; ++i) {
+    const double factor = loud.noise_factor("noise");
+    EXPECT_GE(factor, 0.8 - 1e-12);
+    EXPECT_LE(factor, 1.2 + 1e-12);
+    if (factor != 1.0) saw_off_one = true;
+  }
+  EXPECT_TRUE(saw_off_one);
+}
+
+TEST(FaultPresetTest, AllNamesConstructAndNoneIsQuiet) {
+  for (const char* name : FaultInjector::preset_names()) {
+    FaultInjector injector = FaultInjector::preset(name, 77);
+    EXPECT_EQ(injector.seed(), 77u) << name;
+  }
+  FaultInjector none = FaultInjector::preset("none", 1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(none.should_fail(site::kMachineAllocTransient));
+  }
+  FaultInjector storm = FaultInjector::preset("alloc-storm", 1);
+  unsigned fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (storm.should_fail(site::kMachineAllocTransient)) ++fired;
+  }
+  EXPECT_GT(fired, 50u);  // p=0.5 with burst 3
+  // The storm only targets allocation.
+  EXPECT_FALSE(storm.should_fail(site::kHmatDropEntry));
+}
+
+TEST(HmatCorruptionTest, DeterministicForSameSeed) {
+  const std::string text = hmat::serialize(hmat::generate(topo::xeon_clx_snc_1lm()));
+  auto corrupt = [&](std::uint64_t seed) {
+    FaultInjector injector = FaultInjector::preset("hmat-chaos", seed);
+    return corrupt_hmat_text(text, injector);
+  };
+  const HmatCorruption a = corrupt(31);
+  const HmatCorruption b = corrupt(31);
+  const HmatCorruption c = corrupt(32);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.total_mutations(), b.total_mutations());
+  EXPECT_NE(a.text, c.text);  // astronomically unlikely to collide
+}
+
+TEST(HmatCorruptionTest, MutationCountersMatchTextDamage) {
+  const hmat::HmatTable table = hmat::generate(topo::xeon_clx_snc_1lm());
+  const std::string text = hmat::serialize(table);
+  FaultInjector injector = FaultInjector::preset("hmat-chaos", 2024);
+  const HmatCorruption corruption = corrupt_hmat_text(text, injector);
+  EXPECT_GT(corruption.total_mutations(), 0u);
+
+  // Record-count arithmetic: original records - dropped + duplicated
+  // = non-comment lines in the corrupted text.
+  std::size_t original_records = 0, corrupted_records = 0;
+  for (std::string_view line : support::split(text, '\n')) {
+    if (!line.empty() && line.front() != '#') ++original_records;
+  }
+  for (std::string_view line : support::split(corruption.text, '\n')) {
+    if (!line.empty() && line.front() != '#') ++corrupted_records;
+  }
+  EXPECT_EQ(corrupted_records,
+            original_records - corruption.lines_dropped + corruption.duplicates_added);
+}
+
+TEST(HmatCorruptionTest, CommentsSurviveUntouched) {
+  const std::string text = "# hetmem-hmat v1\n# keep me\nlatency access initiator=0-3 target=0 value_ns=100\n";
+  FaultInjector injector = FaultInjector::preset("hmat-chaos", 5);
+  const HmatCorruption corruption = corrupt_hmat_text(text, injector);
+  EXPECT_NE(corruption.text.find("# hetmem-hmat v1"), std::string::npos);
+  EXPECT_NE(corruption.text.find("# keep me"), std::string::npos);
+}
+
+TEST(HmatCorruptionTest, CorruptedTextParsesLenientlyWithLineDiagnostics) {
+  const std::string text = hmat::serialize(hmat::generate(topo::xeon_clx_snc_1lm()));
+  bool saw_error_diagnostic = false;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultInjector injector = FaultInjector::preset("hmat-chaos", seed);
+    const HmatCorruption corruption = corrupt_hmat_text(text, injector);
+    const hmat::ParseReport report = hmat::parse_lenient(corruption.text);
+    for (const hmat::Diagnostic& diagnostic : report.diagnostics) {
+      EXPECT_GT(diagnostic.line, 0u) << diagnostic.message;
+      if (!diagnostic.warning) saw_error_diagnostic = true;
+    }
+    // Garbled values and truncations must surface as error diagnostics, not
+    // silently parse.
+    if (corruption.values_garbled > 0) {
+      EXPECT_GT(report.error_count(), 0u) << "seed " << seed;
+    }
+  }
+  EXPECT_TRUE(saw_error_diagnostic);
+}
+
+}  // namespace
+}  // namespace hetmem::fault

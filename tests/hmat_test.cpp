@@ -218,5 +218,116 @@ TEST(LoadInto, Figure5ReportShape) {
   EXPECT_NE(report.find("= 77"), std::string::npos);
 }
 
+// --- duplicate resolution and lenient recovery (docs/RESILIENCE.md) ---
+
+TEST(Parse, DuplicateEntriesResolveLastWinsWithDeterministicResult) {
+  // Firmware updates append corrected entries; the LAST occurrence wins.
+  const char* text =
+      "latency access initiator=0-3 target=0 value_ns=26\n"
+      "bandwidth access initiator=0-3 target=0 value_bps=1000\n"
+      "latency access initiator=0-3 target=0 value_ns=77\n";
+  auto table = parse(text);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->locality.size(), 2u);
+  double latency = 0.0;
+  for (const LocalityEntry& entry : table->locality) {
+    if (entry.metric == Metric::kLatency) latency = entry.value;
+  }
+  EXPECT_DOUBLE_EQ(latency, 77.0);
+  // Same text, same result — byte-for-byte determinism.
+  auto again = parse(text);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(serialize(*again), serialize(*table));
+}
+
+TEST(Parse, DifferentKeysAreNotDuplicates) {
+  // Same (initiator, target, metric) but different access types coexist.
+  auto table = parse(
+      "bandwidth read initiator=0 target=0 value_bps=100\n"
+      "bandwidth write initiator=0 target=0 value_bps=50\n"
+      "bandwidth read initiator=1 target=0 value_bps=200\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->locality.size(), 3u);
+}
+
+TEST(ParseLenient, DuplicateEmitsWarningNotError) {
+  ParseReport report = parse_lenient(
+      "latency access initiator=0 target=0 value_ns=26\n"
+      "latency access initiator=0 target=0 value_ns=30\n");
+  EXPECT_EQ(report.error_count(), 0u);
+  ASSERT_EQ(report.warning_count(), 1u);
+  // The diagnostic anchors to the superseded (earlier) entry, pointing at
+  // the record that was dropped.
+  const Diagnostic& warning = report.diagnostics.front();
+  EXPECT_TRUE(warning.warning);
+  EXPECT_EQ(warning.line, 1u);
+  EXPECT_NE(warning.message.find("duplicate"), std::string::npos);
+  ASSERT_EQ(report.table.locality.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.table.locality[0].value, 30.0);
+}
+
+TEST(ParseLenient, RecoversPerRecordWithLineNumbers) {
+  ParseReport report = parse_lenient(
+      "# header comment\n"
+      "latency access initiator=0 target=0 value_ns=26\n"
+      "latency access initiator=zz target=0 value_ns=1\n"   // bad cpuset
+      "bandwidth access initiator=0 target=0 value_bps=9\n"
+      "garbage record here\n"
+      "cache target=2 size=2147483648\n");
+  EXPECT_EQ(report.table.locality.size(), 2u);
+  EXPECT_EQ(report.table.caches.size(), 1u);
+  ASSERT_EQ(report.error_count(), 2u);
+  std::vector<std::size_t> error_lines;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!d.warning) error_lines.push_back(d.line);
+  }
+  EXPECT_EQ(error_lines, (std::vector<std::size_t>{3, 5}));
+}
+
+TEST(ParseLenient, NonFiniteValuesRejected) {
+  // std::from_chars happily parses "nan" and "inf": corruption must not be
+  // able to smuggle a NaN into a ranking, where every comparison goes false.
+  ParseReport report = parse_lenient(
+      "latency access initiator=0 target=0 value_ns=nan\n"
+      "latency access initiator=0 target=1 value_ns=inf\n"
+      "latency access initiator=0 target=2 value_ns=26\n");
+  EXPECT_EQ(report.table.locality.size(), 1u);
+  EXPECT_EQ(report.error_count(), 2u);
+}
+
+TEST(ParseLenient, StrictParseMatchesWhenTextIsClean) {
+  topo::Topology topology = topo::xeon_clx_2lm();
+  const std::string text = serialize(generate(topology));
+  auto strict = parse(text);
+  ASSERT_TRUE(strict.ok());
+  ParseReport lenient = parse_lenient(text);
+  EXPECT_EQ(lenient.error_count(), 0u);
+  EXPECT_EQ(lenient.warning_count(), 0u);
+  EXPECT_EQ(serialize(lenient.table), serialize(*strict));
+}
+
+TEST(DedupeEntries, RemovesOnlyTrueDuplicates) {
+  HmatTable table;
+  LocalityEntry a;
+  a.initiator = support::Bitmap::range(0, 3);
+  a.target_domain = 0;
+  a.metric = Metric::kLatency;
+  a.value = 26.0;
+  LocalityEntry b = a;
+  b.value = 77.0;
+  LocalityEntry other = a;
+  other.target_domain = 1;
+  table.locality = {a, other, b};
+  EXPECT_EQ(dedupe_entries(table), 1u);
+  ASSERT_EQ(table.locality.size(), 2u);
+  // Last-wins: the survivor for target 0 carries b's value.
+  double survivor = 0.0;
+  for (const LocalityEntry& entry : table.locality) {
+    if (entry.target_domain == 0) survivor = entry.value;
+  }
+  EXPECT_DOUBLE_EQ(survivor, 77.0);
+  EXPECT_EQ(dedupe_entries(table), 0u);
+}
+
 }  // namespace
 }  // namespace hetmem::hmat

@@ -168,6 +168,91 @@ TEST_F(SimMachineTest, ArrayRefreshAfterMigration) {
   EXPECT_EQ(array.node(), 1u);
 }
 
+// --- former assert() paths, now graceful in release builds ---
+
+TEST_F(SimMachineTest, InfoSentinelForInvalidId) {
+  const BufferInfo& invalid = machine_.info(BufferId{});
+  EXPECT_EQ(invalid.label, "<invalid-buffer>");
+  EXPECT_TRUE(invalid.freed);
+  const BufferInfo& out_of_range = machine_.info(BufferId{12345});
+  EXPECT_EQ(out_of_range.label, "<invalid-buffer>");
+}
+
+TEST_F(SimMachineTest, InfoCheckedSurfacesTheError) {
+  auto invalid = machine_.info_checked(BufferId{});
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.error().code, Errc::kInvalidArgument);
+  auto buffer = machine_.allocate(kMiB, 0, "ok");
+  ASSERT_TRUE(buffer.ok());
+  auto checked = machine_.info_checked(*buffer);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(checked->label, "ok");
+}
+
+TEST_F(SimMachineTest, BackingNullForInvalidAndFreedBuffers) {
+  EXPECT_EQ(machine_.backing(BufferId{}), nullptr);
+  EXPECT_EQ(machine_.backing(BufferId{999}), nullptr);
+  auto buffer = machine_.allocate(kMiB, 0, "gone", 4096);
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_NE(machine_.backing(*buffer), nullptr);
+  ASSERT_TRUE(machine_.free(*buffer).ok());
+  EXPECT_EQ(machine_.backing(*buffer), nullptr);
+}
+
+TEST_F(SimMachineTest, CapacityQueriesZeroForUnknownNodes) {
+  EXPECT_EQ(machine_.capacity_bytes(999), 0u);
+  EXPECT_EQ(machine_.used_bytes(999), 0u);
+  EXPECT_EQ(machine_.available_bytes(999), 0u);
+}
+
+TEST(SimMachineModelTest, MismatchedPerfModelSelfHealsAndReports) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  const std::size_t nodes = topology.numa_nodes().size();
+  ASSERT_GT(nodes, 1u);
+  SimMachine repaired(std::move(topology), MachinePerfModel(1));
+  EXPECT_TRUE(repaired.model_repaired());
+  EXPECT_EQ(repaired.perf_model().node_count(), nodes);
+
+  topo::Topology again = topo::xeon_clx_1lm();
+  MachinePerfModel matching = MachinePerfModel::calibrated_for(again);
+  SimMachine clean(std::move(again), std::move(matching));
+  EXPECT_FALSE(clean.model_repaired());
+}
+
+TEST_F(SimMachineTest, OfflineNodeRejectsNewWorkKeepsOldBuffers) {
+  auto resident = machine_.allocate(kGiB, 0, "resident", 4096);
+  ASSERT_TRUE(resident.ok());
+  auto roaming = machine_.allocate(kGiB, 1, "roaming");
+  ASSERT_TRUE(roaming.ok());
+
+  ASSERT_TRUE(machine_.set_node_online(0, false).ok());
+  EXPECT_FALSE(machine_.node_online(0));
+  EXPECT_EQ(machine_.available_bytes(0), 0u);
+
+  auto refused = machine_.allocate(kMiB, 0, "late");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, Errc::kOutOfCapacity);
+  EXPECT_NE(refused.error().message.find("offline"), std::string::npos);
+
+  auto migrated = machine_.migrate(*roaming, 0);
+  ASSERT_FALSE(migrated.ok());
+  EXPECT_EQ(migrated.error().code, Errc::kOutOfCapacity);
+
+  // Resident data stays valid and freeable while the node is out of service.
+  EXPECT_EQ(machine_.info(*resident).node, 0u);
+  EXPECT_NE(machine_.backing(*resident), nullptr);
+
+  ASSERT_TRUE(machine_.set_node_online(0, true).ok());
+  EXPECT_GT(machine_.available_bytes(0), 0u);
+  EXPECT_TRUE(machine_.allocate(kMiB, 0, "back").ok());
+}
+
+TEST_F(SimMachineTest, SetNodeOnlineRejectsUnknownNode) {
+  auto status = machine_.set_node_online(999, false);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::kInvalidArgument);
+}
+
 TEST(CacheModelTest, MissRateMonotoneInWorkingSet) {
   const std::uint64_t llc = 32 * kMiB;
   double previous = 0.0;

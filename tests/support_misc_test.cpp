@@ -173,6 +173,21 @@ TEST(ThreadPool, RunOnAllVisitsEveryWorker) {
   for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
 }
 
+TEST(ThreadPool, ZeroWorkersClampsToOneAndStillRuns) {
+  // Formerly an assert(workers > 0); release builds must survive a computed
+  // worker count of 0 (e.g. hardware_concurrency() - N underflowing).
+  ThreadPool pool(0);
+  std::atomic<int> workers_seen{0};
+  pool.run_on_all([&](std::size_t) { workers_seen.fetch_add(1); });
+  EXPECT_EQ(workers_seen.load(), 1);
+
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, ReusableAcrossCalls) {
   ThreadPool pool(2);
   std::atomic<long> sum{0};
