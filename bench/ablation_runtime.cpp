@@ -1,0 +1,413 @@
+// Ablation A11 (docs/RUNTIME.md): the online memory-management runtime vs
+// static placement on a phase-flipping workload.
+//
+// Part 1 streams through buffer S (STREAM-like), part 2 pointer-chases
+// through buffer R (BFS-like); fast memory only has room for one of them at
+// a time, so no static placement is right for the whole run. We compare:
+//
+//   worst            both buffers parked on the capacity target for the
+//                    whole run (whole-process-worst binding)
+//   oracle-static    best clock over every feasible static placement —
+//                    requires knowing the future
+//   offline-advisor  run once misplaced, ask alloc::advise_migrations for a
+//                    one-shot correction, rerun (the §VII loop)
+//   online           runtime::RuntimePolicy attached: epoch sampling, EMA
+//                    reclassification with hysteresis, budgeted migration,
+//                    costs charged to the simulated clock
+//
+// Acceptance gates (exit nonzero when violated):
+//   * online recovers >= 80% of oracle-static's advantage over worst
+//   * accepted-move sequence is identical at 1/1, 1/10 and 1/100 sampling
+//   * per-epoch migrated bytes never exceed the configured budget, and a
+//     budget of one buffer spreads a two-buffer promotion over two epochs
+//   * zero migrations on a phase-stable workload with hysteresis disabled
+#include "common.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hetmem/runtime/policy.hpp"
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/simmem/exec.hpp"
+#include "hetmem/support/table.hpp"
+
+using namespace hetmem;
+using support::kGiB;
+using support::kMiB;
+
+namespace {
+
+constexpr unsigned kThreads = 4;
+constexpr unsigned kPhasesPerPart = 24;
+constexpr std::uint64_t kBufferBytes = 1 * kGiB;
+constexpr std::uint64_t kFastHeadroom = kBufferBytes + kBufferBytes / 2;
+
+support::Bitmap first_initiator(const topo::Topology& topology) {
+  for (const topo::Object* node : topology.numa_nodes()) {
+    if (!node->cpuset().empty()) return node->cpuset();
+  }
+  return {};
+}
+
+unsigned best_target(const bench::Testbed& bed, attr::AttrId attribute) {
+  const auto ranked = bed.registry->targets_ranked(
+      attribute,
+      attr::Initiator::from_cpuset(first_initiator(bed.topology())));
+  return ranked.empty() ? 0 : ranked.front().target->logical_index();
+}
+
+runtime::RuntimePolicyOptions online_options() {
+  runtime::RuntimePolicyOptions options;
+  // Responsive smoothing: an idled buffer's EMA share decays below the
+  // insensitive threshold within ~3 epochs, so the engine can reclaim its
+  // fast-memory slot quickly after the flip (the reaction lag is the main
+  // recovery cost besides the migration bills themselves).
+  options.classifier.ema_alpha = 0.85;
+  options.classifier.hysteresis_epochs = 2;
+  options.engine.expected_future_epochs = 50.0;
+  return options;
+}
+
+struct FlipResult {
+  bool ok = false;
+  double clock_ns = 0.0;
+  std::uint64_t accepted = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t max_epoch_bytes = 0;
+  std::string decision_log;
+};
+
+/// Runs the phase-flip workload with S on `stream_node` and R on
+/// `random_node`. `online` attaches the runtime (placement then evolves).
+FlipResult run_flip(bench::Testbed& bed, unsigned stream_node,
+                    unsigned random_node, bool online,
+                    runtime::RuntimePolicyOptions options = online_options()) {
+  FlipResult result;
+  const support::Bitmap initiator = first_initiator(bed.topology());
+  const unsigned fast = best_target(bed, attr::kBandwidth);
+
+  // Squeeze fast memory so only one of the two buffers fits at a time.
+  const std::uint64_t fast_free = bed.machine->available_bytes(fast);
+  if (fast_free > kFastHeadroom) {
+    auto hog = bed.machine->allocate(fast_free - kFastHeadroom, fast,
+                                     "resident.hog", 4096);
+    if (!hog.ok()) return result;
+  }
+  auto streamed =
+      bed.machine->allocate(kBufferBytes, stream_node, "flip.stream", 1u << 16);
+  auto chased =
+      bed.machine->allocate(kBufferBytes, random_node, "flip.random", 1u << 16);
+  if (!streamed.ok() || !chased.ok()) return result;
+
+  sim::Array<double> stream_array(*bed.machine, *streamed);
+  sim::Array<double> chase_array(*bed.machine, *chased);
+  sim::ExecutionContext exec(*bed.machine, initiator, kThreads);
+
+  runtime::RuntimePolicy policy(*bed.allocator, initiator, options);
+  if (online) {
+    policy.attach(exec, [&] {
+      stream_array.refresh_model();
+      chase_array.refresh_model();
+    });
+  }
+
+  for (unsigned phase = 0; phase < kPhasesPerPart; ++phase) {
+    exec.run_phase("part1.stream", kThreads,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     if (begin >= end) return;
+                     stream_array.record_bulk_read(ctx, 512.0 * kMiB);
+                   });
+  }
+  for (unsigned phase = 0; phase < kPhasesPerPart; ++phase) {
+    exec.run_phase("part2.random", kThreads,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     if (begin >= end) return;
+                     chase_array.record_bulk_random_reads(ctx, 4e6);
+                   });
+  }
+
+  result.ok = true;
+  result.clock_ns = exec.clock_ns();
+  result.accepted = policy.engine().stats().accepted;
+  result.evicted = policy.engine().stats().evicted;
+  result.max_epoch_bytes = policy.engine().max_epoch_migrated_bytes();
+  result.decision_log = policy.render_decision_log();
+  return result;
+}
+
+/// Accepted/evicted move lines with the benefit figures stripped — the
+/// placement *decisions*, invariant under subsampling noise.
+std::vector<std::string> accepted_moves(const std::string& log) {
+  std::vector<std::string> moves;
+  std::istringstream lines(log);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.find(" accepted ") != std::string::npos ||
+        line.find(" evicted ") != std::string::npos) {
+      moves.push_back(line.substr(0, line.find(" benefit")));
+    }
+  }
+  return moves;
+}
+
+std::string ms(double ns) { return support::format_fixed(ns / 1e6, 1); }
+
+bool run_testbed(const char* name,
+                 const std::function<bench::Testbed()>& make) {
+  bool pass = true;
+  {
+    bench::Testbed probe_bed = make();
+    std::printf("\n== %s (fast=node %u, slow=node %u) ==\n", name,
+                best_target(probe_bed, attr::kBandwidth),
+                best_target(probe_bed, attr::kCapacity));
+  }
+
+  // Static variants: every feasible (S, R) placement over {fast, slow}.
+  double worst_ns = 0.0, oracle_ns = 0.0;
+  support::TextTable table({"variant", "S node", "R node", "clock (ms)",
+                            "moves"});
+  {
+    bench::Testbed bed = make();
+    const unsigned fast = best_target(bed, attr::kBandwidth);
+    const unsigned slow = best_target(bed, attr::kCapacity);
+    for (unsigned stream_node : {slow, fast}) {
+      for (unsigned random_node : {slow, fast}) {
+        bench::Testbed static_bed = make();
+        FlipResult result =
+            run_flip(static_bed, stream_node, random_node, false);
+        if (!result.ok) continue;  // infeasible (both in squeezed fast mem)
+        table.add_row({"static", std::to_string(stream_node),
+                       std::to_string(random_node), ms(result.clock_ns), "0"});
+        if (stream_node == slow && random_node == slow) {
+          worst_ns = result.clock_ns;
+        }
+        if (oracle_ns == 0.0 || result.clock_ns < oracle_ns) {
+          oracle_ns = result.clock_ns;
+        }
+      }
+    }
+
+  }
+
+  // Offline advisor: run misplaced while keeping the exec alive, advise,
+  // apply the one-shot advice, rerun on the corrected placement. One
+  // placement for the full run: it cannot track the flip, only fix the
+  // average.
+  double offline_ns = 0.0;
+  {
+    bench::Testbed bed = make();
+    const unsigned fast = best_target(bed, attr::kBandwidth);
+    const unsigned slow = best_target(bed, attr::kCapacity);
+    const support::Bitmap initiator = first_initiator(bed.topology());
+
+    const std::uint64_t fast_free = bed.machine->available_bytes(fast);
+    if (fast_free > kFastHeadroom) {
+      auto hog = bed.machine->allocate(fast_free - kFastHeadroom, fast,
+                                       "resident.hog", 4096);
+      if (!hog.ok()) return false;
+    }
+    auto streamed =
+        bed.machine->allocate(kBufferBytes, slow, "flip.stream", 1u << 16);
+    auto chased =
+        bed.machine->allocate(kBufferBytes, slow, "flip.random", 1u << 16);
+    if (!streamed.ok() || !chased.ok()) return false;
+    sim::Array<double> stream_array(*bed.machine, *streamed);
+    sim::Array<double> chase_array(*bed.machine, *chased);
+
+    sim::ExecutionContext observe_exec(*bed.machine, initiator, kThreads);
+    for (unsigned phase = 0; phase < kPhasesPerPart; ++phase) {
+      observe_exec.run_phase("part1.stream", kThreads,
+                             [&](sim::ThreadCtx& ctx, unsigned,
+                                 std::size_t begin, std::size_t end) {
+                               if (begin >= end) return;
+                               stream_array.record_bulk_read(ctx, 512.0 * kMiB);
+                             });
+    }
+    for (unsigned phase = 0; phase < kPhasesPerPart; ++phase) {
+      observe_exec.run_phase("part2.random", kThreads,
+                             [&](sim::ThreadCtx& ctx, unsigned,
+                                 std::size_t begin, std::size_t end) {
+                               if (begin >= end) return;
+                               chase_array.record_bulk_random_reads(ctx, 4e6);
+                             });
+    }
+    alloc::AdvisorOptions advisor_options;
+    advisor_options.expected_future_rounds = 1.0;  // one rerun of the run
+    const auto advice = alloc::advise_migrations(*bed.allocator, observe_exec,
+                                                 initiator, advisor_options);
+    double migration_bill = 0.0;
+    auto paid = alloc::apply_advice(*bed.allocator, advice, advisor_options);
+    if (paid.ok()) migration_bill = *paid;
+    stream_array.refresh_model();
+    chase_array.refresh_model();
+
+    sim::ExecutionContext replay_exec(*bed.machine, initiator, kThreads);
+    for (unsigned phase = 0; phase < kPhasesPerPart; ++phase) {
+      replay_exec.run_phase("part1.stream", kThreads,
+                            [&](sim::ThreadCtx& ctx, unsigned,
+                                std::size_t begin, std::size_t end) {
+                              if (begin >= end) return;
+                              stream_array.record_bulk_read(ctx, 512.0 * kMiB);
+                            });
+    }
+    for (unsigned phase = 0; phase < kPhasesPerPart; ++phase) {
+      replay_exec.run_phase("part2.random", kThreads,
+                            [&](sim::ThreadCtx& ctx, unsigned,
+                                std::size_t begin, std::size_t end) {
+                              if (begin >= end) return;
+                              chase_array.record_bulk_random_reads(ctx, 4e6);
+                            });
+    }
+    offline_ns = replay_exec.clock_ns() + migration_bill;
+    table.add_row({"offline-advisor", "-", "-", ms(offline_ns),
+                   std::to_string(advice.size())});
+  }
+
+  // Online runtime.
+  FlipResult online;
+  {
+    bench::Testbed bed = make();
+    const unsigned slow = best_target(bed, attr::kCapacity);
+    online = run_flip(bed, slow, slow, true);
+    if (!online.ok) return false;
+    table.add_row({"online-runtime", "-", "-", ms(online.clock_ns),
+                   std::to_string(online.accepted + online.evicted)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double advantage = worst_ns - oracle_ns;
+  const double recovered = worst_ns - online.clock_ns;
+  const double recovery =
+      advantage > 0.0 ? recovered / advantage : 1.0;
+  const bool recovery_ok = recovery >= 0.80;
+  std::printf(
+      "recovery: online recovers %s%% of oracle-static's advantage over the "
+      "worst placement [%s]\n",
+      support::format_fixed(recovery * 100.0, 1).c_str(),
+      recovery_ok ? "PASS" : "FAIL: < 80%");
+  pass &= recovery_ok;
+
+  // Sampling ablation: decisions must survive 1/10 and 1/100 subsampling.
+  const std::vector<std::string> exact_moves =
+      accepted_moves(online.decision_log);
+  for (double period : {10.0, 100.0}) {
+    bench::Testbed bed = make();
+    const unsigned slow = best_target(bed, attr::kCapacity);
+    runtime::RuntimePolicyOptions options = online_options();
+    options.sampler.sample_period = period;
+    FlipResult sampled = run_flip(bed, slow, slow, true, options);
+    const bool same = accepted_moves(sampled.decision_log) == exact_moves;
+    std::printf("sampling 1/%-3.0f: %zu moves, decision sequence %s\n", period,
+                accepted_moves(sampled.decision_log).size(),
+                same ? "identical to exact sampling [PASS]"
+                     : "DIVERGED from exact sampling [FAIL]");
+    pass &= same;
+  }
+  std::printf("online decision log (exact sampling):\n%s",
+              online.decision_log.c_str());
+  return pass;
+}
+
+/// Budget gate: two equally hot buffers, budget for one move per epoch.
+bool run_budget_section() {
+  std::printf("\n== migration budget (Xeon, two hot 1 GiB buffers, "
+              "1 GiB/epoch budget) ==\n");
+  bench::Testbed bed = bench::make_xeon();
+  const support::Bitmap initiator = first_initiator(bed.topology());
+  const unsigned slow = best_target(bed, attr::kCapacity);
+  auto first = bed.machine->allocate(kBufferBytes, slow, "hot.a", 1u << 16);
+  auto second = bed.machine->allocate(kBufferBytes, slow, "hot.b", 1u << 16);
+  if (!first.ok() || !second.ok()) return false;
+  sim::Array<double> first_array(*bed.machine, *first);
+  sim::Array<double> second_array(*bed.machine, *second);
+
+  sim::ExecutionContext exec(*bed.machine, initiator, kThreads);
+  runtime::RuntimePolicyOptions options = online_options();
+  options.classifier.hysteresis_epochs = 1;
+  options.engine.epoch_budget_bytes = kBufferBytes;
+  runtime::RuntimePolicy policy(*bed.allocator, initiator, options);
+  policy.attach(exec, [&] {
+    first_array.refresh_model();
+    second_array.refresh_model();
+  });
+
+  for (unsigned phase = 0; phase < 6; ++phase) {
+    exec.run_phase("hot", kThreads,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     if (begin >= end) return;
+                     first_array.record_bulk_random_reads(ctx, 4e6);
+                     second_array.record_bulk_random_reads(ctx, 4e6);
+                   });
+  }
+  const auto& stats = policy.engine().stats();
+  const std::uint64_t max_bytes = policy.engine().max_epoch_migrated_bytes();
+  const bool both_moved = stats.accepted == 2;
+  const bool within_budget = max_bytes <= kBufferBytes;
+  std::printf("accepted=%llu max bytes migrated in one epoch=%s (budget %s) "
+              "[%s]\n",
+              static_cast<unsigned long long>(stats.accepted),
+              support::format_bytes(max_bytes).c_str(),
+              support::format_bytes(kBufferBytes).c_str(),
+              both_moved && within_budget
+                  ? "PASS: spread over epochs, budget respected"
+                  : "FAIL");
+  return both_moved && within_budget;
+}
+
+/// Stability gate: attribute-placed stable workload, hysteresis off.
+bool run_stability_section() {
+  std::printf("\n== phase-stable workload, hysteresis disabled (Xeon) ==\n");
+  bench::Testbed bed = bench::make_xeon();
+  const support::Bitmap initiator = first_initiator(bed.topology());
+  const unsigned fast = best_target(bed, attr::kBandwidth);
+  auto buffer =
+      bed.machine->allocate(kBufferBytes, fast, "stable.stream", 1u << 16);
+  if (!buffer.ok()) return false;
+  sim::Array<double> array(*bed.machine, *buffer);
+
+  sim::ExecutionContext exec(*bed.machine, initiator, kThreads);
+  runtime::RuntimePolicyOptions options = online_options();
+  options.classifier.hysteresis_epochs = 1;
+  runtime::RuntimePolicy policy(*bed.allocator, initiator, options);
+  policy.attach(exec, [&] { array.refresh_model(); });
+
+  for (unsigned phase = 0; phase < 12; ++phase) {
+    exec.run_phase("stream", kThreads,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     if (begin >= end) return;
+                     array.record_bulk_read(ctx, 512.0 * kMiB);
+                   });
+  }
+  const bool quiet = policy.engine().stats().accepted == 0 &&
+                     policy.engine().stats().evicted == 0 &&
+                     bed.allocator->stats().migrations == 0;
+  std::printf("migrations=%llu [%s]\n",
+              static_cast<unsigned long long>(
+                  bed.allocator->stats().migrations),
+              quiet ? "PASS: nothing to do, nothing done" : "FAIL");
+  return quiet;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", support::banner(
+      "Ablation A11: online runtime vs static placement "
+      "(phase-flip workload)").c_str());
+
+  bool pass = true;
+  pass &= run_testbed("Xeon CLX 1LM", bench::make_xeon);
+  pass &= run_testbed("KNL SNC-4 flat", bench::make_knl);
+  pass &= run_budget_section();
+  pass &= run_stability_section();
+
+  std::printf("\n%s\n", pass ? "ALL GATES PASS"
+                             : "GATE VIOLATION (see FAIL lines above)");
+  return pass ? 0 : 1;
+}

@@ -39,6 +39,21 @@ struct AdvisorOptions {
   double min_traffic_share = 0.01;
 };
 
+/// Wall-clock cost of serving a recorded traffic profile from a given node —
+/// the benefit half of the break-even model. Shared between the offline
+/// advisor and the online runtime::MigrationEngine so both sides of the
+/// Fig. 6 loop price a move identically. Misses were summed across threads,
+/// which stall in parallel, so the stall component divides by `threads`
+/// (balanced assumption).
+struct TrafficCostModel {
+  double mlp = 6.0;
+  unsigned threads = 1;
+  [[nodiscard]] double cost_ns(const sim::SimMachine& machine, unsigned node,
+                               std::uint64_t declared_bytes,
+                               bool local_initiator,
+                               const sim::BufferTraffic& traffic) const;
+};
+
 /// Analyzes a finished run and returns the profitable moves, biggest net
 /// gain first. Pure analysis: nothing is migrated.
 std::vector<MigrationAdvice> advise_migrations(

@@ -83,6 +83,7 @@ struct AllocatorStats {
   std::uint64_t frees = 0;
   std::uint64_t migrations = 0;
   std::uint64_t bytes_allocated = 0;
+  std::uint64_t bytes_migrated = 0;
   std::uint64_t transient_retries = 0;   // kTransient failures retried
   std::uint64_t attribute_rescues = 0;   // degraded to kCapacity ranking
 };
@@ -119,6 +120,12 @@ class HeterogeneousAllocator {
   /// Moves a buffer and returns the modeled migration cost in simulated ns
   /// (copy at min(src read bw, dst write bw) plus per-page OS overhead).
   support::Result<double> migrate(sim::BufferId buffer, unsigned destination_node);
+
+  /// The cost migrate() would charge, without moving anything — what the
+  /// advisor and the online MigrationEngine gate their break-even decisions
+  /// on. 0 for the buffer's current node or a freed buffer.
+  [[nodiscard]] double estimate_migration_cost_ns(sim::BufferId buffer,
+                                                  unsigned destination_node) const;
 
   // --- hybrid (partial) allocations, paper §VII ---
 
@@ -187,6 +194,9 @@ class HeterogeneousAllocator {
   [[nodiscard]] const attr::MemAttrRegistry& registry() const { return *registry_; }
 
   void set_migration_cost_model(MigrationCostModel model) { migration_model_ = model; }
+  [[nodiscard]] const MigrationCostModel& migration_cost_model() const {
+    return migration_model_;
+  }
 
  private:
   support::Result<Allocation> try_targets(

@@ -100,6 +100,13 @@ class Graph500Runner {
   [[nodiscard]] support::Status validate_last_tree() const;
 
   [[nodiscard]] const sim::ExecutionContext& exec() const { return *exec_; }
+  [[nodiscard]] sim::ExecutionContext& exec() { return *exec_; }
+
+  /// Re-reads buffer locations into the instrumented array views — pass as
+  /// RuntimePolicy::attach's post-migration hook when the online runtime
+  /// moves buffers mid-run.
+  void refresh_arrays();
+
   [[nodiscard]] const CsrGraph& graph() const { return graph_; }
   [[nodiscard]] unsigned node_of_graph() const;
   [[nodiscard]] unsigned node_of_parents() const;

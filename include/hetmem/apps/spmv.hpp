@@ -68,6 +68,12 @@ class SpmvRunner {
   support::Result<SpmvResult> run();
 
   [[nodiscard]] const sim::ExecutionContext& exec() const { return *exec_; }
+  [[nodiscard]] sim::ExecutionContext& exec() { return *exec_; }
+
+  /// Re-reads buffer locations into the instrumented array views — pass as
+  /// RuntimePolicy::attach's post-migration hook when the online runtime
+  /// moves buffers mid-run.
+  void refresh_arrays();
 
  private:
   SpmvRunner(sim::SimMachine& machine, SpmvConfig config);
@@ -77,6 +83,9 @@ class SpmvRunner {
   std::vector<sim::BufferId> owned_;
   sim::BufferId values_id_{}, indices_id_{}, offsets_id_{}, x_id_{}, y_id_{};
   std::unique_ptr<sim::ExecutionContext> exec_;
+  std::unique_ptr<sim::Array<double>> values_, x_, y_;
+  std::unique_ptr<sim::Array<std::uint32_t>> indices_;
+  std::unique_ptr<sim::Array<std::uint64_t>> offsets_;
 };
 
 }  // namespace hetmem::apps

@@ -56,6 +56,12 @@ class StreamRunner {
   support::Result<StreamResult> run_triad();
 
   [[nodiscard]] const sim::ExecutionContext& exec() const { return *exec_; }
+  [[nodiscard]] sim::ExecutionContext& exec() { return *exec_; }
+
+  /// Re-reads buffer locations into the instrumented array views — pass as
+  /// RuntimePolicy::attach's post-migration hook when the online runtime
+  /// moves buffers mid-run.
+  void refresh_arrays();
 
  private:
   StreamRunner(sim::SimMachine& machine, StreamConfig config);

@@ -31,6 +31,9 @@ namespace site {
 inline constexpr const char* kMachineAllocTransient = "machine.alloc.transient";
 /// SimMachine::allocate marks the requested node offline (sticky) and fails.
 inline constexpr const char* kMachineNodeOffline = "machine.node.offline";
+/// SimMachine::migrate returns a transient (retryable) failure — the move_pages
+/// analogue of a busy page or exhausted kernel migration slot.
+inline constexpr const char* kMachineMigrateTransient = "machine.migrate.transient";
 /// probe::measure fails outright (device busy, perf counters unavailable).
 inline constexpr const char* kProbeFail = "probe.fail";
 /// probe::measure result is multiplied by a noise factor per metric.

@@ -1,0 +1,72 @@
+// Shared sensitivity-classification rule.
+//
+// The offline profiler (prof::profile_buffers) and the online runtime
+// (runtime::OnlineClassifier) must agree on what makes a buffer latency-,
+// bandwidth- or in-sensitive — otherwise the Fig. 6 loop gives different
+// hints depending on whether it runs post-hoc or live. Both call the single
+// pure function below with the same ClassifyThresholds defaults; a unit test
+// (tests/runtime_test.cpp, SharedThresholds.*) asserts they cannot drift.
+#pragma once
+
+#include <cstdint>
+
+#include "hetmem/memattr/memattr.hpp"
+
+namespace hetmem::prof {
+
+enum class Sensitivity : std::uint8_t {
+  kLatency,      // dominated by dependent-load misses -> wants low Latency
+  kBandwidth,    // dominated by streamed traffic -> wants high Bandwidth
+  kInsensitive,  // negligible memory traffic -> wants Capacity headroom
+};
+
+[[nodiscard]] constexpr const char* sensitivity_name(Sensitivity sensitivity) {
+  switch (sensitivity) {
+    case Sensitivity::kLatency: return "latency";
+    case Sensitivity::kBandwidth: return "bandwidth";
+    case Sensitivity::kInsensitive: return "insensitive";
+  }
+  return "?";
+}
+
+/// The two knobs the classification depends on. Defaults are the calibrated
+/// Table IV / Fig. 7 values; change them in ONE place only.
+struct ClassifyThresholds {
+  /// Buffers contributing less than this share of the window's total memory
+  /// traffic are classified insensitive.
+  double insensitive_traffic_share = 0.01;
+  /// Above this fraction of a buffer's LLC misses coming from random
+  /// (dependent-indexed) accesses, it is latency-sensitive; below,
+  /// bandwidth-sensitive.
+  double random_miss_threshold = 0.5;
+};
+
+/// The shared rule. `traffic_share` is the buffer's fraction of total memory
+/// bytes over the observation window; `llc_misses` / `random_misses` are its
+/// (expected, fractional) miss counters over the same window.
+[[nodiscard]] constexpr Sensitivity classify_sensitivity(
+    double traffic_share, double llc_misses, double random_misses,
+    const ClassifyThresholds& thresholds = {}) {
+  if (traffic_share < thresholds.insensitive_traffic_share) {
+    return Sensitivity::kInsensitive;
+  }
+  if (llc_misses > 0.0 &&
+      random_misses / llc_misses >= thresholds.random_miss_threshold) {
+    return Sensitivity::kLatency;
+  }
+  return Sensitivity::kBandwidth;
+}
+
+/// The allocation hint the Fig. 6 workflow feeds back into mem_alloc() —
+/// shared so offline re-allocation and online migration request the same
+/// attribute for the same behavior.
+[[nodiscard]] constexpr attr::AttrId allocation_hint(Sensitivity sensitivity) {
+  switch (sensitivity) {
+    case Sensitivity::kLatency: return attr::kLatency;
+    case Sensitivity::kBandwidth: return attr::kBandwidth;
+    case Sensitivity::kInsensitive: return attr::kCapacity;
+  }
+  return attr::kCapacity;
+}
+
+}  // namespace hetmem::prof

@@ -18,18 +18,11 @@
 #include <vector>
 
 #include "hetmem/memattr/memattr.hpp"
+#include "hetmem/prof/classify.hpp"
 #include "hetmem/simmem/exec.hpp"
 #include "hetmem/simmem/machine.hpp"
 
 namespace hetmem::prof {
-
-enum class Sensitivity : std::uint8_t {
-  kLatency,      // dominated by dependent-load misses -> wants low Latency
-  kBandwidth,    // dominated by streamed traffic -> wants high Bandwidth
-  kInsensitive,  // negligible memory traffic -> wants Capacity headroom
-};
-
-[[nodiscard]] const char* sensitivity_name(Sensitivity sensitivity);
 
 /// Table IV analogue; percentages in [0, 100].
 struct BoundnessSummary {
@@ -67,12 +60,9 @@ struct ProfileOptions {
   /// Bandwidth utilization above which a phase counts as "bandwidth bound"
   /// for a kind (VTune's high-BW-utilization threshold).
   double bw_bound_utilization = 0.60;
-  /// Buffers contributing less than this share of total memory traffic are
-  /// classified insensitive.
-  double insensitive_traffic_share = 0.01;
-  /// Above this fraction of a buffer's misses coming from random accesses,
-  /// it is latency-sensitive; below, bandwidth-sensitive.
-  double random_miss_threshold = 0.5;
+  /// Sensitivity thresholds, shared with the online runtime classifier
+  /// (see classify.hpp).
+  ClassifyThresholds classify;
 };
 
 /// Application-level summary over everything the context executed.
@@ -82,9 +72,6 @@ BoundnessSummary summarize(const sim::ExecutionContext& exec,
 /// Per-buffer hot-object analysis, most memory traffic first.
 std::vector<BufferProfile> profile_buffers(const sim::ExecutionContext& exec,
                                            const ProfileOptions& options = {});
-
-/// The allocation hint the Fig. 6 workflow feeds back into mem_alloc().
-[[nodiscard]] attr::AttrId allocation_hint(Sensitivity sensitivity);
 
 /// Rendering (Table IV row / Fig. 7 object list).
 std::string render_summary(const BoundnessSummary& summary);

@@ -1,0 +1,77 @@
+// Online sensitivity classification with hysteresis.
+//
+// The offline profiler classifies a buffer once, over a whole finished run.
+// Online, behavior drifts: a buffer that streamed during one phase may become
+// the pointer-chase hot set of the next. The OnlineClassifier keeps a
+// per-buffer exponential moving average of epoch traffic and re-evaluates the
+// *shared* classification rule (prof::classify_sensitivity — identical
+// thresholds to the offline path by construction) against the EMA. To prevent
+// ping-ponging, a changed verdict is only *committed* after the instantaneous
+// classification has disagreed with the committed one for
+// `hysteresis_epochs` consecutive epochs.
+#pragma once
+
+#include <vector>
+
+#include "hetmem/prof/classify.hpp"
+#include "hetmem/runtime/epoch.hpp"
+
+namespace hetmem::runtime {
+
+struct ClassifierOptions {
+  /// Weight of the newest epoch in the moving average, in (0, 1].
+  /// 1.0 = no smoothing (the EMA is just the last epoch).
+  double ema_alpha = 0.5;
+  /// Consecutive epochs the instantaneous classification must disagree with
+  /// the committed one before the change commits. <= 1 commits on the first
+  /// disagreeing epoch (hysteresis disabled).
+  unsigned hysteresis_epochs = 3;
+  /// Shared with the offline profiler (prof::ProfileOptions::classify).
+  prof::ClassifyThresholds thresholds;
+};
+
+struct Reclassification {
+  sim::BufferId buffer;
+  prof::Sensitivity previous;
+  prof::Sensitivity current;
+};
+
+class OnlineClassifier {
+ public:
+  explicit OnlineClassifier(ClassifierOptions options = {});
+
+  /// Folds one epoch into the moving averages and returns the commits it
+  /// caused (ascending buffer index). A buffer's first-ever epoch commits
+  /// immediately — there is no placement to disagree with yet.
+  std::vector<Reclassification> observe(const Epoch& epoch);
+
+  struct BufferState {
+    bool tracked = false;
+    /// EMA of per-epoch traffic. Decays toward zero on epochs where the
+    /// buffer was idle, so cold buffers drift to kInsensitive (and become
+    /// eviction candidates) instead of keeping their last hot verdict.
+    sim::BufferTraffic ema;
+    prof::Sensitivity committed = prof::Sensitivity::kInsensitive;
+    /// Candidate verdict while a disagreement streak is running.
+    prof::Sensitivity pending = prof::Sensitivity::kInsensitive;
+    unsigned disagreement_streak = 0;
+  };
+
+  /// Indexed by buffer index; entries for never-seen buffers are untracked.
+  [[nodiscard]] const std::vector<BufferState>& states() const {
+    return states_;
+  }
+  /// Committed verdict (kInsensitive for untracked buffers).
+  [[nodiscard]] prof::Sensitivity committed(sim::BufferId buffer) const;
+  [[nodiscard]] bool tracked(sim::BufferId buffer) const;
+  /// EMA of total per-epoch memory bytes across all buffers.
+  [[nodiscard]] double ema_total_bytes() const { return ema_total_bytes_; }
+  [[nodiscard]] const ClassifierOptions& options() const { return options_; }
+
+ private:
+  ClassifierOptions options_;
+  std::vector<BufferState> states_;
+  double ema_total_bytes_ = 0.0;
+};
+
+}  // namespace hetmem::runtime

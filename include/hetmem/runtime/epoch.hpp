@@ -1,0 +1,79 @@
+// Epoch sampling — the online runtime's measurement front-end.
+//
+// An *epoch* is the unit at which the runtime observes and acts: every
+// `phases_per_epoch` completed phases, the sampler diffs the execution
+// context's cumulative per-buffer traffic against its previous snapshot and
+// emits the delta. `sample_period` emulates PEBS-style sampled tracking
+// (Olson et al., arXiv:2110.02150; Nonell et al., arXiv:2011.13432): with a
+// period P, counters are only known at a granularity of P events (P cache
+// lines for byte counters), reconstructed by seeded stochastic rounding so
+// the estimate is unbiased AND deterministic for a fixed seed.
+// bench/ablation_runtime shows placement decisions survive P = 10..100.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hetmem/simmem/exec.hpp"
+#include "hetmem/support/rng.hpp"
+
+namespace hetmem::runtime {
+
+struct SamplerOptions {
+  /// Completed phases per emitted epoch (>= 1).
+  unsigned phases_per_epoch = 1;
+  /// PEBS-style subsample period: 1 = exact counters, N = one sample every
+  /// N events (N*64 bytes for byte counters), reconstructed multiplicatively.
+  double sample_period = 1.0;
+  /// Seed for the stochastic-rounding stream (decisions replay for a fixed
+  /// seed).
+  std::uint64_t seed = 0x5eed;
+};
+
+struct EpochSample {
+  sim::BufferId buffer;
+  /// Estimated traffic delta over the epoch (post-subsampling).
+  sim::BufferTraffic traffic;
+};
+
+struct Epoch {
+  std::uint64_t index = 0;
+  /// Simulated time covered (includes overhead charged between phases).
+  double duration_ns = 0.0;
+  /// Sum of sampled memory_bytes over this epoch's samples.
+  double total_memory_bytes = 0.0;
+  /// Buffers with any estimated traffic this epoch, ascending buffer index.
+  std::vector<EpochSample> samples;
+};
+
+class EpochSampler {
+ public:
+  explicit EpochSampler(SamplerOptions options = {});
+
+  /// Call once per completed phase (RuntimePolicy wires this to the
+  /// ExecutionContext's phase observer). Returns an epoch every
+  /// phases_per_epoch calls, std::nullopt in between.
+  std::optional<Epoch> on_phase(const sim::ExecutionContext& exec);
+
+  /// Emits an epoch from whatever accumulated since the last one, resetting
+  /// the phase countdown — e.g. to flush at the end of a run.
+  Epoch force_epoch(const sim::ExecutionContext& exec);
+
+  [[nodiscard]] std::uint64_t epochs_emitted() const { return epochs_; }
+  [[nodiscard]] const SamplerOptions& options() const { return options_; }
+
+ private:
+  Epoch make_epoch(const sim::ExecutionContext& exec);
+  /// Stochastic rounding of `value` to multiples of `quantum`.
+  double subsample(double value, double quantum);
+
+  SamplerOptions options_;
+  support::Xoshiro256 rng_;
+  std::vector<sim::BufferTraffic> snapshot_;
+  double snapshot_clock_ns_ = 0.0;
+  unsigned phases_since_epoch_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace hetmem::runtime

@@ -1,0 +1,77 @@
+// RuntimePolicy — the ~3-line opt-in façade for online memory management.
+//
+//   runtime::RuntimePolicy policy(allocator, initiator, options);
+//   policy.attach(runner.exec(), [&] { runner.refresh_arrays(); });
+//   runner.run(...);   // buffers now migrate mid-run as behavior shifts
+//
+// Wires EpochSampler -> OnlineClassifier -> MigrationEngine into an
+// ExecutionContext's phase observer: each completed phase may close an
+// epoch, each epoch updates the moving averages, and the engine migrates
+// whatever passes its gates. Migration cost is charged into the context's
+// simulated clock (the run pays for its own management), and the
+// post-migration hook lets the application refresh its sim::Array views.
+//
+// Everything downstream of the (seeded) sampler is deterministic, so the
+// whole decision log replays byte-identically for a fixed seed — including
+// under fault injection, whose per-site streams are independent of ours.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "hetmem/runtime/classifier.hpp"
+#include "hetmem/runtime/engine.hpp"
+#include "hetmem/runtime/epoch.hpp"
+
+namespace hetmem::runtime {
+
+struct RuntimePolicyOptions {
+  SamplerOptions sampler;
+  ClassifierOptions classifier;
+  EngineOptions engine;
+  /// Charge paid migration cost into the execution context's simulated
+  /// clock via charge_overhead_ns().
+  bool charge_migration_cost = true;
+};
+
+class RuntimePolicy {
+ public:
+  RuntimePolicy(alloc::HeterogeneousAllocator& allocator,
+                support::Bitmap initiator, RuntimePolicyOptions options = {});
+
+  /// Installs this policy as `exec`'s phase observer. `post_migration` runs
+  /// after any epoch that moved at least one buffer (applications refresh
+  /// their array views there). Both `exec` and the policy must outlive the
+  /// run; re-attaching to another context is allowed.
+  void attach(sim::ExecutionContext& exec,
+              std::function<void()> post_migration = {});
+
+  /// Manual driving without attach(): call once per completed phase.
+  void on_phase(sim::ExecutionContext& exec);
+
+  [[nodiscard]] const EpochSampler& sampler() const { return sampler_; }
+  [[nodiscard]] const OnlineClassifier& classifier() const {
+    return classifier_;
+  }
+  [[nodiscard]] const MigrationEngine& engine() const { return engine_; }
+  [[nodiscard]] const std::vector<Decision>& decisions() const {
+    return engine_.decisions();
+  }
+  [[nodiscard]] std::string render_decision_log() const {
+    return engine_.render_decision_log();
+  }
+  [[nodiscard]] double total_migration_cost_ns() const {
+    return engine_.stats().migration_cost_ns;
+  }
+
+ private:
+  alloc::HeterogeneousAllocator* allocator_;
+  EpochSampler sampler_;
+  OnlineClassifier classifier_;
+  MigrationEngine engine_;
+  bool charge_migration_cost_;
+  std::function<void()> post_migration_;
+};
+
+}  // namespace hetmem::runtime

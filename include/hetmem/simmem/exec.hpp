@@ -97,6 +97,22 @@ class ExecutionContext {
   [[nodiscard]] double clock_ns() const { return clock_ns_; }
   [[nodiscard]] const std::vector<PhaseResult>& history() const { return history_; }
 
+  /// Called after every run_phase() resolves and the clock has advanced —
+  /// the hook the online runtime (runtime::RuntimePolicy) attaches to.
+  /// The observer must not start phases on this context. Replacing the
+  /// observer is allowed; an empty function detaches.
+  using PhaseObserver = std::function<void(const PhaseResult&)>;
+  void set_phase_observer(PhaseObserver observer) {
+    phase_observer_ = std::move(observer);
+  }
+
+  /// Adds out-of-phase simulated time to the clock — e.g. the cost of a
+  /// mid-run migration, which happens between phases and so is never
+  /// accounted by resolve_phase().
+  void charge_overhead_ns(double ns) {
+    if (ns > 0.0) clock_ns_ += ns;
+  }
+
   /// Cumulative per-buffer traffic merged across all workers (for prof::).
   [[nodiscard]] std::vector<BufferTraffic> merged_buffer_traffic() const;
 
@@ -107,6 +123,7 @@ class ExecutionContext {
   std::unique_ptr<support::ThreadPool> pool_;
   double clock_ns_ = 0.0;
   std::vector<PhaseResult> history_;
+  PhaseObserver phase_observer_;
 };
 
 }  // namespace hetmem::sim

@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "hetmem/prof/classify.hpp"
+
 namespace hetmem::alloc {
 
 using support::Result;
+
+double TrafficCostModel::cost_ns(const sim::SimMachine& machine, unsigned node,
+                                 std::uint64_t declared_bytes,
+                                 bool local_initiator,
+                                 const sim::BufferTraffic& traffic) const {
+  const sim::EffectiveNodePerf perf =
+      machine.perf_model().effective(node, declared_bytes, local_initiator);
+  const double thread_count = std::max(1u, threads);
+  const double stall =
+      traffic.random_misses / thread_count * perf.latency_ns / mlp;
+  const double stream_bytes =
+      std::max(0.0, traffic.memory_bytes - traffic.random_misses * 64.0);
+  // Split streamed bytes evenly over read/write paths for the estimate.
+  const double bw_time = stream_bytes / 2.0 / perf.read_bw * 1e9 +
+                         stream_bytes / 2.0 / perf.write_bw * 1e9;
+  return stall + bw_time;
+}
 
 std::vector<MigrationAdvice> advise_migrations(
     const HeterogeneousAllocator& allocator, const sim::ExecutionContext& exec,
@@ -28,11 +47,12 @@ std::vector<MigrationAdvice> advise_migrations(
     const sim::BufferInfo& info = machine.info(sim::BufferId{index});
     if (info.freed) continue;
 
-    // Dominant behavior decides the criterion (as the profiler would hint).
-    const bool latency_dominated =
-        bt.llc_misses > 0.0 && bt.random_misses / bt.llc_misses >= 0.5;
-    const attr::AttrId attribute =
-        latency_dominated ? attr::kLatency : attr::kBandwidth;
+    // Dominant behavior decides the criterion, via the shared thresholds the
+    // profiler hints with (traffic share 1.0: insensitivity was already
+    // filtered by min_traffic_share above).
+    const prof::Sensitivity sensitivity =
+        prof::classify_sensitivity(1.0, bt.llc_misses, bt.random_misses);
+    const attr::AttrId attribute = prof::allocation_hint(sensitivity);
     auto ranked = registry.targets_ranked(attribute, query);
     if (ranked.empty()) continue;
 
@@ -53,36 +73,18 @@ std::vector<MigrationAdvice> advise_migrations(
     const unsigned to_node = destination->logical_index();
 
     // Wall-clock cost of the observed traffic on current vs destination
-    // node. Misses were summed across threads, which stall in parallel, so
-    // the stall component divides by the thread count (balanced assumption).
-    const double threads = std::max(1u, exec.thread_count());
+    // node, via the shared model the online engine also uses.
+    const TrafficCostModel cost_model{options.mlp, exec.thread_count()};
     auto traffic_cost = [&](unsigned node) {
-      const sim::EffectiveNodePerf perf = machine.perf_model().effective(
-          node, info.declared_bytes, initiator.is_subset_of(
-                                         machine.topology().numa_node(node)->cpuset()));
-      const double stall =
-          bt.random_misses / threads * perf.latency_ns / options.mlp;
-      const double stream_bytes =
-          std::max(0.0, bt.memory_bytes - bt.random_misses * 64.0);
-      // Split streamed bytes evenly over read/write paths for the estimate.
-      const double bw_time = stream_bytes / 2.0 / perf.read_bw * 1e9 +
-                             stream_bytes / 2.0 / perf.write_bw * 1e9;
-      return stall + bw_time;
+      const bool local = initiator.is_subset_of(
+          machine.topology().numa_node(node)->cpuset());
+      return cost_model.cost_ns(machine, node, info.declared_bytes, local, bt);
     };
     const double benefit = traffic_cost(info.node) - traffic_cost(to_node);
     if (benefit <= 0.0) continue;
 
-    const MigrationCostModel cost_model;  // allocator defaults
-    const double pages = static_cast<double>(
-        (info.declared_bytes + cost_model.page_bytes - 1) / cost_model.page_bytes);
-    const sim::EffectiveNodePerf src = machine.perf_model().effective(
-        info.node, info.declared_bytes, true);
-    const sim::EffectiveNodePerf dst =
-        machine.perf_model().effective(to_node, info.declared_bytes, true);
     const double cost =
-        pages * cost_model.per_page_overhead_ns +
-        static_cast<double>(info.declared_bytes) /
-            std::min(src.read_bw, dst.write_bw) * 1e9;
+        allocator.estimate_migration_cost_ns(sim::BufferId{index}, to_node);
 
     MigrationAdvice entry;
     entry.buffer = sim::BufferId{index};

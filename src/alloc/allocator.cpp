@@ -209,28 +209,34 @@ Status HeterogeneousAllocator::mem_free(sim::BufferId buffer) {
   return {};
 }
 
+double HeterogeneousAllocator::estimate_migration_cost_ns(
+    sim::BufferId buffer, unsigned destination_node) const {
+  const sim::BufferInfo info = machine_->info(buffer);
+  if (info.freed || info.node == destination_node) return 0.0;
+  const auto& model = machine_->perf_model();
+  const sim::EffectiveNodePerf src =
+      model.effective(info.node, info.declared_bytes, /*local_initiator=*/true);
+  const sim::EffectiveNodePerf dst = model.effective(
+      destination_node, info.declared_bytes, /*local_initiator=*/true);
+  const double copy_bw = std::min(src.read_bw, dst.write_bw);
+  const double pages = static_cast<double>(
+      (info.declared_bytes + migration_model_.page_bytes - 1) /
+      migration_model_.page_bytes);
+  return pages * migration_model_.per_page_overhead_ns +
+         static_cast<double>(info.declared_bytes) / copy_bw * 1e9;
+}
+
 Result<double> HeterogeneousAllocator::migrate(sim::BufferId buffer,
                                                unsigned destination_node) {
   const sim::BufferInfo before = machine_->info(buffer);
+  const double cost_ns = estimate_migration_cost_ns(buffer, destination_node);
   if (Status status = machine_->migrate(buffer, destination_node); !status.ok()) {
     return status.error();
   }
   if (before.node == destination_node) return 0.0;
 
-  const auto& model = machine_->perf_model();
-  const sim::EffectiveNodePerf src =
-      model.effective(before.node, before.declared_bytes, /*local_initiator=*/true);
-  const sim::EffectiveNodePerf dst = model.effective(
-      destination_node, before.declared_bytes, /*local_initiator=*/true);
-  const double copy_bw = std::min(src.read_bw, dst.write_bw);
-  const double pages = static_cast<double>(
-      (before.declared_bytes + migration_model_.page_bytes - 1) /
-      migration_model_.page_bytes);
-  const double cost_ns =
-      pages * migration_model_.per_page_overhead_ns +
-      static_cast<double>(before.declared_bytes) / copy_bw * 1e9;
-
   ++stats_.migrations;
+  stats_.bytes_migrated += before.declared_bytes;
   trace_.push_back(TraceEvent{TraceEvent::Kind::kMigrate, before.label,
                               destination_node, before.declared_bytes,
                               "from node " + std::to_string(before.node)});

@@ -165,6 +165,14 @@ std::uint64_t Graph500Runner::declared_graph_bytes() const {
   return graph500_declared_bytes(config_.scale_declared, config_.edgefactor);
 }
 
+void Graph500Runner::refresh_arrays() {
+  offsets_->refresh_model();
+  targets_->refresh_model();
+  parents_->refresh_model();
+  frontier_->refresh_model();
+  visited_->refresh_model();
+}
+
 Result<std::pair<double, std::uint64_t>> Graph500Runner::bfs_from(
     std::uint32_t root) {
   const CsrGraph& graph = graph_;

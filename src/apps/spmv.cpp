@@ -98,11 +98,20 @@ Result<std::unique_ptr<SpmvRunner>> SpmvRunner::create(
                                                           config.threads);
   runner->exec_->set_mlp(config.mlp);
 
+  runner->values_ = std::make_unique<sim::Array<double>>(machine,
+                                                         runner->values_id_);
+  runner->indices_ =
+      std::make_unique<sim::Array<std::uint32_t>>(machine, runner->indices_id_);
+  runner->offsets_ =
+      std::make_unique<sim::Array<std::uint64_t>>(machine, runner->offsets_id_);
+  runner->x_ = std::make_unique<sim::Array<double>>(machine, runner->x_id_);
+  runner->y_ = std::make_unique<sim::Array<double>>(machine, runner->y_id_);
+
   // Build a random sparse matrix and input vector (untimed construction).
-  sim::Array<double> values(machine, runner->values_id_);
-  sim::Array<std::uint32_t> indices(machine, runner->indices_id_);
-  sim::Array<std::uint64_t> offsets(machine, runner->offsets_id_);
-  sim::Array<double> x(machine, runner->x_id_);
+  sim::Array<double>& values = *runner->values_;
+  sim::Array<std::uint32_t>& indices = *runner->indices_;
+  sim::Array<std::uint64_t>& offsets = *runner->offsets_;
+  sim::Array<double>& x = *runner->x_;
   support::Xoshiro256 rng(config.seed);
   for (std::uint32_t row = 0; row <= config.backing_rows; ++row) {
     offsets.span()[row] =
@@ -119,12 +128,20 @@ Result<std::unique_ptr<SpmvRunner>> SpmvRunner::create(
   return runner;
 }
 
+void SpmvRunner::refresh_arrays() {
+  values_->refresh_model();
+  indices_->refresh_model();
+  offsets_->refresh_model();
+  x_->refresh_model();
+  y_->refresh_model();
+}
+
 Result<SpmvResult> SpmvRunner::run() {
-  sim::Array<double> values(*machine_, values_id_);
-  sim::Array<std::uint32_t> indices(*machine_, indices_id_);
-  sim::Array<std::uint64_t> offsets(*machine_, offsets_id_);
-  sim::Array<double> x(*machine_, x_id_);
-  sim::Array<double> y(*machine_, y_id_);
+  sim::Array<double>& values = *values_;
+  sim::Array<std::uint32_t>& indices = *indices_;
+  sim::Array<std::uint64_t>& offsets = *offsets_;
+  sim::Array<double>& x = *x_;
+  sim::Array<double>& y = *y_;
 
   const std::uint32_t rows = config_.backing_rows;
   // Scale factor: declared traffic per backing element.

@@ -74,6 +74,12 @@ Result<std::unique_ptr<StreamRunner>> StreamRunner::create(
   return runner;
 }
 
+void StreamRunner::refresh_arrays() {
+  a_->refresh_model();
+  b_->refresh_model();
+  c_->refresh_model();
+}
+
 Result<StreamResult> StreamRunner::run_triad() {
   const std::size_t n_backing = a_->size();
   const std::uint64_t declared_each = config_.declared_total_bytes / 3;

@@ -130,6 +130,7 @@ FaultInjector FaultInjector::preset(std::string_view name, std::uint64_t seed) {
                        {.probability = 0.25, .burst = 2});
     injector.configure(site::kMachineNodeOffline,
                        {.probability = 0.02, .max_count = 1});
+    injector.configure(site::kMachineMigrateTransient, {.probability = 0.2});
     injector.configure(site::kProbeFail, {.probability = 0.15});
     injector.configure(site::kProbeNoise,
                        {.probability = 0.6, .noise_sigma = 0.35});

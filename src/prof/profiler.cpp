@@ -8,15 +8,6 @@
 
 namespace hetmem::prof {
 
-const char* sensitivity_name(Sensitivity sensitivity) {
-  switch (sensitivity) {
-    case Sensitivity::kLatency: return "latency";
-    case Sensitivity::kBandwidth: return "bandwidth";
-    case Sensitivity::kInsensitive: return "insensitive";
-  }
-  return "?";
-}
-
 BoundnessSummary summarize(const sim::ExecutionContext& exec,
                            const ProfileOptions& options) {
   BoundnessSummary summary;
@@ -100,14 +91,9 @@ std::vector<BufferProfile> profile_buffers(const sim::ExecutionContext& exec,
 
     const double traffic_share =
         total_memory_bytes > 0.0 ? bt.memory_bytes / total_memory_bytes : 0.0;
-    if (traffic_share < options.insensitive_traffic_share) {
-      profile.sensitivity = Sensitivity::kInsensitive;
-    } else if (bt.llc_misses > 0.0 &&
-               bt.random_misses / bt.llc_misses >= options.random_miss_threshold) {
-      profile.sensitivity = Sensitivity::kLatency;
-    } else {
-      profile.sensitivity = Sensitivity::kBandwidth;
-    }
+    profile.sensitivity = classify_sensitivity(traffic_share, bt.llc_misses,
+                                               bt.random_misses,
+                                               options.classify);
     profiles.push_back(std::move(profile));
   }
 
@@ -116,15 +102,6 @@ std::vector<BufferProfile> profile_buffers(const sim::ExecutionContext& exec,
                      return a.memory_bytes > b.memory_bytes;
                    });
   return profiles;
-}
-
-attr::AttrId allocation_hint(Sensitivity sensitivity) {
-  switch (sensitivity) {
-    case Sensitivity::kLatency: return attr::kLatency;
-    case Sensitivity::kBandwidth: return attr::kBandwidth;
-    case Sensitivity::kInsensitive: return attr::kCapacity;
-  }
-  return attr::kCapacity;
 }
 
 std::string render_summary(const BoundnessSummary& summary) {

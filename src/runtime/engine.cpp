@@ -1,0 +1,341 @@
+#include "hetmem/runtime/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "hetmem/support/str.hpp"
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::runtime {
+
+namespace {
+
+/// Planned eviction while a promotion is being evaluated.
+struct PlannedEviction {
+  sim::BufferId buffer;
+  unsigned to_node = 0;
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAccepted: return "accepted";
+    case Verdict::kEvicted: return "evicted";
+    case Verdict::kRejectedNoTarget: return "rejected:no-target";
+    case Verdict::kRejectedCapacity: return "rejected:capacity";
+    case Verdict::kRejectedNoBenefit: return "rejected:no-benefit";
+    case Verdict::kRejectedBreakeven: return "rejected:breakeven";
+    case Verdict::kRejectedBudget: return "rejected:budget";
+    case Verdict::kFailedMigrate: return "failed:migrate";
+  }
+  return "?";
+}
+
+MigrationEngine::MigrationEngine(alloc::HeterogeneousAllocator& allocator,
+                                 support::Bitmap initiator,
+                                 EngineOptions options)
+    : allocator_(&allocator),
+      initiator_(std::move(initiator)),
+      options_(options) {}
+
+double MigrationEngine::node_traffic_cost_ns(
+    unsigned node, std::uint64_t declared_bytes,
+    const sim::BufferTraffic& traffic, unsigned threads) const {
+  const sim::SimMachine& machine = allocator_->machine();
+  const alloc::TrafficCostModel model{options_.mlp, threads};
+  const bool local = initiator_.is_subset_of(
+      machine.topology().numa_node(node)->cpuset());
+  return model.cost_ns(machine, node, declared_bytes, local, traffic);
+}
+
+void MigrationEngine::log(std::uint64_t epoch, sim::BufferId buffer,
+                          Verdict verdict, const Candidate* candidate,
+                          double cost_ns, std::string reason) {
+  const sim::BufferInfo& info = allocator_->machine().info(buffer);
+  Decision decision;
+  decision.epoch = epoch;
+  decision.buffer = buffer;
+  decision.label = info.label;
+  decision.from_node = info.node;
+  decision.verdict = verdict;
+  decision.cost_ns = cost_ns;
+  decision.bytes = info.declared_bytes;
+  decision.reason = std::move(reason);
+  if (candidate != nullptr) {
+    decision.to_node = candidate->to_node;
+    decision.sensitivity = candidate->sensitivity;
+    decision.benefit_per_epoch_ns = candidate->benefit_per_epoch_ns;
+    decision.breakeven_epochs =
+        candidate->benefit_per_epoch_ns > 0.0
+            ? cost_ns / candidate->benefit_per_epoch_ns
+            : 0.0;
+  } else {
+    decision.to_node = info.node;
+  }
+  ++stats_.considered;
+  switch (verdict) {
+    case Verdict::kAccepted: ++stats_.accepted; break;
+    case Verdict::kEvicted: ++stats_.evicted; break;
+    case Verdict::kFailedMigrate: ++stats_.failed; break;
+    default: ++stats_.rejected; break;
+  }
+  decisions_.push_back(std::move(decision));
+}
+
+double MigrationEngine::run_epoch(std::uint64_t epoch_index,
+                                  const OnlineClassifier& classifier,
+                                  unsigned threads) {
+  sim::SimMachine& machine = allocator_->machine();
+  const attr::MemAttrRegistry& registry = allocator_->registry();
+  const auto query = attr::Initiator::from_cpuset(initiator_);
+  const auto& states = classifier.states();
+
+  // Cold insensitive buffers on `node` that could be displaced, coldest
+  // (lowest EMA traffic) first. Only buffers the classifier tracks are fair
+  // game — never an application's untracked allocations.
+  auto eviction_candidates = [&](unsigned node, sim::BufferId except) {
+    std::vector<std::uint32_t> victims;
+    for (std::uint32_t index = 0; index < states.size(); ++index) {
+      if (!states[index].tracked || index == except.index) continue;
+      if (states[index].committed != prof::Sensitivity::kInsensitive) continue;
+      const sim::BufferInfo& info = machine.info(sim::BufferId{index});
+      if (info.freed || info.node != node) continue;
+      victims.push_back(index);
+    }
+    std::stable_sort(victims.begin(), victims.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return states[a].ema.memory_bytes <
+                              states[b].ema.memory_bytes;
+                     });
+    return victims;
+  };
+
+  // Where evicted buffers go: down the Capacity ranking (always populated
+  // natively), skipping the node being cleared.
+  std::vector<attr::TargetValue> capacity_ranking =
+      registry.targets_ranked(attr::kCapacity, query);
+
+  // Phase 1: level-triggered scan. Propose a move for every tracked
+  // latency/bandwidth buffer whose best feasible ranked target is elsewhere;
+  // buffers already best-placed stay silent (steady state logs nothing).
+  std::vector<Candidate> candidates;
+  for (std::uint32_t index = 0; index < states.size(); ++index) {
+    const auto& state = states[index];
+    if (!state.tracked ||
+        state.committed == prof::Sensitivity::kInsensitive) {
+      continue;
+    }
+    const sim::BufferId buffer{index};
+    const sim::BufferInfo& info = machine.info(buffer);
+    if (info.freed) continue;
+
+    const attr::AttrId attribute = prof::allocation_hint(state.committed);
+    std::vector<attr::TargetValue> ranked =
+        registry.targets_ranked(attribute, query);
+    if (ranked.empty()) {
+      log(epoch_index, buffer, Verdict::kRejectedNoTarget, nullptr, 0.0,
+          "no ranked targets for attribute " + std::to_string(attribute));
+      continue;
+    }
+
+    const topo::Object* destination = nullptr;
+    bool best_placed = false;
+    for (const attr::TargetValue& target : ranked) {
+      const unsigned node = target.target->logical_index();
+      if (node == info.node) {
+        best_placed = true;
+        break;
+      }
+      if (machine.available_bytes(node) >= info.declared_bytes) {
+        destination = target.target;
+        break;
+      }
+      if (options_.allow_evictions) {
+        std::uint64_t reclaimable = 0;
+        for (std::uint32_t victim : eviction_candidates(node, buffer)) {
+          reclaimable += machine.info(sim::BufferId{victim}).declared_bytes;
+        }
+        if (machine.available_bytes(node) + reclaimable >=
+            info.declared_bytes) {
+          destination = target.target;
+          break;
+        }
+      }
+    }
+    if (best_placed) continue;
+    if (destination == nullptr) {
+      log(epoch_index, buffer, Verdict::kRejectedCapacity, nullptr, 0.0,
+          "no ranked target has room (evictions insufficient)");
+      continue;
+    }
+
+    Candidate candidate;
+    candidate.buffer = buffer;
+    candidate.to_node = destination->logical_index();
+    candidate.sensitivity = state.committed;
+    candidate.benefit_per_epoch_ns =
+        node_traffic_cost_ns(info.node, info.declared_bytes, state.ema,
+                             threads) -
+        node_traffic_cost_ns(candidate.to_node, info.declared_bytes,
+                             state.ema, threads);
+    if (candidate.benefit_per_epoch_ns <= 0.0) {
+      log(epoch_index, buffer, Verdict::kRejectedNoBenefit, &candidate, 0.0,
+          "destination not faster for observed traffic");
+      continue;
+    }
+    candidates.push_back(candidate);
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.benefit_per_epoch_ns != b.benefit_per_epoch_ns) {
+                       return a.benefit_per_epoch_ns > b.benefit_per_epoch_ns;
+                     }
+                     return a.buffer.index < b.buffer.index;
+                   });
+
+  // Phase 2: apply under the gates, biggest modeled benefit first.
+  std::uint64_t budget_left = options_.epoch_budget_bytes;
+  std::uint64_t epoch_bytes = 0;
+  double paid_ns = 0.0;
+  for (const Candidate& candidate : candidates) {
+    const sim::BufferInfo info = machine.info(candidate.buffer);
+    if (info.freed || info.node == candidate.to_node) continue;
+
+    // Plan evictions needed to fit, tracking room already promised away.
+    std::vector<PlannedEviction> evictions;
+    std::uint64_t room = machine.available_bytes(candidate.to_node);
+    std::vector<std::uint64_t> promised(machine.topology().numa_nodes().size(),
+                                        0);
+    if (room < info.declared_bytes && options_.allow_evictions) {
+      for (std::uint32_t victim_index :
+           eviction_candidates(candidate.to_node, candidate.buffer)) {
+        if (room >= info.declared_bytes) break;
+        const sim::BufferId victim{victim_index};
+        const sim::BufferInfo& victim_info = machine.info(victim);
+        unsigned victim_dest = candidate.to_node;
+        for (const attr::TargetValue& target : capacity_ranking) {
+          const unsigned node = target.target->logical_index();
+          if (node == candidate.to_node) continue;
+          if (machine.available_bytes(node) >=
+              promised[node] + victim_info.declared_bytes) {
+            victim_dest = node;
+            break;
+          }
+        }
+        if (victim_dest == candidate.to_node) continue;  // nowhere to put it
+        promised[victim_dest] += victim_info.declared_bytes;
+        room += victim_info.declared_bytes;
+        evictions.push_back(PlannedEviction{victim, victim_dest,
+                                            victim_info.declared_bytes});
+      }
+    }
+    if (room < info.declared_bytes) {
+      log(epoch_index, candidate.buffer, Verdict::kRejectedCapacity,
+          &candidate, 0.0, "destination full (evictions insufficient)");
+      continue;
+    }
+
+    double cost_ns = allocator_->estimate_migration_cost_ns(candidate.buffer,
+                                                            candidate.to_node);
+    std::uint64_t move_bytes = info.declared_bytes;
+    for (const PlannedEviction& eviction : evictions) {
+      cost_ns +=
+          allocator_->estimate_migration_cost_ns(eviction.buffer,
+                                                 eviction.to_node);
+      move_bytes += eviction.bytes;
+    }
+
+    const double breakeven = cost_ns / candidate.benefit_per_epoch_ns;
+    if (breakeven > options_.expected_future_epochs) {
+      log(epoch_index, candidate.buffer, Verdict::kRejectedBreakeven,
+          &candidate, cost_ns,
+          "breakeven " + support::format_fixed(breakeven, 1) +
+              " epochs exceeds horizon " +
+              support::format_fixed(options_.expected_future_epochs, 1));
+      continue;
+    }
+    if (move_bytes > budget_left) {
+      log(epoch_index, candidate.buffer, Verdict::kRejectedBudget, &candidate,
+          cost_ns,
+          "needs " + support::format_bytes(move_bytes) + ", budget has " +
+              support::format_bytes(budget_left) + " left this epoch");
+      continue;
+    }
+
+    bool eviction_failed = false;
+    for (const PlannedEviction& eviction : evictions) {
+      Candidate as_candidate;
+      as_candidate.buffer = eviction.buffer;
+      as_candidate.to_node = eviction.to_node;
+      as_candidate.sensitivity = prof::Sensitivity::kInsensitive;
+      const unsigned victim_from = machine.info(eviction.buffer).node;
+      auto result = allocator_->migrate(eviction.buffer, eviction.to_node);
+      if (!result.ok()) {
+        log(epoch_index, eviction.buffer, Verdict::kFailedMigrate,
+            &as_candidate, 0.0, result.error().to_string());
+        eviction_failed = true;
+        break;
+      }
+      paid_ns += *result;
+      budget_left -= eviction.bytes;
+      epoch_bytes += eviction.bytes;
+      stats_.migrated_bytes += eviction.bytes;
+      stats_.migration_cost_ns += *result;
+      log(epoch_index, eviction.buffer, Verdict::kEvicted, &as_candidate,
+          *result, "making room for " + info.label);
+      // log() snapshots the buffer's node, which migrate() just changed;
+      // the decision should show where the victim came from.
+      decisions_.back().from_node = victim_from;
+    }
+    if (eviction_failed) {
+      log(epoch_index, candidate.buffer, Verdict::kRejectedCapacity,
+          &candidate, 0.0, "eviction failed; retrying next epoch");
+      continue;
+    }
+
+    auto result = allocator_->migrate(candidate.buffer, candidate.to_node);
+    if (!result.ok()) {
+      log(epoch_index, candidate.buffer, Verdict::kFailedMigrate, &candidate,
+          cost_ns, result.error().to_string());
+      continue;
+    }
+    paid_ns += *result;
+    budget_left -= info.declared_bytes;
+    epoch_bytes += info.declared_bytes;
+    stats_.migrated_bytes += info.declared_bytes;
+    stats_.migration_cost_ns += *result;
+    log(epoch_index, candidate.buffer, Verdict::kAccepted, &candidate, *result,
+        "breakeven " + support::format_fixed(breakeven, 1) + " epochs");
+    decisions_.back().from_node = info.node;
+  }
+
+  max_epoch_bytes_ = std::max(max_epoch_bytes_, epoch_bytes);
+  return paid_ns;
+}
+
+std::string MigrationEngine::render_decision_log() const {
+  std::string out;
+  for (const Decision& decision : decisions_) {
+    out += "epoch " + std::to_string(decision.epoch) + " " +
+           verdict_name(decision.verdict) + " " + decision.label + " (buffer " +
+           std::to_string(decision.buffer.index) + ", " +
+           prof::sensitivity_name(decision.sensitivity) + ") node " +
+           std::to_string(decision.from_node) + " -> " +
+           std::to_string(decision.to_node) + " " +
+           support::format_bytes(decision.bytes);
+    if (decision.benefit_per_epoch_ns > 0.0) {
+      out += " benefit/epoch " +
+             support::format_fixed(decision.benefit_per_epoch_ns / 1e6, 3) +
+             " ms, cost " + support::format_fixed(decision.cost_ns / 1e6, 3) +
+             " ms";
+    }
+    if (!decision.reason.empty()) out += " — " + decision.reason;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hetmem::runtime

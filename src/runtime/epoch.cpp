@@ -1,0 +1,85 @@
+#include "hetmem/runtime/epoch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetmem::runtime {
+
+EpochSampler::EpochSampler(SamplerOptions options)
+    : options_(options), rng_(options.seed) {
+  options_.phases_per_epoch = std::max(1u, options_.phases_per_epoch);
+  options_.sample_period = std::max(1.0, options_.sample_period);
+}
+
+double EpochSampler::subsample(double value, double quantum) {
+  if (value <= 0.0) return 0.0;
+  const double scaled = value / quantum;
+  const double floor = std::floor(scaled);
+  const double fraction = scaled - floor;
+  double estimate = floor;
+  // Unbiased stochastic rounding; the draw is skipped for exact multiples so
+  // already-quantized inputs never consume randomness.
+  if (fraction > 0.0) estimate += rng_.next_double() < fraction ? 1.0 : 0.0;
+  return estimate * quantum;
+}
+
+Epoch EpochSampler::make_epoch(const sim::ExecutionContext& exec) {
+  std::vector<sim::BufferTraffic> merged = exec.merged_buffer_traffic();
+  if (snapshot_.size() < merged.size()) snapshot_.resize(merged.size());
+
+  Epoch epoch;
+  epoch.index = epochs_;
+  epoch.duration_ns = exec.clock_ns() - snapshot_clock_ns_;
+
+  // One sample per period: event counters are known to multiples of the
+  // period, byte counters to multiples of period * cache-line bytes.
+  const double period = options_.sample_period;
+  const double event_quantum = period;
+  const double byte_quantum = period * 64.0;
+  const bool exact = period <= 1.0;
+
+  for (std::uint32_t index = 0; index < merged.size(); ++index) {
+    const sim::BufferTraffic& now = merged[index];
+    const sim::BufferTraffic& then = snapshot_[index];
+    sim::BufferTraffic delta;
+    delta.reads = now.reads - then.reads;
+    delta.writes = now.writes - then.writes;
+    delta.llc_misses = now.llc_misses - then.llc_misses;
+    delta.memory_bytes = now.memory_bytes - then.memory_bytes;
+    delta.random_accesses = now.random_accesses - then.random_accesses;
+    delta.random_misses = now.random_misses - then.random_misses;
+    const bool any = delta.reads > 0.0 || delta.writes > 0.0 ||
+                     delta.memory_bytes > 0.0;
+    if (!any) continue;
+    if (!exact) {
+      delta.reads = subsample(delta.reads, event_quantum);
+      delta.writes = subsample(delta.writes, event_quantum);
+      delta.llc_misses = subsample(delta.llc_misses, event_quantum);
+      delta.memory_bytes = subsample(delta.memory_bytes, byte_quantum);
+      delta.random_accesses = subsample(delta.random_accesses, event_quantum);
+      delta.random_misses = subsample(delta.random_misses, event_quantum);
+      // Keep the ratio invariants the classifier divides by: misses cannot
+      // exceed accesses-style counters after independent rounding.
+      delta.random_misses = std::min(delta.random_misses, delta.llc_misses);
+    }
+    epoch.total_memory_bytes += delta.memory_bytes;
+    epoch.samples.push_back(EpochSample{sim::BufferId{index}, delta});
+  }
+
+  snapshot_ = std::move(merged);
+  snapshot_clock_ns_ = exec.clock_ns();
+  phases_since_epoch_ = 0;
+  ++epochs_;
+  return epoch;
+}
+
+std::optional<Epoch> EpochSampler::on_phase(const sim::ExecutionContext& exec) {
+  if (++phases_since_epoch_ < options_.phases_per_epoch) return std::nullopt;
+  return make_epoch(exec);
+}
+
+Epoch EpochSampler::force_epoch(const sim::ExecutionContext& exec) {
+  return make_epoch(exec);
+}
+
+}  // namespace hetmem::runtime

@@ -1,0 +1,35 @@
+#include "hetmem/runtime/policy.hpp"
+
+namespace hetmem::runtime {
+
+RuntimePolicy::RuntimePolicy(alloc::HeterogeneousAllocator& allocator,
+                             support::Bitmap initiator,
+                             RuntimePolicyOptions options)
+    : allocator_(&allocator),
+      sampler_(options.sampler),
+      classifier_(options.classifier),
+      engine_(allocator, std::move(initiator), options.engine),
+      charge_migration_cost_(options.charge_migration_cost) {}
+
+void RuntimePolicy::attach(sim::ExecutionContext& exec,
+                           std::function<void()> post_migration) {
+  post_migration_ = std::move(post_migration);
+  exec.set_phase_observer(
+      [this, &exec](const sim::PhaseResult&) { on_phase(exec); });
+}
+
+void RuntimePolicy::on_phase(sim::ExecutionContext& exec) {
+  std::optional<Epoch> epoch = sampler_.on_phase(exec);
+  if (!epoch.has_value()) return;
+  classifier_.observe(*epoch);
+  const std::uint64_t moves_before =
+      engine_.stats().accepted + engine_.stats().evicted;
+  const double paid_ns =
+      engine_.run_epoch(epoch->index, classifier_, exec.thread_count());
+  if (charge_migration_cost_) exec.charge_overhead_ns(paid_ns);
+  const std::uint64_t moves_after =
+      engine_.stats().accepted + engine_.stats().evicted;
+  if (moves_after != moves_before && post_migration_) post_migration_();
+}
+
+}  // namespace hetmem::runtime

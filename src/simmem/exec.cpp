@@ -217,7 +217,12 @@ const PhaseResult& ExecutionContext::run_phase(std::string name, std::size_t ite
   history_.push_back(resolve_phase(*machine_, initiator_, std::move(raw),
                                    std::move(name)));
   clock_ns_ += history_.back().sim_ns;
-  return history_.back();
+  // The observer runs after the clock advance so it sees a consistent view;
+  // it may migrate buffers and charge_overhead_ns(), but must not recurse
+  // into run_phase. Index-based access: the observer must not grow history_.
+  const std::size_t resolved = history_.size() - 1;
+  if (phase_observer_) phase_observer_(history_[resolved]);
+  return history_[resolved];
 }
 
 std::vector<BufferTraffic> ExecutionContext::merged_buffer_traffic() const {

@@ -122,6 +122,12 @@ Status SimMachine::migrate(BufferId id, unsigned destination_node) {
     return make_error(Errc::kInvalidArgument, "migrate of freed buffer");
   }
   if (slot.info.node == destination_node) return {};
+  if (faults_ != nullptr &&
+      faults_->should_fail(fault::site::kMachineMigrateTransient)) {
+    return make_error(Errc::kTransient,
+                      "injected transient migration failure for buffer " +
+                          slot.info.label);
+  }
   if (online_[destination_node] == 0) {
     return make_error(Errc::kOutOfCapacity,
                       "destination node " + std::to_string(destination_node) +

@@ -1,0 +1,131 @@
+// Edge cases of alloc::advise_migrations (paper §VII): the advisor must stay
+// silent on empty runs, negligible traffic, and already-optimal placements,
+// and only speak up when a move actually amortizes.
+#include <gtest/gtest.h>
+
+#include "hetmem/alloc/advisor.hpp"
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::alloc {
+namespace {
+
+using support::kGiB;
+using support::kKiB;
+using support::kMiB;
+
+class AdvisorEdgeCaseTest : public ::testing::Test {
+ protected:
+  AdvisorEdgeCaseTest()
+      : machine_(topo::xeon_clx_1lm()),
+        registry_(machine_.topology()),
+        allocator_(machine_, registry_),
+        initiator_(machine_.topology().numa_node(0)->cpuset()) {
+    EXPECT_TRUE(
+        hmat::load_into(registry_, hmat::generate(machine_.topology())).ok());
+  }
+
+  unsigned nvdimm_node() const {
+    for (const topo::Object* node : machine_.topology().numa_nodes()) {
+      if (node->memory_kind() == topo::MemoryKind::kNVDIMM) {
+        return node->logical_index();
+      }
+    }
+    return 0;
+  }
+
+  sim::SimMachine machine_;
+  attr::MemAttrRegistry registry_;
+  alloc::HeterogeneousAllocator allocator_;
+  support::Bitmap initiator_;
+};
+
+TEST_F(AdvisorEdgeCaseTest, EmptyRunYieldsNoAdvice) {
+  sim::ExecutionContext exec(machine_, initiator_, 4);
+  const auto advice = advise_migrations(allocator_, exec, initiator_);
+  EXPECT_TRUE(advice.empty());
+
+  // Applying the empty plan is a no-op with zero paid cost.
+  auto paid = apply_advice(allocator_, advice);
+  ASSERT_TRUE(paid.ok());
+  EXPECT_EQ(*paid, 0.0);
+  EXPECT_EQ(allocator_.stats().migrations, 0u);
+}
+
+TEST_F(AdvisorEdgeCaseTest, BuffersBelowTrafficShareAreIgnored) {
+  // A hot, well-placed buffer soaks up >99% of the traffic; a badly-placed
+  // buffer stays under min_traffic_share and must not be recommended even
+  // though a move would technically improve it.
+  auto hot = machine_.allocate(2 * kGiB, 0, "hot", 4096);
+  auto misplaced = machine_.allocate(kGiB, nvdimm_node(), "misplaced", 4096);
+  ASSERT_TRUE(hot.ok() && misplaced.ok());
+  sim::Array<double> hot_array(machine_, *hot);
+  sim::Array<double> cold_array(machine_, *misplaced);
+
+  sim::ExecutionContext exec(machine_, initiator_, 4);
+  exec.run_phase("p", 4,
+                 [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                     std::size_t end) {
+                   if (begin >= end) return;
+                   hot_array.record_bulk_read(ctx, 512.0 * kMiB);
+                   cold_array.record_bulk_read(ctx, 64.0 * kKiB);
+                 });
+
+  EXPECT_TRUE(advise_migrations(allocator_, exec, initiator_).empty());
+}
+
+TEST_F(AdvisorEdgeCaseTest, AlreadyOptimalPlacementYieldsNoAdvice) {
+  // Latency-bound traffic on the local DRAM node: the best-ranked target is
+  // where the buffer already lives, so there is nothing to advise.
+  auto buffer = machine_.allocate(kGiB, 0, "optimal", 4096);
+  ASSERT_TRUE(buffer.ok());
+  sim::Array<double> array(machine_, *buffer);
+
+  sim::ExecutionContext exec(machine_, initiator_, 4);
+  exec.run_phase("p", 4,
+                 [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                     std::size_t end) {
+                   if (begin >= end) return;
+                   array.record_bulk_random_reads(ctx, 4e6);
+                 });
+
+  EXPECT_TRUE(advise_migrations(allocator_, exec, initiator_).empty());
+}
+
+TEST_F(AdvisorEdgeCaseTest, MisplacedHotBufferIsRecommended) {
+  // Positive control: the same latency-bound traffic from the NVDIMM node
+  // produces exactly one recommendation, toward the local DRAM node.
+  auto buffer = machine_.allocate(kGiB, nvdimm_node(), "misplaced.hot", 4096);
+  ASSERT_TRUE(buffer.ok());
+  sim::Array<double> array(machine_, *buffer);
+
+  sim::ExecutionContext exec(machine_, initiator_, 4);
+  exec.run_phase("p", 4,
+                 [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                     std::size_t end) {
+                   if (begin >= end) return;
+                   array.record_bulk_random_reads(ctx, 4e6);
+                 });
+
+  const auto advice = advise_migrations(allocator_, exec, initiator_);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].buffer.index, buffer->index);
+  EXPECT_EQ(advice[0].from_node, nvdimm_node());
+  EXPECT_EQ(advice[0].to_node, 0u);
+  EXPECT_GT(advice[0].benefit_per_round_ns, 0.0);
+  EXPECT_GT(advice[0].cost_ns, 0.0);
+
+  // And applying it actually moves the buffer.
+  auto paid = apply_advice(allocator_, advice);
+  ASSERT_TRUE(paid.ok());
+  EXPECT_GT(*paid, 0.0);
+  EXPECT_EQ(machine_.info(*buffer).node, 0u);
+  EXPECT_EQ(allocator_.stats().migrations, 1u);
+  EXPECT_EQ(allocator_.stats().bytes_migrated, kGiB);
+}
+
+}  // namespace
+}  // namespace hetmem::alloc
