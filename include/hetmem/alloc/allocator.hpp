@@ -9,7 +9,10 @@
 // portability is the paper's core claim (§VI-A, last paragraph).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -107,6 +110,14 @@ struct SizeRule {
   attr::AttrId attribute = attr::kCapacity;
 };
 
+/// Thread safety: mem_alloc / mem_free / migrate / the reservation calls and
+/// every stats/trace accessor may run concurrently from any number of
+/// threads. Statistics are per-counter atomic (a snapshot's counters are each
+/// exact but not mutually transactional), the trace is mutex-guarded (disable
+/// it with set_trace_enabled(false) to keep benchmark hot paths lock-free),
+/// and reservations are CAS-maintained so a reservation is never consumed
+/// twice. Configuration calls (add_size_rule, set_migration_cost_model) are
+/// setup-time: call them before sharing the allocator across threads.
 class HeterogeneousAllocator {
  public:
   HeterogeneousAllocator(sim::SimMachine& machine,
@@ -183,13 +194,30 @@ class HeterogeneousAllocator {
                                                     std::string label,
                                                     std::size_t backing_bytes = 0);
 
-  [[nodiscard]] const AllocatorStats& stats() const { return stats_; }
-  [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+  /// Consistent-at-each-counter snapshot of the statistics.
+  [[nodiscard]] AllocatorStats stats() const;
+  /// Snapshot of the trace so far (copied under the trace lock).
+  [[nodiscard]] std::vector<TraceEvent> trace() const;
   /// Allocation-failure telemetry: just the kFail events of the trace, in
   /// order — what an operator greps after a chaos run.
   [[nodiscard]] std::vector<TraceEvent> failure_log() const;
-  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
-  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Tracing is on by default. Multithreaded benchmarks turn it off so the
+  /// hot path touches no lock at all (stats stay on — they are atomic).
+  void set_trace_enabled(bool enabled) {
+    trace_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool trace_enabled() const {
+    return trace_enabled_.load(std::memory_order_relaxed);
+  }
+  /// Safe to call while other threads allocate: the retry budget is a single
+  /// atomic read on the retry path.
+  void set_retry_policy(RetryPolicy policy) {
+    max_transient_retries_.store(policy.max_transient_retries,
+                                 std::memory_order_relaxed);
+  }
+  [[nodiscard]] RetryPolicy retry_policy() const {
+    return RetryPolicy{max_transient_retries_.load(std::memory_order_relaxed)};
+  }
   [[nodiscard]] sim::SimMachine& machine() { return *machine_; }
   [[nodiscard]] const attr::MemAttrRegistry& registry() const { return *registry_; }
 
@@ -199,23 +227,48 @@ class HeterogeneousAllocator {
   }
 
  private:
+  /// Internal statistics: one atomic per counter so concurrent allocators
+  /// never contend on a stats lock. stats() snapshots them into the plain
+  /// AllocatorStats struct.
+  struct StatCounters {
+    std::atomic<std::uint64_t> allocations{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> frees{0};
+    std::atomic<std::uint64_t> migrations{0};
+    std::atomic<std::uint64_t> bytes_allocated{0};
+    std::atomic<std::uint64_t> bytes_migrated{0};
+    std::atomic<std::uint64_t> transient_retries{0};
+    std::atomic<std::uint64_t> attribute_rescues{0};
+  };
+
   support::Result<Allocation> try_targets(
       const AllocRequest& request, const std::vector<attr::TargetValue>& ranking,
       attr::AttrId used_attribute);
 
-  /// machine_->allocate with bounded kTransient retry (retry_policy_).
+  /// machine_->allocate with bounded kTransient retry (retry_policy()).
   support::Result<sim::BufferId> allocate_with_retry(const AllocRequest& request,
                                                      unsigned node);
 
   [[nodiscard]] std::uint64_t usable_bytes(unsigned node) const;
 
+  /// Appends to the trace when tracing is enabled (mutex-guarded).
+  void record_trace(TraceEvent event);
+
+  /// CAS-consumes `bytes` from the node's reservation; false when the
+  /// reservation does not hold that much.
+  bool consume_reservation(unsigned node, std::uint64_t bytes);
+
   sim::SimMachine* machine_;
   const attr::MemAttrRegistry* registry_;
   MigrationCostModel migration_model_;
-  RetryPolicy retry_policy_;
+  std::atomic<unsigned> max_transient_retries_{2};
   std::vector<SizeRule> size_rules_;
-  std::vector<std::uint64_t> reserved_;
-  AllocatorStats stats_;
+  std::size_t node_count_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> reserved_;
+  StatCounters stats_;
+  std::atomic<bool> trace_enabled_{true};
+  mutable std::mutex trace_mutex_;
   std::vector<TraceEvent> trace_;
 };
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,10 @@ struct PoolStats {
   std::vector<std::uint64_t> live_per_node;
 };
 
+/// Thread safety: allocate / free / node_of / stats / release_empty_slabs
+/// are serialized by one per-pool mutex. Pools are expected to be
+/// thread-local or few-threads shared; callers that need scaling should use
+/// one pool per thread over the (itself concurrent) allocator.
 class Pool {
  public:
   Pool(HeterogeneousAllocator& allocator, support::Bitmap initiator,
@@ -71,8 +76,10 @@ class Pool {
     bool released = false;
   };
 
-  support::Status grow();
+  support::Status grow_locked();
+  support::Result<PoolBlock> allocate_locked();
 
+  mutable std::mutex mutex_;
   HeterogeneousAllocator* allocator_;
   support::Bitmap initiator_;
   PoolOptions options_;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -69,9 +70,28 @@ struct FaultEvent {
   std::uint64_t sequence = 0;
 };
 
+/// Thread-safe: consultations from concurrent allocation/migration paths are
+/// serialized by an internal mutex, so counters and each site's random
+/// stream stay coherent. Determinism under concurrency is per-site only —
+/// which *thread* sees a given fault depends on the interleaving, but the
+/// sequence of fired consultation indices for a (seed, site) pair does not.
 class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+  FaultInjector(FaultInjector&& other) noexcept
+      : seed_(other.seed_),
+        sites_(std::move(other.sites_)),
+        schedule_(std::move(other.schedule_)) {}
+  FaultInjector& operator=(FaultInjector&& other) noexcept {
+    if (this != &other) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      seed_ = other.seed_;
+      sites_ = std::move(other.sites_);
+      schedule_ = std::move(other.schedule_);
+    }
+    return *this;
+  }
 
   /// Installs (or replaces) the spec for a site. Unconfigured sites never
   /// fire. Reconfiguring resets the site's burst state but keeps its random
@@ -96,7 +116,11 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t injected(std::string_view site) const;
   [[nodiscard]] std::uint64_t consultations(std::string_view site) const;
   [[nodiscard]] std::uint64_t total_injected() const;
-  [[nodiscard]] const std::vector<FaultEvent>& schedule() const { return schedule_; }
+  /// Snapshot of the fault schedule so far (copied under the lock).
+  [[nodiscard]] std::vector<FaultEvent> schedule() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return schedule_;
+  }
 
   /// Canonical "site@sequence site@sequence ..." fingerprint of the whole
   /// schedule so far — two runs with the same seed and call pattern must
@@ -121,9 +145,12 @@ class FaultInjector {
     bool armed = false;  // has a spec with probability > 0
   };
 
-  Site& site_state(std::string_view site);
-  [[nodiscard]] const Site* find_site(std::string_view site) const;
+  // Callers hold mutex_ for every *_locked helper.
+  Site& site_state_locked(std::string_view site);
+  [[nodiscard]] const Site* find_site_locked(std::string_view site) const;
+  bool should_fail_locked(std::string_view site);
 
+  mutable std::mutex mutex_;
   std::uint64_t seed_;
   std::vector<Site> sites_;
   std::vector<FaultEvent> schedule_;

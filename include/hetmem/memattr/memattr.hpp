@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -96,6 +98,14 @@ struct InitiatorValue {
   Confidence confidence = Confidence::kTrusted;
 };
 
+/// Thread safety: the registry is read-mostly and internally synchronized
+/// with a shared_mutex — get_value / targets_ranked / best_target and the
+/// other queries take a shared (reader) lock and scale across threads, while
+/// set_value / register_attribute / set_confidence / mark_all (probe and
+/// HMAT writers) are exclusive. A ranking returned while a writer runs is
+/// never torn: it reflects the registry strictly before or strictly after
+/// each individual write (multi-value updates such as a whole HMAT load are
+/// per-value atomic, not transactional).
 class MemAttrRegistry {
  public:
   /// Binds to a topology and registers the built-in attributes. Capacity and
@@ -198,13 +208,29 @@ class MemAttrRegistry {
     std::vector<std::vector<InitiatorValue>> per_initiator;
   };
 
+  // The *_locked helpers assume the caller holds mutex_ (shared suffices for
+  // the const ones); they exist so public methods composing several queries
+  // take the lock exactly once (shared_mutex is not recursive).
   [[nodiscard]] bool valid_attr(AttrId attr) const { return attr < attributes_.size(); }
   [[nodiscard]] const InitiatorValue* match_initiator(
       const std::vector<InitiatorValue>& stored, const support::Bitmap& query) const;
+  [[nodiscard]] support::Result<double> value_locked(
+      AttrId attr, const topo::Object& target,
+      const std::optional<Initiator>& initiator) const;
+  [[nodiscard]] std::vector<TargetValue> targets_ranked_locked(
+      AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const;
+  [[nodiscard]] std::vector<TargetValue> targets_ranked_resilient_locked(
+      AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const;
+  [[nodiscard]] bool has_values_locked(AttrId attr) const;
+  [[nodiscard]] bool has_trusted_values_locked(AttrId attr) const;
 
   const topo::Topology* topology_;
-  std::vector<AttrInfo> attributes_;
+  // deque: stable AttrInfo addresses across register_attribute, so info()
+  // can hand out references that outlive the lock (entries are immutable
+  // once registered).
+  std::deque<AttrInfo> attributes_;
   std::vector<Stored> values_;
+  mutable std::shared_mutex mutex_;
 };
 
 /// Fig. 5-style report ("lstopo --memattrs"): every attribute with its per-

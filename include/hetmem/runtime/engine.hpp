@@ -20,6 +20,11 @@
 // Every considered move is logged as a Decision with a verdict and reason —
 // an observability surface (render_decision_log() is byte-stable for a fixed
 // seed, which the chaos tests assert), not just printf.
+//
+// Thread safety (docs/CONCURRENCY.md): externally synchronized — one epoch
+// loop drives the engine (its decision log is an ordered narrative). The
+// allocator/machine calls it makes are themselves thread-safe, so worker
+// threads may allocate/free concurrently with the epoch loop.
 #pragma once
 
 #include <cstdint>

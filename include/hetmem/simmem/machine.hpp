@@ -7,11 +7,23 @@
 //    exercises the NVDIMM cliff without needing 34 GB of host RAM);
 //  - backing_bytes: real host memory the workload computes on (a scaled-down
 //    instance; see DESIGN.md §2).
+//
+// Thread safety (docs/CONCURRENCY.md): the arena is sharded per NUMA node
+// with atomic capacity reservation — allocate() claims declared bytes with a
+// CAS loop on the node's used-bytes counter, so concurrent allocators on
+// different nodes never touch shared state and concurrent allocators on the
+// same node contend only on one cache line. The buffer table is a chunked
+// slot store: slots live at stable addresses for the machine's lifetime
+// (readers are lock-free; a short mutex guards only chunk creation), and
+// each slot carries its own lifecycle mutex so free()/migrate() races are
+// serialized per buffer. info() returns a snapshot by value.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,6 +60,11 @@ class SimMachine {
   /// Convenience: calibrated model for the given topology.
   explicit SimMachine(topo::Topology topology);
 
+  ~SimMachine();
+
+  SimMachine(const SimMachine&) = delete;
+  SimMachine& operator=(const SimMachine&) = delete;
+
  private:
   explicit SimMachine(std::pair<topo::Topology, MachinePerfModel> parts);
 
@@ -60,26 +77,37 @@ class SimMachine {
   /// `backing_bytes` of real zero-initialized storage (0 => min(declared,
   /// 64 KiB) so metadata-only buffers stay cheap). Fails with kOutOfCapacity
   /// when the node cannot hold the declared size — the allocator's fallback
-  /// path depends on this exact error code.
+  /// path depends on this exact error code. Safe to call from any thread;
+  /// capacity is reserved atomically (CAS), never oversubscribed.
   support::Result<BufferId> allocate(std::uint64_t declared_bytes,
                                      unsigned node,
                                      std::string label,
                                      std::size_t backing_bytes = 0);
 
+  /// Thread-safe; a double free (including one racing another free of the
+  /// same buffer) fails for every caller but the first.
   support::Status free(BufferId id);
 
   /// Moves a buffer to another node: capacity is released/charged and the
   /// backing memcpy cost is the caller's to model (alloc::migration does).
+  /// Serialized against free()/migrate() of the same buffer by a per-buffer
+  /// lock; a migrate racing a free of the same buffer either completes
+  /// before the free or fails with kInvalidArgument, never half-moves.
   support::Status migrate(BufferId id, unsigned destination_node);
 
-  /// Metadata lookup. An invalid or out-of-range id returns a shared
-  /// sentinel (label "<invalid-buffer>", freed=true) instead of crashing —
-  /// use info_checked() when the caller wants the error.
-  [[nodiscard]] const BufferInfo& info(BufferId id) const;
+  /// Metadata snapshot (by value — the buffer may be concurrently migrated
+  /// or freed; the snapshot is internally consistent). An invalid or
+  /// out-of-range id returns a sentinel (label "<invalid-buffer>",
+  /// freed=true) instead of crashing — use info_checked() when the caller
+  /// wants the error.
+  [[nodiscard]] BufferInfo info(BufferId id) const;
   [[nodiscard]] support::Result<BufferInfo> info_checked(BufferId id) const;
 
   /// Backing storage; nullptr for invalid ids and freed buffers (survives
-  /// release builds — callers must handle it, sim::Array does).
+  /// release builds — callers must handle it, sim::Array does). The pointer
+  /// stays valid until the buffer is freed; freeing a buffer while another
+  /// thread dereferences its backing is an application-level race, exactly
+  /// as with the system allocator.
   [[nodiscard]] std::byte* backing(BufferId id);
   [[nodiscard]] const std::byte* backing(BufferId id) const;
 
@@ -102,7 +130,8 @@ class SimMachine {
   ///  - fault::site::kMachineAllocTransient -> kTransient failure,
   ///  - fault::site::kMachineNodeOffline -> the target node goes offline
   ///    (sticky) and the allocation fails.
-  /// Null disables injection.
+  /// Null disables injection. Install before concurrent use; the injector
+  /// itself is internally synchronized.
   void set_fault_injector(fault::FaultInjector* injector) { faults_ = injector; }
 
   /// True when the constructor received a perf model whose node count did
@@ -110,27 +139,62 @@ class SimMachine {
   [[nodiscard]] bool model_repaired() const { return model_repaired_; }
 
   /// Number of live (not freed) buffers.
-  [[nodiscard]] std::size_t live_buffer_count() const;
-  [[nodiscard]] std::size_t total_buffer_count() const { return buffers_.size(); }
+  [[nodiscard]] std::size_t live_buffer_count() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t total_buffer_count() const {
+    return next_slot_.load(std::memory_order_acquire);
+  }
 
   /// Shared per-socket last-level cache the analytic miss model divides
   /// among resident buffers. Defaults to 27.5 MiB (CLX die) and is
   /// overridden per platform by the apps/bench setups.
-  [[nodiscard]] std::uint64_t llc_bytes() const { return llc_bytes_; }
-  void set_llc_bytes(std::uint64_t bytes) { llc_bytes_ = bytes; }
+  [[nodiscard]] std::uint64_t llc_bytes() const {
+    return llc_bytes_.load(std::memory_order_relaxed);
+  }
+  void set_llc_bytes(std::uint64_t bytes) {
+    llc_bytes_.store(bytes, std::memory_order_relaxed);
+  }
 
  private:
+  // Chunked slot store: 1024 slots per chunk, chunk pointers published with
+  // release stores into a fixed table so readers never see a moving array.
+  static constexpr std::size_t kSlotChunkShift = 10;
+  static constexpr std::size_t kSlotsPerChunk = std::size_t{1} << kSlotChunkShift;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;  // 32M buffers
+
+  enum class SlotState : std::uint8_t { kUnpublished = 0, kLive = 1, kFreed = 2 };
+
   struct Slot {
-    BufferInfo info;
-    std::unique_ptr<std::byte[]> storage;
+    // Serializes free vs migrate of this buffer (never held during another
+    // slot's operation — no lock ordering issues).
+    std::mutex lifecycle;
+    std::string label;                 // immutable after publication
+    std::uint64_t declared_bytes = 0;  // immutable after publication
+    std::size_t backing_bytes = 0;     // immutable after publication
+    std::atomic<unsigned> node{0};
+    std::atomic<SlotState> state{SlotState::kUnpublished};
+    std::atomic<std::byte*> data{nullptr};
+    std::unique_ptr<std::byte[]> storage;  // owner of data; reset under lifecycle
   };
+
+  /// Published slot for `id`, or nullptr (invalid id, unpublished slot).
+  [[nodiscard]] Slot* find_slot(BufferId id) const;
+  /// Claims a fresh slot index and returns its (chunk-resident) slot.
+  Slot* claim_slot(std::uint32_t& index_out);
+  /// CAS-reserves `bytes` against `node`'s capacity; false when full.
+  bool reserve_capacity(unsigned node, std::uint64_t bytes);
 
   topo::Topology topology_;
   MachinePerfModel model_;
-  std::vector<Slot> buffers_;
-  std::vector<std::uint64_t> used_;
-  std::vector<std::uint8_t> online_;
-  std::uint64_t llc_bytes_;
+  std::unique_ptr<std::atomic<Slot*>[]> chunks_;
+  std::mutex chunk_growth_mutex_;
+  std::atomic<std::uint32_t> next_slot_{0};
+  std::atomic<std::size_t> live_count_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> used_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> online_;
+  std::size_t node_count_ = 0;
+  std::atomic<std::uint64_t> llc_bytes_;
   fault::FaultInjector* faults_ = nullptr;
   bool model_repaired_ = false;
 };

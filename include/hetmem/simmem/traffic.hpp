@@ -5,6 +5,11 @@
 // generates into the worker's ThreadCtx. Counters are plain doubles because
 // the analytic cache model produces fractional expected misses — this keeps
 // the simulation deterministic (no per-access coin flips).
+//
+// Thread safety (docs/CONCURRENCY.md): a ThreadCtx is thread-*owned*, not
+// shared — the execution context hands each worker its own instance and
+// merges them after the phase, so the counters need (and have) no
+// synchronization.
 #pragma once
 
 #include <cstdint>

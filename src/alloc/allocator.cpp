@@ -15,11 +15,43 @@ HeterogeneousAllocator::HeterogeneousAllocator(sim::SimMachine& machine,
                                                const attr::MemAttrRegistry& registry)
     : machine_(&machine),
       registry_(&registry),
-      reserved_(machine.topology().numa_nodes().size(), 0) {}
+      node_count_(machine.topology().numa_nodes().size()),
+      reserved_(std::make_unique<std::atomic<std::uint64_t>[]>(node_count_)) {
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    reserved_[n].store(0, std::memory_order_relaxed);
+  }
+}
+
+AllocatorStats HeterogeneousAllocator::stats() const {
+  AllocatorStats snapshot;
+  snapshot.allocations = stats_.allocations.load(std::memory_order_relaxed);
+  snapshot.fallbacks = stats_.fallbacks.load(std::memory_order_relaxed);
+  snapshot.failures = stats_.failures.load(std::memory_order_relaxed);
+  snapshot.frees = stats_.frees.load(std::memory_order_relaxed);
+  snapshot.migrations = stats_.migrations.load(std::memory_order_relaxed);
+  snapshot.bytes_allocated = stats_.bytes_allocated.load(std::memory_order_relaxed);
+  snapshot.bytes_migrated = stats_.bytes_migrated.load(std::memory_order_relaxed);
+  snapshot.transient_retries =
+      stats_.transient_retries.load(std::memory_order_relaxed);
+  snapshot.attribute_rescues =
+      stats_.attribute_rescues.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::vector<TraceEvent> HeterogeneousAllocator::trace() const {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  return trace_;
+}
+
+void HeterogeneousAllocator::record_trace(TraceEvent event) {
+  if (!trace_enabled_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  trace_.push_back(std::move(event));
+}
 
 std::uint64_t HeterogeneousAllocator::usable_bytes(unsigned node) const {
   const std::uint64_t available = machine_->available_bytes(node);
-  const std::uint64_t reserved = reserved_[node];
+  const std::uint64_t reserved = reserved_[node].load(std::memory_order_relaxed);
   return available > reserved ? available - reserved : 0;
 }
 
@@ -27,11 +59,13 @@ Result<sim::BufferId> HeterogeneousAllocator::allocate_with_retry(
     const AllocRequest& request, unsigned node) {
   auto buffer = machine_->allocate(request.bytes, node, request.label,
                                    request.backing_bytes);
+  const unsigned budget =
+      max_transient_retries_.load(std::memory_order_relaxed);
   unsigned retries = 0;
   while (!buffer.ok() && buffer.error().code == Errc::kTransient &&
-         retries < retry_policy_.max_transient_retries) {
+         retries < budget) {
     ++retries;
-    ++stats_.transient_retries;
+    stats_.transient_retries.fetch_add(1, std::memory_order_relaxed);
     buffer = machine_->allocate(request.bytes, node, request.label,
                                 request.backing_bytes);
   }
@@ -48,7 +82,7 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
     if (request.bytes > usable_bytes(node)) {
       // Reserved space is off-limits to ordinary allocations.
       if (!allow_fallback) {
-        ++stats_.failures;
+        stats_.failures.fetch_add(1, std::memory_order_relaxed);
         return make_error(Errc::kOutOfCapacity,
                           "node " + std::to_string(node) +
                               " lacks unreserved room for '" + request.label +
@@ -60,10 +94,10 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
     auto buffer = allocate_with_retry(request, node);
     if (buffer.ok()) {
       Allocation allocation{*buffer, node, used_attribute, rank, rank > 0};
-      ++stats_.allocations;
-      stats_.bytes_allocated += request.bytes;
-      if (rank > 0) ++stats_.fallbacks;
-      trace_.push_back(TraceEvent{
+      stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_allocated.fetch_add(request.bytes, std::memory_order_relaxed);
+      if (rank > 0) stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+      record_trace(TraceEvent{
           TraceEvent::Kind::kAlloc, request.label, node, request.bytes,
           registry_->info(used_attribute).name +
               (rank > 0 ? " (fallback rank " + std::to_string(rank) + ")" : "")});
@@ -74,15 +108,15 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
     const bool recoverable = buffer.error().code == Errc::kOutOfCapacity ||
                              buffer.error().code == Errc::kTransient;
     if (!recoverable || !allow_fallback) {
-      ++stats_.failures;
-      trace_.push_back(TraceEvent{TraceEvent::Kind::kFail, request.label, node,
-                                  request.bytes, buffer.error().to_string()});
+      stats_.failures.fetch_add(1, std::memory_order_relaxed);
+      record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, node,
+                              request.bytes, buffer.error().to_string()});
       return buffer.error();
     }
     if (buffer.error().code == Errc::kTransient) {
-      trace_.push_back(TraceEvent{TraceEvent::Kind::kFail, request.label, node,
-                                  request.bytes,
-                                  "transient retries exhausted, falling back"});
+      record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, node,
+                              request.bytes,
+                              "transient retries exhausted, falling back"});
     }
     ++rank;
   }
@@ -105,21 +139,21 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
       if (buffer.ok()) {
         Allocation allocation{*buffer, node->logical_index(), used_attribute, rank,
                               true};
-        ++stats_.allocations;
-        ++stats_.fallbacks;
-        stats_.bytes_allocated += request.bytes;
-        trace_.push_back(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
-                                    node->logical_index(), request.bytes,
-                                    "default-order rescue"});
+        stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+        stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+        stats_.bytes_allocated.fetch_add(request.bytes, std::memory_order_relaxed);
+        record_trace(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
+                                node->logical_index(), request.bytes,
+                                "default-order rescue"});
         return allocation;
       }
       ++rank;
     }
   }
 
-  ++stats_.failures;
-  trace_.push_back(TraceEvent{TraceEvent::Kind::kFail, request.label, 0,
-                              request.bytes, "all local targets exhausted"});
+  stats_.failures.fetch_add(1, std::memory_order_relaxed);
+  record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, 0,
+                          request.bytes, "all local targets exhausted"});
   return make_error(Errc::kOutOfCapacity,
                     "no local target can hold " +
                         support::format_bytes(request.bytes) + " for '" +
@@ -167,7 +201,7 @@ Result<Allocation> HeterogeneousAllocator::mem_alloc(const AllocRequest& request
       return make_error(Errc::kNotFound,
                         "no local target exists even for a Capacity rescue");
     }
-    ++stats_.attribute_rescues;
+    stats_.attribute_rescues.fetch_add(1, std::memory_order_relaxed);
   }
 
   auto attempt = try_targets(request, ranking, used_attribute);
@@ -187,11 +221,12 @@ Result<Allocation> HeterogeneousAllocator::mem_alloc(const AllocRequest& request
   if (capacity_ranking.empty()) return attempt;
   auto rescued = try_targets(request, capacity_ranking, attr::kCapacity);
   if (!rescued.ok()) return attempt;
-  ++stats_.attribute_rescues;
+  stats_.attribute_rescues.fetch_add(1, std::memory_order_relaxed);
   return rescued;
 }
 
 std::vector<TraceEvent> HeterogeneousAllocator::failure_log() const {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
   std::vector<TraceEvent> failures;
   for (const TraceEvent& event : trace_) {
     if (event.kind == TraceEvent::Kind::kFail) failures.push_back(event);
@@ -203,9 +238,9 @@ Status HeterogeneousAllocator::mem_free(sim::BufferId buffer) {
   const sim::BufferInfo info = machine_->info(buffer);
   Status status = machine_->free(buffer);
   if (!status.ok()) return status;
-  ++stats_.frees;
-  trace_.push_back(TraceEvent{TraceEvent::Kind::kFree, info.label, info.node,
-                              info.declared_bytes, ""});
+  stats_.frees.fetch_add(1, std::memory_order_relaxed);
+  record_trace(TraceEvent{TraceEvent::Kind::kFree, info.label, info.node,
+                          info.declared_bytes, ""});
   return {};
 }
 
@@ -235,11 +270,12 @@ Result<double> HeterogeneousAllocator::migrate(sim::BufferId buffer,
   }
   if (before.node == destination_node) return 0.0;
 
-  ++stats_.migrations;
-  stats_.bytes_migrated += before.declared_bytes;
-  trace_.push_back(TraceEvent{TraceEvent::Kind::kMigrate, before.label,
-                              destination_node, before.declared_bytes,
-                              "from node " + std::to_string(before.node)});
+  stats_.migrations.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_migrated.fetch_add(before.declared_bytes,
+                                  std::memory_order_relaxed);
+  record_trace(TraceEvent{TraceEvent::Kind::kMigrate, before.label,
+                          destination_node, before.declared_bytes,
+                          "from node " + std::to_string(before.node)});
   return cost_ns;
 }
 
@@ -298,14 +334,14 @@ HeterogeneousAllocator::mem_alloc_hybrid(const AllocRequest& request) {
       (void)machine_->free(*fast);
       return slow.error();
     }
-    stats_.allocations += 2;
-    ++stats_.fallbacks;
-    stats_.bytes_allocated += request.bytes;
-    trace_.push_back(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
-                                fast_node, request.bytes,
-                                "hybrid split " +
-                                    support::format_fixed(fast_fraction * 100, 0) +
-                                    "% / node " + std::to_string(slow_node)});
+    stats_.allocations.fetch_add(2, std::memory_order_relaxed);
+    stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_allocated.fetch_add(request.bytes, std::memory_order_relaxed);
+    record_trace(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
+                            fast_node, request.bytes,
+                            "hybrid split " +
+                                support::format_fixed(fast_fraction * 100, 0) +
+                                "% / node " + std::to_string(slow_node)});
     HybridAllocation hybrid;
     hybrid.fast = *fast;
     hybrid.slow = *slow;
@@ -315,7 +351,7 @@ HeterogeneousAllocator::mem_alloc_hybrid(const AllocRequest& request) {
     return hybrid;
   }
   (void)machine_->free(*fast);
-  ++stats_.failures;
+  stats_.failures.fetch_add(1, std::memory_order_relaxed);
   return make_error(Errc::kOutOfCapacity,
                     "no target can hold the slow part of the split");
 }
@@ -367,60 +403,85 @@ HeterogeneousAllocator::mem_alloc_interleaved(const AllocRequest& request,
       result.fractions.push_back(static_cast<double>(part_bytes) /
                                  static_cast<double>(request.bytes));
     }
-    ++stats_.allocations;
-    stats_.bytes_allocated += request.bytes;
-    trace_.push_back(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
-                                result.nodes.front(), request.bytes,
-                                "interleaved " + std::to_string(ways) + "-way"});
+    stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_allocated.fetch_add(request.bytes, std::memory_order_relaxed);
+    record_trace(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
+                            result.nodes.front(), request.bytes,
+                            "interleaved " + std::to_string(ways) + "-way"});
     return result;
   }
-  ++stats_.failures;
+  stats_.failures.fetch_add(1, std::memory_order_relaxed);
   return make_error(Errc::kOutOfCapacity,
                     "no interleave width fits '" + request.label + "'");
 }
 
 Status HeterogeneousAllocator::reserve(unsigned node, std::uint64_t bytes) {
-  if (node >= reserved_.size()) {
+  if (node >= node_count_) {
     return make_error(Errc::kInvalidArgument, "no such node");
   }
-  if (machine_->available_bytes(node) < reserved_[node] + bytes) {
-    return make_error(Errc::kOutOfCapacity,
-                      "cannot reserve " + support::format_bytes(bytes) +
-                          " on node " + std::to_string(node));
-  }
-  reserved_[node] += bytes;
+  // The availability check is advisory under concurrency (other threads
+  // allocate while we look); the hard never-oversubscribe invariant lives in
+  // the machine's capacity CAS. The reservation counter itself is exact.
+  std::uint64_t reserved = reserved_[node].load(std::memory_order_relaxed);
+  do {
+    if (machine_->available_bytes(node) < reserved + bytes) {
+      return make_error(Errc::kOutOfCapacity,
+                        "cannot reserve " + support::format_bytes(bytes) +
+                            " on node " + std::to_string(node));
+    }
+  } while (!reserved_[node].compare_exchange_weak(reserved, reserved + bytes,
+                                                  std::memory_order_relaxed));
   return {};
 }
 
 void HeterogeneousAllocator::release_reservation(unsigned node,
                                                  std::uint64_t bytes) {
-  if (node >= reserved_.size()) return;
-  reserved_[node] -= std::min(reserved_[node], bytes);
+  if (node >= node_count_) return;
+  std::uint64_t reserved = reserved_[node].load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    next = reserved - std::min(reserved, bytes);
+  } while (!reserved_[node].compare_exchange_weak(reserved, next,
+                                                  std::memory_order_relaxed));
 }
 
 std::uint64_t HeterogeneousAllocator::reserved_bytes(unsigned node) const {
-  return node < reserved_.size() ? reserved_[node] : 0;
+  return node < node_count_ ? reserved_[node].load(std::memory_order_relaxed) : 0;
+}
+
+bool HeterogeneousAllocator::consume_reservation(unsigned node,
+                                                 std::uint64_t bytes) {
+  std::uint64_t reserved = reserved_[node].load(std::memory_order_relaxed);
+  do {
+    if (reserved < bytes) return false;
+  } while (!reserved_[node].compare_exchange_weak(reserved, reserved - bytes,
+                                                  std::memory_order_relaxed));
+  return true;
 }
 
 Result<Allocation> HeterogeneousAllocator::mem_alloc_reserved(
     unsigned node, std::uint64_t bytes, std::string label,
     std::size_t backing_bytes) {
-  if (node >= reserved_.size()) {
+  if (node >= node_count_) {
     return make_error(Errc::kInvalidArgument, "no such node");
   }
-  if (reserved_[node] < bytes) {
+  // Consume the reservation *before* allocating so two racing callers can
+  // never both spend the same reserved bytes; refund on allocation failure.
+  if (!consume_reservation(node, bytes)) {
     return make_error(Errc::kOutOfCapacity,
                       "reservation on node " + std::to_string(node) +
                           " holds only " +
-                          support::format_bytes(reserved_[node]));
+                          support::format_bytes(reserved_bytes(node)));
   }
   auto buffer = machine_->allocate(bytes, node, label, backing_bytes);
-  if (!buffer.ok()) return buffer.error();
-  reserved_[node] -= bytes;  // the reservation is consumed by the allocation
-  ++stats_.allocations;
-  stats_.bytes_allocated += bytes;
-  trace_.push_back(TraceEvent{TraceEvent::Kind::kAlloc, label, node, bytes,
-                              "from reservation"});
+  if (!buffer.ok()) {
+    reserved_[node].fetch_add(bytes, std::memory_order_relaxed);
+    return buffer.error();
+  }
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+  record_trace(TraceEvent{TraceEvent::Kind::kAlloc, label, node, bytes,
+                          "from reservation"});
   return Allocation{*buffer, node, attr::kCapacity, 0, false};
 }
 

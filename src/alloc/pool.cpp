@@ -23,7 +23,7 @@ Pool::~Pool() {
   }
 }
 
-Status Pool::grow() {
+Status Pool::grow_locked() {
   AllocRequest request;
   request.bytes = options_.block_bytes * options_.blocks_per_slab;
   request.attribute = options_.attribute;
@@ -47,6 +47,11 @@ Status Pool::grow() {
 }
 
 Result<PoolBlock> Pool::allocate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocate_locked();
+}
+
+Result<PoolBlock> Pool::allocate_locked() {
   for (std::uint32_t s = 0; s < slabs_.size(); ++s) {
     Slab& slab = slabs_[s];
     if (slab.released || slab.free_blocks.empty()) continue;
@@ -58,11 +63,12 @@ Result<PoolBlock> Pool::allocate() {
     ++stats_.live_per_node[slab.node];
     return PoolBlock{s, index};
   }
-  if (Status status = grow(); !status.ok()) return status.error();
-  return allocate();
+  if (Status status = grow_locked(); !status.ok()) return status.error();
+  return allocate_locked();
 }
 
 Status Pool::free(PoolBlock block) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!block.valid() || block.slab >= slabs_.size() ||
       block.index >= options_.blocks_per_slab) {
     return make_error(Errc::kInvalidArgument, "bad pool block");
@@ -85,6 +91,7 @@ Status Pool::free(PoolBlock block) {
 }
 
 Result<unsigned> Pool::node_of(PoolBlock block) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!block.valid() || block.slab >= slabs_.size() ||
       slabs_[block.slab].released) {
     return make_error(Errc::kInvalidArgument, "bad pool block");
@@ -92,9 +99,13 @@ Result<unsigned> Pool::node_of(PoolBlock block) const {
   return slabs_[block.slab].node;
 }
 
-PoolStats Pool::stats() const { return stats_; }
+PoolStats Pool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
 
 std::size_t Pool::release_empty_slabs() {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t released = 0;
   for (Slab& slab : slabs_) {
     if (!slab.released && slab.live == 0) {

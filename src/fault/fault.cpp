@@ -22,7 +22,7 @@ std::uint64_t hash_site(std::string_view name) {
 
 }  // namespace
 
-FaultInjector::Site& FaultInjector::site_state(std::string_view site) {
+FaultInjector::Site& FaultInjector::site_state_locked(std::string_view site) {
   for (Site& s : sites_) {
     if (s.name == site) return s;
   }
@@ -33,7 +33,8 @@ FaultInjector::Site& FaultInjector::site_state(std::string_view site) {
   return sites_.back();
 }
 
-const FaultInjector::Site* FaultInjector::find_site(std::string_view site) const {
+const FaultInjector::Site* FaultInjector::find_site_locked(
+    std::string_view site) const {
   for (const Site& s : sites_) {
     if (s.name == site) return &s;
   }
@@ -41,14 +42,20 @@ const FaultInjector::Site* FaultInjector::find_site(std::string_view site) const
 }
 
 void FaultInjector::configure(std::string_view site, FaultSpec spec) {
-  Site& s = site_state(site);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = site_state_locked(site);
   s.spec = spec;
   s.armed = spec.probability > 0.0;
   s.burst_remaining = 0;
 }
 
 bool FaultInjector::should_fail(std::string_view site) {
-  Site& s = site_state(site);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return should_fail_locked(site);
+}
+
+bool FaultInjector::should_fail_locked(std::string_view site) {
+  Site& s = site_state_locked(site);
   const std::uint64_t sequence = s.consultations++;
   if (!s.armed) return false;
   if (s.spec.max_count != 0 && s.injected >= s.spec.max_count) return false;
@@ -71,34 +78,40 @@ bool FaultInjector::should_fail(std::string_view site) {
 double FaultInjector::noise_factor(std::string_view site) {
   // Draw the magnitude unconditionally so the stream position (and thus the
   // rest of the schedule) does not depend on whether this consultation fired.
-  Site& s = site_state(site);
-  const bool fire = should_fail(site);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool fire = should_fail_locked(site);
+  Site& s = site_state_locked(site);
   const double unit = s.rng.next_double() * 2.0 - 1.0;  // [-1, 1)
   if (!fire || s.spec.noise_sigma <= 0.0) return 1.0;
   return std::max(0.01, 1.0 + s.spec.noise_sigma * unit);
 }
 
 double FaultInjector::uniform(std::string_view site) {
-  return site_state(site).rng.next_double();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return site_state_locked(site).rng.next_double();
 }
 
 std::uint64_t FaultInjector::injected(std::string_view site) const {
-  const Site* s = find_site(site);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Site* s = find_site_locked(site);
   return s != nullptr ? s->injected : 0;
 }
 
 std::uint64_t FaultInjector::consultations(std::string_view site) const {
-  const Site* s = find_site(site);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Site* s = find_site_locked(site);
   return s != nullptr ? s->consultations : 0;
 }
 
 std::uint64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const Site& s : sites_) total += s.injected;
   return total;
 }
 
 std::string FaultInjector::schedule_fingerprint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   for (const FaultEvent& event : schedule_) {
     if (!out.empty()) out += ' ';

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <charconv>
+#include <mutex>
+#include <shared_mutex>
 
 #include "hetmem/support/str.hpp"
 #include "hetmem/support/units.hpp"
@@ -50,6 +52,7 @@ Result<AttrId> MemAttrRegistry::register_attribute(std::string_view name,
   if (name.empty()) {
     return make_error(Errc::kInvalidArgument, "attribute name is empty");
   }
+  std::unique_lock lock(mutex_);
   for (const AttrInfo& info : attributes_) {
     if (info.name == name) {
       return make_error(Errc::kAlreadyExists,
@@ -66,6 +69,7 @@ Result<AttrId> MemAttrRegistry::register_attribute(std::string_view name,
 }
 
 Result<AttrId> MemAttrRegistry::find_attribute(std::string_view name) const {
+  std::shared_lock lock(mutex_);
   for (std::size_t i = 0; i < attributes_.size(); ++i) {
     if (attributes_[i].name == name) return static_cast<AttrId>(i);
   }
@@ -74,13 +78,17 @@ Result<AttrId> MemAttrRegistry::find_attribute(std::string_view name) const {
 }
 
 const AttrInfo& MemAttrRegistry::info(AttrId attr) const {
+  std::shared_lock lock(mutex_);
   assert(valid_attr(attr));
+  // Safe to return a reference: attributes_ is a deque (stable addresses)
+  // and entries are immutable once registered.
   return attributes_[attr];
 }
 
 Status MemAttrRegistry::set_value(AttrId attr, const topo::Object& target,
                                   const std::optional<Initiator>& initiator,
                                   double value) {
+  std::unique_lock lock(mutex_);
   if (!valid_attr(attr)) {
     return make_error(Errc::kInvalidArgument, "unknown attribute id");
   }
@@ -148,6 +156,13 @@ const InitiatorValue* MemAttrRegistry::match_initiator(
 
 Result<double> MemAttrRegistry::value(AttrId attr, const topo::Object& target,
                                       const std::optional<Initiator>& initiator) const {
+  std::shared_lock lock(mutex_);
+  return value_locked(attr, target, initiator);
+}
+
+Result<double> MemAttrRegistry::value_locked(
+    AttrId attr, const topo::Object& target,
+    const std::optional<Initiator>& initiator) const {
   if (!valid_attr(attr)) {
     return make_error(Errc::kInvalidArgument, "unknown attribute id");
   }
@@ -180,13 +195,19 @@ Result<double> MemAttrRegistry::value(AttrId attr, const topo::Object& target,
 
 std::vector<TargetValue> MemAttrRegistry::targets_ranked(
     AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
+  std::shared_lock lock(mutex_);
+  return targets_ranked_locked(attr, initiator, flags);
+}
+
+std::vector<TargetValue> MemAttrRegistry::targets_ranked_locked(
+    AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
   std::vector<TargetValue> ranked;
   if (!valid_attr(attr)) return ranked;
   const std::optional<Initiator> query = initiator;
   for (const topo::Object* node : topology_->local_numa_nodes(initiator.cpuset(), flags)) {
-    Result<double> v = value(attr, *node, attributes_[attr].need_initiator
-                                              ? query
-                                              : std::optional<Initiator>{});
+    Result<double> v = value_locked(attr, *node, attributes_[attr].need_initiator
+                                                     ? query
+                                                     : std::optional<Initiator>{});
     if (v.ok()) ranked.push_back(TargetValue{node, *v});
   }
   const bool higher_first = attributes_[attr].polarity == Polarity::kHigherFirst;
@@ -200,10 +221,11 @@ std::vector<TargetValue> MemAttrRegistry::targets_ranked(
 Result<TargetValue> MemAttrRegistry::best_target(AttrId attr,
                                                  const Initiator& initiator,
                                                  topo::LocalityFlags flags) const {
+  std::shared_lock lock(mutex_);
   if (!valid_attr(attr)) {
     return make_error(Errc::kInvalidArgument, "unknown attribute id");
   }
-  std::vector<TargetValue> ranked = targets_ranked(attr, initiator, flags);
+  std::vector<TargetValue> ranked = targets_ranked_locked(attr, initiator, flags);
   if (ranked.empty()) {
     return make_error(Errc::kNotFound,
                       "no local target has a value of '" + attributes_[attr].name + "'");
@@ -213,6 +235,7 @@ Result<TargetValue> MemAttrRegistry::best_target(AttrId attr,
 
 std::vector<InitiatorValue> MemAttrRegistry::initiators(
     AttrId attr, const topo::Object& target) const {
+  std::shared_lock lock(mutex_);
   if (!valid_attr(attr) || !attributes_[attr].need_initiator ||
       target.type() != topo::ObjType::kNUMANode) {
     return {};
@@ -222,6 +245,7 @@ std::vector<InitiatorValue> MemAttrRegistry::initiators(
 
 Result<InitiatorValue> MemAttrRegistry::best_initiator(
     AttrId attr, const topo::Object& target) const {
+  std::shared_lock lock(mutex_);
   if (!valid_attr(attr)) {
     return make_error(Errc::kInvalidArgument, "unknown attribute id");
   }
@@ -243,6 +267,11 @@ Result<InitiatorValue> MemAttrRegistry::best_initiator(
 }
 
 bool MemAttrRegistry::has_values(AttrId attr) const {
+  std::shared_lock lock(mutex_);
+  return has_values_locked(attr);
+}
+
+bool MemAttrRegistry::has_values_locked(AttrId attr) const {
   if (!valid_attr(attr)) return false;
   const Stored& stored = values_[attr];
   for (const auto& v : stored.global_values) {
@@ -257,6 +286,7 @@ bool MemAttrRegistry::has_values(AttrId attr) const {
 Status MemAttrRegistry::set_confidence(AttrId attr, const topo::Object& target,
                                        const std::optional<Initiator>& initiator,
                                        Confidence confidence) {
+  std::unique_lock lock(mutex_);
   if (!valid_attr(attr)) {
     return make_error(Errc::kInvalidArgument, "unknown attribute id");
   }
@@ -290,6 +320,7 @@ Status MemAttrRegistry::set_confidence(AttrId attr, const topo::Object& target,
 Result<Confidence> MemAttrRegistry::confidence(
     AttrId attr, const topo::Object& target,
     const std::optional<Initiator>& initiator) const {
+  std::shared_lock lock(mutex_);
   if (!valid_attr(attr)) {
     return make_error(Errc::kInvalidArgument, "unknown attribute id");
   }
@@ -318,6 +349,7 @@ Result<Confidence> MemAttrRegistry::confidence(
 }
 
 void MemAttrRegistry::mark_all(AttrId attr, Confidence confidence) {
+  std::unique_lock lock(mutex_);
   if (!valid_attr(attr)) return;
   Stored& stored = values_[attr];
   for (std::size_t idx = 0; idx < stored.global_values.size(); ++idx) {
@@ -331,6 +363,11 @@ void MemAttrRegistry::mark_all(AttrId attr, Confidence confidence) {
 }
 
 bool MemAttrRegistry::has_trusted_values(AttrId attr) const {
+  std::shared_lock lock(mutex_);
+  return has_trusted_values_locked(attr);
+}
+
+bool MemAttrRegistry::has_trusted_values_locked(AttrId attr) const {
   if (!valid_attr(attr)) return false;
   const Stored& stored = values_[attr];
   for (std::size_t idx = 0; idx < stored.global_values.size(); ++idx) {
@@ -348,6 +385,12 @@ bool MemAttrRegistry::has_trusted_values(AttrId attr) const {
 }
 
 std::vector<TargetValue> MemAttrRegistry::targets_ranked_resilient(
+    AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
+  std::shared_lock lock(mutex_);
+  return targets_ranked_resilient_locked(attr, initiator, flags);
+}
+
+std::vector<TargetValue> MemAttrRegistry::targets_ranked_resilient_locked(
     AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
   std::vector<TargetValue> trusted;
   std::vector<TargetValue> untrusted;
@@ -382,10 +425,11 @@ std::vector<TargetValue> MemAttrRegistry::targets_ranked_resilient(
 }
 
 Result<AttrId> MemAttrRegistry::resolve_resilient(AttrId attr) const {
+  std::shared_lock lock(mutex_);
   if (!valid_attr(attr)) {
     return make_error(Errc::kInvalidArgument, "unknown attribute id");
   }
-  if (has_trusted_values(attr)) return attr;
+  if (has_trusted_values_locked(attr)) return attr;
   AttrId fallback = attr;
   switch (attr) {
     case kReadBandwidth:
@@ -399,17 +443,18 @@ Result<AttrId> MemAttrRegistry::resolve_resilient(AttrId attr) const {
     default:
       break;
   }
-  if (fallback != attr && has_trusted_values(fallback)) return fallback;
+  if (fallback != attr && has_trusted_values_locked(fallback)) return fallback;
   // Coarsest safe criterion: Capacity is populated natively from the
   // topology and cannot be poisoned by noisy measurement or bad firmware.
   return kCapacity;
 }
 
 Result<AttrId> MemAttrRegistry::resolve_with_fallback(AttrId attr) const {
+  std::shared_lock lock(mutex_);
   if (!valid_attr(attr)) {
     return make_error(Errc::kInvalidArgument, "unknown attribute id");
   }
-  if (has_values(attr)) return attr;
+  if (has_values_locked(attr)) return attr;
   AttrId fallback = attr;
   switch (attr) {
     case kReadBandwidth:

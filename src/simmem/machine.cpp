@@ -16,13 +16,19 @@ using support::Status;
 SimMachine::SimMachine(topo::Topology topology, MachinePerfModel model)
     : topology_(std::move(topology)),
       model_(std::move(model)),
-      used_(topology_.numa_nodes().size(), 0),
-      online_(topology_.numa_nodes().size(), 1),
+      chunks_(std::make_unique<std::atomic<Slot*>[]>(kMaxChunks)),
+      node_count_(topology_.numa_nodes().size()),
       llc_bytes_(static_cast<std::uint64_t>(27.5 * 1024 * 1024)) {
+  used_ = std::make_unique<std::atomic<std::uint64_t>[]>(node_count_);
+  online_ = std::make_unique<std::atomic<std::uint8_t>[]>(node_count_);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    used_[n].store(0, std::memory_order_relaxed);
+    online_[n].store(1, std::memory_order_relaxed);
+  }
   // A perf model sized for a different topology is a caller bug, but one a
   // production machine must survive: self-heal by recalibrating for the
   // actual topology and record the repair instead of asserting.
-  if (model_.node_count() != topology_.numa_nodes().size()) {
+  if (model_.node_count() != node_count_) {
     model_ = MachinePerfModel::calibrated_for(topology_);
     model_repaired_ = true;
   }
@@ -46,9 +52,59 @@ SimMachine::SimMachine(topo::Topology topology)
 SimMachine::SimMachine(std::pair<topo::Topology, MachinePerfModel> parts)
     : SimMachine(std::move(parts.first), std::move(parts.second)) {}
 
+SimMachine::~SimMachine() {
+  // Chunks are usually created densely, but concurrent claims can create
+  // them slightly out of order — scan the whole table.
+  for (std::size_t c = 0; c < kMaxChunks; ++c) {
+    delete[] chunks_[c].load(std::memory_order_acquire);
+  }
+}
+
+SimMachine::Slot* SimMachine::find_slot(BufferId id) const {
+  if (!id.valid() || id.index >= next_slot_.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  Slot* chunk = chunks_[id.index >> kSlotChunkShift].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  Slot* slot = &chunk[id.index & (kSlotsPerChunk - 1)];
+  // An acquire load of the state pairs with the release store at publication
+  // so the immutable fields (label, sizes, storage) are visible.
+  if (slot->state.load(std::memory_order_acquire) == SlotState::kUnpublished) {
+    return nullptr;
+  }
+  return slot;
+}
+
+SimMachine::Slot* SimMachine::claim_slot(std::uint32_t& index_out) {
+  const std::uint32_t index = next_slot_.fetch_add(1, std::memory_order_acq_rel);
+  if (index >= kMaxChunks * kSlotsPerChunk) return nullptr;  // table exhausted
+  const std::size_t chunk_index = index >> kSlotChunkShift;
+  Slot* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    std::lock_guard<std::mutex> lock(chunk_growth_mutex_);
+    chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Slot[kSlotsPerChunk];
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+  }
+  index_out = index;
+  return &chunk[index & (kSlotsPerChunk - 1)];
+}
+
+bool SimMachine::reserve_capacity(unsigned node, std::uint64_t bytes) {
+  const std::uint64_t capacity = topology_.numa_nodes()[node]->capacity_bytes();
+  std::uint64_t used = used_[node].load(std::memory_order_relaxed);
+  do {
+    if (used + bytes > capacity) return false;
+  } while (!used_[node].compare_exchange_weak(used, used + bytes,
+                                              std::memory_order_relaxed));
+  return true;
+}
+
 Result<BufferId> SimMachine::allocate(std::uint64_t declared_bytes, unsigned node,
                                       std::string label, std::size_t backing_bytes) {
-  if (node >= used_.size()) {
+  if (node >= node_count_) {
     return make_error(Errc::kInvalidArgument,
                       "no NUMA node with logical index " + std::to_string(node));
   }
@@ -62,18 +118,20 @@ Result<BufferId> SimMachine::allocate(std::uint64_t declared_bytes, unsigned nod
                             std::to_string(node));
     }
     if (faults_->should_fail(fault::site::kMachineNodeOffline)) {
-      online_[node] = 0;
+      online_[node].store(0, std::memory_order_relaxed);
     }
   }
-  if (online_[node] == 0) {
+  if (online_[node].load(std::memory_order_relaxed) == 0) {
     return make_error(Errc::kOutOfCapacity,
                       "node " + std::to_string(node) + " is offline");
   }
-  const std::uint64_t capacity = topology_.numa_nodes()[node]->capacity_bytes();
-  if (used_[node] + declared_bytes > capacity) {
+  if (!reserve_capacity(node, declared_bytes)) {
+    const std::uint64_t capacity = topology_.numa_nodes()[node]->capacity_bytes();
+    const std::uint64_t used = used_[node].load(std::memory_order_relaxed);
     return make_error(Errc::kOutOfCapacity,
                       "node " + std::to_string(node) + " has " +
-                          support::format_bytes(capacity - used_[node]) +
+                          support::format_bytes(capacity > used ? capacity - used
+                                                                : 0) +
                           " free, need " + support::format_bytes(declared_bytes));
   }
 
@@ -82,134 +140,147 @@ Result<BufferId> SimMachine::allocate(std::uint64_t declared_bytes, unsigned nod
         std::min<std::uint64_t>(declared_bytes, 64 * support::kKiB));
   }
 
-  Slot slot;
-  slot.info.label = std::move(label);
-  slot.info.node = node;
-  slot.info.declared_bytes = declared_bytes;
-  slot.info.backing_bytes = backing_bytes;
-  slot.storage = std::make_unique<std::byte[]>(backing_bytes);
-  std::memset(slot.storage.get(), 0, backing_bytes);
-
-  used_[node] += declared_bytes;
-  buffers_.push_back(std::move(slot));
-  return BufferId{static_cast<std::uint32_t>(buffers_.size() - 1)};
+  std::uint32_t index = 0;
+  Slot* slot = claim_slot(index);
+  if (slot == nullptr) {
+    used_[node].fetch_sub(declared_bytes, std::memory_order_relaxed);
+    return make_error(Errc::kOutOfCapacity, "buffer table exhausted");
+  }
+  slot->label = std::move(label);
+  slot->declared_bytes = declared_bytes;
+  slot->backing_bytes = backing_bytes;
+  slot->storage = std::make_unique<std::byte[]>(backing_bytes);
+  std::memset(slot->storage.get(), 0, backing_bytes);
+  slot->node.store(node, std::memory_order_relaxed);
+  slot->data.store(slot->storage.get(), std::memory_order_release);
+  // Publication point: readers that see kLive also see the fields above.
+  slot->state.store(SlotState::kLive, std::memory_order_release);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  return BufferId{index};
 }
 
 Status SimMachine::free(BufferId id) {
-  if (!id.valid() || id.index >= buffers_.size()) {
+  Slot* slot = find_slot(id);
+  if (slot == nullptr) {
     return make_error(Errc::kInvalidArgument, "invalid buffer id");
   }
-  Slot& slot = buffers_[id.index];
-  if (slot.info.freed) {
-    return make_error(Errc::kInvalidArgument, "double free of buffer " +
-                                                  slot.info.label);
+  std::lock_guard<std::mutex> lock(slot->lifecycle);
+  if (slot->state.load(std::memory_order_relaxed) != SlotState::kLive) {
+    return make_error(Errc::kInvalidArgument,
+                      "double free of buffer " + slot->label);
   }
-  slot.info.freed = true;
-  used_[slot.info.node] -= slot.info.declared_bytes;
-  slot.storage.reset();
+  slot->state.store(SlotState::kFreed, std::memory_order_release);
+  used_[slot->node.load(std::memory_order_relaxed)].fetch_sub(
+      slot->declared_bytes, std::memory_order_relaxed);
+  slot->data.store(nullptr, std::memory_order_release);
+  slot->storage.reset();
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
   return {};
 }
 
 Status SimMachine::migrate(BufferId id, unsigned destination_node) {
-  if (!id.valid() || id.index >= buffers_.size()) {
+  Slot* slot = find_slot(id);
+  if (slot == nullptr) {
     return make_error(Errc::kInvalidArgument, "invalid buffer id");
   }
-  if (destination_node >= used_.size()) {
+  if (destination_node >= node_count_) {
     return make_error(Errc::kInvalidArgument, "no such destination node");
   }
-  Slot& slot = buffers_[id.index];
-  if (slot.info.freed) {
+  std::lock_guard<std::mutex> lock(slot->lifecycle);
+  if (slot->state.load(std::memory_order_relaxed) != SlotState::kLive) {
     return make_error(Errc::kInvalidArgument, "migrate of freed buffer");
   }
-  if (slot.info.node == destination_node) return {};
+  const unsigned source = slot->node.load(std::memory_order_relaxed);
+  if (source == destination_node) return {};
   if (faults_ != nullptr &&
       faults_->should_fail(fault::site::kMachineMigrateTransient)) {
     return make_error(Errc::kTransient,
                       "injected transient migration failure for buffer " +
-                          slot.info.label);
+                          slot->label);
   }
-  if (online_[destination_node] == 0) {
+  if (online_[destination_node].load(std::memory_order_relaxed) == 0) {
     return make_error(Errc::kOutOfCapacity,
                       "destination node " + std::to_string(destination_node) +
                           " is offline");
   }
-  const std::uint64_t capacity =
-      topology_.numa_nodes()[destination_node]->capacity_bytes();
-  if (used_[destination_node] + slot.info.declared_bytes > capacity) {
+  if (!reserve_capacity(destination_node, slot->declared_bytes)) {
     return make_error(Errc::kOutOfCapacity,
                       "destination node " + std::to_string(destination_node) +
                           " cannot hold " +
-                          support::format_bytes(slot.info.declared_bytes));
+                          support::format_bytes(slot->declared_bytes));
   }
-  used_[slot.info.node] -= slot.info.declared_bytes;
-  used_[destination_node] += slot.info.declared_bytes;
-  slot.info.node = destination_node;
+  used_[source].fetch_sub(slot->declared_bytes, std::memory_order_relaxed);
+  slot->node.store(destination_node, std::memory_order_relaxed);
   return {};
 }
 
 namespace {
-const BufferInfo& invalid_buffer_info() {
-  static const BufferInfo sentinel{"<invalid-buffer>", 0, 0, 0, true};
-  return sentinel;
+BufferInfo invalid_buffer_info() {
+  return BufferInfo{"<invalid-buffer>", 0, 0, 0, true};
 }
 }  // namespace
 
-const BufferInfo& SimMachine::info(BufferId id) const {
-  if (!id.valid() || id.index >= buffers_.size()) return invalid_buffer_info();
-  return buffers_[id.index].info;
+BufferInfo SimMachine::info(BufferId id) const {
+  const Slot* slot = find_slot(id);
+  if (slot == nullptr) return invalid_buffer_info();
+  BufferInfo snapshot;
+  snapshot.label = slot->label;
+  snapshot.node = slot->node.load(std::memory_order_relaxed);
+  snapshot.declared_bytes = slot->declared_bytes;
+  snapshot.backing_bytes = slot->backing_bytes;
+  snapshot.freed = slot->state.load(std::memory_order_acquire) == SlotState::kFreed;
+  return snapshot;
 }
 
 Result<BufferInfo> SimMachine::info_checked(BufferId id) const {
-  if (!id.valid() || id.index >= buffers_.size()) {
+  if (find_slot(id) == nullptr) {
     return make_error(Errc::kInvalidArgument, "invalid buffer id");
   }
-  return buffers_[id.index].info;
+  return info(id);
 }
 
 std::byte* SimMachine::backing(BufferId id) {
-  if (!id.valid() || id.index >= buffers_.size()) return nullptr;
-  if (buffers_[id.index].info.freed) return nullptr;
-  return buffers_[id.index].storage.get();
+  Slot* slot = find_slot(id);
+  if (slot == nullptr) return nullptr;
+  return slot->data.load(std::memory_order_acquire);
 }
 
 const std::byte* SimMachine::backing(BufferId id) const {
-  if (!id.valid() || id.index >= buffers_.size()) return nullptr;
-  if (buffers_[id.index].info.freed) return nullptr;
-  return buffers_[id.index].storage.get();
+  const Slot* slot = find_slot(id);
+  if (slot == nullptr) return nullptr;
+  return slot->data.load(std::memory_order_acquire);
 }
 
 std::uint64_t SimMachine::capacity_bytes(unsigned node) const {
-  if (node >= used_.size()) return 0;
+  if (node >= node_count_) return 0;
   return topology_.numa_nodes()[node]->capacity_bytes();
 }
 
 std::uint64_t SimMachine::used_bytes(unsigned node) const {
-  if (node >= used_.size()) return 0;
-  return used_[node];
+  if (node >= node_count_) return 0;
+  return used_[node].load(std::memory_order_relaxed);
 }
 
 std::uint64_t SimMachine::available_bytes(unsigned node) const {
-  if (node >= used_.size() || online_[node] == 0) return 0;
-  return capacity_bytes(node) - used_bytes(node);
+  if (node >= node_count_ || online_[node].load(std::memory_order_relaxed) == 0) {
+    return 0;
+  }
+  const std::uint64_t capacity = capacity_bytes(node);
+  const std::uint64_t used = used_bytes(node);
+  return capacity > used ? capacity - used : 0;
 }
 
 Status SimMachine::set_node_online(unsigned node, bool online) {
-  if (node >= online_.size()) {
+  if (node >= node_count_) {
     return make_error(Errc::kInvalidArgument,
                       "no NUMA node with logical index " + std::to_string(node));
   }
-  online_[node] = online ? 1 : 0;
+  online_[node].store(online ? 1 : 0, std::memory_order_relaxed);
   return {};
 }
 
 bool SimMachine::node_online(unsigned node) const {
-  return node < online_.size() && online_[node] != 0;
-}
-
-std::size_t SimMachine::live_buffer_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(buffers_.begin(), buffers_.end(),
-                    [](const Slot& slot) { return !slot.info.freed; }));
+  return node < node_count_ && online_[node].load(std::memory_order_relaxed) != 0;
 }
 
 }  // namespace hetmem::sim

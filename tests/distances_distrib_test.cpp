@@ -16,12 +16,14 @@ namespace {
 
 using support::Bitmap;
 
-attr::MemAttrRegistry full_registry(const topo::Topology& topology) {
-  attr::MemAttrRegistry registry(topology);
+// The registry is internally synchronized (shared_mutex) and therefore
+// immovable, so the helper fills a caller-owned instance in place.
+void fill_registry(attr::MemAttrRegistry& registry) {
   hmat::GenerateOptions options;
   options.local_only = false;
-  EXPECT_TRUE(hmat::load_into(registry, hmat::generate(topology, options)).ok());
-  return registry;
+  EXPECT_TRUE(
+      hmat::load_into(registry,
+                      hmat::generate(registry.topology(), options)).ok());
 }
 
 // --- DistanceMatrix ---
@@ -38,7 +40,8 @@ TEST(DistanceMatrix, RequiresFullLatencyCoverage) {
 
 TEST(DistanceMatrix, LocalIsTenRemoteIsMore) {
   topo::Topology topology = topo::xeon_clx_1lm();
-  auto registry = full_registry(topology);
+  attr::MemAttrRegistry registry(topology);
+  fill_registry(registry);
   auto matrix = attr::DistanceMatrix::from_latencies(registry);
   ASSERT_TRUE(matrix.ok());
   EXPECT_EQ(matrix->node_count(), 4u);
@@ -57,7 +60,8 @@ TEST(DistanceMatrix, AnswersTheSection8Question) {
   // with the advertised values, the remote DRAM (22) beats the local
   // NVDIMM (30) for latency.
   topo::Topology topology = topo::xeon_clx_1lm();
-  auto registry = full_registry(topology);
+  attr::MemAttrRegistry registry(topology);
+  fill_registry(registry);
   auto matrix = attr::DistanceMatrix::from_latencies(registry);
   ASSERT_TRUE(matrix.ok());
   auto order = matrix->nearest_order(0);
@@ -69,7 +73,8 @@ TEST(DistanceMatrix, AnswersTheSection8Question) {
 
 TEST(DistanceMatrix, OutOfRangeIsZeroOrEmpty) {
   topo::Topology topology = topo::xeon_clx_1lm();
-  auto registry = full_registry(topology);
+  attr::MemAttrRegistry registry(topology);
+  fill_registry(registry);
   auto matrix = attr::DistanceMatrix::from_latencies(registry);
   ASSERT_TRUE(matrix.ok());
   EXPECT_EQ(matrix->value(99, 0), 0u);
@@ -79,7 +84,8 @@ TEST(DistanceMatrix, OutOfRangeIsZeroOrEmpty) {
 
 TEST(DistanceMatrix, RenderLooksLikeSlit) {
   topo::Topology topology = topo::xeon_clx_1lm();
-  auto registry = full_registry(topology);
+  attr::MemAttrRegistry registry(topology);
+  fill_registry(registry);
   auto matrix = attr::DistanceMatrix::from_latencies(registry);
   ASSERT_TRUE(matrix.ok());
   const std::string out = matrix->render();
@@ -90,7 +96,8 @@ TEST(DistanceMatrix, RenderLooksLikeSlit) {
 TEST(DistanceMatrix, WorksWithCpulessNodes) {
   // fictitious_fig3 has a machine-wide NAM; its row uses the machine cpuset.
   topo::Topology topology = topo::fictitious_fig3();
-  auto registry = full_registry(topology);
+  attr::MemAttrRegistry registry(topology);
+  fill_registry(registry);
   auto matrix = attr::DistanceMatrix::from_latencies(registry);
   ASSERT_TRUE(matrix.ok()) << matrix.error().to_string();
   EXPECT_EQ(matrix->node_count(), 9u);
@@ -177,7 +184,8 @@ TEST(Distribute, RanksMakeGoodInitiators) {
   // ranks in different clusters get their own cluster's DRAM.
   topo::Topology topology = topo::knl_snc4_flat();
   sim::SimMachine machine(topo::knl_snc4_flat());
-  auto registry = full_registry(machine.topology());
+  attr::MemAttrRegistry registry(machine.topology());
+  fill_registry(registry);
   auto sets = topo::distribute(machine.topology(), 4);
   ASSERT_EQ(sets.size(), 4u);
   std::set<unsigned> targets;

@@ -4,6 +4,11 @@
 // oracle.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
 #include "hetmem/hmat/hmat.hpp"
 #include "hetmem/memattr/memattr.hpp"
 #include "hetmem/topo/presets.hpp"
@@ -174,6 +179,78 @@ TEST(PaperEquations, Fig3PlatformOrderings) {
   ASSERT_EQ(by_lat.size(), 4u);
   EXPECT_EQ(kind_of(by_lat[0]), topo::MemoryKind::kDRAM);
   EXPECT_EQ(kind_of(by_lat[3]), topo::MemoryKind::kNAM);
+}
+
+// --- concurrent reads during probe-style writes (docs/CONCURRENCY.md) ---
+//
+// A writer rewrites every node's Bandwidth value generation after
+// generation (base(node) * g, so the relative order never changes) while
+// reader threads continuously rank. The registry promises a ranking is
+// never torn: each returned value must be exactly base(node) * g for some
+// written generation g, the ranking must be sorted for the attribute's
+// polarity, and no target may appear twice. A torn 8-byte value or a rank
+// computed from a half-visible update breaks one of these.
+TEST(AttrConcurrency, RankingsAreNeverTornWhileProbeWritersRun) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  MemAttrRegistry registry(topology);
+  const auto& nodes = topology.numa_nodes();
+  const auto initiator = Initiator::from_cpuset(topology.pus().front()->cpuset());
+
+  auto base = [](unsigned node) { return 100.0 * (node + 1); };
+  constexpr unsigned kGenerations = 400;
+
+  // Generation 1 first so readers always have a complete value set.
+  for (unsigned n = 0; n < nodes.size(); ++n) {
+    ASSERT_TRUE(registry.set_value(kBandwidth, *nodes[n], initiator, base(n)).ok());
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (unsigned g = 2; g <= kGenerations; ++g) {
+      for (unsigned n = 0; n < nodes.size(); ++n) {
+        ASSERT_TRUE(
+            registry.set_value(kBandwidth, *nodes[n], initiator, base(n) * g)
+                .ok());
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  auto is_written_value = [&](const TargetValue& tv) {
+    const double ratio = tv.value / base(tv.target->logical_index());
+    const double generation = std::round(ratio);
+    return generation >= 1.0 && generation <= kGenerations &&
+           std::abs(ratio - generation) < 1e-9;
+  };
+
+  std::vector<std::thread> readers;
+  for (unsigned r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      do {
+        const std::vector<TargetValue> ranked =
+            registry.targets_ranked(kBandwidth, initiator);
+        ASSERT_FALSE(ranked.empty());
+        ASSERT_LE(ranked.size(), nodes.size());
+        for (std::size_t i = 0; i < ranked.size(); ++i) {
+          ASSERT_TRUE(is_written_value(ranked[i]))
+              << "torn value " << ranked[i].value;
+          if (i > 0) {
+            // Bandwidth is kHigherFirst.
+            ASSERT_GE(ranked[i - 1].value, ranked[i].value);
+          }
+          for (std::size_t j = i + 1; j < ranked.size(); ++j) {
+            ASSERT_NE(ranked[i].target, ranked[j].target);
+          }
+        }
+        auto best = registry.best_target(kBandwidth, initiator);
+        ASSERT_TRUE(best.ok());
+        ASSERT_TRUE(is_written_value(*best));
+      } while (!writer_done.load(std::memory_order_acquire));
+    });
+  }
+
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
 }
 
 }  // namespace
