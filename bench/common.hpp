@@ -5,6 +5,9 @@
 
 #include <cstdio>
 #include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
 
 #include "hetmem/alloc/allocator.hpp"
 #include "hetmem/hmat/hmat.hpp"
@@ -77,5 +80,108 @@ inline std::string teps_e8(double teps) {
 inline std::string gbps(double bytes_per_second) {
   return support::format_fixed(bytes_per_second / 1e9, 2);
 }
+
+/// Minimal streaming JSON emitter shared by the machine-readable bench
+/// harnesses (report_json today, the ablation benches as they adopt the
+/// BENCH_*.json format). Deterministic output: fixed number formatting, no
+/// locale, insertion order preserved. Usage:
+///
+///   JsonWriter json(out);
+///   json.begin_object();
+///   json.key("name").value("hotpath");
+///   json.key("runs").begin_array();
+///   ... json.end_array();
+///   json.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& name) {
+    separate();
+    write_string(name);
+    out_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& text) {
+    separate();
+    write_string(text);
+    return *this;
+  }
+  JsonWriter& value(const char* text) { return value(std::string(text)); }
+  JsonWriter& value(bool flag) {
+    separate();
+    out_ << (flag ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t number) {
+    separate();
+    out_ << number;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t number) {
+    separate();
+    out_ << number;
+    return *this;
+  }
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(unsigned number) {
+    return value(static_cast<std::uint64_t>(number));
+  }
+  /// Fixed three-decimal formatting so diffs between runs are meaningful.
+  JsonWriter& value(double number) {
+    separate();
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", number);
+    out_ << buffer;
+    return *this;
+  }
+
+ private:
+  JsonWriter& open(char bracket) {
+    separate();
+    out_ << bracket;
+    need_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& close(char bracket) {
+    out_ << bracket;
+    need_comma_.pop_back();
+    return *this;
+  }
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ << ',';
+      need_comma_.back() = true;
+    }
+  }
+  void write_string(const std::string& text) {
+    out_ << '"';
+    for (char c : text) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default: out_ << c; break;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> need_comma_;
+  bool pending_value_ = false;
+};
 
 }  // namespace hetmem::bench

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "hetmem/alloc/allocator.hpp"
+#include "hetmem/alloc/pool.hpp"
 #include "hetmem/hmat/hmat.hpp"
 #include "hetmem/memattr/memattr.hpp"
 #include "hetmem/simmem/machine.hpp"
@@ -174,6 +175,111 @@ void BM_TargetsRankedConcurrent(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TargetsRankedConcurrent)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->Iterations(kThreadedIterations)
+    ->UseRealTime();
+
+// --- ranking cache: cached vs uncached hot path (docs/PERF.md) ---
+//
+// Same allocator, same requests; the only difference is whether
+// MemAttrRegistry serves rankings from the generation-stamped cache (a
+// lock-free shared_ptr load) or rebuilds them under the shared_mutex on
+// every call. The 8-thread pair is the acceptance gate in CI. The cached
+// run reports the hit rate as a counter (steady state must be >= 99%).
+
+void BM_MemAllocFreeCached(benchmark::State& state) {
+  static ThreadedFixture f;
+  const alloc::AllocRequest request = threaded_request(f);
+  f.registry.set_ranking_cache_enabled(true);
+  if (state.thread_index() == 0) f.registry.reset_ranking_cache_stats();
+  for (auto _ : state) {
+    auto allocation = f.allocator.mem_alloc(request);
+    if (allocation.ok()) (void)f.allocator.mem_free(allocation->buffer);
+  }
+  if (state.thread_index() == 0) {
+    const attr::RankingCacheStats stats = f.registry.ranking_cache_stats();
+    state.counters["hit_rate"] = stats.hit_rate();
+  }
+}
+BENCHMARK(BM_MemAllocFreeCached)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->Iterations(kThreadedIterations)
+    ->UseRealTime();
+
+void BM_MemAllocFreeUncached(benchmark::State& state) {
+  static ThreadedFixture f;
+  const alloc::AllocRequest request = threaded_request(f);
+  f.registry.set_ranking_cache_enabled(false);
+  for (auto _ : state) {
+    auto allocation = f.allocator.mem_alloc(request);
+    if (allocation.ok()) (void)f.allocator.mem_free(allocation->buffer);
+  }
+}
+BENCHMARK(BM_MemAllocFreeUncached)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->Iterations(kThreadedIterations)
+    ->UseRealTime();
+
+// Pure ranked-query scaling through the cache (no allocator around it):
+// upper bound on what the snapshot path saves over BM_TargetsRankedConcurrent.
+void BM_TargetsRankedCachedConcurrent(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto initiator = attr::Initiator::from_cpuset(
+      f.machine.topology().pus().front()->cpuset());
+  for (auto _ : state) {
+    auto ranked = f.registry.targets_ranked_cached(attr::kLatency, initiator);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_TargetsRankedCachedConcurrent)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->Iterations(kThreadedIterations)
+    ->UseRealTime();
+
+// --- pool magazines: per-thread cached blocks vs the pool mutex ---
+//
+// Same pool workload (allocate/free churn on one shared pool); magazines
+// turn the steady-state path into thread-local vector ops, the baseline
+// serializes every operation on the pool mutex.
+
+alloc::PoolOptions pool_bench_options(unsigned magazine_blocks) {
+  alloc::PoolOptions options;
+  options.attribute = attr::kLatency;
+  options.block_bytes = 4096;
+  options.blocks_per_slab = 4096;
+  options.magazine_blocks = magazine_blocks;
+  return options;
+}
+
+void BM_PoolMagazine(benchmark::State& state) {
+  static ThreadedFixture f;
+  static alloc::Pool pool(f.allocator,
+                          f.machine.topology().numa_node(0)->cpuset(),
+                          pool_bench_options(/*magazine_blocks=*/64),
+                          "bench.pool.mag");
+  for (auto _ : state) {
+    auto block = pool.allocate();
+    if (block.ok()) (void)pool.free(*block);
+  }
+  pool.flush_thread_magazine();
+}
+BENCHMARK(BM_PoolMagazine)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->Iterations(kThreadedIterations)
+    ->UseRealTime();
+
+void BM_PoolMutex(benchmark::State& state) {
+  static ThreadedFixture f;
+  static alloc::Pool pool(f.allocator,
+                          f.machine.topology().numa_node(0)->cpuset(),
+                          pool_bench_options(/*magazine_blocks=*/0),
+                          "bench.pool.mtx");
+  for (auto _ : state) {
+    auto block = pool.allocate();
+    if (block.ok()) (void)pool.free(*block);
+  }
+}
+BENCHMARK(BM_PoolMutex)
     ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
     ->Iterations(kThreadedIterations)
     ->UseRealTime();

@@ -1,0 +1,245 @@
+// Machine-readable hot-path baseline: BENCH_hotpath.json.
+//
+// Runs the cached-vs-uncached allocation curves and the magazine-vs-mutex
+// pool curves at fixed per-thread iteration counts and emits one JSON
+// document (schema hetmem.bench.hotpath/1) so future PRs have a perf
+// trajectory to diff against. Decision counts are deterministic — the same
+// binary produces the same allocation/fallback/hit totals every run; only
+// the nanosecond timings move. docs/PERF.md describes how to read it.
+//
+// Usage: report_json [--out FILE] [--check]
+//   --out FILE   write JSON to FILE (default BENCH_hotpath.json)
+//   --check      exit 1 unless the cached path beats the uncached baseline
+//                at 8 threads (the CI perf-smoke gate)
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "hetmem/alloc/pool.hpp"
+
+namespace {
+
+using namespace hetmem;
+
+constexpr std::uint64_t kIterationsPerThread = 20000;
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8, 16};
+
+struct Testbed {
+  Testbed()
+      : machine(topo::xeon_clx_snc_1lm()),
+        registry(machine.topology()),
+        allocator(machine, registry) {
+    hmat::GenerateOptions options;
+    options.local_only = false;
+    (void)hmat::load_into(registry, hmat::generate(machine.topology(), options));
+    allocator.set_trace_enabled(false);
+  }
+  sim::SimMachine machine;
+  attr::MemAttrRegistry registry;
+  alloc::HeterogeneousAllocator allocator;
+};
+
+struct RunResult {
+  std::string name;
+  unsigned threads = 1;
+  std::uint64_t total_ops = 0;
+  std::uint64_t elapsed_ns = 0;
+  double mops_per_sec = 0.0;
+  bool has_cache_stats = false;
+  double cache_hit_rate = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  bool has_decisions = false;
+  std::uint64_t allocations = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t rescues = 0;
+};
+
+template <typename WorkerFn>
+RunResult timed_run(std::string name, unsigned threads, WorkerFn&& worker) {
+  RunResult result;
+  result.name = std::move(name);
+  result.threads = threads;
+  result.total_ops = kIterationsPerThread * threads;
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const auto start = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&worker] {
+      for (std::uint64_t i = 0; i < kIterationsPerThread; ++i) worker();
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  result.elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+  if (result.elapsed_ns > 0) {
+    result.mops_per_sec = static_cast<double>(result.total_ops) * 1e3 /
+                          static_cast<double>(result.elapsed_ns);
+  }
+  return result;
+}
+
+alloc::AllocRequest standard_request(const Testbed& bed) {
+  alloc::AllocRequest request;
+  request.bytes = 4096;
+  request.attribute = attr::kLatency;
+  request.initiator = bed.machine.topology().numa_node(0)->cpuset();
+  request.backing_bytes = 64;
+  request.label = "bench.json";
+  return request;
+}
+
+RunResult run_mem_alloc(unsigned threads, bool cached) {
+  Testbed bed;
+  bed.registry.set_ranking_cache_enabled(cached);
+  bed.registry.reset_ranking_cache_stats();
+  const alloc::AllocRequest request = standard_request(bed);
+
+  RunResult result = timed_run(
+      cached ? "mem_alloc_cached" : "mem_alloc_uncached", threads, [&] {
+        auto allocation = bed.allocator.mem_alloc(request);
+        if (allocation.ok()) (void)bed.allocator.mem_free(allocation->buffer);
+      });
+
+  if (cached) {
+    const attr::RankingCacheStats stats = bed.registry.ranking_cache_stats();
+    result.has_cache_stats = true;
+    result.cache_hits = stats.hits;
+    result.cache_misses = stats.misses;
+    result.cache_hit_rate = stats.hit_rate();
+  }
+  const alloc::AllocatorStats stats = bed.allocator.stats();
+  result.has_decisions = true;
+  result.allocations = stats.allocations;
+  result.fallbacks = stats.fallbacks;
+  result.failures = stats.failures;
+  result.rescues = stats.attribute_rescues;
+  return result;
+}
+
+RunResult run_pool(unsigned threads, unsigned magazine_blocks) {
+  Testbed bed;
+  alloc::PoolOptions options;
+  options.attribute = attr::kLatency;
+  options.block_bytes = 4096;
+  options.blocks_per_slab = 4096;
+  options.magazine_blocks = magazine_blocks;
+  alloc::Pool pool(bed.allocator, bed.machine.topology().numa_node(0)->cpuset(),
+                   options, "bench.json.pool");
+
+  return timed_run(magazine_blocks > 0 ? "pool_magazine" : "pool_mutex",
+                   threads, [&] {
+                     auto block = pool.allocate();
+                     if (block.ok()) (void)pool.free(*block);
+                   });
+}
+
+void emit_run(bench::JsonWriter& json, const RunResult& run) {
+  json.begin_object();
+  json.key("name").value(run.name);
+  json.key("threads").value(run.threads);
+  json.key("total_ops").value(run.total_ops);
+  json.key("elapsed_ns").value(run.elapsed_ns);
+  json.key("mops_per_sec").value(run.mops_per_sec);
+  if (run.has_cache_stats) {
+    json.key("cache").begin_object();
+    json.key("hits").value(run.cache_hits);
+    json.key("misses").value(run.cache_misses);
+    json.key("hit_rate").value(run.cache_hit_rate);
+    json.end_object();
+  }
+  if (run.has_decisions) {
+    json.key("decisions").begin_object();
+    json.key("allocations").value(run.allocations);
+    json.key("fallbacks").value(run.fallbacks);
+    json.key("failures").value(run.failures);
+    json.key("attribute_rescues").value(run.rescues);
+    json.end_object();
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_hotpath.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else {
+      std::cerr << "usage: report_json [--out FILE] [--check]\n";
+      return 2;
+    }
+  }
+
+  std::vector<RunResult> runs;
+  double cached_8t = 0.0;
+  double uncached_8t = 0.0;
+  for (unsigned threads : kThreadCounts) {
+    RunResult cached = run_mem_alloc(threads, /*cached=*/true);
+    RunResult uncached = run_mem_alloc(threads, /*cached=*/false);
+    if (threads == 8) {
+      cached_8t = cached.mops_per_sec;
+      uncached_8t = uncached.mops_per_sec;
+    }
+    runs.push_back(std::move(cached));
+    runs.push_back(std::move(uncached));
+    runs.push_back(run_pool(threads, /*magazine_blocks=*/64));
+    runs.push_back(run_pool(threads, /*magazine_blocks=*/0));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  bench::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("hetmem.bench.hotpath/1");
+  json.key("fixture").value("xeon_clx_snc_1lm");
+  json.key("iterations_per_thread").value(kIterationsPerThread);
+  json.key("runs").begin_array();
+  for (const RunResult& run : runs) emit_run(json, run);
+  json.end_array();
+  json.key("gate").begin_object();
+  json.key("cached_mops_at_8t").value(cached_8t);
+  json.key("uncached_mops_at_8t").value(uncached_8t);
+  json.key("speedup_at_8t")
+      .value(uncached_8t > 0.0 ? cached_8t / uncached_8t : 0.0);
+  json.end_object();
+  json.end_object();
+  out << '\n';
+  out.close();
+
+  std::cout << "wrote " << out_path << "\n";
+  std::cout << "cached @8t: " << cached_8t << " Mops/s, uncached @8t: "
+            << uncached_8t << " Mops/s, speedup: "
+            << (uncached_8t > 0.0 ? cached_8t / uncached_8t : 0.0) << "x\n";
+  for (const RunResult& run : runs) {
+    if (run.has_cache_stats) {
+      std::cout << run.name << " @" << run.threads
+                << "t hit_rate=" << run.cache_hit_rate << "\n";
+    }
+  }
+
+  if (check && cached_8t <= uncached_8t) {
+    std::cerr << "FAIL: cached hot path is not faster than uncached at 8 "
+                 "threads\n";
+    return 1;
+  }
+  return 0;
+}

@@ -9,7 +9,9 @@
 // span memory kinds over its lifetime (each block remembers its slab).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -23,6 +25,13 @@ struct PoolOptions {
   std::uint64_t block_bytes = 1 << 20;  // 1 MiB blocks
   unsigned blocks_per_slab = 64;
   Policy policy = Policy::kRankedFallback;
+  /// > 0 enables per-thread magazines holding up to this many cached blocks.
+  /// Magazine hits bypass the pool mutex entirely; refill/flush move blocks
+  /// in batches of half a magazine. Tradeoff: double-free detection becomes
+  /// best-effort (magazine-local scan on the fast path, slab-list scan only
+  /// at flush time), and freed blocks stay invisible to other threads until
+  /// flushed. 0 (the default) keeps the fully-checked mutex path.
+  unsigned magazine_blocks = 0;
 };
 
 /// Handle to one pooled block.
@@ -42,9 +51,13 @@ struct PoolStats {
 };
 
 /// Thread safety: allocate / free / node_of / stats / release_empty_slabs
-/// are serialized by one per-pool mutex. Pools are expected to be
-/// thread-local or few-threads shared; callers that need scaling should use
-/// one pool per thread over the (itself concurrent) allocator.
+/// are serialized by one per-pool mutex. With `magazine_blocks > 0` each
+/// thread additionally keeps a private magazine of cached blocks: allocate /
+/// free hit the magazine without any lock and only take the pool mutex for
+/// batched refill/flush. Magazine-cached blocks keep their slab's `live`
+/// count up (they pin the slab against release_empty_slabs) and are flushed
+/// back — each exactly once — when the owning thread exits or the magazine
+/// overflows.
 class Pool {
  public:
   Pool(HeterogeneousAllocator& allocator, support::Bitmap initiator,
@@ -65,7 +78,13 @@ class Pool {
   [[nodiscard]] const PoolOptions& options() const { return options_; }
 
   /// Returns every empty slab's memory to the machine (slab compaction).
+  /// Slabs with magazine-cached blocks count as live and are kept.
   std::size_t release_empty_slabs();
+
+  /// Flushes the calling thread's magazine back to the pool (no-op when
+  /// magazines are disabled or the thread holds none). Useful before
+  /// release_empty_slabs in tests and teardown paths.
+  void flush_thread_magazine();
 
  private:
   struct Slab {
@@ -76,8 +95,40 @@ class Pool {
     bool released = false;
   };
 
+  /// Liveness handshake between the pool and thread-local magazines: the
+  /// pool nulls `pool` in its destructor, a thread flushing at exit checks
+  /// it under `mutex` — whichever comes second sees the other's move.
+  struct Control {
+    std::mutex mutex;
+    Pool* pool = nullptr;
+  };
+  struct Magazine;   // per-(thread, pool) cached-block list; see pool.cpp
+  struct TlsCache;   // per-thread magazine registry; see pool.cpp
+
+  // Lock-free slab -> node side table for the magazine fast path. Chunks
+  // are allocated under the pool mutex and published via slab_count_
+  // (release); readers index only below slab_count_ (acquire).
+  static constexpr std::size_t kNodeChunkSize = 64;
+  static constexpr std::size_t kNodeChunkCount = 1024;  // 64Ki slabs max
+  struct NodeChunk {
+    unsigned node[kNodeChunkSize] = {};
+  };
+
   support::Status grow_locked();
   support::Result<PoolBlock> allocate_locked();
+  // Core primitives: move blocks between slabs and callers without touching
+  // the app-level counters (those belong to allocate()/free()).
+  support::Result<PoolBlock> take_block_locked();
+  support::Status return_block_locked(PoolBlock block);
+
+  static TlsCache& tls_cache();
+  Magazine& thread_magazine();
+  support::Status refill_magazine(Magazine& magazine);
+  void shrink_magazine(Magazine& magazine, std::size_t keep);
+  void flush_blocks(std::vector<PoolBlock>& blocks);
+  [[nodiscard]] unsigned node_of_fast(std::uint32_t slab) const;
+  void note_alloc(unsigned node);
+  void note_free(unsigned node);
 
   mutable std::mutex mutex_;
   HeterogeneousAllocator* allocator_;
@@ -85,7 +136,19 @@ class Pool {
   PoolOptions options_;
   std::string name_;
   std::vector<Slab> slabs_;
-  PoolStats stats_;
+  std::shared_ptr<Control> control_;
+
+  // App-level stats are atomics so the magazine fast path can maintain them
+  // without the pool mutex. slabs_created stays under the mutex (grow only).
+  std::size_t node_count_ = 0;
+  std::uint64_t slabs_created_ = 0;
+  std::atomic<std::uint64_t> blocks_allocated_{0};
+  std::atomic<std::uint64_t> blocks_freed_{0};
+  std::atomic<std::uint64_t> blocks_live_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> live_per_node_;
+
+  std::unique_ptr<std::atomic<NodeChunk*>[]> node_chunks_;
+  std::atomic<std::uint32_t> slab_count_{0};
 };
 
 }  // namespace hetmem::alloc

@@ -12,8 +12,11 @@
 // Locality in number of PUs. Custom attributes choose their own unit.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -96,6 +99,53 @@ struct InitiatorValue {
   support::Bitmap initiator;
   double value = 0.0;
   Confidence confidence = Confidence::kTrusted;
+};
+
+/// What a cached ranking memoizes. kPlain/kResilient mirror targets_ranked /
+/// targets_ranked_resilient for one attribute; kAllocPath additionally folds
+/// resolve_with_fallback into the snapshot (the allocator's first step) and
+/// kRescuePath folds resolve_resilient (its degradation step), so one cache
+/// hit answers the whole "which attribute, ranked how" question without ever
+/// touching the registry lock.
+enum class RankingMode : std::uint8_t {
+  kPlain,
+  kResilient,
+  kAllocPath,
+  kRescuePath,
+};
+
+/// One memoized ranking: immutable once published, shared by every reader
+/// that hits. `generation` stamps the registry state the snapshot was built
+/// from; a snapshot whose stamp no longer matches generation() is rebuilt on
+/// the next lookup and never served again.
+struct CachedRanking {
+  std::vector<TargetValue> targets;
+  /// The attribute actually ranked: equals the requested attribute for
+  /// kPlain/kResilient, the post-fallback-chain attribute for kAllocPath,
+  /// and the post-degradation attribute for kRescuePath.
+  AttrId resolved = 0;
+  /// kAllocPath only: whether resolve_with_fallback succeeded. When false,
+  /// `targets` is empty and `resolved` echoes the requested attribute.
+  bool resolved_ok = true;
+  // --- cache key (validated on lookup; hash collisions just overwrite) ---
+  AttrId requested = 0;
+  RankingMode mode = RankingMode::kResilient;
+  topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting;
+  support::Bitmap initiator;
+  std::uint64_t generation = 0;
+};
+
+using RankingSnapshot = std::shared_ptr<const CachedRanking>;
+
+/// Hit/miss counters of the ranking cache (relaxed atomics; exact after a
+/// quiescent point, monotone while running).
+struct RankingCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  [[nodiscard]] double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
 };
 
 /// Thread safety: the registry is read-mostly and internally synchronized
@@ -188,6 +238,79 @@ class MemAttrRegistry {
       AttrId attr, const Initiator& initiator,
       topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
 
+  // --- generation-invalidated ranking cache (docs/PERF.md) ---
+  //
+  // Rankings change only on rare events (attribute registration, value
+  // writes, probe demotion, node offlining), so the hot allocation path
+  // memoizes them: a cache hit returns a shared immutable snapshot with NO
+  // shared_mutex acquisition and no heap allocation. Every mutating
+  // operation bumps generation(); a stale snapshot is rebuilt (under the
+  // shared lock, once) on the next lookup for its key and never served
+  // after the mutation that invalidated it became visible to the reader.
+
+  /// Monotonic mutation counter. Bumped by register_attribute, set_value,
+  /// set_confidence, mark_all, load_values and invalidate_rankings; never
+  /// by queries. Strictly increases under concurrency (each successful
+  /// mutation observes a unique increment).
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Forces every cached ranking stale without changing stored values — for
+  /// external events that alter ranking *feasibility* rather than registry
+  /// state (e.g. SimMachine taking a NUMA node offline).
+  void invalidate_rankings();
+
+  /// Cached equivalents of targets_ranked / targets_ranked_resilient: the
+  /// snapshot's `targets` is bit-identical to what the uncached call would
+  /// return at the snapshot's generation. The primary overloads take the
+  /// initiator's cpuset directly so a hit never copies a Bitmap (zero heap
+  /// allocation); the Initiator overloads are conveniences that forward.
+  [[nodiscard]] RankingSnapshot targets_ranked_cached(
+      AttrId attr, const support::Bitmap& initiator_cpuset,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
+  [[nodiscard]] RankingSnapshot targets_ranked_cached(
+      AttrId attr, const Initiator& initiator,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const {
+    return targets_ranked_cached(attr, initiator.cpuset(), flags);
+  }
+  [[nodiscard]] RankingSnapshot targets_ranked_resilient_cached(
+      AttrId attr, const support::Bitmap& initiator_cpuset,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
+  [[nodiscard]] RankingSnapshot targets_ranked_resilient_cached(
+      AttrId attr, const Initiator& initiator,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const {
+    return targets_ranked_resilient_cached(attr, initiator.cpuset(), flags);
+  }
+
+  /// The allocator's first step as one cached lookup: resolve_with_fallback
+  /// composed with targets_ranked_resilient of the resolved attribute.
+  /// resolved_ok=false (empty targets) when neither the attribute nor its
+  /// chain has values — re-run resolve_with_fallback uncached for the error.
+  [[nodiscard]] RankingSnapshot alloc_ranking_cached(
+      AttrId attr, const support::Bitmap& initiator_cpuset,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
+
+  /// The allocator's degradation step as one cached lookup:
+  /// resolve_resilient composed with targets_ranked_resilient of the
+  /// degraded attribute (ultimately kCapacity). Invalid ids yield an empty
+  /// kCapacity snapshot.
+  [[nodiscard]] RankingSnapshot rescue_ranking_cached(
+      AttrId attr, const support::Bitmap& initiator_cpuset,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
+
+  /// Cache observability and the uncached baseline switch (benchmarks
+  /// disable the cache to measure what it buys; allocation *decisions* are
+  /// identical either way).
+  [[nodiscard]] RankingCacheStats ranking_cache_stats() const;
+  void reset_ranking_cache_stats();
+  void set_ranking_cache_enabled(bool enabled) {
+    cache_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool ranking_cache_enabled() const {
+    return cache_enabled_.load(std::memory_order_relaxed);
+  }
+
   /// resolve_with_fallback, then a final coarser-attribute fallback: when
   /// neither `attr` nor its chain has any *trusted* value left, degrade to
   /// kCapacity (always populated natively from the topology) instead of
@@ -223,6 +346,23 @@ class MemAttrRegistry {
       AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const;
   [[nodiscard]] bool has_values_locked(AttrId attr) const;
   [[nodiscard]] bool has_trusted_values_locked(AttrId attr) const;
+  [[nodiscard]] support::Result<AttrId> resolve_with_fallback_locked(
+      AttrId attr) const;
+  [[nodiscard]] AttrId resolve_resilient_locked(AttrId attr) const;
+
+  /// Shared lookup/rebuild for the four cache modes. Hit: one atomic
+  /// snapshot load validated against the key and generation(). Miss: rebuild
+  /// under a shared lock (the generation stamp read under that lock is
+  /// consistent — writers bump while exclusive), publish with a CAS that
+  /// never replaces a newer-generation snapshot with an older one.
+  [[nodiscard]] RankingSnapshot ranked_cached(
+      RankingMode mode, AttrId attr, const support::Bitmap& initiator_cpuset,
+      topo::LocalityFlags flags) const;
+  /// Fills targets/resolved/resolved_ok for the key, caller holds mutex_.
+  void build_ranking_locked(CachedRanking& out) const;
+  void bump_generation_locked() {
+    generation_.fetch_add(1, std::memory_order_release);
+  }
 
   const topo::Topology* topology_;
   // deque: stable AttrInfo addresses across register_attribute, so info()
@@ -231,6 +371,19 @@ class MemAttrRegistry {
   std::deque<AttrInfo> attributes_;
   std::vector<Stored> values_;
   mutable std::shared_mutex mutex_;
+
+  // --- ranking cache state ---
+  // Direct-mapped, power-of-two slots. The working set of distinct
+  // (mode, attr, initiator, flags) keys in a process is tiny (a handful of
+  // attributes x a handful of initiator localities); collisions simply
+  // overwrite, which costs a rebuild, never correctness.
+  static constexpr std::size_t kRankingCacheSlots = 128;
+  mutable std::array<std::atomic<RankingSnapshot>, kRankingCacheSlots>
+      ranking_cache_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> cache_enabled_{true};
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 /// Fig. 5-style report ("lstopo --memattrs"): every attribute with its per-

@@ -53,6 +53,11 @@ class Bitmap {
   /// True when every bit of *this is also set in `other`.
   [[nodiscard]] bool is_subset_of(const Bitmap& other) const;
 
+  /// FNV-1a over the word representation. Equal bitmaps hash equal (trailing
+  /// zero words are trimmed); usable as a cache key with operator== as the
+  /// tie-breaker.
+  [[nodiscard]] std::size_t hash() const;
+
   /// All set bits in ascending order.
   [[nodiscard]] std::vector<unsigned> to_vector() const;
   /// Linux "list" form: "0-3,8". Empty set renders as "".

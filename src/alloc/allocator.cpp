@@ -97,10 +97,15 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
       stats_.allocations.fetch_add(1, std::memory_order_relaxed);
       stats_.bytes_allocated.fetch_add(request.bytes, std::memory_order_relaxed);
       if (rank > 0) stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
-      record_trace(TraceEvent{
-          TraceEvent::Kind::kAlloc, request.label, node, request.bytes,
-          registry_->info(used_attribute).name +
-              (rank > 0 ? " (fallback rank " + std::to_string(rank) + ")" : "")});
+      // The guard keeps event construction (string concatenation plus a
+      // registry info() lock) off the hot path when tracing is disabled.
+      if (trace_enabled()) {
+        record_trace(TraceEvent{
+            TraceEvent::Kind::kAlloc, request.label, node, request.bytes,
+            registry_->info(used_attribute).name +
+                (rank > 0 ? " (fallback rank " + std::to_string(rank) + ")"
+                          : "")});
+      }
       return allocation;
     }
     // Transient failures that survived the bounded retry are treated like a
@@ -168,43 +173,48 @@ Result<Allocation> HeterogeneousAllocator::mem_alloc(const AllocRequest& request
     return make_error(Errc::kInvalidArgument,
                       "empty initiator: bind the caller to CPUs first");
   }
-  const attr::Initiator initiator =
-      attr::Initiator::from_cpuset(request.initiator);
+  // One cached snapshot folds attribute resolution and the resilient ranking:
+  // on a hit this is a single lock-free load — no shared_mutex, no per-call
+  // vector, not even an Initiator copy (the request's cpuset is the key).
+  attr::RankingSnapshot snapshot = registry_->alloc_ranking_cached(
+      request.attribute, request.initiator, request.locality);
+  attr::AttrId used_attribute =
+      snapshot->resolved_ok ? snapshot->resolved : request.attribute;
+  const std::vector<attr::TargetValue>* ranking = &snapshot->targets;
+  attr::RankingSnapshot capacity_snapshot;  // held once fetched, never refetched
 
-  auto resolved = registry_->resolve_with_fallback(request.attribute);
-  attr::AttrId used_attribute = resolved.ok() ? *resolved : request.attribute;
-  std::vector<attr::TargetValue> ranking;
-  if (resolved.ok()) {
-    ranking = registry_->targets_ranked_resilient(used_attribute, initiator,
-                                                  request.locality);
-  }
-
-  if (ranking.empty()) {
+  if (ranking->empty()) {
     if (!request.attribute_rescue) {
-      if (!resolved.ok()) return resolved.error();
+      if (!snapshot->resolved_ok) {
+        // Cold failure path: regenerate the precise resolution error (the
+        // snapshot only records that resolution failed, not the message).
+        return registry_->resolve_with_fallback(request.attribute).error();
+      }
       return make_error(Errc::kNotFound,
                         "no local target has values for attribute '" +
                             registry_->info(used_attribute).name + "'");
     }
     // Rescue: degrade to a coarser trusted attribute, ultimately kCapacity
     // (always populated from the topology, never probe- or firmware-fed).
-    auto rescue = registry_->resolve_resilient(request.attribute);
-    used_attribute = rescue.ok() ? *rescue : attr::kCapacity;
-    ranking = registry_->targets_ranked_resilient(used_attribute, initiator,
-                                                  request.locality);
-    if (ranking.empty() && used_attribute != attr::kCapacity) {
+    attr::RankingSnapshot rescue = registry_->rescue_ranking_cached(
+        request.attribute, request.initiator, request.locality);
+    used_attribute = rescue->resolved;
+    snapshot = std::move(rescue);
+    ranking = &snapshot->targets;
+    if (ranking->empty() && used_attribute != attr::kCapacity) {
       used_attribute = attr::kCapacity;
-      ranking = registry_->targets_ranked_resilient(used_attribute, initiator,
-                                                    request.locality);
+      capacity_snapshot = registry_->targets_ranked_resilient_cached(
+          attr::kCapacity, request.initiator, request.locality);
+      ranking = &capacity_snapshot->targets;
     }
-    if (ranking.empty()) {
+    if (ranking->empty()) {
       return make_error(Errc::kNotFound,
                         "no local target exists even for a Capacity rescue");
     }
     stats_.attribute_rescues.fetch_add(1, std::memory_order_relaxed);
   }
 
-  auto attempt = try_targets(request, ranking, used_attribute);
+  auto attempt = try_targets(request, *ranking, used_attribute);
   if (attempt.ok() || !request.attribute_rescue ||
       request.policy == Policy::kStrict ||
       attempt.error().code != Errc::kOutOfCapacity ||
@@ -215,11 +225,13 @@ Result<Allocation> HeterogeneousAllocator::mem_alloc(const AllocRequest& request
   // that *have values* — after corruption or probe failures that can be a
   // strict subset of the machine. Capacity is populated for every node
   // natively, so its ranking reaches targets the broken attribute missed.
-  std::vector<attr::TargetValue> capacity_ranking =
-      registry_->targets_ranked_resilient(attr::kCapacity, initiator,
-                                          request.locality);
-  if (capacity_ranking.empty()) return attempt;
-  auto rescued = try_targets(request, capacity_ranking, attr::kCapacity);
+  // Reuse the capacity snapshot if the rescue above already fetched it.
+  if (!capacity_snapshot) {
+    capacity_snapshot = registry_->targets_ranked_resilient_cached(
+        attr::kCapacity, request.initiator, request.locality);
+  }
+  if (capacity_snapshot->targets.empty()) return attempt;
+  auto rescued = try_targets(request, capacity_snapshot->targets, attr::kCapacity);
   if (!rescued.ok()) return attempt;
   stats_.attribute_rescues.fetch_add(1, std::memory_order_relaxed);
   return rescued;
@@ -235,6 +247,14 @@ std::vector<TraceEvent> HeterogeneousAllocator::failure_log() const {
 }
 
 Status HeterogeneousAllocator::mem_free(sim::BufferId buffer) {
+  if (!trace_enabled()) {
+    // Hot path: skip the BufferInfo snapshot (it copies the label string)
+    // when nobody will read the trace event.
+    Status status = machine_->free(buffer);
+    if (!status.ok()) return status;
+    stats_.frees.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
   const sim::BufferInfo info = machine_->info(buffer);
   Status status = machine_->free(buffer);
   if (!status.ok()) return status;
@@ -294,10 +314,13 @@ HeterogeneousAllocator::mem_alloc_hybrid(const AllocRequest& request) {
     return hybrid;
   }
 
-  auto resolved = registry_->resolve_with_fallback(request.attribute);
-  if (!resolved.ok()) return resolved.error();
-  std::vector<attr::TargetValue> ranking = registry_->targets_ranked_resilient(
-      *resolved, attr::Initiator::from_cpuset(request.initiator), request.locality);
+  attr::RankingSnapshot snapshot = registry_->alloc_ranking_cached(
+      request.attribute, request.initiator,
+      request.locality);
+  if (!snapshot->resolved_ok) {
+    return registry_->resolve_with_fallback(request.attribute).error();
+  }
+  const std::vector<attr::TargetValue>& ranking = snapshot->targets;
   if (ranking.size() < 2) {
     return make_error(Errc::kOutOfCapacity,
                       "cannot split: fewer than two local targets");
@@ -362,10 +385,13 @@ HeterogeneousAllocator::mem_alloc_interleaved(const AllocRequest& request,
   if (max_ways == 0 || request.bytes == 0 || request.initiator.empty()) {
     return make_error(Errc::kInvalidArgument, "bad interleave request");
   }
-  auto resolved = registry_->resolve_with_fallback(request.attribute);
-  if (!resolved.ok()) return resolved.error();
-  std::vector<attr::TargetValue> ranking = registry_->targets_ranked_resilient(
-      *resolved, attr::Initiator::from_cpuset(request.initiator), request.locality);
+  attr::RankingSnapshot snapshot = registry_->alloc_ranking_cached(
+      request.attribute, request.initiator,
+      request.locality);
+  if (!snapshot->resolved_ok) {
+    return registry_->resolve_with_fallback(request.attribute).error();
+  }
+  const std::vector<attr::TargetValue>& ranking = snapshot->targets;
   if (ranking.empty()) {
     return make_error(Errc::kNotFound, "no local target has attribute values");
   }

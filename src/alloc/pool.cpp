@@ -1,5 +1,7 @@
 #include "hetmem/alloc/pool.hpp"
 
+#include <algorithm>
+
 namespace hetmem::alloc {
 
 using support::Errc;
@@ -7,23 +9,96 @@ using support::make_error;
 using support::Result;
 using support::Status;
 
+// One magazine per (thread, pool): a LIFO of cached blocks plus the shared
+// control block that says whether the pool is still alive.
+struct Pool::Magazine {
+  std::shared_ptr<Control> control;
+  std::vector<PoolBlock> blocks;
+};
+
+// Thread-local registry of magazines. Its destructor runs at thread exit and
+// returns every cached block to its pool exactly once — unless the pool died
+// first, in which case the pool's destructor already released the slabs and
+// the handles are dead anyway.
+struct Pool::TlsCache {
+  std::vector<Magazine> magazines;
+
+  ~TlsCache() {
+    for (Magazine& magazine : magazines) {
+      std::lock_guard<std::mutex> alive(magazine.control->mutex);
+      if (magazine.control->pool != nullptr) {
+        magazine.control->pool->flush_blocks(magazine.blocks);
+      }
+    }
+  }
+};
+
+Pool::TlsCache& Pool::tls_cache() {
+  thread_local TlsCache cache;
+  return cache;
+}
+
 Pool::Pool(HeterogeneousAllocator& allocator, support::Bitmap initiator,
            PoolOptions options, std::string name)
     : allocator_(&allocator),
       initiator_(std::move(initiator)),
       options_(options),
-      name_(std::move(name)) {
-  stats_.live_per_node.resize(
-      allocator.machine().topology().numa_nodes().size(), 0);
-}
-
-Pool::~Pool() {
-  for (Slab& slab : slabs_) {
-    if (!slab.released) (void)allocator_->mem_free(slab.buffer);
+      name_(std::move(name)),
+      control_(std::make_shared<Control>()) {
+  control_->pool = this;
+  node_count_ = allocator.machine().topology().numa_nodes().size();
+  live_per_node_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(node_count_);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    live_per_node_[n].store(0, std::memory_order_relaxed);
+  }
+  node_chunks_ =
+      std::make_unique<std::atomic<NodeChunk*>[]>(kNodeChunkCount);
+  for (std::size_t c = 0; c < kNodeChunkCount; ++c) {
+    node_chunks_[c].store(nullptr, std::memory_order_relaxed);
   }
 }
 
+Pool::~Pool() {
+  {
+    // Detach from any outstanding thread magazines: their exit-time flush
+    // checks `pool` under this mutex and becomes a no-op from here on.
+    std::lock_guard<std::mutex> alive(control_->mutex);
+    control_->pool = nullptr;
+  }
+  for (Slab& slab : slabs_) {
+    if (!slab.released) (void)allocator_->mem_free(slab.buffer);
+  }
+  for (std::size_t c = 0; c < kNodeChunkCount; ++c) {
+    delete node_chunks_[c].load(std::memory_order_relaxed);
+  }
+}
+
+unsigned Pool::node_of_fast(std::uint32_t slab) const {
+  // Caller has checked slab < slab_count_ (acquire), which synchronizes
+  // with the release publish in grow_locked, so chunk and entry are visible.
+  const NodeChunk* chunk =
+      node_chunks_[slab / kNodeChunkSize].load(std::memory_order_acquire);
+  return chunk->node[slab % kNodeChunkSize];
+}
+
+void Pool::note_alloc(unsigned node) {
+  blocks_allocated_.fetch_add(1, std::memory_order_relaxed);
+  blocks_live_.fetch_add(1, std::memory_order_relaxed);
+  live_per_node_[node].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Pool::note_free(unsigned node) {
+  blocks_freed_.fetch_add(1, std::memory_order_relaxed);
+  blocks_live_.fetch_sub(1, std::memory_order_relaxed);
+  live_per_node_[node].fetch_sub(1, std::memory_order_relaxed);
+}
+
 Status Pool::grow_locked() {
+  const std::uint32_t index = static_cast<std::uint32_t>(slabs_.size());
+  if (index >= kNodeChunkSize * kNodeChunkCount) {
+    return make_error(Errc::kOutOfCapacity, "pool slab-index space exhausted");
+  }
   AllocRequest request;
   request.bytes = options_.block_bytes * options_.blocks_per_slab;
   request.attribute = options_.attribute;
@@ -32,6 +107,15 @@ Status Pool::grow_locked() {
   request.label = name_ + ".slab" + std::to_string(slabs_.size());
   auto allocation = allocator_->mem_alloc(request);
   if (!allocation.ok()) return allocation.error();
+
+  NodeChunk* chunk =
+      node_chunks_[index / kNodeChunkSize].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new NodeChunk();
+    node_chunks_[index / kNodeChunkSize].store(chunk,
+                                               std::memory_order_release);
+  }
+  chunk->node[index % kNodeChunkSize] = allocation->node;
 
   Slab slab;
   slab.buffer = allocation->buffer;
@@ -42,33 +126,26 @@ Status Pool::grow_locked() {
     slab.free_blocks.push_back(block);
   }
   slabs_.push_back(std::move(slab));
-  ++stats_.slabs_created;
+  ++slabs_created_;
+  slab_count_.store(static_cast<std::uint32_t>(slabs_.size()),
+                    std::memory_order_release);
   return {};
 }
 
-Result<PoolBlock> Pool::allocate() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return allocate_locked();
-}
-
-Result<PoolBlock> Pool::allocate_locked() {
+Result<PoolBlock> Pool::take_block_locked() {
   for (std::uint32_t s = 0; s < slabs_.size(); ++s) {
     Slab& slab = slabs_[s];
     if (slab.released || slab.free_blocks.empty()) continue;
     const std::uint32_t index = slab.free_blocks.back();
     slab.free_blocks.pop_back();
     ++slab.live;
-    ++stats_.blocks_allocated;
-    ++stats_.blocks_live;
-    ++stats_.live_per_node[slab.node];
     return PoolBlock{s, index};
   }
   if (Status status = grow_locked(); !status.ok()) return status.error();
-  return allocate_locked();
+  return take_block_locked();
 }
 
-Status Pool::free(PoolBlock block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Status Pool::return_block_locked(PoolBlock block) {
   if (!block.valid() || block.slab >= slabs_.size() ||
       block.index >= options_.blocks_per_slab) {
     return make_error(Errc::kInvalidArgument, "bad pool block");
@@ -84,9 +161,109 @@ Status Pool::free(PoolBlock block) {
   }
   slab.free_blocks.push_back(block.index);
   --slab.live;
-  ++stats_.blocks_freed;
-  --stats_.blocks_live;
-  --stats_.live_per_node[slab.node];
+  return {};
+}
+
+Pool::Magazine& Pool::thread_magazine() {
+  std::vector<Magazine>& magazines = tls_cache().magazines;
+  for (Magazine& magazine : magazines) {
+    if (magazine.control.get() == control_.get()) return magazine;
+  }
+  magazines.push_back(Magazine{control_, {}});
+  magazines.back().blocks.reserve(options_.magazine_blocks);
+  return magazines.back();
+}
+
+Status Pool::refill_magazine(Magazine& magazine) {
+  // Grab half a magazine per mutex acquisition: one lock amortizes over
+  // magazine_blocks/2 subsequent lock-free hits.
+  const std::size_t target = std::max<std::size_t>(1, options_.magazine_blocks / 2);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (magazine.blocks.size() < target) {
+    auto block = take_block_locked();
+    if (!block.ok()) {
+      // Partial refill still serves the caller; surface the error only when
+      // the magazine stayed empty.
+      if (!magazine.blocks.empty()) break;
+      return block.error();
+    }
+    magazine.blocks.push_back(*block);
+  }
+  return {};
+}
+
+void Pool::shrink_magazine(Magazine& magazine, std::size_t keep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (magazine.blocks.size() > keep) {
+    // Misuse (double free that raced past the magazine scan) is dropped
+    // here rather than pushed: a duplicate free-list entry would hand the
+    // same block to two callers later, which is strictly worse.
+    (void)return_block_locked(magazine.blocks.back());
+    magazine.blocks.pop_back();
+  }
+}
+
+void Pool::flush_blocks(std::vector<PoolBlock>& blocks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (PoolBlock block : blocks) {
+    (void)return_block_locked(block);
+  }
+  blocks.clear();
+}
+
+void Pool::flush_thread_magazine() {
+  if (options_.magazine_blocks == 0) return;
+  flush_blocks(thread_magazine().blocks);
+}
+
+Result<PoolBlock> Pool::allocate() {
+  if (options_.magazine_blocks > 0) {
+    Magazine& magazine = thread_magazine();
+    if (magazine.blocks.empty()) {
+      if (Status status = refill_magazine(magazine); !status.ok()) {
+        return status.error();
+      }
+    }
+    const PoolBlock block = magazine.blocks.back();
+    magazine.blocks.pop_back();
+    note_alloc(node_of_fast(block.slab));
+    return block;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocate_locked();
+}
+
+Result<PoolBlock> Pool::allocate_locked() {
+  auto block = take_block_locked();
+  if (!block.ok()) return block;
+  note_alloc(slabs_[block->slab].node);
+  return block;
+}
+
+Status Pool::free(PoolBlock block) {
+  if (options_.magazine_blocks > 0) {
+    if (!block.valid() || block.index >= options_.blocks_per_slab ||
+        block.slab >= slab_count_.load(std::memory_order_acquire)) {
+      return make_error(Errc::kInvalidArgument, "bad pool block");
+    }
+    Magazine& magazine = thread_magazine();
+    for (const PoolBlock& cached : magazine.blocks) {
+      if (cached.slab == block.slab && cached.index == block.index) {
+        return make_error(Errc::kInvalidArgument, "double free of pool block");
+      }
+    }
+    if (magazine.blocks.size() >= options_.magazine_blocks) {
+      shrink_magazine(magazine, options_.magazine_blocks / 2);
+    }
+    magazine.blocks.push_back(block);
+    note_free(node_of_fast(block.slab));
+    return {};
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Status status = return_block_locked(block);
+  if (!status.ok()) return status;
+  note_free(slabs_[block.slab].node);
   return {};
 }
 
@@ -100,8 +277,17 @@ Result<unsigned> Pool::node_of(PoolBlock block) const {
 }
 
 PoolStats Pool::stats() const {
+  PoolStats snapshot;
+  snapshot.blocks_allocated = blocks_allocated_.load(std::memory_order_relaxed);
+  snapshot.blocks_freed = blocks_freed_.load(std::memory_order_relaxed);
+  snapshot.blocks_live = blocks_live_.load(std::memory_order_relaxed);
+  snapshot.live_per_node.resize(node_count_);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    snapshot.live_per_node[n] = live_per_node_[n].load(std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  snapshot.slabs_created = slabs_created_;
+  return snapshot;
 }
 
 std::size_t Pool::release_empty_slabs() {

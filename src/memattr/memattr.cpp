@@ -65,6 +65,7 @@ Result<AttrId> MemAttrRegistry::register_attribute(std::string_view name,
   values_.back().global_confidence.resize(topology_->numa_nodes().size(),
                                           Confidence::kTrusted);
   values_.back().per_initiator.resize(topology_->numa_nodes().size());
+  bump_generation_locked();
   return static_cast<AttrId>(attributes_.size() - 1);
 }
 
@@ -109,10 +110,12 @@ Status MemAttrRegistry::set_value(AttrId attr, const topo::Object& target,
         existing.value = value;
         // A fresh value supersedes any earlier noisy/stale verdict.
         existing.confidence = Confidence::kTrusted;
+        bump_generation_locked();
         return {};
       }
     }
     list.push_back(InitiatorValue{initiator->cpuset(), value, Confidence::kTrusted});
+    bump_generation_locked();
     return {};
   }
   if (initiator.has_value()) {
@@ -122,6 +125,7 @@ Status MemAttrRegistry::set_value(AttrId attr, const topo::Object& target,
   }
   stored.global_values[idx] = value;
   stored.global_confidence[idx] = Confidence::kTrusted;
+  bump_generation_locked();
   return {};
 }
 
@@ -304,6 +308,7 @@ Status MemAttrRegistry::set_confidence(AttrId attr, const topo::Object& target,
     for (InitiatorValue& existing : stored.per_initiator[idx]) {
       if (existing.initiator == initiator->cpuset()) {
         existing.confidence = confidence;
+        bump_generation_locked();
         return {};
       }
     }
@@ -314,6 +319,7 @@ Status MemAttrRegistry::set_confidence(AttrId attr, const topo::Object& target,
     return make_error(Errc::kNotFound, "no stored value for target");
   }
   stored.global_confidence[idx] = confidence;
+  bump_generation_locked();
   return {};
 }
 
@@ -360,6 +366,7 @@ void MemAttrRegistry::mark_all(AttrId attr, Confidence confidence) {
   for (auto& list : stored.per_initiator) {
     for (InitiatorValue& iv : list) iv.confidence = confidence;
   }
+  bump_generation_locked();
 }
 
 bool MemAttrRegistry::has_trusted_values(AttrId attr) const {
@@ -424,11 +431,7 @@ std::vector<TargetValue> MemAttrRegistry::targets_ranked_resilient_locked(
   return trusted;
 }
 
-Result<AttrId> MemAttrRegistry::resolve_resilient(AttrId attr) const {
-  std::shared_lock lock(mutex_);
-  if (!valid_attr(attr)) {
-    return make_error(Errc::kInvalidArgument, "unknown attribute id");
-  }
+AttrId MemAttrRegistry::resolve_resilient_locked(AttrId attr) const {
   if (has_trusted_values_locked(attr)) return attr;
   AttrId fallback = attr;
   switch (attr) {
@@ -449,8 +452,15 @@ Result<AttrId> MemAttrRegistry::resolve_resilient(AttrId attr) const {
   return kCapacity;
 }
 
-Result<AttrId> MemAttrRegistry::resolve_with_fallback(AttrId attr) const {
+Result<AttrId> MemAttrRegistry::resolve_resilient(AttrId attr) const {
   std::shared_lock lock(mutex_);
+  if (!valid_attr(attr)) {
+    return make_error(Errc::kInvalidArgument, "unknown attribute id");
+  }
+  return resolve_resilient_locked(attr);
+}
+
+Result<AttrId> MemAttrRegistry::resolve_with_fallback_locked(AttrId attr) const {
   if (!valid_attr(attr)) {
     return make_error(Errc::kInvalidArgument, "unknown attribute id");
   }
@@ -470,10 +480,156 @@ Result<AttrId> MemAttrRegistry::resolve_with_fallback(AttrId attr) const {
                         "attribute '" + attributes_[attr].name +
                             "' has no values and no fallback");
   }
-  if (has_values(fallback)) return fallback;
+  if (has_values_locked(fallback)) return fallback;
   return make_error(Errc::kNotFound,
                     "neither '" + attributes_[attr].name + "' nor its fallback '" +
                         attributes_[fallback].name + "' has values");
+}
+
+Result<AttrId> MemAttrRegistry::resolve_with_fallback(AttrId attr) const {
+  std::shared_lock lock(mutex_);
+  return resolve_with_fallback_locked(attr);
+}
+
+// --- generation-invalidated ranking cache ---
+
+void MemAttrRegistry::invalidate_rankings() {
+  // The exclusive lock keeps the invariant that a snapshot's generation
+  // stamp (read under a shared lock) always matches the data it was built
+  // from — bumps never interleave with an in-flight rebuild.
+  std::unique_lock lock(mutex_);
+  bump_generation_locked();
+}
+
+void MemAttrRegistry::build_ranking_locked(CachedRanking& out) const {
+  const Initiator initiator = Initiator::from_cpuset(out.initiator);
+  switch (out.mode) {
+    case RankingMode::kPlain:
+      out.resolved = out.requested;
+      out.targets = targets_ranked_locked(out.requested, initiator, out.flags);
+      break;
+    case RankingMode::kResilient:
+      out.resolved = out.requested;
+      out.targets =
+          targets_ranked_resilient_locked(out.requested, initiator, out.flags);
+      break;
+    case RankingMode::kAllocPath: {
+      const Result<AttrId> resolved = resolve_with_fallback_locked(out.requested);
+      if (!resolved.ok()) {
+        out.resolved = out.requested;
+        out.resolved_ok = false;
+        break;
+      }
+      out.resolved = *resolved;
+      out.targets =
+          targets_ranked_resilient_locked(out.resolved, initiator, out.flags);
+      break;
+    }
+    case RankingMode::kRescuePath:
+      out.resolved = valid_attr(out.requested)
+                         ? resolve_resilient_locked(out.requested)
+                         : kCapacity;
+      out.targets =
+          targets_ranked_resilient_locked(out.resolved, initiator, out.flags);
+      break;
+  }
+}
+
+RankingSnapshot MemAttrRegistry::ranked_cached(
+    RankingMode mode, AttrId attr, const support::Bitmap& initiator_cpuset,
+    topo::LocalityFlags flags) const {
+  if (!cache_enabled_.load(std::memory_order_relaxed)) {
+    // Uncached baseline: build a private snapshot, never publish it.
+    auto fresh = std::make_shared<CachedRanking>();
+    fresh->requested = attr;
+    fresh->mode = mode;
+    fresh->flags = flags;
+    fresh->initiator = initiator_cpuset;
+    std::shared_lock lock(mutex_);
+    fresh->generation = generation_.load(std::memory_order_relaxed);
+    build_ranking_locked(*fresh);
+    return fresh;
+  }
+
+  const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+  std::size_t key = initiator_cpuset.hash();
+  key ^= static_cast<std::size_t>(attr) * 0x9e3779b97f4a7c15ull;
+  key ^= (static_cast<std::size_t>(flags) << 3) ^
+         (static_cast<std::size_t>(mode) << 1);
+  const std::size_t slot = key & (kRankingCacheSlots - 1);
+
+  RankingSnapshot cached = ranking_cache_[slot].load(std::memory_order_acquire);
+  if (cached && cached->generation == generation && cached->mode == mode &&
+      cached->requested == attr && cached->flags == flags &&
+      cached->initiator == initiator_cpuset) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return cached;
+  }
+
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto rebuilt = std::make_shared<CachedRanking>();
+  rebuilt->requested = attr;
+  rebuilt->mode = mode;
+  rebuilt->flags = flags;
+  rebuilt->initiator = initiator_cpuset;
+  {
+    std::shared_lock lock(mutex_);
+    // Writers bump the generation while holding the lock exclusively, so
+    // this stamp is exactly the state the ranking below is built from.
+    rebuilt->generation = generation_.load(std::memory_order_relaxed);
+    build_ranking_locked(*rebuilt);
+  }
+
+  // Publish, but never replace a newer-generation snapshot with an older
+  // one: a reader that stalled between rebuild and publish must not bury a
+  // fresher entry (stale-after-publish would make later hits serve old
+  // rankings).
+  RankingSnapshot snapshot = std::move(rebuilt);
+  RankingSnapshot expected = std::move(cached);
+  while (!(expected && expected->generation > snapshot->generation)) {
+    if (ranking_cache_[slot].compare_exchange_weak(
+            expected, snapshot, std::memory_order_release,
+            std::memory_order_acquire)) {
+      break;
+    }
+  }
+  return snapshot;
+}
+
+RankingSnapshot MemAttrRegistry::targets_ranked_cached(
+    AttrId attr, const support::Bitmap& initiator_cpuset,
+    topo::LocalityFlags flags) const {
+  return ranked_cached(RankingMode::kPlain, attr, initiator_cpuset, flags);
+}
+
+RankingSnapshot MemAttrRegistry::targets_ranked_resilient_cached(
+    AttrId attr, const support::Bitmap& initiator_cpuset,
+    topo::LocalityFlags flags) const {
+  return ranked_cached(RankingMode::kResilient, attr, initiator_cpuset, flags);
+}
+
+RankingSnapshot MemAttrRegistry::alloc_ranking_cached(
+    AttrId attr, const support::Bitmap& initiator_cpuset,
+    topo::LocalityFlags flags) const {
+  return ranked_cached(RankingMode::kAllocPath, attr, initiator_cpuset, flags);
+}
+
+RankingSnapshot MemAttrRegistry::rescue_ranking_cached(
+    AttrId attr, const support::Bitmap& initiator_cpuset,
+    topo::LocalityFlags flags) const {
+  return ranked_cached(RankingMode::kRescuePath, attr, initiator_cpuset, flags);
+}
+
+RankingCacheStats MemAttrRegistry::ranking_cache_stats() const {
+  RankingCacheStats stats;
+  stats.hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.misses = cache_misses_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void MemAttrRegistry::reset_ranking_cache_stats() {
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
 }
 
 std::string memattrs_report(const MemAttrRegistry& registry) {

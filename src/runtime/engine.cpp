@@ -113,9 +113,13 @@ double MigrationEngine::run_epoch(std::uint64_t epoch_index,
   };
 
   // Where evicted buffers go: down the Capacity ranking (always populated
-  // natively), skipping the node being cleared.
-  std::vector<attr::TargetValue> capacity_ranking =
-      registry.targets_ranked(attr::kCapacity, query);
+  // natively), skipping the node being cleared. Fetched through the ranking
+  // cache: across epochs without attribute mutations this is one lock-free
+  // load instead of a fresh sort under the registry shared_mutex.
+  attr::RankingSnapshot capacity_snapshot =
+      registry.targets_ranked_cached(attr::kCapacity, query);
+  const std::vector<attr::TargetValue>& capacity_ranking =
+      capacity_snapshot->targets;
 
   // Phase 1: level-triggered scan. Propose a move for every tracked
   // latency/bandwidth buffer whose best feasible ranked target is elsewhere;
@@ -132,8 +136,12 @@ double MigrationEngine::run_epoch(std::uint64_t epoch_index,
     if (info.freed) continue;
 
     const attr::AttrId attribute = prof::allocation_hint(state.committed);
-    std::vector<attr::TargetValue> ranked =
-        registry.targets_ranked(attribute, query);
+    // Per-buffer ranking reuses the shared snapshot: there are only a couple
+    // of distinct attributes across all tracked buffers, so this inner loop
+    // is all cache hits.
+    attr::RankingSnapshot ranked_snapshot =
+        registry.targets_ranked_cached(attribute, query);
+    const std::vector<attr::TargetValue>& ranked = ranked_snapshot->targets;
     if (ranked.empty()) {
       log(epoch_index, buffer, Verdict::kRejectedNoTarget, nullptr, 0.0,
           "no ranked targets for attribute " + std::to_string(attribute));

@@ -88,6 +88,16 @@ bool Bitmap::empty() const {
                      [](std::uint64_t w) { return w == 0; });
 }
 
+std::size_t Bitmap::hash() const {
+  // FNV-1a, 64-bit. words_ is kept trimmed (no trailing zero words), so
+  // equal sets hash equal regardless of construction history.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : words_) {
+    h = (h ^ w) * 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
 std::optional<unsigned> Bitmap::first() const {
   for (std::size_t i = 0; i < words_.size(); ++i) {
     if (words_[i] != 0) {

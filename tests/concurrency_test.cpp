@@ -8,12 +8,16 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <cmath>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "hetmem/alloc/allocator.hpp"
+#include "hetmem/alloc/pool.hpp"
 #include "hetmem/fault/fault.hpp"
 #include "hetmem/hmat/hmat.hpp"
 #include "hetmem/memattr/memattr.hpp"
@@ -456,6 +460,180 @@ TEST(InterleavingFuzz, SameSeedReplaysToIdenticalFinalState) {
 
 TEST(InterleavingFuzz, DifferentSeedsDiverge) {
   EXPECT_NE(run_seeded_schedule(7), run_seeded_schedule(8));
+}
+
+// --- ranking cache: readers vs an invalidating writer (docs/PERF.md) ---
+
+// The writer rewrites every node's Bandwidth value to base(node) * g for
+// generation g; readers rank through the *cache*. Two failure modes are
+// hunted here: a torn snapshot (values from two different g in one ranking)
+// and stale-after-publish (a reader observing registry generation G must
+// never be served a snapshot older than G — the acquire on generation()
+// orders the subsequent cache lookup).
+TEST(RankingCacheConcurrency, CachedReadersNeverSeeTornOrStaleRankings) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  attr::MemAttrRegistry registry(topology);
+  const auto& nodes = topology.numa_nodes();
+  const auto initiator =
+      attr::Initiator::from_cpuset(topology.pus().front()->cpuset());
+
+  auto base = [](unsigned node) { return 100.0 * (node + 1); };
+  constexpr unsigned kGenerations = 300;
+  for (unsigned n = 0; n < nodes.size(); ++n) {
+    ASSERT_TRUE(
+        registry.set_value(attr::kBandwidth, *nodes[n], initiator, base(n))
+            .ok());
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (unsigned g = 2; g <= kGenerations; ++g) {
+      for (unsigned n = 0; n < nodes.size(); ++n) {
+        ASSERT_TRUE(registry
+                        .set_value(attr::kBandwidth, *nodes[n], initiator,
+                                   base(n) * g)
+                        .ok());
+      }
+      if (g % 16 == 0) registry.invalidate_rankings();
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (unsigned r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      do {
+        const std::uint64_t observed = registry.generation();
+        const attr::RankingSnapshot snapshot =
+            registry.targets_ranked_cached(attr::kBandwidth, initiator);
+        ASSERT_FALSE(snapshot->targets.empty());
+        // Not torn: every value in the snapshot comes from the same written
+        // generation g (base(node) * g for one g across all entries).
+        double g = 0.0;
+        for (const attr::TargetValue& tv : snapshot->targets) {
+          const double ratio = tv.value / base(tv.target->logical_index());
+          const double rounded = std::round(ratio);
+          ASSERT_NEAR(ratio, rounded, 1e-9) << "torn value " << tv.value;
+          if (g == 0.0) {
+            g = rounded;
+          } else {
+            ASSERT_EQ(g, rounded) << "snapshot mixes generations";
+          }
+        }
+        // Not stale-after-publish: the snapshot may not predate the
+        // registry generation the reader had already observed.
+        ASSERT_GE(snapshot->generation, observed);
+      } while (!writer_done.load(std::memory_order_acquire));
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+
+  // Quiescent: the cache must converge on exactly the final values.
+  const attr::RankingSnapshot final_snapshot =
+      registry.targets_ranked_cached(attr::kBandwidth, initiator);
+  const std::vector<attr::TargetValue> uncached =
+      registry.targets_ranked(attr::kBandwidth, initiator);
+  ASSERT_EQ(final_snapshot->targets.size(), uncached.size());
+  for (std::size_t i = 0; i < uncached.size(); ++i) {
+    EXPECT_EQ(final_snapshot->targets[i].target, uncached[i].target);
+    EXPECT_EQ(final_snapshot->targets[i].value, uncached[i].value);
+  }
+}
+
+// --- pool magazines: thread-exit flush returns every block exactly once ---
+
+// Worker threads allocate and free through their magazines and exit with
+// warm magazines (cached blocks). The exit hook must hand every cached
+// block back exactly once: afterwards the pool's live count equals exactly
+// the handles the workers reported as still-live, every remaining block can
+// be freed exactly once more, and a full drain re-allocates each (slab,
+// index) pair at most once — a double-returned block would surface as a
+// duplicate handle here.
+TEST(PoolMagazineConcurrency, ThreadExitFlushReturnsEveryBlockExactlyOnce) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  attr::MemAttrRegistry registry(machine.topology());
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  ASSERT_TRUE(
+      hmat::load_into(registry, hmat::generate(machine.topology(), options))
+          .ok());
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+  allocator.set_trace_enabled(false);
+
+  alloc::PoolOptions pool_options;
+  pool_options.attribute = attr::kBandwidth;
+  pool_options.block_bytes = 64 * support::kKiB;
+  pool_options.blocks_per_slab = 64;
+  pool_options.magazine_blocks = 16;
+  alloc::Pool pool(allocator, machine.topology().numa_node(0)->cpuset(),
+                   pool_options, "mag.exit");
+
+  constexpr unsigned kWorkers = 8;
+  constexpr unsigned kOpsPerWorker = 400;
+  std::vector<std::vector<alloc::PoolBlock>> survivors(kWorkers);
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      support::SplitMix64 rng(0x9000 + w);
+      std::vector<alloc::PoolBlock> held;
+      for (unsigned op = 0; op < kOpsPerWorker; ++op) {
+        if (held.empty() || rng.next() % 2 == 0) {
+          auto block = pool.allocate();
+          ASSERT_TRUE(block.ok());
+          held.push_back(*block);
+        } else {
+          ASSERT_TRUE(pool.free(held.back()).ok());
+          held.pop_back();
+        }
+      }
+      // Keep a few live across thread exit; free the rest into the
+      // magazine so it is warm when the exit flush runs.
+      while (held.size() > 3) {
+        ASSERT_TRUE(pool.free(held.back()).ok());
+        held.pop_back();
+      }
+      survivors[w] = std::move(held);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Exit flushes ran: live blocks == exactly the survivors.
+  std::size_t live = 0;
+  for (const auto& held : survivors) live += held.size();
+  alloc::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.blocks_live, live);
+  EXPECT_EQ(stats.blocks_allocated - stats.blocks_freed, live);
+
+  // Every survivor frees exactly once more (a lost block would already have
+  // been pushed back and trip the double-free scan at flush time).
+  for (const auto& held : survivors) {
+    for (alloc::PoolBlock block : held) {
+      ASSERT_TRUE(pool.free(block).ok());
+    }
+  }
+  pool.flush_thread_magazine();
+  stats = pool.stats();
+  EXPECT_EQ(stats.blocks_live, 0u);
+
+  // Exactly-once: drain the whole pool without growing it; every (slab,
+  // index) pair may appear at most once. A block returned twice by the exit
+  // flush would be handed out twice here.
+  const std::uint64_t capacity =
+      stats.slabs_created * pool_options.blocks_per_slab;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  std::vector<alloc::PoolBlock> drained;
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    auto block = pool.allocate();
+    ASSERT_TRUE(block.ok());
+    ASSERT_TRUE(seen.emplace(block->slab, block->index).second)
+        << "block handed out twice after exit flush";
+    drained.push_back(*block);
+  }
+  EXPECT_EQ(pool.stats().slabs_created, stats.slabs_created)
+      << "drain should not have grown the pool";
+  for (alloc::PoolBlock block : drained) ASSERT_TRUE(pool.free(block).ok());
+  pool.flush_thread_magazine();
 }
 
 }  // namespace

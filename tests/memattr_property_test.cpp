@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <iterator>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -251,6 +253,200 @@ TEST(AttrConcurrency, RankingsAreNeverTornWhileProbeWritersRun) {
 
   writer.join();
   for (std::thread& reader : readers) reader.join();
+}
+
+// --- generation-invalidated ranking cache (docs/PERF.md) ---
+//
+// The cache's whole contract is "bit-identical to uncached recomputation".
+// These property tests drive randomized mutation interleavings and check the
+// cached snapshots against (a) the same registry's uncached methods after
+// every step and (b) a completely fresh registry that replays the same
+// mutation log — if either ever diverges the invalidation protocol is wrong.
+
+void expect_identical_ranking(const std::vector<TargetValue>& cached,
+                              const std::vector<TargetValue>& uncached,
+                              const char* what) {
+  ASSERT_EQ(cached.size(), uncached.size()) << what;
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].target, uncached[i].target) << what << " rank " << i;
+    // Exact (bitwise) double equality on purpose: the cache must memoize,
+    // not approximate.
+    EXPECT_EQ(cached[i].value, uncached[i].value) << what << " rank " << i;
+  }
+}
+
+TEST(RankingCacheProperty, RandomInterleavingsMatchUncachedAndFreshRegistry) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  const auto& nodes = topology.numa_nodes();
+  const auto initiator = Initiator::from_cpuset(topology.pus().front()->cpuset());
+
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  options.read_write_split = true;
+  const hmat::HmatTable table = hmat::generate(topology, options);
+
+  MemAttrRegistry registry(topology);
+  ASSERT_TRUE(hmat::load_into(registry, table).ok());
+
+  // Mutation log so the run can be replayed into a fresh registry.
+  struct Mutation {
+    enum class Kind { kSetValue, kSetConfidence, kMarkAll, kInvalidate } kind;
+    AttrId attr = 0;
+    unsigned node = 0;
+    double value = 0.0;
+    Confidence confidence = Confidence::kTrusted;
+  };
+  std::vector<Mutation> log;
+
+  const AttrId attrs[] = {kBandwidth, kLatency, kReadBandwidth};
+  const Confidence confidences[] = {Confidence::kTrusted, Confidence::kNoisy,
+                                    Confidence::kStale};
+  std::mt19937 rng(20260806u);
+
+  auto check_against_uncached = [&](const MemAttrRegistry& reg) {
+    for (AttrId attr : {kBandwidth, kLatency, kCapacity, kReadBandwidth}) {
+      expect_identical_ranking(
+          reg.targets_ranked_cached(attr, initiator)->targets,
+          reg.targets_ranked(attr, initiator), "plain");
+      expect_identical_ranking(
+          reg.targets_ranked_resilient_cached(attr, initiator)->targets,
+          reg.targets_ranked_resilient(attr, initiator), "resilient");
+    }
+  };
+
+  std::uint64_t last_generation = registry.generation();
+  for (unsigned step = 0; step < 400; ++step) {
+    Mutation m;
+    m.kind = static_cast<Mutation::Kind>(rng() % 4);
+    m.attr = attrs[rng() % std::size(attrs)];
+    m.node = static_cast<unsigned>(rng() % nodes.size());
+    m.value = 1.0 + static_cast<double>(rng() % 100000);
+    m.confidence = confidences[rng() % std::size(confidences)];
+    switch (m.kind) {
+      case Mutation::Kind::kSetValue:
+        ASSERT_TRUE(registry
+                        .set_value(m.attr, *nodes[m.node], initiator, m.value)
+                        .ok());
+        break;
+      case Mutation::Kind::kSetConfidence:
+        // May be kNotFound when the pair has no value yet; that is fine (a
+        // failed mutation must simply not corrupt the cache).
+        (void)registry.set_confidence(m.attr, *nodes[m.node], initiator,
+                                      m.confidence);
+        break;
+      case Mutation::Kind::kMarkAll:
+        registry.mark_all(m.attr, m.confidence);
+        break;
+      case Mutation::Kind::kInvalidate:
+        registry.invalidate_rankings();  // node-offline style event
+        break;
+    }
+    log.push_back(m);
+
+    // The generation counter may only move forward.
+    const std::uint64_t generation = registry.generation();
+    ASSERT_GE(generation, last_generation);
+    last_generation = generation;
+
+    check_against_uncached(registry);
+  }
+
+  // Replay into a fresh registry: its uncached rankings must match the
+  // original's cached snapshots exactly.
+  MemAttrRegistry fresh(topology);
+  ASSERT_TRUE(hmat::load_into(fresh, table).ok());
+  for (const Mutation& m : log) {
+    switch (m.kind) {
+      case Mutation::Kind::kSetValue:
+        ASSERT_TRUE(
+            fresh.set_value(m.attr, *nodes[m.node], initiator, m.value).ok());
+        break;
+      case Mutation::Kind::kSetConfidence:
+        (void)fresh.set_confidence(m.attr, *nodes[m.node], initiator,
+                                   m.confidence);
+        break;
+      case Mutation::Kind::kMarkAll:
+        fresh.mark_all(m.attr, m.confidence);
+        break;
+      case Mutation::Kind::kInvalidate:
+        break;  // no value-state effect
+    }
+  }
+  for (AttrId attr : {kBandwidth, kLatency, kCapacity, kReadBandwidth}) {
+    expect_identical_ranking(
+        registry.targets_ranked_cached(attr, initiator)->targets,
+        fresh.targets_ranked(attr, initiator), "fresh plain");
+    expect_identical_ranking(
+        registry.targets_ranked_resilient_cached(attr, initiator)->targets,
+        fresh.targets_ranked_resilient(attr, initiator), "fresh resilient");
+  }
+}
+
+// Disabling the cache must not change results either (the benchmarks rely
+// on the switch being behavior-neutral).
+TEST(RankingCacheProperty, DisabledCacheIsBehaviorNeutral) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  MemAttrRegistry registry(topology);
+  hmat::GenerateOptions options;
+  options.local_only = false;
+  ASSERT_TRUE(hmat::load_into(registry, hmat::generate(topology, options)).ok());
+  const auto initiator = Initiator::from_cpuset(topology.pus().front()->cpuset());
+
+  const auto enabled =
+      registry.targets_ranked_resilient_cached(kBandwidth, initiator);
+  registry.set_ranking_cache_enabled(false);
+  EXPECT_FALSE(registry.ranking_cache_enabled());
+  const auto disabled =
+      registry.targets_ranked_resilient_cached(kBandwidth, initiator);
+  registry.set_ranking_cache_enabled(true);
+  expect_identical_ranking(enabled->targets, disabled->targets, "switch");
+}
+
+// Every successful mutation bumps the generation exactly once, under an
+// exclusive lock — so with W writers each performing K mutations the counter
+// must land on exactly start + W*K, and no observer may ever see it move
+// backwards. A lost or duplicated bump breaks cache invalidation (a stale
+// snapshot could validate against a reused stamp).
+TEST(RankingCacheProperty, GenerationStrictlyMonotonicUnderConcurrency) {
+  topo::Topology topology = topo::xeon_clx_1lm();
+  MemAttrRegistry registry(topology);
+  const auto& nodes = topology.numa_nodes();
+  const auto initiator = Initiator::from_cpuset(topology.pus().front()->cpuset());
+
+  constexpr unsigned kWriters = 4;
+  constexpr unsigned kMutationsPerWriter = 500;
+  const std::uint64_t start = registry.generation();
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> observers;
+  for (unsigned o = 0; o < 2; ++o) {
+    observers.emplace_back([&] {
+      std::uint64_t last = registry.generation();
+      while (!done.load(std::memory_order_acquire)) {
+        const std::uint64_t now = registry.generation();
+        ASSERT_GE(now, last);
+        last = now;
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (unsigned w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (unsigned k = 0; k < kMutationsPerWriter; ++k) {
+        const unsigned node = (w + k) % nodes.size();
+        ASSERT_TRUE(registry
+                        .set_value(kBandwidth, *nodes[node], initiator,
+                                   1.0 + w * 1000.0 + k)
+                        .ok());
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  done.store(true, std::memory_order_release);
+  for (std::thread& observer : observers) observer.join();
+
+  EXPECT_EQ(registry.generation(), start + kWriters * kMutationsPerWriter);
 }
 
 }  // namespace

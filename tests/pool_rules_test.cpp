@@ -134,6 +134,91 @@ TEST_F(PoolTest, DestructorFreesEverything) {
   EXPECT_EQ(machine_.used_bytes(4), 0u);
 }
 
+// --- per-thread magazines (opt-in via PoolOptions::magazine_blocks) ---
+
+TEST_F(PoolTest, MagazineRoundTripKeepsStatsExact) {
+  PoolOptions options = bandwidth_pool();
+  options.magazine_blocks = 4;
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(), options);
+
+  std::vector<PoolBlock> blocks;
+  for (unsigned i = 0; i < 6; ++i) {
+    auto block = pool.allocate();
+    ASSERT_TRUE(block.ok());
+    blocks.push_back(*block);
+  }
+  PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.blocks_allocated, 6u);
+  EXPECT_EQ(stats.blocks_live, 6u);
+  // App-level accounting counts magazine frees immediately, even though the
+  // blocks only reach the slab free list at flush time.
+  for (const PoolBlock& block : blocks) ASSERT_TRUE(pool.free(block).ok());
+  stats = pool.stats();
+  EXPECT_EQ(stats.blocks_freed, 6u);
+  EXPECT_EQ(stats.blocks_live, 0u);
+  for (std::uint64_t live : stats.live_per_node) EXPECT_EQ(live, 0u);
+}
+
+TEST_F(PoolTest, MagazineDetectsDoubleFreeOfCachedBlock) {
+  PoolOptions options = bandwidth_pool();
+  options.magazine_blocks = 4;
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(), options);
+  auto block = pool.allocate();
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(pool.free(*block).ok());
+  auto second = pool.free(*block);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, Errc::kInvalidArgument);
+}
+
+TEST_F(PoolTest, MagazineCachedBlocksPinTheirSlab) {
+  PoolOptions options = bandwidth_pool();
+  options.magazine_blocks = 4;
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(), options);
+  auto block = pool.allocate();
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(pool.free(*block).ok());
+  // The freed block sits in this thread's magazine: the slab still counts
+  // as live and must survive compaction until the magazine is flushed.
+  EXPECT_EQ(pool.release_empty_slabs(), 0u);
+  pool.flush_thread_magazine();
+  EXPECT_EQ(pool.release_empty_slabs(), 1u);
+}
+
+TEST_F(PoolTest, MagazineReusesBlocksWithoutTouchingSlabs) {
+  PoolOptions options = bandwidth_pool();
+  options.magazine_blocks = 4;
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(), options);
+  auto first = pool.allocate();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(pool.free(*first).ok());
+  // LIFO magazine: the very next allocate returns the same block.
+  auto second = pool.allocate();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->slab, first->slab);
+  EXPECT_EQ(second->index, first->index);
+  ASSERT_TRUE(pool.free(*second).ok());
+  pool.flush_thread_magazine();
+}
+
+TEST_F(PoolTest, MagazineOverflowFlushesHalfBatch) {
+  PoolOptions options = bandwidth_pool();
+  options.magazine_blocks = 4;
+  Pool pool(allocator_, machine_.topology().numa_node(0)->cpuset(), options);
+  // Fill the magazine past capacity: the 5th free triggers a half flush
+  // (keep 2), so everything still balances and nothing is lost.
+  std::vector<PoolBlock> blocks;
+  for (unsigned i = 0; i < 5; ++i) {
+    auto block = pool.allocate();
+    ASSERT_TRUE(block.ok());
+    blocks.push_back(*block);
+  }
+  for (const PoolBlock& block : blocks) ASSERT_TRUE(pool.free(block).ok());
+  EXPECT_EQ(pool.stats().blocks_live, 0u);
+  pool.flush_thread_magazine();
+  EXPECT_EQ(pool.release_empty_slabs(), 1u);
+}
+
 // --- location rules ---
 
 TEST(GlobMatch, Basics) {
