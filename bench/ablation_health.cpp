@@ -1,0 +1,256 @@
+// Ablation A-H (docs/RESILIENCE.md "Health & evacuation"): what a mid-run
+// node quarantine costs, and whether the self-healing loop earns its keep.
+//
+// STREAM and Graph500 each run three measured phases on the SNC Xeon with
+// the health loop (HealthMonitor -> QuarantineList -> Evacuator) attached:
+//
+//   healthy     clean baseline, buffers on their preferred node
+//   quarantine  the buffers' home node starts reporting fault telemetry
+//               mid-phase; the monitor escalates healthy -> suspect ->
+//               quarantined and the evacuator drains hot buffers through
+//               the shared migration budget while the workload keeps running
+//   recovered   steady state after evacuation, home node still quarantined
+//
+// The acceptance gate (run by the CI chaos lane): recovered throughput must
+// be >= 90% of the healthy baseline for both workloads — evacuation has to
+// land buffers on targets good enough that losing a node is a blip, not a
+// cliff.
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "hetmem/apps/graph500.hpp"
+#include "hetmem/apps/stream.hpp"
+#include "hetmem/health/evacuator.hpp"
+#include "hetmem/health/health.hpp"
+#include "hetmem/runtime/policy.hpp"
+
+using namespace hetmem;
+
+namespace {
+
+support::Bitmap first_initiator(const topo::Topology& topology) {
+  for (const topo::Object* node : topology.numa_nodes()) {
+    if (!node->cpuset().empty()) return node->cpuset();
+  }
+  return {};
+}
+
+runtime::RuntimePolicyOptions health_policy_options() {
+  runtime::RuntimePolicyOptions options;
+  options.sampler.phases_per_epoch = 2;
+  options.classifier.ema_alpha = 1.0;
+  options.classifier.hysteresis_epochs = 1;
+  return options;
+}
+
+struct PhaseRow {
+  double throughput = 0.0;       // bytes/s (STREAM) or TEPS (Graph500)
+  health::HealthState victim_state = health::HealthState::kHealthy;
+  std::uint64_t evac_moved = 0;
+  std::uint64_t evac_moved_bytes = 0;
+};
+
+struct WorkloadReport {
+  const char* name = "";
+  const char* unit = "";
+  unsigned victim = 0;
+  bool victim_clear = false;       // no live buffers left on the victim
+  std::uint64_t migrations = 0;    // engine + evacuator moves combined
+  std::string evac_log;
+  PhaseRow phases[3];  // healthy / quarantine / recovered
+
+  [[nodiscard]] double recovery_ratio() const {
+    return phases[0].throughput > 0.0
+               ? phases[2].throughput / phases[0].throughput
+               : 0.0;
+  }
+};
+
+constexpr const char* kPhaseNames[3] = {"healthy", "quarantine", "recovered"};
+
+/// Runs one workload through the three phases. `run_once` executes the
+/// workload and returns its throughput (0.0 on failure).
+template <typename RunOnce>
+void run_phases(sim::SimMachine& machine, health::HealthMonitor& monitor,
+                const health::Evacuator& evacuator, unsigned victim,
+                RunOnce&& run_once, WorkloadReport* report) {
+  for (int phase = 0; phase < 3; ++phase) {
+    if (phase == 1) (void)machine.set_node_degraded(victim, true);
+    report->phases[phase].throughput = run_once();
+    report->phases[phase].victim_state = monitor.state(victim);
+    report->phases[phase].evac_moved = evacuator.stats().moved;
+    report->phases[phase].evac_moved_bytes = evacuator.stats().moved_bytes;
+  }
+  (void)machine.set_node_degraded(victim, false);
+}
+
+WorkloadReport bench_stream() {
+  WorkloadReport report;
+  report.name = "STREAM triad";
+  report.unit = "GB/s";
+  sim::SimMachine machine(topo::xeon_clx_snc_1lm());
+  const support::Bitmap initiator = first_initiator(machine.topology());
+  attr::MemAttrRegistry registry(machine.topology());
+  // Fully populated table (HMAT-complete platform): evacuation needs remote
+  // values to rank the SNC sibling and the far socket as destinations.
+  hmat::GenerateOptions hmat_options;
+  hmat_options.local_only = false;
+  (void)hmat::load_into(registry,
+                        hmat::generate(machine.topology(), hmat_options));
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+
+  apps::StreamConfig config;
+  config.declared_total_bytes = 384 * support::kMiB;
+  config.backing_elements = 1u << 15;
+  config.threads = 8;
+  config.iterations = 5;
+  apps::BufferPlacement placement;
+  placement.attribute = attr::kBandwidth;
+  placement.attribute_rescue = true;
+  auto runner = apps::StreamRunner::create(machine, &allocator, initiator,
+                                           config, placement);
+  if (!runner.ok()) return report;
+  report.victim = allocator.trace().front().node;
+
+  runtime::RuntimePolicy policy(allocator, initiator, health_policy_options());
+  health::HealthMonitor monitor(machine, registry);
+  // Long-running job: a generous amortization horizon so the drain happens
+  // within the measured window instead of waiting out the quarantine.
+  health::EvacuatorOptions evac_options;
+  evac_options.expected_future_epochs = 24.0;
+  health::Evacuator evacuator(allocator, policy.mutable_engine(), initiator,
+                              evac_options);
+  health::attach_health(policy, monitor, evacuator);
+  policy.attach((*runner)->exec(), [&] { (*runner)->refresh_arrays(); });
+
+  run_phases(machine, monitor, evacuator, report.victim,
+             [&]() -> double {
+               auto result = (*runner)->run_triad();
+               return result.ok() ? result->triad_bytes_per_second : 0.0;
+             },
+             &report);
+  report.victim_clear = machine.live_buffers_on(report.victim).empty();
+  report.migrations = allocator.stats().migrations;
+  report.evac_log = evacuator.render_log();
+  return report;
+}
+
+WorkloadReport bench_graph500() {
+  WorkloadReport report;
+  report.name = "Graph500 BFS";
+  report.unit = "TEPSe+8";
+  sim::SimMachine machine(topo::xeon_clx_snc_1lm());
+  const support::Bitmap initiator = first_initiator(machine.topology());
+  attr::MemAttrRegistry registry(machine.topology());
+  // Fully populated table (HMAT-complete platform): evacuation needs remote
+  // values to rank the SNC sibling and the far socket as destinations.
+  hmat::GenerateOptions hmat_options;
+  hmat_options.local_only = false;
+  (void)hmat::load_into(registry,
+                        hmat::generate(machine.topology(), hmat_options));
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+
+  apps::Graph500Config config;
+  config.scale_declared = 18;
+  config.scale_backing = 13;
+  config.threads = 8;
+  config.num_roots = 2;
+  apps::Graph500Placement placement =
+      apps::Graph500Placement::by_attribute(attr::kLatency);
+  placement.graph.attribute_rescue = true;
+  placement.parents.attribute_rescue = true;
+  placement.frontier.attribute_rescue = true;
+  auto runner = apps::Graph500Runner::create(machine, &allocator, initiator,
+                                             config, placement);
+  if (!runner.ok()) return report;
+  report.victim = allocator.trace().front().node;
+
+  runtime::RuntimePolicy policy(allocator, initiator, health_policy_options());
+  health::HealthMonitor monitor(machine, registry);
+  // Long-running job: a generous amortization horizon so the drain happens
+  // within the measured window instead of waiting out the quarantine.
+  health::EvacuatorOptions evac_options;
+  evac_options.expected_future_epochs = 24.0;
+  health::Evacuator evacuator(allocator, policy.mutable_engine(), initiator,
+                              evac_options);
+  health::attach_health(policy, monitor, evacuator);
+  policy.attach((*runner)->exec(), [&] { (*runner)->refresh_arrays(); });
+
+  run_phases(machine, monitor, evacuator, report.victim,
+             [&]() -> double {
+               auto result = (*runner)->run();
+               return result.ok() ? result->harmonic_mean_teps : 0.0;
+             },
+             &report);
+  report.victim_clear = machine.live_buffers_on(report.victim).empty();
+  report.migrations = allocator.stats().migrations;
+  report.evac_log = evacuator.render_log();
+  return report;
+}
+
+std::string format_throughput(const WorkloadReport& report, double value) {
+  return report.unit[0] == 'G' ? bench::gbps(value) : bench::teps_e8(value);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s",
+              support::banner(
+                  "Ablation A-H: mid-run node quarantine on Xeon CLX SNC -- "
+                  "health loop attached (monitor -> quarantine -> budgeted "
+                  "evacuation), three measured phases per workload")
+                  .c_str());
+
+  const WorkloadReport reports[] = {bench_stream(), bench_graph500()};
+
+  support::TextTable table({"Workload", "Phase", "Throughput", "vs healthy",
+                            "victim state", "evac moved", "evac MiB"});
+  for (const WorkloadReport& report : reports) {
+    for (int phase = 0; phase < 3; ++phase) {
+      const PhaseRow& row = report.phases[phase];
+      const double ratio = report.phases[0].throughput > 0.0
+                               ? row.throughput / report.phases[0].throughput
+                               : 0.0;
+      table.add_row(
+          {phase == 0 ? report.name : "", kPhaseNames[phase],
+           format_throughput(report, row.throughput) + " " + report.unit,
+           support::format_fixed(100.0 * ratio, 1) + "%",
+           health::health_state_name(row.victim_state),
+           std::to_string(row.evac_moved),
+           std::to_string(row.evac_moved_bytes / support::kMiB)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  bool pass = true;
+  for (const WorkloadReport& report : reports) {
+    const double ratio = report.recovery_ratio();
+    // The gate is the outcome: the evacuator actually drained something AND
+    // throughput came back within 10% of the healthy baseline. Cold buffers
+    // may legitimately stay put under quarantine (break-even says the move
+    // never pays off), so "victim fully empty" is only guaranteed for
+    // offline nodes, not quarantined ones.
+    const bool ok = ratio >= 0.90 && report.phases[2].evac_moved >= 1;
+    std::printf("%s: node %u quarantined mid-run, %llu migration(s) "
+                "(%llu by evacuator), victim %s, recovered to %.1f%% of "
+                "healthy baseline -- %s\n",
+                report.name, report.victim,
+                static_cast<unsigned long long>(report.migrations),
+                static_cast<unsigned long long>(report.phases[2].evac_moved),
+                report.victim_clear ? "drained" : "still holds cold buffers",
+                100.0 * ratio, ok ? "PASS (>= 90%)" : "FAIL");
+    if (!ok && !report.evac_log.empty()) {
+      std::printf("evacuation decisions:\n%s", report.evac_log.c_str());
+    }
+    pass = pass && ok;
+  }
+  std::printf(
+      "\nReading: the quarantine row shows the transition epoch(s) -- the\n"
+      "monitor escalating and the evacuator paying migration cost out of the\n"
+      "shared per-epoch budget while triad/BFS keep running. The recovered\n"
+      "row is the self-healed steady state: buffers re-homed, quarantined\n"
+      "node idle. The 90%% gate is the acceptance bar for the health loop.\n");
+  return pass ? 0 : 1;
+}

@@ -54,6 +54,14 @@ struct AllocRequest {
   /// want to hear about a broken attribute, chaos-hardened callers want
   /// the allocation to land somewhere.
   bool attribute_rescue = false;
+  /// Health admission control opt-in (docs/RESILIENCE.md "Health &
+  /// evacuation"): when the registry has a QuarantineList installed,
+  /// quarantined/offline targets are withheld from this request entirely,
+  /// and a request that could only have landed on unhealthy capacity fails
+  /// with kBackpressure instead of silently placing on a failing node. Off
+  /// by default: the ranking already sinks quarantined targets to the
+  /// bottom, and best-effort callers prefer degraded placement over failure.
+  bool admission_control = false;
 };
 
 /// Bounded retry for transient (kTransient) target failures — injected
@@ -89,6 +97,9 @@ struct AllocatorStats {
   std::uint64_t bytes_migrated = 0;
   std::uint64_t transient_retries = 0;   // kTransient failures retried
   std::uint64_t attribute_rescues = 0;   // degraded to kCapacity ranking
+  /// Requests refused with kBackpressure because admission control withheld
+  /// every target that still had room (all quarantined/offline).
+  std::uint64_t backpressure_rejections = 0;
 };
 
 struct TraceEvent {
@@ -240,6 +251,7 @@ class HeterogeneousAllocator {
     std::atomic<std::uint64_t> bytes_migrated{0};
     std::atomic<std::uint64_t> transient_retries{0};
     std::atomic<std::uint64_t> attribute_rescues{0};
+    std::atomic<std::uint64_t> backpressure_rejections{0};
   };
 
   support::Result<Allocation> try_targets(

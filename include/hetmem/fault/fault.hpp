@@ -35,6 +35,14 @@ inline constexpr const char* kMachineNodeOffline = "machine.node.offline";
 /// SimMachine::migrate returns a transient (retryable) failure — the move_pages
 /// analogue of a busy page or exhausted kernel migration slot.
 inline constexpr const char* kMachineMigrateTransient = "machine.migrate.transient";
+/// SimMachine::sample_node_faults: a burst of corrected ECC errors is
+/// attributed to the sampled node (telemetry only — data stays intact, but
+/// the health monitor treats sustained bursts as failing hardware).
+inline constexpr const char* kMachineEccBurst = "machine.ecc.burst";
+/// SimMachine::sample_node_faults: the sampled node enters the sticky
+/// degraded-bandwidth regime (the Optane media-throttle analogue) until an
+/// operator clears it with set_node_degraded(node, false).
+inline constexpr const char* kMachineNodeDegraded = "machine.node.degraded";
 /// probe::measure fails outright (device busy, perf counters unavailable).
 inline constexpr const char* kProbeFail = "probe.fail";
 /// probe::measure result is multiplied by a noise factor per metric.
@@ -50,6 +58,20 @@ inline constexpr const char* kHmatDuplicateEntry = "hmat.duplicate-entry";
 /// corrupt_hmat_text: replace a numeric value with garbage.
 inline constexpr const char* kHmatGarbleValue = "hmat.garble-value";
 }  // namespace site
+
+/// Catalog entry for one built-in injection site — who consults it and what
+/// a fired fault does. docs/RESILIENCE.md renders this table; tools can
+/// enumerate sites instead of grepping string constants.
+struct SiteInfo {
+  const char* name;
+  const char* consulted_by;
+  const char* effect;
+};
+
+/// Every built-in site, in a stable order (machine, probe, hmat). Open-ended
+/// custom sites used by tests are not listed — this is the library's own
+/// catalog, the one docs/RESILIENCE.md must match.
+const std::vector<SiteInfo>& all_sites();
 
 /// Per-site behavior. A site "fires" with `probability` per consultation;
 /// once fired it keeps firing for `burst` consecutive consultations, and

@@ -1,0 +1,146 @@
+// Per-target health state machine — self-healing memory targets, part 1.
+//
+// PR 1 made the allocator survive a node *failing a call* (transient retry,
+// ranking fallback). This subsystem makes the stack react to a node
+// *failing as hardware*: the HealthMonitor polls SimMachine's per-node
+// error telemetry (injected transient faults, ECC bursts, the sticky
+// degraded regime, offline events) and advances a per-node state machine
+//
+//   healthy -> suspect -> quarantined -> offline
+//      ^          |            |
+//      +----------+------------+   (hysteresis: N clean polls step DOWN
+//                                    one state at a time — re-probation)
+//
+// with the placement consequences projected into a QuarantineList the
+// MemAttrRegistry consults: quarantined targets sink to the bottom of every
+// ranking, offline targets are excluded. Every transition calls
+// invalidate_rankings() so the generation-stamped ranking cache never
+// serves a verdict that predates the transition.
+//
+// Thread safety: poll() is single-threaded (drive it from the epoch loop or
+// a dedicated monitor thread — never two at once). state() and the
+// QuarantineList are safe to read concurrently from allocation threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hetmem/health/quarantine.hpp"
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/simmem/machine.hpp"
+
+namespace hetmem::health {
+
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,      // fault evidence this poll; placement unaffected
+  kQuarantined = 2,  // sustained faults: deprioritized, buffers drain
+  kOffline = 3,      // machine reports the node gone: excluded, urgent drain
+};
+
+[[nodiscard]] constexpr const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kSuspect: return "suspect";
+    case HealthState::kQuarantined: return "quarantined";
+    case HealthState::kOffline: return "offline";
+  }
+  return "?";
+}
+
+struct HealthOptions {
+  /// Error delta (transient faults + ECC errors) in one poll that moves a
+  /// healthy node to suspect.
+  std::uint64_t suspect_errors = 1;
+  /// Error delta in one poll that jumps a node straight to quarantined,
+  /// regardless of its current state (an error burst).
+  std::uint64_t quarantine_errors = 8;
+  /// Consecutive faulty polls a suspect node sustains before quarantine.
+  unsigned faulty_polls_to_quarantine = 2;
+  /// Consecutive clean polls needed to step DOWN one state (quarantined ->
+  /// suspect -> healthy). Recovery is deliberately one step per streak: a
+  /// node leaving quarantine re-probates as suspect first.
+  unsigned clean_polls_to_recover = 3;
+  /// Treat the sticky degraded regime as fault evidence each poll. A
+  /// degraded node can therefore never recover past suspect until an
+  /// operator clears the regime.
+  bool degraded_is_fault = true;
+  /// Count capacity rejections as fault evidence. OFF by default and almost
+  /// always wrong to enable: a full node is healthy, and quarantining it
+  /// would amplify pressure on the remaining targets.
+  bool count_capacity_rejections = false;
+};
+
+/// One state-machine edge, for replay verification and post-mortems. The
+/// sequence (and render_transition_log()) is byte-stable for a fixed fault
+/// seed and poll pattern.
+struct HealthTransition {
+  std::uint64_t poll = 0;  // 1-based poll index that caused the edge
+  unsigned node = 0;
+  HealthState from = HealthState::kHealthy;
+  HealthState to = HealthState::kHealthy;
+  std::string reason;
+};
+
+class HealthMonitor {
+ public:
+  /// Binds to the machine it watches and the registry whose rankings it
+  /// gates. Installs its QuarantineList into the registry; the destructor
+  /// uninstalls it. Both must outlive the monitor.
+  HealthMonitor(sim::SimMachine& machine, attr::MemAttrRegistry& registry,
+                HealthOptions options = {});
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// One monitoring pass: samples every node's passive fault sites
+  /// (SimMachine::sample_node_faults), diffs telemetry against the previous
+  /// poll, and advances each node's state machine. Each transition updates
+  /// the QuarantineList and invalidates the registry's cached rankings
+  /// BEFORE the transition is appended to the log. Returns the number of
+  /// transitions this poll. Single-threaded (see file header).
+  std::size_t poll();
+
+  /// Current state; safe to read concurrently with poll().
+  [[nodiscard]] HealthState state(unsigned node) const;
+
+  /// Nodes whose live buffers should be drained (quarantined or offline),
+  /// ascending. Reflects the most recent poll.
+  [[nodiscard]] std::vector<unsigned> nodes_needing_evacuation() const;
+
+  [[nodiscard]] const QuarantineList& quarantine() const { return quarantine_; }
+  [[nodiscard]] std::uint64_t poll_count() const { return poll_count_; }
+  [[nodiscard]] const std::vector<HealthTransition>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] const HealthOptions& options() const { return options_; }
+
+  /// Deterministic text rendering of the full transition history.
+  [[nodiscard]] std::string render_transition_log() const;
+
+ private:
+  struct NodeHealth {
+    std::atomic<std::uint8_t> state{0};  // HealthState; readable concurrently
+    std::uint64_t last_errors = 0;       // cumulative error count at last poll
+    unsigned faulty_streak = 0;
+    unsigned clean_streak = 0;
+  };
+
+  void transition(unsigned node, NodeHealth& health, HealthState to,
+                  std::string reason);
+  [[nodiscard]] std::uint64_t error_count(const sim::NodeTelemetry& t) const;
+
+  sim::SimMachine* machine_;
+  attr::MemAttrRegistry* registry_;
+  HealthOptions options_;
+  QuarantineList quarantine_;
+  std::unique_ptr<NodeHealth[]> nodes_;
+  std::size_t node_count_ = 0;
+  std::uint64_t poll_count_ = 0;
+  std::vector<HealthTransition> transitions_;
+};
+
+}  // namespace hetmem::health

@@ -1,0 +1,93 @@
+// QuarantineList — the narrow, lock-free bridge between the health monitor
+// and ranking composition (docs/RESILIENCE.md "Health & evacuation").
+//
+// The HealthMonitor owns the per-node state machine; rankings only need the
+// placement-relevant projection of it: should this target be ranked normally,
+// sunk to the bottom (quarantined: still usable as a last resort), or
+// excluded outright (offline: placing anything there would fail anyway)?
+// That projection is one atomic byte per node, readable from any allocation
+// thread with no lock.
+//
+// Visibility contract: verdict stores are relaxed on purpose. The monitor
+// always publishes a transition as "store the verdict, THEN call
+// MemAttrRegistry::invalidate_rankings()" — the generation bump happens
+// under the registry's exclusive lock, so any reader that observes the new
+// generation (acquire) also observes the verdict stored before it. A reader
+// racing ahead of the bump may build a ranking with the old verdict, but it
+// stamps the old generation, so the stale snapshot dies on the next lookup.
+// This header is intentionally self-contained (no library dependency) so
+// memattr can consult it without a health -> memattr -> health cycle.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace hetmem::health {
+
+/// Placement-relevant projection of a node's health state.
+enum class PlacementVerdict : std::uint8_t {
+  kNormal = 0,        // rank by attribute value as usual
+  kDeprioritize = 1,  // quarantined: sink below every normal target
+  kExclude = 2,       // offline: drop from rankings entirely
+};
+
+[[nodiscard]] constexpr const char* placement_verdict_name(
+    PlacementVerdict verdict) {
+  switch (verdict) {
+    case PlacementVerdict::kNormal: return "normal";
+    case PlacementVerdict::kDeprioritize: return "deprioritize";
+    case PlacementVerdict::kExclude: return "exclude";
+  }
+  return "?";
+}
+
+/// One atomic verdict per NUMA node. Writers: the HealthMonitor (or tests /
+/// operator tooling). Readers: MemAttrRegistry ranking composition and the
+/// allocator's admission-control check. Out-of-range nodes read kNormal so a
+/// list sized for one topology degrades gracefully if misused.
+class QuarantineList {
+ public:
+  explicit QuarantineList(std::size_t node_count)
+      : node_count_(node_count),
+        verdicts_(std::make_unique<std::atomic<std::uint8_t>[]>(node_count)) {
+    for (std::size_t n = 0; n < node_count_; ++n) {
+      verdicts_[n].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  QuarantineList(const QuarantineList&) = delete;
+  QuarantineList& operator=(const QuarantineList&) = delete;
+
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+  /// Relaxed store — see the visibility contract above: callers that change
+  /// a verdict MUST follow up with MemAttrRegistry::invalidate_rankings()
+  /// for the change to reach cached rankings.
+  void set(unsigned node, PlacementVerdict verdict) {
+    if (node >= node_count_) return;
+    verdicts_[node].store(static_cast<std::uint8_t>(verdict),
+                          std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] PlacementVerdict verdict(unsigned node) const {
+    if (node >= node_count_) return PlacementVerdict::kNormal;
+    return static_cast<PlacementVerdict>(
+        verdicts_[node].load(std::memory_order_relaxed));
+  }
+
+  /// True when no node is quarantined or excluded (fast all-clear check).
+  [[nodiscard]] bool all_clear() const {
+    for (std::size_t n = 0; n < node_count_; ++n) {
+      if (verdicts_[n].load(std::memory_order_relaxed) != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::size_t node_count_ = 0;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> verdicts_;
+};
+
+}  // namespace hetmem::health

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hetmem/health/quarantine.hpp"
 #include "hetmem/support/bitmap.hpp"
 #include "hetmem/support/result.hpp"
 #include "hetmem/topo/topology.hpp"
@@ -261,6 +262,24 @@ class MemAttrRegistry {
   /// state (e.g. SimMachine taking a NUMA node offline).
   void invalidate_rankings();
 
+  // --- health quarantine (docs/RESILIENCE.md "Health & evacuation") ---
+  //
+  // When a quarantine list is installed, every ranking composition consults
+  // it: kExclude targets are dropped, kDeprioritize targets sink below all
+  // normally-ranked targets (keeping polarity order within each group), and
+  // best_target never returns an excluded node. Verdict *changes* do not
+  // bump the generation by themselves — the writer (HealthMonitor) must call
+  // invalidate_rankings() after each transition, which is what keeps the
+  // verdict store + generation bump ordered (see quarantine.hpp).
+
+  /// Installs (or clears, with nullptr) the quarantine list. Bumps the
+  /// generation so existing cached rankings rebuild against it. The list
+  /// must outlive the registry (or be cleared first).
+  void set_quarantine_list(const health::QuarantineList* list);
+  [[nodiscard]] const health::QuarantineList* quarantine_list() const {
+    return quarantine_.load(std::memory_order_acquire);
+  }
+
   /// Cached equivalents of targets_ranked / targets_ranked_resilient: the
   /// snapshot's `targets` is bit-identical to what the uncached call would
   /// return at the snapshot's generation. The primary overloads take the
@@ -381,6 +400,7 @@ class MemAttrRegistry {
   mutable std::array<std::atomic<RankingSnapshot>, kRankingCacheSlots>
       ranking_cache_;
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<const health::QuarantineList*> quarantine_{nullptr};
   std::atomic<bool> cache_enabled_{true};
   mutable std::atomic<std::uint64_t> cache_hits_{0};
   mutable std::atomic<std::uint64_t> cache_misses_{0};

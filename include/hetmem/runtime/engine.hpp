@@ -112,6 +112,20 @@ class MigrationEngine {
   }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
+  // --- shared per-epoch byte budget ---
+  //
+  // The health Evacuator drains failing nodes through the SAME per-epoch
+  // pool run_epoch draws from, so evacuation and optimization migrations
+  // jointly respect epoch_budget_bytes. The first draw (or run_epoch) for a
+  // new epoch_index resets the pool; externally synchronized like the rest
+  // of the engine — one epoch loop drives both consumers.
+
+  /// Bytes still available to migrate in `epoch_index`.
+  [[nodiscard]] std::uint64_t budget_remaining(std::uint64_t epoch_index);
+  /// Draws `bytes` from the epoch's pool; false (and no draw) when the
+  /// remaining budget is smaller.
+  bool consume_budget(std::uint64_t epoch_index, std::uint64_t bytes);
+
   /// Deterministic text rendering of the full decision history.
   [[nodiscard]] std::string render_decision_log() const;
 
@@ -122,6 +136,9 @@ class MigrationEngine {
     prof::Sensitivity sensitivity = prof::Sensitivity::kInsensitive;
     double benefit_per_epoch_ns = 0.0;
   };
+
+  /// Resets the budget pool when `epoch_index` opens a new epoch.
+  void ensure_epoch(std::uint64_t epoch_index);
 
   void log(std::uint64_t epoch, sim::BufferId buffer, Verdict verdict,
            const Candidate* candidate, double cost_ns, std::string reason);
@@ -135,6 +152,9 @@ class MigrationEngine {
   std::vector<Decision> decisions_;
   EngineStats stats_;
   std::uint64_t max_epoch_bytes_ = 0;
+  // Epoch-keyed shared budget pool (see budget_remaining/consume_budget).
+  std::uint64_t budget_epoch_ = UINT64_MAX;
+  std::uint64_t budget_left_ = 0;
 };
 
 }  // namespace hetmem::runtime

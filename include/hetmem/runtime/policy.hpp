@@ -50,11 +50,22 @@ class RuntimePolicy {
   /// Manual driving without attach(): call once per completed phase.
   void on_phase(sim::ExecutionContext& exec);
 
+  /// Runs after the engine's epoch, before overhead is charged — the hook
+  /// returns additional simulated-ns cost to charge (0.0 for none). The
+  /// health subsystem plugs its poll-and-evacuate step in here
+  /// (health::attach_health), keeping runtime free of a health dependency.
+  /// Arguments: the epoch index and the workload's thread count.
+  using EpochHook = std::function<double(std::uint64_t, unsigned)>;
+  void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
+
   [[nodiscard]] const EpochSampler& sampler() const { return sampler_; }
   [[nodiscard]] const OnlineClassifier& classifier() const {
     return classifier_;
   }
   [[nodiscard]] const MigrationEngine& engine() const { return engine_; }
+  /// Mutable engine access for components sharing its per-epoch byte budget
+  /// (the health Evacuator draws from the same pool as run_epoch).
+  [[nodiscard]] MigrationEngine& mutable_engine() { return engine_; }
   [[nodiscard]] const std::vector<Decision>& decisions() const {
     return engine_.decisions();
   }
@@ -72,6 +83,7 @@ class RuntimePolicy {
   MigrationEngine engine_;
   bool charge_migration_cost_;
   std::function<void()> post_migration_;
+  EpochHook epoch_hook_;
 };
 
 }  // namespace hetmem::runtime

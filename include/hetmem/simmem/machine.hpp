@@ -53,6 +53,21 @@ struct BufferInfo {
   bool freed = false;
 };
 
+/// Per-node error/health telemetry snapshot (docs/RESILIENCE.md "Health &
+/// evacuation"). Counters are cumulative since machine construction; the
+/// HealthMonitor differences consecutive snapshots to see per-poll deltas.
+/// Capacity rejections are kept separate from fault evidence on purpose: a
+/// full node is healthy, a faulting node is not.
+struct NodeTelemetry {
+  std::uint64_t capacity_rejections = 0;  // allocate/migrate refused: full
+  std::uint64_t offline_rejections = 0;   // allocate/migrate refused: offline
+  std::uint64_t transient_faults = 0;     // injected transient alloc/migrate failures
+  std::uint64_t ecc_errors = 0;           // corrected ECC events (sample_node_faults)
+  std::uint64_t degraded_events = 0;      // entries into the degraded regime
+  bool degraded = false;                  // sticky until cleared by an operator
+  bool online = true;
+};
+
 class SimMachine {
  public:
   SimMachine(topo::Topology topology, MachinePerfModel model);
@@ -126,6 +141,34 @@ class SimMachine {
   support::Status set_node_online(unsigned node, bool online);
   [[nodiscard]] bool node_online(unsigned node) const;
 
+  /// Marks a node as (not) degraded — the sticky reduced-performance regime
+  /// a failing DIMM or throttling media enters. Degradation does not reject
+  /// allocations; it is health *evidence* the monitor reads via
+  /// node_telemetry(). Operators (and tests) clear it with degraded=false.
+  support::Status set_node_degraded(unsigned node, bool degraded);
+  [[nodiscard]] bool node_degraded(unsigned node) const;
+
+  /// Cumulative error/health counters for a node; a default-constructed
+  /// snapshot for out-of-range nodes. Thread-safe (relaxed atomics — each
+  /// counter is exact, the snapshot is not transactional across counters).
+  [[nodiscard]] NodeTelemetry node_telemetry(unsigned node) const;
+
+  /// One health-sampling poll of `node`: consults the fault injector's
+  /// passive-detection sites and folds what fires into the node's telemetry —
+  ///  - fault::site::kMachineEccBurst  -> ecc_errors += 1,
+  ///  - fault::site::kMachineNodeDegraded -> sticky degraded regime,
+  ///  - fault::site::kMachineNodeOffline  -> the node goes offline (sticky),
+  /// so a node can fail *between* allocations, not only while serving one.
+  /// No-op without an injector. Deterministic: consultation order is fixed,
+  /// and the polled node is the attribution target.
+  void sample_node_faults(unsigned node);
+
+  /// Snapshot of the live (not freed) buffers currently resident on `node`,
+  /// ascending buffer index. Racy by nature when allocators run concurrently
+  /// — the evacuation loop treats it as a work list and revalidates each
+  /// buffer at migrate() time.
+  [[nodiscard]] std::vector<BufferId> live_buffers_on(unsigned node) const;
+
   /// Optional chaos hook consulted on every allocate():
   ///  - fault::site::kMachineAllocTransient -> kTransient failure,
   ///  - fault::site::kMachineNodeOffline -> the target node goes offline
@@ -185,6 +228,16 @@ class SimMachine {
   /// CAS-reserves `bytes` against `node`'s capacity; false when full.
   bool reserve_capacity(unsigned node, std::uint64_t bytes);
 
+  /// Per-node telemetry counters (see NodeTelemetry for the snapshot form).
+  struct NodeCounters {
+    std::atomic<std::uint64_t> capacity_rejections{0};
+    std::atomic<std::uint64_t> offline_rejections{0};
+    std::atomic<std::uint64_t> transient_faults{0};
+    std::atomic<std::uint64_t> ecc_errors{0};
+    std::atomic<std::uint64_t> degraded_events{0};
+    std::atomic<std::uint8_t> degraded{0};
+  };
+
   topo::Topology topology_;
   MachinePerfModel model_;
   std::unique_ptr<std::atomic<Slot*>[]> chunks_;
@@ -193,6 +246,7 @@ class SimMachine {
   std::atomic<std::size_t> live_count_{0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> used_;
   std::unique_ptr<std::atomic<std::uint8_t>[]> online_;
+  std::unique_ptr<NodeCounters[]> telemetry_;
   std::size_t node_count_ = 0;
   std::atomic<std::uint64_t> llc_bytes_;
   fault::FaultInjector* faults_ = nullptr;

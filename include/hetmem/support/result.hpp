@@ -24,6 +24,12 @@ enum class Errc {
   /// the same call may succeed if repeated. The allocator's bounded-retry
   /// path keys off this exact code.
   kTransient,
+  /// Admission control refused the request because every target with room
+  /// is quarantined or offline (docs/RESILIENCE.md "Health & evacuation").
+  /// Unlike kOutOfCapacity this is not a "the machine is full" verdict —
+  /// capacity exists but is unhealthy; callers should back off and retry
+  /// after the health monitor re-probates a target.
+  kBackpressure,
 };
 
 [[nodiscard]] constexpr const char* errc_name(Errc code) {
@@ -36,6 +42,7 @@ enum class Errc {
     case Errc::kAlreadyExists: return "already-exists";
     case Errc::kInternal: return "internal";
     case Errc::kTransient: return "transient";
+    case Errc::kBackpressure: return "backpressure";
   }
   return "unknown";
 }

@@ -35,6 +35,8 @@ AllocatorStats HeterogeneousAllocator::stats() const {
       stats_.transient_retries.load(std::memory_order_relaxed);
   snapshot.attribute_rescues =
       stats_.attribute_rescues.load(std::memory_order_relaxed);
+  snapshot.backpressure_rejections =
+      stats_.backpressure_rejections.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -76,9 +78,40 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
     const AllocRequest& request, const std::vector<attr::TargetValue>& ranking,
     attr::AttrId used_attribute) {
   const bool allow_fallback = request.policy != Policy::kStrict;
+  const health::QuarantineList* quarantine =
+      request.admission_control ? registry_->quarantine_list() : nullptr;
+  unsigned withheld = 0;
   unsigned rank = 0;
   for (const attr::TargetValue& candidate : ranking) {
     const unsigned node = candidate.target->logical_index();
+    if (!machine_->node_online(node)) {
+      // Dead target: an offline node reads zero usable bytes anyway, but
+      // skipping it here avoids the capacity math and lets strict binding
+      // report "offline" instead of "full".
+      if (!allow_fallback) {
+        stats_.failures.fetch_add(1, std::memory_order_relaxed);
+        return make_error(Errc::kOutOfCapacity,
+                          "node " + std::to_string(node) + " is offline");
+      }
+      ++rank;
+      continue;
+    }
+    if (quarantine != nullptr &&
+        quarantine->verdict(node) != health::PlacementVerdict::kNormal) {
+      // Admission control: a quarantined target may not absorb this request
+      // even as a last resort — count it so exhaustion reports backpressure
+      // rather than out-of-capacity.
+      if (request.bytes <= usable_bytes(node)) ++withheld;
+      if (!allow_fallback) {
+        stats_.failures.fetch_add(1, std::memory_order_relaxed);
+        stats_.backpressure_rejections.fetch_add(1, std::memory_order_relaxed);
+        return make_error(Errc::kBackpressure,
+                          "node " + std::to_string(node) +
+                              " is quarantined and admission control is on");
+      }
+      ++rank;
+      continue;
+    }
     if (request.bytes > usable_bytes(node)) {
       // Reserved space is off-limits to ordinary allocations.
       if (!allow_fallback) {
@@ -136,6 +169,17 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
             return tv.target == node;
           });
       if (already_tried) continue;
+      if (!machine_->node_online(node->logical_index())) {
+        ++rank;
+        continue;
+      }
+      if (quarantine != nullptr &&
+          quarantine->verdict(node->logical_index()) !=
+              health::PlacementVerdict::kNormal) {
+        if (request.bytes <= usable_bytes(node->logical_index())) ++withheld;
+        ++rank;
+        continue;
+      }
       if (request.bytes > usable_bytes(node->logical_index())) {
         ++rank;
         continue;
@@ -157,6 +201,22 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
   }
 
   stats_.failures.fetch_add(1, std::memory_order_relaxed);
+  if (withheld > 0) {
+    // Capacity exists, but only on unhealthy targets this request refused to
+    // use: report backpressure (back off, retry after re-probation), not
+    // out-of-capacity (which would read as "the machine is full").
+    stats_.backpressure_rejections.fetch_add(1, std::memory_order_relaxed);
+    record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, 0,
+                            request.bytes,
+                            "healthy targets exhausted; " +
+                                std::to_string(withheld) +
+                                " quarantined target(s) withheld"});
+    return make_error(Errc::kBackpressure,
+                      "healthy local targets cannot hold " +
+                          support::format_bytes(request.bytes) + " for '" +
+                          request.label + "'; " + std::to_string(withheld) +
+                          " quarantined target(s) withheld by admission control");
+  }
   record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, 0,
                           request.bytes, "all local targets exhausted"});
   return make_error(Errc::kOutOfCapacity,

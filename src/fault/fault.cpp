@@ -120,6 +120,37 @@ std::string FaultInjector::schedule_fingerprint() const {
   return out;
 }
 
+const std::vector<SiteInfo>& all_sites() {
+  static const std::vector<SiteInfo> sites = {
+      {site::kMachineAllocTransient, "SimMachine::allocate",
+       "the allocation fails with kTransient (retryable)"},
+      {site::kMachineNodeOffline, "SimMachine::allocate, "
+       "SimMachine::sample_node_faults",
+       "the target/sampled node goes offline (sticky) and the call fails"},
+      {site::kMachineMigrateTransient, "SimMachine::migrate",
+       "the migration fails with kTransient (retryable)"},
+      {site::kMachineEccBurst, "SimMachine::sample_node_faults",
+       "a corrected-ECC-error burst is counted against the sampled node"},
+      {site::kMachineNodeDegraded, "SimMachine::sample_node_faults",
+       "the sampled node enters the sticky degraded regime"},
+      {site::kProbeFail, "probe::measure",
+       "the measurement fails outright (device busy, counters unavailable)"},
+      {site::kProbeNoise, "probe::measure",
+       "the measured value is multiplied by a noise factor"},
+      {site::kHmatDropEntry, "corrupt_hmat_text",
+       "a record line is dropped (firmware omission)"},
+      {site::kHmatFlipAccess, "corrupt_hmat_text",
+       "a read<->write access token is flipped"},
+      {site::kHmatTruncateLine, "corrupt_hmat_text",
+       "a record line is truncated mid-token"},
+      {site::kHmatDuplicateEntry, "corrupt_hmat_text",
+       "a record is duplicated with a perturbed value"},
+      {site::kHmatGarbleValue, "corrupt_hmat_text",
+       "a numeric value is replaced with garbage"},
+  };
+  return sites;
+}
+
 const std::vector<const char*>& FaultInjector::preset_names() {
   static const std::vector<const char*> names = {"none", "light", "heavy",
                                                  "hmat-chaos", "alloc-storm"};
@@ -144,6 +175,13 @@ FaultInjector FaultInjector::preset(std::string_view name, std::uint64_t seed) {
     injector.configure(site::kMachineNodeOffline,
                        {.probability = 0.02, .max_count = 1});
     injector.configure(site::kMachineMigrateTransient, {.probability = 0.2});
+    // Health-sampling sites: only consulted when a HealthMonitor (or a
+    // direct sample_node_faults caller) polls, so arming them here does not
+    // change schedules for runs without health monitoring.
+    injector.configure(site::kMachineEccBurst,
+                       {.probability = 0.05, .burst = 3});
+    injector.configure(site::kMachineNodeDegraded,
+                       {.probability = 0.01, .max_count = 1});
     injector.configure(site::kProbeFail, {.probability = 0.15});
     injector.configure(site::kProbeNoise,
                        {.probability = 0.6, .noise_sigma = 0.35});

@@ -1,0 +1,321 @@
+#include "hetmem/health/evacuator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "hetmem/alloc/advisor.hpp"
+#include "hetmem/prof/classify.hpp"
+#include "hetmem/support/str.hpp"
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::health {
+
+namespace {
+
+/// Criticality class for the drain order. Lower drains first.
+enum class DrainClass : int {
+  kLatency = 0,
+  kBandwidth = 1,
+  kCold = 2,  // committed-insensitive or untracked
+};
+
+struct DrainItem {
+  sim::BufferId buffer;
+  DrainClass drain_class = DrainClass::kCold;
+  bool tracked = false;
+  prof::Sensitivity sensitivity = prof::Sensitivity::kInsensitive;
+  double ema_bytes = 0.0;
+};
+
+DrainClass drain_class_of(prof::Sensitivity sensitivity) {
+  switch (sensitivity) {
+    case prof::Sensitivity::kLatency: return DrainClass::kLatency;
+    case prof::Sensitivity::kBandwidth: return DrainClass::kBandwidth;
+    default: return DrainClass::kCold;
+  }
+}
+
+}  // namespace
+
+const char* evac_verdict_name(EvacVerdict verdict) {
+  switch (verdict) {
+    case EvacVerdict::kMoved: return "moved";
+    case EvacVerdict::kSkippedCold: return "skipped:cold";
+    case EvacVerdict::kRejectedBreakeven: return "rejected:breakeven";
+    case EvacVerdict::kRejectedNoTarget: return "rejected:no-target";
+    case EvacVerdict::kDeferredBudget: return "deferred:budget";
+    case EvacVerdict::kFailedMigrate: return "failed:migrate";
+  }
+  return "?";
+}
+
+Evacuator::Evacuator(alloc::HeterogeneousAllocator& allocator,
+                     runtime::MigrationEngine& engine, support::Bitmap initiator,
+                     EvacuatorOptions options)
+    : allocator_(&allocator),
+      engine_(&engine),
+      initiator_(std::move(initiator)),
+      options_(options) {}
+
+void Evacuator::log(std::uint64_t epoch, unsigned from_node, unsigned to_node,
+                    sim::BufferId buffer, EvacVerdict verdict, double cost_ns,
+                    std::string reason) {
+  const sim::BufferInfo& info = allocator_->machine().info(buffer);
+  EvacDecision decision;
+  decision.epoch = epoch;
+  decision.from_node = from_node;
+  decision.to_node = to_node;
+  decision.buffer = buffer;
+  decision.label = info.label;
+  decision.bytes = info.declared_bytes;
+  decision.verdict = verdict;
+  decision.cost_ns = cost_ns;
+  decision.reason = std::move(reason);
+  switch (verdict) {
+    case EvacVerdict::kMoved:
+      ++stats_.moved;
+      stats_.moved_bytes += decision.bytes;
+      stats_.cost_ns += cost_ns;
+      break;
+    case EvacVerdict::kSkippedCold:
+    case EvacVerdict::kRejectedBreakeven:
+      ++stats_.skipped;
+      break;
+    case EvacVerdict::kDeferredBudget:
+      ++stats_.deferred;
+      break;
+    default:
+      ++stats_.failed;
+      break;
+  }
+  decisions_.push_back(std::move(decision));
+}
+
+double Evacuator::drain_epoch(std::uint64_t epoch_index, unsigned node,
+                              HealthState state, unsigned threads,
+                              const runtime::OnlineClassifier* classifier) {
+  if (state != HealthState::kQuarantined && state != HealthState::kOffline) {
+    return 0.0;
+  }
+  const bool offline = state == HealthState::kOffline;
+  sim::SimMachine& machine = allocator_->machine();
+  const attr::MemAttrRegistry& registry = allocator_->registry();
+  const alloc::TrafficCostModel model{options_.mlp, threads};
+
+  auto node_cost_ns = [&](unsigned target, std::uint64_t declared_bytes,
+                          const sim::BufferTraffic& traffic) {
+    const bool local = initiator_.is_subset_of(
+        machine.topology().numa_node(target)->cpuset());
+    return model.cost_ns(machine, target, declared_bytes, local, traffic);
+  };
+
+  // Work list: a racy snapshot of the node's live buffers, annotated with
+  // the classifier's committed verdict and traffic EMA. Each entry is
+  // revalidated against machine.info() before anything irreversible.
+  std::vector<DrainItem> items;
+  for (sim::BufferId buffer : machine.live_buffers_on(node)) {
+    DrainItem item;
+    item.buffer = buffer;
+    if (classifier != nullptr && buffer.index < classifier->states().size()) {
+      const auto& buffer_state = classifier->states()[buffer.index];
+      if (buffer_state.tracked) {
+        item.tracked = true;
+        item.sensitivity = buffer_state.committed;
+        item.drain_class = drain_class_of(buffer_state.committed);
+        item.ema_bytes = buffer_state.ema.memory_bytes;
+      }
+    }
+    items.push_back(item);
+  }
+  // Most critical first: latency, then bandwidth, then cold/untracked;
+  // hotter before colder within a class; buffer index breaks ties so the
+  // order (and the log) is deterministic.
+  std::stable_sort(items.begin(), items.end(),
+                   [](const DrainItem& a, const DrainItem& b) {
+                     if (a.drain_class != b.drain_class) {
+                       return static_cast<int>(a.drain_class) <
+                              static_cast<int>(b.drain_class);
+                     }
+                     if (a.ema_bytes != b.ema_bytes) {
+                       return a.ema_bytes > b.ema_bytes;
+                     }
+                     return a.buffer.index < b.buffer.index;
+                   });
+
+  double paid_ns = 0.0;
+  // Traffic already re-homed onto each destination by this drain: charging
+  // it as congestion when choosing the next destination spreads a multi-
+  // buffer drain across equivalent targets instead of piling everything
+  // onto the single cheapest node (whose controller would then serialize
+  // all the evacuated traffic).
+  std::vector<sim::BufferTraffic> assigned(
+      machine.topology().numa_nodes().size());
+  for (const DrainItem& item : items) {
+    const sim::BufferInfo info = machine.info(item.buffer);
+    if (info.freed || info.node != node) continue;  // raced a free/migration
+
+    // Destination: candidates come from the quarantine-aware resilient
+    // ranking of the buffer's own placement hint (capacity for cold and
+    // untracked buffers); quarantined targets sink to the ranking's tail and
+    // are skipped outright here — evacuating onto failing hardware would
+    // just queue a second evacuation. For a buffer with observed traffic the
+    // pick is the candidate with the lowest modeled traffic cost, not the
+    // first in ranking order: the locality-first ranking can prefer a local
+    // slow tier (e.g. package NVDIMM) over a sibling DRAM node that serves
+    // this buffer's access pattern far better. Ranking order breaks cost
+    // ties, keeping the choice deterministic.
+    const attr::AttrId attribute =
+        item.tracked ? prof::allocation_hint(item.sensitivity) : attr::kCapacity;
+    // kAll, not the allocator's locality-restricted default: losing a node is
+    // exactly the situation where the search must widen to non-local targets
+    // (an SNC sibling's DRAM does not even intersect this initiator's cpuset).
+    attr::RankingSnapshot snapshot = registry.targets_ranked_resilient_cached(
+        attribute, initiator_, topo::LocalityFlags::kAll);
+    const QuarantineList* quarantine = registry.quarantine_list();
+    const bool cost_aware =
+        item.tracked && item.ema_bytes > 0.0 && classifier != nullptr;
+    unsigned destination = node;
+    double destination_cost_ns = 0.0;
+    for (const attr::TargetValue& target : snapshot->targets) {
+      const unsigned candidate = target.target->logical_index();
+      if (candidate == node) continue;
+      if (!machine.node_online(candidate)) continue;
+      if (quarantine != nullptr &&
+          quarantine->verdict(candidate) != PlacementVerdict::kNormal) {
+        continue;
+      }
+      if (machine.available_bytes(candidate) < info.declared_bytes) continue;
+      if (!cost_aware) {
+        destination = candidate;
+        break;
+      }
+      const double candidate_cost_ns =
+          node_cost_ns(candidate, info.declared_bytes,
+                       classifier->states()[item.buffer.index].ema) +
+          node_cost_ns(candidate, info.declared_bytes, assigned[candidate]);
+      if (destination == node || candidate_cost_ns < destination_cost_ns) {
+        destination = candidate;
+        destination_cost_ns = candidate_cost_ns;
+      }
+    }
+    if (destination == node) {
+      log(epoch_index, node, node, item.buffer, EvacVerdict::kRejectedNoTarget,
+          0.0, "no healthy target has room");
+      continue;
+    }
+
+    const double cost_ns =
+        allocator_->estimate_migration_cost_ns(item.buffer, destination);
+    if (!offline) {
+      // Quarantined (not offline): the node still serves reads, so only move
+      // buffers whose traffic amortizes the copy. The source cost is scaled
+      // by quarantined_slowdown — the degraded regime that earned the
+      // quarantine — so hot buffers drain even off nominally fast nodes,
+      // while cold buffers wait for recovery or offline escalation.
+      if (!item.tracked || item.ema_bytes <= 0.0) {
+        log(epoch_index, node, destination, item.buffer,
+            EvacVerdict::kSkippedCold, 0.0,
+            item.tracked ? "no observed traffic" : "untracked buffer");
+        continue;
+      }
+      const sim::BufferTraffic& traffic =
+          classifier->states()[item.buffer.index].ema;
+      const double benefit_per_epoch_ns =
+          node_cost_ns(node, info.declared_bytes, traffic) *
+              options_.quarantined_slowdown -
+          node_cost_ns(destination, info.declared_bytes, traffic);
+      if (benefit_per_epoch_ns <= 0.0) {
+        log(epoch_index, node, destination, item.buffer,
+            EvacVerdict::kSkippedCold, 0.0,
+            "degraded source still cheaper than " +
+                std::to_string(destination) + " for observed traffic");
+        continue;
+      }
+      const double breakeven = cost_ns / benefit_per_epoch_ns;
+      if (breakeven > options_.expected_future_epochs) {
+        log(epoch_index, node, destination, item.buffer,
+            EvacVerdict::kRejectedBreakeven, cost_ns,
+            "breakeven " + support::format_fixed(breakeven, 1) +
+                " epochs exceeds horizon " +
+                support::format_fixed(options_.expected_future_epochs, 1));
+        continue;
+      }
+    }
+
+    // Budget gate: evacuation draws from the engine's per-epoch pool, so a
+    // drain burst cannot blow past the paper's migration-avoidance knob. An
+    // offline node's remaining buffers simply retry next epoch.
+    if (engine_->budget_remaining(epoch_index) < info.declared_bytes) {
+      log(epoch_index, node, destination, item.buffer,
+          EvacVerdict::kDeferredBudget, cost_ns,
+          "needs " + support::format_bytes(info.declared_bytes) +
+              ", budget has " +
+              support::format_bytes(engine_->budget_remaining(epoch_index)) +
+              " left this epoch");
+      continue;
+    }
+
+    auto result = allocator_->migrate(item.buffer, destination);
+    if (!result.ok()) {
+      log(epoch_index, node, destination, item.buffer,
+          EvacVerdict::kFailedMigrate, 0.0, result.error().to_string());
+      continue;
+    }
+    paid_ns += *result;
+    (void)engine_->consume_budget(epoch_index, info.declared_bytes);
+    if (item.tracked && classifier != nullptr) {
+      const sim::BufferTraffic& moved_traffic =
+          classifier->states()[item.buffer.index].ema;
+      sim::BufferTraffic& sink = assigned[destination];
+      sink.reads += moved_traffic.reads;
+      sink.writes += moved_traffic.writes;
+      sink.llc_misses += moved_traffic.llc_misses;
+      sink.memory_bytes += moved_traffic.memory_bytes;
+      sink.random_accesses += moved_traffic.random_accesses;
+      sink.random_misses += moved_traffic.random_misses;
+    }
+    log(epoch_index, node, destination, item.buffer, EvacVerdict::kMoved,
+        *result,
+        offline ? "urgent drain off offline node"
+                : "drain off quarantined node");
+  }
+  return paid_ns;
+}
+
+bool Evacuator::drained(unsigned node) const {
+  return allocator_->machine().live_buffers_on(node).empty();
+}
+
+std::string Evacuator::render_log() const {
+  std::string out;
+  for (const EvacDecision& decision : decisions_) {
+    out += "epoch " + std::to_string(decision.epoch) + " " +
+           evac_verdict_name(decision.verdict) + " " + decision.label +
+           " (buffer " + std::to_string(decision.buffer.index) + ") node " +
+           std::to_string(decision.from_node) + " -> " +
+           std::to_string(decision.to_node) + " " +
+           support::format_bytes(decision.bytes);
+    if (decision.cost_ns > 0.0) {
+      out += " cost " + support::format_fixed(decision.cost_ns / 1e6, 3) + " ms";
+    }
+    if (!decision.reason.empty()) out += " — " + decision.reason;
+    out += "\n";
+  }
+  return out;
+}
+
+void attach_health(runtime::RuntimePolicy& policy, HealthMonitor& monitor,
+                   Evacuator& evacuator) {
+  policy.set_epoch_hook([&policy, &monitor, &evacuator](
+                            std::uint64_t epoch_index, unsigned threads) {
+    monitor.poll();
+    double paid_ns = 0.0;
+    for (unsigned node : monitor.nodes_needing_evacuation()) {
+      paid_ns += evacuator.drain_epoch(epoch_index, node, monitor.state(node),
+                                       threads, &policy.classifier());
+    }
+    return paid_ns;
+  });
+}
+
+}  // namespace hetmem::health

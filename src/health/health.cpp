@@ -1,0 +1,169 @@
+#include "hetmem/health/health.hpp"
+
+namespace hetmem::health {
+
+HealthMonitor::HealthMonitor(sim::SimMachine& machine,
+                             attr::MemAttrRegistry& registry,
+                             HealthOptions options)
+    : machine_(&machine),
+      registry_(&registry),
+      options_(options),
+      quarantine_(machine.topology().numa_nodes().size()),
+      node_count_(machine.topology().numa_nodes().size()) {
+  nodes_ = std::make_unique<NodeHealth[]>(node_count_);
+  // Nodes that are already offline (or carry error history) at construction
+  // are picked up by the first poll; start everything healthy so the
+  // transition log narrates what the monitor actually observed.
+  registry_->set_quarantine_list(&quarantine_);
+}
+
+HealthMonitor::~HealthMonitor() {
+  // Uninstall so the registry never dereferences a dead list. This also
+  // clears all quarantine effects — a destroyed monitor stops gating.
+  registry_->set_quarantine_list(nullptr);
+}
+
+std::uint64_t HealthMonitor::error_count(const sim::NodeTelemetry& t) const {
+  std::uint64_t errors = t.transient_faults + t.ecc_errors;
+  if (options_.count_capacity_rejections) errors += t.capacity_rejections;
+  return errors;
+}
+
+void HealthMonitor::transition(unsigned node, NodeHealth& health,
+                               HealthState to, std::string reason) {
+  const HealthState from =
+      static_cast<HealthState>(health.state.load(std::memory_order_relaxed));
+  if (from == to) return;
+  health.state.store(static_cast<std::uint8_t>(to), std::memory_order_release);
+  switch (to) {
+    case HealthState::kOffline:
+      quarantine_.set(node, PlacementVerdict::kExclude);
+      break;
+    case HealthState::kQuarantined:
+      quarantine_.set(node, PlacementVerdict::kDeprioritize);
+      break;
+    default:
+      quarantine_.set(node, PlacementVerdict::kNormal);
+      break;
+  }
+  // Ordering contract (quarantine.hpp): verdict store FIRST, then the
+  // generation bump — readers that see the new generation see the verdict.
+  registry_->invalidate_rankings();
+  transitions_.push_back(
+      HealthTransition{poll_count_, node, from, to, std::move(reason)});
+}
+
+std::size_t HealthMonitor::poll() {
+  ++poll_count_;
+  const std::size_t before = transitions_.size();
+  for (unsigned node = 0; node < node_count_; ++node) {
+    machine_->sample_node_faults(node);
+    const sim::NodeTelemetry t = machine_->node_telemetry(node);
+    NodeHealth& health = nodes_[node];
+    const std::uint64_t errors = error_count(t);
+    const std::uint64_t delta = errors - health.last_errors;
+    health.last_errors = errors;
+    const bool degraded_fault = options_.degraded_is_fault && t.degraded;
+    const bool faulty = delta >= options_.suspect_errors || degraded_fault;
+    const auto current = static_cast<HealthState>(
+        health.state.load(std::memory_order_relaxed));
+
+    if (!t.online) {
+      if (current != HealthState::kOffline) {
+        health.faulty_streak = 0;
+        health.clean_streak = 0;
+        transition(node, health, HealthState::kOffline,
+                   "machine reports node offline");
+      }
+      continue;
+    }
+
+    if (current == HealthState::kOffline) {
+      // The operator brought the node back: re-probate through quarantine,
+      // never straight to healthy.
+      health.faulty_streak = 0;
+      health.clean_streak = 0;
+      transition(node, health, HealthState::kQuarantined,
+                 "node back online; entering probation");
+      continue;
+    }
+
+    if (faulty) {
+      health.clean_streak = 0;
+      ++health.faulty_streak;
+      const std::string evidence =
+          degraded_fault && delta == 0
+              ? "degraded regime active"
+              : std::to_string(delta) + " error(s) this poll" +
+                    (degraded_fault ? " + degraded regime" : "");
+      if (delta >= options_.quarantine_errors &&
+          current != HealthState::kQuarantined) {
+        transition(node, health, HealthState::kQuarantined,
+                   "error burst: " + evidence);
+        continue;
+      }
+      switch (current) {
+        case HealthState::kHealthy:
+          transition(node, health, HealthState::kSuspect, evidence);
+          break;
+        case HealthState::kSuspect:
+          if (health.faulty_streak >= options_.faulty_polls_to_quarantine) {
+            transition(node, health, HealthState::kQuarantined,
+                       "sustained faults: " +
+                           std::to_string(health.faulty_streak) +
+                           " consecutive faulty poll(s)");
+          }
+          break;
+        default:
+          break;  // already quarantined: stay until clean polls accumulate
+      }
+      continue;
+    }
+
+    // Clean poll: hysteresis steps the node DOWN one state per streak.
+    health.faulty_streak = 0;
+    if (current == HealthState::kHealthy) continue;
+    ++health.clean_streak;
+    if (health.clean_streak < options_.clean_polls_to_recover) continue;
+    health.clean_streak = 0;
+    const std::string reason = std::to_string(options_.clean_polls_to_recover) +
+                               " clean poll(s)";
+    if (current == HealthState::kQuarantined) {
+      transition(node, health, HealthState::kSuspect,
+                 reason + "; re-probation");
+    } else {
+      transition(node, health, HealthState::kHealthy, reason);
+    }
+  }
+  return transitions_.size() - before;
+}
+
+HealthState HealthMonitor::state(unsigned node) const {
+  if (node >= node_count_) return HealthState::kHealthy;
+  return static_cast<HealthState>(
+      nodes_[node].state.load(std::memory_order_acquire));
+}
+
+std::vector<unsigned> HealthMonitor::nodes_needing_evacuation() const {
+  std::vector<unsigned> nodes;
+  for (unsigned node = 0; node < node_count_; ++node) {
+    const HealthState current = state(node);
+    if (current == HealthState::kQuarantined ||
+        current == HealthState::kOffline) {
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+std::string HealthMonitor::render_transition_log() const {
+  std::string out;
+  for (const HealthTransition& t : transitions_) {
+    out += "poll " + std::to_string(t.poll) + " node " +
+           std::to_string(t.node) + " " + health_state_name(t.from) + " -> " +
+           health_state_name(t.to) + " — " + t.reason + "\n";
+  }
+  return out;
+}
+
+}  // namespace hetmem::health

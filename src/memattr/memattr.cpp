@@ -207,18 +207,31 @@ std::vector<TargetValue> MemAttrRegistry::targets_ranked_locked(
     AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
   std::vector<TargetValue> ranked;
   if (!valid_attr(attr)) return ranked;
+  const health::QuarantineList* quarantine =
+      quarantine_.load(std::memory_order_acquire);
+  std::vector<TargetValue> quarantined;
   const std::optional<Initiator> query = initiator;
   for (const topo::Object* node : topology_->local_numa_nodes(initiator.cpuset(), flags)) {
+    const health::PlacementVerdict verdict =
+        quarantine != nullptr ? quarantine->verdict(node->logical_index())
+                              : health::PlacementVerdict::kNormal;
+    if (verdict == health::PlacementVerdict::kExclude) continue;
     Result<double> v = value_locked(attr, *node, attributes_[attr].need_initiator
                                                      ? query
                                                      : std::optional<Initiator>{});
-    if (v.ok()) ranked.push_back(TargetValue{node, *v});
+    if (!v.ok()) continue;
+    (verdict == health::PlacementVerdict::kDeprioritize ? quarantined : ranked)
+        .push_back(TargetValue{node, *v});
   }
   const bool higher_first = attributes_[attr].polarity == Polarity::kHigherFirst;
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [higher_first](const TargetValue& a, const TargetValue& b) {
-                     return higher_first ? a.value > b.value : a.value < b.value;
-                   });
+  auto by_polarity = [higher_first](const TargetValue& a, const TargetValue& b) {
+    return higher_first ? a.value > b.value : a.value < b.value;
+  };
+  std::stable_sort(ranked.begin(), ranked.end(), by_polarity);
+  // Quarantined targets are a last resort: below every normal target, still
+  // in polarity order among themselves.
+  std::stable_sort(quarantined.begin(), quarantined.end(), by_polarity);
+  ranked.insert(ranked.end(), quarantined.begin(), quarantined.end());
   return ranked;
 }
 
@@ -402,22 +415,37 @@ std::vector<TargetValue> MemAttrRegistry::targets_ranked_resilient_locked(
   std::vector<TargetValue> trusted;
   std::vector<TargetValue> untrusted;
   if (!valid_attr(attr)) return trusted;
-  const std::optional<Initiator> query = initiator;
+  const health::QuarantineList* quarantine =
+      quarantine_.load(std::memory_order_acquire);
+  // Quarantined targets rank below every normal target, even untrusted-valued
+  // ones: a node with noisy measurements is still healthy hardware, a
+  // quarantined node is failing hardware. Within the quarantined group the
+  // trusted/untrusted split is preserved.
+  std::vector<TargetValue> trusted_quarantined;
+  std::vector<TargetValue> untrusted_quarantined;
   const bool need_initiator = attributes_[attr].need_initiator;
   for (const topo::Object* node :
        topology_->local_numa_nodes(initiator.cpuset(), flags)) {
     const unsigned idx = node->logical_index();
+    const health::PlacementVerdict verdict =
+        quarantine != nullptr ? quarantine->verdict(idx)
+                              : health::PlacementVerdict::kNormal;
+    if (verdict == health::PlacementVerdict::kExclude) continue;
+    const bool deprioritize = verdict == health::PlacementVerdict::kDeprioritize;
     const Stored& stored = values_[attr];
     if (need_initiator) {
       const InitiatorValue* match =
           match_initiator(stored.per_initiator[idx], initiator.cpuset());
       if (match == nullptr) continue;
-      (match->confidence == Confidence::kTrusted ? trusted : untrusted)
+      (match->confidence == Confidence::kTrusted
+           ? (deprioritize ? trusted_quarantined : trusted)
+           : (deprioritize ? untrusted_quarantined : untrusted))
           .push_back(TargetValue{node, match->value});
     } else {
       if (!stored.global_values[idx].has_value()) continue;
-      (stored.global_confidence[idx] == Confidence::kTrusted ? trusted
-                                                             : untrusted)
+      (stored.global_confidence[idx] == Confidence::kTrusted
+           ? (deprioritize ? trusted_quarantined : trusted)
+           : (deprioritize ? untrusted_quarantined : untrusted))
           .push_back(TargetValue{node, *stored.global_values[idx]});
     }
   }
@@ -427,7 +455,15 @@ std::vector<TargetValue> MemAttrRegistry::targets_ranked_resilient_locked(
   };
   std::stable_sort(trusted.begin(), trusted.end(), by_polarity);
   std::stable_sort(untrusted.begin(), untrusted.end(), by_polarity);
+  std::stable_sort(trusted_quarantined.begin(), trusted_quarantined.end(),
+                   by_polarity);
+  std::stable_sort(untrusted_quarantined.begin(), untrusted_quarantined.end(),
+                   by_polarity);
   trusted.insert(trusted.end(), untrusted.begin(), untrusted.end());
+  trusted.insert(trusted.end(), trusted_quarantined.begin(),
+                 trusted_quarantined.end());
+  trusted.insert(trusted.end(), untrusted_quarantined.begin(),
+                 untrusted_quarantined.end());
   return trusted;
 }
 
@@ -498,6 +534,12 @@ void MemAttrRegistry::invalidate_rankings() {
   // stamp (read under a shared lock) always matches the data it was built
   // from — bumps never interleave with an in-flight rebuild.
   std::unique_lock lock(mutex_);
+  bump_generation_locked();
+}
+
+void MemAttrRegistry::set_quarantine_list(const health::QuarantineList* list) {
+  std::unique_lock lock(mutex_);
+  quarantine_.store(list, std::memory_order_release);
   bump_generation_locked();
 }
 

@@ -40,6 +40,27 @@ MigrationEngine::MigrationEngine(alloc::HeterogeneousAllocator& allocator,
       initiator_(std::move(initiator)),
       options_(options) {}
 
+void MigrationEngine::ensure_epoch(std::uint64_t epoch_index) {
+  if (budget_epoch_ == epoch_index) return;
+  budget_epoch_ = epoch_index;
+  budget_left_ = options_.epoch_budget_bytes;
+}
+
+std::uint64_t MigrationEngine::budget_remaining(std::uint64_t epoch_index) {
+  ensure_epoch(epoch_index);
+  return budget_left_;
+}
+
+bool MigrationEngine::consume_budget(std::uint64_t epoch_index,
+                                     std::uint64_t bytes) {
+  ensure_epoch(epoch_index);
+  if (bytes > budget_left_) return false;
+  // An unlimited budget never depletes (UINT64_MAX is the documented
+  // "unlimited" sentinel, not a real pool size).
+  if (budget_left_ != UINT64_MAX) budget_left_ -= bytes;
+  return true;
+}
+
 double MigrationEngine::node_traffic_cost_ns(
     unsigned node, std::uint64_t declared_bytes,
     const sim::BufferTraffic& traffic, unsigned threads) const {
@@ -204,8 +225,11 @@ double MigrationEngine::run_epoch(std::uint64_t epoch_index,
                      return a.buffer.index < b.buffer.index;
                    });
 
-  // Phase 2: apply under the gates, biggest modeled benefit first.
-  std::uint64_t budget_left = options_.epoch_budget_bytes;
+  // Phase 2: apply under the gates, biggest modeled benefit first. The
+  // budget pool is the epoch-keyed member shared with the health Evacuator:
+  // evacuation bytes spent earlier in this epoch shrink what optimization
+  // moves may spend, and vice versa.
+  ensure_epoch(epoch_index);
   std::uint64_t epoch_bytes = 0;
   double paid_ns = 0.0;
   for (const Candidate& candidate : candidates) {
@@ -265,11 +289,11 @@ double MigrationEngine::run_epoch(std::uint64_t epoch_index,
               support::format_fixed(options_.expected_future_epochs, 1));
       continue;
     }
-    if (move_bytes > budget_left) {
+    if (move_bytes > budget_left_) {
       log(epoch_index, candidate.buffer, Verdict::kRejectedBudget, &candidate,
           cost_ns,
           "needs " + support::format_bytes(move_bytes) + ", budget has " +
-              support::format_bytes(budget_left) + " left this epoch");
+              support::format_bytes(budget_left_) + " left this epoch");
       continue;
     }
 
@@ -288,7 +312,7 @@ double MigrationEngine::run_epoch(std::uint64_t epoch_index,
         break;
       }
       paid_ns += *result;
-      budget_left -= eviction.bytes;
+      (void)consume_budget(epoch_index, eviction.bytes);
       epoch_bytes += eviction.bytes;
       stats_.migrated_bytes += eviction.bytes;
       stats_.migration_cost_ns += *result;
@@ -311,7 +335,7 @@ double MigrationEngine::run_epoch(std::uint64_t epoch_index,
       continue;
     }
     paid_ns += *result;
-    budget_left -= info.declared_bytes;
+    (void)consume_budget(epoch_index, info.declared_bytes);
     epoch_bytes += info.declared_bytes;
     stats_.migrated_bytes += info.declared_bytes;
     stats_.migration_cost_ns += *result;

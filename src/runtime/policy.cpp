@@ -22,14 +22,17 @@ void RuntimePolicy::on_phase(sim::ExecutionContext& exec) {
   std::optional<Epoch> epoch = sampler_.on_phase(exec);
   if (!epoch.has_value()) return;
   classifier_.observe(*epoch);
-  const std::uint64_t moves_before =
-      engine_.stats().accepted + engine_.stats().evicted;
-  const double paid_ns =
+  // Movement is detected via the allocator's migration counter, not engine
+  // stats, so buffers moved by the epoch hook (health evacuation) also
+  // trigger the application's post-migration refresh.
+  const std::uint64_t migrations_before = allocator_->stats().migrations;
+  double paid_ns =
       engine_.run_epoch(epoch->index, classifier_, exec.thread_count());
+  if (epoch_hook_) paid_ns += epoch_hook_(epoch->index, exec.thread_count());
   if (charge_migration_cost_) exec.charge_overhead_ns(paid_ns);
-  const std::uint64_t moves_after =
-      engine_.stats().accepted + engine_.stats().evicted;
-  if (moves_after != moves_before && post_migration_) post_migration_();
+  if (allocator_->stats().migrations != migrations_before && post_migration_) {
+    post_migration_();
+  }
 }
 
 }  // namespace hetmem::runtime

@@ -21,6 +21,7 @@ SimMachine::SimMachine(topo::Topology topology, MachinePerfModel model)
       llc_bytes_(static_cast<std::uint64_t>(27.5 * 1024 * 1024)) {
   used_ = std::make_unique<std::atomic<std::uint64_t>[]>(node_count_);
   online_ = std::make_unique<std::atomic<std::uint8_t>[]>(node_count_);
+  telemetry_ = std::make_unique<NodeCounters[]>(node_count_);
   for (std::size_t n = 0; n < node_count_; ++n) {
     used_[n].store(0, std::memory_order_relaxed);
     online_[n].store(1, std::memory_order_relaxed);
@@ -113,6 +114,7 @@ Result<BufferId> SimMachine::allocate(std::uint64_t declared_bytes, unsigned nod
   }
   if (faults_ != nullptr) {
     if (faults_->should_fail(fault::site::kMachineAllocTransient)) {
+      telemetry_[node].transient_faults.fetch_add(1, std::memory_order_relaxed);
       return make_error(Errc::kTransient,
                         "injected transient allocation failure on node " +
                             std::to_string(node));
@@ -122,12 +124,14 @@ Result<BufferId> SimMachine::allocate(std::uint64_t declared_bytes, unsigned nod
     }
   }
   if (online_[node].load(std::memory_order_relaxed) == 0) {
+    telemetry_[node].offline_rejections.fetch_add(1, std::memory_order_relaxed);
     return make_error(Errc::kOutOfCapacity,
                       "node " + std::to_string(node) + " is offline");
   }
   if (!reserve_capacity(node, declared_bytes)) {
     const std::uint64_t capacity = topology_.numa_nodes()[node]->capacity_bytes();
     const std::uint64_t used = used_[node].load(std::memory_order_relaxed);
+    telemetry_[node].capacity_rejections.fetch_add(1, std::memory_order_relaxed);
     return make_error(Errc::kOutOfCapacity,
                       "node " + std::to_string(node) + " has " +
                           support::format_bytes(capacity > used ? capacity - used
@@ -194,16 +198,24 @@ Status SimMachine::migrate(BufferId id, unsigned destination_node) {
   if (source == destination_node) return {};
   if (faults_ != nullptr &&
       faults_->should_fail(fault::site::kMachineMigrateTransient)) {
+    // Attributed to the destination: the write side is what the injected
+    // busy-page/migration-slot fault models.
+    telemetry_[destination_node].transient_faults.fetch_add(
+        1, std::memory_order_relaxed);
     return make_error(Errc::kTransient,
                       "injected transient migration failure for buffer " +
                           slot->label);
   }
   if (online_[destination_node].load(std::memory_order_relaxed) == 0) {
+    telemetry_[destination_node].offline_rejections.fetch_add(
+        1, std::memory_order_relaxed);
     return make_error(Errc::kOutOfCapacity,
                       "destination node " + std::to_string(destination_node) +
                           " is offline");
   }
   if (!reserve_capacity(destination_node, slot->declared_bytes)) {
+    telemetry_[destination_node].capacity_rejections.fetch_add(
+        1, std::memory_order_relaxed);
     return make_error(Errc::kOutOfCapacity,
                       "destination node " + std::to_string(destination_node) +
                           " cannot hold " +
@@ -281,6 +293,69 @@ Status SimMachine::set_node_online(unsigned node, bool online) {
 
 bool SimMachine::node_online(unsigned node) const {
   return node < node_count_ && online_[node].load(std::memory_order_relaxed) != 0;
+}
+
+Status SimMachine::set_node_degraded(unsigned node, bool degraded) {
+  if (node >= node_count_) {
+    return make_error(Errc::kInvalidArgument,
+                      "no NUMA node with logical index " + std::to_string(node));
+  }
+  const std::uint8_t previous =
+      telemetry_[node].degraded.exchange(degraded ? 1 : 0,
+                                         std::memory_order_relaxed);
+  if (degraded && previous == 0) {
+    telemetry_[node].degraded_events.fetch_add(1, std::memory_order_relaxed);
+  }
+  return {};
+}
+
+bool SimMachine::node_degraded(unsigned node) const {
+  return node < node_count_ &&
+         telemetry_[node].degraded.load(std::memory_order_relaxed) != 0;
+}
+
+NodeTelemetry SimMachine::node_telemetry(unsigned node) const {
+  NodeTelemetry snapshot;
+  if (node >= node_count_) return snapshot;
+  const NodeCounters& counters = telemetry_[node];
+  snapshot.capacity_rejections =
+      counters.capacity_rejections.load(std::memory_order_relaxed);
+  snapshot.offline_rejections =
+      counters.offline_rejections.load(std::memory_order_relaxed);
+  snapshot.transient_faults =
+      counters.transient_faults.load(std::memory_order_relaxed);
+  snapshot.ecc_errors = counters.ecc_errors.load(std::memory_order_relaxed);
+  snapshot.degraded_events =
+      counters.degraded_events.load(std::memory_order_relaxed);
+  snapshot.degraded = counters.degraded.load(std::memory_order_relaxed) != 0;
+  snapshot.online = online_[node].load(std::memory_order_relaxed) != 0;
+  return snapshot;
+}
+
+void SimMachine::sample_node_faults(unsigned node) {
+  if (node >= node_count_ || faults_ == nullptr) return;
+  if (faults_->should_fail(fault::site::kMachineEccBurst)) {
+    telemetry_[node].ecc_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (faults_->should_fail(fault::site::kMachineNodeDegraded)) {
+    (void)set_node_degraded(node, true);
+  }
+  if (faults_->should_fail(fault::site::kMachineNodeOffline)) {
+    online_[node].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<BufferId> SimMachine::live_buffers_on(unsigned node) const {
+  std::vector<BufferId> live;
+  const std::uint32_t total = next_slot_.load(std::memory_order_acquire);
+  for (std::uint32_t index = 0; index < total; ++index) {
+    const Slot* slot = find_slot(BufferId{index});
+    if (slot == nullptr) continue;
+    if (slot->state.load(std::memory_order_acquire) != SlotState::kLive) continue;
+    if (slot->node.load(std::memory_order_relaxed) != node) continue;
+    live.push_back(BufferId{index});
+  }
+  return live;
 }
 
 }  // namespace hetmem::sim

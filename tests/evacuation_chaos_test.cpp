@@ -1,0 +1,282 @@
+// Evacuation chaos: the self-healing loop (HealthMonitor -> QuarantineList ->
+// Evacuator) composed with the full stack under seeded fault schedules
+// (docs/RESILIENCE.md "Health & evacuation"). The contract: a node failing
+// MID-RUN — including going offline outright — never crashes the workload or
+// changes its numerical answer; live buffers drain off the failing node
+// exactly once; and the whole health narrative (transition log + evacuation
+// decision log) replays byte-identically for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/apps/graph500.hpp"
+#include "hetmem/apps/stream.hpp"
+#include "hetmem/fault/fault.hpp"
+#include "hetmem/health/evacuator.hpp"
+#include "hetmem/health/health.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/runtime/policy.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem {
+namespace {
+
+using support::kMiB;
+
+support::Bitmap first_initiator(const topo::Topology& topology) {
+  for (const topo::Object* node : topology.numa_nodes()) {
+    if (!node->cpuset().empty()) return node->cpuset();
+  }
+  return {};
+}
+
+apps::StreamConfig small_stream() {
+  apps::StreamConfig config;
+  config.declared_total_bytes = 96 * kMiB;
+  config.backing_elements = 1u << 14;
+  config.threads = 4;
+  config.iterations = 6;
+  return config;
+}
+
+runtime::RuntimePolicyOptions health_policy_options() {
+  runtime::RuntimePolicyOptions options;
+  options.sampler.phases_per_epoch = 2;  // triad + barrier
+  options.classifier.ema_alpha = 1.0;
+  options.classifier.hysteresis_epochs = 1;
+  return options;
+}
+
+struct EvacChaosOutcome {
+  double stream_checksum = 0.0;
+  std::string transition_log;
+  std::string evac_log;
+  std::string fault_fingerprint;
+  unsigned victim = 0;
+  bool victim_drained = false;
+  health::HealthState victim_state = health::HealthState::kHealthy;
+  std::uint64_t evac_moved = 0;
+  std::map<std::uint32_t, unsigned> moved_counts;  // buffer -> kMoved count
+};
+
+/// STREAM on xeon_clx_snc_1lm with the health loop in the epoch hook.
+/// `fault_preset` drives the machine's fault schedule; when `force_offline`
+/// is set, the node that array `a` landed on is additionally forced offline
+/// at a fixed epoch — the deterministic "node dies mid-run" scenario.
+void run_stream_evac_chaos(const char* fault_preset, std::uint64_t seed,
+                           bool force_offline, EvacChaosOutcome* out) {
+  sim::SimMachine machine(topo::xeon_clx_snc_1lm());
+  const support::Bitmap initiator = first_initiator(machine.topology());
+  ASSERT_FALSE(initiator.empty());
+
+  attr::MemAttrRegistry registry(machine.topology());
+  ASSERT_TRUE(
+      hmat::load_into(registry, hmat::generate(machine.topology())).ok());
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+  allocator.set_retry_policy({.max_transient_retries = 8});
+
+  fault::FaultInjector injector = fault::FaultInjector::preset(fault_preset, seed);
+  machine.set_fault_injector(&injector);
+
+  apps::BufferPlacement placement;
+  placement.attribute = attr::kBandwidth;
+  placement.attribute_rescue = true;
+  auto runner = apps::StreamRunner::create(machine, &allocator, initiator,
+                                           small_stream(), placement);
+  ASSERT_TRUE(runner.ok()) << fault_preset << " seed " << seed;
+  // Array `a` is the first allocation the runner traced — its node is the
+  // victim the forced scenario kills mid-run.
+  const auto trace = allocator.trace();
+  ASSERT_FALSE(trace.empty());
+  const unsigned victim = trace.front().node;
+  out->victim = victim;
+
+  runtime::RuntimePolicy policy(allocator, initiator, health_policy_options());
+  health::HealthMonitor monitor(machine, registry);
+  health::Evacuator evacuator(allocator, policy.mutable_engine(), initiator);
+  if (force_offline) {
+    // attach_health's loop, plus the deterministic mid-run kill: the victim
+    // goes offline right before the epoch-2 poll observes it.
+    policy.set_epoch_hook([&, victim](std::uint64_t epoch, unsigned threads) {
+      if (epoch == 2) {
+        EXPECT_TRUE(machine.set_node_online(victim, false).ok());
+      }
+      monitor.poll();
+      double paid_ns = 0.0;
+      for (unsigned node : monitor.nodes_needing_evacuation()) {
+        paid_ns += evacuator.drain_epoch(epoch, node, monitor.state(node),
+                                         threads, &policy.classifier());
+      }
+      return paid_ns;
+    });
+  } else {
+    health::attach_health(policy, monitor, evacuator);
+  }
+  policy.attach((*runner)->exec(), [&] { (*runner)->refresh_arrays(); });
+
+  auto result = (*runner)->run_triad();
+  ASSERT_TRUE(result.ok()) << fault_preset << " seed " << seed << ": "
+                           << result.error().to_string();
+  machine.set_fault_injector(nullptr);
+
+  out->stream_checksum = result->checksum;
+  out->transition_log = monitor.render_transition_log();
+  out->evac_log = evacuator.render_log();
+  out->fault_fingerprint = injector.schedule_fingerprint();
+  out->victim_drained = evacuator.drained(victim);
+  out->victim_state = monitor.state(victim);
+  out->evac_moved = evacuator.stats().moved;
+  for (const health::EvacDecision& decision : evacuator.decisions()) {
+    if (decision.verdict == health::EvacVerdict::kMoved) {
+      ++out->moved_counts[decision.buffer.index];
+    }
+  }
+}
+
+double clean_stream_checksum() {
+  sim::SimMachine clean(topo::xeon_clx_snc_1lm());
+  apps::BufferPlacement forced;
+  forced.forced_node = 0;
+  auto runner = apps::StreamRunner::create(
+      clean, nullptr, first_initiator(clean.topology()), small_stream(),
+      forced);
+  EXPECT_TRUE(runner.ok());
+  auto result = (*runner)->run_triad();
+  EXPECT_TRUE(result.ok());
+  return result.ok() ? result->checksum : 0.0;
+}
+
+// Every fault preset x three seeds: the health loop rides along and the
+// workload completes with the clean answer no matter what the schedule
+// quarantines, degrades, or kills (the CI chaos lane runs this matrix).
+class EvacuationChaosTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(EvacuationChaosTest, StreamSurvivesHealthChaosWithValidResults) {
+  const char* preset =
+      fault::FaultInjector::preset_names()[static_cast<std::size_t>(
+          std::get<0>(GetParam()))];
+  const std::uint64_t seed = std::get<1>(GetParam());
+  EvacChaosOutcome outcome;
+  run_stream_evac_chaos(preset, seed, /*force_offline=*/false, &outcome);
+  ASSERT_FALSE(HasFatalFailure());
+
+  EXPECT_DOUBLE_EQ(outcome.stream_checksum, clean_stream_checksum())
+      << preset << " seed " << seed << ": health chaos changed the answer";
+  // Evacuation exactly-once: however the schedule played out, no live buffer
+  // was evacuation-migrated twice.
+  for (const auto& [buffer, count] : outcome.moved_counts) {
+    EXPECT_LE(count, 1u) << preset << " seed " << seed << " buffer " << buffer
+                         << "\n" << outcome.evac_log;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultPresetsTimesSeeds, EvacuationChaosTest,
+    ::testing::Combine(
+        ::testing::Range(
+            0, static_cast<int>(fault::FaultInjector::preset_names().size())),
+        ::testing::Values(101, 202, 303)),
+    [](const ::testing::TestParamInfo<EvacuationChaosTest::ParamType>& param) {
+      std::string name = fault::FaultInjector::preset_names()[
+          static_cast<std::size_t>(std::get<0>(param.param))];
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(param.param));
+    });
+
+// The acceptance scenario: under the heavy preset, the node holding STREAM's
+// array `a` is forced offline mid-run. Every live buffer on it must drain
+// (exactly once), the checksum must match a clean run, and the same seed
+// must replay the health narrative byte-for-byte.
+TEST(EvacuationChaosAcceptanceTest, MidRunNodeLossDrainsExactlyOnceAndReplays) {
+  EvacChaosOutcome first;
+  run_stream_evac_chaos("heavy", 4242, /*force_offline=*/true, &first);
+  ASSERT_FALSE(HasFatalFailure());
+
+  EXPECT_EQ(first.victim_state, health::HealthState::kOffline);
+  EXPECT_TRUE(first.victim_drained)
+      << "node " << first.victim << " still holds live buffers\n"
+      << first.evac_log;
+  EXPECT_GE(first.evac_moved, 1u) << first.evac_log;
+  for (const auto& [buffer, count] : first.moved_counts) {
+    EXPECT_EQ(count, 1u) << "buffer " << buffer << " evacuated " << count
+                         << " times\n" << first.evac_log;
+  }
+  EXPECT_NE(first.transition_log.find("machine reports node offline"),
+            std::string::npos)
+      << first.transition_log;
+  EXPECT_DOUBLE_EQ(first.stream_checksum, clean_stream_checksum())
+      << "mid-run evacuation changed the answer";
+
+  // Same-seed replay: byte-identical fault schedule, health transitions,
+  // and evacuation decisions — a chaos failure stays debuggable.
+  EvacChaosOutcome second;
+  run_stream_evac_chaos("heavy", 4242, /*force_offline=*/true, &second);
+  ASSERT_FALSE(HasFatalFailure());
+  EXPECT_EQ(first.fault_fingerprint, second.fault_fingerprint);
+  EXPECT_EQ(first.transition_log, second.transition_log);
+  EXPECT_EQ(first.evac_log, second.evac_log);
+  EXPECT_DOUBLE_EQ(first.stream_checksum, second.stream_checksum);
+
+  // A different seed draws a different schedule (the logs may or may not
+  // differ — the fingerprint must).
+  EvacChaosOutcome other;
+  run_stream_evac_chaos("heavy", 4243, /*force_offline=*/true, &other);
+  ASSERT_FALSE(HasFatalFailure());
+  EXPECT_NE(first.fault_fingerprint, other.fault_fingerprint);
+}
+
+// Graph500 under the heavy preset with the health loop attached: BFS must
+// produce a tree that validates even when health chaos relocates the graph
+// mid-search.
+TEST(EvacuationChaosAcceptanceTest, Graph500ValidatesUnderHealthChaos) {
+  sim::SimMachine machine(topo::xeon_clx_snc_1lm());
+  const support::Bitmap initiator = first_initiator(machine.topology());
+  ASSERT_FALSE(initiator.empty());
+  attr::MemAttrRegistry registry(machine.topology());
+  ASSERT_TRUE(
+      hmat::load_into(registry, hmat::generate(machine.topology())).ok());
+  alloc::HeterogeneousAllocator allocator(machine, registry);
+  allocator.set_retry_policy({.max_transient_retries = 8});
+  fault::FaultInjector injector = fault::FaultInjector::preset("heavy", 31337);
+  machine.set_fault_injector(&injector);
+
+  apps::Graph500Config config;
+  config.scale_declared = 16;
+  config.scale_backing = 12;
+  config.threads = 4;
+  config.num_roots = 2;
+  apps::Graph500Placement placement =
+      apps::Graph500Placement::by_attribute(attr::kLatency);
+  placement.graph.attribute_rescue = true;
+  placement.parents.attribute_rescue = true;
+  placement.frontier.attribute_rescue = true;
+  auto runner = apps::Graph500Runner::create(machine, &allocator, initiator,
+                                             config, placement);
+  ASSERT_TRUE(runner.ok());
+
+  runtime::RuntimePolicy policy(allocator, initiator, health_policy_options());
+  health::HealthMonitor monitor(machine, registry);
+  health::Evacuator evacuator(allocator, policy.mutable_engine(), initiator);
+  health::attach_health(policy, monitor, evacuator);
+  policy.attach((*runner)->exec(), [&] { (*runner)->refresh_arrays(); });
+
+  auto result = (*runner)->run();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_GT(result->harmonic_mean_teps, 0.0);
+  EXPECT_TRUE((*runner)->validate_last_tree().ok())
+      << "health chaos corrupted the BFS answer";
+  machine.set_fault_injector(nullptr);
+}
+
+}  // namespace
+}  // namespace hetmem
