@@ -14,11 +14,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hetmem/memattr/memattr.hpp"
 #include "hetmem/simmem/machine.hpp"
 #include "hetmem/support/result.hpp"
+#include "hetmem/tenant/tenant.hpp"
 
 namespace hetmem::alloc {
 
@@ -62,6 +64,18 @@ struct AllocRequest {
   /// by default: the ranking already sinks quarantined targets to the
   /// bottom, and best-effort callers prefer degraded placement over failure.
   bool admission_control = false;
+  /// Multi-tenant service path (docs/TENANCY.md): when set, the request is
+  /// charged against the tenant's quota and admitted through the machine's
+  /// degradation ladder — under pressure a low-priority tenant's request is
+  /// first spilled off nearly-full preferred tiers, then shed with
+  /// Errc::kBackpressure carrying a structured retry_after_ms hint. Null
+  /// (the default) is the classic single-application mode, byte-for-byte
+  /// unchanged.
+  tenant::TenantHandle tenant;
+  /// Optional latency budget in ms (0 = none): a shed request's retry-after
+  /// hint never exceeds the deadline, so a deadline-bound client is never
+  /// told to back off past the point where the answer stops mattering.
+  std::uint64_t deadline_ms = 0;
 };
 
 /// Bounded retry for transient (kTransient) target failures — injected
@@ -97,9 +111,21 @@ struct AllocatorStats {
   std::uint64_t bytes_migrated = 0;
   std::uint64_t transient_retries = 0;   // kTransient failures retried
   std::uint64_t attribute_rescues = 0;   // degraded to kCapacity ranking
-  /// Requests refused with kBackpressure because admission control withheld
-  /// every target that still had room (all quarantined/offline).
+  /// Requests refused with kBackpressure, all reasons (the sum of the three
+  /// per-reason counters below).
   std::uint64_t backpressure_rejections = 0;
+  /// ... because admission control withheld every target that still had
+  /// room (all quarantined/offline).
+  std::uint64_t backpressure_health = 0;
+  /// ... because the tenant's quota (total or every reachable tier cap)
+  /// could not absorb the request.
+  std::uint64_t backpressure_quota = 0;
+  /// ... because the degradation ladder shed the request outright for its
+  /// priority class at the current overload level.
+  std::uint64_t backpressure_shed = 0;
+  /// Tenanted allocations that landed only after the ladder's spill pass
+  /// steered them off a nearly-full preferred node.
+  std::uint64_t tenant_spills = 0;
 };
 
 struct TraceEvent {
@@ -237,6 +263,33 @@ class HeterogeneousAllocator {
     return migration_model_;
   }
 
+  // --- multi-tenant service surface (docs/TENANCY.md) ---
+
+  /// Installs the tenant registry whose ladder options and operator override
+  /// govern tenanted admission. Setup-time configuration (like
+  /// add_size_rule): install before sharing the allocator across threads.
+  /// Without a registry, tenanted requests still enforce their quotas and
+  /// ride a default-configured ladder.
+  void set_tenant_registry(const tenant::TenantRegistry* registry) {
+    tenant_registry_ = registry;
+  }
+  [[nodiscard]] const tenant::TenantRegistry* tenant_registry() const {
+    return tenant_registry_;
+  }
+
+  /// The owner of a tenanted buffer; null for untenanted or freed buffers.
+  /// What the GlobalArbiter keys its budget draws on.
+  [[nodiscard]] tenant::TenantHandle tenant_of(sim::BufferId buffer) const;
+
+  /// The machine-wide overload level tenanted admission currently sees:
+  /// the ladder applied to the healthy free fraction (online, unquarantined
+  /// capacity only), raised to any operator override.
+  [[nodiscard]] tenant::OverloadLevel overload_level() const;
+
+  /// Free fraction of healthy capacity — the ladder's input, exposed for
+  /// telemetry and the stress harness.
+  [[nodiscard]] double healthy_free_fraction() const;
+
  private:
   /// Internal statistics: one atomic per counter so concurrent allocators
   /// never contend on a stats lock. stats() snapshots them into the plain
@@ -252,11 +305,61 @@ class HeterogeneousAllocator {
     std::atomic<std::uint64_t> transient_retries{0};
     std::atomic<std::uint64_t> attribute_rescues{0};
     std::atomic<std::uint64_t> backpressure_rejections{0};
+    std::atomic<std::uint64_t> backpressure_health{0};
+    std::atomic<std::uint64_t> backpressure_quota{0};
+    std::atomic<std::uint64_t> backpressure_shed{0};
+    std::atomic<std::uint64_t> tenant_spills{0};
+  };
+
+  /// Per-request tenant admission state threaded through the ranking walk.
+  struct TenantGate {
+    tenant::Tenant* tenant = nullptr;
+    tenant::OverloadLevel level = tenant::OverloadLevel::kNormal;
+    /// Skip nearly-full nodes on the first pass (LadderAction::kSpill).
+    bool spill = false;
+    /// The tenant's total cap refused the charge: no node can help.
+    bool total_cap_hit = false;
+    /// The tenant died (deregistered) mid-walk.
+    bool dead = false;
+    unsigned quota_skipped = 0;  // nodes refused by a tier cap
+    unsigned spill_skipped = 0;  // nodes skipped by the spill pass
+  };
+
+  /// Charge bookkeeping for one live tenanted buffer (keyed by buffer index
+  /// in tenant_charges_; indices are never reused, so a stale key cannot
+  /// alias a new buffer).
+  struct TenantCharge {
+    tenant::TenantHandle tenant;
+    topo::MemoryKind tier = topo::MemoryKind::kDRAM;
+    std::uint64_t bytes = 0;
   };
 
   support::Result<Allocation> try_targets(
       const AllocRequest& request, const std::vector<attr::TargetValue>& ranking,
-      attr::AttrId used_attribute);
+      attr::AttrId used_attribute, TenantGate* gate = nullptr);
+
+  /// The ladder governing tenanted admission: the installed registry's, or
+  /// a default-configured one when no registry is installed.
+  [[nodiscard]] const tenant::DegradationLadder& ladder_in_use() const;
+
+  /// True when every node is offline or carries a non-normal quarantine
+  /// verdict — the admission-control fast-fail predicate (O(nodes) atomic
+  /// reads, no ranking walk).
+  [[nodiscard]] bool no_healthy_online_target(
+      const health::QuarantineList& quarantine) const;
+
+  /// Builds the kBackpressure error for a shed/quota refusal: structured
+  /// retry_after_ms plus the machine-readable "retry-after-ms=" suffix,
+  /// clamped to the request's deadline.
+  [[nodiscard]] static support::Error backpressure_error(
+      const AllocRequest& request, std::string message, std::uint64_t hint_ms);
+
+  /// Records/erases/moves tenant charge-map entries (mutex-guarded; the
+  /// count gate keeps untenanted hot paths lock-free).
+  void record_tenant_charge(sim::BufferId buffer, tenant::TenantHandle tenant,
+                            topo::MemoryKind tier, std::uint64_t bytes);
+  void release_tenant_charge(sim::BufferId buffer);
+  void move_tenant_charge(sim::BufferId buffer, unsigned destination_node);
 
   /// machine_->allocate with bounded kTransient retry (retry_policy()).
   support::Result<sim::BufferId> allocate_with_retry(const AllocRequest& request,
@@ -282,6 +385,15 @@ class HeterogeneousAllocator {
   std::atomic<bool> trace_enabled_{true};
   mutable std::mutex trace_mutex_;
   std::vector<TraceEvent> trace_;
+
+  // --- tenancy state ---
+  const tenant::TenantRegistry* tenant_registry_ = nullptr;
+  std::vector<topo::MemoryKind> node_kinds_;  // by logical index
+  /// Live tenanted buffers only; erased on free, re-tiered on migrate. The
+  /// atomic count lets untenanted mem_free/migrate skip the lock entirely.
+  mutable std::mutex tenant_mutex_;
+  std::unordered_map<std::uint32_t, TenantCharge> tenant_charges_;
+  std::atomic<std::size_t> tenant_charge_count_{0};
 };
 
 }  // namespace hetmem::alloc

@@ -36,6 +36,8 @@ enum {
   HETMEM_ERR_UNSUPPORTED = -4,
   HETMEM_ERR_PARSE = -5,
   HETMEM_ERR_INTERNAL = -6,
+  HETMEM_ERR_AGAIN = -7,     /* backpressure / transient: retry later
+                              * (see hetmem_last_retry_after_ms) */
 };
 
 /* Built-in attribute ids (match hetmem::attr::k*). */
@@ -140,6 +142,55 @@ int hetmem_migrate(hetmem_context* ctx, int64_t buffer, unsigned node,
 
 /* Free/used bytes on a node. */
 uint64_t hetmem_node_available(const hetmem_context* ctx, unsigned node);
+
+/* --- multi-tenant service (docs/TENANCY.md) ------------------------------ */
+
+/* Tenant priority classes (match hetmem::tenant::Priority). */
+enum {
+  HETMEM_PRIORITY_CRITICAL = 0,
+  HETMEM_PRIORITY_NORMAL = 1,
+  HETMEM_PRIORITY_BEST_EFFORT = 2,
+};
+
+/* Backpressure rejection reasons (hetmem_backpressure_rejections). */
+enum {
+  HETMEM_BACKPRESSURE_TOTAL = 0,  /* sum of the three reasons below */
+  HETMEM_BACKPRESSURE_HEALTH = 1, /* every target quarantined/offline */
+  HETMEM_BACKPRESSURE_QUOTA = 2,  /* tenant quota cannot absorb the bytes */
+  HETMEM_BACKPRESSURE_SHED = 3,   /* degradation ladder shed the request */
+};
+
+/* Registers a tenant; returns its id (>= 1) or a negative error.
+ * `priority` is a HETMEM_PRIORITY_* value; `total_cap_bytes` caps the
+ * tenant's machine-wide usage (0 = unlimited); `share_weight` (> 0) scales
+ * its migration-budget share. Duplicate names are HETMEM_ERR_INVALID. */
+int64_t hetmem_tenant_register(hetmem_context* ctx, const char* name,
+                               int priority, uint64_t total_cap_bytes,
+                               double share_weight);
+
+/* Deregisters a tenant. Its live buffers stay valid (and keep refunding the
+ * quota as they are freed) but new allocations under the id are refused. */
+int hetmem_tenant_deregister(hetmem_context* ctx, int64_t tenant);
+
+/* hetmem_alloc charged against a tenant's quota and admitted through the
+ * degradation ladder. On HETMEM_ERR_AGAIN the structured retry hint is
+ * readable via hetmem_last_retry_after_ms. */
+int64_t hetmem_alloc_tenant(hetmem_context* ctx, uint64_t bytes, int attr,
+                            const char* initiator, int policy,
+                            const char* label, int64_t tenant);
+
+/* Bytes currently charged to the tenant across all tiers; 0 on error. */
+uint64_t hetmem_tenant_used_bytes(const hetmem_context* ctx, int64_t tenant);
+
+/* Allocator backpressure rejections broken down by reason (a
+ * HETMEM_BACKPRESSURE_* value). Returns the count, or 0 on error. */
+uint64_t hetmem_backpressure_rejections(const hetmem_context* ctx, int reason);
+
+/* retry-after hint (ms) carried by the most recent HETMEM_ERR_AGAIN from
+ * hetmem_alloc_tenant; 0 when none was produced yet. Clients should jitter
+ * around it (full-jitter exponential backoff) rather than sleeping exactly
+ * this long in lockstep. */
+uint64_t hetmem_last_retry_after_ms(const hetmem_context* ctx);
 
 #ifdef __cplusplus
 } /* extern "C" */

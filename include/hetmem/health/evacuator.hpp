@@ -53,6 +53,7 @@ enum class EvacVerdict : std::uint8_t {
   kRejectedBreakeven,   // quarantined drain: cost does not amortize
   kRejectedNoTarget,    // no healthy destination has room
   kDeferredBudget,      // epoch byte budget exhausted; retried next epoch
+  kDeferredTenantShare,  // owning tenant's arbiter slice exhausted; retried
   kFailedMigrate,       // machine refused (fault, raced free); retried
 };
 

@@ -34,6 +34,7 @@
 #include "hetmem/alloc/advisor.hpp"
 #include "hetmem/alloc/allocator.hpp"
 #include "hetmem/runtime/classifier.hpp"
+#include "hetmem/tenant/arbiter.hpp"
 
 namespace hetmem::runtime {
 
@@ -58,6 +59,7 @@ enum class Verdict : std::uint8_t {
   kRejectedNoBenefit,   // destination would not be faster for this traffic
   kRejectedBreakeven,   // cost does not amortize within the horizon
   kRejectedBudget,      // deferred: epoch byte budget exhausted
+  kRejectedTenantShare,  // deferred: owning tenant's arbiter slice exhausted
   kFailedMigrate,       // allocator/machine refused (fault, offline, raced)
 };
 
@@ -126,6 +128,26 @@ class MigrationEngine {
   /// remaining budget is smaller.
   bool consume_budget(std::uint64_t epoch_index, std::uint64_t bytes);
 
+  // --- per-tenant arbitration (docs/TENANCY.md) ---
+  //
+  // With an arbiter installed, the epoch budget pool is additionally carved
+  // into per-tenant slices (priority- and deficit-weighted) when each epoch
+  // opens, and every migration — the engine's own and the Evacuator's —
+  // must draw its bytes from the owning tenant's slice before touching the
+  // shared pool. Untenanted buffers bypass the slices entirely.
+
+  /// Installs the arbiter (setup-time, like the rest of the engine's
+  /// configuration; nullptr detaches). Must outlive the engine.
+  void set_arbiter(tenant::GlobalArbiter* arbiter) { arbiter_ = arbiter; }
+  [[nodiscard]] tenant::GlobalArbiter* arbiter() const { return arbiter_; }
+
+  /// Draws `bytes` from the slice of the tenant owning `buffer`. True when
+  /// no arbiter is installed, the buffer is untenanted, or the slice covers
+  /// the draw; false records the denial (feeding next epoch's deficit
+  /// boost) and leaves the shared pool untouched.
+  bool tenant_draw(std::uint64_t epoch_index, sim::BufferId buffer,
+                   std::uint64_t bytes);
+
   /// Deterministic text rendering of the full decision history.
   [[nodiscard]] std::string render_decision_log() const;
 
@@ -149,6 +171,7 @@ class MigrationEngine {
   alloc::HeterogeneousAllocator* allocator_;
   support::Bitmap initiator_;
   EngineOptions options_;
+  tenant::GlobalArbiter* arbiter_ = nullptr;
   std::vector<Decision> decisions_;
   EngineStats stats_;
   std::uint64_t max_epoch_bytes_ = 0;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
@@ -50,6 +51,11 @@ enum class Errc {
 struct Error {
   Errc code = Errc::kInternal;
   std::string message;
+  /// Structured backpressure hint: for kBackpressure errors, the earliest
+  /// time (ms from now) the service suggests retrying — 0 when the producer
+  /// has no estimate. Clients should jitter around it (tenant::Backoff)
+  /// rather than sleeping exactly this long in lockstep.
+  std::uint64_t retry_after_ms = 0;
 
   [[nodiscard]] std::string to_string() const {
     return std::string(errc_name(code)) + ": " + message;

@@ -1,6 +1,7 @@
 #include "hetmem/alloc/allocator.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "hetmem/support/units.hpp"
 
@@ -20,6 +21,11 @@ HeterogeneousAllocator::HeterogeneousAllocator(sim::SimMachine& machine,
   for (std::size_t n = 0; n < node_count_; ++n) {
     reserved_[n].store(0, std::memory_order_relaxed);
   }
+  node_kinds_.reserve(node_count_);
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    node_kinds_.push_back(
+        machine.topology().numa_node(static_cast<unsigned>(n))->memory_kind());
+  }
 }
 
 AllocatorStats HeterogeneousAllocator::stats() const {
@@ -37,6 +43,13 @@ AllocatorStats HeterogeneousAllocator::stats() const {
       stats_.attribute_rescues.load(std::memory_order_relaxed);
   snapshot.backpressure_rejections =
       stats_.backpressure_rejections.load(std::memory_order_relaxed);
+  snapshot.backpressure_health =
+      stats_.backpressure_health.load(std::memory_order_relaxed);
+  snapshot.backpressure_quota =
+      stats_.backpressure_quota.load(std::memory_order_relaxed);
+  snapshot.backpressure_shed =
+      stats_.backpressure_shed.load(std::memory_order_relaxed);
+  snapshot.tenant_spills = stats_.tenant_spills.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -76,71 +89,88 @@ Result<sim::BufferId> HeterogeneousAllocator::allocate_with_retry(
 
 Result<Allocation> HeterogeneousAllocator::try_targets(
     const AllocRequest& request, const std::vector<attr::TargetValue>& ranking,
-    attr::AttrId used_attribute) {
+    attr::AttrId used_attribute, TenantGate* gate) {
   const bool allow_fallback = request.policy != Policy::kStrict;
   const health::QuarantineList* quarantine =
       request.admission_control ? registry_->quarantine_list() : nullptr;
+  tenant::Tenant* tenant = gate != nullptr ? gate->tenant : nullptr;
+  // Strict binding means "this node or nothing" — the ladder's spill pass
+  // (which exists to steer requests elsewhere) does not apply.
+  const bool spill_enabled = gate != nullptr && gate->spill && allow_fallback;
+  const double spill_occupancy =
+      ladder_in_use().options().spill_node_occupancy;
   unsigned withheld = 0;
-  unsigned rank = 0;
-  for (const attr::TargetValue& candidate : ranking) {
-    const unsigned node = candidate.target->logical_index();
-    if (!machine_->node_online(node)) {
-      // Dead target: an offline node reads zero usable bytes anyway, but
-      // skipping it here avoids the capacity math and lets strict binding
-      // report "offline" instead of "full".
-      if (!allow_fallback) {
-        stats_.failures.fetch_add(1, std::memory_order_relaxed);
-        return make_error(Errc::kOutOfCapacity,
-                          "node " + std::to_string(node) + " is offline");
+  // Total-cap / dead-tenant refusals are node-independent: once seen, no
+  // further node (nor the default-order rescue) can admit the request.
+  bool stop_walk = false;
+
+  // A nearly-full node for the spill pass.
+  auto node_hot = [&](unsigned node) {
+    const std::uint64_t capacity = machine_->capacity_bytes(node);
+    if (capacity == 0) return false;
+    const std::uint64_t usable = std::min(capacity, usable_bytes(node));
+    return static_cast<double>(capacity - usable) >=
+           spill_occupancy * static_cast<double>(capacity);
+  };
+
+  // Attempts one node: quota charge, then the machine allocation. Returns
+  // the final Result when the walk must end here (success or hard failure),
+  // nullopt to keep walking. `charged` quota is rolled back on any failure.
+  auto attempt_node = [&](unsigned node, unsigned rank,
+                          const char* note) -> std::optional<Result<Allocation>> {
+    bool charged = false;
+    if (tenant != nullptr) {
+      switch (tenant->try_charge(node_kinds_[node], request.bytes)) {
+        case tenant::ChargeResult::kOk:
+          charged = true;
+          break;
+        case tenant::ChargeResult::kTierCapExceeded:
+          // This tier is out of quota for the tenant; another tier down the
+          // ranking may still have room. Strict binding has no other tier.
+          ++gate->quota_skipped;
+          if (!allow_fallback) stop_walk = true;
+          return std::nullopt;
+        case tenant::ChargeResult::kTotalCapExceeded:
+          gate->total_cap_hit = true;
+          stop_walk = true;
+          return std::nullopt;
+        case tenant::ChargeResult::kTenantDead:
+          gate->dead = true;
+          stop_walk = true;
+          return std::nullopt;
       }
-      ++rank;
-      continue;
-    }
-    if (quarantine != nullptr &&
-        quarantine->verdict(node) != health::PlacementVerdict::kNormal) {
-      // Admission control: a quarantined target may not absorb this request
-      // even as a last resort — count it so exhaustion reports backpressure
-      // rather than out-of-capacity.
-      if (request.bytes <= usable_bytes(node)) ++withheld;
-      if (!allow_fallback) {
-        stats_.failures.fetch_add(1, std::memory_order_relaxed);
-        stats_.backpressure_rejections.fetch_add(1, std::memory_order_relaxed);
-        return make_error(Errc::kBackpressure,
-                          "node " + std::to_string(node) +
-                              " is quarantined and admission control is on");
-      }
-      ++rank;
-      continue;
-    }
-    if (request.bytes > usable_bytes(node)) {
-      // Reserved space is off-limits to ordinary allocations.
-      if (!allow_fallback) {
-        stats_.failures.fetch_add(1, std::memory_order_relaxed);
-        return make_error(Errc::kOutOfCapacity,
-                          "node " + std::to_string(node) +
-                              " lacks unreserved room for '" + request.label +
-                              "'");
-      }
-      ++rank;
-      continue;
     }
     auto buffer = allocate_with_retry(request, node);
     if (buffer.ok()) {
+      const bool spilled = spill_enabled && gate->spill_skipped > 0;
       Allocation allocation{*buffer, node, used_attribute, rank, rank > 0};
       stats_.allocations.fetch_add(1, std::memory_order_relaxed);
       stats_.bytes_allocated.fetch_add(request.bytes, std::memory_order_relaxed);
       if (rank > 0) stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+      if (charged) {
+        record_tenant_charge(*buffer, request.tenant, node_kinds_[node],
+                             request.bytes);
+        tenant->note_admitted();
+        if (spilled) {
+          stats_.tenant_spills.fetch_add(1, std::memory_order_relaxed);
+          tenant->note_spilled();
+        }
+      }
       // The guard keeps event construction (string concatenation plus a
       // registry info() lock) off the hot path when tracing is disabled.
       if (trace_enabled()) {
-        record_trace(TraceEvent{
-            TraceEvent::Kind::kAlloc, request.label, node, request.bytes,
-            registry_->info(used_attribute).name +
-                (rank > 0 ? " (fallback rank " + std::to_string(rank) + ")"
-                          : "")});
+        std::string detail = registry_->info(used_attribute).name;
+        if (note != nullptr) detail = note;
+        if (rank > 0 && note == nullptr) {
+          detail += " (fallback rank " + std::to_string(rank) + ")";
+        }
+        if (spilled) detail += " (ladder spill)";
+        record_trace(TraceEvent{TraceEvent::Kind::kAlloc, request.label, node,
+                                request.bytes, std::move(detail)});
       }
-      return allocation;
+      return Result<Allocation>(allocation);
     }
+    if (charged) tenant->uncharge(node_kinds_[node], request.bytes);
     // Transient failures that survived the bounded retry are treated like a
     // full target: log and walk down the ranking instead of giving up.
     const bool recoverable = buffer.error().code == Errc::kOutOfCapacity ||
@@ -149,21 +179,85 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
       stats_.failures.fetch_add(1, std::memory_order_relaxed);
       record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, node,
                               request.bytes, buffer.error().to_string()});
-      return buffer.error();
+      return Result<Allocation>(buffer.error());
     }
     if (buffer.error().code == Errc::kTransient) {
       record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, node,
                               request.bytes,
                               "transient retries exhausted, falling back"});
     }
-    ++rank;
+    return std::nullopt;
+  };
+
+  // The spill pass walks the ranking twice: first skipping nearly-full
+  // nodes (steering the low-priority request toward colder tiers), then —
+  // only if nothing placed — admitting it anywhere: the ladder wants the
+  // request displaced, not failed.
+  const int passes = spill_enabled ? 2 : 1;
+  for (int pass = 0; pass < passes && !stop_walk; ++pass) {
+    const bool skip_hot = spill_enabled && pass == 0;
+    unsigned rank = 0;
+    for (const attr::TargetValue& candidate : ranking) {
+      if (stop_walk) break;
+      const unsigned node = candidate.target->logical_index();
+      if (!machine_->node_online(node)) {
+        // Dead target: an offline node reads zero usable bytes anyway, but
+        // skipping it here avoids the capacity math and lets strict binding
+        // report "offline" instead of "full".
+        if (!allow_fallback) {
+          stats_.failures.fetch_add(1, std::memory_order_relaxed);
+          return make_error(Errc::kOutOfCapacity,
+                            "node " + std::to_string(node) + " is offline");
+        }
+        ++rank;
+        continue;
+      }
+      if (quarantine != nullptr &&
+          quarantine->verdict(node) != health::PlacementVerdict::kNormal) {
+        // Admission control: a quarantined target may not absorb this request
+        // even as a last resort — count it so exhaustion reports backpressure
+        // rather than out-of-capacity.
+        if (request.bytes <= usable_bytes(node)) ++withheld;
+        if (!allow_fallback) {
+          stats_.failures.fetch_add(1, std::memory_order_relaxed);
+          stats_.backpressure_rejections.fetch_add(1, std::memory_order_relaxed);
+          stats_.backpressure_health.fetch_add(1, std::memory_order_relaxed);
+          return make_error(Errc::kBackpressure,
+                            "node " + std::to_string(node) +
+                                " is quarantined and admission control is on");
+        }
+        ++rank;
+        continue;
+      }
+      if (request.bytes > usable_bytes(node)) {
+        // Reserved space is off-limits to ordinary allocations.
+        if (!allow_fallback) {
+          stats_.failures.fetch_add(1, std::memory_order_relaxed);
+          return make_error(Errc::kOutOfCapacity,
+                            "node " + std::to_string(node) +
+                                " lacks unreserved room for '" + request.label +
+                                "'");
+        }
+        ++rank;
+        continue;
+      }
+      if (skip_hot && node_hot(node)) {
+        ++gate->spill_skipped;
+        ++rank;
+        continue;
+      }
+      if (auto done = attempt_node(node, rank, nullptr)) return *done;
+      ++rank;
+    }
   }
 
-  if (request.policy == Policy::kPreferredThenDefault) {
+  if (request.policy == Policy::kPreferredThenDefault && !stop_walk) {
     // OS default order: local nodes by logical index, regardless of the
     // attribute (paper §VII discusses Linux "preferred" semantics).
+    unsigned rank = static_cast<unsigned>(ranking.size());
     for (const topo::Object* node :
          machine_->topology().local_numa_nodes(request.initiator, request.locality)) {
+      if (stop_walk) break;
       const bool already_tried =
           std::any_of(ranking.begin(), ranking.end(), [&](const attr::TargetValue& tv) {
             return tv.target == node;
@@ -184,28 +278,47 @@ Result<Allocation> HeterogeneousAllocator::try_targets(
         ++rank;
         continue;
       }
-      auto buffer = allocate_with_retry(request, node->logical_index());
-      if (buffer.ok()) {
-        Allocation allocation{*buffer, node->logical_index(), used_attribute, rank,
-                              true};
-        stats_.allocations.fetch_add(1, std::memory_order_relaxed);
-        stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
-        stats_.bytes_allocated.fetch_add(request.bytes, std::memory_order_relaxed);
-        record_trace(TraceEvent{TraceEvent::Kind::kAlloc, request.label,
-                                node->logical_index(), request.bytes,
-                                "default-order rescue"});
-        return allocation;
+      // rank >= ranking.size() >= 1 here, so attempt_node already counts the
+      // placement as a fallback and flags fell_back.
+      if (auto done =
+              attempt_node(node->logical_index(), rank, "default-order rescue")) {
+        return *done;
       }
       ++rank;
     }
   }
 
   stats_.failures.fetch_add(1, std::memory_order_relaxed);
+  if (gate != nullptr && gate->dead) {
+    record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, 0,
+                            request.bytes, "tenant deregistered mid-request"});
+    return make_error(Errc::kInvalidArgument,
+                      "tenant '" + gate->tenant->name() +
+                          "' was deregistered; new allocations are refused");
+  }
+  if (gate != nullptr && (gate->total_cap_hit || gate->quota_skipped > 0)) {
+    stats_.backpressure_rejections.fetch_add(1, std::memory_order_relaxed);
+    stats_.backpressure_quota.fetch_add(1, std::memory_order_relaxed);
+    tenant->note_quota_rejection();
+    record_trace(TraceEvent{
+        TraceEvent::Kind::kFail, request.label, 0, request.bytes,
+        gate->total_cap_hit
+            ? "tenant total quota cap exhausted"
+            : "tenant tier quota caps blocked every reachable target"});
+    return backpressure_error(
+        request,
+        "tenant '" + tenant->name() + "' quota cannot absorb " +
+            support::format_bytes(request.bytes) + " for '" + request.label +
+            (gate->total_cap_hit ? "' (total cap reached)"
+                                 : "' (tier caps reached on every target)"),
+        ladder_in_use().options().retry_after_base_ms);
+  }
   if (withheld > 0) {
     // Capacity exists, but only on unhealthy targets this request refused to
     // use: report backpressure (back off, retry after re-probation), not
     // out-of-capacity (which would read as "the machine is full").
     stats_.backpressure_rejections.fetch_add(1, std::memory_order_relaxed);
+    stats_.backpressure_health.fetch_add(1, std::memory_order_relaxed);
     record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, 0,
                             request.bytes,
                             "healthy targets exhausted; " +
@@ -232,6 +345,61 @@ Result<Allocation> HeterogeneousAllocator::mem_alloc(const AllocRequest& request
   if (request.initiator.empty()) {
     return make_error(Errc::kInvalidArgument,
                       "empty initiator: bind the caller to CPUs first");
+  }
+  if (request.admission_control) {
+    // Fast-fail before any ranking work: when every node is quarantined or
+    // offline, the full ranking walk below could only rediscover that fact
+    // one withheld target at a time. Under a storm of admission-controlled
+    // requests that walk (snapshot fetch included) is pure wasted work.
+    const health::QuarantineList* quarantine = registry_->quarantine_list();
+    if (quarantine != nullptr && no_healthy_online_target(*quarantine)) {
+      stats_.failures.fetch_add(1, std::memory_order_relaxed);
+      stats_.backpressure_rejections.fetch_add(1, std::memory_order_relaxed);
+      stats_.backpressure_health.fetch_add(1, std::memory_order_relaxed);
+      record_trace(TraceEvent{TraceEvent::Kind::kFail, request.label, 0,
+                              request.bytes,
+                              "admission fast-fail: every target quarantined "
+                              "or offline"});
+      return make_error(Errc::kBackpressure,
+                        "no healthy target online for '" + request.label +
+                            "': every node is quarantined or offline "
+                            "(admission-control fast-fail)");
+    }
+  }
+  TenantGate gate;
+  if (request.tenant != nullptr) {
+    tenant::Tenant& owner = *request.tenant;
+    if (!owner.live()) {
+      return make_error(Errc::kInvalidArgument,
+                        "tenant '" + owner.name() +
+                            "' was deregistered; new allocations are refused");
+    }
+    gate.tenant = &owner;
+    gate.level = overload_level();
+    switch (ladder_in_use().action(gate.level, owner.priority())) {
+      case tenant::LadderAction::kPlace:
+        break;
+      case tenant::LadderAction::kSpill:
+        gate.spill = true;
+        break;
+      case tenant::LadderAction::kShed: {
+        stats_.failures.fetch_add(1, std::memory_order_relaxed);
+        stats_.backpressure_rejections.fetch_add(1, std::memory_order_relaxed);
+        stats_.backpressure_shed.fetch_add(1, std::memory_order_relaxed);
+        owner.note_shed();
+        record_trace(TraceEvent{
+            TraceEvent::Kind::kFail, request.label, 0, request.bytes,
+            std::string("shed at overload level ") +
+                tenant::overload_level_name(gate.level)});
+        return backpressure_error(
+            request,
+            std::string("request shed for ") +
+                tenant::priority_name(owner.priority()) + " tenant '" +
+                owner.name() + "' at overload level " +
+                tenant::overload_level_name(gate.level),
+            ladder_in_use().retry_after_ms(gate.level, owner.priority()));
+      }
+    }
   }
   // One cached snapshot folds attribute resolution and the resilient ranking:
   // on a hit this is a single lock-free load — no shared_mutex, no per-call
@@ -274,7 +442,8 @@ Result<Allocation> HeterogeneousAllocator::mem_alloc(const AllocRequest& request
     stats_.attribute_rescues.fetch_add(1, std::memory_order_relaxed);
   }
 
-  auto attempt = try_targets(request, *ranking, used_attribute);
+  TenantGate* gate_ptr = gate.tenant != nullptr ? &gate : nullptr;
+  auto attempt = try_targets(request, *ranking, used_attribute, gate_ptr);
   if (attempt.ok() || !request.attribute_rescue ||
       request.policy == Policy::kStrict ||
       attempt.error().code != Errc::kOutOfCapacity ||
@@ -291,7 +460,8 @@ Result<Allocation> HeterogeneousAllocator::mem_alloc(const AllocRequest& request
         attr::kCapacity, request.initiator, request.locality);
   }
   if (capacity_snapshot->targets.empty()) return attempt;
-  auto rescued = try_targets(request, capacity_snapshot->targets, attr::kCapacity);
+  auto rescued = try_targets(request, capacity_snapshot->targets,
+                             attr::kCapacity, gate_ptr);
   if (!rescued.ok()) return attempt;
   stats_.attribute_rescues.fetch_add(1, std::memory_order_relaxed);
   return rescued;
@@ -313,15 +483,118 @@ Status HeterogeneousAllocator::mem_free(sim::BufferId buffer) {
     Status status = machine_->free(buffer);
     if (!status.ok()) return status;
     stats_.frees.fetch_add(1, std::memory_order_relaxed);
+    release_tenant_charge(buffer);
     return {};
   }
   const sim::BufferInfo info = machine_->info(buffer);
   Status status = machine_->free(buffer);
   if (!status.ok()) return status;
   stats_.frees.fetch_add(1, std::memory_order_relaxed);
+  release_tenant_charge(buffer);
   record_trace(TraceEvent{TraceEvent::Kind::kFree, info.label, info.node,
                           info.declared_bytes, ""});
   return {};
+}
+
+void HeterogeneousAllocator::record_tenant_charge(sim::BufferId buffer,
+                                                  tenant::TenantHandle tenant,
+                                                  topo::MemoryKind tier,
+                                                  std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  tenant_charges_[buffer.index] = TenantCharge{std::move(tenant), tier, bytes};
+  tenant_charge_count_.store(tenant_charges_.size(),
+                             std::memory_order_relaxed);
+}
+
+void HeterogeneousAllocator::release_tenant_charge(sim::BufferId buffer) {
+  // The machine's free() succeeds at most once per buffer (double frees fail
+  // before reaching here), so the erase — and with it the quota refund — is
+  // exactly-once. The count gate keeps untenanted frees lock-free.
+  if (tenant_charge_count_.load(std::memory_order_relaxed) == 0) return;
+  TenantCharge charge;
+  {
+    std::lock_guard<std::mutex> lock(tenant_mutex_);
+    auto it = tenant_charges_.find(buffer.index);
+    if (it == tenant_charges_.end()) return;
+    charge = std::move(it->second);
+    tenant_charges_.erase(it);
+    tenant_charge_count_.store(tenant_charges_.size(),
+                               std::memory_order_relaxed);
+  }
+  charge.tenant->uncharge(charge.tier, charge.bytes);
+}
+
+void HeterogeneousAllocator::move_tenant_charge(sim::BufferId buffer,
+                                                unsigned destination_node) {
+  if (tenant_charge_count_.load(std::memory_order_relaxed) == 0) return;
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  auto it = tenant_charges_.find(buffer.index);
+  if (it == tenant_charges_.end()) return;
+  const topo::MemoryKind to = node_kinds_[destination_node];
+  it->second.tenant->move_charge(it->second.tier, to, it->second.bytes);
+  it->second.tier = to;
+}
+
+tenant::TenantHandle HeterogeneousAllocator::tenant_of(
+    sim::BufferId buffer) const {
+  if (tenant_charge_count_.load(std::memory_order_relaxed) == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  auto it = tenant_charges_.find(buffer.index);
+  return it == tenant_charges_.end() ? nullptr : it->second.tenant;
+}
+
+const tenant::DegradationLadder& HeterogeneousAllocator::ladder_in_use() const {
+  static const tenant::DegradationLadder kDefaultLadder;
+  return tenant_registry_ != nullptr ? tenant_registry_->ladder()
+                                     : kDefaultLadder;
+}
+
+double HeterogeneousAllocator::healthy_free_fraction() const {
+  const health::QuarantineList* quarantine = registry_->quarantine_list();
+  std::uint64_t free_bytes = 0;
+  std::uint64_t capacity = 0;
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    const unsigned node = static_cast<unsigned>(n);
+    if (!machine_->node_online(node)) continue;
+    if (quarantine != nullptr &&
+        quarantine->verdict(node) != health::PlacementVerdict::kNormal) {
+      continue;
+    }
+    capacity += machine_->capacity_bytes(node);
+    free_bytes += usable_bytes(node);
+  }
+  return capacity == 0
+             ? 0.0
+             : static_cast<double>(free_bytes) / static_cast<double>(capacity);
+}
+
+tenant::OverloadLevel HeterogeneousAllocator::overload_level() const {
+  const double fraction = healthy_free_fraction();
+  return tenant_registry_ != nullptr
+             ? tenant_registry_->effective_level(fraction)
+             : ladder_in_use().level_for(fraction);
+}
+
+bool HeterogeneousAllocator::no_healthy_online_target(
+    const health::QuarantineList& quarantine) const {
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    const unsigned node = static_cast<unsigned>(n);
+    if (machine_->node_online(node) &&
+        quarantine.verdict(node) == health::PlacementVerdict::kNormal) {
+      return false;
+    }
+  }
+  return true;
+}
+
+support::Error HeterogeneousAllocator::backpressure_error(
+    const AllocRequest& request, std::string message, std::uint64_t hint_ms) {
+  if (request.deadline_ms > 0) hint_ms = std::min(hint_ms, request.deadline_ms);
+  support::Error error =
+      make_error(Errc::kBackpressure, std::move(message) + "; retry-after-ms=" +
+                                          std::to_string(hint_ms));
+  error.retry_after_ms = hint_ms;
+  return error;
 }
 
 double HeterogeneousAllocator::estimate_migration_cost_ns(
@@ -350,6 +623,7 @@ Result<double> HeterogeneousAllocator::migrate(sim::BufferId buffer,
   }
   if (before.node == destination_node) return 0.0;
 
+  move_tenant_charge(buffer, destination_node);
   stats_.migrations.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_migrated.fetch_add(before.declared_bytes,
                                   std::memory_order_relaxed);
@@ -361,6 +635,11 @@ Result<double> HeterogeneousAllocator::migrate(sim::BufferId buffer,
 
 Result<HeterogeneousAllocator::HybridAllocation>
 HeterogeneousAllocator::mem_alloc_hybrid(const AllocRequest& request) {
+  if (request.tenant != nullptr) {
+    return make_error(Errc::kUnsupported,
+                      "hybrid allocations are not quota-accounted; "
+                      "tenanted requests must use mem_alloc");
+  }
   // Whole-buffer placement on the BEST target first. (Not the full ranking:
   // the point of a hybrid allocation is to keep part of the buffer on the
   // fast target instead of pushing all of it down the ranking, §VII.)
@@ -444,6 +723,11 @@ HeterogeneousAllocator::mem_alloc_interleaved(const AllocRequest& request,
                                               unsigned max_ways) {
   if (max_ways == 0 || request.bytes == 0 || request.initiator.empty()) {
     return make_error(Errc::kInvalidArgument, "bad interleave request");
+  }
+  if (request.tenant != nullptr) {
+    return make_error(Errc::kUnsupported,
+                      "interleaved allocations are not quota-accounted; "
+                      "tenanted requests must use mem_alloc");
   }
   attr::RankingSnapshot snapshot = registry_->alloc_ranking_cached(
       request.attribute, request.initiator,

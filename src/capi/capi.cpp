@@ -1,5 +1,6 @@
 #include "hetmem/capi.h"
 
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -9,12 +10,15 @@
 #include "hetmem/memattr/memattr.hpp"
 #include "hetmem/probe/probe.hpp"
 #include "hetmem/simmem/machine.hpp"
+#include "hetmem/tenant/tenant.hpp"
 #include "hetmem/topo/presets.hpp"
 
 struct hetmem_context {
   std::unique_ptr<hetmem::sim::SimMachine> machine;
   std::unique_ptr<hetmem::attr::MemAttrRegistry> registry;
+  std::unique_ptr<hetmem::tenant::TenantRegistry> tenants;
   std::unique_ptr<hetmem::alloc::HeterogeneousAllocator> allocator;
+  std::atomic<uint64_t> last_retry_after_ms{0};
 };
 
 namespace {
@@ -30,6 +34,8 @@ int map_errc(support::Errc code) {
     case support::Errc::kParseError: return HETMEM_ERR_PARSE;
     case support::Errc::kAlreadyExists: return HETMEM_ERR_INVALID;
     case support::Errc::kInternal: return HETMEM_ERR_INTERNAL;
+    case support::Errc::kTransient: return HETMEM_ERR_AGAIN;
+    case support::Errc::kBackpressure: return HETMEM_ERR_AGAIN;
   }
   return HETMEM_ERR_INTERNAL;
 }
@@ -65,8 +71,10 @@ hetmem_context* create_context(const char* preset_name, bool probed) {
       return nullptr;
     }
   }
+  ctx->tenants = std::make_unique<tenant::TenantRegistry>();
   ctx->allocator = std::make_unique<alloc::HeterogeneousAllocator>(
       *ctx->machine, *ctx->registry);
+  ctx->allocator->set_tenant_registry(ctx->tenants.get());
   return ctx.release();
 }
 
@@ -238,8 +246,9 @@ int hetmem_memattr_set_value(hetmem_context* ctx, int attr, unsigned node,
   return HETMEM_SUCCESS;
 }
 
-int64_t hetmem_alloc(hetmem_context* ctx, uint64_t bytes, int attr,
-                     const char* initiator, int policy, const char* label) {
+static int64_t alloc_impl(hetmem_context* ctx, uint64_t bytes, int attr,
+                          const char* initiator, int policy, const char* label,
+                          hetmem::tenant::TenantHandle tenant) {
   if (ctx == nullptr || attr < 0) return HETMEM_ERR_INVALID;
   auto cpuset = parse_cpuset(initiator);
   if (!cpuset.has_value()) return HETMEM_ERR_PARSE;
@@ -249,6 +258,7 @@ int64_t hetmem_alloc(hetmem_context* ctx, uint64_t bytes, int attr,
   request.attribute = static_cast<attr::AttrId>(attr);
   request.initiator = *cpuset;
   request.label = label != nullptr ? label : "capi";
+  request.tenant = std::move(tenant);
   switch (policy) {
     case HETMEM_POLICY_STRICT: request.policy = alloc::Policy::kStrict; break;
     case HETMEM_POLICY_RANKED_FALLBACK:
@@ -261,8 +271,19 @@ int64_t hetmem_alloc(hetmem_context* ctx, uint64_t bytes, int attr,
       return HETMEM_ERR_INVALID;
   }
   auto allocation = ctx->allocator->mem_alloc(request);
-  if (!allocation.ok()) return map_errc(allocation.error().code);
+  if (!allocation.ok()) {
+    if (allocation.error().code == support::Errc::kBackpressure) {
+      ctx->last_retry_after_ms.store(allocation.error().retry_after_ms,
+                                     std::memory_order_relaxed);
+    }
+    return map_errc(allocation.error().code);
+  }
   return static_cast<int64_t>(allocation->buffer.index);
+}
+
+int64_t hetmem_alloc(hetmem_context* ctx, uint64_t bytes, int attr,
+                     const char* initiator, int policy, const char* label) {
+  return alloc_impl(ctx, bytes, attr, initiator, policy, label, nullptr);
 }
 
 int hetmem_free(hetmem_context* ctx, int64_t buffer) {
@@ -297,6 +318,68 @@ uint64_t hetmem_node_available(const hetmem_context* ctx, unsigned node) {
     return 0;
   }
   return ctx->machine->available_bytes(node);
+}
+
+int64_t hetmem_tenant_register(hetmem_context* ctx, const char* name,
+                               int priority, uint64_t total_cap_bytes,
+                               double share_weight) {
+  if (ctx == nullptr || name == nullptr || priority < 0 ||
+      priority > HETMEM_PRIORITY_BEST_EFFORT) {
+    return HETMEM_ERR_INVALID;
+  }
+  tenant::TenantQuota quota;
+  if (total_cap_bytes != 0) quota.total_cap_bytes = total_cap_bytes;
+  quota.share_weight = share_weight;
+  auto handle = ctx->tenants->register_tenant(
+      name, static_cast<tenant::Priority>(priority), quota);
+  if (!handle.ok()) return map_errc(handle.error().code);
+  return static_cast<int64_t>((*handle)->id());
+}
+
+int hetmem_tenant_deregister(hetmem_context* ctx, int64_t tenant) {
+  if (ctx == nullptr || tenant <= 0) return HETMEM_ERR_INVALID;
+  tenant::TenantHandle handle =
+      ctx->tenants->find(static_cast<tenant::TenantId>(tenant));
+  if (handle == nullptr) return HETMEM_ERR_NOENT;
+  auto status = ctx->tenants->deregister_tenant(handle);
+  return status.ok() ? HETMEM_SUCCESS : map_errc(status.error().code);
+}
+
+int64_t hetmem_alloc_tenant(hetmem_context* ctx, uint64_t bytes, int attr,
+                            const char* initiator, int policy,
+                            const char* label, int64_t tenant) {
+  if (ctx == nullptr || tenant <= 0) return HETMEM_ERR_INVALID;
+  tenant::TenantHandle handle =
+      ctx->tenants->find(static_cast<tenant::TenantId>(tenant));
+  if (handle == nullptr) return HETMEM_ERR_NOENT;
+  return alloc_impl(ctx, bytes, attr, initiator, policy, label,
+                    std::move(handle));
+}
+
+uint64_t hetmem_tenant_used_bytes(const hetmem_context* ctx, int64_t tenant) {
+  if (ctx == nullptr || tenant <= 0) return 0;
+  tenant::TenantHandle handle =
+      ctx->tenants->find(static_cast<tenant::TenantId>(tenant));
+  return handle == nullptr ? 0 : handle->used_bytes();
+}
+
+uint64_t hetmem_backpressure_rejections(const hetmem_context* ctx,
+                                        int reason) {
+  if (ctx == nullptr) return 0;
+  const alloc::AllocatorStats stats = ctx->allocator->stats();
+  switch (reason) {
+    case HETMEM_BACKPRESSURE_TOTAL: return stats.backpressure_rejections;
+    case HETMEM_BACKPRESSURE_HEALTH: return stats.backpressure_health;
+    case HETMEM_BACKPRESSURE_QUOTA: return stats.backpressure_quota;
+    case HETMEM_BACKPRESSURE_SHED: return stats.backpressure_shed;
+    default: return 0;
+  }
+}
+
+uint64_t hetmem_last_retry_after_ms(const hetmem_context* ctx) {
+  return ctx == nullptr
+             ? 0
+             : ctx->last_retry_after_ms.load(std::memory_order_relaxed);
 }
 
 }  // extern "C"

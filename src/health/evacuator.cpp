@@ -44,6 +44,7 @@ const char* evac_verdict_name(EvacVerdict verdict) {
     case EvacVerdict::kRejectedBreakeven: return "rejected:breakeven";
     case EvacVerdict::kRejectedNoTarget: return "rejected:no-target";
     case EvacVerdict::kDeferredBudget: return "deferred:budget";
+    case EvacVerdict::kDeferredTenantShare: return "deferred:tenant-share";
     case EvacVerdict::kFailedMigrate: return "failed:migrate";
   }
   return "?";
@@ -82,6 +83,7 @@ void Evacuator::log(std::uint64_t epoch, unsigned from_node, unsigned to_node,
       ++stats_.skipped;
       break;
     case EvacVerdict::kDeferredBudget:
+    case EvacVerdict::kDeferredTenantShare:
       ++stats_.deferred;
       break;
     default:
@@ -252,6 +254,17 @@ double Evacuator::drain_epoch(std::uint64_t epoch_index, unsigned node,
               ", budget has " +
               support::format_bytes(engine_->budget_remaining(epoch_index)) +
               " left this epoch");
+      continue;
+    }
+    // Arbiter gate: with per-tenant slices in force, a drain burst for one
+    // tenant cannot starve the others' migration shares either — the drained
+    // bytes come out of the owning tenant's slice, and a denial defers the
+    // buffer to the next epoch exactly like the shared-pool gate above.
+    if (!engine_->tenant_draw(epoch_index, item.buffer, info.declared_bytes)) {
+      log(epoch_index, node, destination, item.buffer,
+          EvacVerdict::kDeferredTenantShare, cost_ns,
+          "owning tenant's slice cannot cover " +
+              support::format_bytes(info.declared_bytes) + " this epoch");
       continue;
     }
 

@@ -28,6 +28,7 @@ const char* verdict_name(Verdict verdict) {
     case Verdict::kRejectedNoBenefit: return "rejected:no-benefit";
     case Verdict::kRejectedBreakeven: return "rejected:breakeven";
     case Verdict::kRejectedBudget: return "rejected:budget";
+    case Verdict::kRejectedTenantShare: return "rejected:tenant-share";
     case Verdict::kFailedMigrate: return "failed:migrate";
   }
   return "?";
@@ -44,6 +45,18 @@ void MigrationEngine::ensure_epoch(std::uint64_t epoch_index) {
   if (budget_epoch_ == epoch_index) return;
   budget_epoch_ = epoch_index;
   budget_left_ = options_.epoch_budget_bytes;
+  if (arbiter_ != nullptr) {
+    arbiter_->begin_epoch(epoch_index, options_.epoch_budget_bytes);
+  }
+}
+
+bool MigrationEngine::tenant_draw(std::uint64_t epoch_index,
+                                  sim::BufferId buffer, std::uint64_t bytes) {
+  if (arbiter_ == nullptr) return true;
+  ensure_epoch(epoch_index);
+  const tenant::TenantHandle owner = allocator_->tenant_of(buffer);
+  const tenant::TenantId id = owner != nullptr ? owner->id() : tenant::kNoTenant;
+  return arbiter_->try_draw(epoch_index, id, bytes);
 }
 
 std::uint64_t MigrationEngine::budget_remaining(std::uint64_t epoch_index) {
@@ -294,6 +307,15 @@ double MigrationEngine::run_epoch(std::uint64_t epoch_index,
           cost_ns,
           "needs " + support::format_bytes(move_bytes) + ", budget has " +
               support::format_bytes(budget_left_) + " left this epoch");
+      continue;
+    }
+    // Arbiter gate: the whole move (promotion + its evictions) is charged to
+    // the promoted buffer's tenant — evictions happen on its behalf.
+    if (!tenant_draw(epoch_index, candidate.buffer, move_bytes)) {
+      log(epoch_index, candidate.buffer, Verdict::kRejectedTenantShare,
+          &candidate, cost_ns,
+          "owning tenant's slice cannot cover " +
+              support::format_bytes(move_bytes) + " this epoch");
       continue;
     }
 

@@ -1,0 +1,93 @@
+#include "hetmem/tenant/tenant.hpp"
+
+#include <mutex>
+
+namespace hetmem::tenant {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+using support::Status;
+
+Result<TenantHandle> TenantRegistry::register_tenant(std::string name,
+                                                     Priority priority,
+                                                     TenantQuota quota) {
+  if (name.empty()) {
+    return make_error(Errc::kInvalidArgument, "tenant name must be non-empty");
+  }
+  if (quota.share_weight <= 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "tenant share_weight must be positive");
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (const TenantHandle& existing : tenants_) {
+    if (existing->name() == name) {
+      return make_error(Errc::kAlreadyExists,
+                        "tenant '" + name + "' is already registered");
+    }
+  }
+  auto handle =
+      std::make_shared<Tenant>(next_id_++, std::move(name), priority, quota);
+  tenants_.push_back(handle);
+  return handle;
+}
+
+Status TenantRegistry::deregister_tenant(const TenantHandle& handle) {
+  if (handle == nullptr) {
+    return make_error(Errc::kInvalidArgument, "null tenant handle");
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+    if ((*it)->id() == handle->id()) {
+      // Erase-then-mark under the exclusive lock: the removal happens at
+      // most once, so the tenant leaves the live share weights exactly once
+      // no matter how many racing deregister calls arrive.
+      tenants_.erase(it);
+      handle->live_.store(false, std::memory_order_release);
+      return {};
+    }
+  }
+  return make_error(Errc::kNotFound,
+                    "tenant '" + handle->name() + "' is not registered");
+}
+
+TenantHandle TenantRegistry::find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const TenantHandle& handle : tenants_) {
+    if (handle->name() == name) return handle;
+  }
+  return nullptr;
+}
+
+TenantHandle TenantRegistry::find(TenantId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const TenantHandle& handle : tenants_) {
+    if (handle->id() == id) return handle;
+  }
+  return nullptr;
+}
+
+std::vector<TenantHandle> TenantRegistry::tenants() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return tenants_;
+}
+
+std::size_t TenantRegistry::live_count() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return tenants_.size();
+}
+
+double TenantRegistry::share_fraction(const TenantHandle& handle) const {
+  if (handle == nullptr) return 0.0;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  double total = 0.0;
+  bool live = false;
+  for (const TenantHandle& tenant : tenants_) {
+    total += tenant->quota().share_weight;
+    live |= tenant->id() == handle->id();
+  }
+  if (!live || total <= 0.0) return 0.0;
+  return handle->quota().share_weight / total;
+}
+
+}  // namespace hetmem::tenant

@@ -189,6 +189,50 @@ TEST_F(CapiTest, BadPolicyAndHandlesRejected) {
   EXPECT_EQ(hetmem_buffer_node(ctx_, 1 << 20), HETMEM_ERR_INVALID);
 }
 
+TEST_F(CapiTest, TenantLifecycleAndQuotaBackpressure) {
+  const int64_t tenant = hetmem_tenant_register(
+      ctx_, "analytics", HETMEM_PRIORITY_NORMAL, 1ull << 30, 1.0);
+  ASSERT_GE(tenant, 1);
+  EXPECT_EQ(hetmem_tenant_register(ctx_, "analytics", HETMEM_PRIORITY_NORMAL,
+                                   0, 1.0),
+            HETMEM_ERR_INVALID)
+      << "duplicate name";
+  EXPECT_EQ(hetmem_tenant_register(ctx_, "bad", 42, 0, 1.0),
+            HETMEM_ERR_INVALID);
+
+  // Within quota: charged, then refunded on free.
+  const int64_t held =
+      hetmem_alloc_tenant(ctx_, 64ull << 20, HETMEM_ATTR_LATENCY, kPackage0,
+                          HETMEM_POLICY_RANKED_FALLBACK, "held", tenant);
+  ASSERT_GE(held, 0);
+  EXPECT_EQ(hetmem_tenant_used_bytes(ctx_, tenant), 64ull << 20);
+
+  // Over the 1 GiB total cap: structured backpressure, not ENOMEM — with
+  // the per-reason counter and the machine-readable retry hint exposed.
+  EXPECT_EQ(hetmem_alloc_tenant(ctx_, 2ull << 30, HETMEM_ATTR_LATENCY,
+                                kPackage0, HETMEM_POLICY_RANKED_FALLBACK,
+                                "too-big", tenant),
+            HETMEM_ERR_AGAIN);
+  EXPECT_EQ(hetmem_backpressure_rejections(ctx_, HETMEM_BACKPRESSURE_QUOTA),
+            1u);
+  EXPECT_EQ(hetmem_backpressure_rejections(ctx_, HETMEM_BACKPRESSURE_TOTAL),
+            1u);
+  EXPECT_EQ(hetmem_backpressure_rejections(ctx_, HETMEM_BACKPRESSURE_HEALTH),
+            0u);
+  EXPECT_EQ(hetmem_backpressure_rejections(ctx_, HETMEM_BACKPRESSURE_SHED),
+            0u);
+  EXPECT_GT(hetmem_last_retry_after_ms(ctx_), 0u);
+
+  EXPECT_EQ(hetmem_free(ctx_, held), HETMEM_SUCCESS);
+  EXPECT_EQ(hetmem_tenant_used_bytes(ctx_, tenant), 0u);
+
+  EXPECT_EQ(hetmem_tenant_deregister(ctx_, tenant), HETMEM_SUCCESS);
+  EXPECT_EQ(hetmem_tenant_deregister(ctx_, tenant), HETMEM_ERR_NOENT);
+  EXPECT_EQ(hetmem_alloc_tenant(ctx_, 1024, HETMEM_ATTR_LATENCY, kPackage0,
+                                HETMEM_POLICY_RANKED_FALLBACK, "late", tenant),
+            HETMEM_ERR_NOENT);
+}
+
 TEST(CapiProbed, ProbedContextHasMeasuredValues) {
   hetmem_context* ctx = hetmem_context_create_probed("knl_snc4_flat");
   ASSERT_NE(ctx, nullptr);

@@ -24,6 +24,7 @@
 #include "hetmem/simmem/machine.hpp"
 #include "hetmem/support/rng.hpp"
 #include "hetmem/support/units.hpp"
+#include "hetmem/tenant/tenant.hpp"
 #include "hetmem/topo/presets.hpp"
 
 namespace hetmem {
@@ -634,6 +635,140 @@ TEST(PoolMagazineConcurrency, ThreadExitFlushReturnsEveryBlockExactlyOnce) {
       << "drain should not have grown the pool";
   for (alloc::PoolBlock block : drained) ASSERT_TRUE(pool.free(block).ok());
   pool.flush_thread_magazine();
+}
+
+// --- tenant lifecycle races: quota refunds are exactly-once (TSan lane) ---
+
+// Worker threads allocate and free under a shared tenant handle while the
+// main thread deregisters the tenant mid-storm. Invariants:
+//   - a deregistered tenant's outstanding buffers keep refunding on free
+//     (the quota returns to exactly zero — no double refund, no leak);
+//   - allocations that race the deregistration either succeed (and are
+//     charged) or fail cleanly with kInvalidArgument/kBackpressure;
+//   - the registry's exactly-once contract holds: the second deregister
+//     reports kNotFound even when frees are still in flight.
+TEST(TenantConcurrency, DeregistrationRefundsQuotaExactlyOnce) {
+  AllocatorFixture f;
+  tenant::TenantRegistry tenants;
+  f.allocator.set_tenant_registry(&tenants);
+  const support::Bitmap initiator = f.machine.topology().numa_node(0)->cpuset();
+
+  tenant::TenantQuota quota;
+  quota.total_cap_bytes = 32 * kGiB;
+  auto registered =
+      tenants.register_tenant("racer", tenant::Priority::kNormal, quota);
+  ASSERT_TRUE(registered.ok());
+  tenant::TenantHandle handle = *registered;
+
+  std::atomic<bool> start{false};
+  std::atomic<std::uint64_t> refused{0};
+  std::vector<std::thread> threads;
+  std::vector<std::vector<sim::BufferId>> survivors(kThreads);
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      while (!start.load(std::memory_order_acquire)) {}
+      support::Xoshiro256 rng(0x7e4a47 + tid);
+      std::vector<sim::BufferId> live;
+      for (unsigned op = 0; op < 128; ++op) {
+        if (rng.next_below(2) == 0 || live.empty()) {
+          alloc::AllocRequest request;
+          request.bytes = (1 + rng.next_below(4)) * kMiB;
+          request.attribute = attr::kLatency;
+          request.initiator = initiator;
+          request.backing_bytes = 64;
+          request.label = "tenant.t" + std::to_string(tid);
+          request.tenant = handle;
+          auto allocation = f.allocator.mem_alloc(request);
+          if (allocation.ok()) {
+            live.push_back(allocation->buffer);
+          } else {
+            // Racing the deregistration: only the two clean refusals are
+            // acceptable — never a crash, never a charged-but-failed state.
+            ASSERT_TRUE(allocation.error().code ==
+                            support::Errc::kInvalidArgument ||
+                        allocation.error().code == support::Errc::kBackpressure)
+                << allocation.error().to_string();
+            refused.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          ASSERT_TRUE(f.allocator.mem_free(live.back()).ok());
+          live.pop_back();
+        }
+      }
+      survivors[tid] = std::move(live);
+    });
+  }
+  start.store(true, std::memory_order_release);
+  // Let the storm run, then yank the tenant out from under it.
+  std::this_thread::yield();
+  ASSERT_TRUE(tenants.deregister_tenant(handle).ok());
+  EXPECT_EQ(tenants.deregister_tenant(handle).error().code,
+            support::Errc::kNotFound)
+      << "second deregistration must observe exactly-once semantics";
+  for (std::thread& thread : threads) thread.join();
+
+  // Every surviving buffer is still charged; each free refunds exactly once.
+  std::uint64_t outstanding = 0;
+  for (const auto& per_thread : survivors) {
+    for (sim::BufferId id : per_thread) {
+      outstanding += f.machine.info(id).declared_bytes;
+    }
+  }
+  EXPECT_EQ(handle->used_bytes(), outstanding);
+  for (const auto& per_thread : survivors) {
+    for (sim::BufferId id : per_thread) {
+      ASSERT_TRUE(f.allocator.mem_free(id).ok());
+    }
+  }
+  EXPECT_EQ(handle->used_bytes(), 0u)
+      << "refunds must balance charges exactly (no double refund, no leak)";
+  EXPECT_FALSE(handle->live());
+
+  // New allocations under the dead handle are refused deterministically.
+  alloc::AllocRequest late;
+  late.bytes = kMiB;
+  late.attribute = attr::kLatency;
+  late.initiator = initiator;
+  late.label = "late";
+  late.tenant = handle;
+  auto refused_late = f.allocator.mem_alloc(late);
+  ASSERT_FALSE(refused_late.ok());
+  EXPECT_EQ(refused_late.error().code, support::Errc::kInvalidArgument);
+  EXPECT_EQ(f.machine.live_buffer_count(), 0u);
+}
+
+// Registry churn: registrations, lookups, and deregistrations from many
+// threads never corrupt the live set or reuse an id.
+TEST(TenantConcurrency, RegistryChurnKeepsIdsUniqueAndLiveSetConsistent) {
+  tenant::TenantRegistry tenants;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<tenant::TenantId>> ids(kThreads);
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (unsigned i = 0; i < 64; ++i) {
+        const std::string name =
+            "churn." + std::to_string(tid) + "." + std::to_string(i);
+        auto handle = tenants.register_tenant(
+            name, static_cast<tenant::Priority>(i % 3));
+        ASSERT_TRUE(handle.ok());
+        ids[tid].push_back((*handle)->id());
+        EXPECT_EQ(tenants.find(name), *handle);
+        if (i % 2 == 0) {
+          ASSERT_TRUE(tenants.deregister_tenant(*handle).ok());
+          EXPECT_EQ(tenants.find(name), nullptr);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::set<tenant::TenantId> unique;
+  for (const auto& per_thread : ids) {
+    for (tenant::TenantId id : per_thread) {
+      ASSERT_TRUE(unique.insert(id).second) << "tenant id reused";
+    }
+  }
+  EXPECT_EQ(tenants.live_count(), kThreads * 32u);
 }
 
 }  // namespace

@@ -316,6 +316,41 @@ TEST_F(HealthTest, AllTargetsQuarantinedBackpressuresThenRecovers) {
   EXPECT_TRUE(allocator_.mem_free(recovered->buffer).ok());
 }
 
+TEST_F(HealthTest, AdmissionFastFailSkipsRankingWalkWhenNothingIsHealthy) {
+  // Zero healthy capacity must fail BEFORE the ranking machinery runs: the
+  // fast-fail is the allocator's overload floor, and walking (or warming)
+  // rankings for a request that cannot land anywhere would burn cycles
+  // exactly when the machine is sickest.
+  health::QuarantineList list(node_count());
+  registry_.set_quarantine_list(&list);
+  for (unsigned node = 0; node < node_count(); ++node) {
+    list.set(node, health::PlacementVerdict::kExclude);
+  }
+
+  registry_.reset_ranking_cache_stats();
+  alloc::AllocRequest request;
+  request.bytes = 64 * kMiB;
+  request.attribute = attr::kCapacity;
+  request.initiator = initiator_;
+  request.label = "fast-fail";
+  request.admission_control = true;
+  auto gated = allocator_.mem_alloc(request);
+  ASSERT_FALSE(gated.ok());
+  EXPECT_EQ(gated.error().code, support::Errc::kBackpressure)
+      << gated.error().to_string();
+  EXPECT_NE(gated.error().message.find("quarantined"), std::string::npos);
+
+  const auto cache = registry_.ranking_cache_stats();
+  EXPECT_EQ(cache.hits + cache.misses, 0u)
+      << "fast-fail must not touch the ranking cache";
+  const auto stats = allocator_.stats();
+  EXPECT_GE(stats.backpressure_health, 1u);
+  EXPECT_EQ(stats.backpressure_rejections,
+            stats.backpressure_health + stats.backpressure_quota +
+                stats.backpressure_shed);
+  registry_.set_quarantine_list(nullptr);
+}
+
 TEST_F(HealthTest, AdmissionControlRoutesAroundQuarantinedTarget) {
   health::QuarantineList list(node_count());
   registry_.set_quarantine_list(&list);
