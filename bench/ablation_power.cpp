@@ -1,0 +1,406 @@
+// Power-aware placement ablation: BENCH_power.json (docs/POWER.md).
+//
+// Two deterministic scenarios on the KNL SNC-4 machine (4x 24 GiB DRAM +
+// 4x 4 GiB MCDRAM, static floor 15.2 W under the docs/POWER.md calibration),
+// everything computed from the perf/power models — no wall clock, no RNG;
+// the same binary writes the same JSON every run.
+//
+//   cap        six 1 GiB streaming buffers placed one at a time, traffic
+//              modeled between placements (an occupied node streams at its
+//              effective read bandwidth). "plain" first-fits the bandwidth
+//              ranking and ignores the watt budget; "aware" places through
+//              PowerGovernor::placement_ranking and runs the governor each
+//              epoch, so placement flips to bandwidth-per-watt near the cap
+//              and the governor drains the over-budget node.
+//   throttle   a hot MCDRAM node pushes draw over the cap while its only
+//              drain destination is full: the governor's offender streak
+//              escalates to thermal-throttle events, the HealthMonitor
+//              quarantines the node (rankings sink it), freeing the
+//              destination lets the drain evacuate the buffers, and the
+//              clean-streak hysteresis walks the node back to healthy.
+//
+// Gates (--check exits 1 when any fails):
+//   cap        the plain placement breaches the cap while the governed one
+//              lands under it — or, if plain happens to fit, the governed
+//              placement must win >= 10% bandwidth-per-watt;
+//   throttle   sustained over-cap pressure produced throttle events and a
+//              quarantine, AND the quarantined node sank to the bottom of
+//              the resilient bandwidth ranking;
+//   evacuate   once the destination had room, the governor drained every
+//              hot buffer off the throttled node through the shared engine
+//              budget;
+//   recover    with pressure gone the node returned to healthy, the ranking
+//              restored it, and machine draw settled under the cap.
+//
+// Usage: ablation_power [--out FILE] [--check]
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "hetmem/health/health.hpp"
+#include "hetmem/power/governor.hpp"
+#include "hetmem/power/power.hpp"
+#include "hetmem/runtime/engine.hpp"
+#include "hetmem/simmem/perf_model.hpp"
+
+namespace {
+
+using namespace hetmem;
+using support::kGiB;
+using support::kMiB;
+
+struct Testbed {
+  Testbed()
+      : machine(topo::knl_snc4_flat()),
+        registry(machine.topology()),
+        allocator(machine, registry),
+        initiator(machine.topology().numa_node(0)->cpuset()),
+        engine(allocator, initiator, {}) {
+    (void)hmat::load_into(registry, hmat::generate(machine.topology()));
+    (void)power::feed_registry(registry, machine);
+    allocator.set_trace_enabled(false);
+  }
+
+  [[nodiscard]] unsigned cluster0_dram() const { return 0; }
+  [[nodiscard]] unsigned cluster0_hbm() const {
+    for (const topo::Object* node : machine.topology().numa_nodes()) {
+      if (node->memory_kind() == topo::MemoryKind::kHBM &&
+          node->cpuset().intersects(initiator)) {
+        return node->logical_index();
+      }
+    }
+    return 0;
+  }
+
+  [[nodiscard]] double saturated_read_bw(unsigned node) const {
+    return machine.perf_model().effective(node, kGiB, true).read_bw;
+  }
+
+  /// Saturated dynamic watts of one node: read bandwidth * read energy.
+  [[nodiscard]] double saturated_dynamic_watts(unsigned node) const {
+    return saturated_read_bw(node) *
+           machine.perf_model().node_power(node).read_nj_per_byte * 1e-9;
+  }
+
+  [[nodiscard]] double machine_draw() const {
+    double total = 0.0;
+    for (const topo::Object* node : machine.topology().numa_nodes()) {
+      total += machine.power_draw_watts(node->logical_index());
+    }
+    return total;
+  }
+
+  /// One modeled second of workload: every node holding a hot buffer
+  /// streams at its effective read bandwidth; idle nodes record zero
+  /// traffic so their EMA decays.
+  void traffic_epoch(const std::vector<sim::BufferId>& hot) {
+    std::vector<std::uint64_t> read(machine.topology().numa_nodes().size(), 0);
+    for (sim::BufferId buffer : hot) {
+      const sim::BufferInfo info = machine.info(buffer);
+      if (info.freed) continue;
+      read[info.node] =
+          static_cast<std::uint64_t>(saturated_read_bw(info.node));
+    }
+    for (unsigned node = 0; node < read.size(); ++node) {
+      machine.record_node_traffic(node, read[node], 0, 1e9);
+    }
+  }
+
+  /// Sum of effective read bandwidth over nodes holding a hot buffer — the
+  /// node-saturation model of the workload's aggregate bandwidth.
+  [[nodiscard]] double aggregate_bw(const std::vector<sim::BufferId>& hot) const {
+    std::vector<bool> occupied(machine.topology().numa_nodes().size(), false);
+    double total = 0.0;
+    for (sim::BufferId buffer : hot) {
+      const sim::BufferInfo info = machine.info(buffer);
+      if (info.freed || occupied[info.node]) continue;
+      occupied[info.node] = true;
+      total += saturated_read_bw(info.node);
+    }
+    return total;
+  }
+
+  sim::SimMachine machine;
+  attr::MemAttrRegistry registry;
+  alloc::HeterogeneousAllocator allocator;
+  support::Bitmap initiator;
+  runtime::MigrationEngine engine;
+};
+
+/// The cap both scenarios use: static floor plus half of one saturated
+/// MCDRAM stream. Room for DRAM-resident work, not for a hot MCDRAM node.
+double pick_cap(const Testbed& bed) {
+  double floor = 0.0;
+  for (const topo::Object* node : bed.machine.topology().numa_nodes()) {
+    floor += bed.machine.power_draw_watts(node->logical_index());
+  }
+  return floor + 0.5 * bed.saturated_dynamic_watts(bed.cluster0_hbm());
+}
+
+constexpr int kBuffers = 6;
+constexpr int kSettleEpochs = 8;
+
+struct CapResult {
+  double cap_watts = 0.0;
+  double final_draw_watts = 0.0;
+  double aggregate_gbps = 0.0;
+  double bw_per_watt = 0.0;  // GB/s per watt
+  std::uint64_t governor_drains = 0;
+  std::vector<unsigned> placement;  // landing node per buffer, in order
+};
+
+/// Places kBuffers streaming buffers one at a time with a traffic epoch in
+/// between, `governed` deciding whether the PowerGovernor both ranks the
+/// placement and runs each epoch.
+CapResult run_cap_scenario(bool governed) {
+  Testbed bed;
+  CapResult result;
+  result.cap_watts = pick_cap(bed);
+  bed.machine.set_power_cap_watts(result.cap_watts);
+  power::PowerGovernor governor(bed.allocator, bed.engine, bed.initiator);
+
+  const attr::Initiator initiator = attr::Initiator::from_cpuset(bed.initiator);
+  std::vector<sim::BufferId> hot;
+  std::uint64_t epoch = 0;
+  for (int i = 0; i < kBuffers; ++i) {
+    const std::vector<attr::TargetValue> ranking =
+        governed ? governor.placement_ranking(attr::kBandwidth)
+                 : bed.registry.targets_ranked(attr::kBandwidth, initiator);
+    for (const attr::TargetValue& target : ranking) {
+      const unsigned node = target.target->logical_index();
+      if (bed.machine.available_bytes(node) < kGiB) continue;
+      auto buffer = bed.machine.allocate(kGiB, node,
+                                         "stream." + std::to_string(i), 4096);
+      if (!buffer.ok()) continue;
+      hot.push_back(*buffer);
+      result.placement.push_back(node);
+      break;
+    }
+    bed.traffic_epoch(hot);
+    if (governed) (void)governor.run_epoch(++epoch, 16);
+  }
+  for (int i = 0; i < kSettleEpochs; ++i) {
+    bed.traffic_epoch(hot);
+    if (governed) (void)governor.run_epoch(++epoch, 16);
+  }
+
+  result.final_draw_watts = bed.machine_draw();
+  result.aggregate_gbps = bed.aggregate_bw(hot) / 1e9;
+  result.bw_per_watt = result.final_draw_watts > 0.0
+                           ? result.aggregate_gbps / result.final_draw_watts
+                           : 0.0;
+  result.governor_drains = governor.stats().drained_buffers;
+  return result;
+}
+
+struct EpochRow {
+  std::uint64_t epoch = 0;
+  double draw_watts = 0.0;
+  health::HealthState state = health::HealthState::kHealthy;
+  std::uint64_t throttle_events = 0;  // cumulative, governor's count
+};
+
+struct ThrottleResult {
+  double cap_watts = 0.0;
+  unsigned victim = 0;
+  std::vector<EpochRow> timeline;
+  std::uint64_t throttle_events = 0;
+  std::uint64_t telemetry_events = 0;
+  std::uint64_t drained_buffers = 0;
+  bool reached_quarantine = false;
+  bool sank_while_quarantined = false;
+  bool victim_clear = false;
+  bool recovered_healthy = false;
+  bool ranking_restored = false;
+  double final_draw_watts = 0.0;
+  std::string governor_log;
+};
+
+/// True when `node` ranks last among the resilient bandwidth targets.
+bool ranks_last(const Testbed& bed, unsigned node) {
+  const auto ranked = bed.registry.targets_ranked_resilient(
+      attr::kBandwidth, attr::Initiator::from_cpuset(bed.initiator),
+      topo::LocalityFlags::kIntersecting);
+  return !ranked.empty() && ranked.back().target->logical_index() == node;
+}
+
+ThrottleResult run_throttle_scenario() {
+  Testbed bed;
+  ThrottleResult result;
+  result.cap_watts = pick_cap(bed);
+  bed.machine.set_power_cap_watts(result.cap_watts);
+
+  const unsigned hbm = bed.cluster0_hbm();
+  const unsigned dram = bed.cluster0_dram();
+  result.victim = hbm;
+
+  // Resident workload fills the only intersecting drain destination.
+  const std::uint64_t fill = bed.machine.available_bytes(dram) - 512 * kMiB;
+  auto filler = bed.machine.allocate(fill, dram, "resident", 4096);
+  if (!filler.ok()) return result;
+
+  std::vector<sim::BufferId> hot;
+  for (int i = 0; i < 2; ++i) {
+    auto buffer =
+        bed.machine.allocate(kGiB, hbm, "hot." + std::to_string(i), 4096);
+    if (buffer.ok()) hot.push_back(*buffer);
+  }
+
+  health::HealthMonitor monitor(bed.machine, bed.registry);
+  power::PowerGovernor governor(bed.allocator, bed.engine, bed.initiator);
+
+  bool quarantined_checked = false;
+  for (std::uint64_t epoch = 1; epoch <= 16; ++epoch) {
+    if (epoch == 7) (void)bed.machine.free(*filler);  // phase ends: room opens
+    bed.traffic_epoch(hot);
+    (void)governor.run_epoch(epoch, 16);
+    (void)monitor.poll();
+    EpochRow row;
+    row.epoch = epoch;
+    row.draw_watts = bed.machine_draw();
+    row.state = monitor.state(hbm);
+    row.throttle_events = governor.stats().throttle_events;
+    result.timeline.push_back(row);
+    if (row.state == health::HealthState::kQuarantined) {
+      result.reached_quarantine = true;
+      if (!quarantined_checked) {
+        quarantined_checked = true;
+        result.sank_while_quarantined = ranks_last(bed, hbm);
+      }
+    }
+  }
+
+  result.throttle_events = governor.stats().throttle_events;
+  result.telemetry_events =
+      bed.machine.node_telemetry(hbm).thermal_throttle_events;
+  result.drained_buffers = governor.stats().drained_buffers;
+  result.victim_clear = bed.machine.live_buffers_on(hbm).empty();
+  result.recovered_healthy =
+      monitor.state(hbm) == health::HealthState::kHealthy;
+  result.ranking_restored = !ranks_last(bed, hbm);
+  result.final_draw_watts = bed.machine_draw();
+  result.governor_log = governor.render_log();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_power.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else {
+      std::cerr << "usage: ablation_power [--out FILE] [--check]\n";
+      return 2;
+    }
+  }
+
+  const CapResult plain = run_cap_scenario(/*governed=*/false);
+  const CapResult aware = run_cap_scenario(/*governed=*/true);
+  const ThrottleResult episode = run_throttle_scenario();
+
+  const bool plain_breaches = plain.final_draw_watts > plain.cap_watts;
+  const bool cap_ok = plain_breaches &&
+                      aware.final_draw_watts <= aware.cap_watts;
+  const bool tradeoff_ok =
+      plain_breaches || aware.bw_per_watt >= 1.1 * plain.bw_per_watt;
+  const bool throttle_ok = episode.throttle_events >= 1 &&
+                           episode.telemetry_events >= 1 &&
+                           episode.reached_quarantine &&
+                           episode.sank_while_quarantined;
+  const bool evacuate_ok =
+      episode.drained_buffers >= 2 && episode.victim_clear;
+  const bool recover_ok = episode.recovered_healthy &&
+                          episode.ranking_restored &&
+                          episode.final_draw_watts <= episode.cap_watts;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  bench::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("hetmem.bench.power/1");
+  json.key("fixture").value("knl_snc4_flat");
+  json.key("cap_watts").value(plain.cap_watts);
+  json.key("cap").begin_object();
+  for (const auto* pair : {&plain, &aware}) {
+    json.key(pair == &plain ? "plain" : "aware").begin_object();
+    json.key("final_draw_watts").value(pair->final_draw_watts);
+    json.key("aggregate_gbps").value(pair->aggregate_gbps);
+    json.key("gbps_per_watt").value(pair->bw_per_watt);
+    json.key("governor_drains").value(pair->governor_drains);
+    json.key("placement").begin_array();
+    for (unsigned node : pair->placement) json.value(node);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.key("throttle").begin_object();
+  json.key("victim").value(episode.victim);
+  json.key("throttle_events").value(episode.throttle_events);
+  json.key("telemetry_events").value(episode.telemetry_events);
+  json.key("drained_buffers").value(episode.drained_buffers);
+  json.key("final_draw_watts").value(episode.final_draw_watts);
+  json.key("timeline").begin_array();
+  for (const EpochRow& row : episode.timeline) {
+    json.begin_object();
+    json.key("epoch").value(row.epoch);
+    json.key("draw_watts").value(row.draw_watts);
+    json.key("state").value(health::health_state_name(row.state));
+    json.key("throttle_events").value(row.throttle_events);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.key("gates").begin_object();
+  json.key("cap").value(cap_ok);
+  json.key("tradeoff").value(tradeoff_ok);
+  json.key("throttle").value(throttle_ok);
+  json.key("evacuate").value(evacuate_ok);
+  json.key("recover").value(recover_ok);
+  json.end_object();
+  json.end_object();
+  out << '\n';
+  out.close();
+
+  std::cout << "wrote " << out_path << "\n";
+  std::cout << "cap " << support::format_fixed(plain.cap_watts, 1)
+            << " W: plain " << support::format_fixed(plain.final_draw_watts, 1)
+            << " W @ " << support::format_fixed(plain.aggregate_gbps, 1)
+            << " GB/s, governed "
+            << support::format_fixed(aware.final_draw_watts, 1) << " W @ "
+            << support::format_fixed(aware.aggregate_gbps, 1) << " GB/s ("
+            << aware.governor_drains << " drain(s))\n";
+  std::cout << "throttle episode: " << episode.throttle_events
+            << " throttle event(s), victim node " << episode.victim << " "
+            << (episode.reached_quarantine ? "quarantined" : "NOT quarantined")
+            << ", " << episode.drained_buffers << " buffer(s) evacuated, "
+            << (episode.recovered_healthy ? "recovered" : "NOT recovered")
+            << "\n";
+  std::cout << "gates: cap " << (cap_ok ? "ok" : "FAIL") << ", tradeoff "
+            << (tradeoff_ok ? "ok" : "FAIL") << ", throttle "
+            << (throttle_ok ? "ok" : "FAIL") << ", evacuate "
+            << (evacuate_ok ? "ok" : "FAIL") << ", recover "
+            << (recover_ok ? "ok" : "FAIL") << "\n";
+
+  const bool all_ok =
+      cap_ok && tradeoff_ok && throttle_ok && evacuate_ok && recover_ok;
+  if (!all_ok) {
+    std::cout << "governor decisions:\n" << episode.governor_log;
+  }
+  if (check && !all_ok) {
+    std::cerr << "FAIL: power ablation gates did not hold\n";
+    return 1;
+  }
+  return 0;
+}

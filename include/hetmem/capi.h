@@ -50,6 +50,8 @@ enum {
   HETMEM_ATTR_WRITE_BANDWIDTH = 5,
   HETMEM_ATTR_READ_LATENCY = 6,
   HETMEM_ATTR_WRITE_LATENCY = 7,
+  HETMEM_ATTR_ENERGY_PER_BYTE = 8, /* nJ/byte moved, lower is better */
+  HETMEM_ATTR_STATIC_POWER = 9,    /* watts of installed capacity, lower */
 };
 
 /* Allocation policies (match hetmem::alloc::Policy). */
@@ -191,6 +193,23 @@ uint64_t hetmem_backpressure_rejections(const hetmem_context* ctx, int reason);
  * around it (full-jitter exponential backoff) rather than sleeping exactly
  * this long in lockstep. */
 uint64_t hetmem_last_retry_after_ms(const hetmem_context* ctx);
+
+/* --- power telemetry and the watt budget (docs/POWER.md) ----------------- */
+
+/* Current estimated draw of `node` in watts (static share of installed
+ * capacity + smoothed dynamic draw); negative error as a double (< 0) on a
+ * bad context/node. A freshly created context reports the static floor. */
+double hetmem_power_draw_watts(const hetmem_context* ctx, unsigned node);
+
+/* Machine-wide watt budget consulted by the power governor. 0 = uncapped
+ * (the default). Negative watts are HETMEM_ERR_INVALID. */
+int hetmem_set_power_cap_watts(hetmem_context* ctx, double watts);
+double hetmem_power_cap_watts(const hetmem_context* ctx);
+
+/* Cumulative thermal power-throttle events reported against `node`
+ * (governor escalation or injected machine.power.throttle faults); 0 on
+ * error. */
+uint64_t hetmem_throttle_events(const hetmem_context* ctx, unsigned node);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -43,6 +43,13 @@ inline constexpr const char* kMachineEccBurst = "machine.ecc.burst";
 /// degraded-bandwidth regime (the Optane media-throttle analogue) until an
 /// operator clears it with set_node_degraded(node, false).
 inline constexpr const char* kMachineNodeDegraded = "machine.node.degraded";
+/// SimMachine::sample_node_faults: the sampled node reports a thermal
+/// power-throttle event (telemetry only — the health monitor counts
+/// sustained throttling as fault evidence, the power governor raises the
+/// same events organically when a node stays over its share of the watt
+/// cap; docs/POWER.md). Not armed by any preset: arm it explicitly with
+/// configure() so power chaos never perturbs the non-power regressions.
+inline constexpr const char* kMachinePowerThrottle = "machine.power.throttle";
 /// probe::measure fails outright (device busy, perf counters unavailable).
 inline constexpr const char* kProbeFail = "probe.fail";
 /// probe::measure result is multiplied by a noise factor per metric.

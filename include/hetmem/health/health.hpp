@@ -71,6 +71,11 @@ struct HealthOptions {
   /// always wrong to enable: a full node is healthy, and quarantining it
   /// would amplify pressure on the remaining targets.
   bool count_capacity_rejections = false;
+  /// Count thermal power-throttle events (docs/POWER.md) as fault evidence.
+  /// ON by default: a throttling node should sink in rankings and shed
+  /// buffers exactly like faulting hardware, and recovers through the same
+  /// clean-streak hysteresis once the governor stops reporting throttles.
+  bool throttle_is_fault = true;
 };
 
 /// One state-machine edge, for replay verification and post-mortems. The

@@ -1,0 +1,108 @@
+// Ranking composition — how a list of candidate targets becomes a ranking.
+//
+// The registry used to hard-code its bucket structure: quarantine verdicts
+// split targets_ranked into two groups, confidence split the resilient
+// ranking into four, and each new placement concern (health, power, access
+// classes) would have meant another special case. This module extracts the
+// composition rule into one small algebra:
+//
+//   - a *candidate* carries everything known about one target (raw attribute
+//     value, confidence, quarantine verdict);
+//   - *layers* assign each candidate a bucket index (0 = best) or drop it;
+//     layers compose lexicographically in the order they were added
+//     (earlier layers dominate later ones);
+//   - an optional *objective* replaces the raw value as the sort key inside
+//     a bucket (e.g. the power governor's bandwidth-per-watt), with its own
+//     polarity.
+//
+// compose() is a pure function of its inputs: candidates in topology order
+// in, stable bucket-then-key order out — byte-identical to the registry's
+// historical bucket-splitting for the standard compositions (the property
+// tests assert this). Everything here is value types and free of registry
+// state, so external rankers (health, power) express their orderings through
+// the same API the registry itself uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hetmem/health/quarantine.hpp"
+#include "hetmem/topo/topology.hpp"
+
+namespace hetmem::attr {
+
+enum class Polarity : std::uint8_t;  // memattr.hpp
+enum class Confidence : std::uint8_t;
+
+struct TargetValue;
+
+/// Everything composition may rank on for one candidate target. Built by
+/// MemAttrRegistry::rank_candidates() (under its lock) or by hand in tests.
+struct RankCandidate {
+  const topo::Object* target = nullptr;
+  /// Raw attribute value — what the resulting TargetValue reports.
+  double value = 0.0;
+  Confidence confidence{};  // kTrusted unless the producer demoted the value
+  health::PlacementVerdict verdict = health::PlacementVerdict::kNormal;
+};
+
+class RankingComposition {
+ public:
+  /// Sentinel bucket: the candidate is removed from the ranking entirely
+  /// (quarantine kExclude).
+  static constexpr std::uint32_t kDropped = UINT32_MAX;
+
+  /// Maps a candidate to a bucket index in [0, levels) — or kDropped.
+  using Layer = std::function<std::uint32_t(const RankCandidate&)>;
+  /// Maps a candidate to its within-bucket sort key.
+  using Objective = std::function<double(const RankCandidate&)>;
+
+  /// `value_polarity`: how raw values order within a bucket when no
+  /// objective is installed (the attribute's own polarity).
+  explicit RankingComposition(Polarity value_polarity);
+
+  /// Appends a layer with `levels` buckets. Earlier layers dominate: two
+  /// candidates are first ordered by the first layer that separates them.
+  RankingComposition& add_layer(std::uint32_t levels, Layer layer);
+
+  /// Replaces the within-bucket sort key (default: the raw value under the
+  /// constructor's polarity). Layers still dominate the objective.
+  RankingComposition& set_objective(Objective objective, Polarity key_polarity);
+
+  /// Stable composition: candidates that tie on (buckets, key) keep their
+  /// input order, so feeding topology-ordered candidates reproduces the
+  /// registry's historical tie-breaking exactly.
+  [[nodiscard]] std::vector<TargetValue> compose(
+      const std::vector<RankCandidate>& candidates) const;
+
+  // --- the library's canned layers ---
+
+  /// Quarantine bucket (docs/RESILIENCE.md): kNormal -> 0, kDeprioritize ->
+  /// 1 (sinks below every normal target), kExclude -> dropped.
+  static Layer quarantine_layer();
+  /// Confidence bucket: kTrusted -> 0, noisy/stale -> 1.
+  static Layer confidence_layer();
+
+  /// The registry's two standard compositions. Quarantine always dominates
+  /// confidence: a node with noisy measurements is healthy hardware, a
+  /// quarantined node is failing hardware.
+  ///   confidence_aware=false : targets_ranked        (quarantine only)
+  ///   confidence_aware=true  : targets_ranked_resilient (quarantine, then
+  ///                            confidence)
+  static RankingComposition standard(Polarity value_polarity,
+                                     bool confidence_aware);
+
+ private:
+  struct LayerEntry {
+    std::uint32_t levels = 1;
+    Layer layer;
+  };
+
+  Polarity value_polarity_;
+  Polarity key_polarity_;
+  Objective objective_;
+  std::vector<LayerEntry> layers_;
+};
+
+}  // namespace hetmem::attr

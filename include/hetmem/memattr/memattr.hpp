@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "hetmem/health/quarantine.hpp"
+#include "hetmem/memattr/compose.hpp"
 #include "hetmem/support/bitmap.hpp"
 #include "hetmem/support/result.hpp"
 #include "hetmem/topo/topology.hpp"
@@ -46,7 +47,12 @@ inline constexpr AttrId kReadBandwidth = 4;   // bytes/s, higher, per-initiator
 inline constexpr AttrId kWriteBandwidth = 5;  // bytes/s, higher, per-initiator
 inline constexpr AttrId kReadLatency = 6;     // ns, lower, per-initiator
 inline constexpr AttrId kWriteLatency = 7;    // ns, lower, per-initiator
-inline constexpr AttrId kFirstCustomAttr = 8;
+// Power attributes (docs/POWER.md): energy attributes are global per target
+// (a device property, not an initiator-path one) and lower-first — less
+// energy per byte moved, fewer static watts.
+inline constexpr AttrId kEnergyPerByte = 8;   // nJ/byte moved, lower
+inline constexpr AttrId kStaticPower = 9;     // W per node, lower
+inline constexpr AttrId kFirstCustomAttr = 10;
 
 struct AttrInfo {
   std::string name;
@@ -239,6 +245,22 @@ class MemAttrRegistry {
       AttrId attr, const Initiator& initiator,
       topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
 
+  // --- ranking composition (compose.hpp) ---
+  //
+  // targets_ranked / targets_ranked_resilient are RankingComposition::
+  // standard() applied to rank_candidates(); external rankers with their own
+  // objectives (the power governor's bandwidth-per-watt, future access
+  // classes) pull the same candidates and compose them differently instead
+  // of the registry growing another special-case bucket.
+
+  /// The raw composition input for (attr, initiator, flags): every local
+  /// target with a value, in topology order, carrying value, confidence and
+  /// the current quarantine verdict. Excluded targets are included (verdict
+  /// kExclude) — dropping them is the composition's job.
+  [[nodiscard]] std::vector<RankCandidate> rank_candidates(
+      AttrId attr, const Initiator& initiator,
+      topo::LocalityFlags flags = topo::LocalityFlags::kIntersecting) const;
+
   // --- generation-invalidated ranking cache (docs/PERF.md) ---
   //
   // Rankings change only on rare events (attribute registration, value
@@ -359,6 +381,8 @@ class MemAttrRegistry {
   [[nodiscard]] support::Result<double> value_locked(
       AttrId attr, const topo::Object& target,
       const std::optional<Initiator>& initiator) const;
+  [[nodiscard]] std::vector<RankCandidate> rank_candidates_locked(
+      AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const;
   [[nodiscard]] std::vector<TargetValue> targets_ranked_locked(
       AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const;
   [[nodiscard]] std::vector<TargetValue> targets_ranked_resilient_locked(

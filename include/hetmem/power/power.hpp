@@ -1,0 +1,35 @@
+// Power attributes — energy as a first-class placement criterion.
+//
+// The source paper ranks targets purely on performance attributes; its
+// co-authors' follow-up ("Understanding Power Consumption Metric on
+// Heterogeneous Memory Systems", PAPERS.md) shows per-tier power differs
+// enough that bandwidth-first placement makes Pareto-wrong decisions under a
+// machine watt budget. This module closes that gap (ROADMAP item 4):
+// feed_registry() publishes the machine's NodePowerModel constants as two
+// well-known, lower-first attributes —
+//
+//   kEnergyPerByte : mean dynamic energy per byte moved, nJ/B
+//                    ((read + write) / 2 of the node's model)
+//   kStaticPower   : background draw of the installed capacity, W
+//                    (static W/GiB x capacity GiB)
+//
+// so applications can mem_alloc(..., kEnergyPerByte) exactly like they ask
+// for kBandwidth, and the PowerGovernor (governor.hpp) can compose a
+// bandwidth-per-watt objective through the same RankingComposition API the
+// registry's own rankings use. See docs/POWER.md.
+#pragma once
+
+#include "hetmem/memattr/memattr.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/result.hpp"
+
+namespace hetmem::power {
+
+/// Publishes per-node kEnergyPerByte and kStaticPower values derived from
+/// the machine's perf-model power constants into the registry (kTrusted —
+/// model constants, not measurements). Idempotent; call at setup time after
+/// the machine exists (create_context does, for the C API).
+support::Status feed_registry(attr::MemAttrRegistry& registry,
+                              const sim::SimMachine& machine);
+
+}  // namespace hetmem::power

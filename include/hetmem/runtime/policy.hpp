@@ -58,6 +58,20 @@ class RuntimePolicy {
   using EpochHook = std::function<double(std::uint64_t, unsigned)>;
   void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
 
+  /// Chains `hook` after any hook already installed; costs sum. Lets the
+  /// health evacuator and the power governor coexist on one policy
+  /// (attach_health + power::attach_governor both use this).
+  void add_epoch_hook(EpochHook hook) {
+    if (!epoch_hook_) {
+      epoch_hook_ = std::move(hook);
+      return;
+    }
+    epoch_hook_ = [first = std::move(epoch_hook_), second = std::move(hook)](
+                      std::uint64_t epoch, unsigned threads) {
+      return first(epoch, threads) + second(epoch, threads);
+    };
+  }
+
   [[nodiscard]] const EpochSampler& sampler() const { return sampler_; }
   [[nodiscard]] const OnlineClassifier& classifier() const {
     return classifier_;

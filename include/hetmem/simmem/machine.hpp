@@ -64,6 +64,7 @@ struct NodeTelemetry {
   std::uint64_t transient_faults = 0;     // injected transient alloc/migrate failures
   std::uint64_t ecc_errors = 0;           // corrected ECC events (sample_node_faults)
   std::uint64_t degraded_events = 0;      // entries into the degraded regime
+  std::uint64_t thermal_throttle_events = 0;  // power-throttle hits (docs/POWER.md)
   bool degraded = false;                  // sticky until cleared by an operator
   bool online = true;
 };
@@ -158,10 +159,40 @@ class SimMachine {
   ///  - fault::site::kMachineEccBurst  -> ecc_errors += 1,
   ///  - fault::site::kMachineNodeDegraded -> sticky degraded regime,
   ///  - fault::site::kMachineNodeOffline  -> the node goes offline (sticky),
+  ///  - fault::site::kMachinePowerThrottle -> thermal_throttle_events += 1,
   /// so a node can fail *between* allocations, not only while serving one.
   /// No-op without an injector. Deterministic: consultation order is fixed,
   /// and the polled node is the attribution target.
   void sample_node_faults(unsigned node);
+
+  // --- power telemetry (docs/POWER.md) ---
+
+  /// Folds one phase's observed traffic on `node` into the node's power
+  /// telemetry: instantaneous dynamic watts = (read_bytes * read_nj/B +
+  /// write_bytes * write_nj/B) / interval_ns (nJ/ns == W), smoothed with an
+  /// EMA (alpha 0.5) so one idle phase doesn't zero the estimate. Called by
+  /// ExecutionContext::run_phase; not a hot path (mutex-guarded).
+  void record_node_traffic(unsigned node, std::uint64_t read_bytes,
+                           std::uint64_t write_bytes, double interval_ns);
+
+  /// Current estimated draw for `node`: static watts (W/GiB x installed
+  /// capacity) + the EMA of dynamic watts. 0.0 for out-of-range nodes.
+  [[nodiscard]] double power_draw_watts(unsigned node) const;
+
+  /// Machine-wide watt budget consulted by power::PowerGovernor. 0 means
+  /// uncapped (the governor idles). Thread-safe (relaxed atomic).
+  void set_power_cap_watts(double watts) {
+    power_cap_watts_.store(watts, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double power_cap_watts() const {
+    return power_cap_watts_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one thermal-throttle hit against `node` (the governor's
+  /// sustained over-cap escalation). The HealthMonitor reads it back through
+  /// node_telemetry() as fault evidence, so throttled nodes take the same
+  /// quarantine-sink path as faulting ones.
+  void report_thermal_throttle(unsigned node);
 
   /// Snapshot of the live (not freed) buffers currently resident on `node`,
   /// ascending buffer index. Racy by nature when allocators run concurrently
@@ -235,7 +266,16 @@ class SimMachine {
     std::atomic<std::uint64_t> transient_faults{0};
     std::atomic<std::uint64_t> ecc_errors{0};
     std::atomic<std::uint64_t> degraded_events{0};
+    std::atomic<std::uint64_t> thermal_throttle_events{0};
     std::atomic<std::uint8_t> degraded{0};
+  };
+
+  /// EMA of per-node dynamic watts (record_node_traffic). Guarded by
+  /// power_mutex_ — updated once per phase, read by the governor once per
+  /// epoch; never on the allocate/free hot path.
+  struct NodePower {
+    double dynamic_watts_ema = 0.0;
+    bool seeded = false;  // first sample seeds the EMA instead of blending
   };
 
   topo::Topology topology_;
@@ -248,6 +288,9 @@ class SimMachine {
   std::unique_ptr<std::atomic<std::uint8_t>[]> online_;
   std::unique_ptr<NodeCounters[]> telemetry_;
   std::size_t node_count_ = 0;
+  mutable std::mutex power_mutex_;
+  std::vector<NodePower> node_power_;
+  std::atomic<double> power_cap_watts_{0.0};
   std::atomic<std::uint64_t> llc_bytes_;
   fault::FaultInjector* faults_ = nullptr;
   bool model_repaired_ = false;

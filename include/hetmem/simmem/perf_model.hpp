@@ -46,6 +46,17 @@ struct MemorySideCachePerf {
   double miss_overhead_ns = 0.0;
 };
 
+/// Power constants for one node (docs/POWER.md). Synthetic calibration in
+/// the spirit of PAPERS.md "Understanding Power Consumption Metric on
+/// Heterogeneous Memory Systems": dynamic energy is charged per byte moved,
+/// static power scales with installed capacity.
+struct NodePowerModel {
+  double read_nj_per_byte = 0.0;
+  double write_nj_per_byte = 0.0;
+  /// Background (refresh/idle) power per GiB of installed capacity, watts.
+  double static_w_per_gib = 0.0;
+};
+
 struct NodePerf {
   /// Dependent-load (pointer-chase) latency from a local initiator, ns.
   double idle_latency_ns = 100.0;
@@ -90,6 +101,10 @@ class MachinePerfModel {
   [[nodiscard]] const NodePerf& node(unsigned node_logical_index) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
+  void set_node_power(unsigned node_logical_index, NodePowerModel power);
+  [[nodiscard]] const NodePowerModel& node_power(
+      unsigned node_logical_index) const;
+
   /// Resolves the constants for one node given the phase's per-node active
   /// working set and whether the accessing initiator is local, including the
   /// device-buffer and memory-side-cache adjustments.
@@ -101,8 +116,12 @@ class MachinePerfModel {
   /// HMAT generator.
   static NodePerf kind_defaults(topo::MemoryKind kind);
 
+  /// Per-kind power defaults used by calibrated_for (table in perf_model.cpp).
+  static NodePowerModel power_kind_defaults(topo::MemoryKind kind);
+
  private:
   std::vector<NodePerf> nodes_;
+  std::vector<NodePowerModel> power_;
 };
 
 }  // namespace hetmem::sim

@@ -8,6 +8,7 @@
 #include "hetmem/alloc/allocator.hpp"
 #include "hetmem/hmat/hmat.hpp"
 #include "hetmem/memattr/memattr.hpp"
+#include "hetmem/power/power.hpp"
 #include "hetmem/probe/probe.hpp"
 #include "hetmem/simmem/machine.hpp"
 #include "hetmem/tenant/tenant.hpp"
@@ -70,6 +71,9 @@ hetmem_context* create_context(const char* preset_name, bool probed) {
              .ok()) {
       return nullptr;
     }
+  }
+  if (!power::feed_registry(*ctx->registry, *ctx->machine).ok()) {
+    return nullptr;
   }
   ctx->tenants = std::make_unique<tenant::TenantRegistry>();
   ctx->allocator = std::make_unique<alloc::HeterogeneousAllocator>(
@@ -380,6 +384,27 @@ uint64_t hetmem_last_retry_after_ms(const hetmem_context* ctx) {
   return ctx == nullptr
              ? 0
              : ctx->last_retry_after_ms.load(std::memory_order_relaxed);
+}
+
+double hetmem_power_draw_watts(const hetmem_context* ctx, unsigned node) {
+  if (node_at(ctx, node) == nullptr) return HETMEM_ERR_INVALID;
+  return ctx->machine->power_draw_watts(node);
+}
+
+int hetmem_set_power_cap_watts(hetmem_context* ctx, double watts) {
+  if (ctx == nullptr || watts < 0.0) return HETMEM_ERR_INVALID;
+  ctx->machine->set_power_cap_watts(watts);
+  return HETMEM_SUCCESS;
+}
+
+double hetmem_power_cap_watts(const hetmem_context* ctx) {
+  if (ctx == nullptr) return HETMEM_ERR_INVALID;
+  return ctx->machine->power_cap_watts();
+}
+
+uint64_t hetmem_throttle_events(const hetmem_context* ctx, unsigned node) {
+  if (node_at(ctx, node) == nullptr) return 0;
+  return ctx->machine->node_telemetry(node).thermal_throttle_events;
 }
 
 }  // extern "C"

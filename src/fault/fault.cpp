@@ -133,6 +133,8 @@ const std::vector<SiteInfo>& all_sites() {
        "a corrected-ECC-error burst is counted against the sampled node"},
       {site::kMachineNodeDegraded, "SimMachine::sample_node_faults",
        "the sampled node enters the sticky degraded regime"},
+      {site::kMachinePowerThrottle, "SimMachine::sample_node_faults",
+       "a thermal power-throttle event is counted against the sampled node"},
       {site::kProbeFail, "probe::measure",
        "the measurement fails outright (device busy, counters unavailable)"},
       {site::kProbeNoise, "probe::measure",

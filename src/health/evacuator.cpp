@@ -319,7 +319,7 @@ std::string Evacuator::render_log() const {
 
 void attach_health(runtime::RuntimePolicy& policy, HealthMonitor& monitor,
                    Evacuator& evacuator) {
-  policy.set_epoch_hook([&policy, &monitor, &evacuator](
+  policy.add_epoch_hook([&policy, &monitor, &evacuator](
                             std::uint64_t epoch_index, unsigned threads) {
     monitor.poll();
     double paid_ns = 0.0;

@@ -26,6 +26,7 @@ HealthMonitor::~HealthMonitor() {
 std::uint64_t HealthMonitor::error_count(const sim::NodeTelemetry& t) const {
   std::uint64_t errors = t.transient_faults + t.ecc_errors;
   if (options_.count_capacity_rejections) errors += t.capacity_rejections;
+  if (options_.throttle_is_fault) errors += t.thermal_throttle_events;
   return errors;
 }
 

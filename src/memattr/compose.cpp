@@ -1,0 +1,90 @@
+#include "hetmem/memattr/compose.hpp"
+
+#include <algorithm>
+
+#include "hetmem/memattr/memattr.hpp"
+
+namespace hetmem::attr {
+
+RankingComposition::RankingComposition(Polarity value_polarity)
+    : value_polarity_(value_polarity), key_polarity_(value_polarity) {}
+
+RankingComposition& RankingComposition::add_layer(std::uint32_t levels,
+                                                  Layer layer) {
+  layers_.push_back(LayerEntry{levels, std::move(layer)});
+  return *this;
+}
+
+RankingComposition& RankingComposition::set_objective(Objective objective,
+                                                      Polarity key_polarity) {
+  objective_ = std::move(objective);
+  key_polarity_ = key_polarity;
+  return *this;
+}
+
+std::vector<TargetValue> RankingComposition::compose(
+    const std::vector<RankCandidate>& candidates) const {
+  // Buckets fold into one lexicographic code (earlier layers in the higher
+  // digits), so the sort needs a single pass and no per-bucket vectors.
+  struct Scored {
+    const RankCandidate* candidate = nullptr;
+    std::uint64_t code = 0;
+    double key = 0.0;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const RankCandidate& candidate : candidates) {
+    std::uint64_t code = 0;
+    bool dropped = false;
+    for (const LayerEntry& entry : layers_) {
+      const std::uint32_t bucket = entry.layer(candidate);
+      if (bucket == kDropped) {
+        dropped = true;
+        break;
+      }
+      code = code * entry.levels + std::min(bucket, entry.levels - 1);
+    }
+    if (dropped) continue;
+    const double key = objective_ ? objective_(candidate) : candidate.value;
+    scored.push_back(Scored{&candidate, code, key});
+  }
+  const bool higher_first = key_polarity_ == Polarity::kHigherFirst;
+  std::stable_sort(scored.begin(), scored.end(),
+                   [higher_first](const Scored& a, const Scored& b) {
+                     if (a.code != b.code) return a.code < b.code;
+                     return higher_first ? a.key > b.key : a.key < b.key;
+                   });
+  std::vector<TargetValue> ranked;
+  ranked.reserve(scored.size());
+  for (const Scored& s : scored) {
+    ranked.push_back(TargetValue{s.candidate->target, s.candidate->value});
+  }
+  return ranked;
+}
+
+RankingComposition::Layer RankingComposition::quarantine_layer() {
+  return [](const RankCandidate& candidate) -> std::uint32_t {
+    switch (candidate.verdict) {
+      case health::PlacementVerdict::kNormal: return 0;
+      case health::PlacementVerdict::kDeprioritize: return 1;
+      case health::PlacementVerdict::kExclude: return kDropped;
+    }
+    return 0;
+  };
+}
+
+RankingComposition::Layer RankingComposition::confidence_layer() {
+  return [](const RankCandidate& candidate) -> std::uint32_t {
+    return candidate.confidence == Confidence::kTrusted ? 0 : 1;
+  };
+}
+
+RankingComposition RankingComposition::standard(Polarity value_polarity,
+                                                bool confidence_aware) {
+  RankingComposition composition(value_polarity);
+  composition.add_layer(2, quarantine_layer());
+  if (confidence_aware) composition.add_layer(2, confidence_layer());
+  return composition;
+}
+
+}  // namespace hetmem::attr

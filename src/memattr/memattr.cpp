@@ -35,6 +35,10 @@ MemAttrRegistry::MemAttrRegistry(const topo::Topology& topology)
   add_builtin("WriteBandwidth", Polarity::kHigherFirst, /*need_initiator=*/true);
   add_builtin("ReadLatency", Polarity::kLowerFirst, /*need_initiator=*/true);
   add_builtin("WriteLatency", Polarity::kLowerFirst, /*need_initiator=*/true);
+  // Power attributes start empty like the performance ones; they are fed by
+  // power::feed_registry from the machine's power model (docs/POWER.md).
+  add_builtin("EnergyPerByte", Polarity::kLowerFirst, /*need_initiator=*/false);
+  add_builtin("StaticPower", Polarity::kLowerFirst, /*need_initiator=*/false);
 
   // Capacity and Locality are always discoverable from the OS (Table I).
   for (const topo::Object* node : topology.numa_nodes()) {
@@ -203,36 +207,50 @@ std::vector<TargetValue> MemAttrRegistry::targets_ranked(
   return targets_ranked_locked(attr, initiator, flags);
 }
 
-std::vector<TargetValue> MemAttrRegistry::targets_ranked_locked(
+std::vector<RankCandidate> MemAttrRegistry::rank_candidates_locked(
     AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
-  std::vector<TargetValue> ranked;
-  if (!valid_attr(attr)) return ranked;
+  std::vector<RankCandidate> candidates;
+  if (!valid_attr(attr)) return candidates;
   const health::QuarantineList* quarantine =
       quarantine_.load(std::memory_order_acquire);
-  std::vector<TargetValue> quarantined;
-  const std::optional<Initiator> query = initiator;
-  for (const topo::Object* node : topology_->local_numa_nodes(initiator.cpuset(), flags)) {
-    const health::PlacementVerdict verdict =
-        quarantine != nullptr ? quarantine->verdict(node->logical_index())
-                              : health::PlacementVerdict::kNormal;
-    if (verdict == health::PlacementVerdict::kExclude) continue;
-    Result<double> v = value_locked(attr, *node, attributes_[attr].need_initiator
-                                                     ? query
-                                                     : std::optional<Initiator>{});
-    if (!v.ok()) continue;
-    (verdict == health::PlacementVerdict::kDeprioritize ? quarantined : ranked)
-        .push_back(TargetValue{node, *v});
+  const Stored& stored = values_[attr];
+  const bool need_initiator = attributes_[attr].need_initiator;
+  for (const topo::Object* node :
+       topology_->local_numa_nodes(initiator.cpuset(), flags)) {
+    const unsigned idx = node->logical_index();
+    RankCandidate candidate;
+    candidate.target = node;
+    candidate.verdict = quarantine != nullptr
+                            ? quarantine->verdict(idx)
+                            : health::PlacementVerdict::kNormal;
+    if (need_initiator) {
+      const InitiatorValue* match =
+          match_initiator(stored.per_initiator[idx], initiator.cpuset());
+      if (match == nullptr) continue;
+      candidate.value = match->value;
+      candidate.confidence = match->confidence;
+    } else {
+      if (!stored.global_values[idx].has_value()) continue;
+      candidate.value = *stored.global_values[idx];
+      candidate.confidence = stored.global_confidence[idx];
+    }
+    candidates.push_back(candidate);
   }
-  const bool higher_first = attributes_[attr].polarity == Polarity::kHigherFirst;
-  auto by_polarity = [higher_first](const TargetValue& a, const TargetValue& b) {
-    return higher_first ? a.value > b.value : a.value < b.value;
-  };
-  std::stable_sort(ranked.begin(), ranked.end(), by_polarity);
-  // Quarantined targets are a last resort: below every normal target, still
-  // in polarity order among themselves.
-  std::stable_sort(quarantined.begin(), quarantined.end(), by_polarity);
-  ranked.insert(ranked.end(), quarantined.begin(), quarantined.end());
-  return ranked;
+  return candidates;
+}
+
+std::vector<RankCandidate> MemAttrRegistry::rank_candidates(
+    AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
+  std::shared_lock lock(mutex_);
+  return rank_candidates_locked(attr, initiator, flags);
+}
+
+std::vector<TargetValue> MemAttrRegistry::targets_ranked_locked(
+    AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
+  if (!valid_attr(attr)) return {};
+  return RankingComposition::standard(attributes_[attr].polarity,
+                                      /*confidence_aware=*/false)
+      .compose(rank_candidates_locked(attr, initiator, flags));
 }
 
 Result<TargetValue> MemAttrRegistry::best_target(AttrId attr,
@@ -412,59 +430,13 @@ std::vector<TargetValue> MemAttrRegistry::targets_ranked_resilient(
 
 std::vector<TargetValue> MemAttrRegistry::targets_ranked_resilient_locked(
     AttrId attr, const Initiator& initiator, topo::LocalityFlags flags) const {
-  std::vector<TargetValue> trusted;
-  std::vector<TargetValue> untrusted;
-  if (!valid_attr(attr)) return trusted;
-  const health::QuarantineList* quarantine =
-      quarantine_.load(std::memory_order_acquire);
-  // Quarantined targets rank below every normal target, even untrusted-valued
-  // ones: a node with noisy measurements is still healthy hardware, a
-  // quarantined node is failing hardware. Within the quarantined group the
-  // trusted/untrusted split is preserved.
-  std::vector<TargetValue> trusted_quarantined;
-  std::vector<TargetValue> untrusted_quarantined;
-  const bool need_initiator = attributes_[attr].need_initiator;
-  for (const topo::Object* node :
-       topology_->local_numa_nodes(initiator.cpuset(), flags)) {
-    const unsigned idx = node->logical_index();
-    const health::PlacementVerdict verdict =
-        quarantine != nullptr ? quarantine->verdict(idx)
-                              : health::PlacementVerdict::kNormal;
-    if (verdict == health::PlacementVerdict::kExclude) continue;
-    const bool deprioritize = verdict == health::PlacementVerdict::kDeprioritize;
-    const Stored& stored = values_[attr];
-    if (need_initiator) {
-      const InitiatorValue* match =
-          match_initiator(stored.per_initiator[idx], initiator.cpuset());
-      if (match == nullptr) continue;
-      (match->confidence == Confidence::kTrusted
-           ? (deprioritize ? trusted_quarantined : trusted)
-           : (deprioritize ? untrusted_quarantined : untrusted))
-          .push_back(TargetValue{node, match->value});
-    } else {
-      if (!stored.global_values[idx].has_value()) continue;
-      (stored.global_confidence[idx] == Confidence::kTrusted
-           ? (deprioritize ? trusted_quarantined : trusted)
-           : (deprioritize ? untrusted_quarantined : untrusted))
-          .push_back(TargetValue{node, *stored.global_values[idx]});
-    }
-  }
-  const bool higher_first = attributes_[attr].polarity == Polarity::kHigherFirst;
-  auto by_polarity = [higher_first](const TargetValue& a, const TargetValue& b) {
-    return higher_first ? a.value > b.value : a.value < b.value;
-  };
-  std::stable_sort(trusted.begin(), trusted.end(), by_polarity);
-  std::stable_sort(untrusted.begin(), untrusted.end(), by_polarity);
-  std::stable_sort(trusted_quarantined.begin(), trusted_quarantined.end(),
-                   by_polarity);
-  std::stable_sort(untrusted_quarantined.begin(), untrusted_quarantined.end(),
-                   by_polarity);
-  trusted.insert(trusted.end(), untrusted.begin(), untrusted.end());
-  trusted.insert(trusted.end(), trusted_quarantined.begin(),
-                 trusted_quarantined.end());
-  trusted.insert(trusted.end(), untrusted_quarantined.begin(),
-                 untrusted_quarantined.end());
-  return trusted;
+  if (!valid_attr(attr)) return {};
+  // Quarantine dominates confidence (see RankingComposition::standard): a
+  // node with noisy measurements is still healthy hardware, a quarantined
+  // node is failing hardware.
+  return RankingComposition::standard(attributes_[attr].polarity,
+                                      /*confidence_aware=*/true)
+      .compose(rank_candidates_locked(attr, initiator, flags));
 }
 
 AttrId MemAttrRegistry::resolve_resilient_locked(AttrId attr) const {

@@ -1,0 +1,31 @@
+#include "hetmem/power/power.hpp"
+
+#include "hetmem/support/units.hpp"
+
+namespace hetmem::power {
+
+support::Status feed_registry(attr::MemAttrRegistry& registry,
+                              const sim::SimMachine& machine) {
+  const sim::MachinePerfModel& model = machine.perf_model();
+  for (const topo::Object* node : machine.topology().numa_nodes()) {
+    const sim::NodePowerModel& power = model.node_power(node->logical_index());
+    const double energy_nj_per_byte =
+        (power.read_nj_per_byte + power.write_nj_per_byte) / 2.0;
+    const double capacity_gib = static_cast<double>(node->capacity_bytes()) /
+                                static_cast<double>(support::kGiB);
+    const double static_watts = power.static_w_per_gib * capacity_gib;
+    if (auto status = registry.set_value(attr::kEnergyPerByte, *node,
+                                         std::nullopt, energy_nj_per_byte);
+        !status.ok()) {
+      return status;
+    }
+    if (auto status = registry.set_value(attr::kStaticPower, *node,
+                                         std::nullopt, static_watts);
+        !status.ok()) {
+      return status;
+    }
+  }
+  return {};
+}
+
+}  // namespace hetmem::power

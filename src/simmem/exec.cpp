@@ -217,6 +217,21 @@ const PhaseResult& ExecutionContext::run_phase(std::string name, std::size_t ite
   history_.push_back(resolve_phase(*machine_, initiator_, std::move(raw),
                                    std::move(name)));
   clock_ns_ += history_.back().sim_ns;
+  // Fold the phase's traffic into the machine's power telemetry before the
+  // observer runs, so an epoch hook firing from the observer sees draw that
+  // already includes this phase (docs/POWER.md).
+  {
+    const PhaseResult& phase = history_.back();
+    if (phase.sim_ns > 0.0) {
+      for (std::size_t n = 0; n < phase.nodes.size(); ++n) {
+        machine_->record_node_traffic(
+            static_cast<unsigned>(n),
+            static_cast<std::uint64_t>(phase.nodes[n].read_bytes),
+            static_cast<std::uint64_t>(phase.nodes[n].write_bytes),
+            phase.sim_ns);
+      }
+    }
+  }
   // The observer runs after the clock advance so it sees a consistent view;
   // it may migrate buffers and charge_overhead_ns(), but must not recurse
   // into run_phase. Index-based access: the observer must not grow history_.

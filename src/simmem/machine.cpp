@@ -22,6 +22,7 @@ SimMachine::SimMachine(topo::Topology topology, MachinePerfModel model)
   used_ = std::make_unique<std::atomic<std::uint64_t>[]>(node_count_);
   online_ = std::make_unique<std::atomic<std::uint8_t>[]>(node_count_);
   telemetry_ = std::make_unique<NodeCounters[]>(node_count_);
+  node_power_.resize(node_count_);
   for (std::size_t n = 0; n < node_count_; ++n) {
     used_[n].store(0, std::memory_order_relaxed);
     online_[n].store(1, std::memory_order_relaxed);
@@ -327,6 +328,8 @@ NodeTelemetry SimMachine::node_telemetry(unsigned node) const {
   snapshot.ecc_errors = counters.ecc_errors.load(std::memory_order_relaxed);
   snapshot.degraded_events =
       counters.degraded_events.load(std::memory_order_relaxed);
+  snapshot.thermal_throttle_events =
+      counters.thermal_throttle_events.load(std::memory_order_relaxed);
   snapshot.degraded = counters.degraded.load(std::memory_order_relaxed) != 0;
   snapshot.online = online_[node].load(std::memory_order_relaxed) != 0;
   return snapshot;
@@ -343,6 +346,45 @@ void SimMachine::sample_node_faults(unsigned node) {
   if (faults_->should_fail(fault::site::kMachineNodeOffline)) {
     online_[node].store(0, std::memory_order_relaxed);
   }
+  if (faults_->should_fail(fault::site::kMachinePowerThrottle)) {
+    report_thermal_throttle(node);
+  }
+}
+
+void SimMachine::record_node_traffic(unsigned node, std::uint64_t read_bytes,
+                                     std::uint64_t write_bytes,
+                                     double interval_ns) {
+  if (node >= node_count_ || interval_ns <= 0.0) return;
+  const NodePowerModel& power = model_.node_power(node);
+  const double dynamic_nj = static_cast<double>(read_bytes) * power.read_nj_per_byte +
+                            static_cast<double>(write_bytes) * power.write_nj_per_byte;
+  const double instant_watts = dynamic_nj / interval_ns;  // nJ/ns == W
+  std::lock_guard<std::mutex> lock(power_mutex_);
+  NodePower& state = node_power_[node];
+  if (!state.seeded) {
+    state.dynamic_watts_ema = instant_watts;
+    state.seeded = true;
+  } else {
+    state.dynamic_watts_ema = 0.5 * state.dynamic_watts_ema + 0.5 * instant_watts;
+  }
+}
+
+double SimMachine::power_draw_watts(unsigned node) const {
+  if (node >= node_count_) return 0.0;
+  const NodePowerModel& power = model_.node_power(node);
+  const double capacity_gib =
+      static_cast<double>(capacity_bytes(node)) / static_cast<double>(support::kGiB);
+  double dynamic_watts = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(power_mutex_);
+    dynamic_watts = node_power_[node].dynamic_watts_ema;
+  }
+  return power.static_w_per_gib * capacity_gib + dynamic_watts;
+}
+
+void SimMachine::report_thermal_throttle(unsigned node) {
+  if (node >= node_count_) return;
+  telemetry_[node].thermal_throttle_events.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<BufferId> SimMachine::live_buffers_on(unsigned node) const {

@@ -11,7 +11,8 @@ namespace hetmem::sim {
 using support::gb_per_s;
 using support::kGiB;
 
-MachinePerfModel::MachinePerfModel(std::size_t node_count) : nodes_(node_count) {}
+MachinePerfModel::MachinePerfModel(std::size_t node_count)
+    : nodes_(node_count), power_(node_count) {}
 
 void MachinePerfModel::set_node(unsigned node_logical_index, NodePerf perf) {
   assert(node_logical_index < nodes_.size());
@@ -21,6 +22,18 @@ void MachinePerfModel::set_node(unsigned node_logical_index, NodePerf perf) {
 const NodePerf& MachinePerfModel::node(unsigned node_logical_index) const {
   assert(node_logical_index < nodes_.size());
   return nodes_[node_logical_index];
+}
+
+void MachinePerfModel::set_node_power(unsigned node_logical_index,
+                                      NodePowerModel power) {
+  assert(node_logical_index < power_.size());
+  power_[node_logical_index] = power;
+}
+
+const NodePowerModel& MachinePerfModel::node_power(
+    unsigned node_logical_index) const {
+  assert(node_logical_index < power_.size());
+  return power_[node_logical_index];
 }
 
 NodePerf MachinePerfModel::kind_defaults(topo::MemoryKind kind) {
@@ -90,6 +103,45 @@ NodePerf MachinePerfModel::kind_defaults(topo::MemoryKind kind) {
   return perf;
 }
 
+NodePowerModel MachinePerfModel::power_kind_defaults(topo::MemoryKind kind) {
+  NodePowerModel power;
+  switch (kind) {
+    case topo::MemoryKind::kDRAM:
+      // DDR4: cheap per byte, refresh dominates the static floor.
+      power.read_nj_per_byte = 0.11;
+      power.write_nj_per_byte = 0.14;
+      power.static_w_per_gib = 0.10;
+      break;
+    case topo::MemoryKind::kHBM:
+      // Stacked DRAM: the fast tier is the hot tier — higher energy/byte and
+      // static draw than DDR4, which is what creates the bandwidth-vs-power
+      // Pareto trade the governor arbitrates (docs/POWER.md).
+      power.read_nj_per_byte = 0.25;
+      power.write_nj_per_byte = 0.28;
+      power.static_w_per_gib = 0.35;
+      break;
+    case topo::MemoryKind::kNVDIMM:
+      // Optane: near-zero idle draw, expensive writes.
+      power.read_nj_per_byte = 0.35;
+      power.write_nj_per_byte = 1.20;
+      power.static_w_per_gib = 0.03;
+      break;
+    case topo::MemoryKind::kNAM:
+      // Network hops on both sides of every byte.
+      power.read_nj_per_byte = 2.0;
+      power.write_nj_per_byte = 2.0;
+      power.static_w_per_gib = 0.01;
+      break;
+    case topo::MemoryKind::kGPU:
+      // HBM2 on-package: efficient per byte, stacked-DRAM static floor.
+      power.read_nj_per_byte = 0.08;
+      power.write_nj_per_byte = 0.08;
+      power.static_w_per_gib = 0.25;
+      break;
+  }
+  return power;
+}
+
 MachinePerfModel MachinePerfModel::calibrated_for(const topo::Topology& topology) {
   MachinePerfModel model(topology.numa_nodes().size());
   // Distinguish KNL-style small DRAM clusters from big Xeon DRAM: a DRAM node
@@ -135,6 +187,8 @@ MachinePerfModel MachinePerfModel::calibrated_for(const topo::Topology& topology
       };
     }
     model.set_node(node->logical_index(), perf);
+    model.set_node_power(node->logical_index(),
+                         power_kind_defaults(node->memory_kind()));
   }
   return model;
 }

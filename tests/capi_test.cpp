@@ -247,6 +247,44 @@ TEST(CapiProbed, ProbedContextHasMeasuredValues) {
   hetmem_context_destroy(ctx);
 }
 
+TEST_F(CapiTest, PowerTelemetryAndCap) {
+  // A fresh context draws its static floor: node 0 on xeon_clx_1lm is
+  // 192 GiB DRAM at 0.10 W/GiB (docs/POWER.md calibration table).
+  EXPECT_NEAR(hetmem_power_draw_watts(ctx_, 0), 19.2, 1e-9);
+  EXPECT_EQ(hetmem_power_draw_watts(ctx_, 9999),
+            static_cast<double>(HETMEM_ERR_INVALID));
+
+  // Cap lifecycle: unset by default, round-trips, rejects negative watts.
+  EXPECT_EQ(hetmem_power_cap_watts(ctx_), 0.0);
+  EXPECT_EQ(hetmem_set_power_cap_watts(ctx_, 150.0), HETMEM_SUCCESS);
+  EXPECT_EQ(hetmem_power_cap_watts(ctx_), 150.0);
+  EXPECT_EQ(hetmem_set_power_cap_watts(ctx_, -1.0), HETMEM_ERR_INVALID);
+  EXPECT_EQ(hetmem_power_cap_watts(ctx_), 150.0);
+  EXPECT_EQ(hetmem_set_power_cap_watts(ctx_, 0.0), HETMEM_SUCCESS);
+  EXPECT_EQ(hetmem_set_power_cap_watts(nullptr, 1.0), HETMEM_ERR_INVALID);
+
+  // Throttle counters start clean; bad nodes read as zero, not an error.
+  EXPECT_EQ(hetmem_throttle_events(ctx_, 0), 0u);
+  EXPECT_EQ(hetmem_throttle_events(ctx_, 9999), 0u);
+
+  // The energy attributes are published at context creation and rank
+  // lower-first: DRAM (node 0) beats Optane (node 2) for the same socket.
+  double dram_energy = 0.0, nvdimm_energy = 0.0;
+  ASSERT_EQ(hetmem_memattr_get_value(ctx_, HETMEM_ATTR_ENERGY_PER_BYTE, 0,
+                                     nullptr, &dram_energy),
+            HETMEM_SUCCESS);
+  ASSERT_EQ(hetmem_memattr_get_value(ctx_, HETMEM_ATTR_ENERGY_PER_BYTE, 2,
+                                     nullptr, &nvdimm_energy),
+            HETMEM_SUCCESS);
+  EXPECT_LT(dram_energy, nvdimm_energy);
+  unsigned node = 99;
+  double value = 0.0;
+  ASSERT_EQ(hetmem_memattr_get_best_target(ctx_, HETMEM_ATTR_ENERGY_PER_BYTE,
+                                           kPackage0, &node, &value),
+            HETMEM_SUCCESS);
+  EXPECT_EQ(node, 0u);  // cheapest energy per byte: local DRAM
+}
+
 // The paper's portability story, through the C API: the same three lines
 // of "application code" run against two machines.
 TEST(CapiPortability, SameCallsBothMachines) {

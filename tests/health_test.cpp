@@ -414,7 +414,8 @@ TEST(FaultSiteCatalogTest, EveryBuiltInSiteIsListedExactlyOnce) {
   const std::vector<const char*> constants = {
       fault::site::kMachineAllocTransient, fault::site::kMachineNodeOffline,
       fault::site::kMachineMigrateTransient, fault::site::kMachineEccBurst,
-      fault::site::kMachineNodeDegraded, fault::site::kProbeFail,
+      fault::site::kMachineNodeDegraded, fault::site::kMachinePowerThrottle,
+      fault::site::kProbeFail,
       fault::site::kProbeNoise, fault::site::kHmatDropEntry,
       fault::site::kHmatFlipAccess, fault::site::kHmatTruncateLine,
       fault::site::kHmatDuplicateEntry, fault::site::kHmatGarbleValue};

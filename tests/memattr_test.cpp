@@ -23,13 +23,15 @@ class MemAttrTest : public ::testing::Test {
 };
 
 TEST_F(MemAttrTest, BuiltinsRegisteredInStableOrder) {
-  EXPECT_EQ(registry_.attribute_count(), 8u);
+  EXPECT_EQ(registry_.attribute_count(), 10u);
   EXPECT_EQ(registry_.info(kCapacity).name, "Capacity");
   EXPECT_EQ(registry_.info(kLocality).name, "Locality");
   EXPECT_EQ(registry_.info(kBandwidth).name, "Bandwidth");
   EXPECT_EQ(registry_.info(kLatency).name, "Latency");
   EXPECT_EQ(registry_.info(kReadBandwidth).name, "ReadBandwidth");
   EXPECT_EQ(registry_.info(kWriteLatency).name, "WriteLatency");
+  EXPECT_EQ(registry_.info(kEnergyPerByte).name, "EnergyPerByte");
+  EXPECT_EQ(registry_.info(kStaticPower).name, "StaticPower");
 }
 
 TEST_F(MemAttrTest, PolaritiesMatchHwloc) {
@@ -37,6 +39,10 @@ TEST_F(MemAttrTest, PolaritiesMatchHwloc) {
   EXPECT_EQ(registry_.info(kLocality).polarity, Polarity::kLowerFirst);
   EXPECT_EQ(registry_.info(kBandwidth).polarity, Polarity::kHigherFirst);
   EXPECT_EQ(registry_.info(kLatency).polarity, Polarity::kLowerFirst);
+  EXPECT_EQ(registry_.info(kEnergyPerByte).polarity, Polarity::kLowerFirst);
+  EXPECT_EQ(registry_.info(kStaticPower).polarity, Polarity::kLowerFirst);
+  EXPECT_FALSE(registry_.info(kEnergyPerByte).need_initiator);
+  EXPECT_FALSE(registry_.info(kStaticPower).need_initiator);
 }
 
 TEST_F(MemAttrTest, CapacityAutoPopulatedFromTopology) {

@@ -1,0 +1,545 @@
+// Power-aware placement (docs/POWER.md): per-tier power models and draw
+// telemetry on SimMachine, the kEnergyPerByte/kStaticPower attributes, the
+// RankingComposition algebra the registry and governor share, and the
+// PowerGovernor's idle/enforce/drain/throttle regimes — including the
+// regression pinning an idle governor to byte-identical rankings and an
+// unchurned ranking cache. The PowerConcurrencyTest suite runs under the CI
+// TSan lane: telemetry writers race draw readers and the cap knob.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/fault/fault.hpp"
+#include "hetmem/health/health.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/memattr/compose.hpp"
+#include "hetmem/power/governor.hpp"
+#include "hetmem/power/power.hpp"
+#include "hetmem/runtime/engine.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem {
+namespace {
+
+using support::kGiB;
+using support::kMiB;
+
+// ---------------------------------------------------------------------------
+// NodePowerModel defaults and calibration
+// ---------------------------------------------------------------------------
+
+TEST(PowerModelTest, KindDefaultsCoverEveryKind) {
+  for (topo::MemoryKind kind :
+       {topo::MemoryKind::kDRAM, topo::MemoryKind::kHBM,
+        topo::MemoryKind::kNVDIMM, topo::MemoryKind::kNAM,
+        topo::MemoryKind::kGPU}) {
+    const sim::NodePowerModel power =
+        sim::MachinePerfModel::power_kind_defaults(kind);
+    EXPECT_GT(power.read_nj_per_byte, 0.0);
+    EXPECT_GT(power.write_nj_per_byte, 0.0);
+    EXPECT_GT(power.static_w_per_gib, 0.0);
+  }
+  // The calibration must preserve the trades the subsystem exists for:
+  // Optane's write-expensive asymmetry and HBM costing more per byte than
+  // DDR4 (the bandwidth-vs-power Pareto premise).
+  const auto nvdimm =
+      sim::MachinePerfModel::power_kind_defaults(topo::MemoryKind::kNVDIMM);
+  EXPECT_GT(nvdimm.write_nj_per_byte, 2.0 * nvdimm.read_nj_per_byte);
+  const auto dram =
+      sim::MachinePerfModel::power_kind_defaults(topo::MemoryKind::kDRAM);
+  const auto hbm =
+      sim::MachinePerfModel::power_kind_defaults(topo::MemoryKind::kHBM);
+  EXPECT_GT(hbm.read_nj_per_byte, dram.read_nj_per_byte);
+  EXPECT_GT(hbm.static_w_per_gib, dram.static_w_per_gib);
+}
+
+TEST(PowerModelTest, CalibratedForFillsEveryNode) {
+  const topo::Topology topology = topo::fictitious_fig3();
+  const sim::MachinePerfModel model =
+      sim::MachinePerfModel::calibrated_for(topology);
+  for (const topo::Object* node : topology.numa_nodes()) {
+    const sim::NodePowerModel& power = model.node_power(node->logical_index());
+    EXPECT_GT(power.read_nj_per_byte, 0.0) << "node " << node->logical_index();
+    EXPECT_GT(power.static_w_per_gib, 0.0) << "node " << node->logical_index();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimMachine power telemetry
+// ---------------------------------------------------------------------------
+
+class PowerTelemetryTest : public ::testing::Test {
+ protected:
+  PowerTelemetryTest() : machine_(topo::knl_snc4_flat()) {}
+
+  double static_floor(unsigned node) const {
+    const sim::NodePowerModel& power = machine_.perf_model().node_power(node);
+    return power.static_w_per_gib *
+           (static_cast<double>(machine_.capacity_bytes(node)) /
+            static_cast<double>(kGiB));
+  }
+
+  sim::SimMachine machine_;
+};
+
+TEST_F(PowerTelemetryTest, IdleMachineReportsStaticFloor) {
+  for (unsigned node = 0; node < machine_.topology().numa_nodes().size();
+       ++node) {
+    EXPECT_DOUBLE_EQ(machine_.power_draw_watts(node), static_floor(node));
+  }
+  EXPECT_DOUBLE_EQ(machine_.power_draw_watts(9999), 0.0);
+}
+
+TEST_F(PowerTelemetryTest, TrafficRaisesDrawAndEmaSmoothsIt) {
+  const sim::NodePowerModel& power = machine_.perf_model().node_power(0);
+  // 1 GB read over 1 s: instantaneous dynamic watts = bytes * nJ/B / ns.
+  machine_.record_node_traffic(0, 1'000'000'000ull, 0, 1e9);
+  const double expected = 1e9 * power.read_nj_per_byte / 1e9;
+  EXPECT_NEAR(machine_.power_draw_watts(0), static_floor(0) + expected, 1e-9);
+  // An idle interval halves the EMA instead of zeroing it.
+  machine_.record_node_traffic(0, 0, 0, 1e9);
+  EXPECT_NEAR(machine_.power_draw_watts(0), static_floor(0) + expected / 2.0,
+              1e-9);
+  // Writes are charged at the write energy.
+  machine_.record_node_traffic(1, 0, 2'000'000'000ull, 1e9);
+  const sim::NodePowerModel& power1 = machine_.perf_model().node_power(1);
+  EXPECT_NEAR(machine_.power_draw_watts(1),
+              static_floor(1) + 2.0 * power1.write_nj_per_byte, 1e-9);
+}
+
+TEST_F(PowerTelemetryTest, ThrottleReportsAccumulateInTelemetry) {
+  EXPECT_EQ(machine_.node_telemetry(2).thermal_throttle_events, 0u);
+  machine_.report_thermal_throttle(2);
+  machine_.report_thermal_throttle(2);
+  EXPECT_EQ(machine_.node_telemetry(2).thermal_throttle_events, 2u);
+  machine_.report_thermal_throttle(9999);  // out of range: ignored
+}
+
+TEST_F(PowerTelemetryTest, PowerCapDefaultsToUncapped) {
+  EXPECT_DOUBLE_EQ(machine_.power_cap_watts(), 0.0);
+  machine_.set_power_cap_watts(123.5);
+  EXPECT_DOUBLE_EQ(machine_.power_cap_watts(), 123.5);
+}
+
+TEST_F(PowerTelemetryTest, InjectedThrottleFaultFeedsTelemetry) {
+  fault::FaultInjector injector(7);
+  injector.configure(fault::site::kMachinePowerThrottle,
+                     fault::FaultSpec{.probability = 1.0});
+  machine_.set_fault_injector(&injector);
+  machine_.sample_node_faults(0);
+  EXPECT_EQ(machine_.node_telemetry(0).thermal_throttle_events, 1u);
+  // Not armed by any preset: power chaos is opt-in (docs/POWER.md).
+  for (const char* preset : fault::FaultInjector::preset_names()) {
+    fault::FaultInjector canned = fault::FaultInjector::preset(preset, 11);
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_FALSE(canned.should_fail(fault::site::kMachinePowerThrottle))
+          << preset;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// feed_registry
+// ---------------------------------------------------------------------------
+
+TEST(PowerFeedTest, PublishesEnergyAndStaticPowerPerNode) {
+  sim::SimMachine machine(topo::fictitious_fig3());
+  attr::MemAttrRegistry registry(machine.topology());
+  ASSERT_TRUE(power::feed_registry(registry, machine).ok());
+  for (const topo::Object* node : machine.topology().numa_nodes()) {
+    const sim::NodePowerModel& power =
+        machine.perf_model().node_power(node->logical_index());
+    auto energy = registry.value(attr::kEnergyPerByte, *node, std::nullopt);
+    ASSERT_TRUE(energy.ok());
+    EXPECT_DOUBLE_EQ(
+        *energy, (power.read_nj_per_byte + power.write_nj_per_byte) / 2.0);
+    auto static_w = registry.value(attr::kStaticPower, *node, std::nullopt);
+    ASSERT_TRUE(static_w.ok());
+    EXPECT_DOUBLE_EQ(*static_w,
+                     power.static_w_per_gib *
+                         (static_cast<double>(node->capacity_bytes()) /
+                          static_cast<double>(kGiB)));
+  }
+  // Lower-first ranking: the cheapest-energy tier leads. On fictitious_fig3
+  // that is DRAM (0.125 nJ/B) ahead of HBM/NVDIMM/NAM.
+  const attr::Initiator initiator = attr::Initiator::from_cpuset(
+      machine.topology().numa_node(0)->cpuset());
+  const auto ranked = registry.targets_ranked(attr::kEnergyPerByte, initiator,
+                                              topo::LocalityFlags::kAll);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().target->memory_kind(), topo::MemoryKind::kDRAM);
+  EXPECT_EQ(ranked.back().target->memory_kind(), topo::MemoryKind::kNAM);
+}
+
+// ---------------------------------------------------------------------------
+// RankingComposition
+// ---------------------------------------------------------------------------
+
+class ComposeTest : public ::testing::Test {
+ protected:
+  ComposeTest() : topology_(topo::xeon_clx_1lm()) {}
+
+  attr::RankCandidate candidate(unsigned node, double value,
+                                attr::Confidence confidence =
+                                    attr::Confidence::kTrusted,
+                                health::PlacementVerdict verdict =
+                                    health::PlacementVerdict::kNormal) {
+    attr::RankCandidate c;
+    c.target = topology_.numa_node(node);
+    c.value = value;
+    c.confidence = confidence;
+    c.verdict = verdict;
+    return c;
+  }
+
+  static std::vector<unsigned> order(
+      const std::vector<attr::TargetValue>& ranked) {
+    std::vector<unsigned> indices;
+    for (const attr::TargetValue& tv : ranked) {
+      indices.push_back(tv.target->logical_index());
+    }
+    return indices;
+  }
+
+  topo::Topology topology_;
+};
+
+TEST_F(ComposeTest, LayersDominateValueOrder) {
+  // Quarantined node 0 carries the best value but sinks below the others.
+  const std::vector<attr::RankCandidate> candidates = {
+      candidate(0, 100.0, attr::Confidence::kTrusted,
+                health::PlacementVerdict::kDeprioritize),
+      candidate(1, 10.0),
+      candidate(2, 50.0),
+  };
+  auto ranked = attr::RankingComposition::standard(
+                    attr::Polarity::kHigherFirst, /*confidence_aware=*/false)
+                    .compose(candidates);
+  EXPECT_EQ(order(ranked), (std::vector<unsigned>{2, 1, 0}));
+}
+
+TEST_F(ComposeTest, ExcludedCandidatesAreDropped) {
+  const std::vector<attr::RankCandidate> candidates = {
+      candidate(0, 100.0, attr::Confidence::kTrusted,
+                health::PlacementVerdict::kExclude),
+      candidate(1, 10.0),
+  };
+  auto ranked = attr::RankingComposition::standard(
+                    attr::Polarity::kHigherFirst, false)
+                    .compose(candidates);
+  EXPECT_EQ(order(ranked), (std::vector<unsigned>{1}));
+}
+
+TEST_F(ComposeTest, ConfidenceLayerSplitsWithinQuarantineBuckets) {
+  const std::vector<attr::RankCandidate> candidates = {
+      candidate(0, 1.0, attr::Confidence::kNoisy),
+      candidate(1, 2.0, attr::Confidence::kTrusted),
+      candidate(2, 3.0, attr::Confidence::kTrusted,
+                health::PlacementVerdict::kDeprioritize),
+      candidate(3, 4.0, attr::Confidence::kStale,
+                health::PlacementVerdict::kDeprioritize),
+  };
+  auto ranked = attr::RankingComposition::standard(
+                    attr::Polarity::kHigherFirst, /*confidence_aware=*/true)
+                    .compose(candidates);
+  // trusted, untrusted, trusted-quarantined, untrusted-quarantined.
+  EXPECT_EQ(order(ranked), (std::vector<unsigned>{1, 0, 2, 3}));
+}
+
+TEST_F(ComposeTest, ObjectiveReplacesSortKeyButNotReportedValue) {
+  const std::vector<attr::RankCandidate> candidates = {
+      candidate(0, 100.0),
+      candidate(1, 10.0),
+  };
+  auto composition = attr::RankingComposition::standard(
+      attr::Polarity::kHigherFirst, false);
+  // Invert the order: lower raw value wins under the objective.
+  composition.set_objective(
+      [](const attr::RankCandidate& c) { return -c.value; },
+      attr::Polarity::kHigherFirst);
+  auto ranked = composition.compose(candidates);
+  EXPECT_EQ(order(ranked), (std::vector<unsigned>{1, 0}));
+  EXPECT_DOUBLE_EQ(ranked.front().value, 10.0)
+      << "TargetValue must report the raw attribute value, not the key";
+}
+
+TEST_F(ComposeTest, StableOnTies) {
+  const std::vector<attr::RankCandidate> candidates = {
+      candidate(2, 5.0), candidate(0, 5.0), candidate(1, 5.0)};
+  auto ranked = attr::RankingComposition::standard(
+                    attr::Polarity::kHigherFirst, false)
+                    .compose(candidates);
+  EXPECT_EQ(order(ranked), (std::vector<unsigned>{2, 0, 1}))
+      << "ties must keep input (topology) order";
+}
+
+TEST(ComposePropertyTest, RegistryRankingsEqualComposedCandidates) {
+  // The registry's own rankings must be exactly standard() over its own
+  // candidates — the refactor's no-behavior-change contract.
+  sim::SimMachine machine(topo::xeon_clx_snc_1lm());
+  attr::MemAttrRegistry registry(machine.topology());
+  ASSERT_TRUE(
+      hmat::load_into(registry, hmat::generate(machine.topology())).ok());
+  const attr::Initiator initiator = attr::Initiator::from_cpuset(
+      machine.topology().numa_node(0)->cpuset());
+  for (attr::AttrId attr : {attr::kCapacity, attr::kBandwidth, attr::kLatency,
+                            attr::kReadBandwidth, attr::kWriteLatency}) {
+    const auto candidates = registry.rank_candidates(
+        attr, initiator, topo::LocalityFlags::kIntersecting);
+    const auto composed =
+        attr::RankingComposition::standard(registry.info(attr).polarity,
+                                           /*confidence_aware=*/false)
+            .compose(candidates);
+    const auto ranked = registry.targets_ranked(
+        attr, initiator, topo::LocalityFlags::kIntersecting);
+    ASSERT_EQ(composed.size(), ranked.size()) << "attr " << attr;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      EXPECT_EQ(composed[i].target, ranked[i].target) << "attr " << attr;
+      EXPECT_DOUBLE_EQ(composed[i].value, ranked[i].value) << "attr " << attr;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PowerGovernor
+// ---------------------------------------------------------------------------
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  GovernorTest()
+      : machine_(topo::knl_snc4_flat()),
+        registry_(machine_.topology()),
+        allocator_(machine_, registry_),
+        initiator_(machine_.topology().numa_node(0)->cpuset()),
+        engine_(allocator_, initiator_, {}) {
+    EXPECT_TRUE(
+        hmat::load_into(registry_, hmat::generate(machine_.topology())).ok());
+    EXPECT_TRUE(power::feed_registry(registry_, machine_).ok());
+  }
+
+  unsigned hbm_node() const {
+    for (const topo::Object* node : machine_.topology().numa_nodes()) {
+      if (node->memory_kind() == topo::MemoryKind::kHBM) {
+        return node->logical_index();
+      }
+    }
+    return 0;
+  }
+
+  double machine_static_floor() const {
+    double total = 0.0;
+    for (const topo::Object* node : machine_.topology().numa_nodes()) {
+      const unsigned idx = node->logical_index();
+      total += machine_.power_draw_watts(idx);
+    }
+    return total;
+  }
+
+  sim::SimMachine machine_;
+  attr::MemAttrRegistry registry_;
+  alloc::HeterogeneousAllocator allocator_;
+  support::Bitmap initiator_;
+  runtime::MigrationEngine engine_;
+};
+
+TEST_F(GovernorTest, IdleGovernorIsByteIdenticalAndCacheFriendly) {
+  power::PowerGovernor governor(allocator_, engine_, initiator_);
+  ASSERT_DOUBLE_EQ(machine_.power_cap_watts(), 0.0);
+
+  const attr::Initiator initiator = attr::Initiator::from_cpuset(initiator_);
+  const auto plain = registry_.targets_ranked(attr::kBandwidth, initiator);
+  const std::uint64_t generation_before = registry_.generation();
+
+  // Warm the cache slot once, then measure: every placement_ranking and
+  // run_epoch of an idle governor must be invisible to the cache.
+  (void)governor.placement_ranking(attr::kBandwidth);
+  registry_.reset_ranking_cache_stats();
+  for (int i = 0; i < 20000; ++i) {
+    (void)governor.run_epoch(static_cast<std::uint64_t>(i), 4);
+    const auto ranked = governor.placement_ranking(attr::kBandwidth);
+    ASSERT_EQ(ranked.size(), plain.size());
+    for (std::size_t j = 0; j < ranked.size(); ++j) {
+      ASSERT_EQ(ranked[j].target, plain[j].target);
+      ASSERT_DOUBLE_EQ(ranked[j].value, plain[j].value);
+    }
+  }
+  EXPECT_EQ(registry_.generation(), generation_before)
+      << "idle governor must not churn ranking generations";
+  const attr::RankingCacheStats stats = registry_.ranking_cache_stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_GE(stats.hit_rate(), 0.9999);
+  EXPECT_EQ(governor.stats().epochs, 0u) << "no cap: the governor idles";
+}
+
+TEST_F(GovernorTest, NearCapRankingPrefersBandwidthPerWatt) {
+  power::PowerGovernor governor(allocator_, engine_, initiator_);
+  // knl_snc4_flat cluster 0: DRAM node (32 GB/s, cheap) + HBM node
+  // (90 GB/s, power-hungry). Under bandwidth the HBM leads; per watt the
+  // DRAM wins: 32e9 B/s costs ~0.1W/GiB*24GiB + 32e9*0.125nJ = 2.4+4.0 = 6.4 W
+  // (5.0 GB/s/W) vs HBM 0.35*4 + 90e9*0.265e-9 = 1.4+23.9 = 25.3 W (3.6).
+  machine_.set_power_cap_watts(1.0);  // any draw is over 100% of this cap
+  ASSERT_TRUE(governor.near_cap());
+  const auto aware = governor.placement_ranking(attr::kBandwidth);
+  ASSERT_GE(aware.size(), 2u);
+  EXPECT_EQ(aware.front().target->memory_kind(), topo::MemoryKind::kDRAM);
+
+  const auto plain = registry_.targets_ranked(
+      attr::kBandwidth, attr::Initiator::from_cpuset(initiator_));
+  EXPECT_EQ(plain.front().target->memory_kind(), topo::MemoryKind::kHBM)
+      << "plain bandwidth ranking must still prefer the HBM";
+}
+
+TEST_F(GovernorTest, OverCapDrainsOffenderTowardEfficientTargets) {
+  const unsigned hbm = hbm_node();
+  auto buffer = machine_.allocate(kGiB, hbm, "power.hot", 4096);
+  ASSERT_TRUE(buffer.ok());
+  // Sustained heavy traffic on the HBM node pushes machine draw over a cap
+  // set just above the static floor.
+  for (int i = 0; i < 4; ++i) {
+    machine_.record_node_traffic(hbm, 50'000'000'000ull, 10'000'000'000ull,
+                                 1e9);
+  }
+  machine_.set_power_cap_watts(machine_static_floor() - 5.0);
+
+  power::PowerGovernor governor(allocator_, engine_, initiator_);
+  const double paid = governor.run_epoch(1, 4);
+  EXPECT_GT(paid, 0.0) << "drain cost must be charged";
+  EXPECT_EQ(governor.stats().drained_buffers, 1u);
+  EXPECT_EQ(machine_.info(*buffer).node,
+            machine_.topology().numa_node(machine_.info(*buffer).node)
+                ->logical_index());
+  EXPECT_NE(machine_.info(*buffer).node, hbm) << "buffer must leave the HBM";
+  EXPECT_EQ(machine_.topology()
+                .numa_node(machine_.info(*buffer).node)
+                ->memory_kind(),
+            topo::MemoryKind::kDRAM)
+      << "energy ranking sends the drain to the cheapest-energy tier";
+  EXPECT_FALSE(governor.render_log().empty());
+}
+
+TEST_F(GovernorTest, SustainedOverCapThrottlesQuarantinesThenRecovers) {
+  // Fill every node so drains have nowhere to go: the offender stays the
+  // offender and sustained pressure must escalate to throttle events.
+  std::vector<unsigned> nodes;
+  for (const topo::Object* node : machine_.topology().numa_nodes()) {
+    const unsigned idx = node->logical_index();
+    const std::uint64_t fill = machine_.available_bytes(idx) - kMiB;
+    ASSERT_TRUE(machine_.allocate(fill, idx, "power.fill", 4096).ok());
+    nodes.push_back(idx);
+  }
+  const unsigned hbm = hbm_node();
+  for (int i = 0; i < 4; ++i) {
+    machine_.record_node_traffic(hbm, 80'000'000'000ull, 20'000'000'000ull,
+                                 1e9);
+  }
+  machine_.set_power_cap_watts(1.0);  // unreachable: pressure never clears
+
+  health::HealthMonitor monitor(machine_, registry_);
+  power::PowerGovernor governor(allocator_, engine_, initiator_,
+                                power::GovernorOptions{.throttle_after_epochs = 2});
+
+  // Offender = the HBM node (largest draw with live buffers). Epochs 1-2
+  // build the streak, 3+ report throttle events.
+  for (std::uint64_t epoch = 1; epoch <= 6; ++epoch) {
+    (void)governor.run_epoch(epoch, 4);
+    monitor.poll();
+  }
+  EXPECT_GT(governor.stats().throttle_events, 0u);
+  EXPECT_GT(machine_.node_telemetry(hbm).thermal_throttle_events, 0u);
+  EXPECT_EQ(monitor.state(hbm), health::HealthState::kQuarantined);
+  EXPECT_NE(monitor.quarantine().verdict(hbm),
+            health::PlacementVerdict::kNormal)
+      << "throttled node must take the quarantine-sink path";
+
+  // Lift the cap: the governor idles, throttle evidence stops, and the
+  // ordinary clean-streak hysteresis walks the node back to healthy.
+  machine_.set_power_cap_watts(0.0);
+  for (int i = 0; i < 12 && monitor.state(hbm) != health::HealthState::kHealthy;
+       ++i) {
+    monitor.poll();
+  }
+  EXPECT_EQ(monitor.state(hbm), health::HealthState::kHealthy);
+  EXPECT_EQ(monitor.quarantine().verdict(hbm),
+            health::PlacementVerdict::kNormal);
+}
+
+TEST_F(GovernorTest, DrainRespectsSharedEpochBudget) {
+  const unsigned hbm = hbm_node();
+  ASSERT_TRUE(machine_.allocate(kGiB, hbm, "power.a", 4096).ok());
+  ASSERT_TRUE(machine_.allocate(kGiB, hbm, "power.b", 4096).ok());
+  for (int i = 0; i < 4; ++i) {
+    machine_.record_node_traffic(hbm, 50'000'000'000ull, 10'000'000'000ull,
+                                 1e9);
+  }
+  machine_.set_power_cap_watts(1.0);
+
+  runtime::EngineOptions options;
+  options.epoch_budget_bytes = kGiB;  // room for exactly one of the two
+  runtime::MigrationEngine tight(allocator_, initiator_, options);
+  power::PowerGovernor governor(allocator_, tight, initiator_);
+  (void)governor.run_epoch(1, 4);
+  EXPECT_EQ(governor.stats().drained_buffers, 1u)
+      << "the shared engine budget must gate the governor's drains";
+  bool saw_budget_verdict = false;
+  for (const power::PowerDecision& decision : governor.decisions()) {
+    if (decision.verdict == power::PowerVerdict::kBudgetExhausted) {
+      saw_budget_verdict = true;
+    }
+  }
+  EXPECT_TRUE(saw_budget_verdict);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (TSan lane: suite name carries "Concurrency")
+// ---------------------------------------------------------------------------
+
+TEST(PowerConcurrencyTest, TelemetryWritersRaceDrawReadersCleanly) {
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const unsigned nodes =
+      static_cast<unsigned>(machine.topology().numa_nodes().size());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&machine, nodes, w] {
+      for (int i = 0; i < 4000; ++i) {
+        machine.record_node_traffic((i + w) % nodes, 1'000'000ull, 500'000ull,
+                                    1e6);
+        machine.report_thermal_throttle(static_cast<unsigned>(i) % nodes);
+      }
+    });
+  }
+  threads.emplace_back([&machine] {
+    for (int i = 0; i < 2000; ++i) {
+      machine.set_power_cap_watts(static_cast<double>(i % 100));
+    }
+  });
+  std::atomic<double> sink{0.0};
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&machine, &stop, &sink, nodes] {
+      double local = 0.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (unsigned node = 0; node < nodes; ++node) {
+          local += machine.power_draw_watts(node);
+          local += static_cast<double>(
+              machine.node_telemetry(node).thermal_throttle_events);
+        }
+      }
+      sink.store(local, std::memory_order_relaxed);
+    });
+  }
+  for (int w = 0; w < 3; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::size_t t = 3; t < threads.size(); ++t) threads[t].join();
+  for (unsigned node = 0; node < nodes; ++node) {
+    EXPECT_GE(machine.power_draw_watts(node), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hetmem
