@@ -1,0 +1,375 @@
+// Phase-shift ablation (docs/RUNTIME.md "Phase shifts & trace replay"):
+// the online runtime vs a clairvoyant oracle on the KV-cache hot-set
+// rotation workload, plus the record -> replay determinism contract.
+//
+// The KV-cache kernel spreads its value store over four 1 GiB segments and
+// rotates the Zipf head to the next segment every `kShiftEvery` phases.
+// Fast memory is squeezed so only one segment (plus the append log) fits:
+// after every rotation the runtime must notice the old hot segment cooling
+// (EMA decay under the 1% share floor), evict it, and promote the new hot
+// segment — paying for its own migrations — while the oracle teleports the
+// hot segment to fast memory at every shift boundary for free.
+//
+// Gates (--check exits 1 when any fails):
+//   recovery      per rotation window, online steady-state throughput
+//                 (mean of the last kSteadyPhases phases) >= 90% of the
+//                 oracle's for the same window;
+//   budget        bytes migrated by the engine never exceed
+//                 kBudgetBytes in any single epoch (per-epoch sum over
+//                 the decision log AND the engine's high-water mark);
+//   determinism   a TraceRecorder rides the online run; serializing the
+//                 trace, parsing it back, and replaying it twice on fresh
+//                 identically-prepared testbeds yields decision logs that
+//                 are byte-identical to each other AND to the live run's.
+//
+// Usage: ablation_phases [--out FILE] [--check]
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "hetmem/apps/kvcache.hpp"
+#include "hetmem/runtime/policy.hpp"
+#include "hetmem/trace/trace.hpp"
+
+namespace {
+
+using namespace hetmem;
+using support::kGiB;
+using support::kMiB;
+
+constexpr unsigned kSegments = 4;
+constexpr unsigned kShiftEvery = 10;
+constexpr unsigned kWindows = 4;
+constexpr unsigned kSteadyPhases = 3;
+constexpr std::uint64_t kSegmentBytes = 1 * kGiB;
+constexpr std::uint64_t kLogBytes = 512 * kMiB;
+// Room for one segment + the log + slack; an epoch may evict the cooling
+// segment and promote the heating one, hence a two-segment budget.
+constexpr std::uint64_t kFastHeadroom = kSegmentBytes + kLogBytes + 256 * kMiB;
+constexpr std::uint64_t kBudgetBytes = 2 * kSegmentBytes;
+
+support::Bitmap first_initiator(const topo::Topology& topology) {
+  for (const topo::Object* node : topology.numa_nodes()) {
+    if (!node->cpuset().empty()) return node->cpuset();
+  }
+  return {};
+}
+
+unsigned best_target(const bench::Testbed& bed, attr::AttrId attribute) {
+  const auto ranked = bed.registry->targets_ranked(
+      attribute,
+      attr::Initiator::from_cpuset(first_initiator(bed.topology())));
+  return ranked.empty() ? 0 : ranked.front().target->logical_index();
+}
+
+apps::KvCacheConfig workload_config() {
+  apps::KvCacheConfig config;
+  config.declared_value_bytes = kSegments * kSegmentBytes;
+  config.segments = kSegments;
+  config.declared_log_bytes = kLogBytes;
+  config.phases = kWindows * kShiftEvery;
+  config.shift_every_phases = kShiftEvery;
+  return config;
+}
+
+runtime::RuntimePolicyOptions online_options() {
+  runtime::RuntimePolicyOptions options;
+  // Same recipe as ablation_runtime: responsive EMA so a cooled segment
+  // falls under the insensitive floor within a few epochs, short hysteresis,
+  // a horizon long enough to amortize 1 GiB promotions.
+  options.classifier.ema_alpha = 0.85;
+  options.classifier.hysteresis_epochs = 2;
+  options.engine.expected_future_epochs = 50.0;
+  options.engine.epoch_budget_bytes = kBudgetBytes;
+  return options;
+}
+
+struct Setup {
+  bench::Testbed bed;
+  std::unique_ptr<apps::KvCacheRunner> runner;
+  support::Bitmap initiator;
+  unsigned fast = 0;
+  unsigned slow = 0;
+  bool ok = false;
+};
+
+/// Fresh testbed with fast memory squeezed and every KV buffer parked on
+/// the capacity target — the same initial state for live, oracle and
+/// replay runs (replay determinism depends on identical preparation).
+Setup make_setup() {
+  Setup setup;
+  setup.bed = bench::make_xeon();
+  setup.initiator = first_initiator(setup.bed.topology());
+  setup.fast = best_target(setup.bed, attr::kBandwidth);
+  setup.slow = best_target(setup.bed, attr::kCapacity);
+
+  const std::uint64_t fast_free = setup.bed.machine->available_bytes(setup.fast);
+  if (fast_free > kFastHeadroom) {
+    auto hog = setup.bed.machine->allocate(fast_free - kFastHeadroom,
+                                           setup.fast, "resident.hog", 4096);
+    if (!hog.ok()) return setup;
+  }
+  auto runner = apps::KvCacheRunner::create(
+      *setup.bed.machine, setup.bed.allocator.get(), setup.initiator,
+      workload_config(), apps::KvCachePlacement::all_on_node(setup.slow));
+  if (!runner.ok()) return setup;
+  setup.runner = std::move(runner).take();
+  setup.ok = true;
+  return setup;
+}
+
+/// Mean simulated ns of the last kSteadyPhases phases of each window.
+std::vector<double> steady_window_ns(const std::vector<double>& phase_ns) {
+  std::vector<double> steady;
+  for (unsigned window = 0; window < kWindows; ++window) {
+    const unsigned end = (window + 1) * kShiftEvery;
+    double sum = 0.0;
+    for (unsigned phase = end - kSteadyPhases; phase < end; ++phase) {
+      sum += phase_ns[phase];
+    }
+    steady.push_back(sum / kSteadyPhases);
+  }
+  return steady;
+}
+
+struct OnlineResult {
+  bool ok = false;
+  std::vector<double> steady_ns;
+  std::uint64_t accepted = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t max_epoch_bytes = 0;
+  std::uint64_t worst_epoch_sum = 0;  // per-epoch decision-log sum high-water
+  std::string decision_log;
+  trace::Trace trace;
+};
+
+OnlineResult run_online() {
+  OnlineResult result;
+  Setup setup = make_setup();
+  if (!setup.ok) return result;
+  apps::KvCacheRunner& runner = *setup.runner;
+
+  runtime::RuntimePolicy policy(*setup.bed.allocator, setup.initiator,
+                                online_options());
+  // attach() installs the post-migration refresh; the recorder then takes
+  // over the observer slot and chains the policy behind its own recording.
+  policy.attach(runner.exec(), [&runner] { runner.refresh_arrays(); });
+  trace::TraceRecorder recorder({1, "kvcache.phases"});
+  recorder.attach(runner.exec(), &policy);
+
+  auto run = runner.run();
+  if (!run.ok()) return result;
+
+  result.steady_ns = steady_window_ns(run->phase_ns);
+  result.accepted = policy.engine().stats().accepted;
+  result.evicted = policy.engine().stats().evicted;
+  result.max_epoch_bytes = policy.engine().max_epoch_migrated_bytes();
+  std::map<std::uint64_t, std::uint64_t> per_epoch;
+  for (const runtime::Decision& decision : policy.decisions()) {
+    if (decision.verdict == runtime::Verdict::kAccepted ||
+        decision.verdict == runtime::Verdict::kEvicted) {
+      per_epoch[decision.epoch] += decision.bytes;
+    }
+  }
+  for (const auto& [epoch, bytes] : per_epoch) {
+    result.worst_epoch_sum = std::max(result.worst_epoch_sum, bytes);
+  }
+  result.decision_log = policy.render_decision_log();
+  result.trace = recorder.trace();
+  result.ok = true;
+  return result;
+}
+
+struct OracleResult {
+  bool ok = false;
+  std::vector<double> steady_ns;
+};
+
+/// Clairvoyant baseline: before every rotation window the hot segment (and
+/// the append log, once) teleports to fast memory via machine.migrate —
+/// no cost charged, no budget drawn. Requires knowing the schedule.
+OracleResult run_oracle() {
+  OracleResult result;
+  Setup setup = make_setup();
+  if (!setup.ok) return result;
+  apps::KvCacheRunner& runner = *setup.runner;
+  sim::SimMachine& machine = *setup.bed.machine;
+
+  if (!machine.migrate(runner.log_buffer(), setup.fast).ok()) return result;
+
+  std::vector<double> phase_ns;
+  for (unsigned window = 0; window < kWindows; ++window) {
+    const unsigned hot = runner.hot_segment(window * kShiftEvery);
+    if (window > 0) {
+      const unsigned cooled =
+          runner.hot_segment((window - 1) * kShiftEvery);
+      if (!machine.migrate(runner.segment_buffer(cooled), setup.slow).ok()) {
+        return result;
+      }
+    }
+    if (!machine.migrate(runner.segment_buffer(hot), setup.fast).ok()) {
+      return result;
+    }
+    runner.refresh_arrays();
+    auto run = runner.run_phases(kShiftEvery);
+    if (!run.ok()) return result;
+    phase_ns.insert(phase_ns.end(), run->phase_ns.begin(),
+                    run->phase_ns.end());
+  }
+  result.steady_ns = steady_window_ns(phase_ns);
+  result.ok = true;
+  return result;
+}
+
+/// Replays `trace` against a fresh identically-prepared testbed and returns
+/// the resulting decision log.
+std::string replay_log(const trace::Trace& trace) {
+  Setup setup = make_setup();
+  if (!setup.ok) return "<setup failed>";
+  runtime::RuntimePolicy policy(*setup.bed.allocator, setup.initiator,
+                                online_options());
+  trace::TraceReplayer replayer(policy);
+  (void)replayer.replay(trace);
+  return policy.render_decision_log();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_phases.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else {
+      std::cerr << "usage: ablation_phases [--out FILE] [--check]\n";
+      return 2;
+    }
+  }
+
+  OnlineResult online = run_online();
+  OracleResult oracle = run_oracle();
+  if (!online.ok || !oracle.ok) {
+    std::cerr << "phase ablation setup failed\n";
+    return 1;
+  }
+
+  // Round-trip the recorded trace through the text format, then replay it
+  // twice on fresh testbeds.
+  const std::string text = trace::serialize(online.trace);
+  auto parsed = trace::parse(text);
+  if (!parsed.ok()) {
+    std::cerr << "trace round-trip failed: " << parsed.error().message << "\n";
+    return 1;
+  }
+  const std::string first_replay = replay_log(*parsed);
+  const std::string second_replay = replay_log(*parsed);
+  const bool replays_equal = first_replay == second_replay;
+  const bool live_equals_replay = first_replay == online.decision_log;
+
+  bool recovery_ok = true;
+  std::vector<double> ratios;
+  for (unsigned window = 0; window < kWindows; ++window) {
+    // Throughput ratio == inverse time ratio for equal per-phase work.
+    const double ratio = oracle.steady_ns[window] / online.steady_ns[window];
+    ratios.push_back(ratio);
+    recovery_ok &= ratio >= 0.90;
+  }
+  const bool budget_ok = online.max_epoch_bytes <= kBudgetBytes &&
+                         online.worst_epoch_sum <= kBudgetBytes;
+  const bool determinism_ok = replays_equal && live_equals_replay;
+  const bool all_ok = recovery_ok && budget_ok && determinism_ok;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  bench::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("hetmem.bench.phases/1");
+  json.key("config").begin_object();
+  json.key("segments").value(kSegments);
+  json.key("shift_every_phases").value(kShiftEvery);
+  json.key("windows").value(kWindows);
+  json.key("segment_bytes").value(static_cast<std::uint64_t>(kSegmentBytes));
+  json.key("budget_bytes").value(static_cast<std::uint64_t>(kBudgetBytes));
+  json.key("zipf_s").value(workload_config().zipf_s);
+  json.end_object();
+  json.key("windows").begin_array();
+  for (unsigned window = 0; window < kWindows; ++window) {
+    json.begin_object();
+    json.key("window").value(window);
+    json.key("online_steady_ms").value(online.steady_ns[window] / 1e6);
+    json.key("oracle_steady_ms").value(oracle.steady_ns[window] / 1e6);
+    json.key("recovery").value(ratios[window]);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("migrations").begin_object();
+  json.key("accepted").value(online.accepted);
+  json.key("evicted").value(online.evicted);
+  json.key("max_epoch_bytes").value(online.max_epoch_bytes);
+  json.key("worst_epoch_decision_sum").value(online.worst_epoch_sum);
+  json.end_object();
+  json.key("determinism").begin_object();
+  json.key("trace_epochs")
+      .value(static_cast<std::uint64_t>(online.trace.epochs.size()));
+  json.key("trace_bytes").value(static_cast<std::uint64_t>(text.size()));
+  json.key("replays_equal").value(replays_equal);
+  json.key("live_equals_replay").value(live_equals_replay);
+  json.end_object();
+  json.key("gates").begin_object();
+  json.key("recovery").value(recovery_ok);
+  json.key("budget").value(budget_ok);
+  json.key("determinism").value(determinism_ok);
+  json.key("all").value(all_ok);
+  json.end_object();
+  json.end_object();
+  out << '\n';
+  out.close();
+
+  std::cout << "wrote " << out_path << "\n";
+  for (unsigned window = 0; window < kWindows; ++window) {
+    std::cout << "window " << window << ": online "
+              << support::format_fixed(online.steady_ns[window] / 1e6, 2)
+              << " ms vs oracle "
+              << support::format_fixed(oracle.steady_ns[window] / 1e6, 2)
+              << " ms steady-state -> recovery "
+              << support::format_fixed(ratios[window] * 100.0, 1) << "%\n";
+  }
+  std::cout << "migrations: " << online.accepted << " accepted, "
+            << online.evicted << " evicted, max epoch bytes "
+            << support::format_bytes(online.max_epoch_bytes) << " (budget "
+            << support::format_bytes(kBudgetBytes) << ")\n";
+  std::cout << "replay: " << online.trace.epochs.size() << " epochs, "
+            << text.size() << " bytes serialized, replays "
+            << (replays_equal ? "identical" : "DIVERGED") << ", live vs replay "
+            << (live_equals_replay ? "identical" : "DIVERGED") << "\n";
+  std::cout << "gates: recovery " << (recovery_ok ? "ok" : "FAIL")
+            << ", budget " << (budget_ok ? "ok" : "FAIL") << ", determinism "
+            << (determinism_ok ? "ok" : "FAIL") << "\n";
+  // The moves tell the rotation story (promote, then evict-cooled +
+  // promote-heated at every shift); rejections only matter on failure.
+  std::istringstream lines(online.decision_log);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.find(" accepted ") != std::string::npos ||
+        line.find(" evicted ") != std::string::npos) {
+      std::cout << line << "\n";
+    }
+  }
+  if (!all_ok) {
+    std::cout << "full online decision log:\n" << online.decision_log;
+  }
+  if (check && !all_ok) return 1;
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Record a live run's traffic, replay it from the trace file — same
+// decisions, byte for byte.
+//
+// The phase-shifting KV-cache workload runs under the online runtime with a
+// TraceRecorder chained in front of the policy. The recorder captures the
+// raw per-epoch traffic deltas into a compact text trace; replaying that
+// trace through a fresh RuntimePolicy on an identically-prepared machine
+// drives the same classifier and migration engine to the exact same
+// decision log — no workload, no timing, just the trace. That is the debug
+// loop docs/RUNTIME.md ("Phase shifts & trace replay") promises: capture a
+// production run once, then iterate on policy parameters offline.
+#include <cstdio>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/apps/kvcache.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/runtime/policy.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+#include "hetmem/trace/trace.hpp"
+
+using namespace hetmem;
+using support::kGiB;
+using support::kMiB;
+
+namespace {
+
+apps::KvCacheConfig workload_config() {
+  apps::KvCacheConfig config;
+  config.backing_keys_per_segment = 1u << 12;
+  config.backing_lookups_per_thread = 512;
+  config.phases = 24;
+  config.shift_every_phases = 6;  // hot segment rotates every 6 phases
+  return config;
+}
+
+runtime::RuntimePolicyOptions policy_options() {
+  runtime::RuntimePolicyOptions options;
+  options.classifier.ema_alpha = 0.85;
+  options.classifier.hysteresis_epochs = 2;
+  options.engine.expected_future_epochs = 50.0;
+  return options;
+}
+
+/// The testbed both the live run and the replay are prepared on: Xeon with
+/// fast DRAM squeezed to one-hot-segment headroom, KV-cache on the NVDIMM.
+struct Bed {
+  sim::SimMachine machine;
+  attr::MemAttrRegistry registry;
+  alloc::HeterogeneousAllocator allocator;
+  support::Bitmap initiator;
+  std::unique_ptr<apps::KvCacheRunner> runner;
+
+  Bed()
+      : machine(topo::xeon_clx_1lm()),
+        registry(machine.topology()),
+        allocator(machine, registry),
+        initiator(machine.topology().numa_node(0)->cpuset()) {
+    if (!hmat::load_into(registry, hmat::generate(machine.topology())).ok()) {
+      return;
+    }
+    unsigned slow = 0;
+    for (const topo::Object* node : machine.topology().numa_nodes()) {
+      if (node->memory_kind() == topo::MemoryKind::kNVDIMM) {
+        slow = node->logical_index();
+      }
+    }
+    const apps::KvCacheConfig config = workload_config();
+    const std::uint64_t headroom = config.declared_value_bytes /
+                                       config.segments +
+                                   config.declared_log_bytes + 256 * kMiB;
+    const std::uint64_t fast_free = machine.available_bytes(0);
+    if (fast_free > headroom) {
+      (void)machine.allocate(fast_free - headroom, 0, "resident.hog", 4096);
+    }
+    auto created =
+        apps::KvCacheRunner::create(machine, &allocator, initiator, config,
+                                    apps::KvCachePlacement::all_on_node(slow));
+    if (created.ok()) runner = std::move(created).take();
+  }
+};
+
+}  // namespace
+
+int main() {
+  // --- 1. Live run, recorded ----------------------------------------------
+  Bed live;
+  if (!live.runner) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+  runtime::RuntimePolicy policy(live.allocator, live.initiator,
+                                policy_options());
+  policy.attach(live.runner->exec(), [&] { live.runner->refresh_arrays(); });
+  trace::TraceRecorder recorder({1, "kvcache.phases"});
+  recorder.attach(live.runner->exec(), &policy);
+
+  auto result = live.runner->run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.error().to_string().c_str());
+    return 1;
+  }
+  const std::string live_log = policy.render_decision_log();
+  std::printf("live run: %.1f Mlookups/s, checksum %.6g\n",
+              result->lookups_per_second / 1e6, result->checksum);
+  std::printf("decision log:\n%s\n", live_log.c_str());
+
+  // --- 2. Serialize the trace ---------------------------------------------
+  const std::string text = trace::serialize(recorder.trace());
+  std::printf("trace: %zu epochs, %zu bytes serialized; first lines:\n",
+              recorder.trace().epochs.size(), text.size());
+  std::size_t shown = 0;
+  for (std::size_t pos = 0; pos < text.size() && shown < 6; ++shown) {
+    const std::size_t eol = text.find('\n', pos);
+    std::printf("  %s\n", text.substr(pos, eol - pos).c_str());
+    pos = eol + 1;
+  }
+  std::printf("  ...\n\n");
+
+  // --- 3. Replay on a fresh machine ---------------------------------------
+  auto parsed = trace::parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  Bed fresh;
+  if (!fresh.runner) {
+    std::fprintf(stderr, "replay setup failed\n");
+    return 1;
+  }
+  runtime::RuntimePolicy replay_policy(fresh.allocator, fresh.initiator,
+                                       policy_options());
+  trace::TraceReplayer replayer(replay_policy);
+  const trace::ReplayStats stats = replayer.replay(*parsed);
+  const std::string replay_log = replay_policy.render_decision_log();
+  std::printf("replayed %llu epochs (paid %.2f ms simulated migration cost)\n",
+              static_cast<unsigned long long>(stats.epochs),
+              stats.paid_ns / 1e6);
+  std::printf("replay log %s the live log, byte for byte\n",
+              replay_log == live_log ? "MATCHES" : "DIFFERS FROM");
+  return replay_log == live_log ? 0 : 1;
+}

@@ -60,11 +60,21 @@ class EpochSampler {
   /// the phase countdown — e.g. to flush at the end of a run.
   Epoch force_epoch(const sim::ExecutionContext& exec);
 
+  /// Replay path (trace::TraceReplayer): applies this sampler's subsampling
+  /// to a RAW (exact-delta) epoch as if it had been observed live — same
+  /// per-sample stochastic-rounding draws, same RNG stream, epochs numbered
+  /// by this sampler's own counter. Feeding the raw deltas a live sampler
+  /// saw, in order, into a fresh sampler with the same options reproduces
+  /// the live sampler's output epochs bit for bit.
+  Epoch subsample_epoch(const Epoch& raw);
+
   [[nodiscard]] std::uint64_t epochs_emitted() const { return epochs_; }
   [[nodiscard]] const SamplerOptions& options() const { return options_; }
 
  private:
   Epoch make_epoch(const sim::ExecutionContext& exec);
+  /// Applies the subsample period to one buffer's traffic delta in place.
+  void subsample_traffic(sim::BufferTraffic& delta);
   /// Stochastic rounding of `value` to multiples of `quantum`.
   double subsample(double value, double quantum);
 

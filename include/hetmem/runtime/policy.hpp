@@ -50,6 +50,16 @@ class RuntimePolicy {
   /// Manual driving without attach(): call once per completed phase.
   void on_phase(sim::ExecutionContext& exec);
 
+  /// Trace-replay entry point (trace::TraceReplayer): runs one RAW
+  /// (exact-delta) epoch through the full pipeline without a live
+  /// ExecutionContext — the sampler resamples it (same stochastic-rounding
+  /// stream a live run would draw), the classifier observes, the engine
+  /// migrates, and any epoch hook runs. Returns the paid simulated-ns cost
+  /// (nothing is charged anywhere — there is no clock to charge). On a
+  /// machine prepared identically to the recorded run, replaying a recorded
+  /// trace reproduces the decision log byte for byte.
+  double replay_epoch(const Epoch& raw_epoch, unsigned threads);
+
   /// Runs after the engine's epoch, before overhead is charged — the hook
   /// returns additional simulated-ns cost to charge (0.0 for none). The
   /// health subsystem plugs its poll-and-evacuate step in here

@@ -1,0 +1,57 @@
+// Seeded Zipfian rank sampling.
+//
+// KV-cache style workloads are dominated by a small set of hot keys whose
+// popularity follows a power law: the r-th most popular key is drawn with
+// probability proportional to r^-s. The distribution precomputes the CDF
+// over a bounded rank universe once and samples by binary search, so draws
+// are O(log ranks), allocation-free, and — driven by Xoshiro256 — fully
+// deterministic for a fixed seed (the phase-shift workloads and synthetic
+// trace generators both depend on that).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "hetmem/support/rng.hpp"
+
+namespace hetmem::support {
+
+class ZipfDistribution {
+ public:
+  /// `ranks`: size of the rank universe (>= 1). `s`: skew exponent; s = 0 is
+  /// uniform, s around 1 matches classic web/KV popularity, larger s
+  /// concentrates mass further into the head.
+  ZipfDistribution(std::size_t ranks, double s) : cdf_(std::max<std::size_t>(1, ranks)) {
+    double sum = 0.0;
+    for (std::size_t rank = 0; rank < cdf_.size(); ++rank) {
+      sum += std::pow(static_cast<double>(rank + 1), -s);
+      cdf_[rank] = sum;
+    }
+    for (double& value : cdf_) value /= sum;
+  }
+
+  [[nodiscard]] std::size_t ranks() const { return cdf_.size(); }
+
+  /// Draws a rank in [0, ranks()), 0 being the most popular.
+  [[nodiscard]] std::size_t sample(Xoshiro256& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    const std::size_t rank = static_cast<std::size_t>(it - cdf_.begin());
+    return std::min(rank, cdf_.size() - 1);
+  }
+
+  /// Probability mass of ranks [0, rank) — how much of the traffic the top
+  /// `rank` keys absorb (used to size hot sets against the 1% share floor
+  /// the classifier treats as insensitive).
+  [[nodiscard]] double mass_below(std::size_t rank) const {
+    if (rank == 0) return 0.0;
+    return cdf_[std::min(rank, cdf_.size()) - 1];
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace hetmem::support

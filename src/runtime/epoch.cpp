@@ -23,6 +23,22 @@ double EpochSampler::subsample(double value, double quantum) {
   return estimate * quantum;
 }
 
+void EpochSampler::subsample_traffic(sim::BufferTraffic& delta) {
+  // One sample per period: event counters are known to multiples of the
+  // period, byte counters to multiples of period * cache-line bytes.
+  const double event_quantum = options_.sample_period;
+  const double byte_quantum = options_.sample_period * 64.0;
+  delta.reads = subsample(delta.reads, event_quantum);
+  delta.writes = subsample(delta.writes, event_quantum);
+  delta.llc_misses = subsample(delta.llc_misses, event_quantum);
+  delta.memory_bytes = subsample(delta.memory_bytes, byte_quantum);
+  delta.random_accesses = subsample(delta.random_accesses, event_quantum);
+  delta.random_misses = subsample(delta.random_misses, event_quantum);
+  // Keep the ratio invariants the classifier divides by: misses cannot
+  // exceed accesses-style counters after independent rounding.
+  delta.random_misses = std::min(delta.random_misses, delta.llc_misses);
+}
+
 Epoch EpochSampler::make_epoch(const sim::ExecutionContext& exec) {
   std::vector<sim::BufferTraffic> merged = exec.merged_buffer_traffic();
   if (snapshot_.size() < merged.size()) snapshot_.resize(merged.size());
@@ -31,12 +47,7 @@ Epoch EpochSampler::make_epoch(const sim::ExecutionContext& exec) {
   epoch.index = epochs_;
   epoch.duration_ns = exec.clock_ns() - snapshot_clock_ns_;
 
-  // One sample per period: event counters are known to multiples of the
-  // period, byte counters to multiples of period * cache-line bytes.
-  const double period = options_.sample_period;
-  const double event_quantum = period;
-  const double byte_quantum = period * 64.0;
-  const bool exact = period <= 1.0;
+  const bool exact = options_.sample_period <= 1.0;
 
   for (std::uint32_t index = 0; index < merged.size(); ++index) {
     const sim::BufferTraffic& now = merged[index];
@@ -51,17 +62,7 @@ Epoch EpochSampler::make_epoch(const sim::ExecutionContext& exec) {
     const bool any = delta.reads > 0.0 || delta.writes > 0.0 ||
                      delta.memory_bytes > 0.0;
     if (!any) continue;
-    if (!exact) {
-      delta.reads = subsample(delta.reads, event_quantum);
-      delta.writes = subsample(delta.writes, event_quantum);
-      delta.llc_misses = subsample(delta.llc_misses, event_quantum);
-      delta.memory_bytes = subsample(delta.memory_bytes, byte_quantum);
-      delta.random_accesses = subsample(delta.random_accesses, event_quantum);
-      delta.random_misses = subsample(delta.random_misses, event_quantum);
-      // Keep the ratio invariants the classifier divides by: misses cannot
-      // exceed accesses-style counters after independent rounding.
-      delta.random_misses = std::min(delta.random_misses, delta.llc_misses);
-    }
+    if (!exact) subsample_traffic(delta);
     epoch.total_memory_bytes += delta.memory_bytes;
     epoch.samples.push_back(EpochSample{sim::BufferId{index}, delta});
   }
@@ -80,6 +81,29 @@ std::optional<Epoch> EpochSampler::on_phase(const sim::ExecutionContext& exec) {
 
 Epoch EpochSampler::force_epoch(const sim::ExecutionContext& exec) {
   return make_epoch(exec);
+}
+
+Epoch EpochSampler::subsample_epoch(const Epoch& raw) {
+  Epoch epoch;
+  epoch.index = epochs_;
+  epoch.duration_ns = raw.duration_ns;
+  const bool exact = options_.sample_period <= 1.0;
+  for (const EpochSample& sample : raw.samples) {
+    sim::BufferTraffic delta = sample.traffic;
+    // Same inclusion rule as make_epoch: a recorded sample with no raw
+    // activity neither appears in the output nor consumes RNG draws, so the
+    // rounding stream stays aligned with what a live sampler would have
+    // drawn from the same deltas.
+    const bool any = delta.reads > 0.0 || delta.writes > 0.0 ||
+                     delta.memory_bytes > 0.0;
+    if (!any) continue;
+    if (!exact) subsample_traffic(delta);
+    epoch.total_memory_bytes += delta.memory_bytes;
+    epoch.samples.push_back(EpochSample{sample.buffer, delta});
+  }
+  phases_since_epoch_ = 0;
+  ++epochs_;
+  return epoch;
 }
 
 }  // namespace hetmem::runtime

@@ -35,4 +35,16 @@ void RuntimePolicy::on_phase(sim::ExecutionContext& exec) {
   }
 }
 
+double RuntimePolicy::replay_epoch(const Epoch& raw_epoch, unsigned threads) {
+  Epoch epoch = sampler_.subsample_epoch(raw_epoch);
+  classifier_.observe(epoch);
+  const std::uint64_t migrations_before = allocator_->stats().migrations;
+  double paid_ns = engine_.run_epoch(epoch.index, classifier_, threads);
+  if (epoch_hook_) paid_ns += epoch_hook_(epoch.index, threads);
+  if (allocator_->stats().migrations != migrations_before && post_migration_) {
+    post_migration_();
+  }
+  return paid_ns;
+}
+
 }  // namespace hetmem::runtime

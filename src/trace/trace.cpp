@@ -1,0 +1,362 @@
+#include "hetmem/trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace hetmem::trace {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+
+namespace {
+
+constexpr const char* kHeader = "hetmem-trace/1";
+
+// Hexfloat ("%a") is the one printf format that round-trips every finite
+// double exactly through strtod — the lossless-serialization property the
+// replay determinism gate rests on.
+void append_double(std::string& out, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  out += buffer;
+}
+
+struct Cursor {
+  const char* pos;
+  const char* end;
+  std::size_t line = 1;
+
+  [[nodiscard]] bool done() const { return pos >= end; }
+
+  /// Consumes one line, returning it without the trailing newline.
+  std::string_view next_line() {
+    const char* start = pos;
+    while (pos < end && *pos != '\n') ++pos;
+    std::string_view result(start, static_cast<std::size_t>(pos - start));
+    if (pos < end) ++pos;  // swallow '\n'
+    ++line;
+    return result;
+  }
+};
+
+support::Error parse_error(const Cursor& cursor, const std::string& what) {
+  return make_error(Errc::kInvalidArgument,
+                    "trace parse error at line " +
+                        std::to_string(cursor.line - 1) + ": " + what);
+}
+
+/// Splits `text` at the first space; returns the head, advances `text`.
+std::string_view take_word(std::string_view& text) {
+  const std::size_t space = text.find(' ');
+  std::string_view word = text.substr(0, space);
+  text.remove_prefix(space == std::string_view::npos ? text.size() : space + 1);
+  return word;
+}
+
+bool parse_u64(std::string_view word, std::uint64_t& out) {
+  if (word.empty()) return false;
+  char* parse_end = nullptr;
+  const std::string owned(word);
+  out = std::strtoull(owned.c_str(), &parse_end, 10);
+  return parse_end == owned.c_str() + owned.size();
+}
+
+bool parse_f64(std::string_view word, double& out) {
+  if (word.empty()) return false;
+  char* parse_end = nullptr;
+  const std::string owned(word);
+  out = std::strtod(owned.c_str(), &parse_end);
+  return parse_end == owned.c_str() + owned.size();
+}
+
+sim::BufferTraffic latency_profile(const SynthOptions& options) {
+  // A pointer-chase shape: every access dependent-indexed, ~97% missing the
+  // LLC (a working set far past cache), one line per miss reaching memory.
+  sim::BufferTraffic traffic;
+  const double misses = options.random_accesses * 0.97;
+  traffic.reads = options.random_accesses;
+  traffic.llc_misses = misses;
+  traffic.random_accesses = options.random_accesses;
+  traffic.random_misses = misses;
+  traffic.memory_bytes = misses * 64.0;
+  return traffic;
+}
+
+sim::BufferTraffic bandwidth_profile(const SynthOptions& options) {
+  sim::BufferTraffic traffic;
+  traffic.reads = options.stream_bytes / 64.0;
+  traffic.llc_misses = options.stream_bytes / 64.0;
+  traffic.memory_bytes = options.stream_bytes;
+  return traffic;
+}
+
+sim::BufferTraffic scale(sim::BufferTraffic traffic, double factor) {
+  traffic.reads *= factor;
+  traffic.writes *= factor;
+  traffic.llc_misses *= factor;
+  traffic.memory_bytes *= factor;
+  traffic.random_accesses *= factor;
+  traffic.random_misses *= factor;
+  return traffic;
+}
+
+sim::BufferTraffic blend(const sim::BufferTraffic& a,
+                         const sim::BufferTraffic& b, double t) {
+  sim::BufferTraffic out = scale(a, 1.0 - t);
+  const sim::BufferTraffic part = scale(b, t);
+  out.reads += part.reads;
+  out.writes += part.writes;
+  out.llc_misses += part.llc_misses;
+  out.memory_bytes += part.memory_bytes;
+  out.random_accesses += part.random_accesses;
+  out.random_misses += part.random_misses;
+  return out;
+}
+
+Trace synth_base(const SynthOptions& options) {
+  Trace trace;
+  trace.workload = options.workload;
+  trace.threads = options.threads;
+  trace.phases_per_epoch = 1;
+  trace.epochs.reserve(options.epochs);
+  return trace;
+}
+
+void push_epoch(Trace& trace, std::uint64_t index, double duration_ns,
+                std::vector<runtime::EpochSample> samples) {
+  runtime::Epoch epoch;
+  epoch.index = index;
+  epoch.duration_ns = duration_ns;
+  for (const runtime::EpochSample& sample : samples) {
+    epoch.total_memory_bytes += sample.traffic.memory_bytes;
+  }
+  epoch.samples = std::move(samples);
+  trace.epochs.push_back(std::move(epoch));
+}
+
+}  // namespace
+
+std::string serialize(const Trace& trace) {
+  std::string out;
+  out += kHeader;
+  out += '\n';
+  out += "workload " + trace.workload + '\n';
+  out += "threads " + std::to_string(trace.threads) + '\n';
+  out += "phases_per_epoch " + std::to_string(trace.phases_per_epoch) + '\n';
+  for (const runtime::Epoch& epoch : trace.epochs) {
+    out += "epoch " + std::to_string(epoch.index) + ' ';
+    append_double(out, epoch.duration_ns);
+    out += '\n';
+    for (const runtime::EpochSample& sample : epoch.samples) {
+      out += "s " + std::to_string(sample.buffer.index);
+      const double fields[] = {
+          sample.traffic.reads,          sample.traffic.writes,
+          sample.traffic.llc_misses,     sample.traffic.memory_bytes,
+          sample.traffic.random_accesses, sample.traffic.random_misses,
+      };
+      for (double field : fields) {
+        out += ' ';
+        append_double(out, field);
+      }
+      out += '\n';
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<Trace> parse(std::string_view text) {
+  Cursor cursor{text.data(), text.data() + text.size()};
+  if (cursor.done() || cursor.next_line() != kHeader) {
+    return parse_error(cursor, std::string("expected header ") + kHeader);
+  }
+
+  Trace trace;
+  trace.workload.clear();
+  runtime::Epoch* epoch = nullptr;
+  bool ended = false;
+  std::uint64_t number = 0;
+
+  while (!cursor.done()) {
+    std::string_view rest = cursor.next_line();
+    if (rest.empty()) continue;
+    const std::string_view tag = take_word(rest);
+    if (tag == "workload") {
+      trace.workload = std::string(rest);
+    } else if (tag == "threads") {
+      if (!parse_u64(take_word(rest), number)) {
+        return parse_error(cursor, "bad thread count");
+      }
+      trace.threads = static_cast<unsigned>(number);
+    } else if (tag == "phases_per_epoch") {
+      if (!parse_u64(take_word(rest), number)) {
+        return parse_error(cursor, "bad phases_per_epoch");
+      }
+      trace.phases_per_epoch = static_cast<unsigned>(number);
+    } else if (tag == "epoch") {
+      runtime::Epoch next;
+      if (!parse_u64(take_word(rest), next.index) ||
+          !parse_f64(take_word(rest), next.duration_ns)) {
+        return parse_error(cursor, "bad epoch line");
+      }
+      trace.epochs.push_back(std::move(next));
+      epoch = &trace.epochs.back();
+    } else if (tag == "s") {
+      if (epoch == nullptr) {
+        return parse_error(cursor, "sample before any epoch");
+      }
+      runtime::EpochSample sample;
+      if (!parse_u64(take_word(rest), number)) {
+        return parse_error(cursor, "bad buffer id");
+      }
+      sample.buffer = sim::BufferId{static_cast<std::uint32_t>(number)};
+      double* fields[] = {
+          &sample.traffic.reads,          &sample.traffic.writes,
+          &sample.traffic.llc_misses,     &sample.traffic.memory_bytes,
+          &sample.traffic.random_accesses, &sample.traffic.random_misses,
+      };
+      for (double* field : fields) {
+        if (!parse_f64(take_word(rest), *field)) {
+          return parse_error(cursor, "bad sample counter");
+        }
+      }
+      // total_memory_bytes is derived, summed in sample order exactly as
+      // the recorder summed it — same additions, same rounding, same bits.
+      epoch->total_memory_bytes += sample.traffic.memory_bytes;
+      epoch->samples.push_back(std::move(sample));
+    } else if (tag == "end") {
+      ended = true;
+      break;
+    } else {
+      return parse_error(cursor, "unknown record '" + std::string(tag) + "'");
+    }
+  }
+  if (!ended) {
+    return parse_error(cursor, "truncated trace (missing 'end')");
+  }
+  return trace;
+}
+
+TraceRecorder::TraceRecorder(RecorderOptions options)
+    : options_(std::move(options)) {
+  options_.phases_per_epoch = std::max(1u, options_.phases_per_epoch);
+  trace_.workload = options_.workload;
+  trace_.phases_per_epoch = options_.phases_per_epoch;
+}
+
+void TraceRecorder::record_epoch(const sim::ExecutionContext& exec) {
+  std::vector<sim::BufferTraffic> merged = exec.merged_buffer_traffic();
+  if (snapshot_.size() < merged.size()) snapshot_.resize(merged.size());
+
+  runtime::Epoch epoch;
+  epoch.index = trace_.epochs.size();
+  epoch.duration_ns = exec.clock_ns() - snapshot_clock_ns_;
+  for (std::uint32_t index = 0; index < merged.size(); ++index) {
+    const sim::BufferTraffic& now = merged[index];
+    const sim::BufferTraffic& then = snapshot_[index];
+    sim::BufferTraffic delta;
+    delta.reads = now.reads - then.reads;
+    delta.writes = now.writes - then.writes;
+    delta.llc_misses = now.llc_misses - then.llc_misses;
+    delta.memory_bytes = now.memory_bytes - then.memory_bytes;
+    delta.random_accesses = now.random_accesses - then.random_accesses;
+    delta.random_misses = now.random_misses - then.random_misses;
+    // Same inclusion rule as EpochSampler::make_epoch, so a replaying
+    // sampler consumes its rounding stream in lockstep with the live one.
+    const bool any = delta.reads > 0.0 || delta.writes > 0.0 ||
+                     delta.memory_bytes > 0.0;
+    if (!any) continue;
+    epoch.total_memory_bytes += delta.memory_bytes;
+    epoch.samples.push_back(runtime::EpochSample{sim::BufferId{index}, delta});
+  }
+  snapshot_ = std::move(merged);
+  snapshot_clock_ns_ = exec.clock_ns();
+  phases_since_epoch_ = 0;
+  trace_.threads = exec.thread_count();
+  trace_.epochs.push_back(std::move(epoch));
+}
+
+void TraceRecorder::on_phase(const sim::ExecutionContext& exec) {
+  if (++phases_since_epoch_ < options_.phases_per_epoch) return;
+  record_epoch(exec);
+}
+
+void TraceRecorder::force_epoch(const sim::ExecutionContext& exec) {
+  record_epoch(exec);
+}
+
+void TraceRecorder::attach(sim::ExecutionContext& exec,
+                           runtime::RuntimePolicy* policy) {
+  exec.set_phase_observer([this, policy, &exec](const sim::PhaseResult&) {
+    on_phase(exec);
+    if (policy != nullptr) policy->on_phase(exec);
+  });
+}
+
+ReplayStats TraceReplayer::replay(const Trace& trace) {
+  ReplayStats stats;
+  for (const runtime::Epoch& raw : trace.epochs) {
+    stats.paid_ns += policy_->replay_epoch(raw, trace.threads);
+    ++stats.epochs;
+  }
+  return stats;
+}
+
+Trace synthesize_rotation(const std::vector<sim::BufferId>& buffers,
+                          unsigned shift_every, double cold_fraction,
+                          const SynthOptions& options) {
+  Trace trace = synth_base(options);
+  if (buffers.empty()) return trace;
+  shift_every = std::max(1u, shift_every);
+  const sim::BufferTraffic hot = latency_profile(options);
+  const sim::BufferTraffic cold = scale(hot, cold_fraction);
+  for (unsigned index = 0; index < options.epochs; ++index) {
+    const std::size_t hot_slot =
+        (index / shift_every) % buffers.size();
+    std::vector<runtime::EpochSample> samples;
+    samples.reserve(buffers.size());
+    for (std::size_t slot = 0; slot < buffers.size(); ++slot) {
+      samples.push_back({buffers[slot], slot == hot_slot ? hot : cold});
+    }
+    push_epoch(trace, index, options.duration_ns, std::move(samples));
+  }
+  return trace;
+}
+
+Trace synthesize_square(sim::BufferId buffer, unsigned half_period,
+                        const SynthOptions& options) {
+  Trace trace = synth_base(options);
+  half_period = std::max(1u, half_period);
+  const sim::BufferTraffic streaming = bandwidth_profile(options);
+  const sim::BufferTraffic chasing = latency_profile(options);
+  for (unsigned index = 0; index < options.epochs; ++index) {
+    const bool high = (index / half_period) % 2 == 1;
+    push_epoch(trace, index, options.duration_ns,
+               {{buffer, high ? chasing : streaming}});
+  }
+  return trace;
+}
+
+Trace synthesize_ramp(sim::BufferId buffer, unsigned ramp_start,
+                      unsigned ramp_epochs, const SynthOptions& options) {
+  Trace trace = synth_base(options);
+  ramp_epochs = std::max(1u, ramp_epochs);
+  const sim::BufferTraffic streaming = bandwidth_profile(options);
+  const sim::BufferTraffic chasing = latency_profile(options);
+  for (unsigned index = 0; index < options.epochs; ++index) {
+    double t = 0.0;
+    if (index >= ramp_start) {
+      t = std::min(1.0, static_cast<double>(index - ramp_start + 1) /
+                            ramp_epochs);
+    }
+    push_epoch(trace, index, options.duration_ns,
+               {{buffer, blend(streaming, chasing, t)}});
+  }
+  return trace;
+}
+
+}  // namespace hetmem::trace

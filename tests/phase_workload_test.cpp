@@ -1,0 +1,409 @@
+// Phase-shifting KV-cache workload against the online runtime: checksum
+// determinism under migration, rotation-driven promote/evict cycles, trace
+// replay of a live run, refresh_arrays() coverage across every registered
+// app runner, and the cross-scenario budget invariant when phase-driven
+// migrations and health evacuation share one epoch budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hetmem/alloc/allocator.hpp"
+#include "hetmem/apps/graph500.hpp"
+#include "hetmem/apps/kvcache.hpp"
+#include "hetmem/apps/spmv.hpp"
+#include "hetmem/apps/stream.hpp"
+#include "hetmem/fault/fault.hpp"
+#include "hetmem/health/evacuator.hpp"
+#include "hetmem/health/health.hpp"
+#include "hetmem/hmat/hmat.hpp"
+#include "hetmem/runtime/policy.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+#include "hetmem/trace/trace.hpp"
+
+namespace hetmem {
+namespace {
+
+using support::kGiB;
+using support::kMiB;
+
+/// Short rotation: 4 segments x 6 phases covers every hot segment in 24
+/// phases while staying fast enough for the test suite.
+apps::KvCacheConfig small_kvcache() {
+  apps::KvCacheConfig config;
+  config.declared_value_bytes = 4 * kGiB;
+  config.segments = 4;
+  config.backing_keys_per_segment = 1u << 12;
+  config.backing_lookups_per_thread = 512;
+  config.phases = 24;
+  config.shift_every_phases = 6;
+  return config;
+}
+
+runtime::RuntimePolicyOptions phase_policy_options() {
+  runtime::RuntimePolicyOptions options;
+  options.classifier.ema_alpha = 0.85;
+  options.classifier.hysteresis_epochs = 2;
+  options.engine.expected_future_epochs = 50.0;
+  return options;
+}
+
+/// Identically-constructible testbed (the bench/ablation_phases scenario in
+/// miniature): Xeon, fast DRAM squeezed so only one hot segment + the log
+/// fit, KV-cache parked entirely on the NVDIMM node.
+struct KvBed {
+  sim::SimMachine machine;
+  attr::MemAttrRegistry registry;
+  alloc::HeterogeneousAllocator allocator;
+  support::Bitmap initiator;
+  unsigned fast = 0;
+  unsigned slow = 0;
+  std::unique_ptr<apps::KvCacheRunner> runner;
+  bool ok = false;
+
+  explicit KvBed(const apps::KvCacheConfig& config, bool squeeze_fast = true)
+      : machine(topo::xeon_clx_1lm()),
+        registry(machine.topology()),
+        allocator(machine, registry),
+        initiator(machine.topology().numa_node(0)->cpuset()) {
+    if (!hmat::load_into(registry, hmat::generate(machine.topology())).ok()) {
+      return;
+    }
+    for (const topo::Object* node : machine.topology().numa_nodes()) {
+      if (node->memory_kind() == topo::MemoryKind::kNVDIMM) {
+        slow = node->logical_index();
+      }
+    }
+    if (squeeze_fast) {
+      const std::uint64_t segment_bytes =
+          config.declared_value_bytes / config.segments;
+      const std::uint64_t headroom =
+          segment_bytes + config.declared_log_bytes + 256 * kMiB;
+      const std::uint64_t fast_free = machine.available_bytes(fast);
+      if (fast_free > headroom) {
+        auto hog = machine.allocate(fast_free - headroom, fast,
+                                    "resident.hog", 4096);
+        if (!hog.ok()) return;
+      }
+    }
+    auto created = apps::KvCacheRunner::create(
+        machine, &allocator, initiator, config,
+        apps::KvCachePlacement::all_on_node(slow));
+    if (!created.ok()) return;
+    runner = std::move(created).take();
+    ok = true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// KV-cache kernel
+// ---------------------------------------------------------------------------
+
+TEST(KvCacheTest, RotationScheduleAndResultShape) {
+  KvBed bed(small_kvcache(), /*squeeze_fast=*/false);
+  ASSERT_TRUE(bed.ok);
+  auto result = bed.runner->run_phases(13);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(bed.runner->phases_run(), 13u);
+  ASSERT_EQ(result->phase_ns.size(), 13u);
+  ASSERT_EQ(result->hot_segments.size(), 13u);
+  // hot = (phase / 6) % 4: phases 0-5 -> seg0, 6-11 -> seg1, 12 -> seg2.
+  EXPECT_EQ(result->hot_segments[0], 0u);
+  EXPECT_EQ(result->hot_segments[5], 0u);
+  EXPECT_EQ(result->hot_segments[6], 1u);
+  EXPECT_EQ(result->hot_segments[12], 2u);
+  EXPECT_GT(result->lookups_per_second, 0.0);
+  EXPECT_TRUE(std::isfinite(result->checksum));
+  EXPECT_NE(result->checksum, 0.0);
+}
+
+TEST(KvCacheTest, ChecksumIsPlacementIndependentUnderPolicyMigration) {
+  // Same seed, same schedule — one bed pinned to the slow node, one managed
+  // by the online policy (which demonstrably migrates). The kernel's answer
+  // must not depend on where its buffers live.
+  KvBed pinned(small_kvcache(), /*squeeze_fast=*/false);
+  ASSERT_TRUE(pinned.ok);
+  auto pinned_result = pinned.runner->run();
+  ASSERT_TRUE(pinned_result.ok());
+
+  KvBed managed(small_kvcache(), /*squeeze_fast=*/false);
+  ASSERT_TRUE(managed.ok);
+  runtime::RuntimePolicy policy(managed.allocator, managed.initiator,
+                                phase_policy_options());
+  policy.attach(managed.runner->exec(),
+                [&] { managed.runner->refresh_arrays(); });
+  auto managed_result = managed.runner->run();
+  ASSERT_TRUE(managed_result.ok());
+
+  EXPECT_GE(policy.engine().stats().accepted, 1u);
+  EXPECT_DOUBLE_EQ(pinned_result->checksum, managed_result->checksum);
+  // Migration helped: managed run is no slower than the all-slow pin.
+  EXPECT_LE(managed_result->seconds, pinned_result->seconds * 1.02);
+}
+
+TEST(KvCacheTest, PolicyPromotesEveryHotSegmentAndEvictsCooledOnes) {
+  KvBed bed(small_kvcache());
+  ASSERT_TRUE(bed.ok);
+  runtime::RuntimePolicy policy(bed.allocator, bed.initiator,
+                                phase_policy_options());
+  policy.attach(bed.runner->exec(), [&] { bed.runner->refresh_arrays(); });
+  auto result = bed.runner->run();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+
+  std::set<std::uint32_t> promoted;
+  std::set<std::uint32_t> evicted;
+  for (const runtime::Decision& decision : policy.engine().decisions()) {
+    for (unsigned segment = 0; segment < 4; ++segment) {
+      if (decision.buffer.index != bed.runner->segment_buffer(segment).index) {
+        continue;
+      }
+      if (decision.verdict == runtime::Verdict::kAccepted &&
+          decision.to_node == bed.fast) {
+        promoted.insert(decision.buffer.index);
+      }
+      if (decision.verdict == runtime::Verdict::kEvicted) {
+        evicted.insert(decision.buffer.index);
+      }
+    }
+  }
+  // Every rotation window promoted its hot segment, and with fast memory
+  // squeezed to one-segment headroom the cooled segments had to be evicted
+  // to make room.
+  EXPECT_EQ(promoted.size(), 4u) << policy.render_decision_log();
+  EXPECT_GE(evicted.size(), 2u) << policy.render_decision_log();
+}
+
+TEST(KvCacheTest, RecordedRunReplaysByteIdentically) {
+  apps::KvCacheConfig config = small_kvcache();
+  KvBed live(config);
+  ASSERT_TRUE(live.ok);
+  runtime::RuntimePolicy policy(live.allocator, live.initiator,
+                                phase_policy_options());
+  policy.attach(live.runner->exec(), [&] { live.runner->refresh_arrays(); });
+  trace::TraceRecorder recorder({1, "kvcache.phases"});
+  recorder.attach(live.runner->exec(), &policy);
+  auto result = live.runner->run();
+  ASSERT_TRUE(result.ok());
+  const std::string live_log = policy.render_decision_log();
+  ASSERT_EQ(recorder.epochs_recorded(), config.phases);
+
+  auto parsed = trace::parse(trace::serialize(recorder.trace()));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+
+  KvBed replay_bed(config);
+  ASSERT_TRUE(replay_bed.ok);
+  runtime::RuntimePolicy replay_policy(replay_bed.allocator,
+                                       replay_bed.initiator,
+                                       phase_policy_options());
+  trace::TraceReplayer replayer(replay_policy);
+  const trace::ReplayStats stats = replayer.replay(*parsed);
+  EXPECT_EQ(stats.epochs, config.phases);
+  EXPECT_EQ(replay_policy.render_decision_log(), live_log);
+  EXPECT_FALSE(live_log.empty());
+}
+
+// ---------------------------------------------------------------------------
+// refresh_arrays() coverage across every registered app runner
+// ---------------------------------------------------------------------------
+
+/// After a mid-run machine.migrate + refresh_arrays(), another run must
+/// succeed and all traffic telemetry must reference live buffers only — no
+/// stale ids left in the execution context's merged counters.
+void expect_live_telemetry(sim::SimMachine& machine,
+                           sim::ExecutionContext& exec) {
+  runtime::EpochSampler sampler({.phases_per_epoch = 1});
+  const runtime::Epoch epoch = sampler.force_epoch(exec);
+  EXPECT_FALSE(epoch.samples.empty());
+  for (const runtime::EpochSample& sample : epoch.samples) {
+    ASSERT_LT(sample.buffer.index, machine.total_buffer_count());
+    EXPECT_FALSE(machine.info(sample.buffer).freed)
+        << "stale buffer id " << sample.buffer.index << " in telemetry";
+  }
+}
+
+/// Migrates one of the workload's own buffers to `destination` (whichever
+/// live buffer on `from` the label predicate owns first).
+void migrate_one(sim::SimMachine& machine, unsigned from, unsigned destination,
+                 const std::string& label_prefix) {
+  for (sim::BufferId id : machine.live_buffers_on(from)) {
+    const sim::BufferInfo info = machine.info(id);
+    if (info.label.rfind(label_prefix, 0) == 0) {
+      ASSERT_TRUE(machine.migrate(id, destination).ok()) << info.label;
+      return;
+    }
+  }
+  FAIL() << "no live '" << label_prefix << "*' buffer on node " << from;
+}
+
+class RefreshCoverageTest : public ::testing::Test {
+ protected:
+  RefreshCoverageTest()
+      : machine_(topo::xeon_clx_1lm()),
+        registry_(machine_.topology()),
+        allocator_(machine_, registry_),
+        initiator_(machine_.topology().numa_node(0)->cpuset()) {
+    EXPECT_TRUE(
+        hmat::load_into(registry_, hmat::generate(machine_.topology())).ok());
+  }
+
+  unsigned nvdimm_node() const {
+    for (const topo::Object* node : machine_.topology().numa_nodes()) {
+      if (node->memory_kind() == topo::MemoryKind::kNVDIMM) {
+        return node->logical_index();
+      }
+    }
+    return 0;
+  }
+
+  sim::SimMachine machine_;
+  attr::MemAttrRegistry registry_;
+  alloc::HeterogeneousAllocator allocator_;
+  support::Bitmap initiator_;
+};
+
+TEST_F(RefreshCoverageTest, StreamSurvivesMidRunMigration) {
+  apps::StreamConfig config;
+  config.backing_elements = 1u << 16;
+  config.iterations = 2;
+  apps::BufferPlacement placement;
+  placement.forced_node = 0;
+  auto runner = apps::StreamRunner::create(machine_, nullptr, initiator_,
+                                           config, placement);
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->run_triad().ok());
+  migrate_one(machine_, 0, nvdimm_node(), "stream.");
+  (*runner)->refresh_arrays();
+  auto result = (*runner)->run_triad();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(std::isfinite(result->checksum));
+  expect_live_telemetry(machine_, (*runner)->exec());
+}
+
+TEST_F(RefreshCoverageTest, Graph500SurvivesMidRunMigration) {
+  apps::Graph500Config config;
+  config.scale_declared = 20;
+  config.scale_backing = 12;
+  config.num_roots = 2;
+  auto runner = apps::Graph500Runner::create(
+      machine_, nullptr, initiator_, config,
+      apps::Graph500Placement::all_on_node(0));
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->run().ok());
+  migrate_one(machine_, 0, nvdimm_node(), "g500.");
+  (*runner)->refresh_arrays();
+  auto result = (*runner)->run();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  expect_live_telemetry(machine_, (*runner)->exec());
+}
+
+TEST_F(RefreshCoverageTest, SpmvSurvivesMidRunMigration) {
+  apps::SpmvConfig config;
+  config.backing_rows = 1u << 12;
+  config.iterations = 2;
+  auto runner = apps::SpmvRunner::create(machine_, nullptr, initiator_, config,
+                                         apps::SpmvPlacement::all_on_node(0));
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->run().ok());
+  migrate_one(machine_, 0, nvdimm_node(), "spmv.");
+  (*runner)->refresh_arrays();
+  auto result = (*runner)->run();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  expect_live_telemetry(machine_, (*runner)->exec());
+}
+
+TEST_F(RefreshCoverageTest, KvCacheSurvivesMidRunMigration) {
+  apps::KvCacheConfig config = small_kvcache();
+  config.phases = 6;
+  auto runner = apps::KvCacheRunner::create(
+      machine_, nullptr, initiator_, config,
+      apps::KvCachePlacement::all_on_node(0));
+  ASSERT_TRUE(runner.ok());
+  ASSERT_TRUE((*runner)->run_phases(3).ok());
+  migrate_one(machine_, 0, nvdimm_node(), "kv.");
+  (*runner)->refresh_arrays();
+  auto result = (*runner)->run_phases(3);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(std::isfinite(result->checksum));
+  expect_live_telemetry(machine_, (*runner)->exec());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-scenario chaos: phase shifts + faults + mid-run quarantine
+// ---------------------------------------------------------------------------
+
+TEST(KvCachePhaseChaosTest, EvacuationAndPhaseMigrationsShareEpochBudget) {
+  apps::KvCacheConfig config = small_kvcache();
+  KvBed bed(config);
+  ASSERT_TRUE(bed.ok);
+  bed.allocator.set_retry_policy({.max_transient_retries = 8});
+
+  // Faults go live only after setup so creation itself cannot fail.
+  fault::FaultInjector injector = fault::FaultInjector::preset("heavy", 4242);
+  bed.machine.set_fault_injector(&injector);
+
+  constexpr std::uint64_t kBudget = 1536ull * kMiB;
+  runtime::RuntimePolicyOptions options = phase_policy_options();
+  options.engine.epoch_budget_bytes = kBudget;
+  runtime::RuntimePolicy policy(bed.allocator, bed.initiator, options);
+
+  // Mid-run health event: the fast DRAM node degrades at epoch 8, right
+  // after the first rotation's promotion — the monitor must quarantine it
+  // and the evacuator must pull the promoted segment back off while the
+  // rotation keeps asking for phase-driven promotions.
+  const unsigned victim = bed.fast;
+  policy.add_epoch_hook([&](std::uint64_t epoch, unsigned) {
+    if (epoch == 8) {
+      EXPECT_TRUE(bed.machine.set_node_degraded(victim, true).ok());
+    }
+    return 0.0;
+  });
+  health::HealthMonitor monitor(bed.machine, bed.registry);
+  health::Evacuator evacuator(bed.allocator, policy.mutable_engine(),
+                              bed.initiator);
+  health::attach_health(policy, monitor, evacuator);
+  policy.attach(bed.runner->exec(), [&] { bed.runner->refresh_arrays(); });
+
+  auto result = bed.runner->run();
+  bed.machine.set_fault_injector(nullptr);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(std::isfinite(result->checksum));
+
+  // Exact-sum invariant: in EVERY epoch, engine promotions/evictions plus
+  // evacuation moves together stay within the single shared byte budget.
+  std::map<std::uint64_t, std::uint64_t> per_epoch_bytes;
+  std::uint64_t engine_migrations = 0;
+  for (const runtime::Decision& decision : policy.engine().decisions()) {
+    if (decision.verdict == runtime::Verdict::kAccepted ||
+        decision.verdict == runtime::Verdict::kEvicted) {
+      per_epoch_bytes[decision.epoch] += decision.bytes;
+      ++engine_migrations;
+    }
+  }
+  std::uint64_t evacuated_off_victim = 0;
+  for (const health::EvacDecision& decision : evacuator.decisions()) {
+    if (decision.verdict == health::EvacVerdict::kMoved) {
+      per_epoch_bytes[decision.epoch] += decision.bytes;
+      if (decision.from_node == victim) ++evacuated_off_victim;
+    }
+  }
+  for (const auto& [epoch, bytes] : per_epoch_bytes) {
+    EXPECT_LE(bytes, kBudget)
+        << "epoch " << epoch << " overspent the shared budget: " << bytes
+        << " > " << kBudget << "\n"
+        << policy.render_decision_log() << monitor.render_transition_log();
+  }
+  // Neither side starved: the rotation still migrated through the engine
+  // AND the evacuator moved buffers off the quarantined node.
+  EXPECT_GE(engine_migrations, 1u) << policy.render_decision_log();
+  EXPECT_GE(evacuated_off_victim, 1u)
+      << monitor.render_transition_log() << policy.render_decision_log();
+}
+
+}  // namespace
+}  // namespace hetmem

@@ -23,6 +23,7 @@
 #include "hetmem/simmem/array.hpp"
 #include "hetmem/support/units.hpp"
 #include "hetmem/topo/presets.hpp"
+#include "hetmem/trace/trace.hpp"
 
 namespace hetmem {
 namespace {
@@ -239,6 +240,104 @@ TEST(OnlineClassifierTest, IdleBuffersDecayToInsensitive) {
     }
   }
   EXPECT_TRUE(reclassified);
+}
+
+// ---------------------------------------------------------------------------
+// Hysteresis under synthetic phase shifts (trace::synthesize_*)
+// ---------------------------------------------------------------------------
+
+/// Runs a synthetic trace's raw epochs through a classifier and returns
+/// (epoch, reclassification) pairs for buffer 0.
+std::vector<std::pair<std::uint64_t, runtime::Reclassification>>
+observe_trace(runtime::OnlineClassifier& classifier,
+              const trace::Trace& synthetic) {
+  std::vector<std::pair<std::uint64_t, runtime::Reclassification>> commits;
+  for (const runtime::Epoch& epoch : synthetic.epochs) {
+    for (const runtime::Reclassification& commit :
+         classifier.observe(epoch)) {
+      commits.emplace_back(epoch.index, commit);
+    }
+  }
+  return commits;
+}
+
+TEST(HysteresisPhaseShiftTest, SquareWaveWithinHysteresisWindowNeverOscillates) {
+  // Behavior flips faster than the K-epoch hysteresis window can confirm:
+  // after the initial commit the classifier must hold its verdict — the
+  // disagreement streak resets before reaching K every time.
+  trace::SynthOptions options;
+  options.epochs = 24;
+  for (unsigned half_period : {1u, 2u}) {
+    runtime::OnlineClassifier classifier(classifier_options(1.0, 3));
+    const trace::Trace synthetic =
+        trace::synthesize_square(sim::BufferId{0}, half_period, options);
+    const auto commits = observe_trace(classifier, synthetic);
+    ASSERT_EQ(commits.size(), 1u) << "half_period " << half_period;
+    EXPECT_EQ(commits[0].first, 0u);
+    EXPECT_EQ(classifier.committed(sim::BufferId{0}),
+              prof::Sensitivity::kBandwidth)
+        << "half_period " << half_period;
+  }
+}
+
+TEST(HysteresisPhaseShiftTest, SustainedSquareWaveCommitsWithinKPlusOne) {
+  // Flips slower than the window (half period 8 >> K=3) must all commit,
+  // each within K+1 epochs of the flip — even with EMA smoothing lagging
+  // the instantaneous counters.
+  constexpr unsigned kHysteresis = 3;
+  trace::SynthOptions options;
+  options.epochs = 32;
+  runtime::OnlineClassifier classifier(
+      classifier_options(0.85, kHysteresis));
+  const trace::Trace synthetic =
+      trace::synthesize_square(sim::BufferId{0}, 8, options);
+  const auto commits = observe_trace(classifier, synthetic);
+
+  // Initial commit at epoch 0, then one per flip at epochs 8, 16, 24.
+  ASSERT_EQ(commits.size(), 4u);
+  EXPECT_EQ(commits[0].first, 0u);
+  EXPECT_EQ(commits[0].second.current, prof::Sensitivity::kBandwidth);
+  const std::uint64_t flips[] = {8, 16, 24};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(commits[i + 1].first, flips[i]) << "flip " << flips[i];
+    EXPECT_LE(commits[i + 1].first, flips[i] + kHysteresis + 1)
+        << "flip " << flips[i];
+    EXPECT_EQ(commits[i + 1].second.current,
+              i % 2 == 0 ? prof::Sensitivity::kLatency
+                         : prof::Sensitivity::kBandwidth);
+  }
+}
+
+TEST(HysteresisPhaseShiftTest, RampReclassifiesOnceWithinKPlusOneOfCrossing) {
+  // Gradual drift from streaming to pointer chasing: exactly one
+  // reclassification, within K+1 epochs of the first epoch whose
+  // random-miss ratio crosses the shared 0.5 threshold — no flapping on
+  // the way up.
+  constexpr unsigned kHysteresis = 3;
+  trace::SynthOptions options;
+  options.epochs = 24;
+  const trace::Trace synthetic =
+      trace::synthesize_ramp(sim::BufferId{0}, 6, 8, options);
+
+  std::uint64_t crossing = 0;
+  for (const runtime::Epoch& epoch : synthetic.epochs) {
+    const sim::BufferTraffic& traffic = epoch.samples[0].traffic;
+    if (traffic.random_misses / traffic.llc_misses >= 0.5) {
+      crossing = epoch.index;
+      break;
+    }
+  }
+  ASSERT_GT(crossing, 6u);  // the ramp, not the flat lead-in, crosses
+
+  runtime::OnlineClassifier classifier(
+      classifier_options(1.0, kHysteresis));
+  const auto commits = observe_trace(classifier, synthetic);
+  ASSERT_EQ(commits.size(), 2u);
+  EXPECT_EQ(commits[0].second.current, prof::Sensitivity::kBandwidth);
+  EXPECT_EQ(commits[1].second.previous, prof::Sensitivity::kBandwidth);
+  EXPECT_EQ(commits[1].second.current, prof::Sensitivity::kLatency);
+  EXPECT_GE(commits[1].first, crossing);
+  EXPECT_LE(commits[1].first, crossing + kHysteresis + 1);
 }
 
 // ---------------------------------------------------------------------------
