@@ -1,0 +1,452 @@
+// Sampler-overhead ablation: BENCH_overhead.json (docs/PERF.md,
+// docs/RUNTIME.md "Adaptive sampling").
+//
+// Measures what the telemetry-ring rework buys: the per-epoch cost of
+// EpochSampler::on_phase — the snapshot-diff + subsampling work charged
+// between phases — under the ring transport (drain dirty buffers only)
+// versus the legacy merge-on-demand transport (merge every thread's full
+// counter vector, then diff the whole buffer range). The workload is shaped
+// to make the difference structural, not incidental: a wide buffer
+// population (16384) of which each phase touches a sliding 64-buffer window,
+// partitioned across 16 threads the way phase kernels partition their
+// working set — so the legacy path scans 16384 x 16 counter rows per epoch
+// while the ring path drains the ~64 records the phase actually published.
+//
+//   overhead   both modes run the identical window workload; sampler cost
+//              is accumulated wall time around on_phase() (min of 3 reps);
+//              both modes must emit identical epoch streams.
+//   decisions  the phase-flip policy workload of bench/ablation_runtime run
+//              in both modes; the full decision log must match byte for
+//              byte (the rings change WHERE counters flow, never a bit of
+//              WHAT the policy sees).
+//   adaptive   the overhead controller under a deterministic cost model
+//              (cost fraction 0.04 / period): the effective period walks
+//              1 -> 2 -> 4 and parks in the deadband; a trace/2 recording
+//              of an adaptive run replays to a byte-identical decision log.
+//
+// Gates (--check exits 1 when any fails):
+//   speedup    rings reduce mean sampler cost per epoch by >= 10x at 16
+//              threads;
+//   identical  both transports emit the same epochs (count, samples, bytes)
+//              and the same policy decision log;
+//   adaptive   period trajectory is monotone non-decreasing under sustained
+//              pressure, parks within [floor, max], and the terminal period
+//              satisfies the budget under the cost model;
+//   replay     live adaptive decision log == trace/2 replay decision log.
+//
+// Usage: ablation_overhead [--out FILE] [--check]
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "hetmem/runtime/policy.hpp"
+#include "hetmem/simmem/array.hpp"
+#include "hetmem/simmem/exec.hpp"
+#include "hetmem/trace/trace.hpp"
+
+namespace {
+
+using namespace hetmem;
+using support::kGiB;
+using support::kMiB;
+
+constexpr unsigned kThreads = 16;
+constexpr std::size_t kBuffers = 16384;
+constexpr std::size_t kWindow = 64;
+constexpr unsigned kPhases = 150;
+constexpr std::uint64_t kSmallBuffer = 64 * 1024;
+constexpr int kReps = 3;
+
+support::Bitmap first_initiator(const topo::Topology& topology) {
+  for (const topo::Object* node : topology.numa_nodes()) {
+    if (!node->cpuset().empty()) return node->cpuset();
+  }
+  return {};
+}
+
+unsigned best_target(const bench::Testbed& bed, attr::AttrId attribute) {
+  const auto ranked = bed.registry->targets_ranked(
+      attribute,
+      attr::Initiator::from_cpuset(first_initiator(bed.topology())));
+  return ranked.empty() ? 0 : ranked.front().target->logical_index();
+}
+
+// --- overhead section -----------------------------------------------------
+
+/// Digest of an emitted epoch stream; equal digests over exact (period 1)
+/// sampling mean equal streams for this workload (sample counts and the
+/// exact double sums both match bit for bit).
+struct EpochDigest {
+  std::uint64_t epochs = 0;
+  std::uint64_t samples = 0;
+  double total_bytes = 0.0;
+
+  bool operator==(const EpochDigest&) const = default;
+};
+
+struct OverheadRun {
+  double sampler_ns_total = 0.0;
+  EpochDigest digest;
+};
+
+/// Runs the sliding-window workload once and accumulates the wall time the
+/// sampler spends per epoch boundary.
+OverheadRun run_window_workload(sim::TelemetryMode mode) {
+  OverheadRun run;
+  sim::SimMachine machine(topo::xeon_clx_1lm());
+  const support::Bitmap initiator = first_initiator(machine.topology());
+
+  std::vector<sim::Array<double>> arrays;
+  arrays.reserve(kBuffers);
+  for (std::size_t index = 0; index < kBuffers; ++index) {
+    auto buffer = machine.allocate(kSmallBuffer, 0, "window.buf", 4096);
+    if (!buffer.ok()) return run;
+    arrays.emplace_back(machine, *buffer);
+  }
+
+  sim::ExecutionContext exec(machine, initiator, kThreads);
+  exec.set_telemetry_mode(mode);
+  runtime::EpochSampler sampler;  // defaults: one phase per epoch, exact
+
+  // Initialization pass: touch every buffer once so each thread's counter
+  // vector spans the whole population (as after any real init sweep), then
+  // consume the epoch untimed — we measure the steady state, where the
+  // window workload dirties 64 buffers per epoch out of 16384.
+  exec.run_phase("init", kBuffers,
+                 [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                     std::size_t end) {
+                   for (std::size_t slot = begin; slot < end; ++slot) {
+                     arrays[slot].record_bulk_read(ctx, 64.0);
+                   }
+                 });
+  (void)sampler.on_phase(exec);
+
+  for (unsigned phase = 0; phase < kPhases; ++phase) {
+    const std::size_t base =
+        (static_cast<std::size_t>(phase) * 17) % (kBuffers - kWindow);
+    exec.run_phase("window", kWindow,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     for (std::size_t slot = begin; slot < end; ++slot) {
+                       arrays[base + slot].record_bulk_read(ctx, 4096.0);
+                     }
+                   });
+    const auto start = std::chrono::steady_clock::now();
+    std::optional<runtime::Epoch> epoch = sampler.on_phase(exec);
+    run.sampler_ns_total += std::chrono::duration<double, std::nano>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    if (epoch.has_value()) {
+      ++run.digest.epochs;
+      run.digest.samples += epoch->samples.size();
+      run.digest.total_bytes += epoch->total_memory_bytes;
+    }
+  }
+  return run;
+}
+
+struct OverheadResult {
+  double rings_ns_per_epoch = 0.0;
+  double legacy_ns_per_epoch = 0.0;
+  double speedup = 0.0;
+  bool digests_equal = false;
+};
+
+OverheadResult run_overhead_section() {
+  OverheadResult result;
+  OverheadRun best_rings, best_legacy;
+  for (int rep = 0; rep < kReps; ++rep) {
+    OverheadRun rings = run_window_workload(sim::TelemetryMode::kRings);
+    OverheadRun legacy = run_window_workload(sim::TelemetryMode::kLegacyMerge);
+    if (rep == 0 || rings.sampler_ns_total < best_rings.sampler_ns_total) {
+      best_rings = rings;
+    }
+    if (rep == 0 || legacy.sampler_ns_total < best_legacy.sampler_ns_total) {
+      best_legacy = legacy;
+    }
+  }
+  result.rings_ns_per_epoch = best_rings.sampler_ns_total / kPhases;
+  result.legacy_ns_per_epoch = best_legacy.sampler_ns_total / kPhases;
+  result.speedup = result.rings_ns_per_epoch > 0.0
+                       ? result.legacy_ns_per_epoch / result.rings_ns_per_epoch
+                       : 0.0;
+  result.digests_equal = best_rings.digest == best_legacy.digest &&
+                         best_rings.digest.epochs == kPhases;
+  return result;
+}
+
+// --- decision-equality section --------------------------------------------
+
+constexpr unsigned kFlipThreads = 4;
+constexpr unsigned kPhasesPerPart = 24;
+constexpr std::uint64_t kBufferBytes = 1 * kGiB;
+constexpr std::uint64_t kFastHeadroom = kBufferBytes + kBufferBytes / 2;
+
+runtime::RuntimePolicyOptions flip_options() {
+  runtime::RuntimePolicyOptions options;
+  options.classifier.ema_alpha = 0.85;
+  options.classifier.hysteresis_epochs = 2;
+  options.engine.expected_future_epochs = 50.0;
+  return options;
+}
+
+struct FlipRun {
+  bool ok = false;
+  std::string decision_log;
+  std::vector<double> periods;
+  trace::Trace trace;  // only filled when `record`
+};
+
+/// The ablation_runtime phase-flip workload: stream S then chase R, both
+/// starting on the capacity target with fast memory squeezed to one slot.
+FlipRun run_flip(sim::TelemetryMode mode, runtime::RuntimePolicyOptions options,
+                 bool record) {
+  FlipRun run;
+  bench::Testbed bed = bench::make_xeon();
+  const support::Bitmap initiator = first_initiator(bed.topology());
+  const unsigned fast = best_target(bed, attr::kBandwidth);
+  const unsigned slow = best_target(bed, attr::kCapacity);
+
+  const std::uint64_t fast_free = bed.machine->available_bytes(fast);
+  if (fast_free > kFastHeadroom) {
+    auto hog = bed.machine->allocate(fast_free - kFastHeadroom, fast,
+                                     "resident.hog", 4096);
+    if (!hog.ok()) return run;
+  }
+  auto streamed =
+      bed.machine->allocate(kBufferBytes, slow, "flip.stream", 1u << 16);
+  auto chased =
+      bed.machine->allocate(kBufferBytes, slow, "flip.random", 1u << 16);
+  if (!streamed.ok() || !chased.ok()) return run;
+
+  sim::Array<double> stream_array(*bed.machine, *streamed);
+  sim::Array<double> chase_array(*bed.machine, *chased);
+  sim::ExecutionContext exec(*bed.machine, initiator, kFlipThreads);
+  exec.set_telemetry_mode(mode);
+
+  runtime::RuntimePolicy policy(*bed.allocator, initiator, options);
+  trace::TraceRecorder recorder({.workload = "overhead.flip"});
+  const auto refresh = [&] {
+    stream_array.refresh_model();
+    chase_array.refresh_model();
+  };
+  if (record) {
+    policy.attach(exec, refresh);  // installs post_migration, then replaced:
+    recorder.attach(exec, &policy);
+  } else {
+    policy.attach(exec, refresh);
+  }
+
+  for (unsigned phase = 0; phase < kPhasesPerPart; ++phase) {
+    exec.run_phase("part1.stream", kFlipThreads,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     if (begin >= end) return;
+                     stream_array.record_bulk_read(ctx, 512.0 * kMiB);
+                   });
+  }
+  for (unsigned phase = 0; phase < kPhasesPerPart; ++phase) {
+    exec.run_phase("part2.random", kFlipThreads,
+                   [&](sim::ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     if (begin >= end) return;
+                     chase_array.record_bulk_random_reads(ctx, 4e6);
+                   });
+  }
+
+  run.ok = true;
+  run.decision_log = policy.render_decision_log();
+  run.periods = policy.sampler().period_log();
+  if (record) run.trace = recorder.trace();
+  return run;
+}
+
+/// Replays `recorded` on a freshly prepared identical testbed and returns
+/// the replay policy's decision log.
+std::string replay_decision_log(const trace::Trace& recorded,
+                                runtime::RuntimePolicyOptions options) {
+  bench::Testbed bed = bench::make_xeon();
+  const support::Bitmap initiator = first_initiator(bed.topology());
+  const unsigned fast = best_target(bed, attr::kBandwidth);
+  const unsigned slow = best_target(bed, attr::kCapacity);
+  const std::uint64_t fast_free = bed.machine->available_bytes(fast);
+  if (fast_free > kFastHeadroom) {
+    auto hog = bed.machine->allocate(fast_free - kFastHeadroom, fast,
+                                     "resident.hog", 4096);
+    if (!hog.ok()) return {};
+  }
+  auto streamed =
+      bed.machine->allocate(kBufferBytes, slow, "flip.stream", 1u << 16);
+  auto chased =
+      bed.machine->allocate(kBufferBytes, slow, "flip.random", 1u << 16);
+  if (!streamed.ok() || !chased.ok()) return {};
+
+  runtime::RuntimePolicy policy(*bed.allocator, initiator, options);
+  trace::TraceReplayer replayer(policy);
+  (void)replayer.replay(recorded);
+  return policy.render_decision_log();
+}
+
+// --- adaptive section -----------------------------------------------------
+
+/// Deterministic sampler-cost model: fraction of epoch duration = 0.04 /
+/// period, so the controller doubles 1 -> 2 -> 4 and parks (0.01 is inside
+/// the [budget/4, budget] deadband at period 4).
+double modeled_cost(const runtime::Epoch& epoch) {
+  return epoch.duration_ns * 0.04 /
+         (epoch.sample_period > 0.0 ? epoch.sample_period : 1.0);
+}
+
+runtime::RuntimePolicyOptions adaptive_options() {
+  runtime::RuntimePolicyOptions options = flip_options();
+  options.sampler.adaptive = true;
+  options.sampler.cost_model = modeled_cost;
+  return options;
+}
+
+struct AdaptiveResult {
+  bool ok = false;
+  std::vector<double> periods;
+  bool monotone = true;
+  bool clamped = true;
+  bool budget_met = false;
+  bool replay_identical = false;
+};
+
+AdaptiveResult run_adaptive_section() {
+  AdaptiveResult result;
+  FlipRun live = run_flip(sim::TelemetryMode::kRings, adaptive_options(),
+                          /*record=*/true);
+  if (!live.ok) return result;
+  result.ok = true;
+  result.periods = live.periods;
+  for (std::size_t index = 1; index < live.periods.size(); ++index) {
+    if (live.periods[index] < live.periods[index - 1]) result.monotone = false;
+  }
+  const runtime::SamplerOptions sampler = adaptive_options().sampler;
+  for (double period : live.periods) {
+    if (period < sampler.sample_period || period > sampler.max_sample_period) {
+      result.clamped = false;
+    }
+  }
+  if (!live.periods.empty()) {
+    const double terminal = live.periods.back();
+    result.budget_met = 0.04 / terminal <= sampler.overhead_budget_fraction;
+  }
+
+  // Byte-identical live == replay through the serialized trace/2 text.
+  const std::string text = trace::serialize(live.trace);
+  auto parsed = trace::parse(text);
+  if (parsed.ok()) {
+    result.replay_identical =
+        replay_decision_log(*parsed, adaptive_options()) == live.decision_log &&
+        !live.decision_log.empty();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_overhead.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else {
+      std::cerr << "usage: ablation_overhead [--out FILE] [--check]\n";
+      return 2;
+    }
+  }
+
+  const OverheadResult overhead = run_overhead_section();
+
+  const FlipRun rings =
+      run_flip(sim::TelemetryMode::kRings, flip_options(), false);
+  const FlipRun legacy =
+      run_flip(sim::TelemetryMode::kLegacyMerge, flip_options(), false);
+  const bool decisions_identical = rings.ok && legacy.ok &&
+                                   !rings.decision_log.empty() &&
+                                   rings.decision_log == legacy.decision_log;
+
+  const AdaptiveResult adaptive = run_adaptive_section();
+
+  const bool speedup_ok = overhead.speedup >= 10.0;
+  const bool identical_ok = overhead.digests_equal && decisions_identical;
+  const bool adaptive_ok = adaptive.ok && adaptive.monotone &&
+                           adaptive.clamped && adaptive.budget_met &&
+                           adaptive.periods.size() >= 2;
+  const bool replay_ok = adaptive.replay_identical;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  bench::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("hetmem.bench.overhead/1");
+  json.key("fixture").value("xeon_clx_1lm");
+  json.key("overhead").begin_object();
+  json.key("threads").value(kThreads);
+  json.key("buffers").value(static_cast<std::uint64_t>(kBuffers));
+  json.key("window").value(static_cast<std::uint64_t>(kWindow));
+  json.key("epochs").value(kPhases);
+  json.key("rings_ns_per_epoch").value(overhead.rings_ns_per_epoch);
+  json.key("legacy_ns_per_epoch").value(overhead.legacy_ns_per_epoch);
+  json.key("speedup").value(overhead.speedup);
+  json.key("epoch_streams_identical").value(overhead.digests_equal);
+  json.end_object();
+  json.key("decisions").begin_object();
+  json.key("rings_vs_legacy_identical").value(decisions_identical);
+  json.end_object();
+  json.key("adaptive").begin_object();
+  json.key("periods").begin_array();
+  for (double period : adaptive.periods) json.value(period);
+  json.end_array();
+  json.key("monotone").value(adaptive.monotone);
+  json.key("clamped").value(adaptive.clamped);
+  json.key("budget_met").value(adaptive.budget_met);
+  json.key("replay_identical").value(adaptive.replay_identical);
+  json.end_object();
+  json.key("gates").begin_object();
+  json.key("speedup").value(speedup_ok);
+  json.key("identical").value(identical_ok);
+  json.key("adaptive").value(adaptive_ok);
+  json.key("replay").value(replay_ok);
+  json.end_object();
+  json.end_object();
+  out << '\n';
+
+  std::printf("sampler overhead at %u threads, %zu buffers (window %zu):\n",
+              kThreads, kBuffers, kWindow);
+  std::printf("  rings  %.0f ns/epoch\n  legacy %.0f ns/epoch\n"
+              "  speedup %.1fx [%s]\n",
+              overhead.rings_ns_per_epoch, overhead.legacy_ns_per_epoch,
+              overhead.speedup, speedup_ok ? "PASS: >= 10x" : "FAIL: < 10x");
+  std::printf("epoch streams identical: %s; decision logs identical: %s "
+              "[%s]\n",
+              overhead.digests_equal ? "yes" : "NO",
+              decisions_identical ? "yes" : "NO",
+              identical_ok ? "PASS" : "FAIL");
+  std::printf("adaptive periods:");
+  for (double period : adaptive.periods) std::printf(" %g", period);
+  std::printf("\n  monotone=%d clamped=%d budget_met=%d [%s]\n",
+              adaptive.monotone, adaptive.clamped, adaptive.budget_met,
+              adaptive_ok ? "PASS" : "FAIL");
+  std::printf("trace/2 live == replay: %s [%s]\n",
+              adaptive.replay_identical ? "byte-identical" : "DIVERGED",
+              replay_ok ? "PASS" : "FAIL");
+
+  const bool pass = speedup_ok && identical_ok && adaptive_ok && replay_ok;
+  std::printf("%s\n", pass ? "ALL GATES PASS"
+                           : "GATE VIOLATION (see FAIL lines above)");
+  return check && !pass ? 1 : 0;
+}

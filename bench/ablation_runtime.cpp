@@ -23,6 +23,7 @@
 //   * zero migrations on a phase-stable workload with hysteresis disabled
 #include "common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <sstream>
@@ -78,6 +79,7 @@ struct FlipResult {
   std::uint64_t evicted = 0;
   std::uint64_t max_epoch_bytes = 0;
   std::string decision_log;
+  std::vector<double> periods;  // sampler period per epoch, emission order
 };
 
 /// Runs the phase-flip workload with S on `stream_node` and R on
@@ -137,6 +139,7 @@ FlipResult run_flip(bench::Testbed& bed, unsigned stream_node,
   result.evicted = policy.engine().stats().evicted;
   result.max_epoch_bytes = policy.engine().max_epoch_migrated_bytes();
   result.decision_log = policy.render_decision_log();
+  result.periods = policy.sampler().period_log();
   return result;
 }
 
@@ -306,6 +309,54 @@ bool run_testbed(const char* name,
                 same ? "identical to exact sampling [PASS]"
                      : "DIVERGED from exact sampling [FAIL]");
     pass &= same;
+  }
+
+  // Adaptive controller: a deterministic cost model (cost fraction =
+  // 0.04 / period against the default 1% budget) walks the effective period
+  // 1 -> 2 -> 4 and parks in the deadband. The invariance gate then reruns
+  // at every period the controller actually chose: the decisions must match
+  // exact sampling at the controller's own operating points, and in the
+  // mixed-period adaptive run itself (docs/RUNTIME.md "Adaptive sampling").
+  {
+    bench::Testbed bed = make();
+    const unsigned slow = best_target(bed, attr::kCapacity);
+    runtime::RuntimePolicyOptions options = online_options();
+    options.sampler.adaptive = true;
+    options.sampler.cost_model = [](const runtime::Epoch& epoch) {
+      return epoch.duration_ns * 0.04 /
+             (epoch.sample_period > 0.0 ? epoch.sample_period : 1.0);
+    };
+    FlipResult adaptive = run_flip(bed, slow, slow, true, options);
+    std::vector<double> chosen;
+    for (double period : adaptive.periods) {
+      if (std::find(chosen.begin(), chosen.end(), period) == chosen.end()) {
+        chosen.push_back(period);
+      }
+    }
+    const bool walked = chosen.size() >= 2;
+    const bool adaptive_same =
+        accepted_moves(adaptive.decision_log) == exact_moves;
+    std::printf("adaptive run: %zu distinct controller periods, decision "
+                "sequence %s\n",
+                chosen.size(),
+                adaptive_same && walked
+                    ? "identical to exact sampling [PASS]"
+                    : "DIVERGED or controller never moved [FAIL]");
+    pass &= walked && adaptive_same;
+    for (double period : chosen) {
+      if (period <= 1.0) continue;  // exact sampling is the reference itself
+      bench::Testbed fixed_bed = make();
+      const unsigned fixed_slow = best_target(fixed_bed, attr::kCapacity);
+      runtime::RuntimePolicyOptions fixed_options = online_options();
+      fixed_options.sampler.sample_period = period;
+      FlipResult sampled =
+          run_flip(fixed_bed, fixed_slow, fixed_slow, true, fixed_options);
+      const bool same = accepted_moves(sampled.decision_log) == exact_moves;
+      std::printf("controller-chosen 1/%-3.0f: decision sequence %s\n", period,
+                  same ? "identical to exact sampling [PASS]"
+                       : "DIVERGED from exact sampling [FAIL]");
+      pass &= same;
+    }
   }
   std::printf("online decision log (exact sampling):\n%s",
               online.decision_log.c_str());

@@ -7,8 +7,29 @@
 // validating the analytic model (bench/ablation_cachemodel). Set sampling
 // (simulate 1-in-K sets) keeps it cheap at production trace rates, the
 // standard technique from hardware simulation.
+//
+// Set-sampling extrapolation rule: with `set_sampling = K`, only sets whose
+// index is a multiple of K are simulated. An access that maps to a
+// non-simulated set is a *statistical hit* — access() returns true and the
+// access contributes NOTHING to any counter (not even `accesses`). Every
+// access that lands in a simulated set is counted K times (one observed
+// access stands in for the ~K-1 unobserved accesses that hashed to the
+// skipped sets), so `stats().accesses/misses` estimate full-trace totals
+// and `miss_rate()` is the sampled sets' miss ratio. The estimate is
+// unbiased when line addresses spread uniformly over set indices (true for
+// large strided or uniform-random footprints; adversarial traces that
+// concentrate on a residue class of sets will bias it) — the sampled-vs-full
+// tolerance is tested in tests/cachesim_test.cpp. `evictions` stays
+// UNSCALED: it counts replacement events inside simulated sets only, a
+// capacity-pressure signal rather than a full-trace estimate.
+//
+// Storage is structure-of-arrays (parallel tag / last-use / valid arrays)
+// so the hot tag-probe loop touches one contiguous lane instead of striding
+// over 24-byte line records; lookup_batch() amortizes the set decode and
+// exploits sorted runs of equal line addresses on top of that.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -37,18 +58,47 @@ struct CacheStats {
   }
 };
 
+/// Raw (UNSCALED) outcome counts of one lookup_batch() call. `simulated`
+/// is how many of the batch's accesses landed in simulated sets; the
+/// remaining `count - simulated` were statistical hits. Scale `simulated`
+/// and `misses` by `set_sampling` to extrapolate, as access_batch() does.
+struct BatchCounts {
+  std::uint64_t simulated = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
 class Cache {
  public:
   explicit Cache(const CacheConfig& config);
 
   /// One access to `address`; returns true on hit. Sampled-out accesses
-  /// return true and are only counted statistically.
+  /// return true and are only counted statistically (see the extrapolation
+  /// rule in the file header).
   bool access(std::uint64_t address);
 
   /// Per-stream accounting: like access(), but attributes the miss to
   /// `stream_id` (the profiler uses buffer indices). Streams are created
   /// lazily.
   bool access(std::uint64_t address, std::uint32_t stream_id);
+
+  /// Batched simulation over LINE addresses (byte address / line_bytes),
+  /// which MUST be sorted ascending — sorting makes equal lines adjacent,
+  /// so repeat touches of a line skip the tag probe entirely (the line is
+  /// MRU from the previous access; only its recency advances). End state
+  /// and counts are exactly what `count` sequential lookups of the same
+  /// addresses would produce. Does NOT touch stats(); callers scale the
+  /// returned raw counts themselves (access_batch does).
+  BatchCounts lookup_batch(const std::uint64_t* line_addresses,
+                           std::size_t count);
+
+  /// Sorted BYTE addresses through lookup_batch(), folding the scaled
+  /// counts into stats() exactly as per-access access() calls would.
+  void access_batch(const std::uint64_t* addresses, std::size_t count);
+
+  /// access_batch() with per-stream attribution (one stream per batch).
+  void access_batch(const std::uint64_t* addresses, std::size_t count,
+                    std::uint32_t stream_id);
 
   [[nodiscard]] const CacheStats& stats() const { return total_; }
   [[nodiscard]] CacheStats stream_stats(std::uint32_t stream_id) const;
@@ -57,20 +107,25 @@ class Cache {
   void reset();
 
  private:
-  struct Line {
-    std::uint64_t tag = 0;
-    std::uint64_t last_use = 0;
-    bool valid = false;
-  };
-
   [[nodiscard]] bool lookup(std::uint64_t address, bool* sampled);
+  /// LRU probe of one simulated set; returns hit, sets *evicted on
+  /// replacement of a valid line and *touched to the line slot that now
+  /// holds the tag (MRU). `set_slot` indexes simulated sets.
+  [[nodiscard]] bool probe(std::uint64_t set_slot, std::uint64_t tag,
+                           bool* evicted, std::size_t* touched);
 
   CacheConfig config_;
   std::uint64_t sets_simulated_;
-  std::vector<Line> lines_;  // sets_simulated_ x ways
+  // Structure-of-arrays line storage, sets_simulated_ x ways each: the
+  // probe loop scans tags_ alone (8 contiguous bytes per way) and only
+  // touches the other lanes on a decided outcome.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> last_use_;
+  std::vector<std::uint8_t> valid_;
   std::uint64_t tick_ = 0;
   CacheStats total_;
   std::vector<CacheStats> streams_;
+  std::vector<std::uint64_t> batch_scratch_;  // access_batch line addresses
 };
 
 }  // namespace hetmem::cachesim

@@ -93,9 +93,12 @@ class RuntimePolicy {
   [[nodiscard]] const std::vector<Decision>& decisions() const {
     return engine_.decisions();
   }
-  [[nodiscard]] std::string render_decision_log() const {
-    return engine_.render_decision_log();
-  }
+  /// The engine's decision log, plus — when adaptive sampling is on — a
+  /// trailing "sampler periods:" section listing the effective period of
+  /// every emitted epoch. The section is part of the byte-identical replay
+  /// contract: a replayed trace/2 run reproduces the recorded periods, so
+  /// live and replay logs match to the byte.
+  [[nodiscard]] std::string render_decision_log() const;
   [[nodiscard]] double total_migration_cost_ns() const {
     return engine_.stats().migration_cost_ns;
   }

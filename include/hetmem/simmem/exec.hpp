@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "hetmem/simmem/machine.hpp"
+#include "hetmem/simmem/telemetry.hpp"
 #include "hetmem/simmem/traffic.hpp"
 #include "hetmem/support/bitmap.hpp"
 #include "hetmem/support/thread_pool.hpp"
@@ -57,6 +58,17 @@ PhaseResult resolve_phase(const SimMachine& machine,
                           const support::Bitmap& initiator,
                           std::vector<ThreadCtx*> contexts,
                           std::string name);
+
+/// How per-buffer traffic reaches epoch consumers (docs/PERF.md):
+///  - kRings (default): workers publish touched-buffer records into
+///    per-thread SPSC telemetry rings at the end of their phase slice; the
+///    main thread drains lazily when a consumer reads, recomputing only the
+///    dirty buffers — O(dirty x threads) per epoch.
+///  - kLegacyMerge: the pre-ring merge-on-demand path — every read merges
+///    every thread's full counter vector, O(threads x buffers) per call.
+///    Kept as the measured baseline for bench/ablation_overhead and as a
+///    bit-exactness cross-check (both modes produce identical doubles).
+enum class TelemetryMode { kRings, kLegacyMerge };
 
 class ExecutionContext {
  public:
@@ -114,9 +126,34 @@ class ExecutionContext {
   }
 
   /// Cumulative per-buffer traffic merged across all workers (for prof::).
+  /// In kRings mode this drains pending telemetry first; bit-identical to
+  /// the kLegacyMerge result.
   [[nodiscard]] std::vector<BufferTraffic> merged_buffer_traffic() const;
 
+  /// Selects the telemetry transport. Must be called before the first
+  /// run_phase(); defaults to kRings.
+  void set_telemetry_mode(TelemetryMode mode);
+  [[nodiscard]] TelemetryMode telemetry_mode() const { return telemetry_mode_; }
+
+  /// Streams the cumulative-traffic deltas since `reader` last read, in
+  /// ascending buffer-index order, to `fn(buffer_index, delta)` — the
+  /// epoch-boundary consumer API (EpochSampler, TraceRecorder). Only
+  /// buffers with activity since the reader's last read are visited
+  /// (inclusion rule: reads > 0 || writes > 0 || memory_bytes > 0, the same
+  /// rule the sampler applies, so replay RNG streams stay aligned). Each
+  /// consumer owns its reader; cadences are independent. Main-thread only
+  /// (same thread that runs phases); in kRings mode this is what drains
+  /// the rings.
+  using DeltaFn = std::function<void(std::uint32_t, const BufferTraffic&)>;
+  void read_traffic_deltas(TelemetryReader& reader, const DeltaFn& fn) const;
+
  private:
+  /// Drains every ring into latest_/merged_ and appends newly dirty buffer
+  /// ids to the journal. Main-thread only; workers must be quiescent enough
+  /// that each ring has a single producer (true between phases and after
+  /// the pool join inside run_phase).
+  void drain_telemetry() const;
+
   SimMachine* machine_;
   support::Bitmap initiator_;
   std::vector<std::unique_ptr<ThreadCtx>> contexts_;
@@ -124,6 +161,26 @@ class ExecutionContext {
   double clock_ns_ = 0.0;
   std::vector<PhaseResult> history_;
   PhaseObserver phase_observer_;
+
+  // Telemetry state. Mutable because consumers read through const contexts
+  // (profiler, sampler) while the drain updates the merged view; all access
+  // is main-thread-only, so no synchronization is needed here.
+  TelemetryMode telemetry_mode_ = TelemetryMode::kRings;
+  std::vector<std::unique_ptr<TelemetryRing>> rings_;  // one per sim thread
+  /// Last published cumulative counters per (thread, buffer) — the drain's
+  /// shadow of each ThreadCtx::buffer_traffic().
+  mutable std::vector<std::vector<BufferTraffic>> latest_;
+  /// merged_[b] == sum over threads (ascending) of latest_[t][b]; only
+  /// recomputed for buffers dirtied since the previous drain.
+  mutable std::vector<BufferTraffic> merged_;
+  /// Append-only ids of buffers whose merged_ entry changed, in drain
+  /// order; TelemetryReaders cursor into this (duplicates are idempotent —
+  /// a re-read yields an exact-zero delta, which the inclusion rule skips).
+  mutable std::vector<std::uint32_t> dirty_journal_;
+  mutable std::vector<std::uint8_t> dirty_mark_;     // per-drain scratch
+  mutable std::vector<std::uint32_t> drain_scratch_; // per-drain dirty ids
+  mutable std::vector<std::uint32_t> read_scratch_;  // per-read sorted ids
+  std::vector<std::uint64_t> node_bytes_scratch_;    // per-phase power batch
 };
 
 }  // namespace hetmem::sim

@@ -175,6 +175,15 @@ class SimMachine {
   void record_node_traffic(unsigned node, std::uint64_t read_bytes,
                            std::uint64_t write_bytes, double interval_ns);
 
+  /// Batched form of record_node_traffic: folds one interval's traffic for
+  /// nodes [0, count) under a single power_mutex_ acquisition instead of
+  /// one lock round-trip per node. Per-node math is identical (same EMA
+  /// update in the same node order), so the resulting draw telemetry is
+  /// bit-identical to `count` individual calls.
+  void record_node_traffic_batch(const std::uint64_t* read_bytes,
+                                 const std::uint64_t* write_bytes,
+                                 std::size_t count, double interval_ns);
+
   /// Current estimated draw for `node`: static watts (W/GiB x installed
   /// capacity) + the EMA of dynamic watts. 0.0 for out-of-range nodes.
   [[nodiscard]] double power_draw_watts(unsigned node) const;

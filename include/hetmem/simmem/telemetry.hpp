@@ -1,0 +1,133 @@
+// Lock-free telemetry transport between phase workers and epoch consumers.
+//
+// Hot-path traffic accounting stays thread-owned (ThreadCtx); what this
+// module adds is the hand-off: at the end of its slice of a phase, each
+// worker *publishes* one record per touched buffer — the buffer id plus the
+// thread's cumulative BufferTraffic counters — into its own fixed-capacity
+// SPSC ring. The execution context drains the rings on the main thread only
+// when an epoch consumer asks (EpochSampler / TraceRecorder at epoch
+// boundaries), folds the records into a merged view, and appends the dirty
+// buffer ids to a journal. Consumers hold a TelemetryReader (their own
+// journal cursor + last-seen snapshot), so the per-epoch cost is
+// O(dirty buffers) instead of O(threads x all buffers) merge-on-demand.
+//
+// Records carry thread-CUMULATIVE counters, not per-phase deltas, on
+// purpose: the drain recomputes merged[b] as the sum over threads in
+// ascending thread order — the exact additions (same values, same order)
+// the legacy merge performed — so every downstream consumer sees
+// bit-identical doubles and decision logs replay unchanged.
+//
+// Thread safety (docs/CONCURRENCY.md): each ring has exactly one producer
+// (whichever pool worker runs that simulated thread this phase; a simulated
+// thread is never run by two workers at once) and one consumer (the main
+// thread between phases). head_/tail_ use acquire/release so a drain racing
+// a late producer is well-defined — the record is either fully visible or
+// left for the next drain. On overflow the producer sets a flag and stops
+// publishing; the drain then falls back to reading the thread's cumulative
+// counters directly (workers are quiescent between phases), so no traffic
+// is ever lost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "hetmem/simmem/traffic.hpp"
+
+namespace hetmem::sim {
+
+/// One published sample: the producing thread's cumulative counters for
+/// `buffer` as of the end of the phase that pushed the record.
+struct TelemetryRecord {
+  std::uint32_t buffer = 0;
+  BufferTraffic cumulative;
+};
+
+/// Fixed-capacity single-producer/single-consumer ring of TelemetryRecords.
+/// Capacity is rounded up to a power of two. Lock-free: one release store
+/// per push, one release store per pop, no CAS, no mutex.
+class TelemetryRing {
+ public:
+  explicit TelemetryRing(std::size_t capacity = 1024);
+
+  TelemetryRing(const TelemetryRing&) = delete;
+  TelemetryRing& operator=(const TelemetryRing&) = delete;
+
+  /// Producer side. Returns false when full (caller should note_overflow()
+  /// and stop publishing for the phase; the drain recovers the rest).
+  bool try_push(const TelemetryRecord& record);
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(TelemetryRecord& out);
+
+  /// Consumer side, batched: pops up to `max` records into `out`, returning
+  /// how many were copied. One acquire load of the producer head and one
+  /// release store of the consumer tail per call — the per-record atomic
+  /// ping-pong of a try_pop loop is what made the drain show up in
+  /// bench/ablation_overhead at 16 threads.
+  std::size_t pop_batch(TelemetryRecord* out, std::size_t max);
+
+  /// Producer: remembers that at least one record could not be pushed.
+  void note_overflow() { overflow_.store(true, std::memory_order_release); }
+
+  /// Consumer: returns-and-clears the overflow flag.
+  bool consume_overflow() { return overflow_.exchange(false, std::memory_order_acq_rel); }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Records currently buffered (approximate while the producer is live;
+  /// exact between phases).
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<TelemetryRecord> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // written by producer
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // written by consumer
+  std::atomic<bool> overflow_{false};
+};
+
+/// Per-consumer cursor into an ExecutionContext's telemetry stream: the
+/// journal position this reader has processed plus the merged counter
+/// values it last saw. Each consumer (sampler, recorder, ...) owns one, so
+/// independent epoch cadences never share or clobber diff state. A fresh
+/// reader starts at the beginning of the journal with a zero snapshot and
+/// therefore observes the full cumulative traffic as its first delta —
+/// exactly what a fresh snapshot-diffing consumer used to see.
+class TelemetryReader {
+ public:
+  TelemetryReader() = default;
+
+ private:
+  friend class ExecutionContext;
+  std::vector<BufferTraffic> snapshot_;
+  std::size_t journal_cursor_ = 0;
+};
+
+/// Shared-atomic traffic accounting — the *baseline* the telemetry rings
+/// replace, kept as a measurable strawman for bench/perf_api and
+/// bench/ablation_overhead: every record op CAS-adds into counters shared
+/// by all threads (cache-line ping-pong under contention), and closing an
+/// epoch diffs the full table. Not used by the runtime itself.
+class SharedTrafficTable {
+ public:
+  explicit SharedTrafficTable(std::size_t buffer_count);
+
+  /// Adds `delta` to `buffer`'s shared counters (CAS loop per field).
+  void record(std::uint32_t buffer, const BufferTraffic& delta);
+
+  /// Snapshot of one buffer's counters.
+  [[nodiscard]] BufferTraffic read(std::uint32_t buffer) const;
+
+  [[nodiscard]] std::size_t buffer_count() const { return slots_.size() / kFields; }
+
+ private:
+  static constexpr std::size_t kFields = 6;
+  static void atomic_add(std::atomic<double>& slot, double delta);
+  std::vector<std::atomic<double>> slots_;  // buffer-major, 6 fields each
+};
+
+}  // namespace hetmem::sim

@@ -27,6 +27,16 @@
 //   s <buffer> <reads> <writes> <llc_misses> <memory_bytes> <rand> <rand_miss>
 //   ...
 //   end
+//
+// Version 2 (`hetmem-trace/2`) differs in exactly one record: the epoch
+// line grows a third field carrying the effective subsample period the
+// recorded run's sampler applied to that epoch,
+//   epoch <index> <duration_ns> <sample_period>
+// which is what lets adaptive-sampling runs (docs/RUNTIME.md) replay byte-
+// identically — the replayer re-applies the recorded period per epoch
+// instead of re-running the overhead controller. parse() accepts both
+// headers; serialize() emits whichever `Trace::version` names (a v1
+// serialization of epochs carrying periods drops them, by design).
 #pragma once
 
 #include <cstdint>
@@ -42,6 +52,10 @@
 namespace hetmem::trace {
 
 struct Trace {
+  /// Serialization format: 1 = `hetmem-trace/1` (no per-epoch period),
+  /// 2 = `hetmem-trace/2` (epoch lines carry the effective sample period).
+  /// parse() sets this from the header it saw; TraceRecorder emits 2.
+  unsigned version = 1;
   std::string workload = "trace";
   /// Thread count of the recorded run (replay passes it to the engine's
   /// cost model so migration costs match the live run).

@@ -1,8 +1,13 @@
 #include "hetmem/cachesim/cachesim.hpp"
 
 #include <cassert>
+#include <limits>
 
 namespace hetmem::cachesim {
+
+namespace {
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+}  // namespace
 
 Cache::Cache(const CacheConfig& config) : config_(config) {
   assert(config.ways >= 1);
@@ -11,14 +16,51 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   const std::uint64_t sets = config.set_count();
   assert(sets >= 1);
   sets_simulated_ = (sets + config.set_sampling - 1) / config.set_sampling;
-  lines_.resize(sets_simulated_ * config.ways);
+  const std::size_t slots =
+      static_cast<std::size_t>(sets_simulated_) * config.ways;
+  tags_.resize(slots, 0);
+  last_use_.resize(slots, 0);
+  valid_.resize(slots, 0);
 }
 
 void Cache::reset() {
-  for (Line& line : lines_) line = Line{};
+  tags_.assign(tags_.size(), 0);
+  last_use_.assign(last_use_.size(), 0);
+  valid_.assign(valid_.size(), 0);
   tick_ = 0;
   total_ = CacheStats{};
   streams_.clear();
+}
+
+bool Cache::probe(std::uint64_t set_slot, std::uint64_t tag, bool* evicted,
+                  std::size_t* touched) {
+  const std::size_t base = static_cast<std::size_t>(set_slot) * config_.ways;
+  ++tick_;
+
+  // Victim: first invalid way, else least-recently used (earliest index on
+  // last_use ties) — same order the AoS scan picked.
+  std::size_t victim = kNoSlot;
+  for (unsigned way = 0; way < config_.ways; ++way) {
+    const std::size_t slot = base + way;
+    if (valid_[slot] != 0 && tags_[slot] == tag) {
+      last_use_[slot] = tick_;
+      *evicted = false;
+      *touched = slot;
+      return true;
+    }
+    if (valid_[slot] == 0) {
+      if (victim == kNoSlot || valid_[victim] != 0) victim = slot;
+    } else if (victim == kNoSlot ||
+               (valid_[victim] != 0 && last_use_[slot] < last_use_[victim])) {
+      victim = slot;
+    }
+  }
+  *evicted = valid_[victim] != 0;
+  valid_[victim] = 1;
+  tags_[victim] = tag;
+  last_use_[victim] = tick_;
+  *touched = victim;
+  return false;
 }
 
 bool Cache::lookup(std::uint64_t address, bool* sampled) {
@@ -30,29 +72,84 @@ bool Cache::lookup(std::uint64_t address, bool* sampled) {
   }
   *sampled = true;
 
-  const std::uint64_t set_slot = set / config_.set_sampling;
-  const std::uint64_t tag = line_address / config_.set_count();
-  ++tick_;
+  bool evicted = false;
+  std::size_t touched = kNoSlot;
+  const bool hit = probe(set / config_.set_sampling,
+                         line_address / config_.set_count(), &evicted,
+                         &touched);
+  if (evicted) ++total_.evictions;
+  return hit;
+}
 
-  Line* victim = nullptr;  // first invalid way, else least-recently used
-  for (unsigned way = 0; way < config_.ways; ++way) {
-    Line& line = lines_[set_slot * config_.ways + way];
-    if (line.valid && line.tag == tag) {
-      line.last_use = tick_;
-      return true;
+BatchCounts Cache::lookup_batch(const std::uint64_t* line_addresses,
+                                std::size_t count) {
+  BatchCounts counts;
+  const std::uint64_t set_count = config_.set_count();
+  // Sorted input makes repeat touches of a line adjacent. Track the
+  // previous line's outcome: if it was simulated, the line is resident and
+  // MRU right now, so an equal successor is a guaranteed hit — advance its
+  // recency without re-probing the set. If it was sampled out, an equal
+  // successor maps to the same skipped set and is another statistical hit.
+  std::uint64_t prev_line = 0;
+  std::size_t prev_slot = kNoSlot;
+  bool have_prev = false;
+  bool prev_simulated = false;
+
+  for (std::size_t index = 0; index < count; ++index) {
+    const std::uint64_t line = line_addresses[index];
+    if (have_prev && line == prev_line) {
+      if (prev_simulated) {
+        ++tick_;
+        last_use_[prev_slot] = tick_;
+        ++counts.simulated;
+      }
+      continue;
     }
-    if (!line.valid) {
-      if (victim == nullptr || victim->valid) victim = &line;
-    } else if (victim == nullptr ||
-               (victim->valid && line.last_use < victim->last_use)) {
-      victim = &line;
+    have_prev = true;
+    prev_line = line;
+
+    const std::uint64_t set = line % set_count;
+    if (set % config_.set_sampling != 0) {
+      prev_simulated = false;
+      continue;  // statistical hit
     }
+    prev_simulated = true;
+    ++counts.simulated;
+
+    bool evicted = false;
+    const bool hit =
+        probe(set / config_.set_sampling, line / set_count, &evicted,
+              &prev_slot);
+    if (!hit) ++counts.misses;
+    if (evicted) ++counts.evictions;
   }
-  if (victim->valid) ++total_.evictions;
-  victim->valid = true;
-  victim->tag = tag;
-  victim->last_use = tick_;
-  return false;
+  return counts;
+}
+
+void Cache::access_batch(const std::uint64_t* addresses, std::size_t count) {
+  batch_scratch_.resize(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    batch_scratch_[index] = addresses[index] / config_.line_bytes;
+  }
+  const BatchCounts counts = lookup_batch(batch_scratch_.data(), count);
+  total_.accesses += counts.simulated * config_.set_sampling;
+  total_.misses += counts.misses * config_.set_sampling;
+  total_.evictions += counts.evictions;
+}
+
+void Cache::access_batch(const std::uint64_t* addresses, std::size_t count,
+                         std::uint32_t stream_id) {
+  batch_scratch_.resize(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    batch_scratch_[index] = addresses[index] / config_.line_bytes;
+  }
+  const BatchCounts counts = lookup_batch(batch_scratch_.data(), count);
+  total_.accesses += counts.simulated * config_.set_sampling;
+  total_.misses += counts.misses * config_.set_sampling;
+  total_.evictions += counts.evictions;
+  if (streams_.size() <= stream_id) streams_.resize(stream_id + 1);
+  streams_[stream_id].accesses += counts.simulated * config_.set_sampling;
+  streams_[stream_id].misses += counts.misses * config_.set_sampling;
 }
 
 bool Cache::access(std::uint64_t address) {

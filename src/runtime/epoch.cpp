@@ -1,14 +1,22 @@
 #include "hetmem/runtime/epoch.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace hetmem::runtime {
 
 EpochSampler::EpochSampler(SamplerOptions options)
-    : options_(options), rng_(options.seed) {
+    : options_(std::move(options)), rng_(options_.seed) {
   options_.phases_per_epoch = std::max(1u, options_.phases_per_epoch);
   options_.sample_period = std::max(1.0, options_.sample_period);
+  options_.max_sample_period =
+      std::max(options_.sample_period, options_.max_sample_period);
+  effective_period_ = options_.sample_period;
+}
+
+double EpochSampler::effective_period() const {
+  return options_.adaptive ? effective_period_ : options_.sample_period;
 }
 
 double EpochSampler::subsample(double value, double quantum) {
@@ -23,11 +31,11 @@ double EpochSampler::subsample(double value, double quantum) {
   return estimate * quantum;
 }
 
-void EpochSampler::subsample_traffic(sim::BufferTraffic& delta) {
+void EpochSampler::subsample_traffic(sim::BufferTraffic& delta, double period) {
   // One sample per period: event counters are known to multiples of the
   // period, byte counters to multiples of period * cache-line bytes.
-  const double event_quantum = options_.sample_period;
-  const double byte_quantum = options_.sample_period * 64.0;
+  const double event_quantum = period;
+  const double byte_quantum = period * 64.0;
   delta.reads = subsample(delta.reads, event_quantum);
   delta.writes = subsample(delta.writes, event_quantum);
   delta.llc_misses = subsample(delta.llc_misses, event_quantum);
@@ -39,38 +47,49 @@ void EpochSampler::subsample_traffic(sim::BufferTraffic& delta) {
   delta.random_misses = std::min(delta.random_misses, delta.llc_misses);
 }
 
+void EpochSampler::update_controller(double duration_ns) {
+  if (!options_.adaptive || duration_ns <= 0.0) return;
+  const double fraction = last_cost_ns_ / duration_ns;
+  if (fraction > options_.overhead_budget_fraction) {
+    effective_period_ =
+        std::min(effective_period_ * 2.0, options_.max_sample_period);
+  } else if (fraction < options_.overhead_budget_fraction * 0.25) {
+    effective_period_ =
+        std::max(effective_period_ * 0.5, options_.sample_period);
+  }
+}
+
 Epoch EpochSampler::make_epoch(const sim::ExecutionContext& exec) {
-  std::vector<sim::BufferTraffic> merged = exec.merged_buffer_traffic();
-  if (snapshot_.size() < merged.size()) snapshot_.resize(merged.size());
+  const auto start = std::chrono::steady_clock::now();
 
   Epoch epoch;
   epoch.index = epochs_;
   epoch.duration_ns = exec.clock_ns() - snapshot_clock_ns_;
+  const double period = effective_period();
+  epoch.sample_period = period;
+  const bool exact = period <= 1.0;
 
-  const bool exact = options_.sample_period <= 1.0;
+  exec.read_traffic_deltas(
+      reader_, [&](std::uint32_t index, const sim::BufferTraffic& raw) {
+        sim::BufferTraffic delta = raw;
+        if (!exact) subsample_traffic(delta, period);
+        epoch.total_memory_bytes += delta.memory_bytes;
+        epoch.samples.push_back(EpochSample{sim::BufferId{index}, delta});
+      });
 
-  for (std::uint32_t index = 0; index < merged.size(); ++index) {
-    const sim::BufferTraffic& now = merged[index];
-    const sim::BufferTraffic& then = snapshot_[index];
-    sim::BufferTraffic delta;
-    delta.reads = now.reads - then.reads;
-    delta.writes = now.writes - then.writes;
-    delta.llc_misses = now.llc_misses - then.llc_misses;
-    delta.memory_bytes = now.memory_bytes - then.memory_bytes;
-    delta.random_accesses = now.random_accesses - then.random_accesses;
-    delta.random_misses = now.random_misses - then.random_misses;
-    const bool any = delta.reads > 0.0 || delta.writes > 0.0 ||
-                     delta.memory_bytes > 0.0;
-    if (!any) continue;
-    if (!exact) subsample_traffic(delta);
-    epoch.total_memory_bytes += delta.memory_bytes;
-    epoch.samples.push_back(EpochSample{sim::BufferId{index}, delta});
-  }
-
-  snapshot_ = std::move(merged);
   snapshot_clock_ns_ = exec.clock_ns();
   phases_since_epoch_ = 0;
   ++epochs_;
+  period_log_.push_back(period);
+
+  if (options_.cost_model) {
+    last_cost_ns_ = options_.cost_model(epoch);
+  } else {
+    last_cost_ns_ = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  }
+  update_controller(epoch.duration_ns);
   return epoch;
 }
 
@@ -87,22 +106,31 @@ Epoch EpochSampler::subsample_epoch(const Epoch& raw) {
   Epoch epoch;
   epoch.index = epochs_;
   epoch.duration_ns = raw.duration_ns;
-  const bool exact = options_.sample_period <= 1.0;
+  // Recorded controller choices rule the replay: a trace/2 epoch carries
+  // the period the live sampler used, so adaptive replays reproduce the
+  // live run's quantization (and RNG draws) without re-running the
+  // controller against replay-time costs.
+  const double period = options_.adaptive && raw.sample_period > 0.0
+                            ? raw.sample_period
+                            : effective_period();
+  epoch.sample_period = period;
+  const bool exact = period <= 1.0;
   for (const EpochSample& sample : raw.samples) {
     sim::BufferTraffic delta = sample.traffic;
-    // Same inclusion rule as make_epoch: a recorded sample with no raw
-    // activity neither appears in the output nor consumes RNG draws, so the
-    // rounding stream stays aligned with what a live sampler would have
-    // drawn from the same deltas.
+    // Same inclusion rule as the live read-deltas path: a recorded sample
+    // with no raw activity neither appears in the output nor consumes RNG
+    // draws, so the rounding stream stays aligned with what a live sampler
+    // would have drawn from the same deltas.
     const bool any = delta.reads > 0.0 || delta.writes > 0.0 ||
                      delta.memory_bytes > 0.0;
     if (!any) continue;
-    if (!exact) subsample_traffic(delta);
+    if (!exact) subsample_traffic(delta, period);
     epoch.total_memory_bytes += delta.memory_bytes;
     epoch.samples.push_back(EpochSample{sample.buffer, delta});
   }
   phases_since_epoch_ = 0;
   ++epochs_;
+  period_log_.push_back(period);
   return epoch;
 }
 

@@ -1,5 +1,7 @@
 #include "hetmem/runtime/policy.hpp"
 
+#include <cstdio>
+
 namespace hetmem::runtime {
 
 RuntimePolicy::RuntimePolicy(alloc::HeterogeneousAllocator& allocator,
@@ -33,6 +35,21 @@ void RuntimePolicy::on_phase(sim::ExecutionContext& exec) {
   if (allocator_->stats().migrations != migrations_before && post_migration_) {
     post_migration_();
   }
+}
+
+std::string RuntimePolicy::render_decision_log() const {
+  std::string log = engine_.render_decision_log();
+  if (sampler_.options().adaptive) {
+    log += "sampler periods:\n";
+    const std::vector<double>& periods = sampler_.period_log();
+    for (std::size_t epoch = 0; epoch < periods.size(); ++epoch) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "epoch %zu period %g\n", epoch,
+                    periods[epoch]);
+      log += line;
+    }
+  }
+  return log;
 }
 
 double RuntimePolicy::replay_epoch(const Epoch& raw_epoch, unsigned threads) {

@@ -369,6 +369,30 @@ void SimMachine::record_node_traffic(unsigned node, std::uint64_t read_bytes,
   }
 }
 
+void SimMachine::record_node_traffic_batch(const std::uint64_t* read_bytes,
+                                           const std::uint64_t* write_bytes,
+                                           std::size_t count,
+                                           double interval_ns) {
+  if (interval_ns <= 0.0) return;
+  if (count > node_count_) count = node_count_;
+  std::lock_guard<std::mutex> lock(power_mutex_);
+  for (std::size_t node = 0; node < count; ++node) {
+    const NodePowerModel& power = model_.node_power(static_cast<unsigned>(node));
+    const double dynamic_nj =
+        static_cast<double>(read_bytes[node]) * power.read_nj_per_byte +
+        static_cast<double>(write_bytes[node]) * power.write_nj_per_byte;
+    const double instant_watts = dynamic_nj / interval_ns;  // nJ/ns == W
+    NodePower& state = node_power_[node];
+    if (!state.seeded) {
+      state.dynamic_watts_ema = instant_watts;
+      state.seeded = true;
+    } else {
+      state.dynamic_watts_ema =
+          0.5 * state.dynamic_watts_ema + 0.5 * instant_watts;
+    }
+  }
+}
+
 double SimMachine::power_draw_watts(unsigned node) const {
   if (node >= node_count_) return 0.0;
   const NodePowerModel& power = model_.node_power(node);

@@ -1,0 +1,84 @@
+#include "hetmem/simmem/telemetry.hpp"
+
+namespace hetmem::sim {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t value) {
+  std::size_t pow2 = 1;
+  while (pow2 < value) pow2 <<= 1;
+  return pow2;
+}
+
+}  // namespace
+
+TelemetryRing::TelemetryRing(std::size_t capacity)
+    : slots_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+      mask_(slots_.size() - 1) {}
+
+bool TelemetryRing::try_push(const TelemetryRecord& record) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail >= slots_.size()) return false;
+  slots_[head & mask_] = record;
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+bool TelemetryRing::try_pop(TelemetryRecord& out) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail == head) return false;
+  out = slots_[tail & mask_];
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+std::size_t TelemetryRing::pop_batch(TelemetryRecord* out, std::size_t max) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::size_t count = static_cast<std::size_t>(head - tail);
+  if (count > max) count = max;
+  for (std::size_t index = 0; index < count; ++index) {
+    out[index] = slots_[(tail + index) & mask_];
+  }
+  if (count > 0) tail_.store(tail + count, std::memory_order_release);
+  return count;
+}
+
+SharedTrafficTable::SharedTrafficTable(std::size_t buffer_count)
+    : slots_(buffer_count * kFields) {
+  for (auto& slot : slots_) slot.store(0.0, std::memory_order_relaxed);
+}
+
+void SharedTrafficTable::atomic_add(std::atomic<double>& slot, double delta) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(current, current + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void SharedTrafficTable::record(std::uint32_t buffer,
+                                const BufferTraffic& delta) {
+  std::atomic<double>* base = &slots_[buffer * kFields];
+  atomic_add(base[0], delta.reads);
+  atomic_add(base[1], delta.writes);
+  atomic_add(base[2], delta.llc_misses);
+  atomic_add(base[3], delta.memory_bytes);
+  atomic_add(base[4], delta.random_accesses);
+  atomic_add(base[5], delta.random_misses);
+}
+
+BufferTraffic SharedTrafficTable::read(std::uint32_t buffer) const {
+  const std::atomic<double>* base = &slots_[buffer * kFields];
+  BufferTraffic traffic;
+  traffic.reads = base[0].load(std::memory_order_relaxed);
+  traffic.writes = base[1].load(std::memory_order_relaxed);
+  traffic.llc_misses = base[2].load(std::memory_order_relaxed);
+  traffic.memory_bytes = base[3].load(std::memory_order_relaxed);
+  traffic.random_accesses = base[4].load(std::memory_order_relaxed);
+  traffic.random_misses = base[5].load(std::memory_order_relaxed);
+  return traffic;
+}
+
+}  // namespace hetmem::sim

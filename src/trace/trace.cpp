@@ -14,7 +14,8 @@ using support::Result;
 
 namespace {
 
-constexpr const char* kHeader = "hetmem-trace/1";
+constexpr const char* kHeaderV1 = "hetmem-trace/1";
+constexpr const char* kHeaderV2 = "hetmem-trace/2";
 
 // Hexfloat ("%a") is the one printf format that round-trips every finite
 // double exactly through strtod — the lossless-serialization property the
@@ -141,8 +142,9 @@ void push_epoch(Trace& trace, std::uint64_t index, double duration_ns,
 }  // namespace
 
 std::string serialize(const Trace& trace) {
+  const bool v2 = trace.version >= 2;
   std::string out;
-  out += kHeader;
+  out += v2 ? kHeaderV2 : kHeaderV1;
   out += '\n';
   out += "workload " + trace.workload + '\n';
   out += "threads " + std::to_string(trace.threads) + '\n';
@@ -150,6 +152,10 @@ std::string serialize(const Trace& trace) {
   for (const runtime::Epoch& epoch : trace.epochs) {
     out += "epoch " + std::to_string(epoch.index) + ' ';
     append_double(out, epoch.duration_ns);
+    if (v2) {
+      out += ' ';
+      append_double(out, epoch.sample_period);
+    }
     out += '\n';
     for (const runtime::EpochSample& sample : epoch.samples) {
       out += "s " + std::to_string(sample.buffer.index);
@@ -171,11 +177,20 @@ std::string serialize(const Trace& trace) {
 
 Result<Trace> parse(std::string_view text) {
   Cursor cursor{text.data(), text.data() + text.size()};
-  if (cursor.done() || cursor.next_line() != kHeader) {
-    return parse_error(cursor, std::string("expected header ") + kHeader);
-  }
-
   Trace trace;
+  if (cursor.done()) {
+    return parse_error(cursor, std::string("expected header ") + kHeaderV1 +
+                                   " or " + kHeaderV2);
+  }
+  const std::string_view header = cursor.next_line();
+  if (header == kHeaderV1) {
+    trace.version = 1;
+  } else if (header == kHeaderV2) {
+    trace.version = 2;
+  } else {
+    return parse_error(cursor, std::string("expected header ") + kHeaderV1 +
+                                   " or " + kHeaderV2);
+  }
   trace.workload.clear();
   runtime::Epoch* epoch = nullptr;
   bool ended = false;
@@ -202,6 +217,10 @@ Result<Trace> parse(std::string_view text) {
       if (!parse_u64(take_word(rest), next.index) ||
           !parse_f64(take_word(rest), next.duration_ns)) {
         return parse_error(cursor, "bad epoch line");
+      }
+      if (trace.version >= 2 &&
+          !parse_f64(take_word(rest), next.sample_period)) {
+        return parse_error(cursor, "bad epoch line (v2 needs sample_period)");
       }
       trace.epochs.push_back(std::move(next));
       epoch = &trace.epochs.back();
@@ -244,6 +263,7 @@ Result<Trace> parse(std::string_view text) {
 TraceRecorder::TraceRecorder(RecorderOptions options)
     : options_(std::move(options)) {
   options_.phases_per_epoch = std::max(1u, options_.phases_per_epoch);
+  trace_.version = 2;
   trace_.workload = options_.workload;
   trace_.phases_per_epoch = options_.phases_per_epoch;
 }
@@ -293,7 +313,18 @@ void TraceRecorder::attach(sim::ExecutionContext& exec,
                            runtime::RuntimePolicy* policy) {
   exec.set_phase_observer([this, policy, &exec](const sim::PhaseResult&) {
     on_phase(exec);
-    if (policy != nullptr) policy->on_phase(exec);
+    if (policy != nullptr) {
+      policy->on_phase(exec);
+      // Backfill the live sampler's effective period onto the epoch just
+      // recorded (the recorder runs first, so when both close an epoch on
+      // the same phase their counters agree). That period is what trace/2
+      // serializes and what a replaying sampler re-applies verbatim.
+      if (!trace_.epochs.empty() &&
+          policy->sampler().epochs_emitted() == trace_.epochs.size()) {
+        const std::vector<double>& periods = policy->sampler().period_log();
+        if (!periods.empty()) trace_.epochs.back().sample_period = periods.back();
+      }
+    }
   });
 }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "hetmem/simmem/array.hpp"
 #include "hetmem/support/rng.hpp"
 
@@ -110,6 +114,113 @@ TEST(Cache, SamplingApproximatesFullSimulation) {
   }
   // Sampled counts are scaled estimates of the full counts.
   EXPECT_NEAR(sampled.stats().miss_rate(), full.stats().miss_rate(), 0.03);
+  EXPECT_NEAR(static_cast<double>(sampled.stats().accesses),
+              static_cast<double>(full.stats().accesses),
+              0.05 * static_cast<double>(full.stats().accesses));
+}
+
+// ---------------------------------------------------------------------------
+// Batched lookups (lookup_batch / access_batch)
+// ---------------------------------------------------------------------------
+
+/// Builds a deterministic mixed stream — streaming runs, a hot working set,
+/// and intra-chunk duplicates — chunked into sorted batches, which is the
+/// precondition access_batch() documents.
+std::vector<std::vector<std::uint64_t>> sorted_chunks(std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint64_t>> chunks;
+  for (int chunk = 0; chunk < 200; ++chunk) {
+    std::vector<std::uint64_t> addresses;
+    // Stride of 13 lines per chunk so successive streaming windows start in
+    // different sets — the uniform set spread the extrapolation rule needs.
+    const std::uint64_t stream_base = 64ull * 13 * chunk;
+    for (int i = 0; i < 32; ++i) {
+      addresses.push_back(stream_base + 64ull * i);       // streaming run
+      addresses.push_back(rng.next_below(128 * 1024));    // hot set
+    }
+    for (int i = 0; i < 8; ++i) {  // duplicates of random stream elements
+      addresses.push_back(addresses[rng.next_below(addresses.size())]);
+    }
+    std::sort(addresses.begin(), addresses.end());
+    chunks.push_back(std::move(addresses));
+  }
+  return chunks;
+}
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchEquivalenceTest, BatchMatchesSequentialAccessExactly) {
+  // access_batch over a sorted chunk must be *identical* to per-address
+  // access() calls in the same order — same stats after every chunk and the
+  // same cache contents afterwards (observed via subsequent behavior).
+  // Parameterized over set_sampling so the scaled-fold path is covered too.
+  CacheConfig config;
+  config.size_bytes = 64 * 1024;
+  config.ways = 4;
+  config.set_sampling = static_cast<unsigned>(GetParam());
+  Cache sequential(config);
+  Cache batched(config);
+  for (const auto& chunk : sorted_chunks(/*seed=*/11)) {
+    for (std::uint64_t address : chunk) sequential.access(address, 3);
+    batched.access_batch(chunk.data(), chunk.size(), 3);
+    ASSERT_EQ(sequential.stats().accesses, batched.stats().accesses);
+    ASSERT_EQ(sequential.stats().misses, batched.stats().misses);
+    ASSERT_EQ(sequential.stats().evictions, batched.stats().evictions);
+  }
+  EXPECT_EQ(sequential.stream_stats(3).misses, batched.stream_stats(3).misses);
+  EXPECT_GT(batched.stats().misses, 0u);
+  // Same resident lines: replaying a probe set sequentially on both caches
+  // must produce identical hit/miss outcomes.
+  for (std::uint64_t address = 0; address < 32 * 1024; address += 64) {
+    ASSERT_EQ(sequential.access(address), batched.access(address))
+        << "address " << address;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSampling, BatchEquivalenceTest,
+                         ::testing::Values(1, 8));
+
+TEST(Cache, LookupBatchReportsRawUnscaledCounts) {
+  CacheConfig config;
+  config.size_bytes = 8 * 1024;
+  config.ways = 2;
+  config.set_sampling = 4;  // simulate every 4th set
+  Cache cache(config);
+  // One line per set over twice the simulated range: exactly 1/4 of the
+  // lines land in simulated sets, each a cold miss; nothing is scaled in
+  // the raw BatchCounts (scaling is access_batch's job).
+  std::vector<std::uint64_t> lines;
+  for (std::uint64_t line = 0; line < 128; ++line) lines.push_back(line);
+  const BatchCounts counts = cache.lookup_batch(lines.data(), lines.size());
+  EXPECT_EQ(counts.simulated, 32u);
+  EXPECT_EQ(counts.misses, 32u);
+  EXPECT_EQ(counts.evictions, 0u);
+  EXPECT_EQ(cache.stats().accesses, 0u);  // lookup_batch leaves stats alone
+}
+
+TEST(Cache, BatchedSampledMissRatioMatchesFullSimulation) {
+  // The statistical-hit extrapolation rule (cachesim.hpp): with sampling K,
+  // sampled-out accesses contribute nothing and simulated outcomes count K
+  // times. On a deterministic synthetic stream the extrapolated miss ratio
+  // must agree with the full simulation within a tight relative+absolute
+  // tolerance.
+  CacheConfig full_config;
+  full_config.size_bytes = 256 * 1024;
+  full_config.ways = 8;
+  full_config.set_sampling = 1;
+  CacheConfig sampled_config = full_config;
+  sampled_config.set_sampling = 8;
+  Cache full(full_config);
+  Cache sampled(sampled_config);
+  for (const auto& chunk : sorted_chunks(/*seed=*/99)) {
+    full.access_batch(chunk.data(), chunk.size());
+    sampled.access_batch(chunk.data(), chunk.size());
+  }
+  const double mr_full = full.stats().miss_rate();
+  const double mr_sampled = sampled.stats().miss_rate();
+  EXPECT_GT(mr_full, 0.0);
+  EXPECT_NEAR(mr_sampled, mr_full, 0.1 * mr_full + 0.02);
+  // Access totals extrapolate to the same trace length within 5%.
   EXPECT_NEAR(static_cast<double>(sampled.stats().accesses),
               static_cast<double>(full.stats().accesses),
               0.05 * static_cast<double>(full.stats().accesses));

@@ -1,0 +1,364 @@
+// Telemetry transport tests: SPSC ring semantics, the rings-vs-legacy-merge
+// bit-exactness contract, overflow recovery, reader independence, and the
+// batched power fold (docs/PERF.md "Telemetry rings", docs/CONCURRENCY.md).
+//
+// The load-bearing claim is exactness, not approximation: every merged
+// counter an epoch consumer sees through the rings must be bit-identical to
+// what the legacy O(threads x buffers) merge produced, or decision logs
+// would stop replaying byte-for-byte.
+#include "hetmem/simmem/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "hetmem/simmem/exec.hpp"
+#include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/units.hpp"
+#include "hetmem/topo/presets.hpp"
+
+namespace hetmem::sim {
+namespace {
+
+using support::kMiB;
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_traffic_bitwise_equal(const BufferTraffic& a,
+                                  const BufferTraffic& b) {
+  EXPECT_TRUE(same_bits(a.reads, b.reads));
+  EXPECT_TRUE(same_bits(a.writes, b.writes));
+  EXPECT_TRUE(same_bits(a.llc_misses, b.llc_misses));
+  EXPECT_TRUE(same_bits(a.memory_bytes, b.memory_bytes));
+  EXPECT_TRUE(same_bits(a.random_accesses, b.random_accesses));
+  EXPECT_TRUE(same_bits(a.random_misses, b.random_misses));
+}
+
+// ---------------------------------------------------------------------------
+// Ring semantics
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryRing, PushPopIsFifoAndLossless) {
+  TelemetryRing ring(8);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    TelemetryRecord record;
+    record.buffer = i;
+    record.cumulative.reads = 1.0 + i;
+    record.cumulative.memory_bytes = 64.0 * (i + 1);
+    ASSERT_TRUE(ring.try_push(record));
+  }
+  EXPECT_EQ(ring.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    TelemetryRecord out;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out.buffer, i);
+    EXPECT_TRUE(same_bits(out.cumulative.reads, 1.0 + i));
+    EXPECT_TRUE(same_bits(out.cumulative.memory_bytes, 64.0 * (i + 1)));
+  }
+  TelemetryRecord out;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(TelemetryRing, CapacityRoundsUpAndFullPushFails) {
+  TelemetryRing ring(5);  // rounded up to 8
+  EXPECT_EQ(ring.capacity(), 8u);
+  TelemetryRecord record;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    record.buffer = i;
+    ASSERT_TRUE(ring.try_push(record));
+  }
+  record.buffer = 99;
+  EXPECT_FALSE(ring.try_push(record));  // full: producer must back off
+  ring.note_overflow();
+  EXPECT_TRUE(ring.consume_overflow());
+  EXPECT_FALSE(ring.consume_overflow());  // returns-and-clears
+  // Popping one slot makes room again; the ring keeps working after overflow.
+  TelemetryRecord out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out.buffer, 0u);
+  EXPECT_TRUE(ring.try_push(record));
+}
+
+TEST(TelemetryRing, PopBatchDrainsInOrderAcrossChunks) {
+  TelemetryRing ring(16);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    TelemetryRecord record;
+    record.buffer = i;
+    ASSERT_TRUE(ring.try_push(record));
+  }
+  TelemetryRecord chunk[4];
+  std::vector<std::uint32_t> seen;
+  for (std::size_t popped = ring.pop_batch(chunk, 4); popped > 0;
+       popped = ring.pop_batch(chunk, 4)) {
+    for (std::size_t i = 0; i < popped; ++i) seen.push_back(chunk[i].buffer);
+  }
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_EQ(ring.pop_batch(chunk, 4), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (picked up by the CI TSan stress lane)
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryConcurrency, DrainRacesProducer) {
+  // One producer hammers the ring while the consumer drains concurrently —
+  // the acquire/release head/tail protocol must hand every record over
+  // exactly once, in order, with no torn payloads. This is the ring's
+  // advertised guarantee (docs/CONCURRENCY.md) and the TSan lane's prey.
+  constexpr std::uint64_t kRecords = 200000;
+  TelemetryRing ring(64);
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+      TelemetryRecord record;
+      record.buffer = static_cast<std::uint32_t>(i % 7);
+      record.cumulative.reads = static_cast<double>(i + 1);
+      record.cumulative.memory_bytes = 64.0 * static_cast<double>(i + 1);
+      while (!ring.try_push(record)) std::this_thread::yield();
+    }
+  });
+
+  TelemetryRecord chunk[32];
+  std::uint64_t received = 0;
+  while (received < kRecords) {
+    const std::size_t popped = ring.pop_batch(chunk, 32);
+    if (popped == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < popped; ++i) {
+      // Records arrive in push order with fully-visible payloads: the i-th
+      // record ever received carries reads == i+1 and a matching byte count.
+      ++received;
+      ASSERT_TRUE(same_bits(chunk[i].cumulative.reads,
+                            static_cast<double>(received)));
+      ASSERT_TRUE(same_bits(chunk[i].cumulative.memory_bytes,
+                            64.0 * static_cast<double>(received)));
+      ASSERT_EQ(chunk[i].buffer, (received - 1) % 7);
+    }
+  }
+  producer.join();
+  EXPECT_EQ(received, kRecords);
+  EXPECT_EQ(ring.pop_batch(chunk, 32), 0u);
+}
+
+TEST(SharedTrafficConcurrency, ContendedRecordsSumExactly) {
+  // The shared-atomic baseline must at least be *correct* under contention
+  // (it is the strawman bench/ablation_overhead measures against): adding
+  // 1.0 is exact in double arithmetic at these magnitudes, so the CAS loops
+  // must land every single add.
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kAdds = 20000;
+  SharedTrafficTable table(2);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&table] {
+      BufferTraffic delta;
+      delta.reads = 1.0;
+      delta.memory_bytes = 64.0;
+      for (unsigned i = 0; i < kAdds; ++i) table.record(i % 2, delta);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double per_buffer = kThreads * (kAdds / 2.0);
+  EXPECT_TRUE(same_bits(table.read(0).reads, per_buffer));
+  EXPECT_TRUE(same_bits(table.read(1).reads, per_buffer));
+  EXPECT_TRUE(same_bits(table.read(0).memory_bytes, 64.0 * per_buffer));
+}
+
+// ---------------------------------------------------------------------------
+// Rings vs legacy merge: the bit-exactness contract
+// ---------------------------------------------------------------------------
+
+constexpr unsigned kThreads = 4;
+
+/// Mixed multi-buffer workload; thread t touches a rotating window of
+/// buffers with thread- and phase-dependent traffic so the merged counters
+/// exercise genuine multi-thread summation, not a single writer.
+struct ModeRun {
+  std::vector<BufferTraffic> merged;
+  std::vector<std::pair<std::uint32_t, BufferTraffic>> deltas;
+};
+
+ModeRun run_mode(TelemetryMode mode, unsigned read_every) {
+  SimMachine machine(topo::xeon_clx_1lm());
+  std::vector<BufferId> buffers;
+  for (unsigned i = 0; i < 8; ++i) {
+    auto buffer = machine.allocate(16 * kMiB, 0, "buf" + std::to_string(i),
+                                   4096);
+    EXPECT_TRUE(buffer.ok());
+    buffers.push_back(*buffer);
+  }
+  ExecutionContext exec(machine, machine.topology().numa_node(0)->cpuset(),
+                        kThreads);
+  exec.set_telemetry_mode(mode);
+  TelemetryReader reader;
+  ModeRun run;
+  for (unsigned phase = 0; phase < 9; ++phase) {
+    exec.run_phase(
+        "mix", kThreads,
+        [&](ThreadCtx& ctx, unsigned thread, std::size_t begin,
+            std::size_t end) {
+          if (begin >= end) return;
+          for (unsigned k = 0; k < 3; ++k) {
+            const BufferId id = buffers[(thread + k + phase) % buffers.size()];
+            ctx.record_seq_read(0, id, (1.0 + thread) * (1u << k) * 4096.0,
+                                1.0);
+            if (k == 0) {
+              ctx.record_seq_write(0, id, 1024.0 * (phase + 1), 1.0);
+              ctx.record_rand_read(0, id, 100.0 * (thread + 1), 0.25);
+            }
+          }
+        });
+    if ((phase + 1) % read_every == 0) {
+      exec.read_traffic_deltas(
+          reader, [&run](std::uint32_t buffer, const BufferTraffic& delta) {
+            run.deltas.emplace_back(buffer, delta);
+          });
+    }
+  }
+  run.merged = exec.merged_buffer_traffic();
+  return run;
+}
+
+TEST(TelemetryModes, RingsMatchLegacyMergeBitwise) {
+  for (unsigned read_every : {1u, 3u}) {
+    const ModeRun rings = run_mode(TelemetryMode::kRings, read_every);
+    const ModeRun legacy = run_mode(TelemetryMode::kLegacyMerge, read_every);
+    ASSERT_EQ(rings.merged.size(), legacy.merged.size());
+    for (std::size_t b = 0; b < rings.merged.size(); ++b) {
+      expect_traffic_bitwise_equal(rings.merged[b], legacy.merged[b]);
+    }
+    // The epoch-boundary delta stream — what samplers and recorders actually
+    // consume — must also be identical: same buffers, same order, same bits.
+    ASSERT_EQ(rings.deltas.size(), legacy.deltas.size())
+        << "read_every " << read_every;
+    for (std::size_t i = 0; i < rings.deltas.size(); ++i) {
+      EXPECT_EQ(rings.deltas[i].first, legacy.deltas[i].first);
+      expect_traffic_bitwise_equal(rings.deltas[i].second,
+                                   legacy.deltas[i].second);
+    }
+    EXPECT_FALSE(rings.deltas.empty());
+  }
+}
+
+TEST(TelemetryModes, OverflowFallbackLosesNothing) {
+  // A single thread touching more buffers than its ring holds (capacity
+  // 1024) forces the overflow path: the producer stops publishing and the
+  // drain reads the thread's cumulative counters directly. The result must
+  // still be bit-identical to the legacy merge — overflow degrades cost,
+  // never correctness.
+  auto run = [](TelemetryMode mode) {
+    SimMachine machine(topo::xeon_clx_1lm());
+    std::vector<BufferId> buffers;
+    for (unsigned i = 0; i < 1500; ++i) {
+      auto buffer = machine.allocate(64 * 1024, 0, "o" + std::to_string(i),
+                                     4096);
+      EXPECT_TRUE(buffer.ok());
+      buffers.push_back(*buffer);
+    }
+    ExecutionContext exec(machine, machine.topology().numa_node(0)->cpuset(),
+                          1);
+    exec.set_telemetry_mode(mode);
+    exec.run_phase("flood", 1,
+                   [&](ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     if (begin >= end) return;
+                     for (std::size_t i = 0; i < buffers.size(); ++i) {
+                       ctx.record_seq_read(0, buffers[i],
+                                           4096.0 * (1.0 + (i % 5)), 1.0);
+                     }
+                   });
+    return exec.merged_buffer_traffic();
+  };
+  const auto rings = run(TelemetryMode::kRings);
+  const auto legacy = run(TelemetryMode::kLegacyMerge);
+  ASSERT_EQ(rings.size(), legacy.size());
+  std::size_t nonzero = 0;
+  for (std::size_t b = 0; b < rings.size(); ++b) {
+    expect_traffic_bitwise_equal(rings[b], legacy[b]);
+    if (rings[b].reads > 0.0) ++nonzero;
+  }
+  EXPECT_GE(nonzero, 1500u);  // nothing was dropped on overflow
+}
+
+TEST(TelemetryReaders, IndependentCadencesSeeTheSameTotals) {
+  // Two consumers with different epoch cadences cursor into the same
+  // journal; each must accumulate the identical cumulative totals — readers
+  // share no diff state, so one's read never shrinks the other's deltas.
+  SimMachine machine(topo::xeon_clx_1lm());
+  auto buffer = machine.allocate(64 * kMiB, 0, "shared", 4096);
+  ASSERT_TRUE(buffer.ok());
+  ExecutionContext exec(machine, machine.topology().numa_node(0)->cpuset(),
+                        kThreads);
+  TelemetryReader every_phase;
+  TelemetryReader at_end;
+  double frequent_total = 0.0;
+  for (unsigned phase = 0; phase < 6; ++phase) {
+    exec.run_phase("p", kThreads,
+                   [&](ThreadCtx& ctx, unsigned, std::size_t begin,
+                       std::size_t end) {
+                     if (begin >= end) return;
+                     ctx.record_seq_read(0, *buffer, 8.0 * kMiB, 1.0);
+                   });
+    exec.read_traffic_deltas(
+        every_phase, [&](std::uint32_t, const BufferTraffic& delta) {
+          frequent_total += delta.memory_bytes;
+        });
+  }
+  double lump_total = 0.0;
+  exec.read_traffic_deltas(at_end,
+                           [&](std::uint32_t, const BufferTraffic& delta) {
+                             lump_total += delta.memory_bytes;
+                           });
+  const auto merged = exec.merged_buffer_traffic();
+  EXPECT_TRUE(same_bits(lump_total, merged[buffer->index].memory_bytes));
+  EXPECT_GT(frequent_total, 0.0);
+  EXPECT_NEAR(frequent_total, lump_total, lump_total * 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Batched power fold
+// ---------------------------------------------------------------------------
+
+TEST(MachinePowerBatch, MatchesSequentialFoldBitwise) {
+  // record_node_traffic_batch advertises "bit-identical to count individual
+  // calls" — same EMA updates in the same node order under one lock.
+  SimMachine sequential(topo::xeon_clx_1lm());
+  SimMachine batched(topo::xeon_clx_1lm());
+  const std::size_t nodes = sequential.topology().numa_nodes().size();
+  ASSERT_GE(nodes, 2u);
+  std::vector<std::uint64_t> reads(nodes);
+  std::vector<std::uint64_t> writes(nodes);
+  for (unsigned interval = 1; interval <= 3; ++interval) {
+    for (std::size_t n = 0; n < nodes; ++n) {
+      reads[n] = (n + 1) * 128 * kMiB * interval;
+      writes[n] = (n + 1) * 32 * kMiB;
+    }
+    const double interval_ns = 1e6 * interval;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      sequential.record_node_traffic(static_cast<unsigned>(n), reads[n],
+                                     writes[n], interval_ns);
+    }
+    batched.record_node_traffic_batch(reads.data(), writes.data(), nodes,
+                                      interval_ns);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      EXPECT_TRUE(same_bits(sequential.power_draw_watts(
+                                static_cast<unsigned>(n)),
+                            batched.power_draw_watts(static_cast<unsigned>(n))))
+          << "node " << n << " interval " << interval;
+    }
+  }
+  EXPECT_GT(batched.power_draw_watts(0), 0.0);
+}
+
+}  // namespace
+}  // namespace hetmem::sim

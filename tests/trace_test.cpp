@@ -44,12 +44,18 @@ void expect_traces_bitwise_equal(const trace::Trace& a, const trace::Trace& b) {
   EXPECT_EQ(a.workload, b.workload);
   EXPECT_EQ(a.threads, b.threads);
   EXPECT_EQ(a.phases_per_epoch, b.phases_per_epoch);
+  EXPECT_EQ(a.version, b.version);
   ASSERT_EQ(a.epochs.size(), b.epochs.size());
   for (std::size_t e = 0; e < a.epochs.size(); ++e) {
     const runtime::Epoch& left = a.epochs[e];
     const runtime::Epoch& right = b.epochs[e];
     EXPECT_EQ(left.index, right.index);
     EXPECT_TRUE(same_bits(left.duration_ns, right.duration_ns));
+    // Per-epoch sample periods only exist on the wire in trace/2.
+    if (a.version >= 2) {
+      EXPECT_TRUE(same_bits(left.sample_period, right.sample_period))
+          << "epoch " << e;
+    }
     EXPECT_TRUE(same_bits(left.total_memory_bytes, right.total_memory_bytes))
         << "epoch " << e;
     ASSERT_EQ(left.samples.size(), right.samples.size()) << "epoch " << e;
@@ -121,11 +127,15 @@ TEST(TraceFormatTest, RoundTripIsLosslessOnSeededRandomTraces) {
     trace::Trace original;
     original.workload = "fuzz-" + std::to_string(round);
     original.threads = 1 + static_cast<unsigned>(rng.next_below(64));
+    // Alternate wire versions so the fuzz covers both the v1 and v2 epoch
+    // grammars (v2 adds the per-epoch sample period).
+    original.version = (round % 2 == 0) ? 1u : 2u;
     const unsigned epochs = 1 + static_cast<unsigned>(rng.next_below(8));
     for (unsigned e = 0; e < epochs; ++e) {
       runtime::Epoch epoch;
       epoch.index = e;
       epoch.duration_ns = random_double();
+      if (original.version >= 2) epoch.sample_period = random_double();
       const unsigned samples = static_cast<unsigned>(rng.next_below(6));
       for (unsigned s = 0; s < samples; ++s) {
         runtime::EpochSample sample;
@@ -148,6 +158,57 @@ TEST(TraceFormatTest, RoundTripIsLosslessOnSeededRandomTraces) {
   }
 }
 
+TEST(TraceFormatTest, V2RoundTripCarriesSamplePeriods) {
+  // trace/2 epoch lines carry the controller-chosen sample period; the
+  // hexfloat encoding must round-trip awkward periods bit for bit, and the
+  // serialized text must be a fixed point, exactly like v1.
+  const double awkward_periods[] = {1.0, 2.0, 1.0 / 3.0, 4096.0, 0.0,
+                                    123.456};
+  trace::Trace original;
+  original.workload = "v2 periods";
+  original.threads = 3;
+  original.version = 2;
+  for (unsigned e = 0; e < 6; ++e) {
+    runtime::Epoch epoch;
+    epoch.index = e;
+    epoch.duration_ns = 1000.0 * (e + 1);
+    epoch.sample_period = awkward_periods[e];
+    runtime::EpochSample sample;
+    sample.buffer = sim::BufferId{e};
+    sample.traffic.reads = 10.0 + e;
+    sample.traffic.memory_bytes = 640.0 * (e + 1);
+    epoch.total_memory_bytes += sample.traffic.memory_bytes;
+    epoch.samples.push_back(sample);
+    original.epochs.push_back(epoch);
+  }
+  const std::string text = trace::serialize(original);
+  EXPECT_EQ(text.rfind("hetmem-trace/2\n", 0), 0u);
+  auto parsed = trace::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed->version, 2u);
+  expect_traces_bitwise_equal(original, *parsed);
+  EXPECT_EQ(trace::serialize(*parsed), text);
+}
+
+TEST(TraceFormatTest, V1StillParsesWithZeroSamplePeriod) {
+  // A v1 trace has no per-epoch period on the wire; parsing one must keep
+  // working forever and yield sample_period == 0.0 ("raw, never sampled"),
+  // which replay maps to the replaying sampler's own effective period.
+  trace::Trace original;
+  original.workload = "legacy";
+  runtime::Epoch epoch;
+  epoch.index = 0;
+  epoch.duration_ns = 42.0;
+  original.epochs.push_back(epoch);
+  const std::string text = trace::serialize(original);
+  EXPECT_EQ(text.rfind("hetmem-trace/1\n", 0), 0u);
+  auto parsed = trace::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed->version, 1u);
+  ASSERT_EQ(parsed->epochs.size(), 1u);
+  EXPECT_TRUE(same_bits(parsed->epochs[0].sample_period, 0.0));
+}
+
 TEST(TraceFormatTest, ParseRejectsMalformedInput) {
   EXPECT_FALSE(trace::parse("").ok());
   EXPECT_FALSE(trace::parse("not-a-trace/9\nend\n").ok());
@@ -165,6 +226,10 @@ TEST(TraceFormatTest, ParseRejectsMalformedInput) {
       trace::parse("hetmem-trace/1\nepoch 0 zero\nend\n").ok());
   // Unknown record tag.
   EXPECT_FALSE(trace::parse("hetmem-trace/1\nbogus 1\nend\n").ok());
+  // A v2 epoch line is required to carry its sample period.
+  EXPECT_FALSE(trace::parse("hetmem-trace/2\nepoch 0 0x0p+0\nend\n").ok());
+  EXPECT_TRUE(
+      trace::parse("hetmem-trace/2\nepoch 0 0x0p+0 0x1p+0\nend\n").ok());
 }
 
 TEST(TraceFormatTest, ParseRecomputesTotalBytesInRecorderOrder) {
@@ -389,6 +454,10 @@ TEST(TraceRecorderTest, RecordsRawDeltasAtEpochCadence) {
   ASSERT_EQ(recorder.epochs_recorded(), 3u);
 
   const trace::Trace& trace = recorder.trace();
+  // Recordings are written in the current wire version; with no policy
+  // chained the raw epochs carry no sampler period (0.0 on the wire).
+  EXPECT_EQ(trace.version, 2u);
+  EXPECT_TRUE(same_bits(trace.epochs[0].sample_period, 0.0));
   EXPECT_EQ(trace.phases_per_epoch, 2u);
   // Raw exact deltas: every phase issues identical traffic, so a two-phase
   // epoch holds bit-exactly twice the flushed single-phase tail — no
