@@ -19,6 +19,7 @@
 
 #include "hetmem/memattr/memattr.hpp"
 #include "hetmem/simmem/machine.hpp"
+#include "hetmem/support/backoff.hpp"
 #include "hetmem/support/result.hpp"
 #include "hetmem/tenant/tenant.hpp"
 
@@ -81,8 +82,18 @@ struct AllocRequest {
 /// Bounded retry for transient (kTransient) target failures — injected
 /// faults or momentary contention. Retries are per target per request; once
 /// exhausted the target is treated as full and the ranking walk continues.
+/// Retry pacing rides the shared support::Backoff engine (the same
+/// full-jitter windows the tenant shed path and the recover circuit-breaker
+/// probes use): each retry draws a simulated delay that is accounted in
+/// AllocatorStats::retry_backoff_ms rather than slept, so the allocator
+/// stays wall-clock-free while the retry pressure stays observable.
 struct RetryPolicy {
   unsigned max_transient_retries = 2;
+  /// Floor (ms) of the first retry's jitter window. 0 (the default)
+  /// disables pacing accounting entirely — the pre-unification behaviour.
+  std::uint64_t retry_floor_ms = 0;
+  /// Jitter window shape for the retries.
+  support::BackoffOptions backoff{};
 };
 
 struct Allocation {
@@ -126,6 +137,9 @@ struct AllocatorStats {
   /// Tenanted allocations that landed only after the ladder's spill pass
   /// steered them off a nearly-full preferred node.
   std::uint64_t tenant_spills = 0;
+  /// Simulated milliseconds of transient-retry pacing drawn from the shared
+  /// support::Backoff engine (0 unless RetryPolicy::backoff is configured).
+  std::uint64_t retry_backoff_ms = 0;
 };
 
 struct TraceEvent {
@@ -246,14 +260,19 @@ class HeterogeneousAllocator {
   [[nodiscard]] bool trace_enabled() const {
     return trace_enabled_.load(std::memory_order_relaxed);
   }
-  /// Safe to call while other threads allocate: the retry budget is a single
-  /// atomic read on the retry path.
+  /// The scalar knobs are safe to change while other threads allocate (the
+  /// retry path reads them atomically); the backoff window shape is
+  /// setup-time configuration like add_size_rule.
   void set_retry_policy(RetryPolicy policy) {
     max_transient_retries_.store(policy.max_transient_retries,
                                  std::memory_order_relaxed);
+    retry_floor_ms_.store(policy.retry_floor_ms, std::memory_order_relaxed);
+    retry_backoff_options_ = policy.backoff;
   }
   [[nodiscard]] RetryPolicy retry_policy() const {
-    return RetryPolicy{max_transient_retries_.load(std::memory_order_relaxed)};
+    return RetryPolicy{max_transient_retries_.load(std::memory_order_relaxed),
+                       retry_floor_ms_.load(std::memory_order_relaxed),
+                       retry_backoff_options_};
   }
   [[nodiscard]] sim::SimMachine& machine() { return *machine_; }
   [[nodiscard]] const attr::MemAttrRegistry& registry() const { return *registry_; }
@@ -290,6 +309,22 @@ class HeterogeneousAllocator {
   /// telemetry and the stress harness.
   [[nodiscard]] double healthy_free_fraction() const;
 
+  // --- snapshot/restore hooks (src/recover, docs/RECOVERY.md) ---
+
+  /// Overwrites every statistics counter with the snapshotted values so a
+  /// restored allocator's stats() continues from where the snapshot left
+  /// off. Setup-time only (call before sharing across threads).
+  void restore_stats(const AllocatorStats& stats);
+
+  /// Re-attaches a tenant charge to an already-placed buffer during restore:
+  /// charges `bytes` against the tenant's quota on the buffer's CURRENT
+  /// node's tier and records the charge-map entry, exactly as the original
+  /// admission did. Fails (and charges nothing) on a freed/unknown buffer or
+  /// a quota refusal — the restorer treats that as a corrupt snapshot.
+  support::Status adopt_tenant_charge(sim::BufferId buffer,
+                                      tenant::TenantHandle tenant,
+                                      std::uint64_t bytes);
+
  private:
   /// Internal statistics: one atomic per counter so concurrent allocators
   /// never contend on a stats lock. stats() snapshots them into the plain
@@ -309,6 +344,7 @@ class HeterogeneousAllocator {
     std::atomic<std::uint64_t> backpressure_quota{0};
     std::atomic<std::uint64_t> backpressure_shed{0};
     std::atomic<std::uint64_t> tenant_spills{0};
+    std::atomic<std::uint64_t> retry_backoff_ms{0};
   };
 
   /// Per-request tenant admission state threaded through the ranking walk.
@@ -378,6 +414,8 @@ class HeterogeneousAllocator {
   const attr::MemAttrRegistry* registry_;
   MigrationCostModel migration_model_;
   std::atomic<unsigned> max_transient_retries_{2};
+  std::atomic<std::uint64_t> retry_floor_ms_{0};
+  support::BackoffOptions retry_backoff_options_;
   std::vector<SizeRule> size_rules_;
   std::size_t node_count_ = 0;
   std::unique_ptr<std::atomic<std::uint64_t>[]> reserved_;

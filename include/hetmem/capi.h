@@ -211,6 +211,35 @@ double hetmem_power_cap_watts(const hetmem_context* ctx);
  * error. */
 uint64_t hetmem_throttle_events(const hetmem_context* ctx, unsigned node);
 
+/* --- crash resilience: snapshot/restore + breakers (docs/RECOVERY.md) ---- */
+
+/* Circuit-breaker states (match hetmem::recover::BreakerState). */
+enum {
+  HETMEM_BREAKER_CLOSED = 0,    /* normal service */
+  HETMEM_BREAKER_OPEN = 1,      /* tripped; calls short-circuited */
+  HETMEM_BREAKER_HALF_OPEN = 2, /* probing for recovery */
+};
+
+/* Serializes the context's full mutable state (placements, tenant charges,
+ * allocator statistics, telemetry, supervisor state) to `path` in the
+ * versioned hetmem-snap/1 text format. The write is atomic: the snapshot is
+ * staged at `path`.tmp and renamed, so a crash mid-save leaves any previous
+ * snapshot intact. Returns HETMEM_SUCCESS or a negative error. */
+int hetmem_snapshot_save(const hetmem_context* ctx, const char* path);
+
+/* Rebuilds a context from a snapshot file: the preset recorded in the
+ * snapshot is re-instantiated (including probed attribute discovery when the
+ * original context used it) and every buffer slot, tenant, charge, and
+ * counter is restored so the new context reports statistics identical to
+ * the saved one. Returns NULL on any parse, checksum, or restore failure —
+ * a damaged snapshot never yields a partially restored context. */
+hetmem_context* hetmem_snapshot_restore(const char* path);
+
+/* State of the named per-subsystem circuit breaker ("migration" or
+ * "evacuation"): a HETMEM_BREAKER_* value, HETMEM_ERR_NOENT for an unknown
+ * breaker name, HETMEM_ERR_INVALID for a bad context. */
+int hetmem_breaker_state(const hetmem_context* ctx, const char* breaker);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

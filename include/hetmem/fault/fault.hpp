@@ -15,6 +15,7 @@
 // probe::measure, corrupt_hmat_text). A null injector means no faults.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -35,6 +36,16 @@ inline constexpr const char* kMachineNodeOffline = "machine.node.offline";
 /// SimMachine::migrate returns a transient (retryable) failure — the move_pages
 /// analogue of a busy page or exhausted kernel migration slot.
 inline constexpr const char* kMachineMigrateTransient = "machine.migrate.transient";
+/// SimMachine::migrate wedges: the move fails with kTransient like a stuck
+/// kernel migration thread. Configured with a burst, consecutive epochs of
+/// migration attempts all fail — the stalled-progress signature the recover
+/// layer's Watchdog detects and its migration CircuitBreaker opens on
+/// (docs/RECOVERY.md).
+inline constexpr const char* kMachineMigrateStall = "machine.migrate.stall";
+/// recover::Watchdog::observe_epoch: the observed epoch is treated as having
+/// blown its deadline (an injected overrun) regardless of its measured
+/// duration — drives the watchdog/breaker paths without needing a slow host.
+inline constexpr const char* kRuntimeEpochOverrun = "runtime.epoch.overrun";
 /// SimMachine::sample_node_faults: a burst of corrected ECC errors is
 /// attributed to the sampled node (telemetry only — data stays intact, but
 /// the health monitor treats sustained bursts as failing hardware).
@@ -162,6 +173,27 @@ class FaultInjector {
   /// allocation failures only).
   static FaultInjector preset(std::string_view name, std::uint64_t seed);
   static const std::vector<const char*>& preset_names();
+
+  /// One site's full mutable state, for snapshot/restore (src/recover). A
+  /// restored site continues its random stream and counters exactly where
+  /// the exported one stopped, so fault schedules survive a crash+restore
+  /// byte-identically. The event schedule_ log is not part of a site's
+  /// state: a restored injector narrates only post-restore events.
+  struct SiteState {
+    std::string name;
+    FaultSpec spec;
+    std::array<std::uint64_t, 4> rng{};
+    std::uint64_t consultations = 0;
+    std::uint64_t injected = 0;
+    unsigned burst_remaining = 0;
+    bool armed = false;
+  };
+  /// Every site ever touched, in first-touch order (the order restore_site
+  /// calls must preserve so site_state_locked's linear scan behaves the
+  /// same).
+  [[nodiscard]] std::vector<SiteState> export_sites() const;
+  /// Installs (or overwrites) one site's exported state.
+  void restore_site(const SiteState& state);
 
  private:
   struct Site {

@@ -126,6 +126,27 @@ class HealthMonitor {
   /// Deterministic text rendering of the full transition history.
   [[nodiscard]] std::string render_transition_log() const;
 
+  // --- snapshot/restore hooks (src/recover, docs/RECOVERY.md) ---
+
+  /// One node's exported state-machine state. last_errors must stay
+  /// consistent with the machine telemetry it was snapshotted against
+  /// (restore both from the same snapshot) or the first post-restore poll
+  /// misreads the delta.
+  struct NodeState {
+    HealthState state = HealthState::kHealthy;
+    std::uint64_t last_errors = 0;
+    unsigned faulty_streak = 0;
+    unsigned clean_streak = 0;
+  };
+  [[nodiscard]] NodeState node_state(unsigned node) const;
+  /// Overlays poll count and per-node states, re-projects the quarantine
+  /// verdicts, and invalidates the registry's cached rankings once. The
+  /// transition log is not restored — a restored monitor narrates only
+  /// post-restore transitions (the pre-crash narrative lives in the
+  /// snapshot's engine log prefix analogue, not here).
+  void restore_state(std::uint64_t poll_count,
+                     const std::vector<NodeState>& nodes);
+
  private:
   struct NodeHealth {
     std::atomic<std::uint8_t> state{0};  // HealthState; readable concurrently

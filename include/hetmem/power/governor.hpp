@@ -113,6 +113,22 @@ class PowerGovernor {
   [[nodiscard]] const std::vector<PowerDecision>& decisions() const {
     return decisions_;
   }
+  /// Per-node consecutive-offender streaks — the throttle-escalation state
+  /// machine's memory, exported for snapshot/restore (src/recover).
+  [[nodiscard]] const std::vector<unsigned>& over_streaks() const {
+    return over_streak_;
+  }
+  /// Snapshot/restore: overlays stats and streaks so a restored governor
+  /// escalates (or relaxes) exactly where the snapshotted one would have.
+  /// The decision log is not restored (post-restore narrative only).
+  void restore_state(const GovernorStats& stats,
+                     const std::vector<unsigned>& over_streaks) {
+    stats_ = stats;
+    for (std::size_t n = 0; n < over_streak_.size() && n < over_streaks.size();
+         ++n) {
+      over_streak_[n] = over_streaks[n];
+    }
+  }
   /// Deterministic text rendering of the decision history (byte-stable for
   /// a fixed seed and phase schedule, like the engine's).
   [[nodiscard]] std::string render_log() const;

@@ -1,0 +1,139 @@
+// Per-subsystem circuit breakers (docs/RECOVERY.md "Circuit breakers").
+//
+// A wedged migration path must not take placement down with it: when the
+// MigrationEngine's moves keep failing (injected stalls, a node wedged
+// mid-migrate), the breaker guarding the path opens and the RuntimePolicy
+// degrades to placement-only service — sampling, classification, epoch
+// hooks and the adaptive period log all continue; only the migration pass
+// is skipped until the path proves itself again.
+//
+// State machine (epoch-indexed, fully deterministic):
+//
+//   closed ──(failures_to_open consecutive failures)──► open
+//   open ──(cooldown epochs elapse; jittered via support::Backoff)──► half-open
+//   half-open ──(successes_to_close clean probes)──► closed  (backoff resets)
+//   half-open ──(any failure)──► open again (cooldown window grows)
+//
+// The cooldown is drawn from the SAME full-jitter engine the tenant
+// shed-retry loop and the allocator's RetryPolicy ride (support::Backoff —
+// ISSUE 10's unification): delays are interpreted in *epochs*, and because
+// the jitter stream is seeded per breaker, the whole open/probe/reclose
+// schedule replays byte-identically for a fixed seed.
+//
+// Thread safety: externally synchronized — one epoch loop drives
+// allow()/on_success()/on_failure() (the Supervisor wires them into the
+// RuntimePolicy's migration gate and epoch hook). state() is a plain read
+// for observers on the same thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetmem/support/backoff.hpp"
+
+namespace hetmem::recover {
+
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,    // protected path runs normally
+  kOpen = 1,      // path disabled until the cooldown elapses
+  kHalfOpen = 2,  // probing: the path runs, the next outcome decides
+};
+
+[[nodiscard]] constexpr const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+struct BreakerOptions {
+  /// Consecutive failures that trip a closed breaker open.
+  unsigned failures_to_open = 3;
+  /// Consecutive clean epochs a half-open breaker needs to reclose.
+  unsigned successes_to_close = 2;
+  /// Floor of the open cooldown, in epochs. The actual cooldown is
+  /// full-jittered in [floor, window] where the window grows per reopen
+  /// (support::Backoff), so repeatedly failing paths are probed ever less
+  /// eagerly, up to backoff.max_delay_ms (interpreted as epochs).
+  std::uint64_t cooldown_epochs = 4;
+  /// Jitter window shape + seed for the cooldown draws.
+  support::BackoffOptions backoff{};
+};
+
+struct BreakerStats {
+  std::uint64_t opens = 0;     // closed/half-open -> open transitions
+  std::uint64_t recloses = 0;  // half-open -> closed transitions
+  std::uint64_t probes = 0;    // epochs allowed while half-open
+  std::uint64_t skipped = 0;   // epochs refused while open
+};
+
+/// One state-machine edge, for the transition log.
+struct BreakerTransition {
+  std::uint64_t epoch = 0;
+  BreakerState from = BreakerState::kClosed;
+  BreakerState to = BreakerState::kClosed;
+  std::string reason;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(std::string name, BreakerOptions options = {});
+
+  /// Gate for the protected path at `epoch_index`: true when the path may
+  /// run (closed, or an open breaker whose cooldown elapsed — which flips
+  /// it half-open and counts a probe). Call once per epoch, ascending.
+  bool allow(std::uint64_t epoch_index);
+
+  /// Outcome feedback for an epoch the path ran in. An idle epoch with
+  /// nothing to migrate counts as a success — a path that is never
+  /// exercised is not evidence of a wedge.
+  void on_success(std::uint64_t epoch_index);
+  void on_failure(std::uint64_t epoch_index);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] BreakerState state() const { return state_; }
+  [[nodiscard]] const BreakerStats& stats() const { return stats_; }
+  [[nodiscard]] const BreakerOptions& options() const { return options_; }
+  [[nodiscard]] const std::vector<BreakerTransition>& transitions() const {
+    return transitions_;
+  }
+  /// Deterministic text rendering of the transition history.
+  [[nodiscard]] std::string render_log() const;
+
+  // --- snapshot/restore (src/recover/snapshot, docs/RECOVERY.md) ---
+
+  /// Full mutable state. Options and name are NOT included — the restorer
+  /// reconstructs the breaker from matching options, then overlays this.
+  /// The transition log is not restored (post-restore narrative only).
+  struct State {
+    BreakerState state = BreakerState::kClosed;
+    unsigned consecutive_failures = 0;
+    unsigned consecutive_successes = 0;
+    std::uint64_t reopen_at_epoch = 0;
+    BreakerStats stats;
+    support::Backoff::State backoff;
+  };
+  [[nodiscard]] State export_state() const;
+  void restore_state(const State& state);
+
+ private:
+  void transition(std::uint64_t epoch, BreakerState to, std::string reason);
+  /// Trips open: draws the jittered cooldown and schedules the next probe.
+  void trip(std::uint64_t epoch, std::string reason);
+
+  std::string name_;
+  BreakerOptions options_;
+  support::Backoff backoff_;
+  BreakerState state_ = BreakerState::kClosed;
+  unsigned consecutive_failures_ = 0;
+  unsigned consecutive_successes_ = 0;
+  /// First epoch index at which an open breaker half-opens for a probe.
+  std::uint64_t reopen_at_epoch_ = 0;
+  BreakerStats stats_;
+  std::vector<BreakerTransition> transitions_;
+};
+
+}  // namespace hetmem::recover

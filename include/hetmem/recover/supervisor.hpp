@@ -1,0 +1,95 @@
+// Supervisor — wires the watchdog and circuit breakers into a RuntimePolicy
+// (docs/RECOVERY.md "Supervision").
+//
+//   recover::Supervisor supervisor(&injector);
+//   supervisor.attach(policy);
+//   // ... run; a wedged migration path now degrades to placement-only ...
+//
+// attach() installs two hooks on the policy:
+//   - the migration gate: the "migration" breaker's allow() decides per
+//     epoch whether the MigrationEngine's pass runs at all — an open
+//     breaker means placement-only service (sampling, classification and
+//     the other epoch hooks continue untouched);
+//   - an epoch hook: after each epoch the watchdog differences the engine's
+//     (and optionally the evacuator's) cumulative stats; its verdicts drive
+//     the breakers — a stalled or overrun epoch is a failure, a clean
+//     active epoch a success.
+//
+// The "evacuation" breaker is observational only: evacuation drains
+// failing hardware, so the supervisor never gates it — the breaker's state
+// is a signal for operators (and the snapshot), not a switch.
+//
+// Thread safety: externally synchronized with the policy's epoch loop,
+// like every other epoch-hook consumer (docs/CONCURRENCY.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "hetmem/recover/breaker.hpp"
+#include "hetmem/recover/watchdog.hpp"
+#include "hetmem/runtime/policy.hpp"
+
+namespace hetmem::recover {
+
+struct SupervisorOptions {
+  BreakerOptions migration_breaker;
+  BreakerOptions evacuation_breaker;
+  WatchdogOptions watchdog;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(fault::FaultInjector* injector = nullptr,
+                      SupervisorOptions options = {});
+
+  /// Installs the migration gate and the supervision epoch hook on
+  /// `policy` (add_epoch_hook — coexists with health/power hooks; attach
+  /// the supervisor LAST so the watchdog sees the epoch's final stats).
+  /// The policy must outlive the supervisor's use.
+  void attach(runtime::RuntimePolicy& policy);
+
+  /// Optional cumulative (failed, moved) counters of an evacuation path,
+  /// polled once per epoch by the supervision hook — feeds the evacuation
+  /// breaker without a health dependency (health::Evacuator's stats().failed
+  /// and .moved are the intended source).
+  using EvacStatsProvider =
+      std::function<std::pair<std::uint64_t, std::uint64_t>()>;
+  void set_evacuation_stats_provider(EvacStatsProvider provider) {
+    evac_stats_ = std::move(provider);
+  }
+
+  [[nodiscard]] CircuitBreaker& migration_breaker() { return migration_; }
+  [[nodiscard]] const CircuitBreaker& migration_breaker() const {
+    return migration_;
+  }
+  [[nodiscard]] CircuitBreaker& evacuation_breaker() { return evacuation_; }
+  [[nodiscard]] const CircuitBreaker& evacuation_breaker() const {
+    return evacuation_;
+  }
+  [[nodiscard]] Watchdog& watchdog() { return watchdog_; }
+  [[nodiscard]] const Watchdog& watchdog() const { return watchdog_; }
+
+  /// Breaker lookup by name ("migration", "evacuation"); nullptr otherwise.
+  [[nodiscard]] const CircuitBreaker* breaker(const std::string& name) const;
+  [[nodiscard]] CircuitBreaker* breaker(const std::string& name);
+
+  /// Combined deterministic transition narrative of both breakers.
+  [[nodiscard]] std::string render_log() const;
+
+ private:
+  /// The supervision epoch hook body (runs after the engine's pass).
+  double on_epoch(runtime::RuntimePolicy& policy, std::uint64_t epoch_index,
+                  unsigned threads);
+
+  fault::FaultInjector* injector_;
+  SupervisorOptions options_;
+  CircuitBreaker migration_;
+  CircuitBreaker evacuation_;
+  Watchdog watchdog_;
+  EvacStatsProvider evac_stats_;
+};
+
+}  // namespace hetmem::recover

@@ -1,0 +1,131 @@
+// Watchdog — deadline and stalled-progress supervision for the epoch loop
+// (docs/RECOVERY.md "Watchdog").
+//
+// Real runtime daemons hang in two characteristic ways: an epoch blows its
+// deadline (the management pass itself wedged), or the migration machinery
+// keeps *trying* and keeps *failing* — the failed counter climbs while
+// accepted stands still. The watchdog detects both, deterministically, in
+// simulated time:
+//
+//   - epoch overruns: an epoch whose duration exceeds epoch_deadline_ns
+//     (0 disables the measured check), OR an injected overrun from the
+//     fault::site::kRuntimeEpochOverrun site — the watchdog consults the
+//     site itself, so chaos runs can exercise the trip paths without a
+//     slow host;
+//   - migration stalls: per-epoch deltas of the MigrationEngine's stats
+//     show failures with no accepted/evicted progress (the signature the
+//     fault::site::kMachineMigrateStall site manufactures), for
+//     stall_epochs_to_trip consecutive epochs;
+//   - evacuation stalls: the same delta signature on the health
+//     Evacuator's moved/failed counters (fed by the Supervisor; the
+//     watchdog itself has no health dependency).
+//
+// Verdicts feed the Supervisor's circuit breakers; the watchdog itself
+// never mutates anything it watches.
+//
+// Thread safety: externally synchronized — one epoch loop drives
+// observe_epoch (the Supervisor wires it into the policy's epoch hook).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetmem/fault/fault.hpp"
+#include "hetmem/runtime/engine.hpp"
+
+namespace hetmem::recover {
+
+struct WatchdogOptions {
+  /// Simulated-ns deadline for one epoch; 0 disables the measured check
+  /// (injected overruns still fire).
+  double epoch_deadline_ns = 0.0;
+  /// Consecutive stalled epochs (failures without progress) before the
+  /// stall verdict trips.
+  unsigned stall_epochs_to_trip = 2;
+};
+
+/// What the watchdog concluded about one epoch.
+struct WatchdogVerdict {
+  bool epoch_overrun = false;
+  /// Raw per-epoch stall signature: failures without progress THIS epoch.
+  /// This is what feeds the breakers — their own failures_to_open supplies
+  /// the K-consecutive logic.
+  bool migration_failing = false;
+  bool evacuation_failing = false;
+  /// Sustained-stall trips: the signature held for stall_epochs_to_trip
+  /// consecutive epochs (observability; counted in WatchdogStats).
+  bool migration_stalled = false;
+  bool evacuation_stalled = false;
+  [[nodiscard]] bool healthy() const {
+    return !epoch_overrun && !migration_failing && !evacuation_failing;
+  }
+  /// True when the engine's migration path showed a definitive outcome this
+  /// epoch (any failure or any progress) — breakers only want feedback for
+  /// epochs with evidence.
+  bool migration_active = false;
+};
+
+struct WatchdogStats {
+  std::uint64_t epochs_observed = 0;
+  std::uint64_t overruns = 0;
+  std::uint64_t migration_stall_trips = 0;
+  std::uint64_t evacuation_stall_trips = 0;
+};
+
+class Watchdog {
+ public:
+  /// `injector` (nullable) is consulted at fault::site::kRuntimeEpochOverrun
+  /// once per observed epoch.
+  explicit Watchdog(fault::FaultInjector* injector = nullptr,
+                    WatchdogOptions options = {});
+
+  /// One epoch's observation: `engine_stats` is the engine's CUMULATIVE
+  /// stats after the epoch ran (the watchdog differences consecutive
+  /// snapshots itself); `evac_failed`/`evac_moved` likewise cumulative (pass
+  /// the previous values again when no evacuator exists). `duration_ns` is
+  /// the epoch's simulated duration (0 when unknown — disables the measured
+  /// deadline for this epoch).
+  WatchdogVerdict observe_epoch(std::uint64_t epoch_index, double duration_ns,
+                                const runtime::EngineStats& engine_stats,
+                                std::uint64_t evac_failed = 0,
+                                std::uint64_t evac_moved = 0);
+
+  [[nodiscard]] const WatchdogStats& stats() const { return stats_; }
+  [[nodiscard]] const WatchdogOptions& options() const { return options_; }
+  [[nodiscard]] unsigned migration_stall_streak() const {
+    return migration_stall_streak_;
+  }
+  [[nodiscard]] unsigned evacuation_stall_streak() const {
+    return evacuation_stall_streak_;
+  }
+
+  // --- snapshot/restore (src/recover/snapshot, docs/RECOVERY.md) ---
+
+  /// Full mutable state (options excluded — the restorer reconstructs from
+  /// matching options). The previous-stats baseline is part of the state:
+  /// without it the first post-restore epoch would misread the cumulative
+  /// counters as one giant delta.
+  struct State {
+    runtime::EngineStats prev_engine;
+    std::uint64_t prev_evac_failed = 0;
+    std::uint64_t prev_evac_moved = 0;
+    unsigned migration_stall_streak = 0;
+    unsigned evacuation_stall_streak = 0;
+    WatchdogStats stats;
+  };
+  [[nodiscard]] State export_state() const;
+  void restore_state(const State& state);
+
+ private:
+  fault::FaultInjector* injector_;
+  WatchdogOptions options_;
+  runtime::EngineStats prev_engine_;
+  std::uint64_t prev_evac_failed_ = 0;
+  std::uint64_t prev_evac_moved_ = 0;
+  unsigned migration_stall_streak_ = 0;
+  unsigned evacuation_stall_streak_ = 0;
+  WatchdogStats stats_;
+};
+
+}  // namespace hetmem::recover

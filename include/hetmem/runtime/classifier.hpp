@@ -68,6 +68,15 @@ class OnlineClassifier {
   [[nodiscard]] double ema_total_bytes() const { return ema_total_bytes_; }
   [[nodiscard]] const ClassifierOptions& options() const { return options_; }
 
+  /// Snapshot/restore (src/recover): overlays the full mutable state — the
+  /// EMA tables and hysteresis streaks drive every downstream decision, so
+  /// a restored classifier must continue from exactly these values for the
+  /// decision log to stay byte-identical.
+  void restore_state(std::vector<BufferState> states, double ema_total_bytes) {
+    states_ = std::move(states);
+    ema_total_bytes_ = ema_total_bytes;
+  }
+
  private:
   ClassifierOptions options_;
   std::vector<BufferState> states_;

@@ -151,6 +151,27 @@ class MigrationEngine {
   /// Deterministic text rendering of the full decision history.
   [[nodiscard]] std::string render_decision_log() const;
 
+  // --- snapshot/restore hooks (src/recover, docs/RECOVERY.md) ---
+
+  /// Overlays the cumulative statistics and budget watermark. The budget
+  /// pool itself is not restored: run_epoch re-opens it per epoch index, and
+  /// a restored run resumes at the NEXT epoch, which resets it anyway.
+  void restore_stats(const EngineStats& stats, std::uint64_t max_epoch_bytes) {
+    stats_ = stats;
+    max_epoch_bytes_ = max_epoch_bytes;
+  }
+
+  /// Prepends already-rendered decision-log text (the snapshotted run's
+  /// narrative up to the crash). render_decision_log() emits it before the
+  /// decisions this engine takes itself, so a restored run's full log is
+  /// byte-identical to an uninterrupted run's — the determinism gate
+  /// compares exactly that. The structured decisions() vector holds only
+  /// post-restore decisions.
+  void restore_log_prefix(std::string rendered) {
+    log_prefix_ = std::move(rendered);
+  }
+  [[nodiscard]] const std::string& log_prefix() const { return log_prefix_; }
+
  private:
   struct Candidate {
     sim::BufferId buffer;
@@ -172,6 +193,7 @@ class MigrationEngine {
   support::Bitmap initiator_;
   EngineOptions options_;
   tenant::GlobalArbiter* arbiter_ = nullptr;
+  std::string log_prefix_;  // restored pre-crash narrative (restore_log_prefix)
   std::vector<Decision> decisions_;
   EngineStats stats_;
   std::uint64_t max_epoch_bytes_ = 0;

@@ -25,6 +25,7 @@
 // without re-running the controller.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -117,6 +118,24 @@ class EpochSampler {
   [[nodiscard]] const std::vector<double>& period_log() const {
     return period_log_;
   }
+
+  /// Full mutable state, for snapshot/restore (src/recover). Options are
+  /// NOT part of the state — the restorer reconstructs the sampler from the
+  /// same options and then overlays this; the determinism contract
+  /// (docs/RECOVERY.md) requires the options to match the snapshotted run.
+  /// The TelemetryReader is also excluded: it rebinds to whatever execution
+  /// context the restored policy attaches to.
+  struct State {
+    std::array<std::uint64_t, 4> rng{};
+    double snapshot_clock_ns = 0.0;
+    unsigned phases_since_epoch = 0;
+    std::uint64_t epochs = 0;
+    double effective_period = 1.0;
+    double last_cost_ns = 0.0;
+    std::vector<double> period_log;
+  };
+  [[nodiscard]] State export_state() const;
+  void restore_state(const State& state);
 
  private:
   Epoch make_epoch(const sim::ExecutionContext& exec);

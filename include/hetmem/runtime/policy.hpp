@@ -82,6 +82,16 @@ class RuntimePolicy {
     };
   }
 
+  /// Circuit-breaker hook (recover::Supervisor): when set and it returns
+  /// false for an epoch index, the engine's migration pass is skipped —
+  /// placement-only service — while sampling, classification, epoch hooks,
+  /// and the adaptive period log all continue untouched. Applies to live
+  /// epochs AND trace replay so a gated run still replays byte-identically.
+  using MigrationGate = std::function<bool(std::uint64_t)>;
+  void set_migration_gate(MigrationGate gate) {
+    migration_gate_ = std::move(gate);
+  }
+
   [[nodiscard]] const EpochSampler& sampler() const { return sampler_; }
   [[nodiscard]] const OnlineClassifier& classifier() const {
     return classifier_;
@@ -90,6 +100,10 @@ class RuntimePolicy {
   /// Mutable engine access for components sharing its per-epoch byte budget
   /// (the health Evacuator draws from the same pool as run_epoch).
   [[nodiscard]] MigrationEngine& mutable_engine() { return engine_; }
+  /// Mutable sampler/classifier access for the snapshot layer (src/recover)
+  /// — restore-time only, never while a run is attached.
+  [[nodiscard]] EpochSampler& mutable_sampler() { return sampler_; }
+  [[nodiscard]] OnlineClassifier& mutable_classifier() { return classifier_; }
   [[nodiscard]] const std::vector<Decision>& decisions() const {
     return engine_.decisions();
   }
@@ -111,6 +125,7 @@ class RuntimePolicy {
   bool charge_migration_cost_;
   std::function<void()> post_migration_;
   EpochHook epoch_hook_;
+  MigrationGate migration_gate_;
 };
 
 }  // namespace hetmem::runtime

@@ -217,6 +217,26 @@ class SimMachine {
   /// itself is internally synchronized.
   void set_fault_injector(fault::FaultInjector* injector) { faults_ = injector; }
 
+  // --- snapshot/restore hooks (src/recover, docs/RECOVERY.md) ---
+
+  /// Overwrites a node's cumulative telemetry counters and regime flags with
+  /// an exported snapshot. Restore-time only (before the machine is shared
+  /// across threads): the health monitor differences telemetry against its
+  /// own restored last-poll values, so the two must be set from the same
+  /// snapshot or every delta since machine construction replays as new
+  /// evidence.
+  void restore_node_telemetry(unsigned node, const NodeTelemetry& telemetry);
+
+  /// Per-node dynamic-draw EMA state, for snapshot/restore. The governor's
+  /// decisions read power_draw_watts(), so a byte-identical continuation
+  /// needs the EMA (and its seeded flag) back exactly.
+  struct NodePowerState {
+    double dynamic_watts_ema = 0.0;
+    bool seeded = false;
+  };
+  [[nodiscard]] NodePowerState node_power_state(unsigned node) const;
+  void restore_node_power_state(unsigned node, const NodePowerState& state);
+
   /// True when the constructor received a perf model whose node count did
   /// not match the topology and self-healed by recalibrating.
   [[nodiscard]] bool model_repaired() const { return model_repaired_; }

@@ -5,6 +5,7 @@
 // instead of relying on std::mt19937 distribution details.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace hetmem::support {
@@ -63,6 +64,15 @@ class Xoshiro256 {
   /// Uniform double in [0, 1).
   double next_double() {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Raw generator state, for snapshot/restore (src/recover): a restored
+  /// stream continues exactly where the exported one stopped.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
   }
 
  private:

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -190,6 +191,17 @@ class Tenant {
     quota_rejections_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Snapshot/restore (src/recover): overwrites the telemetry counters.
+  /// Usage accounting is NOT restored here — charges are rebuilt through
+  /// try_charge as the restorer re-adopts each buffer, so accounting always
+  /// equals the sum of live charges.
+  void restore_stats(const TenantStats& stats) {
+    admitted_.store(stats.admitted, std::memory_order_relaxed);
+    spilled_.store(stats.spilled, std::memory_order_relaxed);
+    shed_.store(stats.shed, std::memory_order_relaxed);
+    quota_rejections_.store(stats.quota_rejections, std::memory_order_relaxed);
+  }
+
  private:
   friend class TenantRegistry;
 
@@ -334,10 +346,32 @@ class TenantRegistry {
   /// stops being admitted and stops counting toward the live share weights.
   support::Status deregister_tenant(const TenantHandle& handle);
 
+  /// Snapshot/restore (src/recover): re-registers a tenant under its
+  /// ORIGINAL id, bumping the id counter past it so ids stay never-reused
+  /// and match the snapshotted run exactly (deregistered tenants leave
+  /// gaps). Setup-time only; fails on a duplicate id or name.
+  support::Result<TenantHandle> restore_tenant(TenantId id, std::string name,
+                                               Priority priority,
+                                               TenantQuota quota);
+
   [[nodiscard]] TenantHandle find(std::string_view name) const;
   [[nodiscard]] TenantHandle find(TenantId id) const;
   [[nodiscard]] std::vector<TenantHandle> tenants() const;
   [[nodiscard]] std::size_t live_count() const;
+
+  /// Id watermark: the id the NEXT register_tenant call will mint. Part of
+  /// the snapshot state — deregistered tenants leave no trace in tenants(),
+  /// so without the watermark a restored registry would re-mint their ids
+  /// and break the never-reused-id contract.
+  [[nodiscard]] TenantId next_id() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return next_id_;
+  }
+  /// Restore-time only: advances the watermark (never rewinds it).
+  void restore_next_id(TenantId next) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (next > next_id_) next_id_ = next;
+  }
 
   [[nodiscard]] const DegradationLadder& ladder() const { return ladder_; }
 

@@ -50,7 +50,60 @@ AllocatorStats HeterogeneousAllocator::stats() const {
   snapshot.backpressure_shed =
       stats_.backpressure_shed.load(std::memory_order_relaxed);
   snapshot.tenant_spills = stats_.tenant_spills.load(std::memory_order_relaxed);
+  snapshot.retry_backoff_ms =
+      stats_.retry_backoff_ms.load(std::memory_order_relaxed);
   return snapshot;
+}
+
+void HeterogeneousAllocator::restore_stats(const AllocatorStats& stats) {
+  stats_.allocations.store(stats.allocations, std::memory_order_relaxed);
+  stats_.fallbacks.store(stats.fallbacks, std::memory_order_relaxed);
+  stats_.failures.store(stats.failures, std::memory_order_relaxed);
+  stats_.frees.store(stats.frees, std::memory_order_relaxed);
+  stats_.migrations.store(stats.migrations, std::memory_order_relaxed);
+  stats_.bytes_allocated.store(stats.bytes_allocated,
+                               std::memory_order_relaxed);
+  stats_.bytes_migrated.store(stats.bytes_migrated, std::memory_order_relaxed);
+  stats_.transient_retries.store(stats.transient_retries,
+                                 std::memory_order_relaxed);
+  stats_.attribute_rescues.store(stats.attribute_rescues,
+                                 std::memory_order_relaxed);
+  stats_.backpressure_rejections.store(stats.backpressure_rejections,
+                                       std::memory_order_relaxed);
+  stats_.backpressure_health.store(stats.backpressure_health,
+                                   std::memory_order_relaxed);
+  stats_.backpressure_quota.store(stats.backpressure_quota,
+                                  std::memory_order_relaxed);
+  stats_.backpressure_shed.store(stats.backpressure_shed,
+                                 std::memory_order_relaxed);
+  stats_.tenant_spills.store(stats.tenant_spills, std::memory_order_relaxed);
+  stats_.retry_backoff_ms.store(stats.retry_backoff_ms,
+                                std::memory_order_relaxed);
+}
+
+Status HeterogeneousAllocator::adopt_tenant_charge(sim::BufferId buffer,
+                                                   tenant::TenantHandle tenant,
+                                                   std::uint64_t bytes) {
+  if (tenant == nullptr) {
+    return make_error(Errc::kInvalidArgument, "null tenant handle");
+  }
+  const auto info = machine_->info_checked(buffer);
+  if (!info.ok()) return info.error();
+  if (info->freed) {
+    return make_error(Errc::kInvalidArgument,
+                      "cannot adopt a charge for freed buffer '" +
+                          info->label + "'");
+  }
+  const topo::MemoryKind tier = node_kinds_[info->node];
+  const tenant::ChargeResult charged = tenant->try_charge(tier, bytes);
+  if (charged != tenant::ChargeResult::kOk) {
+    return make_error(Errc::kBackpressure,
+                      "tenant '" + tenant->name() +
+                          "' refused the restored charge for buffer '" +
+                          info->label + "'");
+  }
+  record_tenant_charge(buffer, std::move(tenant), tier, bytes);
+  return {};
 }
 
 std::vector<TraceEvent> HeterogeneousAllocator::trace() const {
@@ -76,11 +129,28 @@ Result<sim::BufferId> HeterogeneousAllocator::allocate_with_retry(
                                    request.backing_bytes);
   const unsigned budget =
       max_transient_retries_.load(std::memory_order_relaxed);
+  const std::uint64_t floor_ms =
+      retry_floor_ms_.load(std::memory_order_relaxed);
+  // Retry pacing rides the shared jitter engine (support::Backoff — the same
+  // schedule the tenant shed path and the breaker probes draw from). Delays
+  // are simulated: accounted in retry_backoff_ms, never slept. Seeded per
+  // (seed, node) so concurrent requests draw independent, deterministic
+  // jitter.
+  std::optional<support::Backoff> pacing;
+  if (floor_ms > 0) {
+    support::BackoffOptions options = retry_backoff_options_;
+    options.seed ^= 0x9e3779b97f4a7c15ull * (node + 1);
+    pacing.emplace(options);
+  }
   unsigned retries = 0;
   while (!buffer.ok() && buffer.error().code == Errc::kTransient &&
          retries < budget) {
     ++retries;
     stats_.transient_retries.fetch_add(1, std::memory_order_relaxed);
+    if (pacing) {
+      stats_.retry_backoff_ms.fetch_add(pacing->next_delay_ms(floor_ms),
+                                        std::memory_order_relaxed);
+    }
     buffer = machine_->allocate(request.bytes, node, request.label,
                                 request.backing_bytes);
   }

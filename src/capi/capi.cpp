@@ -10,6 +10,8 @@
 #include "hetmem/memattr/memattr.hpp"
 #include "hetmem/power/power.hpp"
 #include "hetmem/probe/probe.hpp"
+#include "hetmem/recover/snapshot.hpp"
+#include "hetmem/recover/supervisor.hpp"
 #include "hetmem/simmem/machine.hpp"
 #include "hetmem/tenant/tenant.hpp"
 #include "hetmem/topo/presets.hpp"
@@ -19,6 +21,9 @@ struct hetmem_context {
   std::unique_ptr<hetmem::attr::MemAttrRegistry> registry;
   std::unique_ptr<hetmem::tenant::TenantRegistry> tenants;
   std::unique_ptr<hetmem::alloc::HeterogeneousAllocator> allocator;
+  std::unique_ptr<hetmem::recover::Supervisor> supervisor;
+  std::string preset_name;  /* snapshot provenance (hetmem_snapshot_save) */
+  bool probed = false;
   std::atomic<uint64_t> last_retry_after_ms{0};
 };
 
@@ -79,6 +84,9 @@ hetmem_context* create_context(const char* preset_name, bool probed) {
   ctx->allocator = std::make_unique<alloc::HeterogeneousAllocator>(
       *ctx->machine, *ctx->registry);
   ctx->allocator->set_tenant_registry(ctx->tenants.get());
+  ctx->supervisor = std::make_unique<recover::Supervisor>();
+  ctx->preset_name = preset_name;
+  ctx->probed = probed;
   return ctx.release();
 }
 
@@ -303,7 +311,9 @@ int hetmem_buffer_node(const hetmem_context* ctx, int64_t buffer) {
   if (static_cast<std::size_t>(buffer) >= ctx->machine->total_buffer_count()) {
     return HETMEM_ERR_INVALID;
   }
-  return static_cast<int>(ctx->machine->info(id).node);
+  const sim::BufferInfo info = ctx->machine->info(id);
+  if (info.freed) return HETMEM_ERR_INVALID;
+  return static_cast<int>(info.node);
 }
 
 int hetmem_migrate(hetmem_context* ctx, int64_t buffer, unsigned node,
@@ -405,6 +415,43 @@ double hetmem_power_cap_watts(const hetmem_context* ctx) {
 uint64_t hetmem_throttle_events(const hetmem_context* ctx, unsigned node) {
   if (node_at(ctx, node) == nullptr) return 0;
   return ctx->machine->node_telemetry(node).thermal_throttle_events;
+}
+
+int hetmem_snapshot_save(const hetmem_context* ctx, const char* path) {
+  if (ctx == nullptr || path == nullptr) return HETMEM_ERR_INVALID;
+  recover::CaptureSources sources;
+  sources.machine = ctx->machine.get();
+  sources.allocator = ctx->allocator.get();
+  sources.tenants = ctx->tenants.get();
+  sources.supervisor = ctx->supervisor.get();
+  sources.machine_preset = ctx->preset_name;
+  sources.probed = ctx->probed;
+  const support::Status saved =
+      recover::save_atomic(recover::capture(sources), path);
+  return saved.ok() ? HETMEM_SUCCESS : map_errc(saved.error().code);
+}
+
+hetmem_context* hetmem_snapshot_restore(const char* path) {
+  if (path == nullptr) return nullptr;
+  auto snapshot = recover::load(path);
+  if (!snapshot.ok()) return nullptr;
+  std::unique_ptr<hetmem_context> ctx(
+      create_context(snapshot->machine_preset.c_str(), snapshot->probed));
+  if (ctx == nullptr) return nullptr;
+  recover::RestoreTargets targets;
+  targets.machine = ctx->machine.get();
+  targets.allocator = ctx->allocator.get();
+  targets.tenants = ctx->tenants.get();
+  targets.supervisor = ctx->supervisor.get();
+  if (!recover::restore(*snapshot, targets).ok()) return nullptr;
+  return ctx.release();
+}
+
+int hetmem_breaker_state(const hetmem_context* ctx, const char* breaker) {
+  if (ctx == nullptr || breaker == nullptr) return HETMEM_ERR_INVALID;
+  const recover::CircuitBreaker* found = ctx->supervisor->breaker(breaker);
+  if (found == nullptr) return HETMEM_ERR_NOENT;
+  return static_cast<int>(found->state());
 }
 
 }  // extern "C"

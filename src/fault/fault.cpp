@@ -129,6 +129,12 @@ const std::vector<SiteInfo>& all_sites() {
        "the target/sampled node goes offline (sticky) and the call fails"},
       {site::kMachineMigrateTransient, "SimMachine::migrate",
        "the migration fails with kTransient (retryable)"},
+      {site::kMachineMigrateStall, "SimMachine::migrate",
+       "the migration wedges: kTransient failures that persist across "
+       "retries (burst), the stalled-progress signature the recover "
+       "watchdog/breakers react to"},
+      {site::kRuntimeEpochOverrun, "recover::Watchdog::observe_epoch",
+       "the observed epoch is treated as having blown its deadline"},
       {site::kMachineEccBurst, "SimMachine::sample_node_faults",
        "a corrected-ECC-error burst is counted against the sampled node"},
       {site::kMachineNodeDegraded, "SimMachine::sample_node_faults",
@@ -151,6 +157,28 @@ const std::vector<SiteInfo>& all_sites() {
        "a numeric value is replaced with garbage"},
   };
   return sites;
+}
+
+std::vector<FaultInjector::SiteState> FaultInjector::export_sites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SiteState> out;
+  out.reserve(sites_.size());
+  for (const Site& s : sites_) {
+    out.push_back(SiteState{s.name, s.spec, s.rng.state(), s.consultations,
+                            s.injected, s.burst_remaining, s.armed});
+  }
+  return out;
+}
+
+void FaultInjector::restore_site(const SiteState& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = site_state_locked(state.name);
+  s.spec = state.spec;
+  s.rng.set_state(state.rng);
+  s.consultations = state.consultations;
+  s.injected = state.injected;
+  s.burst_remaining = state.burst_remaining;
+  s.armed = state.armed;
 }
 
 const std::vector<const char*>& FaultInjector::preset_names() {

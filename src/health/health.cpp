@@ -139,6 +139,43 @@ std::size_t HealthMonitor::poll() {
   return transitions_.size() - before;
 }
 
+HealthMonitor::NodeState HealthMonitor::node_state(unsigned node) const {
+  NodeState out;
+  if (node >= node_count_) return out;
+  const NodeHealth& health = nodes_[node];
+  out.state = static_cast<HealthState>(
+      health.state.load(std::memory_order_acquire));
+  out.last_errors = health.last_errors;
+  out.faulty_streak = health.faulty_streak;
+  out.clean_streak = health.clean_streak;
+  return out;
+}
+
+void HealthMonitor::restore_state(std::uint64_t poll_count,
+                                  const std::vector<NodeState>& nodes) {
+  poll_count_ = poll_count;
+  for (unsigned node = 0; node < node_count_ && node < nodes.size(); ++node) {
+    NodeHealth& health = nodes_[node];
+    health.state.store(static_cast<std::uint8_t>(nodes[node].state),
+                       std::memory_order_release);
+    health.last_errors = nodes[node].last_errors;
+    health.faulty_streak = nodes[node].faulty_streak;
+    health.clean_streak = nodes[node].clean_streak;
+    switch (nodes[node].state) {
+      case HealthState::kOffline:
+        quarantine_.set(node, PlacementVerdict::kExclude);
+        break;
+      case HealthState::kQuarantined:
+        quarantine_.set(node, PlacementVerdict::kDeprioritize);
+        break;
+      default:
+        quarantine_.set(node, PlacementVerdict::kNormal);
+        break;
+    }
+  }
+  registry_->invalidate_rankings();
+}
+
 HealthState HealthMonitor::state(unsigned node) const {
   if (node >= node_count_) return HealthState::kHealthy;
   return static_cast<HealthState>(

@@ -1,0 +1,118 @@
+#include "hetmem/recover/breaker.hpp"
+
+namespace hetmem::recover {
+
+CircuitBreaker::CircuitBreaker(std::string name, BreakerOptions options)
+    : name_(std::move(name)), options_(options), backoff_(options.backoff) {}
+
+void CircuitBreaker::transition(std::uint64_t epoch, BreakerState to,
+                                std::string reason) {
+  if (state_ == to) return;
+  transitions_.push_back(
+      BreakerTransition{epoch, state_, to, std::move(reason)});
+  state_ = to;
+}
+
+void CircuitBreaker::trip(std::uint64_t epoch, std::string reason) {
+  // The cooldown rides the shared jitter engine; delays are epochs here.
+  // Consecutive reopens grow the window (the backoff only resets on a clean
+  // reclose), so a persistently wedged path is probed ever less eagerly.
+  const std::uint64_t cooldown =
+      backoff_.next_delay_ms(options_.cooldown_epochs);
+  reopen_at_epoch_ = epoch + cooldown;
+  ++stats_.opens;
+  consecutive_failures_ = 0;
+  consecutive_successes_ = 0;
+  transition(epoch, BreakerState::kOpen,
+             std::move(reason) + "; probing at epoch " +
+                 std::to_string(reopen_at_epoch_));
+}
+
+bool CircuitBreaker::allow(std::uint64_t epoch_index) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kHalfOpen:
+      ++stats_.probes;
+      return true;
+    case BreakerState::kOpen:
+      if (epoch_index < reopen_at_epoch_) {
+        ++stats_.skipped;
+        return false;
+      }
+      transition(epoch_index, BreakerState::kHalfOpen, "cooldown elapsed");
+      ++stats_.probes;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success(std::uint64_t epoch_index) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      return;
+    case BreakerState::kHalfOpen:
+      ++consecutive_successes_;
+      if (consecutive_successes_ >= options_.successes_to_close) {
+        consecutive_successes_ = 0;
+        ++stats_.recloses;
+        backoff_.reset();  // a clean reclose starts a fresh cooldown window
+        transition(epoch_index, BreakerState::kClosed,
+                   std::to_string(options_.successes_to_close) +
+                       " clean probe(s)");
+      }
+      return;
+    case BreakerState::kOpen:
+      return;  // nothing ran; no evidence either way
+  }
+}
+
+void CircuitBreaker::on_failure(std::uint64_t epoch_index) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      ++consecutive_failures_;
+      if (consecutive_failures_ >= options_.failures_to_open) {
+        trip(epoch_index, std::to_string(options_.failures_to_open) +
+                              " consecutive failure(s)");
+      }
+      return;
+    case BreakerState::kHalfOpen:
+      trip(epoch_index, "probe failed");
+      return;
+    case BreakerState::kOpen:
+      return;
+  }
+}
+
+std::string CircuitBreaker::render_log() const {
+  std::string out;
+  for (const BreakerTransition& t : transitions_) {
+    out += "epoch " + std::to_string(t.epoch) + " " + name_ + " " +
+           breaker_state_name(t.from) + " -> " + breaker_state_name(t.to) +
+           " — " + t.reason + "\n";
+  }
+  return out;
+}
+
+CircuitBreaker::State CircuitBreaker::export_state() const {
+  State out;
+  out.state = state_;
+  out.consecutive_failures = consecutive_failures_;
+  out.consecutive_successes = consecutive_successes_;
+  out.reopen_at_epoch = reopen_at_epoch_;
+  out.stats = stats_;
+  out.backoff = backoff_.export_state();
+  return out;
+}
+
+void CircuitBreaker::restore_state(const State& state) {
+  state_ = state.state;
+  consecutive_failures_ = state.consecutive_failures;
+  consecutive_successes_ = state.consecutive_successes;
+  reopen_at_epoch_ = state.reopen_at_epoch;
+  stats_ = state.stats;
+  backoff_.restore_state(state.backoff);
+}
+
+}  // namespace hetmem::recover

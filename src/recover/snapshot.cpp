@@ -1,0 +1,1256 @@
+#include "hetmem/recover/snapshot.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace hetmem::recover {
+
+using support::Errc;
+using support::make_error;
+using support::Result;
+using support::Status;
+
+namespace {
+
+constexpr const char* kHeader = "hetmem-snap/1";
+
+// Hexfloat ("%a") is the one printf format that round-trips every finite
+// double exactly through strtod — the same lossless-serialization property
+// the trace replay gate rests on (src/trace/trace.cpp).
+void append_double(std::string& out, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  out += buffer;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  out += std::to_string(value);
+}
+
+/// FNV-1a 64-bit over the payload bytes — the corruption tripwire a
+/// bit-flipped snapshot fails before any field is applied.
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+struct Cursor {
+  const char* pos;
+  const char* end;
+  std::size_t line = 1;
+
+  [[nodiscard]] bool done() const { return pos >= end; }
+
+  /// Consumes one line, returning it without the trailing newline.
+  std::string_view next_line() {
+    const char* start = pos;
+    while (pos < end && *pos != '\n') ++pos;
+    std::string_view result(start, static_cast<std::size_t>(pos - start));
+    if (pos < end) ++pos;  // swallow '\n'
+    ++line;
+    return result;
+  }
+};
+
+support::Error parse_error(const Cursor& cursor, const std::string& what) {
+  return make_error(Errc::kInvalidArgument,
+                    "snapshot parse error at line " +
+                        std::to_string(cursor.line - 1) + ": " + what);
+}
+
+/// Splits `text` at the first space; returns the head, advances `text`.
+std::string_view take_word(std::string_view& text) {
+  const std::size_t space = text.find(' ');
+  std::string_view word = text.substr(0, space);
+  text.remove_prefix(space == std::string_view::npos ? text.size() : space + 1);
+  return word;
+}
+
+bool parse_u64(std::string_view word, std::uint64_t& out) {
+  if (word.empty()) return false;
+  char* parse_end = nullptr;
+  const std::string owned(word);
+  out = std::strtoull(owned.c_str(), &parse_end, 10);
+  return parse_end == owned.c_str() + owned.size();
+}
+
+bool parse_f64(std::string_view word, double& out) {
+  if (word.empty()) return false;
+  char* parse_end = nullptr;
+  const std::string owned(word);
+  out = std::strtod(owned.c_str(), &parse_end);
+  return parse_end == owned.c_str() + owned.size();
+}
+
+/// take_word + parse_u64 in one step; false on any failure.
+bool next_u64(std::string_view& text, std::uint64_t& out) {
+  return parse_u64(take_word(text), out);
+}
+
+bool next_f64(std::string_view& text, double& out) {
+  return parse_f64(take_word(text), out);
+}
+
+void append_rng(std::string& out, const std::array<std::uint64_t, 4>& rng) {
+  for (const std::uint64_t word : rng) {
+    append_u64(out, word);
+    out += ' ';
+  }
+}
+
+bool next_rng(std::string_view& text, std::array<std::uint64_t, 4>& rng) {
+  for (std::uint64_t& word : rng) {
+    if (!next_u64(text, word)) return false;
+  }
+  return true;
+}
+
+void append_breaker(std::string& out, unsigned which,
+                    const CircuitBreaker::State& state) {
+  out += "breaker ";
+  append_u64(out, which);
+  out += ' ';
+  append_u64(out, static_cast<std::uint64_t>(state.state));
+  out += ' ';
+  append_u64(out, state.consecutive_failures);
+  out += ' ';
+  append_u64(out, state.consecutive_successes);
+  out += ' ';
+  append_u64(out, state.reopen_at_epoch);
+  out += ' ';
+  append_u64(out, state.stats.opens);
+  out += ' ';
+  append_u64(out, state.stats.recloses);
+  out += ' ';
+  append_u64(out, state.stats.probes);
+  out += ' ';
+  append_u64(out, state.stats.skipped);
+  out += ' ';
+  append_rng(out, state.backoff.rng);
+  append_u64(out, state.backoff.attempt);
+  out += '\n';
+}
+
+}  // namespace
+
+Snapshot capture(const CaptureSources& sources) {
+  Snapshot snap;
+  snap.machine_preset = sources.machine_preset;
+  snap.probed = sources.probed;
+
+  const sim::SimMachine& machine = *sources.machine;
+  const std::size_t nodes = machine.topology().numa_nodes().size();
+  snap.node_count = nodes;
+  snap.power_cap_watts = machine.power_cap_watts();
+  snap.node_telemetry.reserve(nodes);
+  snap.node_power.reserve(nodes);
+  for (unsigned n = 0; n < nodes; ++n) {
+    snap.node_telemetry.push_back(machine.node_telemetry(n));
+    snap.node_power.push_back(machine.node_power_state(n));
+  }
+
+  snap.buffers_total = machine.total_buffer_count();
+  snap.buffers.reserve(snap.buffers_total);
+  const alloc::HeterogeneousAllocator& allocator = *sources.allocator;
+  for (std::uint32_t i = 0; i < snap.buffers_total; ++i) {
+    const sim::BufferId id{i};
+    const sim::BufferInfo info = machine.info(id);
+    Snapshot::BufferRecord record;
+    record.index = i;
+    record.node = info.node;
+    record.declared_bytes = info.declared_bytes;
+    record.backing_bytes = info.backing_bytes;
+    record.freed = info.freed;
+    record.label = info.label;
+    if (!info.freed) {
+      const tenant::TenantHandle owner = allocator.tenant_of(id);
+      if (owner != nullptr) record.tenant_id = owner->id();
+    }
+    snap.buffers.push_back(std::move(record));
+  }
+
+  if (sources.tenants != nullptr) {
+    for (const tenant::TenantHandle& handle : sources.tenants->tenants()) {
+      Snapshot::TenantRecord record;
+      record.id = handle->id();
+      record.priority = handle->priority();
+      record.quota = handle->quota();
+      record.stats = handle->stats();
+      record.live = handle->live();
+      record.name = handle->name();
+      snap.tenants.push_back(std::move(record));
+    }
+    // Deregistered tenants vanish from the registry but their outstanding
+    // charges survive through the allocator's handles; synthesize records
+    // for them so restore can rebuild those charges (marked dead).
+    for (const Snapshot::BufferRecord& buffer : snap.buffers) {
+      if (buffer.freed || buffer.tenant_id == tenant::kNoTenant) continue;
+      bool known = false;
+      for (const Snapshot::TenantRecord& t : snap.tenants) {
+        known = known || t.id == buffer.tenant_id;
+      }
+      if (known) continue;
+      const tenant::TenantHandle dead =
+          allocator.tenant_of(sim::BufferId{buffer.index});
+      if (dead == nullptr) continue;
+      Snapshot::TenantRecord record;
+      record.id = dead->id();
+      record.priority = dead->priority();
+      record.quota = dead->quota();
+      record.stats = dead->stats();
+      record.live = false;
+      record.name = dead->name();
+      snap.tenants.push_back(std::move(record));
+    }
+    snap.tenants_next_id = sources.tenants->next_id();
+  }
+
+  snap.alloc_stats = allocator.stats();
+  snap.reserved_bytes.reserve(nodes);
+  for (unsigned n = 0; n < nodes; ++n) {
+    snap.reserved_bytes.push_back(allocator.reserved_bytes(n));
+  }
+
+  if (sources.policy != nullptr) {
+    snap.has_policy = true;
+    snap.sampler = sources.policy->sampler().export_state();
+    snap.classifier_states = sources.policy->classifier().states();
+    snap.classifier_ema_total_bytes =
+        sources.policy->classifier().ema_total_bytes();
+    snap.engine_stats = sources.policy->engine().stats();
+    snap.engine_max_epoch_bytes =
+        sources.policy->engine().max_epoch_migrated_bytes();
+    snap.decision_log = sources.policy->engine().render_decision_log();
+  }
+
+  if (sources.health != nullptr) {
+    snap.has_health = true;
+    snap.health_poll_count = sources.health->poll_count();
+    snap.health_nodes.reserve(nodes);
+    for (unsigned n = 0; n < nodes; ++n) {
+      snap.health_nodes.push_back(sources.health->node_state(n));
+    }
+  }
+
+  if (sources.governor != nullptr) {
+    snap.has_governor = true;
+    snap.governor_stats = sources.governor->stats();
+    snap.governor_streaks = sources.governor->over_streaks();
+  }
+
+  if (sources.faults != nullptr) {
+    snap.has_faults = true;
+    snap.fault_seed = sources.faults->seed();
+    snap.fault_sites = sources.faults->export_sites();
+  }
+
+  if (sources.supervisor != nullptr) {
+    snap.has_supervisor = true;
+    snap.migration_breaker =
+        sources.supervisor->migration_breaker().export_state();
+    snap.evacuation_breaker =
+        sources.supervisor->evacuation_breaker().export_state();
+    snap.watchdog = sources.supervisor->watchdog().export_state();
+  }
+  return snap;
+}
+
+std::string serialize(const Snapshot& snap) {
+  std::string p;  // payload (checksummed)
+  p += "preset ";
+  append_u64(p, snap.probed ? 1 : 0);
+  p += ' ';
+  p += snap.machine_preset;
+  p += '\n';
+
+  p += "machine ";
+  append_u64(p, snap.node_count);
+  p += ' ';
+  append_double(p, snap.power_cap_watts);
+  p += '\n';
+  for (std::size_t n = 0; n < snap.node_telemetry.size(); ++n) {
+    const sim::NodeTelemetry& t = snap.node_telemetry[n];
+    p += "node ";
+    append_u64(p, n);
+    p += ' ';
+    append_u64(p, t.capacity_rejections);
+    p += ' ';
+    append_u64(p, t.offline_rejections);
+    p += ' ';
+    append_u64(p, t.transient_faults);
+    p += ' ';
+    append_u64(p, t.ecc_errors);
+    p += ' ';
+    append_u64(p, t.degraded_events);
+    p += ' ';
+    append_u64(p, t.thermal_throttle_events);
+    p += ' ';
+    append_u64(p, t.degraded ? 1 : 0);
+    p += ' ';
+    append_u64(p, t.online ? 1 : 0);
+    p += '\n';
+  }
+  for (std::size_t n = 0; n < snap.node_power.size(); ++n) {
+    p += "npower ";
+    append_u64(p, n);
+    p += ' ';
+    append_double(p, snap.node_power[n].dynamic_watts_ema);
+    p += ' ';
+    append_u64(p, snap.node_power[n].seeded ? 1 : 0);
+    p += '\n';
+  }
+
+  p += "buffers ";
+  append_u64(p, snap.buffers_total);
+  p += '\n';
+  for (const Snapshot::BufferRecord& b : snap.buffers) {
+    p += "buffer ";
+    append_u64(p, b.index);
+    p += ' ';
+    append_u64(p, b.node);
+    p += ' ';
+    append_u64(p, b.declared_bytes);
+    p += ' ';
+    append_u64(p, b.backing_bytes);
+    p += ' ';
+    append_u64(p, b.freed ? 1 : 0);
+    p += ' ';
+    append_u64(p, b.tenant_id);
+    p += ' ';
+    p += b.label;  // last: labels may contain spaces
+    p += '\n';
+  }
+
+  for (const Snapshot::TenantRecord& t : snap.tenants) {
+    p += "tenant ";
+    append_u64(p, t.id);
+    p += ' ';
+    append_u64(p, static_cast<std::uint64_t>(t.priority));
+    p += ' ';
+    append_double(p, t.quota.share_weight);
+    p += ' ';
+    append_u64(p, t.quota.total_cap_bytes);
+    for (const std::uint64_t cap : t.quota.tier_cap_bytes) {
+      p += ' ';
+      append_u64(p, cap);
+    }
+    p += ' ';
+    append_u64(p, t.stats.admitted);
+    p += ' ';
+    append_u64(p, t.stats.spilled);
+    p += ' ';
+    append_u64(p, t.stats.shed);
+    p += ' ';
+    append_u64(p, t.stats.quota_rejections);
+    p += ' ';
+    append_u64(p, t.live ? 1 : 0);
+    p += ' ';
+    p += t.name;  // last: names may contain spaces
+    p += '\n';
+  }
+  if (snap.tenants_next_id > 1 || !snap.tenants.empty()) {
+    p += "tnext ";
+    append_u64(p, snap.tenants_next_id);
+    p += '\n';
+  }
+
+  {
+    const alloc::AllocatorStats& s = snap.alloc_stats;
+    const std::uint64_t fields[] = {s.allocations,
+                                    s.fallbacks,
+                                    s.failures,
+                                    s.frees,
+                                    s.migrations,
+                                    s.bytes_allocated,
+                                    s.bytes_migrated,
+                                    s.transient_retries,
+                                    s.attribute_rescues,
+                                    s.backpressure_rejections,
+                                    s.backpressure_health,
+                                    s.backpressure_quota,
+                                    s.backpressure_shed,
+                                    s.tenant_spills,
+                                    s.retry_backoff_ms};
+    p += "astats";
+    for (const std::uint64_t field : fields) {
+      p += ' ';
+      append_u64(p, field);
+    }
+    p += '\n';
+  }
+  for (std::size_t n = 0; n < snap.reserved_bytes.size(); ++n) {
+    if (snap.reserved_bytes[n] == 0) continue;
+    p += "reserved ";
+    append_u64(p, n);
+    p += ' ';
+    append_u64(p, snap.reserved_bytes[n]);
+    p += '\n';
+  }
+
+  if (snap.has_policy) {
+    p += "sampler ";
+    append_rng(p, snap.sampler.rng);
+    append_double(p, snap.sampler.snapshot_clock_ns);
+    p += ' ';
+    append_u64(p, snap.sampler.phases_since_epoch);
+    p += ' ';
+    append_u64(p, snap.sampler.epochs);
+    p += ' ';
+    append_double(p, snap.sampler.effective_period);
+    p += ' ';
+    append_double(p, snap.sampler.last_cost_ns);
+    p += '\n';
+    for (std::size_t i = 0; i < snap.sampler.period_log.size(); ++i) {
+      p += "period ";
+      append_u64(p, i);
+      p += ' ';
+      append_double(p, snap.sampler.period_log[i]);
+      p += '\n';
+    }
+
+    p += "classifier ";
+    append_double(p, snap.classifier_ema_total_bytes);
+    p += ' ';
+    append_u64(p, snap.classifier_states.size());
+    p += '\n';
+    for (std::size_t i = 0; i < snap.classifier_states.size(); ++i) {
+      const runtime::OnlineClassifier::BufferState& s =
+          snap.classifier_states[i];
+      p += "cstate ";
+      append_u64(p, i);
+      p += ' ';
+      append_u64(p, s.tracked ? 1 : 0);
+      p += ' ';
+      append_double(p, s.ema.reads);
+      p += ' ';
+      append_double(p, s.ema.writes);
+      p += ' ';
+      append_double(p, s.ema.llc_misses);
+      p += ' ';
+      append_double(p, s.ema.memory_bytes);
+      p += ' ';
+      append_double(p, s.ema.random_accesses);
+      p += ' ';
+      append_double(p, s.ema.random_misses);
+      p += ' ';
+      append_u64(p, static_cast<std::uint64_t>(s.committed));
+      p += ' ';
+      append_u64(p, static_cast<std::uint64_t>(s.pending));
+      p += ' ';
+      append_u64(p, s.disagreement_streak);
+      p += '\n';
+    }
+
+    p += "engine ";
+    append_u64(p, snap.engine_stats.considered);
+    p += ' ';
+    append_u64(p, snap.engine_stats.accepted);
+    p += ' ';
+    append_u64(p, snap.engine_stats.evicted);
+    p += ' ';
+    append_u64(p, snap.engine_stats.rejected);
+    p += ' ';
+    append_u64(p, snap.engine_stats.failed);
+    p += ' ';
+    append_u64(p, snap.engine_stats.migrated_bytes);
+    p += ' ';
+    append_double(p, snap.engine_stats.migration_cost_ns);
+    p += ' ';
+    append_u64(p, snap.engine_max_epoch_bytes);
+    p += '\n';
+    // The rendered narrative, one "dlog " line per log line (log lines are
+    // never empty and always newline-terminated).
+    std::string_view log = snap.decision_log;
+    while (!log.empty()) {
+      const std::size_t nl = log.find('\n');
+      p += "dlog ";
+      p += log.substr(0, nl);
+      p += '\n';
+      log.remove_prefix(nl == std::string_view::npos ? log.size() : nl + 1);
+    }
+  }
+
+  if (snap.has_health) {
+    p += "health ";
+    append_u64(p, snap.health_poll_count);
+    p += ' ';
+    append_u64(p, snap.health_nodes.size());
+    p += '\n';
+    for (std::size_t n = 0; n < snap.health_nodes.size(); ++n) {
+      const health::HealthMonitor::NodeState& s = snap.health_nodes[n];
+      p += "hnode ";
+      append_u64(p, n);
+      p += ' ';
+      append_u64(p, static_cast<std::uint64_t>(s.state));
+      p += ' ';
+      append_u64(p, s.last_errors);
+      p += ' ';
+      append_u64(p, s.faulty_streak);
+      p += ' ';
+      append_u64(p, s.clean_streak);
+      p += '\n';
+    }
+  }
+
+  if (snap.has_governor) {
+    p += "governor ";
+    append_u64(p, snap.governor_stats.epochs);
+    p += ' ';
+    append_u64(p, snap.governor_stats.over_cap_epochs);
+    p += ' ';
+    append_u64(p, snap.governor_stats.throttle_events);
+    p += ' ';
+    append_u64(p, snap.governor_stats.drained_buffers);
+    p += ' ';
+    append_u64(p, snap.governor_stats.drained_bytes);
+    p += ' ';
+    append_double(p, snap.governor_stats.drain_cost_ns);
+    p += '\n';
+    for (std::size_t n = 0; n < snap.governor_streaks.size(); ++n) {
+      p += "gstreak ";
+      append_u64(p, n);
+      p += ' ';
+      append_u64(p, snap.governor_streaks[n]);
+      p += '\n';
+    }
+  }
+
+  if (snap.has_faults) {
+    p += "faults ";
+    append_u64(p, snap.fault_seed);
+    p += ' ';
+    append_u64(p, snap.fault_sites.size());
+    p += '\n';
+    for (const fault::FaultInjector::SiteState& s : snap.fault_sites) {
+      p += "fsite ";
+      append_double(p, s.spec.probability);
+      p += ' ';
+      append_u64(p, s.spec.max_count);
+      p += ' ';
+      append_u64(p, s.spec.burst);
+      p += ' ';
+      append_double(p, s.spec.noise_sigma);
+      p += ' ';
+      append_rng(p, s.rng);
+      append_u64(p, s.consultations);
+      p += ' ';
+      append_u64(p, s.injected);
+      p += ' ';
+      append_u64(p, s.burst_remaining);
+      p += ' ';
+      append_u64(p, s.armed ? 1 : 0);
+      p += ' ';
+      p += s.name;  // last: site names are open-ended strings
+      p += '\n';
+    }
+  }
+
+  if (snap.has_supervisor) {
+    append_breaker(p, 0, snap.migration_breaker);
+    append_breaker(p, 1, snap.evacuation_breaker);
+    p += "watchdog ";
+    append_u64(p, snap.watchdog.prev_engine.considered);
+    p += ' ';
+    append_u64(p, snap.watchdog.prev_engine.accepted);
+    p += ' ';
+    append_u64(p, snap.watchdog.prev_engine.evicted);
+    p += ' ';
+    append_u64(p, snap.watchdog.prev_engine.rejected);
+    p += ' ';
+    append_u64(p, snap.watchdog.prev_engine.failed);
+    p += ' ';
+    append_u64(p, snap.watchdog.prev_engine.migrated_bytes);
+    p += ' ';
+    append_double(p, snap.watchdog.prev_engine.migration_cost_ns);
+    p += ' ';
+    append_u64(p, snap.watchdog.prev_evac_failed);
+    p += ' ';
+    append_u64(p, snap.watchdog.prev_evac_moved);
+    p += ' ';
+    append_u64(p, snap.watchdog.migration_stall_streak);
+    p += ' ';
+    append_u64(p, snap.watchdog.evacuation_stall_streak);
+    p += ' ';
+    append_u64(p, snap.watchdog.stats.epochs_observed);
+    p += ' ';
+    append_u64(p, snap.watchdog.stats.overruns);
+    p += ' ';
+    append_u64(p, snap.watchdog.stats.migration_stall_trips);
+    p += ' ';
+    append_u64(p, snap.watchdog.stats.evacuation_stall_trips);
+    p += '\n';
+  }
+
+  std::string out = kHeader;
+  out += '\n';
+  out += p;
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(fnv1a(p)));
+  out += "checksum ";
+  out += checksum;
+  out += "\nend\n";
+  return out;
+}
+
+namespace {
+
+bool parse_breaker_line(std::string_view rest, std::uint64_t& which,
+                        CircuitBreaker::State& out) {
+  std::uint64_t state = 0;
+  std::uint64_t cfail = 0;
+  std::uint64_t csucc = 0;
+  std::uint64_t attempt = 0;
+  const bool ok = next_u64(rest, which) && next_u64(rest, state) &&
+                  next_u64(rest, cfail) && next_u64(rest, csucc) &&
+                  next_u64(rest, out.reopen_at_epoch) &&
+                  next_u64(rest, out.stats.opens) &&
+                  next_u64(rest, out.stats.recloses) &&
+                  next_u64(rest, out.stats.probes) &&
+                  next_u64(rest, out.stats.skipped) &&
+                  next_rng(rest, out.backoff.rng) && next_u64(rest, attempt);
+  if (!ok || state > 2 || which > 1) return false;
+  out.state = static_cast<BreakerState>(state);
+  out.consecutive_failures = static_cast<unsigned>(cfail);
+  out.consecutive_successes = static_cast<unsigned>(csucc);
+  out.backoff.attempt = static_cast<unsigned>(attempt);
+  return true;
+}
+
+}  // namespace
+
+Result<Snapshot> parse(std::string_view text) {
+  Cursor cursor{text.data(), text.data() + text.size()};
+  if (cursor.done()) {
+    return parse_error(cursor, "empty snapshot");
+  }
+  const char* payload_start = nullptr;
+  {
+    const std::string_view header = cursor.next_line();
+    if (header != kHeader) {
+      return parse_error(cursor, "unsupported snapshot header '" +
+                                     std::string(header) + "' (expected " +
+                                     kHeader + ")");
+    }
+    payload_start = cursor.pos;
+  }
+
+  Snapshot snap;
+  bool saw_machine = false;
+  bool saw_checksum = false;
+  bool saw_end = false;
+  std::uint64_t declared_checksum = 0;
+  const char* payload_end = nullptr;
+
+  while (!cursor.done()) {
+    const char* line_start = cursor.pos;
+    std::string_view rest = cursor.next_line();
+    if (rest.empty()) {
+      return parse_error(cursor, "empty line");
+    }
+    const std::string_view tag = take_word(rest);
+
+    if (tag == "checksum") {
+      payload_end = line_start;
+      char* parse_end = nullptr;
+      const std::string owned(rest);
+      declared_checksum = std::strtoull(owned.c_str(), &parse_end, 16);
+      if (parse_end != owned.c_str() + owned.size() || owned.empty()) {
+        return parse_error(cursor, "malformed checksum");
+      }
+      saw_checksum = true;
+      continue;
+    }
+    if (tag == "end") {
+      if (!saw_checksum) {
+        return parse_error(cursor, "'end' before checksum");
+      }
+      saw_end = true;
+      break;
+    }
+    if (saw_checksum) {
+      return parse_error(cursor, "record after checksum");
+    }
+
+    if (tag == "preset") {
+      std::uint64_t probed = 0;
+      if (!next_u64(rest, probed) || probed > 1 || rest.empty()) {
+        return parse_error(cursor, "malformed preset record");
+      }
+      snap.probed = probed == 1;
+      snap.machine_preset = std::string(rest);
+    } else if (tag == "machine") {
+      if (!next_u64(rest, snap.node_count) ||
+          !next_f64(rest, snap.power_cap_watts)) {
+        return parse_error(cursor, "malformed machine record");
+      }
+      saw_machine = true;
+    } else if (tag == "node") {
+      std::uint64_t index = 0;
+      sim::NodeTelemetry t;
+      std::uint64_t degraded = 0;
+      std::uint64_t online = 0;
+      if (!next_u64(rest, index) || !next_u64(rest, t.capacity_rejections) ||
+          !next_u64(rest, t.offline_rejections) ||
+          !next_u64(rest, t.transient_faults) ||
+          !next_u64(rest, t.ecc_errors) ||
+          !next_u64(rest, t.degraded_events) ||
+          !next_u64(rest, t.thermal_throttle_events) ||
+          !next_u64(rest, degraded) || !next_u64(rest, online) ||
+          index != snap.node_telemetry.size()) {
+        return parse_error(cursor, "malformed node record");
+      }
+      t.degraded = degraded == 1;
+      t.online = online == 1;
+      snap.node_telemetry.push_back(t);
+    } else if (tag == "npower") {
+      std::uint64_t index = 0;
+      sim::SimMachine::NodePowerState s;
+      std::uint64_t seeded = 0;
+      if (!next_u64(rest, index) || !next_f64(rest, s.dynamic_watts_ema) ||
+          !next_u64(rest, seeded) || index != snap.node_power.size()) {
+        return parse_error(cursor, "malformed npower record");
+      }
+      s.seeded = seeded == 1;
+      snap.node_power.push_back(s);
+    } else if (tag == "buffers") {
+      if (!next_u64(rest, snap.buffers_total)) {
+        return parse_error(cursor, "malformed buffers record");
+      }
+    } else if (tag == "buffer") {
+      Snapshot::BufferRecord b;
+      std::uint64_t index = 0;
+      std::uint64_t node = 0;
+      std::uint64_t freed = 0;
+      std::uint64_t tenant_id = 0;
+      if (!next_u64(rest, index) || !next_u64(rest, node) ||
+          !next_u64(rest, b.declared_bytes) ||
+          !next_u64(rest, b.backing_bytes) || !next_u64(rest, freed) ||
+          !next_u64(rest, tenant_id) || index != snap.buffers.size()) {
+        return parse_error(cursor, "malformed buffer record");
+      }
+      b.index = static_cast<std::uint32_t>(index);
+      b.node = static_cast<unsigned>(node);
+      b.freed = freed == 1;
+      b.tenant_id = static_cast<std::uint32_t>(tenant_id);
+      b.label = std::string(rest);
+      snap.buffers.push_back(std::move(b));
+    } else if (tag == "tenant") {
+      Snapshot::TenantRecord t;
+      std::uint64_t id = 0;
+      std::uint64_t priority = 0;
+      std::uint64_t live = 0;
+      bool ok = next_u64(rest, id) && next_u64(rest, priority) &&
+                next_f64(rest, t.quota.share_weight) &&
+                next_u64(rest, t.quota.total_cap_bytes);
+      for (std::uint64_t& cap : t.quota.tier_cap_bytes) {
+        ok = ok && next_u64(rest, cap);
+      }
+      ok = ok && next_u64(rest, t.stats.admitted) &&
+           next_u64(rest, t.stats.spilled) && next_u64(rest, t.stats.shed) &&
+           next_u64(rest, t.stats.quota_rejections) && next_u64(rest, live);
+      if (!ok || priority > 2 || rest.empty()) {
+        return parse_error(cursor, "malformed tenant record");
+      }
+      t.id = static_cast<std::uint32_t>(id);
+      t.priority = static_cast<tenant::Priority>(priority);
+      t.live = live == 1;
+      t.name = std::string(rest);
+      snap.tenants.push_back(std::move(t));
+    } else if (tag == "tnext") {
+      std::uint64_t next = 0;
+      if (!next_u64(rest, next) || next == 0) {
+        return parse_error(cursor, "malformed tnext record");
+      }
+      snap.tenants_next_id = static_cast<tenant::TenantId>(next);
+    } else if (tag == "astats") {
+      alloc::AllocatorStats& s = snap.alloc_stats;
+      std::uint64_t* fields[] = {&s.allocations,
+                                 &s.fallbacks,
+                                 &s.failures,
+                                 &s.frees,
+                                 &s.migrations,
+                                 &s.bytes_allocated,
+                                 &s.bytes_migrated,
+                                 &s.transient_retries,
+                                 &s.attribute_rescues,
+                                 &s.backpressure_rejections,
+                                 &s.backpressure_health,
+                                 &s.backpressure_quota,
+                                 &s.backpressure_shed,
+                                 &s.tenant_spills,
+                                 &s.retry_backoff_ms};
+      for (std::uint64_t* field : fields) {
+        if (!next_u64(rest, *field)) {
+          return parse_error(cursor, "malformed astats record");
+        }
+      }
+    } else if (tag == "reserved") {
+      std::uint64_t node = 0;
+      std::uint64_t bytes = 0;
+      if (!next_u64(rest, node) || !next_u64(rest, bytes)) {
+        return parse_error(cursor, "malformed reserved record");
+      }
+      if (node >= snap.reserved_bytes.size()) {
+        snap.reserved_bytes.resize(node + 1, 0);
+      }
+      snap.reserved_bytes[node] = bytes;
+    } else if (tag == "sampler") {
+      snap.has_policy = true;
+      std::uint64_t phases = 0;
+      if (!next_rng(rest, snap.sampler.rng) ||
+          !next_f64(rest, snap.sampler.snapshot_clock_ns) ||
+          !next_u64(rest, phases) || !next_u64(rest, snap.sampler.epochs) ||
+          !next_f64(rest, snap.sampler.effective_period) ||
+          !next_f64(rest, snap.sampler.last_cost_ns)) {
+        return parse_error(cursor, "malformed sampler record");
+      }
+      snap.sampler.phases_since_epoch = static_cast<unsigned>(phases);
+    } else if (tag == "period") {
+      std::uint64_t index = 0;
+      double period = 0.0;
+      if (!next_u64(rest, index) || !next_f64(rest, period) ||
+          index != snap.sampler.period_log.size()) {
+        return parse_error(cursor, "malformed period record");
+      }
+      snap.sampler.period_log.push_back(period);
+    } else if (tag == "classifier") {
+      std::uint64_t count = 0;
+      if (!next_f64(rest, snap.classifier_ema_total_bytes) ||
+          !next_u64(rest, count)) {
+        return parse_error(cursor, "malformed classifier record");
+      }
+      snap.classifier_states.reserve(count);
+    } else if (tag == "cstate") {
+      runtime::OnlineClassifier::BufferState s;
+      std::uint64_t index = 0;
+      std::uint64_t tracked = 0;
+      std::uint64_t committed = 0;
+      std::uint64_t pending = 0;
+      std::uint64_t streak = 0;
+      if (!next_u64(rest, index) || !next_u64(rest, tracked) ||
+          !next_f64(rest, s.ema.reads) || !next_f64(rest, s.ema.writes) ||
+          !next_f64(rest, s.ema.llc_misses) ||
+          !next_f64(rest, s.ema.memory_bytes) ||
+          !next_f64(rest, s.ema.random_accesses) ||
+          !next_f64(rest, s.ema.random_misses) ||
+          !next_u64(rest, committed) || !next_u64(rest, pending) ||
+          !next_u64(rest, streak) || committed > 2 || pending > 2 ||
+          index != snap.classifier_states.size()) {
+        return parse_error(cursor, "malformed cstate record");
+      }
+      s.tracked = tracked == 1;
+      s.committed = static_cast<prof::Sensitivity>(committed);
+      s.pending = static_cast<prof::Sensitivity>(pending);
+      s.disagreement_streak = static_cast<unsigned>(streak);
+      snap.classifier_states.push_back(s);
+    } else if (tag == "engine") {
+      runtime::EngineStats& s = snap.engine_stats;
+      if (!next_u64(rest, s.considered) || !next_u64(rest, s.accepted) ||
+          !next_u64(rest, s.evicted) || !next_u64(rest, s.rejected) ||
+          !next_u64(rest, s.failed) || !next_u64(rest, s.migrated_bytes) ||
+          !next_f64(rest, s.migration_cost_ns) ||
+          !next_u64(rest, snap.engine_max_epoch_bytes)) {
+        return parse_error(cursor, "malformed engine record");
+      }
+    } else if (tag == "dlog") {
+      snap.decision_log += rest;
+      snap.decision_log += '\n';
+    } else if (tag == "health") {
+      snap.has_health = true;
+      std::uint64_t count = 0;
+      if (!next_u64(rest, snap.health_poll_count) || !next_u64(rest, count)) {
+        return parse_error(cursor, "malformed health record");
+      }
+      snap.health_nodes.reserve(count);
+    } else if (tag == "hnode") {
+      health::HealthMonitor::NodeState s;
+      std::uint64_t index = 0;
+      std::uint64_t state = 0;
+      std::uint64_t faulty = 0;
+      std::uint64_t clean = 0;
+      if (!next_u64(rest, index) || !next_u64(rest, state) ||
+          !next_u64(rest, s.last_errors) || !next_u64(rest, faulty) ||
+          !next_u64(rest, clean) || state > 3 ||
+          index != snap.health_nodes.size()) {
+        return parse_error(cursor, "malformed hnode record");
+      }
+      s.state = static_cast<health::HealthState>(state);
+      s.faulty_streak = static_cast<unsigned>(faulty);
+      s.clean_streak = static_cast<unsigned>(clean);
+      snap.health_nodes.push_back(s);
+    } else if (tag == "governor") {
+      snap.has_governor = true;
+      power::GovernorStats& s = snap.governor_stats;
+      if (!next_u64(rest, s.epochs) || !next_u64(rest, s.over_cap_epochs) ||
+          !next_u64(rest, s.throttle_events) ||
+          !next_u64(rest, s.drained_buffers) ||
+          !next_u64(rest, s.drained_bytes) ||
+          !next_f64(rest, s.drain_cost_ns)) {
+        return parse_error(cursor, "malformed governor record");
+      }
+    } else if (tag == "gstreak") {
+      std::uint64_t index = 0;
+      std::uint64_t streak = 0;
+      if (!next_u64(rest, index) || !next_u64(rest, streak) ||
+          index != snap.governor_streaks.size()) {
+        return parse_error(cursor, "malformed gstreak record");
+      }
+      snap.governor_streaks.push_back(static_cast<unsigned>(streak));
+    } else if (tag == "faults") {
+      snap.has_faults = true;
+      std::uint64_t count = 0;
+      if (!next_u64(rest, snap.fault_seed) || !next_u64(rest, count)) {
+        return parse_error(cursor, "malformed faults record");
+      }
+      snap.fault_sites.reserve(count);
+    } else if (tag == "fsite") {
+      fault::FaultInjector::SiteState s;
+      std::uint64_t burst = 0;
+      std::uint64_t burst_remaining = 0;
+      std::uint64_t armed = 0;
+      if (!next_f64(rest, s.spec.probability) ||
+          !next_u64(rest, s.spec.max_count) || !next_u64(rest, burst) ||
+          !next_f64(rest, s.spec.noise_sigma) || !next_rng(rest, s.rng) ||
+          !next_u64(rest, s.consultations) || !next_u64(rest, s.injected) ||
+          !next_u64(rest, burst_remaining) || !next_u64(rest, armed) ||
+          rest.empty()) {
+        return parse_error(cursor, "malformed fsite record");
+      }
+      s.spec.burst = static_cast<unsigned>(burst);
+      s.burst_remaining = static_cast<unsigned>(burst_remaining);
+      s.armed = armed == 1;
+      s.name = std::string(rest);
+      snap.fault_sites.push_back(std::move(s));
+    } else if (tag == "breaker") {
+      snap.has_supervisor = true;
+      std::uint64_t which = 0;
+      CircuitBreaker::State s;
+      if (!parse_breaker_line(rest, which, s)) {
+        return parse_error(cursor, "malformed breaker record");
+      }
+      (which == 0 ? snap.migration_breaker : snap.evacuation_breaker) = s;
+    } else if (tag == "watchdog") {
+      snap.has_supervisor = true;
+      Watchdog::State& w = snap.watchdog;
+      std::uint64_t mstreak = 0;
+      std::uint64_t estreak = 0;
+      if (!next_u64(rest, w.prev_engine.considered) ||
+          !next_u64(rest, w.prev_engine.accepted) ||
+          !next_u64(rest, w.prev_engine.evicted) ||
+          !next_u64(rest, w.prev_engine.rejected) ||
+          !next_u64(rest, w.prev_engine.failed) ||
+          !next_u64(rest, w.prev_engine.migrated_bytes) ||
+          !next_f64(rest, w.prev_engine.migration_cost_ns) ||
+          !next_u64(rest, w.prev_evac_failed) ||
+          !next_u64(rest, w.prev_evac_moved) || !next_u64(rest, mstreak) ||
+          !next_u64(rest, estreak) ||
+          !next_u64(rest, w.stats.epochs_observed) ||
+          !next_u64(rest, w.stats.overruns) ||
+          !next_u64(rest, w.stats.migration_stall_trips) ||
+          !next_u64(rest, w.stats.evacuation_stall_trips)) {
+        return parse_error(cursor, "malformed watchdog record");
+      }
+      w.migration_stall_streak = static_cast<unsigned>(mstreak);
+      w.evacuation_stall_streak = static_cast<unsigned>(estreak);
+    } else {
+      return parse_error(cursor, "unknown record '" + std::string(tag) + "'");
+    }
+  }
+
+  if (!saw_end) {
+    return parse_error(cursor,
+                       "truncated snapshot (missing 'end' sentinel)");
+  }
+  if (!saw_machine) {
+    return parse_error(cursor, "snapshot has no machine record");
+  }
+  const std::string_view payload(
+      payload_start, static_cast<std::size_t>(payload_end - payload_start));
+  if (fnv1a(payload) != declared_checksum) {
+    return make_error(Errc::kInvalidArgument,
+                      "snapshot checksum mismatch (corrupt or bit-flipped "
+                      "file; refusing to restore)");
+  }
+  if (snap.node_telemetry.size() != snap.node_count ||
+      snap.node_power.size() != snap.node_count) {
+    return make_error(Errc::kInvalidArgument,
+                      "snapshot node records do not match its node count");
+  }
+  if (snap.buffers.size() != snap.buffers_total) {
+    return make_error(
+        Errc::kInvalidArgument,
+        "snapshot buffer records do not match its buffer count");
+  }
+  return snap;
+}
+
+Status save_atomic(const Snapshot& snapshot, const std::string& path) {
+  const std::string text = serialize(snapshot);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return make_error(Errc::kInternal,
+                      "cannot open '" + tmp + "' for writing");
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (written != text.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return make_error(Errc::kInternal, "short write to '" + tmp + "'");
+  }
+  // The rename is the commit point: a crash before it leaves any previous
+  // snapshot at `path` intact, a crash after it leaves the new one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return make_error(Errc::kInternal,
+                      "cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  return {};
+}
+
+Result<Snapshot> load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return make_error(Errc::kNotFound, "cannot open snapshot '" + path + "'");
+  }
+  std::string text;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+  return parse(text);
+}
+
+namespace {
+
+/// Rebuild-from-empty: re-allocates every recorded slot in ascending index
+/// order so BufferIds line up exactly. Freed slots become allocate-then-free
+/// tombstones (zero-byte allocations are rejected, so tombstones claim one
+/// byte — transiently, on whichever node has room).
+Status rebuild_buffers(const Snapshot& snap, sim::SimMachine& machine) {
+  const std::size_t nodes = machine.topology().numa_nodes().size();
+  for (const Snapshot::BufferRecord& record : snap.buffers) {
+    if (!record.freed) {
+      auto id = machine.allocate(record.declared_bytes, record.node,
+                                 record.label, record.backing_bytes);
+      if (!id.ok()) {
+        return make_error(Errc::kInternal,
+                          "restore cannot re-allocate buffer '" +
+                              record.label + "': " + id.error().to_string());
+      }
+      if (id->index != record.index) {
+        return make_error(Errc::kInternal,
+                          "restore buffer index drifted (machine not empty?)");
+      }
+      continue;
+    }
+    // Tombstone for a freed slot: the placement is irrelevant (freed
+    // immediately), only the index matters.
+    support::Result<sim::BufferId> id =
+        make_error(Errc::kOutOfCapacity, "no node tried");
+    for (unsigned n = 0; n < nodes && !id.ok(); ++n) {
+      id = machine.allocate(1, n, record.label, 0);
+    }
+    if (!id.ok()) {
+      return make_error(Errc::kInternal,
+                        "restore cannot place tombstone for freed buffer '" +
+                            record.label + "'");
+    }
+    if (id->index != record.index) {
+      return make_error(Errc::kInternal,
+                        "restore buffer index drifted (machine not empty?)");
+    }
+    const Status freed = machine.free(*id);
+    if (!freed.ok()) return freed;
+  }
+  return {};
+}
+
+/// Re-place: the machine already holds identically-prepared buffers; verify
+/// identity and migrate each live one to its recorded node.
+Status replace_buffers(const Snapshot& snap, sim::SimMachine& machine) {
+  if (machine.total_buffer_count() != snap.buffers_total) {
+    return make_error(Errc::kInvalidArgument,
+                      "restore target machine has " +
+                          std::to_string(machine.total_buffer_count()) +
+                          " buffer slot(s), snapshot has " +
+                          std::to_string(snap.buffers_total));
+  }
+  for (const Snapshot::BufferRecord& record : snap.buffers) {
+    const sim::BufferId id{record.index};
+    const sim::BufferInfo info = machine.info(id);
+    if (info.freed != record.freed || (!record.freed &&
+                                       info.label != record.label)) {
+      return make_error(Errc::kInvalidArgument,
+                        "restore target buffer " +
+                            std::to_string(record.index) +
+                            " does not match the snapshot ('" + info.label +
+                            "' vs '" + record.label + "')");
+    }
+    if (record.freed || info.node == record.node) continue;
+    const Status moved = machine.migrate(id, record.node);
+    if (!moved.ok()) {
+      return make_error(Errc::kInternal,
+                        "restore cannot re-place buffer '" + record.label +
+                            "': " + moved.error().to_string());
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Status restore(const Snapshot& snap, const RestoreTargets& targets) {
+  if (targets.machine == nullptr || targets.allocator == nullptr) {
+    return make_error(Errc::kInvalidArgument,
+                      "restore requires a machine and an allocator");
+  }
+  sim::SimMachine& machine = *targets.machine;
+  const std::size_t nodes = machine.topology().numa_nodes().size();
+  if (nodes != snap.node_count) {
+    return make_error(Errc::kInvalidArgument,
+                      "restore target has " + std::to_string(nodes) +
+                          " node(s), snapshot has " +
+                          std::to_string(snap.node_count) +
+                          " (topology mismatch)");
+  }
+  if (snap.has_faults && targets.faults != nullptr &&
+      targets.faults->seed() != snap.fault_seed) {
+    return make_error(Errc::kInvalidArgument,
+                      "restore target fault injector seed differs from the "
+                      "snapshot (schedules would diverge)");
+  }
+
+  // 1. Buffers — while every node is still online (rebuild allocations on a
+  //    node the snapshot later marks offline must succeed first).
+  if (machine.total_buffer_count() == 0 && snap.buffers_total > 0) {
+    const Status rebuilt = rebuild_buffers(snap, machine);
+    if (!rebuilt.ok()) return rebuilt;
+  } else {
+    const Status replaced = replace_buffers(snap, machine);
+    if (!replaced.ok()) return replaced;
+  }
+
+  // 2. Tenants: re-register under original ids (restore_tenant keeps the
+  //    never-reused-id invariant), overlay stats, re-adopt charges, and only
+  //    then deregister the ones that died before the snapshot — their
+  //    outstanding charges survive through the handles, as in the live run.
+  if (targets.tenants != nullptr && !snap.tenants.empty()) {
+    std::vector<tenant::TenantHandle> dead;
+    for (const Snapshot::TenantRecord& record : snap.tenants) {
+      tenant::TenantHandle handle = targets.tenants->find(record.id);
+      if (handle == nullptr) {
+        auto restored = targets.tenants->restore_tenant(
+            record.id, record.name, record.priority, record.quota);
+        if (!restored.ok()) return restored.error();
+        handle = *restored;
+      } else if (handle->name() != record.name) {
+        return make_error(Errc::kInvalidArgument,
+                          "restore target tenant id " +
+                              std::to_string(record.id) +
+                              " is '" + handle->name() +
+                              "', snapshot says '" + record.name + "'");
+      }
+      handle->restore_stats(record.stats);
+      if (!record.live) dead.push_back(std::move(handle));
+    }
+    for (const Snapshot::BufferRecord& record : snap.buffers) {
+      if (record.freed || record.tenant_id == tenant::kNoTenant) continue;
+      const sim::BufferId id{record.index};
+      if (targets.allocator->tenant_of(id) != nullptr) continue;  // re-place
+      tenant::TenantHandle owner = targets.tenants->find(record.tenant_id);
+      if (owner == nullptr) {
+        return make_error(Errc::kInvalidArgument,
+                          "snapshot buffer '" + record.label +
+                              "' charges unknown tenant id " +
+                              std::to_string(record.tenant_id));
+      }
+      const Status adopted = targets.allocator->adopt_tenant_charge(
+          id, std::move(owner), record.declared_bytes);
+      if (!adopted.ok()) return adopted;
+    }
+    for (const tenant::TenantHandle& handle : dead) {
+      const Status gone = targets.tenants->deregister_tenant(handle);
+      if (!gone.ok()) return gone;
+    }
+  }
+  if (targets.tenants != nullptr) {
+    targets.tenants->restore_next_id(snap.tenants_next_id);
+  }
+
+  // 3. Allocator: reservations to their absolute recorded values, then the
+  //    statistics overlay.
+  for (unsigned n = 0; n < nodes; ++n) {
+    const std::uint64_t want =
+        n < snap.reserved_bytes.size() ? snap.reserved_bytes[n] : 0;
+    const std::uint64_t have = targets.allocator->reserved_bytes(n);
+    if (want > have) {
+      const Status reserved = targets.allocator->reserve(n, want - have);
+      if (!reserved.ok()) return reserved;
+    } else if (have > want) {
+      targets.allocator->release_reservation(n, have - want);
+    }
+  }
+  targets.allocator->restore_stats(snap.alloc_stats);
+
+  // 4. Machine telemetry, power state, cap (this may take nodes offline —
+  //    after the buffer pass, by design).
+  for (unsigned n = 0; n < nodes; ++n) {
+    machine.restore_node_telemetry(n, snap.node_telemetry[n]);
+    machine.restore_node_power_state(n, snap.node_power[n]);
+  }
+  machine.set_power_cap_watts(snap.power_cap_watts);
+
+  // 5. Policy pipeline: sampler RNG/periods, classifier EMAs/streaks,
+  //    engine stats + the rendered pre-crash narrative.
+  if (snap.has_policy && targets.policy != nullptr) {
+    targets.policy->mutable_sampler().restore_state(snap.sampler);
+    targets.policy->mutable_classifier().restore_state(
+        snap.classifier_states, snap.classifier_ema_total_bytes);
+    targets.policy->mutable_engine().restore_stats(snap.engine_stats,
+                                                   snap.engine_max_epoch_bytes);
+    targets.policy->mutable_engine().restore_log_prefix(snap.decision_log);
+  }
+
+  // 6. Health — after telemetry, so last_errors and the counters it will be
+  //    differenced against come from the same snapshot.
+  if (snap.has_health && targets.health != nullptr) {
+    targets.health->restore_state(snap.health_poll_count, snap.health_nodes);
+  }
+
+  if (snap.has_governor && targets.governor != nullptr) {
+    targets.governor->restore_state(snap.governor_stats,
+                                    snap.governor_streaks);
+  }
+
+  if (snap.has_supervisor && targets.supervisor != nullptr) {
+    targets.supervisor->migration_breaker().restore_state(
+        snap.migration_breaker);
+    targets.supervisor->evacuation_breaker().restore_state(
+        snap.evacuation_breaker);
+    targets.supervisor->watchdog().restore_state(snap.watchdog);
+  }
+
+  // 7. Fault sites LAST: restore_site overwrites each stream absolutely, so
+  //    any consultations the rebuild itself made are erased and the restored
+  //    schedule continues exactly where the snapshot stopped.
+  if (snap.has_faults && targets.faults != nullptr) {
+    for (const fault::FaultInjector::SiteState& site : snap.fault_sites) {
+      targets.faults->restore_site(site);
+    }
+  }
+  return {};
+}
+
+}  // namespace hetmem::recover

@@ -1,0 +1,85 @@
+#include "hetmem/recover/supervisor.hpp"
+
+namespace hetmem::recover {
+
+namespace {
+// Distinct deterministic jitter streams for the two breakers, derived from
+// the shared options seed so two supervisors with the same options draw the
+// same cooldown schedules.
+BreakerOptions derive(BreakerOptions options, std::uint64_t salt) {
+  options.backoff.seed ^= 0x9e3779b97f4a7c15ull * salt;
+  return options;
+}
+}  // namespace
+
+Supervisor::Supervisor(fault::FaultInjector* injector,
+                       SupervisorOptions options)
+    : injector_(injector),
+      options_(options),
+      migration_("migration", derive(options.migration_breaker, 1)),
+      evacuation_("evacuation", derive(options.evacuation_breaker, 2)),
+      watchdog_(injector, options.watchdog) {}
+
+void Supervisor::attach(runtime::RuntimePolicy& policy) {
+  policy.set_migration_gate(
+      [this](std::uint64_t epoch_index) { return migration_.allow(epoch_index); });
+  policy.add_epoch_hook(
+      [this, &policy](std::uint64_t epoch_index, unsigned threads) {
+        return on_epoch(policy, epoch_index, threads);
+      });
+}
+
+double Supervisor::on_epoch(runtime::RuntimePolicy& policy,
+                            std::uint64_t epoch_index, unsigned threads) {
+  (void)threads;
+  std::uint64_t evac_failed = 0;
+  std::uint64_t evac_moved = 0;
+  if (evac_stats_) {
+    const auto [failed, moved] = evac_stats_();
+    evac_failed = failed;
+    evac_moved = moved;
+  }
+  const WatchdogVerdict verdict = watchdog_.observe_epoch(
+      epoch_index, /*duration_ns=*/0.0, policy.engine().stats(), evac_failed,
+      evac_moved);
+
+  // Feedback for the migration breaker. Only epochs with evidence count:
+  // while the breaker is open the engine never ran, so neither success nor
+  // failure is recorded and the half-open probe decides on real outcomes.
+  if (migration_.state() != BreakerState::kOpen) {
+    if (verdict.migration_failing || verdict.epoch_overrun) {
+      migration_.on_failure(epoch_index);
+    } else {
+      migration_.on_success(epoch_index);
+    }
+  }
+
+  // The evacuation breaker is observational: record verdicts, gate nothing.
+  if (evac_stats_) {
+    if (verdict.evacuation_failing) {
+      evacuation_.on_failure(epoch_index);
+    } else {
+      evacuation_.allow(epoch_index);  // advances open -> half-open probes
+      evacuation_.on_success(epoch_index);
+    }
+  }
+  return 0.0;  // supervision charges no simulated cost
+}
+
+const CircuitBreaker* Supervisor::breaker(const std::string& name) const {
+  if (name == migration_.name()) return &migration_;
+  if (name == evacuation_.name()) return &evacuation_;
+  return nullptr;
+}
+
+CircuitBreaker* Supervisor::breaker(const std::string& name) {
+  if (name == migration_.name()) return &migration_;
+  if (name == evacuation_.name()) return &evacuation_;
+  return nullptr;
+}
+
+std::string Supervisor::render_log() const {
+  return migration_.render_log() + evacuation_.render_log();
+}
+
+}  // namespace hetmem::recover

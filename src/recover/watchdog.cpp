@@ -1,0 +1,86 @@
+#include "hetmem/recover/watchdog.hpp"
+
+namespace hetmem::recover {
+
+Watchdog::Watchdog(fault::FaultInjector* injector, WatchdogOptions options)
+    : injector_(injector), options_(options) {}
+
+WatchdogVerdict Watchdog::observe_epoch(std::uint64_t epoch_index,
+                                        double duration_ns,
+                                        const runtime::EngineStats& engine,
+                                        std::uint64_t evac_failed,
+                                        std::uint64_t evac_moved) {
+  (void)epoch_index;
+  ++stats_.epochs_observed;
+  WatchdogVerdict verdict;
+
+  // Deadline: measured (simulated duration) or injected. The injector is
+  // consulted exactly once per observed epoch so its per-site stream stays
+  // aligned across crash+restore.
+  const bool injected_overrun =
+      injector_ != nullptr &&
+      injector_->should_fail(fault::site::kRuntimeEpochOverrun);
+  if (injected_overrun || (options_.epoch_deadline_ns > 0.0 &&
+                           duration_ns > options_.epoch_deadline_ns)) {
+    verdict.epoch_overrun = true;
+    ++stats_.overruns;
+  }
+
+  // Migration stall: failures grew, progress (accepted + evicted) did not.
+  const std::uint64_t failed_delta = engine.failed - prev_engine_.failed;
+  const std::uint64_t progress_delta =
+      (engine.accepted + engine.evicted) -
+      (prev_engine_.accepted + prev_engine_.evicted);
+  verdict.migration_active = failed_delta > 0 || progress_delta > 0;
+  if (failed_delta > 0 && progress_delta == 0) {
+    verdict.migration_failing = true;
+    ++migration_stall_streak_;
+    if (migration_stall_streak_ >= options_.stall_epochs_to_trip) {
+      verdict.migration_stalled = true;
+      ++stats_.migration_stall_trips;
+    }
+  } else {
+    migration_stall_streak_ = 0;
+  }
+  prev_engine_ = engine;
+
+  // Evacuation stall: same delta signature on the evacuator's counters.
+  const std::uint64_t evac_failed_delta = evac_failed - prev_evac_failed_;
+  const std::uint64_t evac_moved_delta = evac_moved - prev_evac_moved_;
+  if (evac_failed_delta > 0 && evac_moved_delta == 0) {
+    verdict.evacuation_failing = true;
+    ++evacuation_stall_streak_;
+    if (evacuation_stall_streak_ >= options_.stall_epochs_to_trip) {
+      verdict.evacuation_stalled = true;
+      ++stats_.evacuation_stall_trips;
+    }
+  } else {
+    evacuation_stall_streak_ = 0;
+  }
+  prev_evac_failed_ = evac_failed;
+  prev_evac_moved_ = evac_moved;
+
+  return verdict;
+}
+
+Watchdog::State Watchdog::export_state() const {
+  State out;
+  out.prev_engine = prev_engine_;
+  out.prev_evac_failed = prev_evac_failed_;
+  out.prev_evac_moved = prev_evac_moved_;
+  out.migration_stall_streak = migration_stall_streak_;
+  out.evacuation_stall_streak = evacuation_stall_streak_;
+  out.stats = stats_;
+  return out;
+}
+
+void Watchdog::restore_state(const State& state) {
+  prev_engine_ = state.prev_engine;
+  prev_evac_failed_ = state.prev_evac_failed;
+  prev_evac_moved_ = state.prev_evac_moved;
+  migration_stall_streak_ = state.migration_stall_streak;
+  evacuation_stall_streak_ = state.evacuation_stall_streak;
+  stats_ = state.stats;
+}
+
+}  // namespace hetmem::recover

@@ -371,7 +371,7 @@ double MigrationEngine::run_epoch(std::uint64_t epoch_index,
 }
 
 std::string MigrationEngine::render_decision_log() const {
-  std::string out;
+  std::string out = log_prefix_;
   for (const Decision& decision : decisions_) {
     out += "epoch " + std::to_string(decision.epoch) + " " +
            verdict_name(decision.verdict) + " " + decision.label + " (buffer " +

@@ -19,6 +19,28 @@ double EpochSampler::effective_period() const {
   return options_.adaptive ? effective_period_ : options_.sample_period;
 }
 
+EpochSampler::State EpochSampler::export_state() const {
+  State state;
+  state.rng = rng_.state();
+  state.snapshot_clock_ns = snapshot_clock_ns_;
+  state.phases_since_epoch = phases_since_epoch_;
+  state.epochs = epochs_;
+  state.effective_period = effective_period_;
+  state.last_cost_ns = last_cost_ns_;
+  state.period_log = period_log_;
+  return state;
+}
+
+void EpochSampler::restore_state(const State& state) {
+  rng_.set_state(state.rng);
+  snapshot_clock_ns_ = state.snapshot_clock_ns;
+  phases_since_epoch_ = state.phases_since_epoch;
+  epochs_ = state.epochs;
+  effective_period_ = state.effective_period;
+  last_cost_ns_ = state.last_cost_ns;
+  period_log_ = state.period_log;
+}
+
 double EpochSampler::subsample(double value, double quantum) {
   if (value <= 0.0) return 0.0;
   const double scaled = value / quantum;

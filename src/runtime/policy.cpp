@@ -28,8 +28,10 @@ void RuntimePolicy::on_phase(sim::ExecutionContext& exec) {
   // stats, so buffers moved by the epoch hook (health evacuation) also
   // trigger the application's post-migration refresh.
   const std::uint64_t migrations_before = allocator_->stats().migrations;
-  double paid_ns =
-      engine_.run_epoch(epoch->index, classifier_, exec.thread_count());
+  double paid_ns = 0.0;
+  if (!migration_gate_ || migration_gate_(epoch->index)) {
+    paid_ns = engine_.run_epoch(epoch->index, classifier_, exec.thread_count());
+  }
   if (epoch_hook_) paid_ns += epoch_hook_(epoch->index, exec.thread_count());
   if (charge_migration_cost_) exec.charge_overhead_ns(paid_ns);
   if (allocator_->stats().migrations != migrations_before && post_migration_) {
@@ -56,7 +58,10 @@ double RuntimePolicy::replay_epoch(const Epoch& raw_epoch, unsigned threads) {
   Epoch epoch = sampler_.subsample_epoch(raw_epoch);
   classifier_.observe(epoch);
   const std::uint64_t migrations_before = allocator_->stats().migrations;
-  double paid_ns = engine_.run_epoch(epoch.index, classifier_, threads);
+  double paid_ns = 0.0;
+  if (!migration_gate_ || migration_gate_(epoch.index)) {
+    paid_ns = engine_.run_epoch(epoch.index, classifier_, threads);
+  }
   if (epoch_hook_) paid_ns += epoch_hook_(epoch.index, threads);
   if (allocator_->stats().migrations != migrations_before && post_migration_) {
     post_migration_();

@@ -207,6 +207,16 @@ Status SimMachine::migrate(BufferId id, unsigned destination_node) {
                       "injected transient migration failure for buffer " +
                           slot->label);
   }
+  if (faults_ != nullptr &&
+      faults_->should_fail(fault::site::kMachineMigrateStall)) {
+    // A wedged migration thread: like the transient site but typically
+    // configured with a burst so whole epochs of attempts fail — the
+    // stalled-progress signature the recover watchdog/breakers detect.
+    telemetry_[destination_node].transient_faults.fetch_add(
+        1, std::memory_order_relaxed);
+    return make_error(Errc::kTransient,
+                      "injected migration stall for buffer " + slot->label);
+  }
   if (online_[destination_node].load(std::memory_order_relaxed) == 0) {
     telemetry_[destination_node].offline_rejections.fetch_add(
         1, std::memory_order_relaxed);
@@ -333,6 +343,41 @@ NodeTelemetry SimMachine::node_telemetry(unsigned node) const {
   snapshot.degraded = counters.degraded.load(std::memory_order_relaxed) != 0;
   snapshot.online = online_[node].load(std::memory_order_relaxed) != 0;
   return snapshot;
+}
+
+void SimMachine::restore_node_telemetry(unsigned node,
+                                        const NodeTelemetry& telemetry) {
+  if (node >= node_count_) return;
+  NodeCounters& counters = telemetry_[node];
+  counters.capacity_rejections.store(telemetry.capacity_rejections,
+                                     std::memory_order_relaxed);
+  counters.offline_rejections.store(telemetry.offline_rejections,
+                                    std::memory_order_relaxed);
+  counters.transient_faults.store(telemetry.transient_faults,
+                                  std::memory_order_relaxed);
+  counters.ecc_errors.store(telemetry.ecc_errors, std::memory_order_relaxed);
+  counters.degraded_events.store(telemetry.degraded_events,
+                                 std::memory_order_relaxed);
+  counters.thermal_throttle_events.store(telemetry.thermal_throttle_events,
+                                         std::memory_order_relaxed);
+  counters.degraded.store(telemetry.degraded ? 1 : 0,
+                          std::memory_order_relaxed);
+  online_[node].store(telemetry.online ? 1 : 0, std::memory_order_relaxed);
+}
+
+SimMachine::NodePowerState SimMachine::node_power_state(unsigned node) const {
+  if (node >= node_count_) return {};
+  std::lock_guard<std::mutex> lock(power_mutex_);
+  return NodePowerState{node_power_[node].dynamic_watts_ema,
+                        node_power_[node].seeded};
+}
+
+void SimMachine::restore_node_power_state(unsigned node,
+                                          const NodePowerState& state) {
+  if (node >= node_count_) return;
+  std::lock_guard<std::mutex> lock(power_mutex_);
+  node_power_[node].dynamic_watts_ema = state.dynamic_watts_ema;
+  node_power_[node].seeded = state.seeded;
 }
 
 void SimMachine::sample_node_faults(unsigned node) {

@@ -32,6 +32,36 @@ Result<TenantHandle> TenantRegistry::register_tenant(std::string name,
   return handle;
 }
 
+Result<TenantHandle> TenantRegistry::restore_tenant(TenantId id,
+                                                    std::string name,
+                                                    Priority priority,
+                                                    TenantQuota quota) {
+  if (id == 0) {
+    return make_error(Errc::kInvalidArgument, "tenant id 0 is reserved");
+  }
+  if (name.empty()) {
+    return make_error(Errc::kInvalidArgument, "tenant name must be non-empty");
+  }
+  if (quota.share_weight <= 0.0) {
+    return make_error(Errc::kInvalidArgument,
+                      "tenant share_weight must be positive");
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (const TenantHandle& existing : tenants_) {
+    if (existing->id() == id || existing->name() == name) {
+      return make_error(Errc::kAlreadyExists,
+                        "tenant '" + name + "' (id " + std::to_string(id) +
+                            ") collides with a registered tenant");
+    }
+  }
+  // Keep the never-reused-id invariant: future register_tenant calls mint
+  // ids strictly past every restored one.
+  if (id >= next_id_) next_id_ = id + 1;
+  auto handle = std::make_shared<Tenant>(id, std::move(name), priority, quota);
+  tenants_.push_back(handle);
+  return handle;
+}
+
 Status TenantRegistry::deregister_tenant(const TenantHandle& handle) {
   if (handle == nullptr) {
     return make_error(Errc::kInvalidArgument, "null tenant handle");

@@ -285,6 +285,78 @@ TEST_F(CapiTest, PowerTelemetryAndCap) {
   EXPECT_EQ(node, 0u);  // cheapest energy per byte: local DRAM
 }
 
+// The crash-resilience lifecycle (docs/RECOVERY.md): build up placements,
+// tenant charges, and backpressure counters; save; destroy the context
+// entirely; restore from the file; every observable statistic matches, and
+// the restored context keeps working (charges refund on free).
+TEST_F(CapiTest, SnapshotSaveRestoreLifecycle) {
+  const std::string path = ::testing::TempDir() + "capi-snap.hetmem";
+
+  const int64_t tenant = hetmem_tenant_register(
+      ctx_, "snap-tenant", HETMEM_PRIORITY_NORMAL, 1ull << 30, 1.0);
+  ASSERT_GE(tenant, 1);
+  const int64_t held =
+      hetmem_alloc_tenant(ctx_, 64ull << 20, HETMEM_ATTR_LATENCY, kPackage0,
+                          HETMEM_POLICY_RANKED_FALLBACK, "held", tenant);
+  ASSERT_GE(held, 0);
+  // Over-cap request: leaves a quota-rejection fingerprint to restore.
+  EXPECT_EQ(hetmem_alloc_tenant(ctx_, 2ull << 30, HETMEM_ATTR_LATENCY,
+                                kPackage0, HETMEM_POLICY_RANKED_FALLBACK,
+                                "too-big", tenant),
+            HETMEM_ERR_AGAIN);
+  const int64_t roaming =
+      hetmem_alloc(ctx_, 8ull << 20, HETMEM_ATTR_LATENCY, kPackage0,
+                   HETMEM_POLICY_RANKED_FALLBACK, "roaming");
+  ASSERT_GE(roaming, 0);
+  double cost = 0.0;
+  ASSERT_EQ(hetmem_migrate(ctx_, roaming, 2, &cost), HETMEM_SUCCESS);
+  // A freed slot, so the snapshot's index watermark covers a tombstone.
+  const int64_t gone = hetmem_alloc(ctx_, 1 << 20, HETMEM_ATTR_LATENCY,
+                                    kPackage0, HETMEM_POLICY_RANKED_FALLBACK,
+                                    "gone");
+  ASSERT_GE(gone, 0);
+  ASSERT_EQ(hetmem_free(ctx_, gone), HETMEM_SUCCESS);
+
+  const uint64_t avail0 = hetmem_node_available(ctx_, 0);
+  const uint64_t avail2 = hetmem_node_available(ctx_, 2);
+
+  ASSERT_EQ(hetmem_snapshot_save(ctx_, path.c_str()), HETMEM_SUCCESS);
+  EXPECT_EQ(hetmem_snapshot_save(ctx_, nullptr), HETMEM_ERR_INVALID);
+  hetmem_context_destroy(ctx_);
+  ctx_ = nullptr;
+
+  hetmem_context* restored = hetmem_snapshot_restore(path.c_str());
+  ASSERT_NE(restored, nullptr);
+  ctx_ = restored;  // TearDown destroys it
+
+  // Identical placements, charges, and counters.
+  EXPECT_EQ(hetmem_buffer_node(ctx_, held), 0);
+  EXPECT_EQ(hetmem_buffer_node(ctx_, roaming), 2);
+  EXPECT_EQ(hetmem_buffer_node(ctx_, gone), HETMEM_ERR_INVALID);  // stays freed
+  EXPECT_EQ(hetmem_node_available(ctx_, 0), avail0);
+  EXPECT_EQ(hetmem_node_available(ctx_, 2), avail2);
+  EXPECT_EQ(hetmem_tenant_used_bytes(ctx_, tenant), 64ull << 20);
+  EXPECT_EQ(hetmem_backpressure_rejections(ctx_, HETMEM_BACKPRESSURE_QUOTA),
+            1u);
+  EXPECT_EQ(hetmem_backpressure_rejections(ctx_, HETMEM_BACKPRESSURE_TOTAL),
+            1u);
+
+  // The restored context is fully live: the charge refunds on free and the
+  // tenant can be deregistered.
+  EXPECT_EQ(hetmem_free(ctx_, held), HETMEM_SUCCESS);
+  EXPECT_EQ(hetmem_tenant_used_bytes(ctx_, tenant), 0u);
+  EXPECT_EQ(hetmem_tenant_deregister(ctx_, tenant), HETMEM_SUCCESS);
+
+  // Breakers come up closed; unknown names and bad handles are rejected.
+  EXPECT_EQ(hetmem_breaker_state(ctx_, "migration"), HETMEM_BREAKER_CLOSED);
+  EXPECT_EQ(hetmem_breaker_state(ctx_, "evacuation"), HETMEM_BREAKER_CLOSED);
+  EXPECT_EQ(hetmem_breaker_state(ctx_, "no-such"), HETMEM_ERR_NOENT);
+  EXPECT_EQ(hetmem_breaker_state(nullptr, "migration"), HETMEM_ERR_INVALID);
+
+  // A missing file never yields a context.
+  EXPECT_EQ(hetmem_snapshot_restore("/nonexistent/snap"), nullptr);
+}
+
 // The paper's portability story, through the C API: the same three lines
 // of "application code" run against two machines.
 TEST(CapiPortability, SameCallsBothMachines) {

@@ -415,6 +415,7 @@ TEST(FaultSiteCatalogTest, EveryBuiltInSiteIsListedExactlyOnce) {
       fault::site::kMachineAllocTransient, fault::site::kMachineNodeOffline,
       fault::site::kMachineMigrateTransient, fault::site::kMachineEccBurst,
       fault::site::kMachineNodeDegraded, fault::site::kMachinePowerThrottle,
+      fault::site::kMachineMigrateStall, fault::site::kRuntimeEpochOverrun,
       fault::site::kProbeFail,
       fault::site::kProbeNoise, fault::site::kHmatDropEntry,
       fault::site::kHmatFlipAccess, fault::site::kHmatTruncateLine,
